@@ -1,0 +1,48 @@
+//! From-scratch Aho-Corasick implementation: the baseline the paper (and
+//! Snort) uses for exact multiple pattern matching.
+//!
+//! Two execution engines are provided over the same construction:
+//!
+//! * [`NfaMatcher`] — the classic goto/fail automaton. Sparse transitions,
+//!   small memory footprint, but each input byte may walk several failure
+//!   links.
+//! * [`DfaMatcher`] — the fully-dense state-transition-table variant that
+//!   Snort's `acsmx2` "full" matcher uses and which the paper benchmarks:
+//!   one 256-entry row per state, exactly one table lookup per input byte.
+//!   This is the configuration whose memory footprint explodes with the
+//!   number of patterns and whose poor cache locality motivates DFC and
+//!   V-PATCH (paper §II-A).
+//!
+//! Both engines produce the complete set of `(pattern, position)`
+//! occurrences, including overlapping matches — the correctness reference
+//! the other engines are compared against in the paper's evaluation and in
+//! this workspace's test suites.
+
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod nfa;
+
+pub use dfa::DfaMatcher;
+pub use nfa::{AcAutomaton, NfaMatcher};
+
+use mpm_patterns::PatternSet;
+
+/// Builds the matcher variant the paper benchmarks (full DFA) from a pattern
+/// set. Convenience constructor used by examples and benches.
+pub fn build_snort_style(set: &PatternSet) -> DfaMatcher {
+    DfaMatcher::build(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::{naive::naive_find_all, Matcher, PatternSet};
+
+    #[test]
+    fn snort_style_builder_matches_naive() {
+        let set = PatternSet::from_literals(&["he", "she", "his", "hers"]);
+        let m = build_snort_style(&set);
+        assert_eq!(m.find_all(b"ushers"), naive_find_all(&set, b"ushers"));
+    }
+}

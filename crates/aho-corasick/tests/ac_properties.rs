@@ -1,0 +1,48 @@
+//! Property tests: Aho-Corasick engines agree with the naive reference
+//! matcher on arbitrary pattern sets and inputs.
+
+use mpm_aho_corasick::{DfaMatcher, NfaMatcher};
+use mpm_patterns::{naive::naive_find_all, Matcher, Pattern, PatternSet};
+use proptest::prelude::*;
+
+/// Strategy: a small alphabet makes overlaps and repeated substrings likely,
+/// which is where pattern-matching bugs hide.
+fn small_alphabet_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)], 1..max_len)
+}
+
+fn pattern_set_strategy() -> impl Strategy<Value = PatternSet> {
+    proptest::collection::vec(small_alphabet_bytes(8), 1..12)
+        .prop_map(|patterns| PatternSet::new(patterns.into_iter().map(Pattern::literal).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn nfa_matches_naive(set in pattern_set_strategy(), hay in small_alphabet_bytes(200)) {
+        let m = NfaMatcher::build(&set);
+        prop_assert_eq!(m.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn dfa_matches_naive(set in pattern_set_strategy(), hay in small_alphabet_bytes(200)) {
+        let m = DfaMatcher::build(&set);
+        prop_assert_eq!(m.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn dfa_count_equals_match_count(set in pattern_set_strategy(), hay in small_alphabet_bytes(200)) {
+        let m = DfaMatcher::build(&set);
+        prop_assert_eq!(m.count(&hay), m.find_all(&hay).len() as u64);
+    }
+
+    #[test]
+    fn random_binary_input_agrees(set in pattern_set_strategy(), hay in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let dfa = DfaMatcher::build(&set);
+        let nfa = NfaMatcher::build(&set);
+        let expected = naive_find_all(&set, &hay);
+        prop_assert_eq!(dfa.find_all(&hay), expected.clone());
+        prop_assert_eq!(nfa.find_all(&hay), expected);
+    }
+}

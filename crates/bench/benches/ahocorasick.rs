@@ -1,0 +1,33 @@
+//! Criterion micro-benchmark of the Aho-Corasick baseline: sparse NFA vs
+//! Snort-style dense DFA, and the effect of ruleset size on throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpm_aho_corasick::{DfaMatcher, NfaMatcher};
+use mpm_patterns::synthetic::{RulesetSpec, SyntheticRuleset};
+use mpm_patterns::Matcher;
+use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+
+const TRACE_LEN: usize = 1 << 19; // 512 KiB
+
+fn bench_ac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aho_corasick");
+    for &patterns in &[250usize, 1_000] {
+        let ruleset = SyntheticRuleset::generate(RulesetSpec {
+            total_patterns: patterns,
+            ..RulesetSpec::snort_s1()
+        });
+        let set = ruleset.http();
+        let trace =
+            TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
+        group.throughput(Throughput::Bytes(trace.len() as u64));
+        group.sample_size(20);
+        let nfa = NfaMatcher::build(&set);
+        group.bench_function(BenchmarkId::new("nfa", patterns), |b| b.iter(|| nfa.count(&trace)));
+        let dfa = DfaMatcher::build(&set);
+        group.bench_function(BenchmarkId::new("dfa", patterns), |b| b.iter(|| dfa.count(&trace)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ac);
+criterion_main!(benches);

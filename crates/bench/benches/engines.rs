@@ -1,0 +1,34 @@
+//! Criterion micro-benchmark of end-to-end engine throughput (the kernel
+//! view of Figure 4) on a 1 MiB ISCX-like sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpm_bench::engines::{build_engine, EngineKind, Platform};
+use mpm_patterns::synthetic::{RulesetSpec, SyntheticRuleset};
+use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+
+const TRACE_LEN: usize = 1 << 20;
+
+fn bench_engines(c: &mut Criterion) {
+    // A reduced ruleset keeps the Aho-Corasick DFA build time reasonable
+    // inside Criterion's many iterations; the fig4 binary uses the full sets.
+    let ruleset = SyntheticRuleset::generate(RulesetSpec {
+        total_patterns: 1_000,
+        ..RulesetSpec::snort_s1()
+    });
+    let set = ruleset.http();
+    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
+
+    let mut group = c.benchmark_group("engines");
+    group.throughput(Throughput::Bytes(trace.len() as u64));
+    group.sample_size(20);
+    for kind in EngineKind::ALL {
+        let engine = build_engine(kind, &set, Platform::Haswell);
+        group.bench_function(BenchmarkId::new("count", kind.label()), |b| {
+            b.iter(|| engine.count(&trace))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

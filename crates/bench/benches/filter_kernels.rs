@@ -1,0 +1,57 @@
+//! Criterion micro-benchmark of the filtering round across SIMD backends
+//! (the kernel view of Figure 6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpm_patterns::SyntheticRuleset;
+use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend};
+use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+use mpm_vpatch::{FilterOnlyMode, SPatch, Scratch, VPatch};
+
+const TRACE_LEN: usize = 1 << 20; // 1 MiB
+
+fn workload() -> (mpm_patterns::PatternSet, Vec<u8>) {
+    let set = SyntheticRuleset::snort_like_s1().http();
+    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
+    (set, trace)
+}
+
+fn bench_filtering(c: &mut Criterion) {
+    let (set, trace) = workload();
+    let mut group = c.benchmark_group("filter_round");
+    group.throughput(Throughput::Bytes(trace.len() as u64));
+
+    let spatch = SPatch::build(&set);
+    group.bench_function(BenchmarkId::new("spatch", "scalar"), |b| {
+        let mut scratch = Scratch::with_capacity_for(trace.len());
+        b.iter(|| {
+            scratch.clear();
+            spatch.filter_round(&trace, &mut scratch);
+            scratch.candidates()
+        })
+    });
+
+    let vp_scalar = VPatch::<ScalarBackend, 8>::build(&set);
+    group.bench_function(BenchmarkId::new("vpatch", "scalar8"), |b| {
+        let mut scratch = Scratch::with_capacity_for(trace.len());
+        b.iter(|| vp_scalar.filter_only(&trace, FilterOnlyMode::WithStores, &mut scratch))
+    });
+
+    if <Avx2Backend as VectorBackend<8>>::is_available() {
+        let vp = VPatch::<Avx2Backend, 8>::build(&set);
+        group.bench_function(BenchmarkId::new("vpatch", "avx2"), |b| {
+            let mut scratch = Scratch::with_capacity_for(trace.len());
+            b.iter(|| vp.filter_only(&trace, FilterOnlyMode::WithStores, &mut scratch))
+        });
+    }
+    if <Avx512Backend as VectorBackend<16>>::is_available() {
+        let vp = VPatch::<Avx512Backend, 16>::build(&set);
+        group.bench_function(BenchmarkId::new("vpatch", "avx512"), |b| {
+            let mut scratch = Scratch::with_capacity_for(trace.len());
+            b.iter(|| vp.filter_only(&trace, FilterOnlyMode::WithStores, &mut scratch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filtering);
+criterion_main!(benches);

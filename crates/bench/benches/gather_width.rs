@@ -1,0 +1,49 @@
+//! Ablation: vector width (8 vs 16 lanes), hardware vs emulated gathers, and
+//! the cost of storing candidates, on the V-PATCH filtering kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpm_patterns::SyntheticRuleset;
+use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend};
+use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+use mpm_vpatch::{FilterOnlyMode, Scratch, VPatch};
+
+const TRACE_LEN: usize = 1 << 20;
+
+fn bench_width(c: &mut Criterion) {
+    let set = SyntheticRuleset::snort_like_s1().http();
+    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
+    let mut group = c.benchmark_group("gather_width");
+    group.throughput(Throughput::Bytes(trace.len() as u64));
+
+    for mode in [FilterOnlyMode::WithStores, FilterOnlyMode::NoStores] {
+        let label = |name: &str| format!("{name}/{mode:?}");
+        let vp8 = VPatch::<ScalarBackend, 8>::build(&set);
+        group.bench_function(BenchmarkId::new("scalar", label("w8")), |b| {
+            let mut scratch = Scratch::with_capacity_for(trace.len());
+            b.iter(|| vp8.filter_only(&trace, mode, &mut scratch))
+        });
+        let vp16 = VPatch::<ScalarBackend, 16>::build(&set);
+        group.bench_function(BenchmarkId::new("scalar", label("w16")), |b| {
+            let mut scratch = Scratch::with_capacity_for(trace.len());
+            b.iter(|| vp16.filter_only(&trace, mode, &mut scratch))
+        });
+        if <Avx2Backend as VectorBackend<8>>::is_available() {
+            let vp = VPatch::<Avx2Backend, 8>::build(&set);
+            group.bench_function(BenchmarkId::new("avx2", label("w8")), |b| {
+                let mut scratch = Scratch::with_capacity_for(trace.len());
+                b.iter(|| vp.filter_only(&trace, mode, &mut scratch))
+            });
+        }
+        if <Avx512Backend as VectorBackend<16>>::is_available() {
+            let vp = VPatch::<Avx512Backend, 16>::build(&set);
+            group.bench_function(BenchmarkId::new("avx512", label("w16")), |b| {
+                let mut scratch = Scratch::with_capacity_for(trace.len());
+                b.iter(|| vp.filter_only(&trace, mode, &mut scratch))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_width);
+criterion_main!(benches);

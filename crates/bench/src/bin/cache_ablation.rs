@@ -1,0 +1,16 @@
+//! Cache-locality ablation: replays the engines' data-structure accesses
+//! through Haswell-like and Xeon-Phi-like cache hierarchies, reproducing the
+//! paper's §II-B (DFC ≪ AC misses) and §V-E (no L3 on Phi hurts DFC's
+//! verification) observations.
+
+use mpm_bench::{experiments, report, Options};
+
+fn main() {
+    let options = Options::from_env();
+    let figure = experiments::run_cache_ablation(&options);
+    if options.json {
+        println!("{}", report::to_json(&figure));
+    } else {
+        print!("{}", report::render_cache(&figure));
+    }
+}

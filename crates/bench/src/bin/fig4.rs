@@ -1,0 +1,17 @@
+//! Reproduces Figure 4 (a/b): overall throughput of the five algorithms on
+//! the four traces, Haswell vector width (8 lanes).
+//!
+//! `--ruleset s1` → Figure 4a, `--ruleset s2` → Figure 4b.
+
+use mpm_bench::engines::Platform;
+use mpm_bench::{experiments, report, Options};
+
+fn main() {
+    let options = Options::from_env();
+    let figure = experiments::run_throughput_figure(&options, Platform::Haswell);
+    if options.json {
+        println!("{}", report::to_json(&figure));
+    } else {
+        print!("{}", report::render_throughput(&figure));
+    }
+}

@@ -1,0 +1,17 @@
+//! Reproduces Figure 6 (a/b/c): throughput of the filtering phase in
+//! isolation — S-PATCH filtering, V-PATCH filtering including candidate
+//! stores, and pure V-PATCH filtering.
+//!
+//! `--ruleset s1|s2|full` selects sub-figure 6a/6b/6c.
+
+use mpm_bench::{experiments, report, Options};
+
+fn main() {
+    let options = Options::from_env();
+    let figure = experiments::run_filtering_only(&options);
+    if options.json {
+        println!("{}", report::to_json(&figure));
+    } else {
+        print!("{}", report::render_filtering(&figure));
+    }
+}

@@ -1,0 +1,35 @@
+//! Benchmark harness reproducing every figure of the paper's evaluation.
+//!
+//! The harness is organised as a library (so integration tests can exercise
+//! it at reduced sizes) plus one binary per figure:
+//!
+//! | binary | paper figure | what it prints |
+//! |---|---|---|
+//! | `fig4`  | Fig. 4a / 4b | throughput (Gbps) of AC, DFC, Vector-DFC, S-PATCH, V-PATCH on the four traces, plus speedups vs DFC |
+//! | `fig5a` | Fig. 5a | S-PATCH / V-PATCH throughput and V/S speedup vs number of patterns |
+//! | `fig5b` | Fig. 5b | filtering-time share and useful-lane share vs number of patterns |
+//! | `fig5c` | Fig. 5c | V/S speedup vs fraction of matching input |
+//! | `fig6`  | Fig. 6a/6b/6c | filtering-phase-only throughput (S-PATCH, V-PATCH ± stores) |
+//! | `fig7`  | Fig. 7a / 7b | the Figure-4 experiment at the Xeon-Phi vector width (16 lanes) |
+//! | `cache_ablation` | §II-B & §V-E claims | simulated cache misses of AC / DFC / V-PATCH on Haswell- and Phi-like hierarchies |
+//!
+//! Run e.g. `cargo run --release -p mpm-bench --bin fig4 -- --ruleset s1`.
+//! Sizes are scaled down from the paper's 1 GB traces by default so a full
+//! figure takes seconds, not hours; use `--mb <N>` and `--runs <N>` to crank
+//! them up (results are throughput-normalised, so the shape is unchanged).
+//!
+//! Criterion micro-benchmarks for the hot kernels live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod engines;
+pub mod experiments;
+pub mod measure;
+pub mod options;
+pub mod report;
+pub mod workload;
+
+pub use engines::EngineKind;
+pub use measure::{measure_throughput, Measurement};
+pub use options::Options;
+pub use workload::{RulesetChoice, Workload};

@@ -1,0 +1,125 @@
+//! Workload construction: rulesets and traces for the experiments.
+
+use mpm_patterns::{PatternSet, SyntheticRuleset};
+use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+
+/// Which of the paper's rulesets to emulate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RulesetChoice {
+    /// Snort-like S1: ~2,500 patterns, HTTP selection ≈ 2K.
+    S1,
+    /// ET-open-like S2: ~20,000 patterns, HTTP selection ≈ 9K.
+    S2,
+    /// The full 20K pattern set (Figure 6c and the Figure 5 sweeps).
+    Full,
+}
+
+impl RulesetChoice {
+    /// Label used in figure headers, mirroring the paper's captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            RulesetChoice::S1 => "Snort web traffic patterns (~2K)",
+            RulesetChoice::S2 => "ET open web traffic patterns (~9K)",
+            RulesetChoice::Full => "Full pattern set (~20K)",
+        }
+    }
+}
+
+/// A fully materialised workload: the pattern selection to match and the
+/// traces to run it against.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The pattern set handed to the engines.
+    pub patterns: PatternSet,
+    /// The full generated ruleset (for subset sweeps).
+    pub full_ruleset: PatternSet,
+    /// `(trace kind, payload bytes)` pairs, in the paper's presentation
+    /// order.
+    pub traces: Vec<(TraceKind, Vec<u8>)>,
+}
+
+impl Workload {
+    /// Builds the workload for one ruleset choice.
+    ///
+    /// `trace_mib` controls the size of every generated trace. The paper uses
+    /// 1 GB (ISCX) / 300 MB (DARPA) captures; the default harness sizes are
+    /// far smaller because throughput is size-normalised.
+    pub fn build(choice: RulesetChoice, trace_mib: usize) -> Self {
+        Self::build_with_traces(choice, trace_mib, &TraceKind::ALL)
+    }
+
+    /// Builds the workload restricted to the given traces (the Figure 6
+    /// experiments only use the three realistic traces).
+    pub fn build_with_traces(
+        choice: RulesetChoice,
+        trace_mib: usize,
+        kinds: &[TraceKind],
+    ) -> Self {
+        let ruleset = match choice {
+            RulesetChoice::S1 => SyntheticRuleset::snort_like_s1(),
+            RulesetChoice::S2 | RulesetChoice::Full => SyntheticRuleset::et_open_like_s2(),
+        };
+        let patterns = match choice {
+            RulesetChoice::S1 | RulesetChoice::S2 => ruleset.http(),
+            RulesetChoice::Full => ruleset.full().clone(),
+        };
+        let len = trace_mib * 1024 * 1024;
+        let traces = kinds
+            .iter()
+            .map(|&kind| {
+                let spec = TraceSpec::new(kind, len);
+                (kind, TraceGenerator::generate(&spec, Some(&patterns)))
+            })
+            .collect();
+        Workload {
+            patterns,
+            full_ruleset: ruleset.full().clone(),
+            traces,
+        }
+    }
+
+    /// A deterministic subset of the *full* ruleset with `n` patterns, used
+    /// by the pattern-count sweeps (Figure 5a/5b).
+    pub fn pattern_subset(&self, n: usize) -> PatternSet {
+        self.full_ruleset.random_subset(n, 0x5eed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s1_workload_has_about_2k_http_patterns() {
+        let w = Workload::build(RulesetChoice::S1, 1);
+        assert!((1_800..=2_300).contains(&w.patterns.len()), "{}", w.patterns.len());
+        assert_eq!(w.traces.len(), 4);
+        for (_, t) in &w.traces {
+            assert_eq!(t.len(), 1024 * 1024);
+        }
+    }
+
+    #[test]
+    fn full_workload_uses_all_20k_patterns() {
+        let w = Workload::build_with_traces(RulesetChoice::Full, 1, &[TraceKind::IscxDay2]);
+        assert_eq!(w.patterns.len(), 20_000);
+        assert_eq!(w.traces.len(), 1);
+    }
+
+    #[test]
+    fn pattern_subsets_are_nested_and_deterministic() {
+        let w = Workload::build_with_traces(RulesetChoice::S1, 1, &[TraceKind::Random]);
+        let a = w.pattern_subset(100);
+        let b = w.pattern_subset(100);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert_eq!(w.pattern_subset(1_000).len(), 1_000);
+    }
+
+    #[test]
+    fn labels_cover_all_choices() {
+        assert!(RulesetChoice::S1.label().contains("2K"));
+        assert!(RulesetChoice::S2.label().contains("9K"));
+        assert!(RulesetChoice::Full.label().contains("20K"));
+    }
+}

@@ -1,0 +1,30 @@
+//! Cache-hierarchy simulator used for the locality analysis of the matching
+//! engines.
+//!
+//! The paper's core argument is about *where the data lives*:
+//!
+//! * Aho-Corasick's dense state-transition table grows far beyond L2/L3 with
+//!   realistic rulesets, so its per-byte lookups miss the cache
+//!   (§II-A; DFC is reported to take up to 3.8× fewer cache misses);
+//! * DFC / S-PATCH / V-PATCH keep their *filters* in L1/L2 and only touch
+//!   the large verification tables for the few positions that pass the
+//!   filters;
+//! * on Xeon-Phi there is **no L3**, so DFC's verification accesses go to
+//!   device memory — which is why DFC can be slower than Aho-Corasick on
+//!   real traffic there (§V-E), while V-PATCH's better filtering keeps it
+//!   ahead.
+//!
+//! We cannot measure the authors' hardware counters, so this crate replays
+//! the engines' *data-structure access streams* through a configurable
+//! set-associative, LRU, multi-level cache model ([`CacheSim`]) with
+//! Haswell-like and Xeon-Phi-like configurations, and reports per-level hits
+//! and misses ([`CacheReport`]). The `cache_ablation` bench binary turns
+//! these into the paper's qualitative claims.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod replay;
+
+pub use model::{CacheConfig, CacheReport, CacheSim, HitLevel, LevelConfig};
+pub use replay::{replay_aho_corasick, replay_dfc, replay_vpatch, ReplayOutcome};

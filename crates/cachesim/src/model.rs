@@ -1,0 +1,348 @@
+//! The set-associative, LRU, multi-level cache model.
+
+use serde::Serialize;
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelConfig {
+    /// Total capacity in bytes.
+    pub size: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+}
+
+impl LevelConfig {
+    /// Creates a level configuration.
+    pub const fn new(size: usize, associativity: usize) -> Self {
+        LevelConfig { size, associativity }
+    }
+}
+
+/// A full hierarchy configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Display name (used in reports).
+    pub name: &'static str,
+    /// Cache line size in bytes.
+    pub line_size: usize,
+    /// L1 data cache.
+    pub l1: LevelConfig,
+    /// L2 cache.
+    pub l2: LevelConfig,
+    /// L3 cache, if the platform has one.
+    pub l3: Option<LevelConfig>,
+}
+
+impl CacheConfig {
+    /// The paper's Haswell platform: 32 KB L1d, 256 KB L2, 35 MB L3,
+    /// 64-byte lines.
+    pub const fn haswell() -> Self {
+        CacheConfig {
+            name: "haswell",
+            line_size: 64,
+            l1: LevelConfig::new(32 * 1024, 8),
+            l2: LevelConfig::new(256 * 1024, 8),
+            l3: Some(LevelConfig::new(35 * 1024 * 1024, 16)),
+        }
+    }
+
+    /// The paper's Xeon-Phi 3120: 32 KB L1d, 512 KB L2 per core, **no L3**.
+    pub const fn xeon_phi() -> Self {
+        CacheConfig {
+            name: "xeon-phi",
+            line_size: 64,
+            l1: LevelConfig::new(32 * 1024, 8),
+            l2: LevelConfig::new(512 * 1024, 8),
+            l3: None,
+        }
+    }
+}
+
+/// Which level served an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitLevel {
+    /// Served from L1.
+    L1,
+    /// Served from L2.
+    L2,
+    /// Served from L3.
+    L3,
+    /// Missed the whole hierarchy (DRAM / device memory).
+    Memory,
+}
+
+/// One set-associative level with LRU replacement.
+#[derive(Clone, Debug)]
+struct Level {
+    sets: Vec<Vec<u64>>, // per set: tags in LRU order (front = most recent)
+    ways: usize,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl Level {
+    fn new(config: LevelConfig, line_size: usize) -> Self {
+        let lines = config.size / line_size;
+        // Round the set count down to a power of two so the index mask is a
+        // simple AND; real capacities that are not powers of two (e.g. a
+        // 35 MB L3) are modelled slightly conservatively.
+        let raw_sets = (lines / config.associativity).max(1);
+        let sets = 1usize << raw_sets.ilog2();
+        Level {
+            sets: vec![Vec::with_capacity(config.associativity); sets],
+            ways: config.associativity,
+            set_shift: line_size.trailing_zeros(),
+            set_mask: (sets - 1) as u64,
+        }
+    }
+
+    /// Returns true on hit; on miss the line is installed (allocate-on-miss).
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.set_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU position.
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            set.insert(0, tag);
+            if set.len() > self.ways {
+                set.pop();
+            }
+            false
+        }
+    }
+}
+
+/// Per-level access counts for one replay.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheReport {
+    /// Total accesses issued.
+    pub accesses: u64,
+    /// Accesses served by L1.
+    pub l1_hits: u64,
+    /// Accesses served by L2.
+    pub l2_hits: u64,
+    /// Accesses served by L3.
+    pub l3_hits: u64,
+    /// Accesses that reached memory.
+    pub memory_accesses: u64,
+}
+
+impl CacheReport {
+    /// Accesses that missed L1 (the paper's headline "cache misses" metric
+    /// compares L1-miss counts between algorithms).
+    pub fn l1_misses(&self) -> u64 {
+        self.accesses - self.l1_hits
+    }
+
+    /// Accesses that missed the last cache level and had to go to memory.
+    pub fn llc_misses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// L1 miss ratio in `[0, 1]`.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.l1_misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A multi-level cache simulator.
+#[derive(Clone, Debug)]
+pub struct CacheSim {
+    config: CacheConfig,
+    l1: Level,
+    l2: Level,
+    l3: Option<Level>,
+    report: CacheReport,
+}
+
+impl CacheSim {
+    /// Creates a simulator for `config`.
+    pub fn new(config: CacheConfig) -> Self {
+        CacheSim {
+            l1: Level::new(config.l1, config.line_size),
+            l2: Level::new(config.l2, config.line_size),
+            l3: config.l3.map(|c| Level::new(c, config.line_size)),
+            config,
+            report: CacheReport::default(),
+        }
+    }
+
+    /// The configuration this simulator models.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Simulates one data access at byte address `addr` and returns the level
+    /// that served it. All levels on the path allocate the line (inclusive
+    /// hierarchy, allocate-on-miss).
+    pub fn access(&mut self, addr: u64) -> HitLevel {
+        self.report.accesses += 1;
+        if self.l1.access(addr) {
+            self.report.l1_hits += 1;
+            return HitLevel::L1;
+        }
+        if self.l2.access(addr) {
+            self.report.l2_hits += 1;
+            return HitLevel::L2;
+        }
+        if let Some(l3) = &mut self.l3 {
+            if l3.access(addr) {
+                self.report.l3_hits += 1;
+                return HitLevel::L3;
+            }
+        }
+        self.report.memory_accesses += 1;
+        HitLevel::Memory
+    }
+
+    /// Simulates an access covering `len` bytes starting at `addr` (each
+    /// distinct cache line is accessed once). Returns the slowest level
+    /// touched.
+    pub fn access_range(&mut self, addr: u64, len: usize) -> HitLevel {
+        let line = self.config.line_size as u64;
+        let first = addr / line;
+        let last = (addr + len.max(1) as u64 - 1) / line;
+        let mut worst = HitLevel::L1;
+        for l in first..=last {
+            let level = self.access(l * line);
+            worst = worse(worst, level);
+        }
+        worst
+    }
+
+    /// The accumulated report.
+    pub fn report(&self) -> CacheReport {
+        self.report
+    }
+}
+
+fn rank(level: HitLevel) -> u8 {
+    match level {
+        HitLevel::L1 => 0,
+        HitLevel::L2 => 1,
+        HitLevel::L3 => 2,
+        HitLevel::Memory => 3,
+    }
+}
+
+fn worse(a: HitLevel, b: HitLevel) -> HitLevel {
+    if rank(a) >= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits_l1() {
+        let mut sim = CacheSim::new(CacheConfig::haswell());
+        assert_eq!(sim.access(0x1000), HitLevel::Memory);
+        assert_eq!(sim.access(0x1000), HitLevel::L1);
+        assert_eq!(sim.access(0x1010), HitLevel::L1, "same 64-byte line");
+        let r = sim.report();
+        assert_eq!(r.accesses, 3);
+        assert_eq!(r.l1_hits, 2);
+        assert_eq!(r.memory_accesses, 1);
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_falls_to_l2() {
+        let mut sim = CacheSim::new(CacheConfig::haswell());
+        // 64 KB working set: double the 32 KB L1, fits easily in L2.
+        let addrs: Vec<u64> = (0..1024u64).map(|i| i * 64).collect();
+        for &a in &addrs {
+            sim.access(a);
+        }
+        // Second sweep: everything fits in L2, but only half can be in L1.
+        for &a in &addrs {
+            sim.access(a);
+        }
+        let r = sim.report();
+        assert_eq!(r.memory_accesses, 1024, "first sweep is all cold misses");
+        assert_eq!(r.l1_hits + r.l2_hits, 1024, "second sweep never leaves L2");
+        assert!(r.l2_hits > 0);
+    }
+
+    #[test]
+    fn phi_config_has_no_l3() {
+        let mut sim = CacheSim::new(CacheConfig::xeon_phi());
+        // Working set of 4 MB: larger than L2 (512 KB), would fit Haswell L3.
+        let addrs: Vec<u64> = (0..65536u64).map(|i| i * 64).collect();
+        for _ in 0..2 {
+            for &a in &addrs {
+                sim.access(a);
+            }
+        }
+        let phi = sim.report();
+        assert_eq!(phi.l3_hits, 0);
+        assert!(phi.memory_accesses > addrs.len() as u64, "second sweep also misses");
+
+        let mut sim = CacheSim::new(CacheConfig::haswell());
+        for _ in 0..2 {
+            for &a in &addrs {
+                sim.access(a);
+            }
+        }
+        let hsw = sim.report();
+        assert!(hsw.l3_hits >= addrs.len() as u64, "Haswell L3 absorbs the second sweep");
+        assert!(hsw.memory_accesses < phi.memory_accesses);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_way() {
+        // Tiny custom config: 4-line, 2-way, 2-set cache → each set holds 2 lines.
+        let config = CacheConfig {
+            name: "tiny",
+            line_size: 64,
+            l1: LevelConfig::new(4 * 64, 2),
+            l2: LevelConfig::new(16 * 64, 2),
+            l3: None,
+        };
+        let mut sim = CacheSim::new(config);
+        // Addresses mapping to the same set (stride = 2 lines * 64 = 128).
+        let a = 0u64;
+        let b = 128;
+        let c = 256;
+        sim.access(a);
+        sim.access(b);
+        sim.access(a); // a is now MRU
+        sim.access(c); // evicts b (LRU)
+        assert_eq!(sim.access(a), HitLevel::L1);
+        assert_ne!(sim.access(b), HitLevel::L1, "b was evicted");
+    }
+
+    #[test]
+    fn access_range_touches_every_line() {
+        let mut sim = CacheSim::new(CacheConfig::haswell());
+        // 200 bytes spanning 4 lines starting mid-line.
+        sim.access_range(60, 200);
+        assert_eq!(sim.report().accesses, 5);
+    }
+
+    #[test]
+    fn report_invariants() {
+        let mut sim = CacheSim::new(CacheConfig::haswell());
+        for i in 0..10_000u64 {
+            sim.access((i * 37) % 100_000);
+        }
+        let r = sim.report();
+        assert_eq!(
+            r.accesses,
+            r.l1_hits + r.l2_hits + r.l3_hits + r.memory_accesses
+        );
+        assert!(r.l1_miss_ratio() >= 0.0 && r.l1_miss_ratio() <= 1.0);
+    }
+}

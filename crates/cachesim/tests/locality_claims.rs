@@ -1,0 +1,120 @@
+//! Integration tests reproducing the paper's qualitative cache-locality
+//! claims with the cache simulator.
+
+use mpm_aho_corasick::DfaMatcher;
+use mpm_cachesim::{replay_aho_corasick, replay_dfc, replay_vpatch, CacheConfig, CacheSim};
+use mpm_dfc::Dfc;
+use mpm_patterns::synthetic::{RulesetSpec, SyntheticRuleset};
+use mpm_patterns::Matcher;
+use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+use mpm_vpatch::SPatch;
+use proptest::prelude::*;
+
+fn workload() -> (mpm_patterns::PatternSet, Vec<u8>) {
+    let rs = SyntheticRuleset::generate(RulesetSpec {
+        total_patterns: 1_500,
+        http_fraction: 0.8,
+        short_fraction: 0.12,
+        seed: 77,
+    });
+    let set = rs.http();
+    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, 300_000), Some(&set));
+    (set, trace)
+}
+
+#[test]
+fn filtering_engines_miss_far_less_than_aho_corasick() {
+    let (set, trace) = workload();
+    let dfa = DfaMatcher::build(&set);
+    let dfc = Dfc::build(&set);
+    let spatch = SPatch::build(&set);
+    let expected = dfa.count(&trace);
+
+    let ac = replay_aho_corasick(&dfa, &trace, CacheConfig::haswell());
+    let dfc_r = replay_dfc(&dfc, &trace, CacheConfig::haswell());
+    let vp = replay_vpatch(&spatch, &trace, CacheConfig::haswell());
+
+    // All replays drive the real engines: same match counts.
+    assert_eq!(ac.matches, expected);
+    assert_eq!(dfc_r.matches, expected);
+    assert_eq!(vp.matches, expected);
+
+    // Paper §II-B: DFC takes up to 3.8x fewer cache misses than AC; here we
+    // only require a clear separation (the exact ratio depends on the trace
+    // and the ruleset size -- the cache_ablation binary reports the ratio).
+    assert!(
+        ac.report.l1_misses() as f64 > 1.4 * dfc_r.report.l1_misses() as f64,
+        "AC L1 misses {} should clearly exceed DFC's {}",
+        ac.report.l1_misses(),
+        dfc_r.report.l1_misses()
+    );
+    assert!(
+        ac.report.l1_miss_ratio() > vp.report.l1_miss_ratio(),
+        "AC miss ratio should exceed V-PATCH's"
+    );
+}
+
+#[test]
+fn phi_without_l3_sends_verification_to_memory() {
+    let (set, trace) = workload();
+    let dfc = Dfc::build(&set);
+    let hsw = replay_dfc(&dfc, &trace, CacheConfig::haswell());
+    let phi = replay_dfc(&dfc, &trace, CacheConfig::xeon_phi());
+    // Paper §V-E: on Xeon-Phi the hash tables cannot live in an L3, so
+    // accesses that Haswell serves from L3 go to device memory.
+    assert!(
+        phi.report.memory_accesses > hsw.report.memory_accesses,
+        "phi memory accesses {} vs haswell {}",
+        phi.report.memory_accesses,
+        hsw.report.memory_accesses
+    );
+    assert_eq!(phi.report.l3_hits, 0);
+}
+
+#[test]
+fn vpatch_touches_memory_less_often_than_dfc_on_phi() {
+    let (set, trace) = workload();
+    let dfc = Dfc::build(&set);
+    let spatch = SPatch::build(&set);
+    let dfc_phi = replay_dfc(&dfc, &trace, CacheConfig::xeon_phi());
+    let vp_phi = replay_vpatch(&spatch, &trace, CacheConfig::xeon_phi());
+    // The improved filtering reduces how often verification (device memory on
+    // Phi) is reached — the reason V-PATCH stays ahead there (§V-E).
+    assert!(
+        vp_phi.report.memory_accesses < dfc_phi.report.memory_accesses,
+        "V-PATCH {} vs DFC {}",
+        vp_phi.report.memory_accesses,
+        dfc_phi.report.memory_accesses
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn report_counts_are_consistent(addrs in proptest::collection::vec(0u64..10_000_000, 1..2_000)) {
+        let mut sim = CacheSim::new(CacheConfig::haswell());
+        for &a in &addrs {
+            sim.access(a);
+        }
+        let r = sim.report();
+        prop_assert_eq!(r.accesses as usize, addrs.len());
+        prop_assert_eq!(r.accesses, r.l1_hits + r.l2_hits + r.l3_hits + r.memory_accesses);
+    }
+
+    #[test]
+    fn second_pass_over_small_working_set_is_all_l1(addrs in proptest::collection::vec(0u64..16_384, 1..500)) {
+        let mut sim = CacheSim::new(CacheConfig::haswell());
+        for &a in &addrs {
+            sim.access(a);
+        }
+        let before = sim.report();
+        for &a in &addrs {
+            sim.access(a);
+        }
+        let after = sim.report();
+        // 16 KB working set fits in L1: the second pass adds only L1 hits.
+        prop_assert_eq!(after.memory_accesses, before.memory_accesses);
+        prop_assert_eq!(after.l1_hits - before.l1_hits, addrs.len() as u64);
+    }
+}

@@ -1,0 +1,85 @@
+//! Reusable per-scan scratch state: the temporary candidate arrays of
+//! Algorithm 1 / Algorithm 2 plus the instrumentation counters.
+//!
+//! The engines never allocate inside the filtering loop; all growth happens
+//! in these vectors, which callers can reuse across chunks of a stream
+//! (`Scratch::clear` keeps the capacity). The counters feed Figure 5b
+//! (filtering-time ratio, useful-lane occupancy) and the EXPERIMENTS.md
+//! analysis.
+
+/// Temporary arrays and counters for one scan.
+#[derive(Clone, Debug, Default)]
+pub struct Scratch {
+    /// Candidate positions for short patterns (`A_short` in the paper).
+    pub a_short: Vec<u32>,
+    /// Candidate positions for long patterns (`A_long` in the paper).
+    pub a_long: Vec<u32>,
+    /// Number of vector blocks in which the third filter was evaluated.
+    pub filter3_blocks: u64,
+    /// Total lanes that were genuinely active (had passed filter 2) over all
+    /// third-filter evaluations.
+    pub useful_lanes: u64,
+    /// Nanoseconds spent in the filtering round of the last scan.
+    pub filter_nanos: u64,
+    /// Nanoseconds spent in the verification round of the last scan.
+    pub verify_nanos: u64,
+}
+
+impl Scratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch with capacity hints derived from the input length
+    /// (a few percent of positions typically become candidates on realistic
+    /// traffic).
+    pub fn with_capacity_for(input_len: usize) -> Self {
+        Scratch {
+            a_short: Vec::with_capacity(input_len / 32 + 16),
+            a_long: Vec::with_capacity(input_len / 32 + 16),
+            ..Scratch::default()
+        }
+    }
+
+    /// Clears candidates and counters but keeps allocated capacity.
+    pub fn clear(&mut self) {
+        self.a_short.clear();
+        self.a_long.clear();
+        self.filter3_blocks = 0;
+        self.useful_lanes = 0;
+        self.filter_nanos = 0;
+        self.verify_nanos = 0;
+    }
+
+    /// Total candidate positions recorded by the filtering round.
+    pub fn candidates(&self) -> u64 {
+        (self.a_short.len() + self.a_long.len()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = Scratch::with_capacity_for(64 * 1024);
+        let cap_short = s.a_short.capacity();
+        s.a_short.extend_from_slice(&[1, 2, 3]);
+        s.a_long.push(9);
+        s.filter3_blocks = 5;
+        s.clear();
+        assert_eq!(s.candidates(), 0);
+        assert_eq!(s.filter3_blocks, 0);
+        assert!(s.a_short.capacity() >= cap_short);
+    }
+
+    #[test]
+    fn candidates_counts_both_arrays() {
+        let mut s = Scratch::new();
+        s.a_short.extend_from_slice(&[1, 2]);
+        s.a_long.extend_from_slice(&[3, 4, 5]);
+        assert_eq!(s.candidates(), 5);
+    }
+}

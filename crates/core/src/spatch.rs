@@ -1,0 +1,233 @@
+//! S-PATCH: the scalar, vectorization-friendly two-round engine
+//! (Algorithm 1 of the paper).
+
+use crate::scratch::Scratch;
+use crate::tables::SPatchTables;
+use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
+use std::time::Instant;
+
+/// Scalar S-PATCH engine.
+#[derive(Clone, Debug)]
+pub struct SPatch {
+    tables: SPatchTables,
+}
+
+impl SPatch {
+    /// Compiles S-PATCH for `set`.
+    pub fn build(set: &PatternSet) -> Self {
+        SPatch {
+            tables: SPatchTables::build(set),
+        }
+    }
+
+    /// Builds from already-compiled tables (shared with V-PATCH in the
+    /// benchmark harness so both engines use byte-identical filters).
+    pub fn from_tables(tables: SPatchTables) -> Self {
+        SPatch { tables }
+    }
+
+    /// The compiled tables.
+    pub fn tables(&self) -> &SPatchTables {
+        &self.tables
+    }
+
+    /// **Filtering round** (lines 3–14 of Algorithm 1): sweeps the input
+    /// through filters 1–3 and records candidate positions in
+    /// `scratch.a_short` / `scratch.a_long`.
+    pub fn filter_round(&self, haystack: &[u8], scratch: &mut Scratch) {
+        let t = &self.tables;
+        let n = haystack.len();
+        if n == 0 {
+            return;
+        }
+        assert!(n < u32::MAX as usize, "scan chunks must be smaller than 4 GiB");
+        for i in 0..n - 1 {
+            let window = u16::from_le_bytes([haystack[i], haystack[i + 1]]);
+            if t.has_short && t.filter1.contains(window) {
+                scratch.a_short.push(i as u32);
+            }
+            if t.has_long && t.filter2.contains(window) && i + 4 <= n {
+                let window4 = u32::from_le_bytes([
+                    haystack[i],
+                    haystack[i + 1],
+                    haystack[i + 2],
+                    haystack[i + 3],
+                ]);
+                if t.filter3.contains(window4) {
+                    scratch.a_long.push(i as u32);
+                }
+            }
+        }
+        // The final byte has no 2-byte window; only 1-byte patterns can start
+        // there, so it goes straight to the short candidate array.
+        if t.has_short {
+            scratch.a_short.push((n - 1) as u32);
+        }
+    }
+
+    /// **Verification round** (lines 15–20 of Algorithm 1): replays the
+    /// candidate arrays against the compact hash tables and appends confirmed
+    /// matches to `out`. Returns the number of pattern comparisons performed.
+    pub fn verify_round(
+        &self,
+        haystack: &[u8],
+        scratch: &Scratch,
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        let v = self.tables.verifier();
+        let mut comparisons = 0u64;
+        for &pos in &scratch.a_short {
+            comparisons += v.verify_short(haystack, pos as usize, out) as u64;
+        }
+        for &pos in &scratch.a_long {
+            comparisons += v.verify_long(haystack, pos as usize, out) as u64;
+        }
+        comparisons
+    }
+
+    /// Full scan reusing caller-provided scratch (no allocation in the steady
+    /// state). Phase timings are recorded into the scratch counters.
+    pub fn scan_with_scratch(
+        &self,
+        haystack: &[u8],
+        scratch: &mut Scratch,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        scratch.clear();
+        let t0 = Instant::now();
+        self.filter_round(haystack, scratch);
+        let t1 = Instant::now();
+        self.verify_round(haystack, scratch, out);
+        let t2 = Instant::now();
+        scratch.filter_nanos = (t1 - t0).as_nanos() as u64;
+        scratch.verify_nanos = (t2 - t1).as_nanos() as u64;
+    }
+}
+
+impl Matcher for SPatch {
+    fn name(&self) -> &'static str {
+        "S-PATCH"
+    }
+
+    fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        let mut scratch = Scratch::with_capacity_for(haystack.len());
+        self.filter_round(haystack, &mut scratch);
+        self.verify_round(haystack, &scratch, out);
+    }
+
+    fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
+        let mut scratch = Scratch::with_capacity_for(haystack.len());
+        let mut out = Vec::new();
+        self.scan_with_scratch(haystack, &mut scratch, &mut out);
+        MatcherStats {
+            bytes_scanned: haystack.len() as u64,
+            candidates: scratch.candidates(),
+            matches: out.len() as u64,
+            filter_nanos: scratch.filter_nanos,
+            verify_nanos: scratch.verify_nanos,
+            ..MatcherStats::default()
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.tables.filter_bytes() + self.tables.table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::naive::naive_find_all;
+    use mpm_patterns::synthetic::{RulesetSpec, SyntheticRuleset};
+
+    fn mixed_set() -> PatternSet {
+        PatternSet::from_literals(&[
+            "a", "ab", "GET", "abcd", "attribute", "attack", "/etc/passwd", "xyz",
+        ])
+    }
+
+    #[test]
+    fn matches_naive_on_mixed_lengths_and_overlaps() {
+        let set = mixed_set();
+        let engine = SPatch::build(&set);
+        let hay = b"GET /etc/passwd?attr=attribute attack aabcdxyz a";
+        assert_eq!(engine.find_all(hay), naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn empty_and_single_byte_inputs() {
+        let set = mixed_set();
+        let engine = SPatch::build(&set);
+        assert!(engine.find_all(b"").is_empty());
+        assert_eq!(engine.find_all(b"a"), naive_find_all(&set, b"a"));
+        assert_eq!(engine.find_all(b"ab"), naive_find_all(&set, b"ab"));
+    }
+
+    #[test]
+    fn filter_round_never_misses_a_true_candidate() {
+        // Exactness depends on the filtering round being a superset of the
+        // true match positions; check it directly.
+        let set = mixed_set();
+        let engine = SPatch::build(&set);
+        let hay = b"zzzGET /etc/passwd attack attribute ab a\x00\xffabcd";
+        let mut scratch = Scratch::new();
+        engine.filter_round(hay, &mut scratch);
+        for m in naive_find_all(&set, hay) {
+            let len = set.get(m.pattern).len();
+            let arr = if len < 4 { &scratch.a_short } else { &scratch.a_long };
+            assert!(
+                arr.contains(&(m.start as u32)),
+                "candidate for match {m:?} missing from the filter output"
+            );
+        }
+    }
+
+    #[test]
+    fn two_rounds_are_separated_and_timed() {
+        let set = mixed_set();
+        let engine = SPatch::build(&set);
+        let hay: Vec<u8> = b"GET /etc/passwd attack ".repeat(2000);
+        let stats = engine.scan_with_stats(&hay);
+        assert!(stats.filter_nanos > 0);
+        assert!(stats.verify_nanos > 0);
+        assert!(stats.candidates > 0);
+        assert_eq!(stats.matches, naive_find_all(&set, &hay).len() as u64);
+    }
+
+    #[test]
+    fn scratch_reuse_across_scans_gives_identical_results() {
+        let set = mixed_set();
+        let engine = SPatch::build(&set);
+        let mut scratch = Scratch::new();
+        let inputs: Vec<&[u8]> = vec![b"GET abcd", b"no hits here!!", b"attack attribute"];
+        for hay in inputs {
+            let mut out = Vec::new();
+            engine.scan_with_scratch(hay, &mut scratch, &mut out);
+            mpm_patterns::matcher::normalize_matches(&mut out);
+            assert_eq!(out, naive_find_all(&set, hay));
+        }
+    }
+
+    #[test]
+    fn only_long_patterns_set_skips_short_work() {
+        let set = PatternSet::from_literals(&["abcdef", "ghijkl"]);
+        let engine = SPatch::build(&set);
+        let mut scratch = Scratch::new();
+        engine.filter_round(b"xxabcdefxx", &mut scratch);
+        assert!(scratch.a_short.is_empty());
+        assert!(!scratch.a_long.is_empty());
+    }
+
+    #[test]
+    fn synthetic_ruleset_equivalence() {
+        let rs = SyntheticRuleset::generate(RulesetSpec::tiny(300, 17));
+        let set = rs.http();
+        let engine = SPatch::build(&set);
+        let mut hay = Vec::new();
+        for (_, p) in set.iter().take(40) {
+            hay.extend_from_slice(b"GET /index.html ");
+            hay.extend_from_slice(p.bytes());
+        }
+        assert_eq!(engine.find_all(&hay), naive_find_all(&set, &hay));
+    }
+}

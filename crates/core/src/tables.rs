@@ -1,0 +1,151 @@
+//! The compiled filter/table state shared by S-PATCH and V-PATCH.
+
+use mpm_patterns::PatternSet;
+use mpm_verify::{DirectFilter, HashedFilter, MergedDirectFilters, Verifier};
+
+/// Everything S-PATCH / V-PATCH precompute from a pattern set
+/// (Figure 1 of the paper).
+#[derive(Clone, Debug)]
+pub struct SPatchTables {
+    /// Filter 1: first two bytes of the short (1–3 byte) patterns.
+    /// 1-byte patterns set every window starting with their byte.
+    pub(crate) filter1: DirectFilter,
+    /// Filter 2: first two bytes of the long (≥ 4 byte) patterns.
+    pub(crate) filter2: DirectFilter,
+    /// Filter 3: hashed bitmap over the first four bytes of the long
+    /// patterns.
+    pub(crate) filter3: HashedFilter,
+    /// Filters 1 and 2 interleaved for the single-gather optimisation
+    /// (only V-PATCH reads this).
+    pub(crate) merged: MergedDirectFilters,
+    /// Compact hash tables for the verification round.
+    pub(crate) verifier: Verifier,
+    /// True if the set contains any short pattern (lets the engines skip
+    /// the short path entirely otherwise).
+    pub(crate) has_short: bool,
+    /// True if the set contains any long pattern.
+    pub(crate) has_long: bool,
+    pattern_count: usize,
+}
+
+impl SPatchTables {
+    /// Compiles the filters and verification tables for `set` using the
+    /// default filter-3 size ([`HashedFilter::DEFAULT_BITS`]).
+    pub fn build(set: &PatternSet) -> Self {
+        Self::build_with_filter3_bits(set, HashedFilter::DEFAULT_BITS)
+    }
+
+    /// Compiles with an explicit filter-3 size (2^bits bits). Exposed for the
+    /// filter-size ablation benchmark: the paper notes the trade-off between
+    /// a large filter (fewer collisions ⇒ better filtering rate) and a small
+    /// one (fits higher in the cache hierarchy).
+    pub fn build_with_filter3_bits(set: &PatternSet, filter3_bits: u32) -> Self {
+        let is_short = |p: &mpm_patterns::Pattern| p.len() < 4;
+        let is_long = |p: &mpm_patterns::Pattern| p.len() >= 4;
+        let filter1 = DirectFilter::build(set, is_short);
+        let filter2 = DirectFilter::build(set, is_long);
+        let filter3 = HashedFilter::build(set, filter3_bits, is_long);
+        let merged = MergedDirectFilters::merge(&filter1, &filter2);
+        let verifier = Verifier::build(set);
+        let has_short = set.patterns().iter().any(|p| is_short(p));
+        let has_long = set.patterns().iter().any(|p| is_long(p));
+        SPatchTables {
+            filter1,
+            filter2,
+            filter3,
+            merged,
+            verifier,
+            has_short,
+            has_long,
+            pattern_count: set.len(),
+        }
+    }
+
+    /// Number of patterns the tables were built from.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Resident size of the filtering-round structures (must stay cache
+    /// resident for the design to work; the paper sizes them for L1/L2).
+    pub fn filter_bytes(&self) -> usize {
+        // The scalar engine touches filter1 + filter2 + filter3; the vector
+        // engine touches merged + filter3. Report the larger working set.
+        (self.filter1.heap_bytes() + self.filter2.heap_bytes())
+            .max(self.merged.heap_bytes())
+            + self.filter3.heap_bytes()
+    }
+
+    /// Resident size of the verification hash tables.
+    pub fn table_bytes(&self) -> usize {
+        self.verifier.heap_bytes()
+    }
+
+    /// The verification tables (exposed for the cache-simulation
+    /// experiments).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// Filter 1 (short patterns), for inspection and cache replay.
+    pub fn filter1(&self) -> &DirectFilter {
+        &self.filter1
+    }
+
+    /// Filter 2 (long patterns), for inspection and cache replay.
+    pub fn filter2(&self) -> &DirectFilter {
+        &self.filter2
+    }
+
+    /// Filter 3 (hashed, long patterns), for inspection and cache replay.
+    pub fn filter3(&self) -> &HashedFilter {
+        &self.filter3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::PatternSet;
+
+    #[test]
+    fn short_long_split_follows_the_four_byte_boundary() {
+        let set = PatternSet::from_literals(&["abc", "abcd"]);
+        let t = SPatchTables::build(&set);
+        assert!(t.has_short);
+        assert!(t.has_long);
+        // "abc" is short: its prefix lives in filter 1 only.
+        assert!(t.filter1.contains(u16::from_le_bytes([b'a', b'b'])));
+        // "abcd" is long: prefix in filter 2 and its 4-byte head in filter 3.
+        assert!(t.filter2.contains(u16::from_le_bytes([b'a', b'b'])));
+        assert!(t.filter3.contains(u32::from_le_bytes(*b"abcd")));
+    }
+
+    #[test]
+    fn filters_fit_in_cache_even_for_large_rulesets() {
+        let lits: Vec<String> = (0..20_000).map(|i| format!("pattern-{i:06}-payload")).collect();
+        let set = PatternSet::from_literals(&lits);
+        let t = SPatchTables::build(&set);
+        // 8 KB + 8 KB direct (or 16 KB merged) + 16 KB hashed ≈ 32 KB:
+        // the whole filtering working set fits in L1d/L2 as the paper requires.
+        assert!(t.filter_bytes() <= 48 * 1024, "got {}", t.filter_bytes());
+        assert!(t.table_bytes() > 256 * 1024);
+        assert_eq!(t.pattern_count(), 20_000);
+    }
+
+    #[test]
+    fn only_short_or_only_long_sets() {
+        let short_only = SPatchTables::build(&PatternSet::from_literals(&["ab", "c"]));
+        assert!(short_only.has_short && !short_only.has_long);
+        let long_only = SPatchTables::build(&PatternSet::from_literals(&["abcd", "efghij"]));
+        assert!(!long_only.has_short && long_only.has_long);
+    }
+
+    #[test]
+    fn filter3_size_is_configurable() {
+        let set = PatternSet::from_literals(&["abcdef"]);
+        let small = SPatchTables::build_with_filter3_bits(&set, 12);
+        let large = SPatchTables::build_with_filter3_bits(&set, 20);
+        assert!(small.filter3().heap_bytes() < large.filter3().heap_bytes());
+    }
+}

@@ -1,0 +1,452 @@
+//! V-PATCH: the vectorized filtering engine (Algorithm 2 of the paper),
+//! generic over the SIMD backend.
+
+use crate::scratch::Scratch;
+use crate::tables::SPatchTables;
+use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
+use mpm_simd::VectorBackend;
+use mpm_verify::HASH_MULTIPLIER;
+use std::marker::PhantomData;
+use std::time::Instant;
+
+/// Which variant of the filtering-only measurement to run
+/// (Figure 6 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FilterOnlyMode {
+    /// Filtering including the cost of storing candidate positions into the
+    /// temporary arrays ("V-PATCH-filtering+stores" in Figure 6).
+    WithStores,
+    /// Pure filtering: lane masks are computed and folded into a checksum but
+    /// candidate positions are not stored ("V-PATCH-filtering").
+    NoStores,
+}
+
+/// V-PATCH engine, generic over the SIMD backend `B` and lane count `W`.
+///
+/// Use the aliases [`crate::VPatchAvx2`] / [`crate::VPatchAvx512`] /
+/// [`crate::VPatchScalar8`] or the [`crate::build_auto`] factory.
+#[derive(Clone, Debug)]
+pub struct VPatch<B: VectorBackend<W>, const W: usize> {
+    tables: SPatchTables,
+    _backend: PhantomData<B>,
+}
+
+impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
+    /// Compiles V-PATCH for `set`.
+    ///
+    /// # Panics
+    /// Panics if the SIMD backend is not available on this CPU; check
+    /// [`VectorBackend::is_available`] or use [`crate::build_auto`].
+    pub fn build(set: &PatternSet) -> Self {
+        Self::from_tables(SPatchTables::build(set))
+    }
+
+    /// Builds from already-compiled tables.
+    ///
+    /// # Panics
+    /// Panics if the SIMD backend is not available on this CPU.
+    pub fn from_tables(tables: SPatchTables) -> Self {
+        assert!(
+            B::is_available(),
+            "SIMD backend {} is not available on this CPU",
+            B::name()
+        );
+        VPatch {
+            tables,
+            _backend: PhantomData,
+        }
+    }
+
+    /// The compiled tables.
+    pub fn tables(&self) -> &SPatchTables {
+        &self.tables
+    }
+
+    /// Name of the SIMD backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        B::name()
+    }
+
+    /// Number of lanes processed per vector iteration.
+    pub const fn lanes(&self) -> usize {
+        W
+    }
+
+    /// Processes one vector block of `W` positions starting at `base`.
+    ///
+    /// Returns `(mask_short, mask_long)`: the lane masks that passed
+    /// filter 1 and filters 2+3 respectively. When `STORE` is true the
+    /// corresponding positions are appended to the scratch arrays.
+    ///
+    /// Always inlined into the dispatch-wrapped loops so the backend's
+    /// intrinsics fuse into one straight-line kernel.
+    #[inline(always)]
+    fn process_block<const STORE: bool>(
+        &self,
+        haystack: &[u8],
+        base: usize,
+        scratch: &mut Scratch,
+    ) -> (u32, u32) {
+        let t = &self.tables;
+        // Input transformation (Figure 2): W overlapping 2-byte windows.
+        let windows = B::windows2(haystack, base);
+        // Filter merging (Figure 3): one gather serves both filters. The
+        // merged layout stores filter-1/filter-2 bytes at 2*(window >> 3),
+        // computed branch-free as (window >> 2) & !1.
+        let merged_idx = B::and_const(B::shr_const(windows, 2), !1u32);
+        let pair = B::gather_u16(t.merged.bytes(), merged_idx);
+        let f1_bytes = B::and_const(pair, 0xff);
+        let f2_bytes = B::shr_const(pair, 8);
+
+        let mut mask_short = 0u32;
+        if t.has_short {
+            mask_short = B::test_window_bits(f1_bytes, windows);
+            if STORE && mask_short != 0 {
+                push_positions(mask_short, base, &mut scratch.a_short);
+            }
+        }
+
+        let mut mask_long = 0u32;
+        if t.has_long {
+            let mask2 = B::test_window_bits(f2_bytes, windows);
+            // Proceed to the third filter only if at least one lane passed
+            // filter 2; the evaluation is then speculative over *all* lanes
+            // and masked afterwards (the paper found this cheaper than
+            // compacting the register).
+            if mask2 != 0 {
+                let windows4 = B::windows4(haystack, base);
+                let f3_bits = t.filter3.bits_log2();
+                let hashes =
+                    B::hash_mul_shift(windows4, HASH_MULTIPLIER, 32 - f3_bits, u32::MAX);
+                let f3_idx = B::shr_const(hashes, 3);
+                let f3_bytes = B::gather_bytes(t.filter3.bytes(), f3_idx);
+                mask_long = B::test_window_bits(f3_bytes, hashes) & mask2;
+                scratch.filter3_blocks += 1;
+                scratch.useful_lanes += mask2.count_ones() as u64;
+                if STORE && mask_long != 0 {
+                    push_positions(mask_long, base, &mut scratch.a_long);
+                }
+            }
+        }
+        (mask_short, mask_long)
+    }
+
+    /// Scalar continuation of the filtering round for the final positions
+    /// that do not fill a whole vector block.
+    fn filter_tail(&self, haystack: &[u8], start: usize, scratch: &mut Scratch) {
+        let t = &self.tables;
+        let n = haystack.len();
+        if n == 0 {
+            return;
+        }
+        for i in start..n - 1 {
+            let window = u16::from_le_bytes([haystack[i], haystack[i + 1]]);
+            if t.has_short && t.filter1.contains(window) {
+                scratch.a_short.push(i as u32);
+            }
+            if t.has_long && t.filter2.contains(window) && i + 4 <= n {
+                let window4 = u32::from_le_bytes([
+                    haystack[i],
+                    haystack[i + 1],
+                    haystack[i + 2],
+                    haystack[i + 3],
+                ]);
+                if t.filter3.contains(window4) {
+                    scratch.a_long.push(i as u32);
+                }
+            }
+        }
+        if t.has_short {
+            scratch.a_short.push((n - 1) as u32);
+        }
+    }
+
+    /// **Vectorized filtering round** (Algorithm 2): fills the candidate
+    /// arrays in `scratch`.
+    pub fn filter_round(&self, haystack: &[u8], scratch: &mut Scratch) {
+        let n = haystack.len();
+        if n == 0 {
+            return;
+        }
+        assert!(n < u32::MAX as usize, "scan chunks must be smaller than 4 GiB");
+        let mut i = 0usize;
+        // The whole vector loop runs inside the backend's dispatch trampoline
+        // so every gather/shuffle inlines into one kernel (see
+        // `VectorBackend::dispatch`).
+        B::dispatch(|| {
+            // Manual 2× unroll: two independent gathers in flight per
+            // iteration, as the paper does to exploit instruction-level
+            // parallelism.
+            while i + 2 * W + 3 <= n {
+                self.process_block::<true>(haystack, i, scratch);
+                self.process_block::<true>(haystack, i + W, scratch);
+                i += 2 * W;
+            }
+            while i + W + 3 <= n {
+                self.process_block::<true>(haystack, i, scratch);
+                i += W;
+            }
+        });
+        self.filter_tail(haystack, i, scratch);
+    }
+
+    /// Filtering-only entry point for the Figure 6 experiments. Returns a
+    /// checksum of the lane masks so the optimizer cannot discard the work in
+    /// [`FilterOnlyMode::NoStores`] mode.
+    pub fn filter_only(
+        &self,
+        haystack: &[u8],
+        mode: FilterOnlyMode,
+        scratch: &mut Scratch,
+    ) -> u64 {
+        scratch.clear();
+        let n = haystack.len();
+        if n == 0 {
+            return 0;
+        }
+        let mut checksum = 0u64;
+        let mut i = 0usize;
+        match mode {
+            FilterOnlyMode::WithStores => {
+                self.filter_round(haystack, scratch);
+                checksum = scratch.candidates();
+            }
+            FilterOnlyMode::NoStores => {
+                B::dispatch(|| {
+                    while i + W + 3 <= n {
+                        let (m1, m2) = self.process_block::<false>(haystack, i, scratch);
+                        checksum += (m1.count_ones() + m2.count_ones()) as u64;
+                        i += W;
+                    }
+                });
+                // The scalar tail is negligible for the multi-megabyte traces
+                // this mode is used with; count it without storing either.
+                let mut tail = Scratch::new();
+                self.filter_tail(haystack, i, &mut tail);
+                checksum += tail.candidates();
+            }
+        }
+        checksum
+    }
+
+    /// **Verification round**: identical to S-PATCH (scalar replay of the
+    /// candidate arrays through the compact hash tables).
+    pub fn verify_round(
+        &self,
+        haystack: &[u8],
+        scratch: &Scratch,
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        let v = self.tables.verifier();
+        let mut comparisons = 0u64;
+        for &pos in &scratch.a_short {
+            comparisons += v.verify_short(haystack, pos as usize, out) as u64;
+        }
+        for &pos in &scratch.a_long {
+            comparisons += v.verify_long(haystack, pos as usize, out) as u64;
+        }
+        comparisons
+    }
+
+    /// Full scan reusing caller-provided scratch; phase timings are recorded
+    /// into the scratch counters.
+    pub fn scan_with_scratch(
+        &self,
+        haystack: &[u8],
+        scratch: &mut Scratch,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        scratch.clear();
+        let t0 = Instant::now();
+        self.filter_round(haystack, scratch);
+        let t1 = Instant::now();
+        self.verify_round(haystack, scratch, out);
+        let t2 = Instant::now();
+        scratch.filter_nanos = (t1 - t0).as_nanos() as u64;
+        scratch.verify_nanos = (t2 - t1).as_nanos() as u64;
+    }
+}
+
+/// Appends `base + lane` for every set bit of `mask` to `out`.
+#[inline]
+fn push_positions(mut mask: u32, base: usize, out: &mut Vec<u32>) {
+    while mask != 0 {
+        let lane = mask.trailing_zeros() as usize;
+        out.push((base + lane) as u32);
+        mask &= mask - 1;
+    }
+}
+
+impl<B: VectorBackend<W>, const W: usize> Matcher for VPatch<B, W> {
+    fn name(&self) -> &'static str {
+        "V-PATCH"
+    }
+
+    fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        let mut scratch = Scratch::with_capacity_for(haystack.len());
+        self.filter_round(haystack, &mut scratch);
+        self.verify_round(haystack, &scratch, out);
+    }
+
+    fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
+        let mut scratch = Scratch::with_capacity_for(haystack.len());
+        let mut out = Vec::new();
+        self.scan_with_scratch(haystack, &mut scratch, &mut out);
+        MatcherStats {
+            bytes_scanned: haystack.len() as u64,
+            candidates: scratch.candidates(),
+            matches: out.len() as u64,
+            filter_nanos: scratch.filter_nanos,
+            verify_nanos: scratch.verify_nanos,
+            filter3_blocks: scratch.filter3_blocks,
+            useful_lanes: scratch.useful_lanes,
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.tables.filter_bytes() + self.tables.table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatch::SPatch;
+    use mpm_patterns::naive::naive_find_all;
+    use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend};
+
+    fn mixed_set() -> PatternSet {
+        PatternSet::from_literals(&[
+            "a", "ab", "GET", "abcd", "attribute", "attack", "/etc/passwd", "xyz", "\x00\x01",
+        ])
+    }
+
+    fn sample_input() -> Vec<u8> {
+        let mut hay = Vec::new();
+        for i in 0..200 {
+            hay.extend_from_slice(b"GET /index.php?attr=attribute ");
+            if i % 3 == 0 {
+                hay.extend_from_slice(b"/etc/passwd attack ");
+            }
+            hay.push((i % 256) as u8);
+            hay.push(0x01);
+        }
+        hay
+    }
+
+    #[test]
+    fn scalar_backend_vpatch_equals_naive_and_spatch() {
+        let set = mixed_set();
+        let hay = sample_input();
+        let expected = naive_find_all(&set, &hay);
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        assert_eq!(vp.find_all(&hay), expected);
+        let sp = SPatch::build(&set);
+        assert_eq!(sp.find_all(&hay), expected);
+    }
+
+    #[test]
+    fn avx2_vpatch_equals_naive_when_available() {
+        if !<Avx2Backend as VectorBackend<8>>::is_available() {
+            return;
+        }
+        let set = mixed_set();
+        let hay = sample_input();
+        let vp = VPatch::<Avx2Backend, 8>::build(&set);
+        assert_eq!(vp.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn avx512_vpatch_equals_naive_when_available() {
+        if !<Avx512Backend as VectorBackend<16>>::is_available() {
+            return;
+        }
+        let set = mixed_set();
+        let hay = sample_input();
+        let vp = VPatch::<Avx512Backend, 16>::build(&set);
+        assert_eq!(vp.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn short_inputs_hit_the_scalar_tail_only() {
+        let set = mixed_set();
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        for hay in [
+            &b""[..],
+            b"a",
+            b"ab",
+            b"GET",
+            b"abcd",
+            b"xyzabc",
+            b"0123456789",
+            b"GET /etc",
+        ] {
+            assert_eq!(vp.find_all(hay), naive_find_all(&set, hay), "input {hay:?}");
+        }
+    }
+
+    #[test]
+    fn block_boundaries_do_not_lose_matches() {
+        // Place matches exactly around multiples of W and 2W.
+        let set = PatternSet::from_literals(&["boundary", "zz"]);
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        for offset in 0..40 {
+            let mut hay = vec![b'.'; 96];
+            let start = offset.min(hay.len() - 8);
+            hay[start..start + 8].copy_from_slice(b"boundary");
+            assert_eq!(
+                vp.find_all(&hay),
+                naive_find_all(&set, &hay),
+                "offset {offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_expose_useful_lane_occupancy() {
+        let set = mixed_set();
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        let hay = sample_input();
+        let stats = vp.scan_with_stats(&hay);
+        assert!(stats.filter3_blocks > 0);
+        assert!(stats.useful_lanes > 0);
+        let frac = stats.useful_lane_fraction(8).unwrap();
+        assert!(frac > 0.0 && frac <= 1.0);
+        assert!(stats.filtering_time_fraction().is_some());
+    }
+
+    #[test]
+    fn filter_only_modes_report_consistent_work() {
+        let set = mixed_set();
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        let hay = sample_input();
+        let mut scratch = Scratch::new();
+        let with_stores = vp.filter_only(&hay, FilterOnlyMode::WithStores, &mut scratch);
+        assert_eq!(with_stores, scratch.candidates());
+        let mut scratch2 = Scratch::new();
+        let no_stores = vp.filter_only(&hay, FilterOnlyMode::NoStores, &mut scratch2);
+        // Same lane masks are computed either way, so the checksums agree.
+        assert_eq!(no_stores, with_stores);
+        // But no positions were stored in NoStores mode.
+        assert_eq!(scratch2.candidates(), 0);
+    }
+
+    #[test]
+    fn wide_scalar_width_sixteen_matches() {
+        let set = mixed_set();
+        let hay = sample_input();
+        let vp = VPatch::<ScalarBackend, 16>::build(&set);
+        assert_eq!(vp.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn long_only_and_short_only_rulesets() {
+        let hay = sample_input();
+        let long_only = PatternSet::from_literals(&["/etc/passwd", "attribute"]);
+        let vp = VPatch::<ScalarBackend, 8>::build(&long_only);
+        assert_eq!(vp.find_all(&hay), naive_find_all(&long_only, &hay));
+        let short_only = PatternSet::from_literals(&["a", "GE", "xyz"]);
+        let vp = VPatch::<ScalarBackend, 8>::build(&short_only);
+        assert_eq!(vp.find_all(&hay), naive_find_all(&short_only, &hay));
+    }
+}

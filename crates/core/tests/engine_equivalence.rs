@@ -1,0 +1,76 @@
+//! Property tests: S-PATCH and V-PATCH (every backend) report exactly the
+//! naive / Aho-Corasick match set on arbitrary pattern sets and inputs.
+
+use mpm_aho_corasick::DfaMatcher;
+use mpm_patterns::{naive::naive_find_all, Matcher, Pattern, PatternSet};
+use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend};
+use mpm_vpatch::{SPatch, VPatch};
+use proptest::prelude::*;
+
+fn bytes_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => Just(b'a'),
+            4 => Just(b'b'),
+            2 => Just(b'G'),
+            2 => Just(b'E'),
+            1 => Just(0u8),
+            2 => any::<u8>()
+        ],
+        1..max_len,
+    )
+}
+
+fn pattern_set_strategy() -> impl Strategy<Value = PatternSet> {
+    proptest::collection::vec(bytes_strategy(12), 1..16)
+        .prop_map(|ps| PatternSet::new(ps.into_iter().map(Pattern::literal).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn spatch_equals_naive_and_ac(set in pattern_set_strategy(), hay in bytes_strategy(500)) {
+        let expected = naive_find_all(&set, &hay);
+        prop_assert_eq!(SPatch::build(&set).find_all(&hay), expected.clone());
+        prop_assert_eq!(DfaMatcher::build(&set).find_all(&hay), expected);
+    }
+
+    #[test]
+    fn vpatch_scalar_backends_equal_naive(set in pattern_set_strategy(), hay in bytes_strategy(500)) {
+        let expected = naive_find_all(&set, &hay);
+        prop_assert_eq!(VPatch::<ScalarBackend, 8>::build(&set).find_all(&hay), expected.clone());
+        prop_assert_eq!(VPatch::<ScalarBackend, 16>::build(&set).find_all(&hay), expected);
+    }
+
+    #[test]
+    fn vpatch_hardware_backends_equal_naive(set in pattern_set_strategy(), hay in bytes_strategy(400)) {
+        let expected = naive_find_all(&set, &hay);
+        if <Avx2Backend as VectorBackend<8>>::is_available() {
+            prop_assert_eq!(VPatch::<Avx2Backend, 8>::build(&set).find_all(&hay), expected.clone());
+        }
+        if <Avx512Backend as VectorBackend<16>>::is_available() {
+            prop_assert_eq!(VPatch::<Avx512Backend, 16>::build(&set).find_all(&hay), expected);
+        }
+    }
+
+    #[test]
+    fn auto_engine_equals_naive(set in pattern_set_strategy(), hay in bytes_strategy(400)) {
+        let engine = mpm_vpatch::build_auto(&set);
+        prop_assert_eq!(engine.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn filtering_round_never_drops_a_true_match(set in pattern_set_strategy(), hay in bytes_strategy(300)) {
+        // The invariant exactness rests on: every true match position appears
+        // in the candidate arrays of the filtering round.
+        let engine = VPatch::<ScalarBackend, 8>::build(&set);
+        let mut scratch = mpm_vpatch::Scratch::new();
+        engine.filter_round(&hay, &mut scratch);
+        for m in naive_find_all(&set, &hay) {
+            let len = set.get(m.pattern).len();
+            let arr = if len < 4 { &scratch.a_short } else { &scratch.a_long };
+            prop_assert!(arr.contains(&(m.start as u32)), "missing candidate for {:?}", m);
+        }
+    }
+}

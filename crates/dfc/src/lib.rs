@@ -1,0 +1,44 @@
+//! DFC (Direct Filter Classification, Choi et al., NSDI'16) baseline and its
+//! direct vectorization **Vector-DFC**.
+//!
+//! DFC replaces Aho-Corasick's state machine with a set of small,
+//! cache-resident filters followed by compact-hash-table verification
+//! (paper §II-B):
+//!
+//! 1. a 2-byte sliding window over the input indexes an 8 KB **direct
+//!    filter**; positions whose window bit is clear are discarded — on
+//!    typical traffic this is the vast majority of the input;
+//! 2. surviving positions are **classified** by candidate pattern length:
+//!    short patterns go straight to their per-length compact hash tables,
+//!    long patterns pass through an additional ("progressive") direct filter
+//!    indexed by the next two input bytes first;
+//! 3. verification compares the candidate input against the full patterns
+//!    stored in the compact hash tables.
+//!
+//! Crucially, in DFC filtering and verification are **interleaved in one
+//! pass** over the input. The paper's Vector-DFC (reproduced in
+//! [`vector::VectorDfc`]) vectorizes the filter lookups of that loop but
+//! keeps everything else scalar, which is why its speedup is modest — the
+//! observation that motivates S-PATCH's two-round redesign in `mpm-vpatch`.
+//!
+//! Both engines implement [`mpm_patterns::Matcher`] and are exact: they
+//! report precisely the matches Aho-Corasick reports (tested against the
+//! naive reference and property-tested in `tests/`).
+
+#![warn(missing_docs)]
+
+pub mod scalar;
+pub mod tables;
+pub mod vector;
+
+pub use scalar::Dfc;
+pub use tables::DfcTables;
+pub use vector::VectorDfc;
+
+/// Convenience alias: Vector-DFC at the AVX2 width (8 lanes), the paper's
+/// Haswell configuration.
+pub type VectorDfcAvx2 = vector::VectorDfc<mpm_simd::Avx2Backend, 8>;
+/// Convenience alias: Vector-DFC at the AVX-512 / Xeon-Phi width (16 lanes).
+pub type VectorDfcAvx512 = vector::VectorDfc<mpm_simd::Avx512Backend, 16>;
+/// Convenience alias: Vector-DFC run through the portable scalar backend.
+pub type VectorDfcScalar = vector::VectorDfc<mpm_simd::ScalarBackend, 8>;

@@ -1,0 +1,137 @@
+//! The original (scalar, single-pass) DFC engine.
+
+use crate::tables::DfcTables;
+use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
+
+/// Scalar DFC: interleaved filtering + verification, exactly the structure
+/// the paper uses as its "DFC" baseline.
+#[derive(Clone, Debug)]
+pub struct Dfc {
+    tables: DfcTables,
+}
+
+impl Dfc {
+    /// Compiles DFC for `set`.
+    pub fn build(set: &PatternSet) -> Self {
+        Dfc {
+            tables: DfcTables::build(set),
+        }
+    }
+
+    /// The compiled tables (used by the cache-simulation experiments).
+    pub fn tables(&self) -> &DfcTables {
+        &self.tables
+    }
+
+    /// Core scan loop shared by [`Matcher::find_into`] and
+    /// [`Matcher::scan_with_stats`]. Returns `(candidates, comparisons)`.
+    fn scan(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) -> (u64, u64) {
+        let t = &self.tables;
+        let mut candidates = 0u64;
+        let mut comparisons = 0u64;
+        if haystack.is_empty() {
+            return (0, 0);
+        }
+        for i in 0..haystack.len() - 1 {
+            let window = u16::from_le_bytes([haystack[i], haystack[i + 1]]);
+            if t.df_initial.contains(window) {
+                candidates += 1;
+                comparisons += t.classify_and_verify(haystack, i, out) as u64;
+            }
+        }
+        t.verify_tail(haystack, out);
+        (candidates, comparisons)
+    }
+}
+
+impl Matcher for Dfc {
+    fn name(&self) -> &'static str {
+        "DFC"
+    }
+
+    fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        self.scan(haystack, out);
+    }
+
+    fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
+        let mut out = Vec::new();
+        let (candidates, _comparisons) = self.scan(haystack, &mut out);
+        MatcherStats {
+            bytes_scanned: haystack.len() as u64,
+            candidates,
+            matches: out.len() as u64,
+            ..MatcherStats::default()
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.tables.filter_bytes() + self.tables.table_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::naive::naive_find_all;
+    use mpm_patterns::synthetic::{RulesetSpec, SyntheticRuleset};
+
+    #[test]
+    fn matches_naive_on_mixed_length_patterns() {
+        let set = PatternSet::from_literals(&["a", "ab", "abc", "abcd", "bcde", "e", "GET /index"]);
+        let dfc = Dfc::build(&set);
+        let hay = b"xxabcdexx GET /index.html aaab";
+        assert_eq!(dfc.find_all(hay), naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let set = PatternSet::from_literals(&["a", "ab"]);
+        let dfc = Dfc::build(&set);
+        assert!(dfc.find_all(b"").is_empty());
+        assert_eq!(dfc.find_all(b"a").len(), 1);
+        assert_eq!(dfc.find_all(b"ab").len(), 2); // "a" and "ab"
+    }
+
+    #[test]
+    fn filtering_rejects_most_random_input() {
+        let rs = SyntheticRuleset::generate(RulesetSpec::tiny(500, 21));
+        let set = rs.http();
+        let dfc = Dfc::build(&set);
+        // Uniformly random bytes: the paper reports ~95%+ of the input is
+        // filtered out; check the candidate rate is low.
+        let mut hay = vec![0u8; 100_000];
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for b in hay.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *b = (state >> 33) as u8;
+        }
+        let stats = dfc.scan_with_stats(&hay);
+        let rate = stats.candidates as f64 / stats.bytes_scanned as f64;
+        assert!(rate < 0.35, "candidate rate on random input too high: {rate}");
+        assert_eq!(dfc.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn stats_report_scanned_bytes_and_matches() {
+        let set = PatternSet::from_literals(&["needle"]);
+        let dfc = Dfc::build(&set);
+        let hay = b"hay needle hay needle";
+        let stats = dfc.scan_with_stats(hay);
+        assert_eq!(stats.bytes_scanned, hay.len() as u64);
+        assert_eq!(stats.matches, 2);
+    }
+
+    #[test]
+    fn synthetic_ruleset_equivalence() {
+        let rs = SyntheticRuleset::generate(RulesetSpec::tiny(200, 33));
+        let set = rs.http();
+        let dfc = Dfc::build(&set);
+        // Compose an input embedding some of the patterns.
+        let mut hay = b"GET /index.php?id=1 HTTP/1.1\r\nHost: example\r\n\r\n".to_vec();
+        for (_, p) in set.iter().take(30) {
+            hay.extend_from_slice(p.bytes());
+            hay.extend_from_slice(b" <=> ");
+        }
+        assert_eq!(dfc.find_all(&hay), naive_find_all(&set, &hay));
+    }
+}

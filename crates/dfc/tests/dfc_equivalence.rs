@@ -1,0 +1,55 @@
+//! Equivalence property tests: DFC and Vector-DFC produce exactly the
+//! Aho-Corasick / naive match set on arbitrary inputs.
+
+use mpm_aho_corasick::DfaMatcher;
+use mpm_dfc::{Dfc, VectorDfc};
+use mpm_patterns::{naive::naive_find_all, Matcher, Pattern, PatternSet};
+use mpm_simd::ScalarBackend;
+use proptest::prelude::*;
+
+fn bytes_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'G'), Just(b'E'), Just(b'T'), any::<u8>()],
+        1..max_len,
+    )
+}
+
+fn pattern_set_strategy() -> impl Strategy<Value = PatternSet> {
+    proptest::collection::vec(bytes_strategy(10), 1..15)
+        .prop_map(|ps| PatternSet::new(ps.into_iter().map(Pattern::literal).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn dfc_equals_naive_and_ac(set in pattern_set_strategy(), hay in bytes_strategy(400)) {
+        let expected = naive_find_all(&set, &hay);
+        let dfc = Dfc::build(&set);
+        prop_assert_eq!(dfc.find_all(&hay), expected.clone());
+        let ac = DfaMatcher::build(&set);
+        prop_assert_eq!(ac.find_all(&hay), expected);
+    }
+
+    #[test]
+    fn vector_dfc_equals_naive(set in pattern_set_strategy(), hay in bytes_strategy(400)) {
+        let expected = naive_find_all(&set, &hay);
+        let v8 = VectorDfc::<ScalarBackend, 8>::build(&set);
+        prop_assert_eq!(v8.find_all(&hay), expected.clone());
+        let v16 = VectorDfc::<ScalarBackend, 16>::build(&set);
+        prop_assert_eq!(v16.find_all(&hay), expected);
+    }
+
+    #[test]
+    fn hardware_backends_equal_naive(set in pattern_set_strategy(), hay in bytes_strategy(300)) {
+        let expected = naive_find_all(&set, &hay);
+        if <mpm_simd::Avx2Backend as mpm_simd::VectorBackend<8>>::is_available() {
+            let v = VectorDfc::<mpm_simd::Avx2Backend, 8>::build(&set);
+            prop_assert_eq!(v.find_all(&hay), expected.clone());
+        }
+        if <mpm_simd::Avx512Backend as mpm_simd::VectorBackend<16>>::is_available() {
+            let v = VectorDfc::<mpm_simd::Avx512Backend, 16>::build(&set);
+            prop_assert_eq!(v.find_all(&hay), expected);
+        }
+    }
+}

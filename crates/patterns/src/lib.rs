@@ -1,0 +1,37 @@
+//! Pattern-set substrate for the V-PATCH reproduction.
+//!
+//! This crate provides everything the matching engines need to know about
+//! *what* they are matching:
+//!
+//! * [`Pattern`], [`PatternId`] and [`PatternSet`] — the exact byte patterns
+//!   (Snort "content" strings) with protocol grouping, as used throughout the
+//!   paper's evaluation;
+//! * the [`Matcher`] trait and [`MatchEvent`] — the common interface every
+//!   engine in this workspace implements (Aho-Corasick, DFC, Vector-DFC,
+//!   S-PATCH, V-PATCH) so that their outputs can be compared byte-for-byte;
+//! * [`naive::NaiveMatcher`] — an obviously-correct reference matcher used by
+//!   the test suites as ground truth;
+//! * [`snort`] — a parser for Snort rule syntax that extracts the exact-match
+//!   `content:` strings, so real rulesets can be loaded when available;
+//! * [`synthetic`] — deterministic generators that reproduce the *structure*
+//!   (count, length distribution, prefix collisions, protocol mix) of the
+//!   Snort v2.9.7 ("S1") and ET-open 2.9.0 ("S2") rulesets used in the paper,
+//!   which are not redistributable.
+//!
+//! The paper evaluates exact, case-sensitive, byte-level matching of
+//! thousands of patterns against reassembled network streams; these types
+//! encode exactly that model.
+
+#![warn(missing_docs)]
+
+pub mod matcher;
+pub mod naive;
+pub mod pattern;
+pub mod snort;
+pub mod stats;
+pub mod synthetic;
+
+pub use matcher::{MatchEvent, Matcher, MatcherStats};
+pub use naive::NaiveMatcher;
+pub use pattern::{Pattern, PatternId, PatternSet, ProtocolGroup};
+pub use synthetic::{RulesetSpec, SyntheticRuleset};

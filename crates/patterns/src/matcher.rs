@@ -1,0 +1,252 @@
+//! The common [`Matcher`] interface implemented by every engine in the
+//! workspace, and the [`MatchEvent`] type they report.
+//!
+//! The paper's correctness criterion is that every engine "produces the same
+//! output as Aho-Corasick": the full set of `(pattern, position)` occurrences.
+//! Encoding that interface once lets the test suite compare engines
+//! byte-for-byte and lets the benchmark harness drive them uniformly.
+
+use crate::pattern::{PatternId, PatternSet};
+use serde::{Deserialize, Serialize};
+
+/// A single reported occurrence of a pattern in the input.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct MatchEvent {
+    /// Byte offset in the input where the pattern starts.
+    pub start: usize,
+    /// The pattern that matched.
+    pub pattern: PatternId,
+}
+
+impl MatchEvent {
+    /// Creates a match event.
+    #[inline]
+    pub fn new(start: usize, pattern: PatternId) -> Self {
+        MatchEvent { start, pattern }
+    }
+
+    /// End offset (exclusive) of the match in the input, given the set the
+    /// pattern belongs to.
+    #[inline]
+    pub fn end(&self, set: &PatternSet) -> usize {
+        self.start + set.get(self.pattern).len()
+    }
+}
+
+/// Per-scan statistics that engines may expose.
+///
+/// Only the fields an engine actually tracks are non-zero; they are used by
+/// Figure 5b (filtering-time ratio, useful-lane occupancy) and by the cache
+/// ablation experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MatcherStats {
+    /// Input bytes processed.
+    pub bytes_scanned: u64,
+    /// Windows (input positions) that passed the filtering phase and were
+    /// forwarded to verification.
+    pub candidates: u64,
+    /// Matches confirmed by verification.
+    pub matches: u64,
+    /// Nanoseconds spent in the filtering phase (engines with a separate
+    /// filtering round).
+    pub filter_nanos: u64,
+    /// Nanoseconds spent in the verification phase.
+    pub verify_nanos: u64,
+    /// For vectorized engines: number of vector blocks in which the third
+    /// filter was evaluated.
+    pub filter3_blocks: u64,
+    /// For vectorized engines: total useful (active) lanes over all third
+    /// filter evaluations. `useful_lanes / (filter3_blocks * W)` is the
+    /// "useful elements in vector register" metric of Figure 5b.
+    pub useful_lanes: u64,
+}
+
+impl MatcherStats {
+    /// Fraction of total measured time spent in filtering, in `[0, 1]`.
+    /// Returns `None` if the engine did not record phase timings.
+    pub fn filtering_time_fraction(&self) -> Option<f64> {
+        let total = self.filter_nanos + self.verify_nanos;
+        if total == 0 {
+            None
+        } else {
+            Some(self.filter_nanos as f64 / total as f64)
+        }
+    }
+
+    /// Average fraction of useful lanes per third-filter evaluation, given
+    /// the vector width used. Returns `None` for scalar engines.
+    pub fn useful_lane_fraction(&self, lanes: usize) -> Option<f64> {
+        if self.filter3_blocks == 0 || lanes == 0 {
+            None
+        } else {
+            Some(self.useful_lanes as f64 / (self.filter3_blocks * lanes as u64) as f64)
+        }
+    }
+
+    /// Merges another stats record into this one (used when scanning an input
+    /// in chunks).
+    pub fn merge(&mut self, other: &MatcherStats) {
+        self.bytes_scanned += other.bytes_scanned;
+        self.candidates += other.candidates;
+        self.matches += other.matches;
+        self.filter_nanos += other.filter_nanos;
+        self.verify_nanos += other.verify_nanos;
+        self.filter3_blocks += other.filter3_blocks;
+        self.useful_lanes += other.useful_lanes;
+    }
+}
+
+/// The interface every multiple-pattern-matching engine implements.
+///
+/// Engines are constructed from a [`PatternSet`] (a potentially expensive,
+/// one-time compilation step — building the automaton, the filters and the
+/// hash tables) and then scan arbitrarily many inputs.
+pub trait Matcher {
+    /// Human-readable engine name, as used in the paper's figures
+    /// (e.g. `"Aho-Corasick"`, `"DFC"`, `"V-PATCH"`).
+    fn name(&self) -> &'static str;
+
+    /// Scans `haystack` and appends every occurrence of every pattern to
+    /// `out`. Occurrences may be appended in any order; callers that need a
+    /// canonical order sort the vector (see [`normalize_matches`]).
+    fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>);
+
+    /// Scans `haystack` and returns all matches in canonical
+    /// (position, pattern) order.
+    fn find_all(&self, haystack: &[u8]) -> Vec<MatchEvent> {
+        let mut out = Vec::new();
+        self.find_into(haystack, &mut out);
+        normalize_matches(&mut out);
+        out
+    }
+
+    /// Counts the occurrences in `haystack` without materialising them.
+    ///
+    /// The default implementation goes through [`Matcher::find_into`]; engines
+    /// override it with a cheaper counting path where it matters (this is the
+    /// operation the paper's throughput experiments perform: "all algorithms
+    /// count the number of matches").
+    fn count(&self, haystack: &[u8]) -> u64 {
+        let mut out = Vec::new();
+        self.find_into(haystack, &mut out);
+        out.len() as u64
+    }
+
+    /// Scans `haystack`, returning per-scan statistics. Engines without
+    /// instrumentation return a record with only `bytes_scanned` and
+    /// `matches` filled in.
+    fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
+        let matches = self.count(haystack);
+        MatcherStats {
+            bytes_scanned: haystack.len() as u64,
+            matches,
+            ..MatcherStats::default()
+        }
+    }
+
+    /// Approximate resident size, in bytes, of the engine's data structures.
+    ///
+    /// Used to reproduce the paper's discussion of why Aho-Corasick's
+    /// automaton exceeds cache capacity while the filters stay cache-resident.
+    fn heap_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// Sorts matches into the canonical order and removes duplicates.
+///
+/// Engines must never report the same `(pattern, start)` twice; deduplication
+/// here is a safety net so the equivalence tests detect genuine differences
+/// rather than harmless double-reporting, which is separately asserted.
+pub fn normalize_matches(matches: &mut Vec<MatchEvent>) {
+    matches.sort_unstable();
+    matches.dedup();
+}
+
+/// Compares two engines' outputs on the same input, returning the differences
+/// (`only_left`, `only_right`). Used extensively by the integration tests.
+pub fn diff_matches(left: &[MatchEvent], right: &[MatchEvent]) -> (Vec<MatchEvent>, Vec<MatchEvent>) {
+    use std::collections::BTreeSet;
+    let l: BTreeSet<_> = left.iter().copied().collect();
+    let r: BTreeSet<_> = right.iter().copied().collect();
+    (
+        l.difference(&r).copied().collect(),
+        r.difference(&l).copied().collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PatternSet;
+
+    #[test]
+    fn match_event_end_uses_pattern_length() {
+        let set = PatternSet::from_literals(&["abc", "de"]);
+        let m = MatchEvent::new(10, PatternId(0));
+        assert_eq!(m.end(&set), 13);
+        let m2 = MatchEvent::new(4, PatternId(1));
+        assert_eq!(m2.end(&set), 6);
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut v = vec![
+            MatchEvent::new(5, PatternId(1)),
+            MatchEvent::new(2, PatternId(0)),
+            MatchEvent::new(5, PatternId(1)),
+            MatchEvent::new(2, PatternId(3)),
+        ];
+        normalize_matches(&mut v);
+        assert_eq!(
+            v,
+            vec![
+                MatchEvent::new(2, PatternId(0)),
+                MatchEvent::new(2, PatternId(3)),
+                MatchEvent::new(5, PatternId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn diff_matches_reports_both_sides() {
+        let a = vec![MatchEvent::new(1, PatternId(0)), MatchEvent::new(2, PatternId(1))];
+        let b = vec![MatchEvent::new(2, PatternId(1)), MatchEvent::new(3, PatternId(2))];
+        let (only_a, only_b) = diff_matches(&a, &b);
+        assert_eq!(only_a, vec![MatchEvent::new(1, PatternId(0))]);
+        assert_eq!(only_b, vec![MatchEvent::new(3, PatternId(2))]);
+    }
+
+    #[test]
+    fn stats_fractions() {
+        let s = MatcherStats {
+            filter_nanos: 750,
+            verify_nanos: 250,
+            filter3_blocks: 10,
+            useful_lanes: 40,
+            ..MatcherStats::default()
+        };
+        assert!((s.filtering_time_fraction().unwrap() - 0.75).abs() < 1e-9);
+        assert!((s.useful_lane_fraction(8).unwrap() - 0.5).abs() < 1e-9);
+        assert_eq!(MatcherStats::default().filtering_time_fraction(), None);
+        assert_eq!(MatcherStats::default().useful_lane_fraction(8), None);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = MatcherStats {
+            bytes_scanned: 10,
+            candidates: 1,
+            matches: 2,
+            filter_nanos: 5,
+            verify_nanos: 6,
+            filter3_blocks: 7,
+            useful_lanes: 8,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.bytes_scanned, 20);
+        assert_eq!(a.useful_lanes, 16);
+        assert_eq!(a.matches, 4);
+    }
+}

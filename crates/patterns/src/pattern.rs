@@ -1,0 +1,419 @@
+//! Core pattern types: [`Pattern`], [`PatternId`], [`PatternSet`] and
+//! [`ProtocolGroup`].
+//!
+//! A pattern is an exact byte string (a Snort `content:` string). The paper's
+//! engines are all *exact multiple pattern matchers*: given a set of patterns
+//! and an input stream, report every `(pattern, position)` at which the
+//! pattern occurs verbatim.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a pattern inside a [`PatternSet`].
+///
+/// Ids are dense indices (`0..set.len()`), which lets the engines use them
+/// directly as array indices in their verification structures.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct PatternId(pub u32);
+
+impl PatternId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PatternId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Protocol/service group a pattern belongs to.
+///
+/// Snort organises rules in groups and only evaluates the groups relevant to
+/// the traffic being inspected (the paper matches HTTP traffic against the
+/// HTTP-related patterns plus the protocol-agnostic ones). The synthetic
+/// rulesets reproduce that grouping.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum ProtocolGroup {
+    /// HTTP-related rules (web-server, web-client, web-cgi, ...).
+    Http,
+    /// DNS-related rules.
+    Dns,
+    /// FTP-related rules.
+    Ftp,
+    /// SMTP / mail rules.
+    Smtp,
+    /// Rules that apply to any traffic (protocol-agnostic payload content).
+    Any,
+    /// Everything else (scada, netbios, policy, ...).
+    Other,
+}
+
+impl ProtocolGroup {
+    /// All groups, in a stable order.
+    pub const ALL: [ProtocolGroup; 6] = [
+        ProtocolGroup::Http,
+        ProtocolGroup::Dns,
+        ProtocolGroup::Ftp,
+        ProtocolGroup::Smtp,
+        ProtocolGroup::Any,
+        ProtocolGroup::Other,
+    ];
+}
+
+impl fmt::Display for ProtocolGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProtocolGroup::Http => "http",
+            ProtocolGroup::Dns => "dns",
+            ProtocolGroup::Ftp => "ftp",
+            ProtocolGroup::Smtp => "smtp",
+            ProtocolGroup::Any => "any",
+            ProtocolGroup::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single exact-match pattern.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Pattern {
+    /// The literal bytes to search for. Never empty.
+    bytes: Vec<u8>,
+    /// The protocol group this pattern belongs to.
+    group: ProtocolGroup,
+}
+
+impl Pattern {
+    /// Creates a new pattern from raw bytes.
+    ///
+    /// # Panics
+    /// Panics if `bytes` is empty — empty patterns match everywhere and are
+    /// rejected by Snort as well.
+    pub fn new(bytes: impl Into<Vec<u8>>, group: ProtocolGroup) -> Self {
+        let bytes = bytes.into();
+        assert!(!bytes.is_empty(), "patterns must be non-empty");
+        Pattern { bytes, group }
+    }
+
+    /// Convenience constructor for a protocol-agnostic pattern.
+    pub fn literal(bytes: impl Into<Vec<u8>>) -> Self {
+        Pattern::new(bytes, ProtocolGroup::Any)
+    }
+
+    /// The pattern bytes.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Pattern length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Always false: empty patterns cannot be constructed.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The protocol group of this pattern.
+    #[inline]
+    pub fn group(&self) -> ProtocolGroup {
+        self.group
+    }
+
+    /// True if this is a "short" pattern in the paper's sense (1–3 bytes),
+    /// i.e. it is handled by filter 1 of S-PATCH / V-PATCH.
+    #[inline]
+    pub fn is_short(&self) -> bool {
+        self.bytes.len() < 4
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"")?;
+        for &b in &self.bytes {
+            if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{:02x}", b)?;
+            }
+        }
+        write!(f, "\" ({})", self.group)
+    }
+}
+
+/// Summary statistics of a pattern set, used by the experiment harness and
+/// reported in EXPERIMENTS.md.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PatternSetSummary {
+    /// Number of patterns.
+    pub count: usize,
+    /// Number of short (1–3 byte) patterns.
+    pub short_count: usize,
+    /// Minimum pattern length.
+    pub min_len: usize,
+    /// Maximum pattern length.
+    pub max_len: usize,
+    /// Mean pattern length.
+    pub mean_len: f64,
+    /// Total bytes over all patterns.
+    pub total_bytes: usize,
+    /// Number of distinct first-two-byte prefixes (what the 2-byte direct
+    /// filters index on; governs the filter hit rate).
+    pub distinct_two_byte_prefixes: usize,
+    /// Per-group pattern counts.
+    pub per_group: BTreeMap<String, usize>,
+}
+
+/// An immutable, validated collection of patterns shared by all engines.
+///
+/// `PatternSet` deduplicates nothing and preserves insertion order: ids are
+/// assigned densely in the order patterns were added, so the same set always
+/// produces the same ids (important for comparing engine outputs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PatternSet {
+    patterns: Vec<Pattern>,
+}
+
+impl PatternSet {
+    /// Creates a pattern set from a list of patterns.
+    ///
+    /// Duplicate byte strings are allowed (real rulesets contain duplicates in
+    /// different rules); every occurrence gets its own id and engines report
+    /// matches for each of them.
+    pub fn new(patterns: Vec<Pattern>) -> Self {
+        PatternSet { patterns }
+    }
+
+    /// Builds a set from plain string literals (protocol group `Any`).
+    pub fn from_literals<S: AsRef<[u8]>>(literals: &[S]) -> Self {
+        PatternSet::new(
+            literals
+                .iter()
+                .map(|s| Pattern::literal(s.as_ref().to_vec()))
+                .collect(),
+        )
+    }
+
+    /// Number of patterns in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// True if the set contains no patterns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The pattern with the given id.
+    #[inline]
+    pub fn get(&self, id: PatternId) -> &Pattern {
+        &self.patterns[id.index()]
+    }
+
+    /// Iterates over `(id, pattern)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (PatternId, &Pattern)> {
+        self.patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PatternId(i as u32), p))
+    }
+
+    /// All patterns as a slice (index == id).
+    #[inline]
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Returns a new set containing only the patterns of `group`, plus the
+    /// protocol-agnostic (`Any`) patterns — mirroring how Snort pairs traffic
+    /// with the relevant rule groups (paper §V-A, "Patterns").
+    pub fn select_group(&self, group: ProtocolGroup) -> PatternSet {
+        let patterns = self
+            .patterns
+            .iter()
+            .filter(|p| p.group() == group || p.group() == ProtocolGroup::Any)
+            .cloned()
+            .collect();
+        PatternSet::new(patterns)
+    }
+
+    /// Returns a new set with the first `n` patterns of a deterministic
+    /// pseudo-random permutation of this set, as used for the
+    /// "effect of the number of patterns" sweeps (Figure 5a/5b).
+    ///
+    /// The permutation depends only on `seed`, so subsets are reproducible
+    /// and nested: the 5 000-pattern subset for a given seed is a superset of
+    /// the 2 000-pattern subset for the same seed.
+    pub fn random_subset(&self, n: usize, seed: u64) -> PatternSet {
+        let mut order: Vec<usize> = (0..self.patterns.len()).collect();
+        // Fisher-Yates with SplitMix64: no external dependency needed here and
+        // the permutation is stable across platforms.
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        for i in (1..order.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let n = n.min(order.len());
+        let patterns = order[..n]
+            .iter()
+            .map(|&i| self.patterns[i].clone())
+            .collect();
+        PatternSet::new(patterns)
+    }
+
+    /// Computes summary statistics of the set.
+    pub fn summary(&self) -> PatternSetSummary {
+        use std::collections::BTreeSet;
+        let mut prefixes = BTreeSet::new();
+        let mut per_group: BTreeMap<String, usize> = BTreeMap::new();
+        let mut total = 0usize;
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        let mut short = 0usize;
+        for p in &self.patterns {
+            total += p.len();
+            min_len = min_len.min(p.len());
+            max_len = max_len.max(p.len());
+            if p.is_short() {
+                short += 1;
+            }
+            let pre = if p.len() >= 2 {
+                u16::from_le_bytes([p.bytes()[0], p.bytes()[1]])
+            } else {
+                p.bytes()[0] as u16
+            };
+            prefixes.insert((p.len() >= 2, pre));
+            *per_group.entry(p.group().to_string()).or_insert(0) += 1;
+        }
+        if self.patterns.is_empty() {
+            min_len = 0;
+        }
+        PatternSetSummary {
+            count: self.patterns.len(),
+            short_count: short,
+            min_len,
+            max_len,
+            mean_len: if self.patterns.is_empty() {
+                0.0
+            } else {
+                total as f64 / self.patterns.len() as f64
+            },
+            total_bytes: total,
+            distinct_two_byte_prefixes: prefixes.len(),
+            per_group,
+        }
+    }
+}
+
+impl FromIterator<Pattern> for PatternSet {
+    fn from_iter<T: IntoIterator<Item = Pattern>>(iter: T) -> Self {
+        PatternSet::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_basic_properties() {
+        let p = Pattern::new(*b"GET", ProtocolGroup::Http);
+        assert_eq!(p.len(), 3);
+        assert!(p.is_short());
+        assert!(!p.is_empty());
+        assert_eq!(p.group(), ProtocolGroup::Http);
+        assert_eq!(p.bytes(), b"GET");
+
+        let q = Pattern::literal(*b"User-Agent: Mozilla");
+        assert!(!q.is_short());
+        assert_eq!(q.group(), ProtocolGroup::Any);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pattern_rejected() {
+        let _ = Pattern::literal(Vec::new());
+    }
+
+    #[test]
+    fn pattern_display_escapes_binary() {
+        let p = Pattern::literal(vec![b'A', 0x00, 0xff, b'"']);
+        let s = format!("{p}");
+        assert!(s.contains("\\x00"));
+        assert!(s.contains("\\xff"));
+        assert!(s.contains("\\x22"));
+    }
+
+    #[test]
+    fn set_ids_are_dense_and_ordered() {
+        let set = PatternSet::from_literals(&["abc", "de", "f"]);
+        assert_eq!(set.len(), 3);
+        let ids: Vec<u32> = set.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(set.get(PatternId(1)).bytes(), b"de");
+    }
+
+    #[test]
+    fn select_group_keeps_any_patterns() {
+        let set = PatternSet::new(vec![
+            Pattern::new(*b"GET /", ProtocolGroup::Http),
+            Pattern::new(*b"MAIL FROM", ProtocolGroup::Smtp),
+            Pattern::new(*b"evil", ProtocolGroup::Any),
+        ]);
+        let http = set.select_group(ProtocolGroup::Http);
+        assert_eq!(http.len(), 2);
+        assert!(http.iter().any(|(_, p)| p.bytes() == b"GET /"));
+        assert!(http.iter().any(|(_, p)| p.bytes() == b"evil"));
+    }
+
+    #[test]
+    fn random_subset_is_deterministic_and_bounded() {
+        let lits: Vec<String> = (0..100).map(|i| format!("pattern-{i:04}")).collect();
+        let set = PatternSet::from_literals(&lits);
+        let a = set.random_subset(10, 42);
+        let b = set.random_subset(10, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        let c = set.random_subset(10, 43);
+        assert_ne!(a, c, "different seeds should give different subsets");
+        // Asking for more than available just returns everything.
+        assert_eq!(set.random_subset(1000, 1).len(), 100);
+    }
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let set = PatternSet::new(vec![
+            Pattern::new(*b"ab", ProtocolGroup::Http),
+            Pattern::new(*b"abcd", ProtocolGroup::Http),
+            Pattern::new(*b"x", ProtocolGroup::Any),
+        ]);
+        let s = set.summary();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.short_count, 2);
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 4);
+        assert_eq!(s.total_bytes, 7);
+        assert_eq!(s.per_group.get("http"), Some(&2));
+        assert_eq!(s.per_group.get("any"), Some(&1));
+    }
+}

@@ -1,0 +1,385 @@
+//! Minimal Snort rule parser: extracts exact-match `content:` strings.
+//!
+//! The paper builds its pattern sets from the `content:` options of Snort
+//! rules (Snort v2.9.7 for S1, ET-open 2.9.0 for S2). Those rulesets are not
+//! redistributable, so the workspace ships synthetic equivalents
+//! ([`crate::synthetic`]) — but this parser lets a user who *does* have a
+//! ruleset load it and reproduce the experiments on the real patterns.
+//!
+//! Supported subset of the rule language (sufficient for content extraction):
+//!
+//! * rule header: `action proto src sport direction dst dport ( options )` —
+//!   only the protocol and the port fields are inspected, to derive the
+//!   [`ProtocolGroup`];
+//! * `content:"...";` options with Snort escaping: `\"`, `\\`, `\;`, `\:` and
+//!   hex blocks `|41 42 43|`;
+//! * `nocase;` — recorded but patterns are kept case-sensitive, matching the
+//!   paper's exact-matching setting;
+//! * all other options are skipped;
+//! * comment lines (`#`) and blank lines are ignored.
+//!
+//! Each `content:` string becomes one pattern (the longest content of a rule
+//! is what Snort hands to the multi-pattern matcher; we keep *all* contents,
+//! which only increases the workload and is configurable via
+//! [`ParseOptions::longest_content_only`]).
+
+use crate::pattern::{Pattern, PatternSet, ProtocolGroup};
+use std::fmt;
+
+/// Options controlling rule parsing.
+#[derive(Clone, Copy, Debug)]
+pub struct ParseOptions {
+    /// If true, only the longest `content:` of each rule is kept (Snort's
+    /// "fast pattern" behaviour). If false, every content string becomes a
+    /// pattern.
+    pub longest_content_only: bool,
+    /// Minimum pattern length to keep (Snort never uses empty contents; 1 is
+    /// the paper's setting since its rulesets contain 1-byte patterns).
+    pub min_len: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            longest_content_only: true,
+            min_len: 1,
+        }
+    }
+}
+
+/// A parse error, with the (1-based) line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the rule file.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a whole rule file into a [`PatternSet`].
+///
+/// Lines that are not rules (comments, blanks, preprocessor directives) are
+/// skipped. Rules without any `content:` option contribute no patterns.
+pub fn parse_rules(text: &str, options: ParseOptions) -> Result<PatternSet, ParseError> {
+    let mut patterns = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some(rule_patterns) = parse_rule_line(trimmed, line_no, options)? {
+            patterns.extend(rule_patterns);
+        }
+    }
+    Ok(PatternSet::new(patterns))
+}
+
+/// Parses one rule line. Returns `Ok(None)` for lines that look like rules but
+/// contain no content option.
+fn parse_rule_line(
+    line: &str,
+    line_no: usize,
+    options: ParseOptions,
+) -> Result<Option<Vec<Pattern>>, ParseError> {
+    let open = match line.find('(') {
+        Some(i) => i,
+        // Not a rule (e.g. a variable definition); ignore.
+        None => return Ok(None),
+    };
+    let header = &line[..open];
+    let close = line.rfind(')').ok_or_else(|| ParseError {
+        line: line_no,
+        message: "missing closing ')' in rule options".to_string(),
+    })?;
+    if close < open {
+        return Err(ParseError {
+            line: line_no,
+            message: "')' appears before '('".to_string(),
+        });
+    }
+    let body = &line[open + 1..close];
+    let group = classify_header(header);
+
+    let mut contents = Vec::new();
+    for option in split_options(body) {
+        let option = option.trim();
+        if let Some(rest) = option.strip_prefix("content:") {
+            let value = rest.trim();
+            // content may be negated: content:!"..."; negated contents are not
+            // part of the multi-pattern matching workload.
+            if value.starts_with('!') {
+                continue;
+            }
+            let bytes = parse_content_string(value, line_no)?;
+            if bytes.len() >= options.min_len {
+                contents.push(bytes);
+            }
+        }
+    }
+    if contents.is_empty() {
+        return Ok(None);
+    }
+    if options.longest_content_only {
+        contents.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        contents.truncate(1);
+    }
+    Ok(Some(
+        contents
+            .into_iter()
+            .map(|bytes| Pattern::new(bytes, group))
+            .collect(),
+    ))
+}
+
+/// Derives the protocol group from the rule header (protocol and ports).
+fn classify_header(header: &str) -> ProtocolGroup {
+    let lower = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = lower.split_whitespace().collect();
+    // header: action proto src sport direction dst dport
+    let proto = tokens.get(1).copied().unwrap_or("");
+    let ports: Vec<&str> = tokens.iter().skip(2).copied().collect();
+    let has_port = |p: &str| ports.iter().any(|t| t.contains(p));
+    if has_port("$http_ports") || has_port("80") || lower.contains("http") {
+        ProtocolGroup::Http
+    } else if proto == "udp" && (has_port("53") || lower.contains("dns")) {
+        ProtocolGroup::Dns
+    } else if has_port("21") || lower.contains("ftp") {
+        ProtocolGroup::Ftp
+    } else if has_port("25") || lower.contains("smtp") || lower.contains("mail") {
+        ProtocolGroup::Smtp
+    } else if ports.iter().any(|t| *t == "any") && proto == "ip" {
+        ProtocolGroup::Any
+    } else {
+        ProtocolGroup::Other
+    }
+}
+
+/// Splits a rule option body on ';', honouring quoted strings and escapes.
+fn split_options(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    let mut escape = false;
+    for c in body.chars() {
+        if escape {
+            current.push(c);
+            escape = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => {
+                current.push(c);
+                escape = true;
+            }
+            '"' => {
+                current.push(c);
+                in_quotes = !in_quotes;
+            }
+            ';' if !in_quotes => {
+                out.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parses a Snort content value: a double-quoted string with `\` escapes and
+/// `|41 42|` hex blocks.
+fn parse_content_string(value: &str, line_no: usize) -> Result<Vec<u8>, ParseError> {
+    let value = value.trim();
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| ParseError {
+            line: line_no,
+            message: format!("content value is not quoted: {value:?}"),
+        })?;
+    let mut bytes = Vec::with_capacity(inner.len());
+    let mut chars = inner.chars().peekable();
+    let mut in_hex = false;
+    let mut hex_buf = String::new();
+    while let Some(c) = chars.next() {
+        if in_hex {
+            if c == '|' {
+                // Flush the hex block.
+                for tok in hex_buf.split_whitespace() {
+                    let b = u8::from_str_radix(tok, 16).map_err(|_| ParseError {
+                        line: line_no,
+                        message: format!("invalid hex byte {tok:?} in content"),
+                    })?;
+                    bytes.push(b);
+                }
+                hex_buf.clear();
+                in_hex = false;
+            } else {
+                hex_buf.push(c);
+            }
+            continue;
+        }
+        match c {
+            '|' => in_hex = true,
+            '\\' => {
+                let escaped = chars.next().ok_or_else(|| ParseError {
+                    line: line_no,
+                    message: "dangling escape at end of content".to_string(),
+                })?;
+                bytes.push(escaped as u8);
+            }
+            _ => {
+                let mut buf = [0u8; 4];
+                bytes.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            }
+        }
+    }
+    if in_hex {
+        return Err(ParseError {
+            line: line_no,
+            message: "unterminated hex block in content".to_string(),
+        });
+    }
+    if bytes.is_empty() {
+        return Err(ParseError {
+            line: line_no,
+            message: "empty content string".to_string(),
+        });
+    }
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULE: &str = r#"alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"WEB attack"; flow:to_server,established; content:"GET /etc/passwd"; nocase; sid:1001; rev:2;)"#;
+
+    #[test]
+    fn parses_simple_http_rule() {
+        let set = parse_rules(RULE, ParseOptions::default()).unwrap();
+        assert_eq!(set.len(), 1);
+        let (_, p) = set.iter().next().unwrap();
+        assert_eq!(p.bytes(), b"GET /etc/passwd");
+        assert_eq!(p.group(), ProtocolGroup::Http);
+    }
+
+    #[test]
+    fn hex_blocks_and_escapes() {
+        let rule = r#"alert tcp any any -> any 445 (content:"|00 01 02|AB\;C|ff|"; sid:1;)"#;
+        let set = parse_rules(rule, ParseOptions::default()).unwrap();
+        let (_, p) = set.iter().next().unwrap();
+        assert_eq!(p.bytes(), &[0x00, 0x01, 0x02, b'A', b'B', b';', b'C', 0xff]);
+    }
+
+    #[test]
+    fn longest_content_only_vs_all_contents() {
+        let rule = r#"alert tcp any any -> any 80 (content:"short"; content:"a much longer content string"; sid:2;)"#;
+        let longest = parse_rules(rule, ParseOptions::default()).unwrap();
+        assert_eq!(longest.len(), 1);
+        assert_eq!(
+            longest.iter().next().unwrap().1.bytes(),
+            b"a much longer content string"
+        );
+        let all = parse_rules(
+            rule,
+            ParseOptions {
+                longest_content_only: false,
+                ..ParseOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn negated_content_is_skipped() {
+        let rule = r#"alert tcp any any -> any 80 (content:!"not this"; content:"this"; sid:3;)"#;
+        let set = parse_rules(rule, ParseOptions::default()).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next().unwrap().1.bytes(), b"this");
+    }
+
+    #[test]
+    fn comments_blank_lines_and_non_rules_are_ignored() {
+        let text = "# a comment\n\nvar HOME_NET 10.0.0.0/8\n".to_string() + RULE;
+        let set = parse_rules(&text, ParseOptions::default()).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn rules_without_content_yield_nothing() {
+        let rule = r#"alert icmp any any -> any any (msg:"ping"; itype:8; sid:4;)"#;
+        let set = parse_rules(rule, ParseOptions::default()).unwrap();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn semicolons_inside_quotes_do_not_split_options() {
+        let rule = r#"alert tcp any any -> any 80 (msg:"has; semicolon"; content:"a;b"; sid:5;)"#;
+        let set = parse_rules(rule, ParseOptions::default()).unwrap();
+        assert_eq!(set.iter().next().unwrap().1.bytes(), b"a;b");
+    }
+
+    #[test]
+    fn error_on_unterminated_hex_block() {
+        let rule = r#"alert tcp any any -> any 80 (content:"|41 42"; sid:6;)"#;
+        let err = parse_rules(rule, ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn error_on_missing_close_paren() {
+        let rule = r#"alert tcp any any -> any 80 (content:"x"; sid:7;"#;
+        assert!(parse_rules(rule, ParseOptions::default()).is_err());
+    }
+
+    #[test]
+    fn protocol_classification() {
+        assert_eq!(
+            classify_header("alert tcp any any -> any $HTTP_PORTS "),
+            ProtocolGroup::Http
+        );
+        assert_eq!(
+            classify_header("alert udp any any -> any 53 "),
+            ProtocolGroup::Dns
+        );
+        assert_eq!(
+            classify_header("alert tcp any any -> any 25 "),
+            ProtocolGroup::Smtp
+        );
+        assert_eq!(
+            classify_header("alert tcp any any -> any 21 "),
+            ProtocolGroup::Ftp
+        );
+        assert_eq!(
+            classify_header("alert tcp any any -> any 6667 "),
+            ProtocolGroup::Other
+        );
+    }
+
+    #[test]
+    fn min_len_filters_short_contents() {
+        let rule = r#"alert tcp any any -> any 80 (content:"ab"; sid:8;)"#;
+        let set = parse_rules(
+            rule,
+            ParseOptions {
+                min_len: 3,
+                ..ParseOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(set.is_empty());
+    }
+}

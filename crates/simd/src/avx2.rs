@@ -1,0 +1,388 @@
+//! AVX2 backend (8 × 32-bit lanes) — the paper's Haswell configuration.
+//!
+//! Uses the instructions the paper singles out: `vpgatherdd`
+//! (`_mm256_i32gather_epi32`) for the filter lookups, byte shuffles /
+//! zero-extensions for the sliding-window transformation, variable per-lane
+//! shifts for the bitmap bit test and `movemask` to hand the per-lane
+//! results back to scalar control flow.
+//!
+//! # Availability
+//! All methods assume the CPU supports AVX2. Engine constructors check
+//! [`Avx2Backend::is_available`] once and fall back to the scalar backend
+//! otherwise; on non-x86_64 targets every method forwards to the scalar
+//! implementation.
+
+#[cfg(not(target_arch = "x86_64"))]
+use crate::scalar::ScalarBackend;
+use crate::VectorBackend;
+#[cfg(all(target_arch = "x86_64", debug_assertions))]
+use crate::GATHER_PADDING;
+
+/// Zero-sized marker type selecting the AVX2 implementation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Avx2Backend;
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    #[inline]
+    fn to_m256i(v: [u32; 8]) -> __m256i {
+        // SAFETY: [u32; 8] and __m256i have the same size; loadu has no
+        // alignment requirement.
+        unsafe { _mm256_loadu_si256(v.as_ptr() as *const __m256i) }
+    }
+
+    #[inline]
+    fn from_m256i(v: __m256i) -> [u32; 8] {
+        let mut out = [0u32; 8];
+        // SAFETY: storeu writes 32 bytes into a 32-byte array.
+        unsafe { _mm256_storeu_si256(out.as_mut_ptr() as *mut __m256i, v) };
+        out
+    }
+
+    /// Zero-extends the 8 bytes starting at `ptr + offset` into 8 u32 lanes.
+    ///
+    /// # Safety
+    /// Caller must guarantee AVX2 is available and that at least
+    /// `offset + 16` bytes are readable from `ptr` (we load 16 bytes and use
+    /// the low 8).
+    #[target_feature(enable = "avx2")]
+    unsafe fn load_bytes_as_u32(ptr: *const u8, offset: usize) -> __m256i {
+        let raw = _mm_loadu_si128(ptr.add(offset) as *const __m128i);
+        _mm256_cvtepu8_epi32(raw)
+    }
+
+    /// # Safety: AVX2 required and `pos + 9 <= input.len()`. Reads either
+    /// directly from the input (fast path, when at least 17 bytes remain) or
+    /// from a bounded stack copy near the end of the buffer.
+    #[target_feature(enable = "avx2")]
+    unsafe fn windows2_avx2(input: &[u8], pos: usize) -> [u32; 8] {
+        let block;
+        let ptr = if pos + 17 <= input.len() {
+            input.as_ptr().add(pos)
+        } else {
+            block = block_at(input, pos, 9);
+            block.as_ptr()
+        };
+        let lo = load_bytes_as_u32(ptr, 0);
+        let hi = load_bytes_as_u32(ptr, 1);
+        from_m256i(_mm256_or_si256(lo, _mm256_slli_epi32(hi, 8)))
+    }
+
+    /// # Safety: AVX2 required and `pos + 11 <= input.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn windows4_avx2(input: &[u8], pos: usize) -> [u32; 8] {
+        let block;
+        let ptr = if pos + 19 <= input.len() {
+            input.as_ptr().add(pos)
+        } else {
+            block = block_at(input, pos, 11);
+            block.as_ptr()
+        };
+        let b0 = load_bytes_as_u32(ptr, 0);
+        let b1 = load_bytes_as_u32(ptr, 1);
+        let b2 = load_bytes_as_u32(ptr, 2);
+        let b3 = load_bytes_as_u32(ptr, 3);
+        let v = _mm256_or_si256(
+            _mm256_or_si256(b0, _mm256_slli_epi32(b1, 8)),
+            _mm256_or_si256(_mm256_slli_epi32(b2, 16), _mm256_slli_epi32(b3, 24)),
+        );
+        from_m256i(v)
+    }
+
+    /// Trampoline that gives the caller's code AVX2 codegen context so the
+    /// `#[target_feature]` kernels above can be inlined into it.
+    ///
+    /// # Safety: AVX2 must be available (checked by the safe `dispatch`).
+    #[target_feature(enable = "avx2")]
+    unsafe fn dispatch_avx2<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// # Safety: AVX2 required; every `idx[j] + 4 <= table.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather_bytes_avx2(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
+        let indices = to_m256i(idx);
+        // Scale 1: indices are byte offsets. The gather loads 4 bytes per
+        // lane, which is why tables carry GATHER_PADDING trailing bytes.
+        let gathered = _mm256_i32gather_epi32(table.as_ptr() as *const i32, indices, 1);
+        from_m256i(_mm256_and_si256(gathered, _mm256_set1_epi32(0xff)))
+    }
+
+    /// # Safety: AVX2 required; every `idx[j] + 4 <= table.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather_u16_avx2(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
+        let indices = to_m256i(idx);
+        let gathered = _mm256_i32gather_epi32(table.as_ptr() as *const i32, indices, 1);
+        from_m256i(_mm256_and_si256(gathered, _mm256_set1_epi32(0xffff)))
+    }
+
+    /// # Safety: AVX2 required.
+    #[target_feature(enable = "avx2")]
+    unsafe fn hash_mul_shift_avx2(v: [u32; 8], mul: u32, shift: u32, mask: u32) -> [u32; 8] {
+        let x = _mm256_mullo_epi32(to_m256i(v), _mm256_set1_epi32(mul as i32));
+        let x = _mm256_srl_epi32(x, _mm_cvtsi32_si128(shift as i32));
+        from_m256i(_mm256_and_si256(x, _mm256_set1_epi32(mask as i32)))
+    }
+
+    /// # Safety: AVX2 required.
+    #[target_feature(enable = "avx2")]
+    unsafe fn shr_const_avx2(v: [u32; 8], n: u32) -> [u32; 8] {
+        from_m256i(_mm256_srl_epi32(to_m256i(v), _mm_cvtsi32_si128(n as i32)))
+    }
+
+    /// # Safety: AVX2 required.
+    #[target_feature(enable = "avx2")]
+    unsafe fn and_const_avx2(v: [u32; 8], c: u32) -> [u32; 8] {
+        from_m256i(_mm256_and_si256(to_m256i(v), _mm256_set1_epi32(c as i32)))
+    }
+
+    /// # Safety: AVX2 required.
+    #[target_feature(enable = "avx2")]
+    unsafe fn test_window_bits_avx2(bytes: [u32; 8], windows: [u32; 8]) -> u32 {
+        let bit = _mm256_and_si256(to_m256i(windows), _mm256_set1_epi32(7));
+        let shifted = _mm256_srlv_epi32(to_m256i(bytes), bit);
+        let one = _mm256_and_si256(shifted, _mm256_set1_epi32(1));
+        let hit = _mm256_cmpeq_epi32(one, _mm256_set1_epi32(1));
+        _mm256_movemask_ps(_mm256_castsi256_ps(hit)) as u32
+    }
+
+    /// # Safety: AVX2 required.
+    #[target_feature(enable = "avx2")]
+    unsafe fn nonzero_mask_avx2(v: [u32; 8]) -> u32 {
+        let zero = _mm256_setzero_si256();
+        let eq = _mm256_cmpeq_epi32(to_m256i(v), zero);
+        (!(_mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32)) & 0xff
+    }
+
+    /// Copies the (up to 24-byte) window block the shuffle kernels read from,
+    /// so that loads near the end of the input never run past the slice.
+    #[inline]
+    fn block_at(input: &[u8], pos: usize, needed: usize) -> [u8; 24] {
+        let mut block = [0u8; 24];
+        debug_assert!(pos + needed <= input.len());
+        if pos + 24 <= input.len() {
+            block.copy_from_slice(&input[pos..pos + 24]);
+        } else {
+            let avail = input.len() - pos;
+            block[..avail].copy_from_slice(&input[pos..]);
+        }
+        block
+    }
+
+    impl VectorBackend<8> for Avx2Backend {
+        fn name() -> &'static str {
+            "avx2"
+        }
+
+        fn is_available() -> bool {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+
+        #[inline(always)]
+        fn dispatch<R>(f: impl FnOnce() -> R) -> R {
+            debug_assert!(<Avx2Backend as VectorBackend<8>>::is_available());
+            // SAFETY: engines check availability at construction before any
+            // dispatch; the trampoline only changes codegen flags.
+            unsafe { dispatch_avx2(f) }
+        }
+
+        #[inline(always)]
+        fn windows2(input: &[u8], pos: usize) -> [u32; 8] {
+            assert!(pos + 9 <= input.len(), "windows2 out of bounds");
+            // SAFETY: availability is checked at engine construction; the
+            // bound above plus the kernel's internal tail copy bound every
+            // load.
+            unsafe { windows2_avx2(input, pos) }
+        }
+
+        #[inline(always)]
+        fn windows4(input: &[u8], pos: usize) -> [u32; 8] {
+            assert!(pos + 11 <= input.len(), "windows4 out of bounds");
+            // SAFETY: as above.
+            unsafe { windows4_avx2(input, pos) }
+        }
+
+        #[inline(always)]
+        fn gather_bytes(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
+            #[cfg(debug_assertions)]
+            for &i in &idx {
+                assert!(
+                    i as usize + GATHER_PADDING <= table.len(),
+                    "gather index {i} violates padding requirement"
+                );
+            }
+            // SAFETY: availability checked at engine construction; the
+            // padding contract bounds the 4-byte per-lane loads.
+            unsafe { gather_bytes_avx2(table, idx) }
+        }
+
+        #[inline(always)]
+        fn gather_u16(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
+            #[cfg(debug_assertions)]
+            for &i in &idx {
+                assert!(
+                    i as usize + GATHER_PADDING <= table.len(),
+                    "gather index {i} violates padding requirement"
+                );
+            }
+            // SAFETY: availability checked at engine construction; padding
+            // contract bounds the per-lane 4-byte loads.
+            unsafe { gather_u16_avx2(table, idx) }
+        }
+
+        #[inline(always)]
+        fn hash_mul_shift(v: [u32; 8], mul: u32, shift: u32, mask: u32) -> [u32; 8] {
+            // SAFETY: availability checked at engine construction.
+            unsafe { hash_mul_shift_avx2(v, mul, shift, mask) }
+        }
+
+        #[inline(always)]
+        fn shr_const(v: [u32; 8], n: u32) -> [u32; 8] {
+            // SAFETY: availability checked at engine construction.
+            unsafe { shr_const_avx2(v, n) }
+        }
+
+        #[inline(always)]
+        fn and_const(v: [u32; 8], c: u32) -> [u32; 8] {
+            // SAFETY: availability checked at engine construction.
+            unsafe { and_const_avx2(v, c) }
+        }
+
+        #[inline(always)]
+        fn test_window_bits(bytes: [u32; 8], windows: [u32; 8]) -> u32 {
+            // SAFETY: availability checked at engine construction.
+            unsafe { test_window_bits_avx2(bytes, windows) }
+        }
+
+        #[inline(always)]
+        fn nonzero_mask(v: [u32; 8]) -> u32 {
+            // SAFETY: availability checked at engine construction.
+            unsafe { nonzero_mask_avx2(v) }
+        }
+    }
+}
+
+/// On non-x86_64 targets the AVX2 marker type simply forwards to the scalar
+/// semantics so the crate still compiles and tests run everywhere.
+#[cfg(not(target_arch = "x86_64"))]
+impl VectorBackend<8> for Avx2Backend {
+    fn name() -> &'static str {
+        "avx2(unavailable)"
+    }
+    fn is_available() -> bool {
+        false
+    }
+    fn windows2(input: &[u8], pos: usize) -> [u32; 8] {
+        <ScalarBackend as VectorBackend<8>>::windows2(input, pos)
+    }
+    fn windows4(input: &[u8], pos: usize) -> [u32; 8] {
+        <ScalarBackend as VectorBackend<8>>::windows4(input, pos)
+    }
+    fn gather_bytes(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
+        <ScalarBackend as VectorBackend<8>>::gather_bytes(table, idx)
+    }
+    fn hash_mul_shift(v: [u32; 8], mul: u32, shift: u32, mask: u32) -> [u32; 8] {
+        <ScalarBackend as VectorBackend<8>>::hash_mul_shift(v, mul, shift, mask)
+    }
+    fn shr_const(v: [u32; 8], n: u32) -> [u32; 8] {
+        <ScalarBackend as VectorBackend<8>>::shr_const(v, n)
+    }
+    fn and_const(v: [u32; 8], c: u32) -> [u32; 8] {
+        <ScalarBackend as VectorBackend<8>>::and_const(v, c)
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use crate::scalar::ScalarBackend;
+
+    fn skip() -> bool {
+        !<Avx2Backend as VectorBackend<8>>::is_available()
+    }
+
+    #[test]
+    fn windows_agree_with_scalar() {
+        if skip() {
+            return;
+        }
+        let input: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        for pos in 0..40 {
+            let a2: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows2(&input, pos);
+            let s2: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows2(&input, pos);
+            assert_eq!(a2, s2, "windows2 mismatch at pos {pos}");
+            let a4: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows4(&input, pos);
+            let s4: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows4(&input, pos);
+            assert_eq!(a4, s4, "windows4 mismatch at pos {pos}");
+        }
+    }
+
+    #[test]
+    fn windows_at_end_of_input_do_not_overread() {
+        if skip() {
+            return;
+        }
+        // Exactly the minimum bytes needed: pos + 9 for windows2.
+        let input = vec![7u8; 9];
+        let a: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows2(&input, 0);
+        let s: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows2(&input, 0);
+        assert_eq!(a, s);
+        let input4 = vec![9u8; 11];
+        let a4: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows4(&input4, 0);
+        let s4: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows4(&input4, 0);
+        assert_eq!(a4, s4);
+    }
+
+    #[test]
+    fn gather_agrees_with_scalar() {
+        if skip() {
+            return;
+        }
+        let table: Vec<u8> = (0..1024u32).map(|i| (i * 131 % 251) as u8).collect();
+        let idx = [0u32, 5, 100, 1019, 512, 7, 999, 1];
+        let a = <Avx2Backend as VectorBackend<8>>::gather_bytes(&table, idx);
+        let s = <ScalarBackend as VectorBackend<8>>::gather_bytes(&table, idx);
+        assert_eq!(a, s);
+    }
+
+    #[test]
+    fn arithmetic_agrees_with_scalar() {
+        if skip() {
+            return;
+        }
+        let v = [1u32, 0xffff_ffff, 12345, 0, 77, 0x8000_0000, 3, 9];
+        assert_eq!(
+            <Avx2Backend as VectorBackend<8>>::hash_mul_shift(v, 0x9E37_79B1, 19, 0x1fff),
+            <ScalarBackend as VectorBackend<8>>::hash_mul_shift(v, 0x9E37_79B1, 19, 0x1fff)
+        );
+        assert_eq!(
+            <Avx2Backend as VectorBackend<8>>::shr_const(v, 3),
+            <ScalarBackend as VectorBackend<8>>::shr_const(v, 3)
+        );
+        assert_eq!(
+            <Avx2Backend as VectorBackend<8>>::and_const(v, 0xff),
+            <ScalarBackend as VectorBackend<8>>::and_const(v, 0xff)
+        );
+    }
+
+    #[test]
+    fn masks_agree_with_scalar() {
+        if skip() {
+            return;
+        }
+        let bytes = [0b1000_0001u32, 0, 0xff, 2, 4, 8, 16, 32];
+        let windows = [0u32, 1, 7, 1, 2, 3, 4, 5];
+        assert_eq!(
+            <Avx2Backend as VectorBackend<8>>::test_window_bits(bytes, windows),
+            <ScalarBackend as VectorBackend<8>>::test_window_bits(bytes, windows)
+        );
+        let v = [0u32, 1, 0, 2, 0, 0, 3, 0];
+        assert_eq!(
+            <Avx2Backend as VectorBackend<8>>::nonzero_mask(v),
+            <ScalarBackend as VectorBackend<8>>::nonzero_mask(v)
+        );
+    }
+}

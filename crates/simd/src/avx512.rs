@@ -1,0 +1,326 @@
+//! AVX-512 backend (16 × 32-bit lanes) — models the paper's Xeon-Phi
+//! configuration.
+//!
+//! The Xeon-Phi 3120 used in the paper exposes 512-bit vector registers, so
+//! its filtering loop processes 16 sliding windows per iteration instead of
+//! the 8 that AVX2 allows. This backend reproduces that width with AVX-512F
+//! instructions on CPUs that support them; on CPUs without AVX-512 the
+//! 16-lane experiments fall back to [`ScalarBackend`] at width 16, which is
+//! functionally identical (the figure-7 harness reports which backend
+//! actually ran).
+
+#[cfg(not(target_arch = "x86_64"))]
+use crate::scalar::ScalarBackend;
+use crate::VectorBackend;
+#[cfg(all(target_arch = "x86_64", debug_assertions))]
+use crate::GATHER_PADDING;
+
+/// Zero-sized marker type selecting the AVX-512 implementation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Avx512Backend;
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::*;
+    use std::arch::x86_64::*;
+
+    #[inline]
+    fn to_m512i(v: [u32; 16]) -> __m512i {
+        // SAFETY: same size, unaligned load.
+        unsafe { _mm512_loadu_si512(v.as_ptr() as *const __m512i) }
+    }
+
+    #[inline]
+    fn from_m512i(v: __m512i) -> [u32; 16] {
+        let mut out = [0u32; 16];
+        // SAFETY: storeu writes 64 bytes into a 64-byte array.
+        unsafe { _mm512_storeu_si512(out.as_mut_ptr() as *mut __m512i, v) };
+        out
+    }
+
+    /// # Safety: AVX-512F required; 16 readable bytes at `ptr + offset`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn load_bytes_as_u32(ptr: *const u8, offset: usize) -> __m512i {
+        let raw = _mm_loadu_si128(ptr.add(offset) as *const __m128i);
+        _mm512_cvtepu8_epi32(raw)
+    }
+
+    /// # Safety: AVX-512F required and `pos + 17 <= input.len()` (the
+    /// wrapper's assertion), which also bounds the two 16-byte loads.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn windows2_avx512(input: &[u8], pos: usize) -> [u32; 16] {
+        let ptr = input.as_ptr().add(pos);
+        let lo = load_bytes_as_u32(ptr, 0);
+        let hi = load_bytes_as_u32(ptr, 1);
+        from_m512i(_mm512_or_si512(lo, _mm512_slli_epi32(hi, 8)))
+    }
+
+    /// # Safety: AVX-512F required and `pos + 19 <= input.len()`, which
+    /// bounds the four 16-byte loads.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn windows4_avx512(input: &[u8], pos: usize) -> [u32; 16] {
+        let ptr = input.as_ptr().add(pos);
+        let b0 = load_bytes_as_u32(ptr, 0);
+        let b1 = load_bytes_as_u32(ptr, 1);
+        let b2 = load_bytes_as_u32(ptr, 2);
+        let b3 = load_bytes_as_u32(ptr, 3);
+        let v = _mm512_or_si512(
+            _mm512_or_si512(b0, _mm512_slli_epi32(b1, 8)),
+            _mm512_or_si512(_mm512_slli_epi32(b2, 16), _mm512_slli_epi32(b3, 24)),
+        );
+        from_m512i(v)
+    }
+
+    /// Trampoline giving the caller AVX-512 codegen context (see the AVX2
+    /// backend's equivalent for why).
+    ///
+    /// # Safety: AVX-512F must be available (checked by the safe `dispatch`).
+    #[target_feature(enable = "avx512f")]
+    unsafe fn dispatch_avx512<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// # Safety: AVX-512F required; every `idx[j] + 4 <= table.len()`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gather_bytes_avx512(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
+        let indices = to_m512i(idx);
+        let gathered = _mm512_i32gather_epi32(indices, table.as_ptr() as *const i32, 1);
+        from_m512i(_mm512_and_si512(gathered, _mm512_set1_epi32(0xff)))
+    }
+
+    /// # Safety: AVX-512F required; every `idx[j] + 4 <= table.len()`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gather_u16_avx512(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
+        let indices = to_m512i(idx);
+        let gathered = _mm512_i32gather_epi32(indices, table.as_ptr() as *const i32, 1);
+        from_m512i(_mm512_and_si512(gathered, _mm512_set1_epi32(0xffff)))
+    }
+
+    /// # Safety: AVX-512F required.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn hash_mul_shift_avx512(v: [u32; 16], mul: u32, shift: u32, mask: u32) -> [u32; 16] {
+        let x = _mm512_mullo_epi32(to_m512i(v), _mm512_set1_epi32(mul as i32));
+        let x = _mm512_srl_epi32(x, _mm_cvtsi32_si128(shift as i32));
+        from_m512i(_mm512_and_si512(x, _mm512_set1_epi32(mask as i32)))
+    }
+
+    /// # Safety: AVX-512F required.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn shr_const_avx512(v: [u32; 16], n: u32) -> [u32; 16] {
+        from_m512i(_mm512_srl_epi32(to_m512i(v), _mm_cvtsi32_si128(n as i32)))
+    }
+
+    /// # Safety: AVX-512F required.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn and_const_avx512(v: [u32; 16], c: u32) -> [u32; 16] {
+        from_m512i(_mm512_and_si512(to_m512i(v), _mm512_set1_epi32(c as i32)))
+    }
+
+    /// # Safety: AVX-512F required.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn test_window_bits_avx512(bytes: [u32; 16], windows: [u32; 16]) -> u32 {
+        let bit = _mm512_and_si512(to_m512i(windows), _mm512_set1_epi32(7));
+        let shifted = _mm512_srlv_epi32(to_m512i(bytes), bit);
+        let mask = _mm512_test_epi32_mask(shifted, _mm512_set1_epi32(1));
+        mask as u32
+    }
+
+    /// # Safety: AVX-512F required.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn nonzero_mask_avx512(v: [u32; 16]) -> u32 {
+        _mm512_cmpneq_epi32_mask(to_m512i(v), _mm512_setzero_si512()) as u32
+    }
+
+    impl VectorBackend<16> for Avx512Backend {
+        fn name() -> &'static str {
+            "avx512"
+        }
+
+        fn is_available() -> bool {
+            std::arch::is_x86_feature_detected!("avx512f")
+        }
+
+        #[inline(always)]
+        fn dispatch<R>(f: impl FnOnce() -> R) -> R {
+            debug_assert!(<Avx512Backend as VectorBackend<16>>::is_available());
+            // SAFETY: engines check availability at construction before any
+            // dispatch; the trampoline only changes codegen flags.
+            unsafe { dispatch_avx512(f) }
+        }
+
+        #[inline(always)]
+        fn windows2(input: &[u8], pos: usize) -> [u32; 16] {
+            assert!(pos + 17 <= input.len(), "windows2 out of bounds");
+            // SAFETY: availability checked at engine construction; the bound
+            // above covers both 16-byte loads (offsets 0 and 1).
+            unsafe { windows2_avx512(input, pos) }
+        }
+
+        #[inline(always)]
+        fn windows4(input: &[u8], pos: usize) -> [u32; 16] {
+            assert!(pos + 19 <= input.len(), "windows4 out of bounds");
+            // SAFETY: as above (offsets 0..=3).
+            unsafe { windows4_avx512(input, pos) }
+        }
+
+        #[inline(always)]
+        fn gather_bytes(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
+            #[cfg(debug_assertions)]
+            for &i in &idx {
+                assert!(
+                    i as usize + GATHER_PADDING <= table.len(),
+                    "gather index {i} violates padding requirement"
+                );
+            }
+            // SAFETY: availability checked at engine construction; padding
+            // contract bounds the per-lane 4-byte loads.
+            unsafe { gather_bytes_avx512(table, idx) }
+        }
+
+        #[inline(always)]
+        fn gather_u16(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
+            #[cfg(debug_assertions)]
+            for &i in &idx {
+                assert!(
+                    i as usize + GATHER_PADDING <= table.len(),
+                    "gather index {i} violates padding requirement"
+                );
+            }
+            // SAFETY: availability checked at engine construction; padding
+            // contract bounds the per-lane 4-byte loads.
+            unsafe { gather_u16_avx512(table, idx) }
+        }
+
+        #[inline(always)]
+        fn hash_mul_shift(v: [u32; 16], mul: u32, shift: u32, mask: u32) -> [u32; 16] {
+            // SAFETY: availability checked at engine construction.
+            unsafe { hash_mul_shift_avx512(v, mul, shift, mask) }
+        }
+
+        #[inline(always)]
+        fn shr_const(v: [u32; 16], n: u32) -> [u32; 16] {
+            // SAFETY: availability checked at engine construction.
+            unsafe { shr_const_avx512(v, n) }
+        }
+
+        #[inline(always)]
+        fn and_const(v: [u32; 16], c: u32) -> [u32; 16] {
+            // SAFETY: availability checked at engine construction.
+            unsafe { and_const_avx512(v, c) }
+        }
+
+        #[inline(always)]
+        fn test_window_bits(bytes: [u32; 16], windows: [u32; 16]) -> u32 {
+            // SAFETY: availability checked at engine construction.
+            unsafe { test_window_bits_avx512(bytes, windows) }
+        }
+
+        #[inline(always)]
+        fn nonzero_mask(v: [u32; 16]) -> u32 {
+            // SAFETY: availability checked at engine construction.
+            unsafe { nonzero_mask_avx512(v) }
+        }
+    }
+}
+
+/// Fallback for non-x86_64 targets: scalar semantics at width 16.
+#[cfg(not(target_arch = "x86_64"))]
+impl VectorBackend<16> for Avx512Backend {
+    fn name() -> &'static str {
+        "avx512(unavailable)"
+    }
+    fn is_available() -> bool {
+        false
+    }
+    fn windows2(input: &[u8], pos: usize) -> [u32; 16] {
+        <ScalarBackend as VectorBackend<16>>::windows2(input, pos)
+    }
+    fn windows4(input: &[u8], pos: usize) -> [u32; 16] {
+        <ScalarBackend as VectorBackend<16>>::windows4(input, pos)
+    }
+    fn gather_bytes(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
+        <ScalarBackend as VectorBackend<16>>::gather_bytes(table, idx)
+    }
+    fn hash_mul_shift(v: [u32; 16], mul: u32, shift: u32, mask: u32) -> [u32; 16] {
+        <ScalarBackend as VectorBackend<16>>::hash_mul_shift(v, mul, shift, mask)
+    }
+    fn shr_const(v: [u32; 16], n: u32) -> [u32; 16] {
+        <ScalarBackend as VectorBackend<16>>::shr_const(v, n)
+    }
+    fn and_const(v: [u32; 16], c: u32) -> [u32; 16] {
+        <ScalarBackend as VectorBackend<16>>::and_const(v, c)
+    }
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+mod tests {
+    use super::*;
+    use crate::scalar::ScalarBackend;
+
+    fn skip() -> bool {
+        !<Avx512Backend as VectorBackend<16>>::is_available()
+    }
+
+    #[test]
+    fn windows_agree_with_scalar() {
+        if skip() {
+            return;
+        }
+        let input: Vec<u8> = (0..96u8).map(|i| i.wrapping_mul(73).wrapping_add(5)).collect();
+        for pos in 0..70 {
+            let a2: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows2(&input, pos);
+            let s2: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows2(&input, pos);
+            assert_eq!(a2, s2, "windows2 mismatch at pos {pos}");
+            let a4: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows4(&input, pos);
+            let s4: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows4(&input, pos);
+            assert_eq!(a4, s4, "windows4 mismatch at pos {pos}");
+        }
+    }
+
+    #[test]
+    fn gather_and_arithmetic_agree_with_scalar() {
+        if skip() {
+            return;
+        }
+        let table: Vec<u8> = (0..4096u32).map(|i| (i * 67 % 253) as u8).collect();
+        let idx: [u32; 16] = std::array::from_fn(|j| ((j * 251 + 13) % 4090) as u32);
+        assert_eq!(
+            <Avx512Backend as VectorBackend<16>>::gather_bytes(&table, idx),
+            <ScalarBackend as VectorBackend<16>>::gather_bytes(&table, idx)
+        );
+        let v: [u32; 16] = std::array::from_fn(|j| (j as u32).wrapping_mul(0x1234_5677));
+        assert_eq!(
+            <Avx512Backend as VectorBackend<16>>::hash_mul_shift(v, 0x9E37_79B1, 18, 0x3fff),
+            <ScalarBackend as VectorBackend<16>>::hash_mul_shift(v, 0x9E37_79B1, 18, 0x3fff)
+        );
+        assert_eq!(
+            <Avx512Backend as VectorBackend<16>>::shr_const(v, 5),
+            <ScalarBackend as VectorBackend<16>>::shr_const(v, 5)
+        );
+        assert_eq!(
+            <Avx512Backend as VectorBackend<16>>::and_const(v, 0xffff),
+            <ScalarBackend as VectorBackend<16>>::and_const(v, 0xffff)
+        );
+    }
+
+    #[test]
+    fn masks_agree_with_scalar() {
+        if skip() {
+            return;
+        }
+        let bytes: [u32; 16] = std::array::from_fn(|j| (j as u32 * 0x41) & 0xff);
+        let windows: [u32; 16] = std::array::from_fn(|j| j as u32);
+        assert_eq!(
+            <Avx512Backend as VectorBackend<16>>::test_window_bits(bytes, windows),
+            <ScalarBackend as VectorBackend<16>>::test_window_bits(bytes, windows)
+        );
+        let mut v = [0u32; 16];
+        v[0] = 1;
+        v[9] = 2;
+        v[15] = 3;
+        assert_eq!(
+            <Avx512Backend as VectorBackend<16>>::nonzero_mask(v),
+            <ScalarBackend as VectorBackend<16>>::nonzero_mask(v)
+        );
+    }
+}

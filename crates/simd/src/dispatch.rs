@@ -1,0 +1,114 @@
+//! Runtime backend detection and selection.
+//!
+//! The engines in `mpm-vpatch` / `mpm-dfc` are compiled generically over a
+//! [`VectorBackend`]; this module answers the runtime question "which of
+//! those instantiations can this CPU actually run, and which should I pick
+//! by default?". It mirrors the paper's two platforms: AVX2 ⇒ the Haswell
+//! configuration (8 lanes), AVX-512 ⇒ the Xeon-Phi-width configuration
+//! (16 lanes).
+
+use crate::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend};
+
+/// The backends an engine can be instantiated with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum BackendKind {
+    /// Portable scalar loops (always available).
+    Scalar,
+    /// AVX2, 8 × 32-bit lanes (the paper's Haswell platform).
+    Avx2,
+    /// AVX-512F, 16 × 32-bit lanes (the paper's Xeon-Phi vector width).
+    Avx512,
+}
+
+impl BackendKind {
+    /// Number of 32-bit lanes this backend processes per iteration.
+    /// The scalar backend is reported as 1 (it has no fixed width; engines
+    /// choose the width they instantiate it at).
+    pub fn lanes(self) -> usize {
+        match self {
+            BackendKind::Scalar => 1,
+            BackendKind::Avx2 => 8,
+            BackendKind::Avx512 => 16,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Avx2 => "avx2",
+            BackendKind::Avx512 => "avx512",
+        }
+    }
+
+    /// True if the current CPU can run this backend.
+    pub fn is_available(self) -> bool {
+        match self {
+            BackendKind::Scalar => <ScalarBackend as VectorBackend<8>>::is_available(),
+            BackendKind::Avx2 => <Avx2Backend as VectorBackend<8>>::is_available(),
+            BackendKind::Avx512 => <Avx512Backend as VectorBackend<16>>::is_available(),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Returns every backend the current CPU supports, in increasing width order
+/// (scalar is always present).
+pub fn available_backends() -> Vec<BackendKind> {
+    let mut v = vec![BackendKind::Scalar];
+    if BackendKind::Avx2.is_available() {
+        v.push(BackendKind::Avx2);
+    }
+    if BackendKind::Avx512.is_available() {
+        v.push(BackendKind::Avx512);
+    }
+    v
+}
+
+/// The widest available backend — what an engine's `new_auto` constructor
+/// should pick for best throughput on this machine.
+pub fn detect_best() -> BackendKind {
+    *available_backends().last().expect("scalar is always available")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(BackendKind::Scalar.is_available());
+        assert!(available_backends().contains(&BackendKind::Scalar));
+    }
+
+    #[test]
+    fn detect_best_returns_an_available_backend() {
+        let best = detect_best();
+        assert!(best.is_available());
+        // Best is the last (widest) entry of the available list.
+        assert_eq!(best, *available_backends().last().unwrap());
+    }
+
+    #[test]
+    fn lanes_and_names() {
+        assert_eq!(BackendKind::Scalar.lanes(), 1);
+        assert_eq!(BackendKind::Avx2.lanes(), 8);
+        assert_eq!(BackendKind::Avx512.lanes(), 16);
+        assert_eq!(BackendKind::Avx2.name(), "avx2");
+        assert_eq!(format!("{}", BackendKind::Avx512), "avx512");
+    }
+
+    #[test]
+    fn available_list_is_ordered_by_width() {
+        let list = available_backends();
+        let lanes: Vec<usize> = list.iter().map(|b| b.lanes()).collect();
+        let mut sorted = lanes.clone();
+        sorted.sort_unstable();
+        assert_eq!(lanes, sorted);
+    }
+}

@@ -1,0 +1,214 @@
+//! Vector-engine substrate: the SIMD primitives V-PATCH and Vector-DFC are
+//! built on.
+//!
+//! The paper's vectorized filtering relies on three capabilities of modern
+//! SIMD instruction sets (§III of the paper):
+//!
+//! * **shuffle** — permuting bytes inside a register, used to turn `W + 1`
+//!   consecutive input bytes into `W` overlapping 2-byte sliding windows
+//!   (Figure 2 of the paper), and likewise 4-byte windows for the third
+//!   filter;
+//! * **gather** — fetching one value per lane from non-contiguous memory
+//!   locations (`_mm256_i32gather_epi32` on Haswell/AVX2, the 512-bit
+//!   equivalent on Xeon-Phi), used to look up the cache-resident filters at
+//!   `W` independent indices at once;
+//! * **mask extraction** (movemask) — turning a per-lane comparison result
+//!   into a scalar bitmask so the scalar part of the loop can decide which
+//!   lanes passed a filter.
+//!
+//! [`VectorBackend`] captures exactly those operations behind a
+//! width-generic, platform-independent interface with three implementations:
+//!
+//! | backend | lanes (`W`) | hardware | models |
+//! |---|---|---|---|
+//! | [`ScalarBackend`] | any | none (plain Rust loops) | portable fallback / reference semantics |
+//! | [`Avx2Backend`] | 8 | AVX2 (`vpgatherdd`, `vpshufb`, `vpmovmskb`) | the paper's Haswell platform |
+//! | [`Avx512Backend`] | 16 | AVX-512F | the paper's Xeon-Phi 512-bit VPU |
+//!
+//! Every backend produces bit-for-bit identical results (property-tested in
+//! this crate); they differ only in speed. Engines are generic over
+//! `B: VectorBackend<W>`, so the same V-PATCH source compiles to a scalar,
+//! an 8-lane and a 16-lane binary — mirroring how the paper runs one design
+//! on both Haswell and Xeon-Phi.
+//!
+//! # Table padding requirement
+//!
+//! Hardware gathers load 32 bits per lane even when only one byte is needed,
+//! so [`VectorBackend::gather_bytes`] requires `table.len() >= max_index + 4`.
+//! The filter structures in `mpm-dfc` / `mpm-vpatch` allocate 4 padding bytes
+//! at the end of every table; the scalar backend asserts the same requirement
+//! in debug builds so a violation cannot hide behind the portable path.
+
+#![warn(missing_docs)]
+
+pub mod avx2;
+pub mod avx512;
+pub mod dispatch;
+pub mod scalar;
+
+pub use avx2::Avx2Backend;
+pub use avx512::Avx512Backend;
+pub use dispatch::{available_backends, detect_best, BackendKind};
+pub use scalar::{ScalarBackend, ScalarWide16, ScalarWide8};
+
+/// Number of extra bytes every gather table must have after its last
+/// addressable index (see the crate-level documentation).
+pub const GATHER_PADDING: usize = 4;
+
+/// Width-generic SIMD operations used by the vectorized matching engines.
+///
+/// `W` is the number of 32-bit lanes (8 for AVX2, 16 for AVX-512 /
+/// Xeon-Phi). All operations are pure functions of their inputs; backends
+/// hold no state, so the trait is implemented on zero-sized types.
+pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 'static {
+    /// Human-readable backend name (used in benchmark output).
+    fn name() -> &'static str;
+
+    /// True if the current CPU can execute this backend.
+    fn is_available() -> bool;
+
+    /// Runs `f` inside a function compiled with this backend's target
+    /// features enabled.
+    ///
+    /// Engines wrap their whole filtering loop in `B::dispatch(...)`. This is
+    /// what lets the per-operation intrinsics below inline into the loop:
+    /// a `#[target_feature]` function can only be inlined into callers that
+    /// also carry the feature, so without the trampoline every `gather` /
+    /// `shuffle` would remain an opaque function call and the vectorized loop
+    /// would lose its advantage to call overhead and register spills.
+    ///
+    /// The scalar backend's implementation simply calls `f`.
+    #[inline(always)]
+    fn dispatch<R>(f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// Builds `W` overlapping 2-byte little-endian windows:
+    /// `out[j] = input[pos + j] | input[pos + j + 1] << 8`.
+    ///
+    /// This is the "input transformation" of Figure 2 in the paper,
+    /// implemented with byte shuffles on the SIMD backends.
+    ///
+    /// # Panics
+    /// Panics (at least in debug builds) if `pos + W + 1 > input.len()`.
+    fn windows2(input: &[u8], pos: usize) -> [u32; W];
+
+    /// Builds `W` overlapping 4-byte little-endian windows:
+    /// `out[j] = u32::from_le_bytes(input[pos + j .. pos + j + 4])`.
+    ///
+    /// # Panics
+    /// Panics (at least in debug builds) if `pos + W + 3 > input.len()`.
+    fn windows4(input: &[u8], pos: usize) -> [u32; W];
+
+    /// Gathers one byte per lane: `out[j] = table[idx[j]] as u32`.
+    ///
+    /// # Panics / Safety
+    /// Requires `idx[j] as usize + GATHER_PADDING <= table.len()` for every
+    /// lane. The scalar backend asserts this; the SIMD backends rely on it
+    /// (they read 4 bytes per lane) and the debug assertion is kept in their
+    /// safe wrappers.
+    fn gather_bytes(table: &[u8], idx: [u32; W]) -> [u32; W];
+
+    /// Gathers two consecutive bytes per lane, little-endian:
+    /// `out[j] = table[idx[j]] as u32 | (table[idx[j] + 1] as u32) << 8`.
+    ///
+    /// This is what the paper's *filter merging* optimisation needs: with
+    /// filters 1 and 2 interleaved in memory, a single gather at
+    /// `2 * (window >> 3)` returns filter 1's byte in the low half and
+    /// filter 2's byte in the next one (Figure 3). Same padding contract as
+    /// [`VectorBackend::gather_bytes`].
+    ///
+    /// The default implementation performs two scalar loads per lane;
+    /// hardware backends override it to reuse their 32-bit gather.
+    fn gather_u16(table: &[u8], idx: [u32; W]) -> [u32; W] {
+        let mut out = [0u32; W];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let i = idx[j] as usize;
+            debug_assert!(
+                i + GATHER_PADDING <= table.len(),
+                "gather index {i} violates the padding requirement (table len {})",
+                table.len()
+            );
+            *slot = u16::from_le_bytes([table[i], table[i + 1]]) as u32;
+        }
+        out
+    }
+
+    /// Per-lane multiplicative hash: `((v * mul) >> shift) & mask`
+    /// (wrapping multiplication), the hash family used by the third filter.
+    fn hash_mul_shift(v: [u32; W], mul: u32, shift: u32, mask: u32) -> [u32; W];
+
+    /// Per-lane right shift by a constant.
+    fn shr_const(v: [u32; W], n: u32) -> [u32; W];
+
+    /// Per-lane bitwise AND with a constant.
+    fn and_const(v: [u32; W], c: u32) -> [u32; W];
+
+    /// Tests, for every lane, bit `windows[j] & 7` of the gathered filter
+    /// byte `bytes[j]`, returning a lane bitmask (bit `j` set ⇔ the filter
+    /// bit for lane `j` is set).
+    ///
+    /// This is the standard bitmap-membership idiom the paper adopts from
+    /// the vectorized-Bloom-filter literature: the window value selects both
+    /// the byte (high bits, via the gather index) and the bit inside that
+    /// byte (low 3 bits).
+    fn test_window_bits(bytes: [u32; W], windows: [u32; W]) -> u32 {
+        let mut mask = 0u32;
+        for j in 0..W {
+            if (bytes[j] >> (windows[j] & 7)) & 1 != 0 {
+                mask |= 1 << j;
+            }
+        }
+        mask
+    }
+
+    /// Returns the bitmask of lanes whose value is non-zero.
+    fn nonzero_mask(v: [u32; W]) -> u32 {
+        let mut mask = 0u32;
+        for (j, &x) in v.iter().enumerate() {
+            if x != 0 {
+                mask |= 1 << j;
+            }
+        }
+        mask
+    }
+
+    /// All-lanes mask constant for this width (`W` low bits set).
+    #[inline]
+    fn full_mask() -> u32 {
+        if W >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << W) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_matches_width() {
+        assert_eq!(<ScalarWide8 as VectorBackend<8>>::full_mask(), 0xff);
+        assert_eq!(<ScalarWide16 as VectorBackend<16>>::full_mask(), 0xffff);
+    }
+
+    #[test]
+    fn default_test_window_bits_checks_low_three_bits() {
+        // byte 0b0000_0100 has bit 2 set; window value with low bits = 2 hits.
+        let bytes = [0b0000_0100u32; 8];
+        let mut windows = [2u32; 8];
+        windows[3] = 5; // bit 5 not set in the byte
+        let mask = <ScalarWide8 as VectorBackend<8>>::test_window_bits(bytes, windows);
+        assert_eq!(mask, 0xff & !(1 << 3));
+    }
+
+    #[test]
+    fn default_nonzero_mask() {
+        let mut v = [0u32; 8];
+        v[1] = 7;
+        v[6] = 1;
+        assert_eq!(<ScalarWide8 as VectorBackend<8>>::nonzero_mask(v), (1 << 1) | (1 << 6));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests: every SIMD backend must agree bit-for-bit with the scalar
+//! reference semantics on arbitrary inputs.
+
+use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend, GATHER_PADDING};
+use proptest::prelude::*;
+
+fn avx2_available() -> bool {
+    <Avx2Backend as VectorBackend<8>>::is_available()
+}
+
+fn avx512_available() -> bool {
+    <Avx512Backend as VectorBackend<16>>::is_available()
+}
+
+proptest! {
+    #[test]
+    fn avx2_windows_match_scalar(input in proptest::collection::vec(any::<u8>(), 24..256), pos in 0usize..200) {
+        prop_assume!(pos + 11 <= input.len());
+        if !avx2_available() { return Ok(()); }
+        let s2: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows2(&input, pos);
+        let a2: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows2(&input, pos);
+        prop_assert_eq!(s2, a2);
+        let s4: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows4(&input, pos);
+        let a4: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows4(&input, pos);
+        prop_assert_eq!(s4, a4);
+    }
+
+    #[test]
+    fn avx512_windows_match_scalar(input in proptest::collection::vec(any::<u8>(), 40..256), pos in 0usize..200) {
+        prop_assume!(pos + 19 <= input.len());
+        if !avx512_available() { return Ok(()); }
+        let s2: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows2(&input, pos);
+        let a2: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows2(&input, pos);
+        prop_assert_eq!(s2, a2);
+        let s4: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows4(&input, pos);
+        let a4: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows4(&input, pos);
+        prop_assert_eq!(s4, a4);
+    }
+
+    #[test]
+    fn avx2_gather_matches_scalar(table in proptest::collection::vec(any::<u8>(), 64..2048), raw_idx in proptest::array::uniform8(any::<u32>())) {
+        if !avx2_available() { return Ok(()); }
+        let limit = (table.len() - GATHER_PADDING) as u32;
+        let idx = raw_idx.map(|i| i % limit);
+        let s = <ScalarBackend as VectorBackend<8>>::gather_bytes(&table, idx);
+        let a = <Avx2Backend as VectorBackend<8>>::gather_bytes(&table, idx);
+        prop_assert_eq!(s, a);
+    }
+
+    #[test]
+    fn avx512_gather_matches_scalar(table in proptest::collection::vec(any::<u8>(), 64..2048), raw_idx in proptest::array::uniform16(any::<u32>())) {
+        if !avx512_available() { return Ok(()); }
+        let limit = (table.len() - GATHER_PADDING) as u32;
+        let idx = raw_idx.map(|i| i % limit);
+        let s = <ScalarBackend as VectorBackend<16>>::gather_bytes(&table, idx);
+        let a = <Avx512Backend as VectorBackend<16>>::gather_bytes(&table, idx);
+        prop_assert_eq!(s, a);
+    }
+
+    #[test]
+    fn avx2_lane_ops_match_scalar(v in proptest::array::uniform8(any::<u32>()), mul in any::<u32>(), shift in 0u32..31, mask in any::<u32>()) {
+        if !avx2_available() { return Ok(()); }
+        prop_assert_eq!(
+            <ScalarBackend as VectorBackend<8>>::hash_mul_shift(v, mul, shift, mask),
+            <Avx2Backend as VectorBackend<8>>::hash_mul_shift(v, mul, shift, mask)
+        );
+        prop_assert_eq!(
+            <ScalarBackend as VectorBackend<8>>::shr_const(v, shift),
+            <Avx2Backend as VectorBackend<8>>::shr_const(v, shift)
+        );
+        prop_assert_eq!(
+            <ScalarBackend as VectorBackend<8>>::and_const(v, mask),
+            <Avx2Backend as VectorBackend<8>>::and_const(v, mask)
+        );
+        prop_assert_eq!(
+            <ScalarBackend as VectorBackend<8>>::nonzero_mask(v),
+            <Avx2Backend as VectorBackend<8>>::nonzero_mask(v)
+        );
+    }
+
+    #[test]
+    fn avx512_lane_ops_match_scalar(v in proptest::array::uniform16(any::<u32>()), mul in any::<u32>(), shift in 0u32..31, mask in any::<u32>()) {
+        if !avx512_available() { return Ok(()); }
+        prop_assert_eq!(
+            <ScalarBackend as VectorBackend<16>>::hash_mul_shift(v, mul, shift, mask),
+            <Avx512Backend as VectorBackend<16>>::hash_mul_shift(v, mul, shift, mask)
+        );
+        prop_assert_eq!(
+            <ScalarBackend as VectorBackend<16>>::nonzero_mask(v),
+            <Avx512Backend as VectorBackend<16>>::nonzero_mask(v)
+        );
+    }
+
+    #[test]
+    fn avx2_bit_test_matches_scalar(bytes in proptest::array::uniform8(0u32..256), windows in proptest::array::uniform8(any::<u32>())) {
+        if !avx2_available() { return Ok(()); }
+        prop_assert_eq!(
+            <ScalarBackend as VectorBackend<8>>::test_window_bits(bytes, windows),
+            <Avx2Backend as VectorBackend<8>>::test_window_bits(bytes, windows)
+        );
+    }
+
+    #[test]
+    fn avx512_bit_test_matches_scalar(bytes in proptest::array::uniform16(0u32..256), windows in proptest::array::uniform16(any::<u32>())) {
+        if !avx512_available() { return Ok(()); }
+        prop_assert_eq!(
+            <ScalarBackend as VectorBackend<16>>::test_window_bits(bytes, windows),
+            <Avx512Backend as VectorBackend<16>>::test_window_bits(bytes, windows)
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn gather_u16_matches_scalar_on_all_backends(table in proptest::collection::vec(any::<u8>(), 64..2048), raw_idx in proptest::array::uniform16(any::<u32>())) {
+        let limit = (table.len() - GATHER_PADDING) as u32;
+        let idx16 = raw_idx.map(|i| i % limit);
+        let idx8: [u32; 8] = std::array::from_fn(|j| idx16[j]);
+        // Scalar default implementation is the reference.
+        let expected8 = <ScalarBackend as VectorBackend<8>>::gather_u16(&table, idx8);
+        for (j, &i) in idx8.iter().enumerate() {
+            let want = u16::from_le_bytes([table[i as usize], table[i as usize + 1]]) as u32;
+            prop_assert_eq!(expected8[j], want);
+        }
+        if avx2_available() {
+            prop_assert_eq!(<Avx2Backend as VectorBackend<8>>::gather_u16(&table, idx8), expected8);
+        }
+        if avx512_available() {
+            let expected16 = <ScalarBackend as VectorBackend<16>>::gather_u16(&table, idx16);
+            prop_assert_eq!(<Avx512Backend as VectorBackend<16>>::gather_u16(&table, idx16), expected16);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Chunked stream view with overlap, for streaming inspection scenarios.
+//!
+//! A NIDS does not see a trace as one contiguous buffer: the payload arrives
+//! in reassembled chunks. A pattern may straddle a chunk boundary, so a
+//! scanner that processes chunks independently must re-scan the last
+//! `max_pattern_len - 1` bytes of the previous chunk together with the next
+//! one. [`ChunkedStream`] provides exactly that view over a trace, and is
+//! used by the `nids_pipeline` example and the streaming integration tests.
+
+use bytes::Bytes;
+
+/// A view of a byte stream as fixed-size chunks with a configurable overlap
+/// carried over from the previous chunk.
+#[derive(Clone, Debug)]
+pub struct ChunkedStream {
+    data: Bytes,
+    chunk_len: usize,
+    overlap: usize,
+}
+
+/// One chunk of the stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Chunk {
+    /// Offset in the original stream of the first byte of `bytes`
+    /// (including the overlap region).
+    pub offset: usize,
+    /// Number of leading bytes of `bytes` that were already part of the
+    /// previous chunk. Matches that *start* inside this prefix were already
+    /// reported by the previous chunk and must be skipped to avoid
+    /// double-reporting.
+    pub overlap: usize,
+    /// The chunk payload (overlap prefix + fresh bytes).
+    pub bytes: Bytes,
+}
+
+impl Chunk {
+    /// Offset in the original stream of the first *fresh* (not yet scanned)
+    /// byte of this chunk.
+    pub fn fresh_start(&self) -> usize {
+        self.offset + self.overlap
+    }
+}
+
+impl ChunkedStream {
+    /// Creates a chunked view.
+    ///
+    /// `chunk_len` is the number of fresh bytes per chunk; `overlap` is the
+    /// number of trailing bytes of the previous chunk to prepend (usually
+    /// `max_pattern_len - 1`).
+    ///
+    /// # Panics
+    /// Panics if `chunk_len` is zero.
+    pub fn new(data: impl Into<Bytes>, chunk_len: usize, overlap: usize) -> Self {
+        assert!(chunk_len > 0, "chunk_len must be positive");
+        ChunkedStream {
+            data: data.into(),
+            chunk_len,
+            overlap,
+        }
+    }
+
+    /// Total stream length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of chunks the stream will be split into.
+    pub fn chunk_count(&self) -> usize {
+        self.data.len().div_ceil(self.chunk_len)
+    }
+
+    /// Iterates over the chunks. Slicing is zero-copy (`Bytes` reference
+    /// counting), so iterating a multi-gigabyte trace allocates nothing.
+    pub fn iter(&self) -> impl Iterator<Item = Chunk> + '_ {
+        let data = &self.data;
+        let chunk_len = self.chunk_len;
+        let overlap = self.overlap;
+        (0..self.chunk_count()).map(move |i| {
+            let fresh_start = i * chunk_len;
+            let start = fresh_start.saturating_sub(overlap);
+            let end = (fresh_start + chunk_len).min(data.len());
+            Chunk {
+                offset: start,
+                overlap: fresh_start - start,
+                bytes: data.slice(start..end),
+            }
+        })
+    }
+}
+
+/// Deduplicating reassembly helper: converts per-chunk match events (with
+/// chunk-local offsets) into stream-global events, dropping matches that are
+/// entirely contained in the overlap prefix — those were already reported by
+/// the previous chunk. Matches that merely *start* in the overlap but extend
+/// into the fresh bytes could not have been seen before and are kept.
+pub fn globalize_matches(
+    chunk: &Chunk,
+    set: &mpm_patterns::PatternSet,
+    local: &[mpm_patterns::MatchEvent],
+) -> Vec<mpm_patterns::MatchEvent> {
+    local
+        .iter()
+        .filter(|m| m.start + set.get(m.pattern).len() > chunk.overlap)
+        .map(|m| mpm_patterns::MatchEvent::new(m.start + chunk.offset, m.pattern))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::{naive::naive_find_all, Matcher, NaiveMatcher, PatternSet};
+
+    #[test]
+    fn chunks_cover_stream_exactly_once() {
+        let data: Vec<u8> = (0..100u8).collect();
+        let stream = ChunkedStream::new(data.clone(), 16, 4);
+        let mut covered = vec![0u32; data.len()];
+        for chunk in stream.iter() {
+            for i in chunk.fresh_start()..chunk.offset + chunk.bytes.len() {
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1), "{covered:?}");
+    }
+
+    #[test]
+    fn overlap_prefix_repeats_previous_bytes() {
+        let data: Vec<u8> = (0..64u8).collect();
+        let stream = ChunkedStream::new(data, 16, 3);
+        let chunks: Vec<Chunk> = stream.iter().collect();
+        assert_eq!(chunks[0].overlap, 0);
+        for w in chunks.windows(2) {
+            let prev_end = w[0].offset + w[0].bytes.len();
+            assert_eq!(w[1].offset, prev_end - w[1].overlap);
+            assert_eq!(w[1].overlap, 3);
+        }
+    }
+
+    #[test]
+    fn chunked_scan_equals_whole_scan() {
+        let set = PatternSet::from_literals(&["boundary", "xyz", "a"]);
+        // Put a pattern right across a chunk boundary.
+        let mut data = vec![b'.'; 200];
+        data[60..68].copy_from_slice(b"boundary");
+        data[127..130].copy_from_slice(b"xyz");
+        let expected = naive_find_all(&set, &data);
+
+        let matcher = NaiveMatcher::new(&set);
+        let max_len = set.patterns().iter().map(|p| p.len()).max().unwrap();
+        let stream = ChunkedStream::new(data, 64, max_len - 1);
+        let mut all = Vec::new();
+        for chunk in stream.iter() {
+            let local = matcher.find_all(&chunk.bytes);
+            all.extend(globalize_matches(&chunk, &set, &local));
+        }
+        mpm_patterns::matcher::normalize_matches(&mut all);
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn last_chunk_may_be_short() {
+        let stream = ChunkedStream::new(vec![0u8; 100], 30, 5);
+        let chunks: Vec<Chunk> = stream.iter().collect();
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[3].bytes.len(), 10 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_rejected() {
+        let _ = ChunkedStream::new(vec![1u8, 2, 3], 0, 0);
+    }
+
+    #[test]
+    fn empty_stream_has_no_chunks() {
+        let stream = ChunkedStream::new(Vec::<u8>::new(), 16, 2);
+        assert!(stream.is_empty());
+        assert_eq!(stream.iter().count(), 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Match-density-controlled input generator (Figure 5c).
+//!
+//! For Figure 5c the paper "created a synthetic input that contains
+//! increasingly more patterns, randomly selected from a ruleset of 2,000
+//! patterns", sweeping the fraction of the input that matches from 0% to
+//! 100%. [`MatchDensityGenerator`] reproduces that: it fills a buffer with
+//! benign filler and then overwrites a chosen fraction of its bytes with
+//! verbatim pattern occurrences.
+
+use mpm_patterns::{PatternId, PatternSet};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Generator for inputs whose matching-byte fraction is controlled.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchDensityGenerator {
+    /// Length of the generated input.
+    pub len: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// If true the filler between occurrences is ASCII text (closer to real
+    /// traffic); if false it is uniformly random bytes.
+    pub ascii_filler: bool,
+}
+
+impl MatchDensityGenerator {
+    /// Creates a generator for inputs of `len` bytes.
+    pub fn new(len: usize, seed: u64) -> Self {
+        MatchDensityGenerator {
+            len,
+            seed,
+            ascii_filler: true,
+        }
+    }
+
+    /// Generates an input in which approximately `fraction` of the bytes
+    /// (clamped to `[0, 1]`) are covered by occurrences of patterns drawn
+    /// uniformly from `patterns`.
+    ///
+    /// The achieved fraction can differ slightly from the request because
+    /// occurrences are whole patterns; the difference is below one average
+    /// pattern length per placement region.
+    pub fn generate(&self, patterns: &PatternSet, fraction: f64) -> Vec<u8> {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (fraction * 1e6) as u64);
+        let mut out = vec![0u8; self.len];
+        if self.ascii_filler {
+            const FILLER: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789\r\n./:-_";
+            for b in out.iter_mut() {
+                *b = FILLER[rng.gen_range(0..FILLER.len())];
+            }
+        } else {
+            rng.fill_bytes(&mut out);
+        }
+        if patterns.is_empty() || fraction == 0.0 || self.len == 0 {
+            return out;
+        }
+
+        let target_bytes = (self.len as f64 * fraction) as usize;
+        let mut covered = 0usize;
+        let mut pos = 0usize;
+        // Walk the buffer left to right, placing a pattern then skipping a gap
+        // sized so that coverage converges to the target fraction.
+        while covered < target_bytes && pos < self.len {
+            let id = PatternId(rng.gen_range(0..patterns.len()) as u32);
+            let p = patterns.get(id);
+            if pos + p.len() > self.len {
+                // Try a shorter pattern a few times, then stop.
+                let mut placed = false;
+                for _ in 0..16 {
+                    let id = PatternId(rng.gen_range(0..patterns.len()) as u32);
+                    let q = patterns.get(id);
+                    if pos + q.len() <= self.len {
+                        out[pos..pos + q.len()].copy_from_slice(q.bytes());
+                        covered += q.len();
+                        pos += q.len();
+                        placed = true;
+                        break;
+                    }
+                }
+                if !placed {
+                    break;
+                }
+                continue;
+            }
+            out[pos..pos + p.len()].copy_from_slice(p.bytes());
+            covered += p.len();
+            pos += p.len();
+            // Gap so that pattern bytes / total bytes ≈ fraction.
+            if fraction < 1.0 {
+                let gap = ((p.len() as f64) * (1.0 - fraction) / fraction).round() as usize;
+                pos += gap;
+            }
+        }
+        out
+    }
+
+    /// Measures the fraction of bytes of `input` covered by occurrences of
+    /// `patterns` (union of all match intervals). Used by tests and by the
+    /// Figure 5c harness to report the achieved density.
+    pub fn measure_fraction(patterns: &PatternSet, input: &[u8]) -> f64 {
+        if input.is_empty() {
+            return 0.0;
+        }
+        let matches = mpm_patterns::naive::naive_find_all(patterns, input);
+        let mut covered = vec![false; input.len()];
+        for m in matches {
+            let end = m.end(patterns).min(input.len());
+            for flag in &mut covered[m.start..end] {
+                *flag = true;
+            }
+        }
+        covered.iter().filter(|&&c| c).count() as f64 / input.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> PatternSet {
+        PatternSet::from_literals(&["attackvector", "exploit-kit", "malware", "ZZQQ", "payload99"])
+    }
+
+    #[test]
+    fn zero_fraction_produces_no_matches() {
+        let g = MatchDensityGenerator::new(20_000, 1);
+        let input = g.generate(&set(), 0.0);
+        assert_eq!(input.len(), 20_000);
+        let f = MatchDensityGenerator::measure_fraction(&set(), &input);
+        assert!(f < 0.01, "expected ~no matches, got {f}");
+    }
+
+    #[test]
+    fn requested_fraction_is_approximately_achieved() {
+        let g = MatchDensityGenerator::new(60_000, 2);
+        for &target in &[0.1, 0.3, 0.5, 0.8] {
+            let input = g.generate(&set(), target);
+            let achieved = MatchDensityGenerator::measure_fraction(&set(), &input);
+            assert!(
+                (achieved - target).abs() < 0.12,
+                "target {target}, achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_fraction_is_mostly_pattern_bytes() {
+        let g = MatchDensityGenerator::new(30_000, 3);
+        let input = g.generate(&set(), 1.0);
+        let achieved = MatchDensityGenerator::measure_fraction(&set(), &input);
+        assert!(achieved > 0.9, "got {achieved}");
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_fraction() {
+        let g = MatchDensityGenerator::new(5_000, 9);
+        assert_eq!(g.generate(&set(), 0.4), g.generate(&set(), 0.4));
+        assert_ne!(g.generate(&set(), 0.4), g.generate(&set(), 0.6));
+    }
+
+    #[test]
+    fn empty_pattern_set_returns_filler() {
+        let g = MatchDensityGenerator::new(1_000, 4);
+        let empty = PatternSet::new(vec![]);
+        let input = g.generate(&empty, 0.5);
+        assert_eq!(input.len(), 1_000);
+    }
+
+    #[test]
+    fn binary_filler_option() {
+        let mut g = MatchDensityGenerator::new(10_000, 5);
+        g.ascii_filler = false;
+        let input = g.generate(&set(), 0.2);
+        // Random filler should contain plenty of non-ASCII bytes.
+        let non_ascii = input.iter().filter(|&&b| b >= 0x80).count();
+        assert!(non_ascii > 1_000);
+    }
+}

@@ -1,0 +1,296 @@
+//! Whole-trace generators: one per dataset used in the paper's evaluation.
+
+use crate::http::{generate_transaction, HttpConfig};
+use mpm_patterns::PatternSet;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Which of the paper's traces to synthesise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum TraceKind {
+    /// ISCX dataset, day 2 sample (HTTP-heavy realistic traffic).
+    IscxDay2,
+    /// ISCX dataset, day 6 sample (HTTP-heavy, slightly different mix).
+    IscxDay6,
+    /// DARPA 2000 capture (older traffic mix, more non-HTTP protocols,
+    /// fewer pattern occurrences).
+    Darpa2000,
+    /// Uniformly random bytes (the synthetic data set of the paper).
+    Random,
+}
+
+impl TraceKind {
+    /// All trace kinds in the order the paper's figures present them.
+    pub const ALL: [TraceKind; 4] = [
+        TraceKind::IscxDay2,
+        TraceKind::IscxDay6,
+        TraceKind::Darpa2000,
+        TraceKind::Random,
+    ];
+
+    /// The "realistic traffic" traces (left-hand panels of Figures 4 and 7).
+    pub const REALISTIC: [TraceKind; 3] =
+        [TraceKind::IscxDay2, TraceKind::IscxDay6, TraceKind::Darpa2000];
+
+    /// Display label matching the paper's figure axes.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::IscxDay2 => "ISCX day2",
+            TraceKind::IscxDay6 => "ISCX day6",
+            TraceKind::Darpa2000 => "DARPA 2000",
+            TraceKind::Random => "random",
+        }
+    }
+
+    /// Default RNG seed for this trace (so different traces differ even with
+    /// the same spec parameters).
+    fn default_seed(self) -> u64 {
+        match self {
+            TraceKind::IscxDay2 => 0x15c8_0002,
+            TraceKind::IscxDay6 => 0x15c8_0006,
+            TraceKind::Darpa2000 => 0xda19_2000,
+            TraceKind::Random => 0x4a4d_0001,
+        }
+    }
+
+    /// How many bytes of stream separate two injected pattern occurrences on
+    /// average. `None` means no occurrences are injected (random trace).
+    ///
+    /// These densities were chosen so that, as in the paper, realistic traces
+    /// produce orders of magnitude more verifications/matches than the random
+    /// trace, with DARPA the quietest of the three realistic ones.
+    fn injection_period(self) -> Option<usize> {
+        match self {
+            TraceKind::IscxDay2 => Some(1_800),
+            TraceKind::IscxDay6 => Some(2_400),
+            TraceKind::Darpa2000 => Some(4_000),
+            TraceKind::Random => None,
+        }
+    }
+}
+
+/// Specification of a trace to generate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Which dataset to emulate.
+    pub kind: TraceKind,
+    /// Length of the generated payload stream in bytes.
+    pub len: usize,
+    /// RNG seed. [`TraceSpec::new`] fills in a per-kind default.
+    pub seed: u64,
+}
+
+impl TraceSpec {
+    /// Creates a spec with the default seed for `kind`.
+    pub fn new(kind: TraceKind, len: usize) -> Self {
+        TraceSpec {
+            kind,
+            len,
+            seed: kind.default_seed(),
+        }
+    }
+
+    /// Overrides the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generator that turns a [`TraceSpec`] (plus, for realistic traces, the
+/// pattern set whose occurrences should appear in the traffic) into a byte
+/// stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceGenerator;
+
+impl TraceGenerator {
+    /// Generates the trace described by `spec`.
+    ///
+    /// For the realistic traces (`IscxDay2`, `IscxDay6`, `Darpa2000`) pattern
+    /// occurrences from `patterns` are injected at the trace's characteristic
+    /// density, emulating the fact that real traffic contains the strings the
+    /// rules look for (`GET`, `User-Agent:`, exploit payloads observed in the
+    /// datasets, ...). For the `Random` trace `patterns` is ignored.
+    pub fn generate(spec: &TraceSpec, patterns: Option<&PatternSet>) -> Vec<u8> {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut out = Vec::with_capacity(spec.len + 4096);
+        match spec.kind {
+            TraceKind::Random => {
+                out.resize(spec.len, 0);
+                rng.fill_bytes(&mut out);
+            }
+            TraceKind::IscxDay2 | TraceKind::IscxDay6 => {
+                let config = HttpConfig::default();
+                while out.len() < spec.len {
+                    generate_transaction(&mut rng, &config, &mut out);
+                }
+            }
+            TraceKind::Darpa2000 => {
+                let config = HttpConfig {
+                    response_body_probability: 0.7,
+                    mean_body_len: 600,
+                    binary_body_probability: 0.35,
+                };
+                while out.len() < spec.len {
+                    if rng.gen_bool(0.65) {
+                        generate_transaction(&mut rng, &config, &mut out);
+                    } else {
+                        push_legacy_protocol_session(&mut rng, &mut out);
+                    }
+                }
+            }
+        }
+        out.truncate(spec.len);
+
+        if let (Some(period), Some(set)) = (spec.kind.injection_period(), patterns) {
+            inject_pattern_occurrences(&mut rng, &mut out, set, period);
+        }
+        out
+    }
+}
+
+/// Emulates telnet/FTP/SMTP-style sessions that make up part of the DARPA mix.
+fn push_legacy_protocol_session(rng: &mut StdRng, out: &mut Vec<u8>) {
+    const LINES: &[&str] = &[
+        "220 hostname FTP server (Version wu-2.6.0) ready.\r\n",
+        "USER anonymous\r\n",
+        "331 Guest login ok, send your complete e-mail address as password.\r\n",
+        "PASS guest@\r\n",
+        "230 Guest login ok, access restrictions apply.\r\n",
+        "CWD /pub\r\n250 CWD command successful.\r\n",
+        "RETR README\r\n150 Opening ASCII mode data connection.\r\n",
+        "MAIL FROM:<user@example.com>\r\n250 ok\r\n",
+        "RCPT TO:<admin@victim.mil>\r\n250 ok\r\n",
+        "login: guest\r\nPassword: \r\nLast login: Tue Mar  7 09:21:11\r\n$ ls -la /etc\r\n",
+        "HELO relay.example.org\r\n250 Hello relay.example.org\r\n",
+    ];
+    let n = rng.gen_range(3..10);
+    for _ in 0..n {
+        out.extend_from_slice(LINES.choose(rng).unwrap().as_bytes());
+    }
+}
+
+/// Overwrites stream bytes with pattern occurrences roughly every `period`
+/// bytes. Occurrence positions and pattern choices are random but seeded.
+fn inject_pattern_occurrences(
+    rng: &mut StdRng,
+    stream: &mut [u8],
+    patterns: &PatternSet,
+    period: usize,
+) {
+    if patterns.is_empty() || stream.is_empty() {
+        return;
+    }
+    let mut pos = rng.gen_range(0..period.min(stream.len()));
+    while pos < stream.len() {
+        // Prefer patterns that fit at this position; skip pathological cases.
+        for _ in 0..8 {
+            let idx = rng.gen_range(0..patterns.len());
+            let p = patterns.get(mpm_patterns::PatternId(idx as u32));
+            if pos + p.len() <= stream.len() {
+                stream[pos..pos + p.len()].copy_from_slice(p.bytes());
+                break;
+            }
+        }
+        pos += rng.gen_range(period / 2..period * 3 / 2).max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::{naive::naive_find_all, PatternSet};
+
+    fn small_set() -> PatternSet {
+        PatternSet::from_literals(&["/etc/passwd", "cmd.exe", "<script>", "GET /admin"])
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let spec = TraceSpec::new(TraceKind::IscxDay2, 50_000);
+        let set = small_set();
+        let a = TraceGenerator::generate(&spec, Some(&set));
+        let b = TraceGenerator::generate(&spec, Some(&set));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50_000);
+    }
+
+    #[test]
+    fn kinds_produce_different_streams() {
+        let set = small_set();
+        let a = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, 20_000), Some(&set));
+        let b = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay6, 20_000), Some(&set));
+        let c = TraceGenerator::generate(&TraceSpec::new(TraceKind::Darpa2000, 20_000), Some(&set));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn realistic_traces_contain_injected_patterns_random_does_not() {
+        let set = small_set();
+        let real =
+            TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, 100_000), Some(&set));
+        let matches = naive_find_all(&set, &real);
+        assert!(
+            matches.len() >= 20,
+            "expected injected occurrences in realistic trace, got {}",
+            matches.len()
+        );
+
+        let random =
+            TraceGenerator::generate(&TraceSpec::new(TraceKind::Random, 100_000), Some(&set));
+        let matches = naive_find_all(&set, &random);
+        assert!(
+            matches.len() < 5,
+            "random bytes should almost never contain the patterns, got {}",
+            matches.len()
+        );
+    }
+
+    #[test]
+    fn darpa_has_fewer_matches_than_iscx() {
+        let set = small_set();
+        let len = 200_000;
+        let iscx = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, len), Some(&set));
+        let darpa =
+            TraceGenerator::generate(&TraceSpec::new(TraceKind::Darpa2000, len), Some(&set));
+        let iscx_m = naive_find_all(&set, &iscx).len();
+        let darpa_m = naive_find_all(&set, &darpa).len();
+        assert!(
+            darpa_m < iscx_m,
+            "DARPA-like trace should be quieter: {darpa_m} vs {iscx_m}"
+        );
+    }
+
+    #[test]
+    fn random_trace_has_uniform_byte_distribution() {
+        let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::Random, 256 * 1024), None);
+        let mut counts = [0u32; 256];
+        for &b in &trace {
+            counts[b as usize] += 1;
+        }
+        let expected = trace.len() as f64 / 256.0;
+        for (b, &c) in counts.iter().enumerate() {
+            let ratio = c as f64 / expected;
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "byte {b} frequency ratio {ratio} too far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn works_without_pattern_set() {
+        let trace =
+            TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, 10_000), None);
+        assert_eq!(trace.len(), 10_000);
+    }
+
+    #[test]
+    fn labels_match_paper_axes() {
+        assert_eq!(TraceKind::IscxDay2.label(), "ISCX day2");
+        assert_eq!(TraceKind::Darpa2000.label(), "DARPA 2000");
+        assert_eq!(TraceKind::ALL.len(), 4);
+        assert_eq!(TraceKind::REALISTIC.len(), 3);
+    }
+}

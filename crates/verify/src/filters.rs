@@ -1,0 +1,335 @@
+//! Cache-resident bitmap filters shared by the DFC, S-PATCH and V-PATCH
+//! engines.
+//!
+//! Two kinds of filter appear in the paper:
+//!
+//! * [`DirectFilter`] — one bit per possible 2-byte window (2^16 bits =
+//!   8 KB), indexed directly by the window value. DFC's initial filter and
+//!   S-PATCH's filters 1 and 2 are of this kind.
+//! * [`HashedFilter`] — a bitmap indexed by a multiplicative hash of a
+//!   4-byte window. S-PATCH's filter 3 (and DFC's "progressive" filters for
+//!   long patterns) are of this kind; the hash keeps the filter small enough
+//!   to stay in L1/L2 while still consulting four bytes of context.
+//!
+//! Both filters expose their backing byte array (padded by
+//! [`mpm_simd`-compatible] 4 bytes) so the vectorized engines can gather
+//! from them directly, and both offer a *merged* layout helper
+//! ([`MergedDirectFilters`]) implementing the paper's filter-merging
+//! optimisation: filters 1 and 2 interleaved so one gather fetches both
+//! (Figure 3).
+
+use mpm_patterns::PatternSet;
+
+/// Extra bytes appended to every filter's backing storage so 4-byte-per-lane
+/// hardware gathers never read past the allocation (see `mpm_simd`).
+pub const FILTER_PADDING: usize = 4;
+
+/// Number of distinct 2-byte windows.
+const TWO_BYTE_SPACE: usize = 1 << 16;
+
+/// A direct-indexed one-bit-per-2-byte-window filter (8 KB + padding).
+#[derive(Clone, Debug)]
+pub struct DirectFilter {
+    bits: Vec<u8>,
+}
+
+impl Default for DirectFilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DirectFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        DirectFilter {
+            bits: vec![0u8; TWO_BYTE_SPACE / 8 + FILTER_PADDING],
+        }
+    }
+
+    /// Builds a filter whose bit is set for the first two bytes of every
+    /// pattern selected by `select`. Patterns of length 1 set the bits for
+    /// **all** 256 windows beginning with their byte, so a 2-byte sliding
+    /// window can still detect them (this is how DFC handles 1-byte
+    /// patterns).
+    pub fn build<F: Fn(&mpm_patterns::Pattern) -> bool>(set: &PatternSet, select: F) -> Self {
+        let mut filter = DirectFilter::new();
+        for (_, p) in set.iter() {
+            if !select(p) {
+                continue;
+            }
+            let bytes = p.bytes();
+            if bytes.len() >= 2 {
+                filter.set(u16::from_le_bytes([bytes[0], bytes[1]]));
+            } else {
+                for second in 0..=255u8 {
+                    filter.set(u16::from_le_bytes([bytes[0], second]));
+                }
+            }
+        }
+        filter
+    }
+
+    /// Sets the bit for a window value.
+    #[inline]
+    pub fn set(&mut self, window: u16) {
+        self.bits[(window >> 3) as usize] |= 1 << (window & 7);
+    }
+
+    /// Tests the bit for a window value.
+    #[inline]
+    pub fn contains(&self, window: u16) -> bool {
+        (self.bits[(window >> 3) as usize] >> (window & 7)) & 1 != 0
+    }
+
+    /// Number of set bits (used by tests and the filtering-rate analysis).
+    pub fn popcount(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// The backing byte array (padded), for gather-based lookups. Index
+    /// `window >> 3` selects the byte, bit `window & 7` the bit — exactly
+    /// the layout [`mpm_simd::VectorBackend::test_window_bits`] expects.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Resident size in bytes (8 KB + padding).
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// A bitmap indexed by a multiplicative hash of a 4-byte window.
+#[derive(Clone, Debug)]
+pub struct HashedFilter {
+    bits: Vec<u8>,
+    /// Number of index bits (the table has 2^bits bits).
+    bits_log2: u32,
+}
+
+impl HashedFilter {
+    /// Creates an empty filter with `2^bits_log2` bits.
+    ///
+    /// The paper balances collision rate against cache footprint; the
+    /// default used by S-PATCH is [`HashedFilter::DEFAULT_BITS`] (2^17 bits
+    /// = 16 KB, fitting L1 together with the two 8 KB direct filters in L2).
+    pub fn new(bits_log2: u32) -> Self {
+        assert!((10..=24).contains(&bits_log2), "unreasonable hashed-filter size");
+        HashedFilter {
+            bits: vec![0u8; (1usize << bits_log2) / 8 + FILTER_PADDING],
+            bits_log2,
+        }
+    }
+
+    /// Default size: 2^17 bits (16 KB).
+    pub const DEFAULT_BITS: u32 = 17;
+
+    /// Builds the filter from the first four bytes of every selected pattern.
+    /// All selected patterns must be at least 4 bytes long.
+    pub fn build<F: Fn(&mpm_patterns::Pattern) -> bool>(
+        set: &PatternSet,
+        bits_log2: u32,
+        select: F,
+    ) -> Self {
+        let mut filter = HashedFilter::new(bits_log2);
+        for (_, p) in set.iter() {
+            if !select(p) {
+                continue;
+            }
+            let b = p.bytes();
+            assert!(b.len() >= 4, "hashed filter requires >= 4-byte patterns");
+            filter.insert(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+        }
+        filter
+    }
+
+    /// Hash of a 4-byte window into this filter's index space.
+    #[inline]
+    pub fn hash(&self, window4: u32) -> u32 {
+        crate::hash32(window4, self.bits_log2)
+    }
+
+    /// Inserts a 4-byte window.
+    #[inline]
+    pub fn insert(&mut self, window4: u32) {
+        let h = self.hash(window4);
+        self.bits[(h >> 3) as usize] |= 1 << (h & 7);
+    }
+
+    /// Tests a 4-byte window.
+    #[inline]
+    pub fn contains(&self, window4: u32) -> bool {
+        let h = self.hash(window4);
+        (self.bits[(h >> 3) as usize] >> (h & 7)) & 1 != 0
+    }
+
+    /// Number of index bits (`log2` of the bit count).
+    pub fn bits_log2(&self) -> u32 {
+        self.bits_log2
+    }
+
+    /// Backing byte array (padded) for gather-based lookups; index with the
+    /// hash value: byte `h >> 3`, bit `h & 7`.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bits
+    }
+
+    /// Resident size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// The paper's filter-merging optimisation (Figure 3): the bytes of filter 1
+/// and filter 2 interleaved in one array so a single gather at index
+/// `2 * (window >> 3)` brings both filters' bytes into the register
+/// (filter 1 in the low byte, filter 2 in the next byte).
+#[derive(Clone, Debug)]
+pub struct MergedDirectFilters {
+    bytes: Vec<u8>,
+}
+
+impl MergedDirectFilters {
+    /// Interleaves two direct filters byte-by-byte.
+    pub fn merge(f1: &DirectFilter, f2: &DirectFilter) -> Self {
+        let payload = TWO_BYTE_SPACE / 8;
+        let mut bytes = vec![0u8; payload * 2 + FILTER_PADDING];
+        for i in 0..payload {
+            bytes[2 * i] = f1.bytes()[i];
+            bytes[2 * i + 1] = f2.bytes()[i];
+        }
+        MergedDirectFilters { bytes }
+    }
+
+    /// Gather index (byte offset) for a window value: both filters' bytes for
+    /// `window` live at `2 * (window >> 3)` (+0 for filter 1, +1 for
+    /// filter 2).
+    #[inline]
+    pub fn gather_index(window: u32) -> u32 {
+        (window >> 3) * 2
+    }
+
+    /// Scalar lookup of filter 1 for a window value.
+    #[inline]
+    pub fn contains_f1(&self, window: u16) -> bool {
+        (self.bytes[Self::gather_index(window as u32) as usize] >> (window & 7)) & 1 != 0
+    }
+
+    /// Scalar lookup of filter 2 for a window value.
+    #[inline]
+    pub fn contains_f2(&self, window: u16) -> bool {
+        (self.bytes[Self::gather_index(window as u32) as usize + 1] >> (window & 7)) & 1 != 0
+    }
+
+    /// Backing bytes (padded) for gathers.
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Resident size in bytes (16 KB + padding).
+    pub fn heap_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::PatternSet;
+
+    #[test]
+    fn direct_filter_set_and_test() {
+        let mut f = DirectFilter::new();
+        assert_eq!(f.popcount(), 0);
+        f.set(0x4142);
+        assert!(f.contains(0x4142));
+        assert!(!f.contains(0x4143));
+        assert_eq!(f.popcount(), 1);
+        assert_eq!(f.heap_bytes(), 8192 + FILTER_PADDING);
+    }
+
+    #[test]
+    fn direct_filter_build_sets_prefix_bits() {
+        let set = PatternSet::from_literals(&["GET", "ab"]);
+        let f = DirectFilter::build(&set, |_| true);
+        assert!(f.contains(u16::from_le_bytes([b'G', b'E'])));
+        assert!(f.contains(u16::from_le_bytes([b'a', b'b'])));
+        assert!(!f.contains(u16::from_le_bytes([b'z', b'z'])));
+    }
+
+    #[test]
+    fn one_byte_patterns_cover_all_second_bytes() {
+        let set = PatternSet::from_literals(&["x"]);
+        let f = DirectFilter::build(&set, |_| true);
+        for second in 0..=255u8 {
+            assert!(f.contains(u16::from_le_bytes([b'x', second])));
+        }
+        assert_eq!(f.popcount(), 256);
+    }
+
+    #[test]
+    fn hashed_filter_membership_has_no_false_negatives() {
+        let set = PatternSet::from_literals(&["attack-vector", "/etc/passwd", "abcdef"]);
+        let f = HashedFilter::build(&set, HashedFilter::DEFAULT_BITS, |_| true);
+        for (_, p) in set.iter() {
+            let b = p.bytes();
+            let w = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+            assert!(f.contains(w), "inserted window must be found");
+        }
+    }
+
+    #[test]
+    fn hashed_filter_rejects_most_random_windows() {
+        let set = PatternSet::from_literals(&["attack-vector", "/etc/passwd", "abcdef"]);
+        let f = HashedFilter::build(&set, HashedFilter::DEFAULT_BITS, |_| true);
+        let mut false_positives = 0;
+        let total = 10_000u32;
+        for i in 0..total {
+            let w = i.wrapping_mul(0x0101_0101).wrapping_add(0xdead_beef);
+            if f.contains(w) {
+                false_positives += 1;
+            }
+        }
+        assert!(
+            false_positives < 50,
+            "expected < 0.5% false positives with 3 entries, got {false_positives}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 4-byte patterns")]
+    fn hashed_filter_rejects_short_patterns() {
+        let set = PatternSet::from_literals(&["ab"]);
+        let _ = HashedFilter::build(&set, 12, |_| true);
+    }
+
+    #[test]
+    fn merged_filters_agree_with_separate_lookups() {
+        let set1 = PatternSet::from_literals(&["GE", "ab", "zz"]);
+        let set2 = PatternSet::from_literals(&["GEToverlong", "qrstuv"]);
+        let f1 = DirectFilter::build(&set1, |_| true);
+        let f2 = DirectFilter::build(&set2, |_| true);
+        let merged = MergedDirectFilters::merge(&f1, &f2);
+        for w in 0..=u16::MAX {
+            assert_eq!(merged.contains_f1(w), f1.contains(w), "f1 mismatch at {w}");
+            assert_eq!(merged.contains_f2(w), f2.contains(w), "f2 mismatch at {w}");
+        }
+        assert_eq!(merged.heap_bytes(), 2 * 8192 + FILTER_PADDING);
+    }
+
+    #[test]
+    fn filters_are_cache_sized() {
+        // The headline property the paper relies on: the whole filtering
+        // working set fits comfortably in L1/L2.
+        let set = PatternSet::from_literals(&["GET /", "POST /", "/etc/passwd"]);
+        let f1 = DirectFilter::build(&set, |p| p.len() < 4);
+        let f2 = DirectFilter::build(&set, |p| p.len() >= 4);
+        let f3 = HashedFilter::build(&set, HashedFilter::DEFAULT_BITS, |p| p.len() >= 4);
+        let total = f1.heap_bytes() + f2.heap_bytes() + f3.heap_bytes();
+        assert!(total <= 64 * 1024, "filters must fit in L1/L2, got {total}");
+    }
+}

@@ -1,0 +1,433 @@
+//! DFC-style compact hash tables and the exact-verification phase shared by
+//! the DFC, S-PATCH and V-PATCH engines.
+//!
+//! In the filtering family of algorithms (paper §II-B and §IV), the filters
+//! only *suspect* a match; the candidate position is then looked up in a
+//! **compact hash table** holding references to the full patterns, and each
+//! referenced pattern is compared byte-for-byte against the input before a
+//! match is reported. This crate implements:
+//!
+//! * [`CompactHashTable`] — a bucketised table of pattern references indexed
+//!   by a fixed-length prefix of the input window (direct-indexed for 1–2
+//!   byte prefixes, multiplicative-hash-indexed for 4-byte prefixes), with
+//!   the patterns stored contiguously in an arena as in the original DFC
+//!   implementation;
+//! * [`Verifier`] — the two-table arrangement S-PATCH/V-PATCH use: one table
+//!   for short patterns (1–3 bytes, reached through filter 1) and one for
+//!   long patterns (≥ 4 bytes, reached through filters 2+3);
+//! * [`hash32`] — the multiplicative hash family used both here and by the
+//!   third filter of S-PATCH.
+//!
+//! Equivalence guarantee: for any candidate position, verification reports
+//! exactly the patterns that occur verbatim at that position — never more
+//! (false positives are eliminated by the byte comparison) and never fewer
+//! (every pattern of the table's length class is reachable through its index
+//! prefix). The engines' overall exactness then only depends on their
+//! filters never dropping a true candidate, which the engine crates test.
+
+#![warn(missing_docs)]
+
+pub mod filters;
+
+pub use filters::{DirectFilter, HashedFilter, MergedDirectFilters, FILTER_PADDING};
+
+use mpm_patterns::{MatchEvent, PatternId, PatternSet};
+
+/// The multiplier of the multiplicative hash family used by the third filter
+/// and the verification tables (2^32 / φ, the usual Fibonacci-hash constant).
+/// Exposed so the vectorized engines can compute the identical hash with
+/// SIMD multiplies.
+pub const HASH_MULTIPLIER: u32 = 0x9E37_79B1;
+
+/// Multiplicative (Fibonacci) hash of a 32-bit value, returning `bits` bits.
+///
+/// This is the "multiplicative hash function for the four bytes of input"
+/// the paper uses to index its third filter; the verification tables use the
+/// same family so the two stay consistent.
+#[inline]
+pub fn hash32(value: u32, bits: u32) -> u32 {
+    debug_assert!(bits > 0 && bits <= 32);
+    value.wrapping_mul(HASH_MULTIPLIER) >> (32 - bits)
+}
+
+/// One pattern reference inside a bucket: where the pattern's bytes live in
+/// the arena and which pattern id to report.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    offset: u32,
+    len: u32,
+    id: PatternId,
+}
+
+/// A compact, prefix-indexed table of pattern references with an arena of
+/// pattern bytes, as used by DFC's verification phase.
+#[derive(Clone, Debug)]
+pub struct CompactHashTable {
+    /// Number of bytes of the input window used to compute the bucket index.
+    prefix_len: usize,
+    /// log2 of the number of buckets.
+    bucket_bits: u32,
+    /// Bucket start offsets into `entries` (length = buckets + 1), CSR-style
+    /// so lookups touch one contiguous slice.
+    bucket_starts: Vec<u32>,
+    entries: Vec<Entry>,
+    /// All pattern bytes, concatenated.
+    arena: Vec<u8>,
+    /// Smallest pattern length stored (for the caller's bookkeeping).
+    min_pattern_len: usize,
+}
+
+impl CompactHashTable {
+    /// Builds a table over the patterns of `set` selected by `select`
+    /// (typically a length-class predicate).
+    ///
+    /// `prefix_len` must be 1, 2, 3 or 4 and no selected pattern may be
+    /// shorter than `prefix_len` (the index is taken from the pattern's first
+    /// `prefix_len` bytes). `bucket_bits` controls the table size
+    /// (`2^bucket_bits` buckets); for `prefix_len <= 2` the table is
+    /// direct-indexed and `bucket_bits` is forced to `8 * prefix_len`.
+    pub fn build<F: Fn(&mpm_patterns::Pattern) -> bool>(
+        set: &PatternSet,
+        prefix_len: usize,
+        bucket_bits: u32,
+        select: F,
+    ) -> Self {
+        assert!((1..=4).contains(&prefix_len), "prefix_len must be 1..=4");
+        let bucket_bits = if prefix_len <= 2 {
+            (prefix_len as u32) * 8
+        } else {
+            bucket_bits
+        };
+        assert!(bucket_bits <= 24, "bucket_bits too large for a compact table");
+        let buckets = 1usize << bucket_bits;
+
+        // First pass: count bucket sizes.
+        let mut selected: Vec<(PatternId, &mpm_patterns::Pattern)> = Vec::new();
+        for (id, p) in set.iter() {
+            if select(p) {
+                assert!(
+                    p.len() >= prefix_len,
+                    "pattern {id} (len {}) shorter than table prefix {prefix_len}",
+                    p.len()
+                );
+                selected.push((id, p));
+            }
+        }
+        let mut counts = vec![0u32; buckets];
+        for (_, p) in &selected {
+            counts[Self::index_of(p.bytes(), prefix_len, bucket_bits) as usize] += 1;
+        }
+        let mut bucket_starts = vec![0u32; buckets + 1];
+        for i in 0..buckets {
+            bucket_starts[i + 1] = bucket_starts[i] + counts[i];
+        }
+
+        // Second pass: fill entries and the arena.
+        let total: usize = selected.len();
+        let mut entries = vec![
+            Entry {
+                offset: 0,
+                len: 0,
+                id: PatternId(0)
+            };
+            total
+        ];
+        let mut cursor = bucket_starts.clone();
+        let mut arena = Vec::with_capacity(selected.iter().map(|(_, p)| p.len()).sum());
+        let mut min_pattern_len = usize::MAX;
+        for (id, p) in &selected {
+            let bucket = Self::index_of(p.bytes(), prefix_len, bucket_bits) as usize;
+            let slot = cursor[bucket] as usize;
+            cursor[bucket] += 1;
+            entries[slot] = Entry {
+                offset: arena.len() as u32,
+                len: p.len() as u32,
+                id: *id,
+            };
+            arena.extend_from_slice(p.bytes());
+            min_pattern_len = min_pattern_len.min(p.len());
+        }
+        if selected.is_empty() {
+            min_pattern_len = 0;
+        }
+
+        CompactHashTable {
+            prefix_len,
+            bucket_bits,
+            bucket_starts,
+            entries,
+            arena,
+            min_pattern_len,
+        }
+    }
+
+    /// Bucket index for a window starting with `bytes` (at least
+    /// `prefix_len` bytes).
+    #[inline]
+    fn index_of(bytes: &[u8], prefix_len: usize, bucket_bits: u32) -> u32 {
+        match prefix_len {
+            1 => bytes[0] as u32,
+            2 => u16::from_le_bytes([bytes[0], bytes[1]]) as u32,
+            3 => {
+                let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], 0]);
+                hash32(v, bucket_bits)
+            }
+            4 => {
+                let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+                hash32(v, bucket_bits)
+            }
+            _ => unreachable!("prefix_len validated at construction"),
+        }
+    }
+
+    /// Number of patterns stored in the table.
+    pub fn pattern_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table holds no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Smallest pattern length stored (0 if empty).
+    pub fn min_pattern_len(&self) -> usize {
+        self.min_pattern_len
+    }
+
+    /// Approximate resident size of the table in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.bucket_starts.len() * 4
+            + self.entries.len() * std::mem::size_of::<Entry>()
+            + self.arena.len()
+    }
+
+    /// Verifies the candidate position `pos` in `haystack`: every pattern in
+    /// the bucket selected by the window at `pos` is compared against the
+    /// input, and confirmed matches are appended to `out`.
+    ///
+    /// Returns the number of pattern comparisons performed (used by the
+    /// instrumentation and the cache model).
+    #[inline]
+    pub fn verify_at(&self, haystack: &[u8], pos: usize, out: &mut Vec<MatchEvent>) -> usize {
+        if self.entries.is_empty() || pos + self.prefix_len > haystack.len() {
+            return 0;
+        }
+        let bucket =
+            Self::index_of(&haystack[pos..], self.prefix_len, self.bucket_bits) as usize;
+        let start = self.bucket_starts[bucket] as usize;
+        let end = self.bucket_starts[bucket + 1] as usize;
+        let mut comparisons = 0;
+        for entry in &self.entries[start..end] {
+            comparisons += 1;
+            let len = entry.len as usize;
+            if pos + len > haystack.len() {
+                continue;
+            }
+            let pattern = &self.arena[entry.offset as usize..entry.offset as usize + len];
+            if &haystack[pos..pos + len] == pattern {
+                out.push(MatchEvent::new(pos, entry.id));
+            }
+        }
+        comparisons
+    }
+
+    /// The bucket index touched by a candidate at `pos`, or `None` if the
+    /// window does not fit. Exposed for the cache simulator, which needs the
+    /// address of the bucket a verification access reads.
+    pub fn bucket_of(&self, haystack: &[u8], pos: usize) -> Option<usize> {
+        if pos + self.prefix_len > haystack.len() {
+            None
+        } else {
+            Some(Self::index_of(&haystack[pos..], self.prefix_len, self.bucket_bits) as usize)
+        }
+    }
+
+    /// Approximate byte offset of a bucket inside the table's memory, for the
+    /// cache simulator's address model.
+    pub fn bucket_offset_bytes(&self, bucket: usize) -> usize {
+        self.bucket_starts[bucket] as usize * std::mem::size_of::<Entry>()
+    }
+}
+
+/// The two-table verifier used by S-PATCH / V-PATCH: short patterns
+/// (1–3 bytes) verified through a byte-indexed table, long patterns
+/// (≥ 4 bytes) through a 4-byte-hash-indexed table.
+#[derive(Clone, Debug)]
+pub struct Verifier {
+    short: CompactHashTable,
+    long: CompactHashTable,
+}
+
+/// Default bucket bits for the long-pattern table (2^16 buckets ≈ what DFC
+/// sizes its compact tables to for tens of thousands of patterns).
+pub const DEFAULT_LONG_BUCKET_BITS: u32 = 16;
+
+impl Verifier {
+    /// Builds the verifier for `set`.
+    pub fn build(set: &PatternSet) -> Self {
+        Verifier {
+            short: CompactHashTable::build(set, 1, 8, |p| p.len() < 4),
+            long: CompactHashTable::build(set, 4, DEFAULT_LONG_BUCKET_BITS, |p| p.len() >= 4),
+        }
+    }
+
+    /// Verifies a candidate produced by the short-pattern filter (filter 1).
+    /// Returns the number of pattern comparisons performed.
+    #[inline]
+    pub fn verify_short(&self, haystack: &[u8], pos: usize, out: &mut Vec<MatchEvent>) -> usize {
+        self.short.verify_at(haystack, pos, out)
+    }
+
+    /// Verifies a candidate produced by the long-pattern filters
+    /// (filters 2 + 3). Returns the number of pattern comparisons performed.
+    #[inline]
+    pub fn verify_long(&self, haystack: &[u8], pos: usize, out: &mut Vec<MatchEvent>) -> usize {
+        self.long.verify_at(haystack, pos, out)
+    }
+
+    /// The short-pattern table.
+    pub fn short_table(&self) -> &CompactHashTable {
+        &self.short
+    }
+
+    /// The long-pattern table.
+    pub fn long_table(&self) -> &CompactHashTable {
+        &self.long
+    }
+
+    /// Approximate resident size of both tables.
+    pub fn heap_bytes(&self) -> usize {
+        self.short.heap_bytes() + self.long.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::{naive::naive_find_all, Pattern, PatternSet};
+
+    fn mixed_set() -> PatternSet {
+        PatternSet::new(vec![
+            Pattern::literal(*b"GET"),
+            Pattern::literal(*b"x"),
+            Pattern::literal(*b"ab"),
+            Pattern::literal(*b"attack-vector"),
+            Pattern::literal(*b"attribute"),
+            Pattern::literal(*b"/etc/passwd"),
+            Pattern::literal(*b"abcd"),
+        ])
+    }
+
+    #[test]
+    fn hash32_is_deterministic_and_bounded() {
+        for bits in 1..=24u32 {
+            let h = hash32(0xdead_beef, bits);
+            assert!(h < (1 << bits));
+            assert_eq!(h, hash32(0xdead_beef, bits));
+        }
+    }
+
+    #[test]
+    fn verifier_confirms_exactly_the_true_matches() {
+        let set = mixed_set();
+        let v = Verifier::build(&set);
+        let hay = b"GET /etc/passwd HTTP/1.1 attribute=abcd x attack-vector";
+        // Every position is a candidate: verification alone must reproduce
+        // the naive result (filters only ever reduce the candidate set).
+        let mut out = Vec::new();
+        for pos in 0..hay.len() {
+            v.verify_short(hay, pos, &mut out);
+            v.verify_long(hay, pos, &mut out);
+        }
+        mpm_patterns::matcher::normalize_matches(&mut out);
+        assert_eq!(out, naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn short_and_long_tables_partition_the_set() {
+        let set = mixed_set();
+        let v = Verifier::build(&set);
+        assert_eq!(v.short_table().pattern_count(), 3); // GET, x, ab
+        assert_eq!(v.long_table().pattern_count(), 4);
+        assert_eq!(v.short_table().min_pattern_len(), 1);
+        assert_eq!(v.long_table().min_pattern_len(), 4);
+    }
+
+    #[test]
+    fn prefix_collisions_are_resolved_by_exact_comparison() {
+        // "attribute" and "attack" share the 4-byte prefix "atta": the bucket
+        // holds both, but only the pattern actually present is reported.
+        let set = PatternSet::from_literals(&["attribute", "attack"]);
+        let table = CompactHashTable::build(&set, 4, 10, |_| true);
+        let hay = b"an attribute is not an attack ";
+        let mut out = Vec::new();
+        for pos in 0..hay.len() {
+            table.verify_at(hay, pos, &mut out);
+        }
+        mpm_patterns::matcher::normalize_matches(&mut out);
+        assert_eq!(out, naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn empty_table_verifies_nothing() {
+        let set = PatternSet::from_literals(&["abcd"]);
+        let table = CompactHashTable::build(&set, 1, 8, |p| p.len() > 100);
+        assert!(table.is_empty());
+        let mut out = Vec::new();
+        assert_eq!(table.verify_at(b"abcd", 0, &mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn candidate_at_end_of_input_is_safe() {
+        let set = mixed_set();
+        let v = Verifier::build(&set);
+        let hay = b"zzGET";
+        let mut out = Vec::new();
+        // Positions near/after the end must not panic.
+        for pos in 0..=hay.len() + 2 {
+            v.verify_short(hay, pos.min(hay.len()), &mut out);
+            v.verify_long(hay, pos.min(hay.len()), &mut out);
+        }
+        mpm_patterns::matcher::normalize_matches(&mut out);
+        assert_eq!(out, naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn comparisons_counter_counts_bucket_entries() {
+        let set = PatternSet::from_literals(&["attribute", "attack", "attach"]);
+        let table = CompactHashTable::build(&set, 4, 8, |_| true);
+        let mut out = Vec::new();
+        let n = table.verify_at(b"attack now", 0, &mut out);
+        assert_eq!(n, 2, "'attack' and 'attach' share the bucket prefix 'atta'");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn direct_indexed_two_byte_table() {
+        let set = PatternSet::from_literals(&["ab", "abc", "zz"]);
+        let table = CompactHashTable::build(&set, 2, 0, |_| true);
+        let mut out = Vec::new();
+        table.verify_at(b"abc", 0, &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        table.verify_at(b"zz", 0, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than table prefix")]
+    fn building_with_too_short_patterns_panics() {
+        let set = PatternSet::from_literals(&["ab"]);
+        let _ = CompactHashTable::build(&set, 4, 8, |_| true);
+    }
+
+    #[test]
+    fn heap_bytes_reflects_arena_size() {
+        let set = mixed_set();
+        let v = Verifier::build(&set);
+        let total_pattern_bytes: usize = set.patterns().iter().map(|p| p.len()).sum();
+        assert!(v.heap_bytes() >= total_pattern_bytes);
+    }
+}

@@ -1,0 +1,253 @@
+//! Wu-Manber multi-pattern matcher.
+//!
+//! The paper's related-work section (§VI-A) discusses Wu-Manber as the main
+//! alternative family to Aho-Corasick: a Boyer-Moore-style algorithm that
+//! uses a table of safe *shift* distances over blocks of `B = 2` characters
+//! to skip input bytes entirely, falling back to a hash bucket of candidate
+//! patterns when no skip is possible. Its well-known weakness — and the
+//! reason the paper dismisses it for NIDS rulesets — is that the minimum
+//! pattern length bounds every shift, so short patterns destroy its
+//! advantage. This crate provides a from-scratch implementation so that the
+//! claim can be measured rather than cited (see the `short_patterns_ruin_
+//! shift_distances` test and the Criterion comparison in `mpm-bench`).
+//!
+//! The implementation follows the original technical report (Wu & Manber,
+//! TR-94-17): SHIFT table indexed by the last `B` bytes of the current
+//! `m`-byte window (`m` = shortest pattern length), HASH buckets of patterns
+//! for windows whose shift is zero, exact verification against the full
+//! pattern. Patterns shorter than `B` (single bytes) cannot participate in
+//! the shift machinery at all and are handled by a dedicated scan — the
+//! degenerate behaviour the paper alludes to.
+
+#![warn(missing_docs)]
+
+use mpm_patterns::{MatchEvent, Matcher, PatternId, PatternSet};
+
+/// Block size used for the shift table (the classic choice).
+const B: usize = 2;
+
+/// Number of entries in the SHIFT/HASH tables (one per 2-byte block value).
+const TABLE_SIZE: usize = 1 << 16;
+
+/// Wu-Manber matcher.
+#[derive(Clone, Debug)]
+pub struct WuManber {
+    set: PatternSet,
+    /// Shortest pattern length among the patterns handled by the shift
+    /// machinery (length ≥ 2). Zero when there are none.
+    m: usize,
+    /// Safe shift distance per 2-byte block value.
+    shift: Vec<u16>,
+    /// Candidate pattern ids per 2-byte block value (only populated where
+    /// `shift == 0`).
+    buckets: Vec<Vec<PatternId>>,
+    /// Single-byte patterns, handled by a dedicated pass: `one_byte[b]`
+    /// lists the ids of patterns equal to byte `b`.
+    one_byte: Vec<Vec<PatternId>>,
+    has_one_byte: bool,
+}
+
+#[inline]
+fn block_value(a: u8, b: u8) -> usize {
+    u16::from_le_bytes([a, b]) as usize
+}
+
+impl WuManber {
+    /// Compiles the matcher for `set`.
+    pub fn build(set: &PatternSet) -> Self {
+        let mut one_byte = vec![Vec::new(); 256];
+        let mut has_one_byte = false;
+        let mut shift_patterns: Vec<(PatternId, &[u8])> = Vec::new();
+        for (id, p) in set.iter() {
+            if p.len() < B {
+                one_byte[p.bytes()[0] as usize].push(id);
+                has_one_byte = true;
+            } else {
+                shift_patterns.push((id, p.bytes()));
+            }
+        }
+
+        let m = shift_patterns.iter().map(|(_, b)| b.len()).min().unwrap_or(0);
+        let mut shift = vec![0u16; TABLE_SIZE];
+        let mut buckets = vec![Vec::new(); TABLE_SIZE];
+        if m >= B {
+            // Default shift: the whole window minus one block.
+            let default = (m - B + 1) as u16;
+            shift.iter_mut().for_each(|s| *s = default);
+            for (id, bytes) in &shift_patterns {
+                // Every block ending at position j (0-based, within the first
+                // m bytes) constrains the shift for that block value.
+                for j in (B - 1)..m {
+                    let value = block_value(bytes[j - 1], bytes[j]);
+                    let safe = (m - 1 - j) as u16;
+                    if safe < shift[value] {
+                        shift[value] = safe;
+                    }
+                }
+                // Blocks with shift 0 (the block ending the window) get the
+                // pattern added to their candidate bucket.
+                let value = block_value(bytes[m - 2], bytes[m - 1]);
+                buckets[value].push(*id);
+            }
+        }
+
+        WuManber {
+            set: set.clone(),
+            m,
+            shift,
+            buckets,
+            one_byte,
+            has_one_byte,
+        }
+    }
+
+    /// Shortest shift-eligible pattern length (`0` if all patterns are
+    /// single bytes). The average shift — and therefore the throughput — is
+    /// bounded by this value, which is the paper's argument against
+    /// Wu-Manber for rulesets with short patterns.
+    pub fn window_len(&self) -> usize {
+        self.m
+    }
+
+    /// Average shift value over the whole table (diagnostic; large is good).
+    pub fn average_shift(&self) -> f64 {
+        if self.m < B {
+            return 0.0;
+        }
+        self.shift.iter().map(|&s| s as f64).sum::<f64>() / self.shift.len() as f64
+    }
+
+    fn scan_one_byte(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        for (i, &b) in haystack.iter().enumerate() {
+            for &id in &self.one_byte[b as usize] {
+                out.push(MatchEvent::new(i, id));
+            }
+        }
+    }
+}
+
+impl Matcher for WuManber {
+    fn name(&self) -> &'static str {
+        "Wu-Manber"
+    }
+
+    fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        if self.has_one_byte {
+            self.scan_one_byte(haystack, out);
+        }
+        let m = self.m;
+        if m < B || haystack.len() < m {
+            return;
+        }
+        let n = haystack.len();
+        // `pos` is the index of the last byte of the current m-byte window.
+        let mut pos = m - 1;
+        while pos < n {
+            let value = block_value(haystack[pos - 1], haystack[pos]);
+            let shift = self.shift[value] as usize;
+            if shift > 0 {
+                pos += shift;
+                continue;
+            }
+            // Candidate window: verify every pattern in the bucket against
+            // the text starting at the window start.
+            let start = pos + 1 - m;
+            for &id in &self.buckets[value] {
+                let pattern = self.set.get(id).bytes();
+                if start + pattern.len() <= n && &haystack[start..start + pattern.len()] == pattern
+                {
+                    out.push(MatchEvent::new(start, id));
+                }
+            }
+            pos += 1;
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.shift.len() * 2
+            + self
+                .buckets
+                .iter()
+                .map(|b| b.len() * std::mem::size_of::<PatternId>())
+                .sum::<usize>()
+            + self
+                .set
+                .patterns()
+                .iter()
+                .map(|p| p.len())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::naive::naive_find_all;
+
+    #[test]
+    fn classic_example_matches_naive() {
+        let set = PatternSet::from_literals(&["announce", "annual", "annually"]);
+        let wm = WuManber::build(&set);
+        let hay = b"CPM_annual_conference announce the annually repeated event";
+        assert_eq!(wm.find_all(hay), naive_find_all(&set, hay));
+        // m = 6 ("annual"), so shifts can skip up to 5 bytes.
+        assert_eq!(wm.window_len(), 6);
+        assert!(wm.average_shift() > 4.0);
+    }
+
+    #[test]
+    fn overlapping_and_repeated_matches() {
+        let set = PatternSet::from_literals(&["abab", "baba", "ab"]);
+        let wm = WuManber::build(&set);
+        let hay = b"abababab";
+        assert_eq!(wm.find_all(hay), naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn one_byte_patterns_are_still_exact() {
+        let set = PatternSet::from_literals(&["x", "longpattern", "yz"]);
+        let wm = WuManber::build(&set);
+        let hay = b"xx yz longpattern x";
+        assert_eq!(wm.find_all(hay), naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn short_patterns_ruin_shift_distances() {
+        // The paper's argument: one 2-byte pattern caps every shift at 1.
+        let long_only = WuManber::build(&PatternSet::from_literals(&[
+            "wide-enough-pattern",
+            "another-long-pattern",
+        ]));
+        let with_short = WuManber::build(&PatternSet::from_literals(&[
+            "wide-enough-pattern",
+            "another-long-pattern",
+            "ab",
+        ]));
+        assert!(long_only.average_shift() > 5.0);
+        assert!(with_short.average_shift() <= 1.0);
+        assert_eq!(with_short.window_len(), 2);
+    }
+
+    #[test]
+    fn empty_input_and_input_shorter_than_window() {
+        let set = PatternSet::from_literals(&["abcdef"]);
+        let wm = WuManber::build(&set);
+        assert!(wm.find_all(b"").is_empty());
+        assert!(wm.find_all(b"abc").is_empty());
+        assert_eq!(wm.find_all(b"abcdef").len(), 1);
+    }
+
+    #[test]
+    fn binary_patterns_and_prefix_collisions() {
+        let set = PatternSet::from_literals(&[
+            &[0x00u8, 0x01, 0x02, 0x03][..],
+            &[0xff, 0xfe, 0x00, 0x01][..],
+            b"attack",
+            b"attach",
+        ]);
+        let wm = WuManber::build(&set);
+        let mut hay = b"attack attach atta".to_vec();
+        hay.extend_from_slice(&[0x00, 0x01, 0x02, 0x03, 0xff, 0xfe, 0x00, 0x01]);
+        assert_eq!(wm.find_all(&hay), naive_find_all(&set, &hay));
+    }
+}

@@ -1,0 +1,36 @@
+//! Property tests: Wu-Manber agrees with the naive reference and the
+//! Aho-Corasick baseline on arbitrary pattern sets and inputs.
+
+use mpm_aho_corasick::DfaMatcher;
+use mpm_patterns::{naive::naive_find_all, Matcher, Pattern, PatternSet};
+use mpm_wu_manber::WuManber;
+use proptest::prelude::*;
+
+fn bytes_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8), any::<u8>()],
+        1..max_len,
+    )
+}
+
+fn pattern_set_strategy() -> impl Strategy<Value = PatternSet> {
+    proptest::collection::vec(bytes_strategy(9), 1..12)
+        .prop_map(|ps| PatternSet::new(ps.into_iter().map(Pattern::literal).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wu_manber_equals_naive_and_ac(set in pattern_set_strategy(), hay in bytes_strategy(400)) {
+        let expected = naive_find_all(&set, &hay);
+        prop_assert_eq!(WuManber::build(&set).find_all(&hay), expected.clone());
+        prop_assert_eq!(DfaMatcher::build(&set).find_all(&hay), expected);
+    }
+
+    #[test]
+    fn count_is_consistent(set in pattern_set_strategy(), hay in bytes_strategy(300)) {
+        let wm = WuManber::build(&set);
+        prop_assert_eq!(wm.count(&hay), wm.find_all(&hay).len() as u64);
+    }
+}

@@ -1,0 +1,56 @@
+//! Why filtering beats a big automaton: replays the engines' data-structure
+//! accesses through simulated Haswell-like and Xeon-Phi-like cache
+//! hierarchies and prints per-level hit/miss breakdowns — the mechanism
+//! behind the paper's §II-B and §V-E observations.
+//!
+//! ```text
+//! cargo run --release --example cache_behaviour
+//! ```
+
+use vpatch_suite::cachesim::{
+    replay_aho_corasick, replay_dfc, replay_vpatch, CacheConfig,
+};
+use vpatch_suite::prelude::*;
+
+fn main() {
+    let rules = SyntheticRuleset::snort_like_s1().http();
+    let trace = TraceGenerator::generate(
+        &TraceSpec::new(TraceKind::IscxDay2, 2 * 1024 * 1024),
+        Some(&rules),
+    );
+
+    let ac = DfaMatcher::build(&rules);
+    let dfc = Dfc::build(&rules);
+    let spatch = SPatch::build(&rules);
+    println!(
+        "Aho-Corasick transition table: {:.1} MiB; V-PATCH filters: {:.1} KiB\n",
+        ac.heap_bytes() as f64 / (1024.0 * 1024.0),
+        spatch.tables().filter_bytes() as f64 / 1024.0
+    );
+
+    println!(
+        "{:<18} {:<10} {:>12} {:>12} {:>14} {:>12}",
+        "engine", "hierarchy", "accesses", "L1 misses", "memory trips", "miss ratio"
+    );
+    for config in [CacheConfig::haswell(), CacheConfig::xeon_phi()] {
+        let rows = [
+            ("Aho-Corasick", replay_aho_corasick(&ac, &trace, config)),
+            ("DFC", replay_dfc(&dfc, &trace, config)),
+            ("S-PATCH/V-PATCH", replay_vpatch(&spatch, &trace, config)),
+        ];
+        for (name, outcome) in rows {
+            println!(
+                "{:<18} {:<10} {:>12} {:>12} {:>14} {:>12.4}",
+                name,
+                config.name,
+                outcome.report.accesses,
+                outcome.report.l1_misses(),
+                outcome.report.memory_accesses,
+                outcome.report.l1_miss_ratio()
+            );
+        }
+    }
+    println!("\nNote how the Phi-like hierarchy (no L3) multiplies DFC's memory trips —");
+    println!("exactly the effect the paper uses to explain Figure 7 — while the");
+    println!("filter-first engines keep their hot data in L1/L2 on both hierarchies.");
+}

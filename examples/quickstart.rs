@@ -1,0 +1,45 @@
+//! Quickstart: compile a small ruleset, scan a payload, print the matches.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vpatch_suite::prelude::*;
+
+fn main() {
+    // 1. Define the patterns to look for (in a real deployment these come
+    //    from a Snort-style ruleset; see `mpm_patterns::snort::parse_rules`).
+    let rules = PatternSet::from_literals(&[
+        "/etc/passwd",
+        "cmd.exe",
+        "<script>",
+        "() { :;};", // shellshock
+        "GET ",
+    ]);
+
+    // 2. Build the fastest engine this CPU supports (AVX-512 V-PATCH,
+    //    AVX2 V-PATCH, or scalar S-PATCH).
+    let engine = build_auto(&rules);
+    println!(
+        "engine: {} (SIMD backends available: {:?})",
+        engine.name(),
+        available_backends()
+    );
+
+    // 3. Scan a payload.
+    let payload: &[u8] =
+        b"GET /cgi-bin/status HTTP/1.1\r\nUser-Agent: () { :;}; /bin/cat /etc/passwd\r\n\r\n";
+    let matches = engine.find_all(payload);
+
+    println!("{} matches in a {}-byte payload:", matches.len(), payload.len());
+    for m in &matches {
+        let pattern = rules.get(m.pattern);
+        println!("  offset {:>3}: pattern {} {}", m.start, m.pattern, pattern);
+    }
+
+    // 4. The engines all implement the same `Matcher` trait, so swapping in a
+    //    baseline for comparison is a one-liner.
+    let baseline = DfaMatcher::build(&rules);
+    assert_eq!(baseline.find_all(payload), matches);
+    println!("Aho-Corasick baseline agrees: {} matches", matches.len());
+}

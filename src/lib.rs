@@ -1,0 +1,66 @@
+//! Umbrella crate for the V-PATCH reproduction suite.
+//!
+//! This crate re-exports the workspace's public API under one roof so that
+//! applications can depend on a single crate, and hosts the runnable
+//! examples (`examples/`) and the cross-crate integration tests (`tests/`).
+//!
+//! ```
+//! use vpatch_suite::prelude::*;
+//!
+//! let rules = PatternSet::from_literals(&["/etc/passwd", "cmd.exe"]);
+//! let engine = build_auto(&rules);
+//! assert_eq!(engine.count(b"GET /etc/passwd HTTP/1.0"), 1);
+//! ```
+//!
+//! See the individual crates for the full documentation:
+//! [`mpm_vpatch`] (the paper's S-PATCH / V-PATCH engines), [`mpm_dfc`] and
+//! [`mpm_aho_corasick`] (baselines), [`mpm_patterns`] / [`mpm_traffic`]
+//! (workload substrates), [`mpm_simd`] (vector backends), [`mpm_verify`]
+//! (filters + compact hash tables) and [`mpm_cachesim`] (locality analysis).
+
+#![warn(missing_docs)]
+
+pub use mpm_aho_corasick as aho_corasick;
+pub use mpm_cachesim as cachesim;
+pub use mpm_dfc as dfc;
+pub use mpm_patterns as patterns;
+pub use mpm_simd as simd;
+pub use mpm_traffic as traffic;
+pub use mpm_verify as verify;
+pub use mpm_wu_manber as wu_manber;
+pub use mpm_vpatch as vpatch;
+
+/// The most commonly used items, for glob import in applications and
+/// examples.
+pub mod prelude {
+    pub use mpm_aho_corasick::{DfaMatcher, NfaMatcher};
+    pub use mpm_dfc::{Dfc, VectorDfc};
+    pub use mpm_patterns::{
+        MatchEvent, Matcher, MatcherStats, NaiveMatcher, Pattern, PatternId, PatternSet,
+        ProtocolGroup, SyntheticRuleset,
+    };
+    pub use mpm_simd::{available_backends, detect_best, BackendKind, VectorBackend};
+    pub use mpm_traffic::{ChunkedStream, MatchDensityGenerator, TraceGenerator, TraceKind, TraceSpec};
+    pub use mpm_vpatch::{build_auto, FilterOnlyMode, SPatch, Scratch, VPatch};
+    pub use mpm_wu_manber::WuManber;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_a_working_pipeline() {
+        let rules = PatternSet::from_literals(&["needle", "GET "]);
+        let engine = build_auto(&rules);
+        let trace = TraceGenerator::generate(
+            &TraceSpec::new(TraceKind::IscxDay2, 64 * 1024),
+            Some(&rules),
+        );
+        let matches = engine.find_all(&trace);
+        assert_eq!(
+            matches,
+            mpm_patterns::naive::naive_find_all(&rules, &trace)
+        );
+    }
+}

