@@ -116,7 +116,10 @@ impl Matcher for DfaMatcher {
             + self
                 .outputs
                 .iter()
-                .map(|o| o.len() * std::mem::size_of::<PatternId>() + std::mem::size_of::<Vec<PatternId>>())
+                .map(|o| {
+                    o.len() * std::mem::size_of::<PatternId>()
+                        + std::mem::size_of::<Vec<PatternId>>()
+                })
                 .sum::<usize>()
             + self.pattern_lens.len() * 4
     }

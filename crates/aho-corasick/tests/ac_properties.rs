@@ -8,7 +8,10 @@ use proptest::prelude::*;
 /// Strategy: a small alphabet makes overlaps and repeated substrings likely,
 /// which is where pattern-matching bugs hide.
 fn small_alphabet_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)], 1..max_len)
+    proptest::collection::vec(
+        prop_oneof![Just(b'a'), Just(b'b'), Just(b'c'), Just(0u8)],
+        1..max_len,
+    )
 }
 
 fn pattern_set_strategy() -> impl Strategy<Value = PatternSet> {

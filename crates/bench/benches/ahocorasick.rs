@@ -22,9 +22,13 @@ fn bench_ac(c: &mut Criterion) {
         group.throughput(Throughput::Bytes(trace.len() as u64));
         group.sample_size(20);
         let nfa = NfaMatcher::build(&set);
-        group.bench_function(BenchmarkId::new("nfa", patterns), |b| b.iter(|| nfa.count(&trace)));
+        group.bench_function(BenchmarkId::new("nfa", patterns), |b| {
+            b.iter(|| nfa.count(&trace))
+        });
         let dfa = DfaMatcher::build(&set);
-        group.bench_function(BenchmarkId::new("dfa", patterns), |b| b.iter(|| dfa.count(&trace)));
+        group.bench_function(BenchmarkId::new("dfa", patterns), |b| {
+            b.iter(|| dfa.count(&trace))
+        });
     }
     group.finish();
 }

@@ -16,7 +16,8 @@ fn bench_engines(c: &mut Criterion) {
         ..RulesetSpec::snort_s1()
     });
     let set = ruleset.http();
-    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
+    let trace =
+        TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
 
     let mut group = c.benchmark_group("engines");
     group.throughput(Throughput::Bytes(trace.len() as u64));

@@ -11,7 +11,8 @@ const TRACE_LEN: usize = 1 << 20; // 1 MiB
 
 fn workload() -> (mpm_patterns::PatternSet, Vec<u8>) {
     let set = SyntheticRuleset::snort_like_s1().http();
-    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
+    let trace =
+        TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
     (set, trace)
 }
 

@@ -11,7 +11,8 @@ const TRACE_LEN: usize = 1 << 20;
 
 fn bench_width(c: &mut Criterion) {
     let set = SyntheticRuleset::snort_like_s1().http();
-    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
+    let trace =
+        TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, TRACE_LEN), Some(&set));
     let mut group = c.benchmark_group("gather_width");
     group.throughput(Throughput::Bytes(trace.len() as u64));
 

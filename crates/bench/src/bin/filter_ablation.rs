@@ -35,10 +35,16 @@ fn main() {
         let sm = measure_throughput(&spatch, trace, options.runs);
         let (vm, candidates) = if <Avx2Backend as VectorBackend<8>>::is_available() {
             let vp = VPatch::<Avx2Backend, 8>::from_tables(tables.clone());
-            (measure_throughput(&vp, trace, options.runs), vp.scan_with_stats(trace).candidates)
+            (
+                measure_throughput(&vp, trace, options.runs),
+                vp.scan_with_stats(trace).candidates,
+            )
         } else {
             let vp = VPatch::<ScalarBackend, 8>::from_tables(tables.clone());
-            (measure_throughput(&vp, trace, options.runs), vp.scan_with_stats(trace).candidates)
+            (
+                measure_throughput(&vp, trace, options.runs),
+                vp.scan_with_stats(trace).candidates,
+            )
         };
         println!(
             "{:>12} {:>14.1} {:>16.3} {:>16.3} {:>18}",

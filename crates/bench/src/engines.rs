@@ -80,7 +80,11 @@ impl Platform {
             Platform::Haswell => "haswell-width",
             Platform::XeonPhi => "xeon-phi-width",
         };
-        format!("{name} ({} lanes, {})", self.lanes(), self.effective_backend())
+        format!(
+            "{name} ({} lanes, {})",
+            self.lanes(),
+            self.effective_backend()
+        )
     }
 }
 

@@ -438,7 +438,10 @@ mod tests {
                 .filter(|r| r.trace == trace)
                 .map(|r| r.measurement.matches)
                 .collect();
-            assert!(counts.windows(2).all(|w| w[0] == w[1]), "{trace}: {counts:?}");
+            assert!(
+                counts.windows(2).all(|w| w[0] == w[1]),
+                "{trace}: {counts:?}"
+            );
         }
         // DFC's speedup-vs-DFC is 1 by construction.
         for row in fig.rows.iter().filter(|r| r.engine == "DFC") {
@@ -471,7 +474,11 @@ mod tests {
         let filtering = run_filtering_only(&options);
         assert_eq!(filtering.figure, "6a");
         assert_eq!(filtering.rows.len(), 3 * 3);
-        for row in filtering.rows.iter().filter(|r| r.config == "S-PATCH-filtering") {
+        for row in filtering
+            .rows
+            .iter()
+            .filter(|r| r.config == "S-PATCH-filtering")
+        {
             assert!((row.speedup_vs_spatch - 1.0).abs() < 1e-9);
         }
 

@@ -43,21 +43,28 @@ impl Options {
                         "s1" => RulesetChoice::S1,
                         "s2" => RulesetChoice::S2,
                         "full" => RulesetChoice::Full,
-                        other => return Err(format!("unknown ruleset {other:?} (expected s1|s2|full)")),
+                        other => {
+                            return Err(format!("unknown ruleset {other:?} (expected s1|s2|full)"))
+                        }
                     };
                 }
                 "--mb" => {
                     let value = args.next().ok_or("--mb needs a value")?;
-                    options.trace_mib = value.parse().map_err(|_| format!("bad --mb value {value:?}"))?;
+                    options.trace_mib = value
+                        .parse()
+                        .map_err(|_| format!("bad --mb value {value:?}"))?;
                 }
                 "--runs" => {
                     let value = args.next().ok_or("--runs needs a value")?;
-                    options.runs = value.parse().map_err(|_| format!("bad --runs value {value:?}"))?;
+                    options.runs = value
+                        .parse()
+                        .map_err(|_| format!("bad --runs value {value:?}"))?;
                 }
                 "--json" => options.json = true,
                 "--help" | "-h" => {
                     return Err(
-                        "usage: <figure> [--ruleset s1|s2|full] [--mb N] [--runs N] [--json]".to_string(),
+                        "usage: <figure> [--ruleset s1|s2|full] [--mb N] [--runs N] [--json]"
+                            .to_string(),
                     )
                 }
                 other => return Err(format!("unknown argument {other:?}")),

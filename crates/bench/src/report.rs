@@ -134,7 +134,12 @@ pub fn render_cache(figure: &CacheFigure) -> String {
     for row in &figure.rows {
         out.push_str(&format!(
             "{:<18} {:<10} {:>12} {:>12} {:>12} {:>14.4}\n",
-            row.engine, row.config, row.accesses, row.l1_misses, row.memory_accesses, row.l1_miss_ratio
+            row.engine,
+            row.config,
+            row.accesses,
+            row.l1_misses,
+            row.memory_accesses,
+            row.l1_miss_ratio
         ));
     }
     out.push_str(&format!(

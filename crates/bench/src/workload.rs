@@ -50,11 +50,7 @@ impl Workload {
 
     /// Builds the workload restricted to the given traces (the Figure 6
     /// experiments only use the three realistic traces).
-    pub fn build_with_traces(
-        choice: RulesetChoice,
-        trace_mib: usize,
-        kinds: &[TraceKind],
-    ) -> Self {
+    pub fn build_with_traces(choice: RulesetChoice, trace_mib: usize, kinds: &[TraceKind]) -> Self {
         let ruleset = match choice {
             RulesetChoice::S1 => SyntheticRuleset::snort_like_s1(),
             RulesetChoice::S2 | RulesetChoice::Full => SyntheticRuleset::et_open_like_s2(),
@@ -92,7 +88,11 @@ mod tests {
     #[test]
     fn s1_workload_has_about_2k_http_patterns() {
         let w = Workload::build(RulesetChoice::S1, 1);
-        assert!((1_800..=2_300).contains(&w.patterns.len()), "{}", w.patterns.len());
+        assert!(
+            (1_800..=2_300).contains(&w.patterns.len()),
+            "{}",
+            w.patterns.len()
+        );
         assert_eq!(w.traces.len(), 4);
         for (_, t) in &w.traces {
             assert_eq!(t.len(), 1024 * 1024);

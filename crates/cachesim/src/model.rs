@@ -14,7 +14,10 @@ pub struct LevelConfig {
 impl LevelConfig {
     /// Creates a level configuration.
     pub const fn new(size: usize, associativity: usize) -> Self {
-        LevelConfig { size, associativity }
+        LevelConfig {
+            size,
+            associativity,
+        }
     }
 }
 
@@ -288,7 +291,10 @@ mod tests {
         }
         let phi = sim.report();
         assert_eq!(phi.l3_hits, 0);
-        assert!(phi.memory_accesses > addrs.len() as u64, "second sweep also misses");
+        assert!(
+            phi.memory_accesses > addrs.len() as u64,
+            "second sweep also misses"
+        );
 
         let mut sim = CacheSim::new(CacheConfig::haswell());
         for _ in 0..2 {
@@ -297,7 +303,10 @@ mod tests {
             }
         }
         let hsw = sim.report();
-        assert!(hsw.l3_hits >= addrs.len() as u64, "Haswell L3 absorbs the second sweep");
+        assert!(
+            hsw.l3_hits >= addrs.len() as u64,
+            "Haswell L3 absorbs the second sweep"
+        );
         assert!(hsw.memory_accesses < phi.memory_accesses);
     }
 

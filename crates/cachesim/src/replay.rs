@@ -138,7 +138,13 @@ pub fn replay_vpatch(engine: &SPatch, input: &[u8], config: CacheConfig) -> Repl
             let h = mpm_verify::hash32(w4, tables.filter3().bits_log2());
             sim.access_range(filter3_base + (h >> 3) as u64, 1);
             if tables.filter3().contains(w4) {
-                touch_table(&mut sim, table_base + REGION / 2, verifier.long_table(), input, i);
+                touch_table(
+                    &mut sim,
+                    table_base + REGION / 2,
+                    verifier.long_table(),
+                    input,
+                    i,
+                );
             }
         }
     }

@@ -40,7 +40,10 @@ impl SPatch {
         if n == 0 {
             return;
         }
-        assert!(n < u32::MAX as usize, "scan chunks must be smaller than 4 GiB");
+        assert!(
+            n < u32::MAX as usize,
+            "scan chunks must be smaller than 4 GiB"
+        );
         for i in 0..n - 1 {
             let window = u16::from_le_bytes([haystack[i], haystack[i + 1]]);
             if t.has_short && t.filter1.contains(window) {
@@ -142,7 +145,14 @@ mod tests {
 
     fn mixed_set() -> PatternSet {
         PatternSet::from_literals(&[
-            "a", "ab", "GET", "abcd", "attribute", "attack", "/etc/passwd", "xyz",
+            "a",
+            "ab",
+            "GET",
+            "abcd",
+            "attribute",
+            "attack",
+            "/etc/passwd",
+            "xyz",
         ])
     }
 
@@ -174,7 +184,11 @@ mod tests {
         engine.filter_round(hay, &mut scratch);
         for m in naive_find_all(&set, hay) {
             let len = set.get(m.pattern).len();
-            let arr = if len < 4 { &scratch.a_short } else { &scratch.a_long };
+            let arr = if len < 4 {
+                &scratch.a_short
+            } else {
+                &scratch.a_long
+            };
             assert!(
                 arr.contains(&(m.start as u32)),
                 "candidate for match {m:?} missing from the filter output"

@@ -71,8 +71,7 @@ impl SPatchTables {
     pub fn filter_bytes(&self) -> usize {
         // The scalar engine touches filter1 + filter2 + filter3; the vector
         // engine touches merged + filter3. Report the larger working set.
-        (self.filter1.heap_bytes() + self.filter2.heap_bytes())
-            .max(self.merged.heap_bytes())
+        (self.filter1.heap_bytes() + self.filter2.heap_bytes()).max(self.merged.heap_bytes())
             + self.filter3.heap_bytes()
     }
 
@@ -123,7 +122,9 @@ mod tests {
 
     #[test]
     fn filters_fit_in_cache_even_for_large_rulesets() {
-        let lits: Vec<String> = (0..20_000).map(|i| format!("pattern-{i:06}-payload")).collect();
+        let lits: Vec<String> = (0..20_000)
+            .map(|i| format!("pattern-{i:06}-payload"))
+            .collect();
         let set = PatternSet::from_literals(&lits);
         let t = SPatchTables::build(&set);
         // 8 KB + 8 KB direct (or 16 KB merged) + 16 KB hashed ≈ 32 KB:

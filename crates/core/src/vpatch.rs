@@ -116,8 +116,7 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
             if mask2 != 0 {
                 let windows4 = B::windows4(haystack, base);
                 let f3_bits = t.filter3.bits_log2();
-                let hashes =
-                    B::hash_mul_shift(windows4, HASH_MULTIPLIER, 32 - f3_bits, u32::MAX);
+                let hashes = B::hash_mul_shift(windows4, HASH_MULTIPLIER, 32 - f3_bits, u32::MAX);
                 let f3_idx = B::shr_const(hashes, 3);
                 let f3_bytes = B::gather_bytes(t.filter3.bytes(), f3_idx);
                 mask_long = B::test_window_bits(f3_bytes, hashes) & mask2;
@@ -168,7 +167,10 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         if n == 0 {
             return;
         }
-        assert!(n < u32::MAX as usize, "scan chunks must be smaller than 4 GiB");
+        assert!(
+            n < u32::MAX as usize,
+            "scan chunks must be smaller than 4 GiB"
+        );
         let mut i = 0usize;
         // The whole vector loop runs inside the backend's dispatch trampoline
         // so every gather/shuffle inlines into one kernel (see
@@ -193,12 +195,7 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     /// Filtering-only entry point for the Figure 6 experiments. Returns a
     /// checksum of the lane masks so the optimizer cannot discard the work in
     /// [`FilterOnlyMode::NoStores`] mode.
-    pub fn filter_only(
-        &self,
-        haystack: &[u8],
-        mode: FilterOnlyMode,
-        scratch: &mut Scratch,
-    ) -> u64 {
+    pub fn filter_only(&self, haystack: &[u8], mode: FilterOnlyMode, scratch: &mut Scratch) -> u64 {
         scratch.clear();
         let n = haystack.len();
         if n == 0 {
@@ -317,7 +314,15 @@ mod tests {
 
     fn mixed_set() -> PatternSet {
         PatternSet::from_literals(&[
-            "a", "ab", "GET", "abcd", "attribute", "attack", "/etc/passwd", "xyz", "\x00\x01",
+            "a",
+            "ab",
+            "GET",
+            "abcd",
+            "attribute",
+            "attack",
+            "/etc/passwd",
+            "xyz",
+            "\x00\x01",
         ])
     }
 

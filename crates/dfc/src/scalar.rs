@@ -107,7 +107,10 @@ mod tests {
         }
         let stats = dfc.scan_with_stats(&hay);
         let rate = stats.candidates as f64 / stats.bytes_scanned as f64;
-        assert!(rate < 0.35, "candidate rate on random input too high: {rate}");
+        assert!(
+            rate < 0.35,
+            "candidate rate on random input too high: {rate}"
+        );
         assert_eq!(dfc.find_all(&hay), naive_find_all(&set, &hay));
     }
 

@@ -126,7 +126,15 @@ mod tests {
     use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend};
 
     fn test_set() -> PatternSet {
-        PatternSet::from_literals(&["a", "ab", "GET", "abcd", "attack-vector", "/etc/passwd", "xyz"])
+        PatternSet::from_literals(&[
+            "a",
+            "ab",
+            "GET",
+            "abcd",
+            "attack-vector",
+            "/etc/passwd",
+            "xyz",
+        ])
     }
 
     fn test_input() -> Vec<u8> {
@@ -179,7 +187,11 @@ mod tests {
         let set = test_set();
         let vdfc = VectorDfc::<ScalarBackend, 8>::build(&set);
         for hay in [&b""[..], b"a", b"ab", b"GET", b"abcd", b"xyzabc"] {
-            assert_eq!(vdfc.find_all(hay), naive_find_all(&set, hay), "input {hay:?}");
+            assert_eq!(
+                vdfc.find_all(hay),
+                naive_find_all(&set, hay),
+                "input {hay:?}"
+            );
         }
     }
 

@@ -9,7 +9,14 @@ use proptest::prelude::*;
 
 fn bytes_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(
-        prop_oneof![Just(b'a'), Just(b'b'), Just(b'G'), Just(b'E'), Just(b'T'), any::<u8>()],
+        prop_oneof![
+            Just(b'a'),
+            Just(b'b'),
+            Just(b'G'),
+            Just(b'E'),
+            Just(b'T'),
+            any::<u8>()
+        ],
         1..max_len,
     )
 }

@@ -165,7 +165,10 @@ pub fn normalize_matches(matches: &mut Vec<MatchEvent>) {
 
 /// Compares two engines' outputs on the same input, returning the differences
 /// (`only_left`, `only_right`). Used extensively by the integration tests.
-pub fn diff_matches(left: &[MatchEvent], right: &[MatchEvent]) -> (Vec<MatchEvent>, Vec<MatchEvent>) {
+pub fn diff_matches(
+    left: &[MatchEvent],
+    right: &[MatchEvent],
+) -> (Vec<MatchEvent>, Vec<MatchEvent>) {
     use std::collections::BTreeSet;
     let l: BTreeSet<_> = left.iter().copied().collect();
     let r: BTreeSet<_> = right.iter().copied().collect();
@@ -210,8 +213,14 @@ mod tests {
 
     #[test]
     fn diff_matches_reports_both_sides() {
-        let a = vec![MatchEvent::new(1, PatternId(0)), MatchEvent::new(2, PatternId(1))];
-        let b = vec![MatchEvent::new(2, PatternId(1)), MatchEvent::new(3, PatternId(2))];
+        let a = vec![
+            MatchEvent::new(1, PatternId(0)),
+            MatchEvent::new(2, PatternId(1)),
+        ];
+        let b = vec![
+            MatchEvent::new(2, PatternId(1)),
+            MatchEvent::new(3, PatternId(2)),
+        ];
         let (only_a, only_b) = diff_matches(&a, &b);
         assert_eq!(only_a, vec![MatchEvent::new(1, PatternId(0))]);
         assert_eq!(only_b, vec![MatchEvent::new(3, PatternId(2))]);

@@ -45,7 +45,13 @@ impl LengthHistogram {
 
     /// Total number of patterns counted.
     pub fn total(&self) -> usize {
-        self.len1 + self.len2 + self.len3 + self.len4_7 + self.len8_15 + self.len16_31 + self.len32_plus
+        self.len1
+            + self.len2
+            + self.len3
+            + self.len4_7
+            + self.len8_15
+            + self.len16_31
+            + self.len32_plus
     }
 
     /// Fraction of patterns that are "short" in the S-PATCH sense (1–3 bytes,
@@ -109,7 +115,12 @@ mod tests {
     #[test]
     fn histogram_buckets() {
         let set = PatternSet::from_literals(&[
-            "a", "bb", "ccc", "dddd", "eeeeeeee", "ffffffffffffffff",
+            "a",
+            "bb",
+            "ccc",
+            "dddd",
+            "eeeeeeee",
+            "ffffffffffffffff",
             "0123456789012345678901234567890123456789",
         ]);
         let h = LengthHistogram::of(&set);

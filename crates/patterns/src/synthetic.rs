@@ -29,27 +29,96 @@ use std::collections::HashSet;
 /// prefixes (so that, as in real rulesets, many patterns begin with byte
 /// pairs that are frequent in benign HTTP traffic).
 const HTTP_TOKENS: &[&str] = &[
-    "GET ", "POST ", "HEAD ", "PUT ", "OPTIONS ", "TRACE ", "CONNECT ",
-    "HTTP/1.1", "HTTP/1.0", "Host: ", "User-Agent: ", "Content-Type: ",
-    "Content-Length: ", "Cookie: ", "Set-Cookie: ", "Referer: ",
-    "Accept-Encoding: ", "X-Forwarded-For: ", "Authorization: Basic ",
-    "/cgi-bin/", "/admin/", "/wp-login.php", "/phpmyadmin/", "/etc/passwd",
-    "/bin/sh", "cmd.exe", "powershell", "/index.php?id=", "select%20",
-    "union+select", "or+1=1", "../..", "%2e%2e%2f", "<script>", "</script>",
-    "javascript:", "onerror=", "eval(", "base64_decode", "document.cookie",
-    "xp_cmdshell", "wget+http", "curl+http", ".php?", ".asp?", ".jsp?",
-    "Mozilla/4.0", "Mozilla/5.0", "MSIE 6.0", "sqlmap", "nikto", "nessus",
-    "masscan", "zgrab", "shellshock", "() { :;};", "Range: bytes=",
-    "Transfer-Encoding: chunked", "multipart/form-data", "boundary=",
-    "application/x-www-form-urlencoded", "Proxy-Connection: ",
+    "GET ",
+    "POST ",
+    "HEAD ",
+    "PUT ",
+    "OPTIONS ",
+    "TRACE ",
+    "CONNECT ",
+    "HTTP/1.1",
+    "HTTP/1.0",
+    "Host: ",
+    "User-Agent: ",
+    "Content-Type: ",
+    "Content-Length: ",
+    "Cookie: ",
+    "Set-Cookie: ",
+    "Referer: ",
+    "Accept-Encoding: ",
+    "X-Forwarded-For: ",
+    "Authorization: Basic ",
+    "/cgi-bin/",
+    "/admin/",
+    "/wp-login.php",
+    "/phpmyadmin/",
+    "/etc/passwd",
+    "/bin/sh",
+    "cmd.exe",
+    "powershell",
+    "/index.php?id=",
+    "select%20",
+    "union+select",
+    "or+1=1",
+    "../..",
+    "%2e%2e%2f",
+    "<script>",
+    "</script>",
+    "javascript:",
+    "onerror=",
+    "eval(",
+    "base64_decode",
+    "document.cookie",
+    "xp_cmdshell",
+    "wget+http",
+    "curl+http",
+    ".php?",
+    ".asp?",
+    ".jsp?",
+    "Mozilla/4.0",
+    "Mozilla/5.0",
+    "MSIE 6.0",
+    "sqlmap",
+    "nikto",
+    "nessus",
+    "masscan",
+    "zgrab",
+    "shellshock",
+    "() { :;};",
+    "Range: bytes=",
+    "Transfer-Encoding: chunked",
+    "multipart/form-data",
+    "boundary=",
+    "application/x-www-form-urlencoded",
+    "Proxy-Connection: ",
 ];
 
 /// Tokens used for non-HTTP (DNS/FTP/SMTP/other) pattern heads.
 const OTHER_TOKENS: &[&str] = &[
-    "USER ", "PASS ", "RETR ", "STOR ", "SITE EXEC", "MAIL FROM:", "RCPT TO:",
-    "EHLO ", "HELO ", "AUTH LOGIN", "VRFY ", "EXPN ", "\\x90\\x90", "MZ",
-    "PK\x03\x04", "SMB", "\\\\PIPE\\\\", "ADMIN$", "IPC$", "ncacn_np",
-    "DCC SEND", "PRIVMSG ", "NICK ", "JOIN #",
+    "USER ",
+    "PASS ",
+    "RETR ",
+    "STOR ",
+    "SITE EXEC",
+    "MAIL FROM:",
+    "RCPT TO:",
+    "EHLO ",
+    "HELO ",
+    "AUTH LOGIN",
+    "VRFY ",
+    "EXPN ",
+    "\\x90\\x90",
+    "MZ",
+    "PK\x03\x04",
+    "SMB",
+    "\\\\PIPE\\\\",
+    "ADMIN$",
+    "IPC$",
+    "ncacn_np",
+    "DCC SEND",
+    "PRIVMSG ",
+    "NICK ",
+    "JOIN #",
 ];
 
 /// Specification for a synthetic ruleset. The presets
@@ -192,7 +261,9 @@ fn generate_pattern_bytes(rng: &mut StdRng, spec: RulesetSpec, http: bool) -> Ve
             tok[..len].to_vec()
         } else if rng.gen_bool(0.5) {
             const RARE: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_#@!$^~";
-            (0..len).map(|_| RARE[rng.gen_range(0..RARE.len())]).collect()
+            (0..len)
+                .map(|_| RARE[rng.gen_range(0..RARE.len())])
+                .collect()
         } else {
             (0..len).map(|_| rng.gen::<u8>()).collect()
         }
@@ -262,7 +333,10 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for (_, p) in rs.full().iter() {
             assert!(!p.bytes().is_empty());
-            assert!(seen.insert(p.bytes().to_vec()), "duplicate pattern generated");
+            assert!(
+                seen.insert(p.bytes().to_vec()),
+                "duplicate pattern generated"
+            );
         }
     }
 
@@ -300,6 +374,9 @@ mod tests {
             .iter()
             .filter(|(_, p)| p.bytes().starts_with(b"GET") || p.bytes().starts_with(b"POST"))
             .count();
-        assert!(with_get > 0, "HTTP selection should contain method-prefixed patterns");
+        assert!(
+            with_get > 0,
+            "HTTP selection should contain method-prefixed patterns"
+        );
     }
 }

@@ -309,7 +309,9 @@ mod tests {
         if skip() {
             return;
         }
-        let input: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37).wrapping_add(11)).collect();
+        let input: Vec<u8> = (0..64u8)
+            .map(|i| i.wrapping_mul(37).wrapping_add(11))
+            .collect();
         for pos in 0..40 {
             let a2: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows2(&input, pos);
             let s2: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows2(&input, pos);

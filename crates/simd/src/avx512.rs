@@ -5,7 +5,7 @@
 //! its filtering loop processes 16 sliding windows per iteration instead of
 //! the 8 that AVX2 allows. This backend reproduces that width with AVX-512F
 //! instructions on CPUs that support them; on CPUs without AVX-512 the
-//! 16-lane experiments fall back to [`ScalarBackend`] at width 16, which is
+//! 16-lane experiments fall back to [`crate::ScalarBackend`] at width 16, which is
 //! functionally identical (the figure-7 harness reports which backend
 //! actually ran).
 
@@ -266,7 +266,9 @@ mod tests {
         if skip() {
             return;
         }
-        let input: Vec<u8> = (0..96u8).map(|i| i.wrapping_mul(73).wrapping_add(5)).collect();
+        let input: Vec<u8> = (0..96u8)
+            .map(|i| i.wrapping_mul(73).wrapping_add(5))
+            .collect();
         for pos in 0..70 {
             let a2: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows2(&input, pos);
             let s2: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows2(&input, pos);

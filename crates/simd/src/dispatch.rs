@@ -73,7 +73,9 @@ pub fn available_backends() -> Vec<BackendKind> {
 /// The widest available backend — what an engine's `new_auto` constructor
 /// should pick for best throughput on this machine.
 pub fn detect_best() -> BackendKind {
-    *available_backends().last().expect("scalar is always available")
+    *available_backends()
+        .last()
+        .expect("scalar is always available")
 }
 
 #[cfg(test)]

@@ -209,6 +209,9 @@ mod trait_tests {
         let mut v = [0u32; 8];
         v[1] = 7;
         v[6] = 1;
-        assert_eq!(<ScalarWide8 as VectorBackend<8>>::nonzero_mask(v), (1 << 1) | (1 << 6));
+        assert_eq!(
+            <ScalarWide8 as VectorBackend<8>>::nonzero_mask(v),
+            (1 << 1) | (1 << 6)
+        );
     }
 }

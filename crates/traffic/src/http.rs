@@ -31,9 +31,31 @@ const HOSTS: &[&str] = &[
 ];
 
 const PATH_SEGMENTS: &[&str] = &[
-    "index", "images", "css", "js", "api", "v1", "v2", "users", "login", "search",
-    "static", "assets", "download", "upload", "admin", "blog", "article", "product",
-    "cart", "checkout", "profile", "settings", "report", "dashboard", "data",
+    "index",
+    "images",
+    "css",
+    "js",
+    "api",
+    "v1",
+    "v2",
+    "users",
+    "login",
+    "search",
+    "static",
+    "assets",
+    "download",
+    "upload",
+    "admin",
+    "blog",
+    "article",
+    "product",
+    "cart",
+    "checkout",
+    "profile",
+    "settings",
+    "report",
+    "dashboard",
+    "data",
 ];
 
 const EXTENSIONS: &[&str] = &[
@@ -60,10 +82,38 @@ const CONTENT_TYPES: &[&str] = &[
 ];
 
 const HTML_WORDS: &[&str] = &[
-    "the", "quick", "server", "request", "session", "user", "page", "content", "value",
-    "table", "login", "password", "error", "response", "network", "packet", "stream",
-    "detection", "system", "analysis", "report", "security", "update", "service",
-    "windows", "linux", "browser", "client", "cache", "cookie", "token", "header",
+    "the",
+    "quick",
+    "server",
+    "request",
+    "session",
+    "user",
+    "page",
+    "content",
+    "value",
+    "table",
+    "login",
+    "password",
+    "error",
+    "response",
+    "network",
+    "packet",
+    "stream",
+    "detection",
+    "system",
+    "analysis",
+    "report",
+    "security",
+    "update",
+    "service",
+    "windows",
+    "linux",
+    "browser",
+    "client",
+    "cache",
+    "cookie",
+    "token",
+    "header",
 ];
 
 /// Configuration of the HTTP generator.
@@ -118,7 +168,9 @@ pub fn generate_transaction(rng: &mut StdRng, config: &HttpConfig, out: &mut Vec
     out.extend_from_slice(host.as_bytes());
     out.extend_from_slice(b"\r\nUser-Agent: ");
     out.extend_from_slice(ua.as_bytes());
-    out.extend_from_slice(b"\r\nAccept: */*\r\nAccept-Encoding: gzip, deflate\r\nConnection: keep-alive\r\n");
+    out.extend_from_slice(
+        b"\r\nAccept: */*\r\nAccept-Encoding: gzip, deflate\r\nConnection: keep-alive\r\n",
+    );
     if rng.gen_bool(0.5) {
         out.extend_from_slice(b"Cookie: PHPSESSID=");
         push_hex_token(rng, out, 26);
@@ -126,7 +178,9 @@ pub fn generate_transaction(rng: &mut StdRng, config: &HttpConfig, out: &mut Vec
     }
     if method == "POST" {
         let body_len = rng.gen_range(8..200);
-        out.extend_from_slice(b"Content-Type: application/x-www-form-urlencoded\r\nContent-Length: ");
+        out.extend_from_slice(
+            b"Content-Type: application/x-www-form-urlencoded\r\nContent-Length: ",
+        );
         out.extend_from_slice(body_len.to_string().as_bytes());
         out.extend_from_slice(b"\r\n\r\n");
         push_form_body(rng, out, body_len);
@@ -135,7 +189,11 @@ pub fn generate_transaction(rng: &mut StdRng, config: &HttpConfig, out: &mut Vec
     }
 
     // Response.
-    let status = if rng.gen_bool(0.9) { "200 OK" } else { "404 Not Found" };
+    let status = if rng.gen_bool(0.9) {
+        "200 OK"
+    } else {
+        "404 Not Found"
+    };
     out.extend_from_slice(b"HTTP/1.1 ");
     out.extend_from_slice(status.as_bytes());
     out.extend_from_slice(b"\r\nServer: Apache/2.4.7 (Ubuntu)\r\nDate: Mon, 12 Jun 2017 10:33:21 GMT\r\nContent-Type: ");
@@ -270,7 +328,10 @@ mod tests {
     #[test]
     fn mostly_ascii_but_some_binary() {
         let bytes = gen_bytes(4, 200);
-        let ascii = bytes.iter().filter(|&&b| b == b'\r' || b == b'\n' || (0x20..0x7f).contains(&b)).count();
+        let ascii = bytes
+            .iter()
+            .filter(|&&b| b == b'\r' || b == b'\n' || (0x20..0x7f).contains(&b))
+            .count();
         let frac = ascii as f64 / bytes.len() as f64;
         assert!(frac > 0.55, "expected mostly printable traffic, got {frac}");
         assert!(frac < 0.999, "expected some binary bodies, got {frac}");

@@ -120,7 +120,13 @@ mod tests {
     use super::*;
 
     fn set() -> PatternSet {
-        PatternSet::from_literals(&["attackvector", "exploit-kit", "malware", "ZZQQ", "payload99"])
+        PatternSet::from_literals(&[
+            "attackvector",
+            "exploit-kit",
+            "malware",
+            "ZZQQ",
+            "payload99",
+        ])
     }
 
     #[test]

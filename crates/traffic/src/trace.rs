@@ -29,8 +29,11 @@ impl TraceKind {
     ];
 
     /// The "realistic traffic" traces (left-hand panels of Figures 4 and 7).
-    pub const REALISTIC: [TraceKind; 3] =
-        [TraceKind::IscxDay2, TraceKind::IscxDay6, TraceKind::Darpa2000];
+    pub const REALISTIC: [TraceKind; 3] = [
+        TraceKind::IscxDay2,
+        TraceKind::IscxDay6,
+        TraceKind::Darpa2000,
+    ];
 
     /// Display label matching the paper's figure axes.
     pub fn label(self) -> &'static str {
@@ -281,8 +284,7 @@ mod tests {
 
     #[test]
     fn works_without_pattern_set() {
-        let trace =
-            TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, 10_000), None);
+        let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, 10_000), None);
         assert_eq!(trace.len(), 10_000);
     }
 

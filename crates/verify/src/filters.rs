@@ -11,8 +11,9 @@
 //!   long patterns) are of this kind; the hash keeps the filter small enough
 //!   to stay in L1/L2 while still consulting four bytes of context.
 //!
-//! Both filters expose their backing byte array (padded by
-//! [`mpm_simd`-compatible] 4 bytes) so the vectorized engines can gather
+//! Both filters expose their backing byte array (padded by the
+//! `mpm_simd`-compatible [`FILTER_PADDING`] of 4 bytes) so the vectorized
+//! engines can gather
 //! from them directly, and both offer a *merged* layout helper
 //! ([`MergedDirectFilters`]) implementing the paper's filter-merging
 //! optimisation: filters 1 and 2 interleaved so one gather fetches both
@@ -89,7 +90,9 @@ impl DirectFilter {
 
     /// The backing byte array (padded), for gather-based lookups. Index
     /// `window >> 3` selects the byte, bit `window & 7` the bit — exactly
-    /// the layout [`mpm_simd::VectorBackend::test_window_bits`] expects.
+    /// the layout `mpm_simd::VectorBackend::test_window_bits` expects
+    /// (`mpm-verify` deliberately does not depend on `mpm-simd`, so this is
+    /// a contract in prose rather than an intra-doc link).
     #[inline]
     pub fn bytes(&self) -> &[u8] {
         &self.bits
@@ -116,7 +119,10 @@ impl HashedFilter {
     /// default used by S-PATCH is [`HashedFilter::DEFAULT_BITS`] (2^17 bits
     /// = 16 KB, fitting L1 together with the two 8 KB direct filters in L2).
     pub fn new(bits_log2: u32) -> Self {
-        assert!((10..=24).contains(&bits_log2), "unreasonable hashed-filter size");
+        assert!(
+            (10..=24).contains(&bits_log2),
+            "unreasonable hashed-filter size"
+        );
         HashedFilter {
             bits: vec![0u8; (1usize << bits_log2) / 8 + FILTER_PADDING],
             bits_log2,

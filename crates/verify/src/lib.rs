@@ -98,7 +98,10 @@ impl CompactHashTable {
         } else {
             bucket_bits
         };
-        assert!(bucket_bits <= 24, "bucket_bits too large for a compact table");
+        assert!(
+            bucket_bits <= 24,
+            "bucket_bits too large for a compact table"
+        );
         let buckets = 1usize << bucket_bits;
 
         // First pass: count bucket sizes.
@@ -213,8 +216,7 @@ impl CompactHashTable {
         if self.entries.is_empty() || pos + self.prefix_len > haystack.len() {
             return 0;
         }
-        let bucket =
-            Self::index_of(&haystack[pos..], self.prefix_len, self.bucket_bits) as usize;
+        let bucket = Self::index_of(&haystack[pos..], self.prefix_len, self.bucket_bits) as usize;
         let start = self.bucket_starts[bucket] as usize;
         let end = self.bucket_starts[bucket + 1] as usize;
         let mut comparisons = 0;

@@ -67,7 +67,11 @@ impl WuManber {
             }
         }
 
-        let m = shift_patterns.iter().map(|(_, b)| b.len()).min().unwrap_or(0);
+        let m = shift_patterns
+            .iter()
+            .map(|(_, b)| b.len())
+            .min()
+            .unwrap_or(0);
         let mut shift = vec![0u16; TABLE_SIZE];
         let mut buckets = vec![Vec::new(); TABLE_SIZE];
         if m >= B {
@@ -170,12 +174,7 @@ impl Matcher for WuManber {
                 .iter()
                 .map(|b| b.len() * std::mem::size_of::<PatternId>())
                 .sum::<usize>()
-            + self
-                .set
-                .patterns()
-                .iter()
-                .map(|p| p.len())
-                .sum::<usize>()
+            + self.set.patterns().iter().map(|p| p.len()).sum::<usize>()
     }
 }
 

@@ -7,15 +7,32 @@
 //! cargo run --release --example cache_behaviour
 //! ```
 
-use vpatch_suite::cachesim::{
-    replay_aho_corasick, replay_dfc, replay_vpatch, CacheConfig,
-};
+use vpatch_suite::cachesim::{replay_aho_corasick, replay_dfc, replay_vpatch, CacheConfig};
 use vpatch_suite::prelude::*;
 
+/// True when the examples smoke test asks for a quickly-finishing run
+/// (`VPATCH_EXAMPLE_FAST=1`); sizes below scale down accordingly.
+fn fast_mode() -> bool {
+    std::env::var_os("VPATCH_EXAMPLE_FAST").is_some()
+}
+
 fn main() {
-    let rules = SyntheticRuleset::snort_like_s1().http();
+    let rules = if fast_mode() {
+        // A reduced ruleset keeps the dense Aho-Corasick table build quick in
+        // debug profile; the qualitative locality gap is unchanged.
+        SyntheticRuleset::snort_like_s1()
+            .http()
+            .random_subset(400, 1)
+    } else {
+        SyntheticRuleset::snort_like_s1().http()
+    };
+    let trace_len = if fast_mode() {
+        256 * 1024
+    } else {
+        2 * 1024 * 1024
+    };
     let trace = TraceGenerator::generate(
-        &TraceSpec::new(TraceKind::IscxDay2, 2 * 1024 * 1024),
+        &TraceSpec::new(TraceKind::IscxDay2, trace_len),
         Some(&rules),
     );
 

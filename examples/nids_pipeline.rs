@@ -13,6 +13,12 @@
 use vpatch_suite::prelude::*;
 use vpatch_suite::traffic::chunk::globalize_matches;
 
+/// True when the examples smoke test asks for a quickly-finishing run
+/// (`VPATCH_EXAMPLE_FAST=1`); sizes below scale down accordingly.
+fn fast_mode() -> bool {
+    std::env::var_os("VPATCH_EXAMPLE_FAST").is_some()
+}
+
 fn main() {
     // Build the Snort-like S1 ruleset and keep the HTTP-relevant patterns,
     // as the paper does when pairing HTTP traffic with HTTP rules.
@@ -25,9 +31,14 @@ fn main() {
         rules.summary().short_count
     );
 
-    // Generate 16 MiB of ISCX-like HTTP traffic containing rule occurrences.
+    // Generate ISCX-like HTTP traffic containing rule occurrences.
+    let trace_len = if fast_mode() {
+        512 * 1024
+    } else {
+        16 * 1024 * 1024
+    };
     let trace = TraceGenerator::generate(
-        &TraceSpec::new(TraceKind::IscxDay2, 16 * 1024 * 1024),
+        &TraceSpec::new(TraceKind::IscxDay2, trace_len),
         Some(&rules),
     );
 

@@ -4,16 +4,22 @@
 //! operate independently on different parts of the stream".
 //!
 //! Demonstrates: sharing a compiled engine across threads (engines are
-//! `Send + Sync`), crossbeam scoped threads, and aggregating per-stream
-//! statistics behind a `parking_lot` mutex.
+//! `Send + Sync`), `std::thread::scope` scoped threads, and aggregating
+//! per-stream statistics behind a mutex.
 //!
 //! ```text
 //! cargo run --release --example parallel_streams
 //! ```
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::time::Instant;
 use vpatch_suite::prelude::*;
+
+/// True when the examples smoke test asks for a quickly-finishing run
+/// (`VPATCH_EXAMPLE_FAST=1`); sizes below scale down accordingly.
+fn fast_mode() -> bool {
+    std::env::var_os("VPATCH_EXAMPLE_FAST").is_some()
+}
 
 fn main() {
     let rules = SyntheticRuleset::snort_like_s1().http();
@@ -32,7 +38,17 @@ fn main() {
     .map(|kind| {
         (
             kind,
-            TraceGenerator::generate(&TraceSpec::new(kind, 8 * 1024 * 1024), Some(&rules)),
+            TraceGenerator::generate(
+                &TraceSpec::new(
+                    kind,
+                    if fast_mode() {
+                        256 * 1024
+                    } else {
+                        8 * 1024 * 1024
+                    },
+                ),
+                Some(&rules),
+            ),
         )
     })
     .collect();
@@ -41,20 +57,23 @@ fn main() {
     let engine_ref: &(dyn Matcher + Send + Sync) = engine.as_ref();
 
     let start = Instant::now();
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (kind, stream) in &streams {
-            scope.spawn(|_| {
+            let results = &results;
+            scope.spawn(move || {
                 let t0 = Instant::now();
                 let matches = engine_ref.count(stream);
                 let gbps = stream.len() as f64 * 8.0 / t0.elapsed().as_secs_f64() / 1e9;
-                results.lock().push((kind.label().to_string(), matches, gbps));
+                results
+                    .lock()
+                    .unwrap()
+                    .push((kind.label().to_string(), matches, gbps));
             });
         }
-    })
-    .expect("worker threads must not panic");
+    });
     let wall = start.elapsed();
 
-    let mut results = results.into_inner();
+    let mut results = results.into_inner().unwrap();
     results.sort_by(|a, b| a.0.cmp(&b.0));
     let total_bytes: usize = streams.iter().map(|(_, s)| s.len()).sum();
     println!("{:<12} {:>12} {:>12}", "stream", "matches", "Gbps");

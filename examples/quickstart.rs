@@ -31,7 +31,11 @@ fn main() {
         b"GET /cgi-bin/status HTTP/1.1\r\nUser-Agent: () { :;}; /bin/cat /etc/passwd\r\n\r\n";
     let matches = engine.find_all(payload);
 
-    println!("{} matches in a {}-byte payload:", matches.len(), payload.len());
+    println!(
+        "{} matches in a {}-byte payload:",
+        matches.len(),
+        payload.len()
+    );
     for m in &matches {
         let pattern = rules.get(m.pattern);
         println!("  offset {:>3}: pattern {} {}", m.start, m.pattern, pattern);

@@ -10,19 +10,34 @@
 use std::time::Instant;
 use vpatch_suite::prelude::*;
 
+/// True when the examples smoke test asks for a quickly-finishing run
+/// (`VPATCH_EXAMPLE_FAST=1`); sizes below scale down accordingly.
+fn fast_mode() -> bool {
+    std::env::var_os("VPATCH_EXAMPLE_FAST").is_some()
+}
+
 fn gbps(bytes: usize, secs: f64) -> f64 {
     bytes as f64 * 8.0 / secs / 1e9
 }
 
 fn main() {
     let full = SyntheticRuleset::et_open_like_s2();
-    let trace_len = 8 * 1024 * 1024;
+    let trace_len = if fast_mode() {
+        256 * 1024
+    } else {
+        8 * 1024 * 1024
+    };
 
     println!(
         "{:>9} {:>16} {:>14} {:>12} {:>12} {:>12}",
         "patterns", "AC table (MiB)", "V-PATCH (KiB)", "AC Gbps", "DFC Gbps", "V-PATCH Gbps"
     );
-    for &n in &[500usize, 2_000, 8_000] {
+    let sweep: &[usize] = if fast_mode() {
+        &[100, 300]
+    } else {
+        &[500, 2_000, 8_000]
+    };
+    for &n in sweep {
         let rules = full.full().random_subset(n, 42);
         let trace = TraceGenerator::generate(
             &TraceSpec::new(TraceKind::IscxDay2, trace_len),

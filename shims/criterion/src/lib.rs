@@ -1,0 +1,215 @@
+//! Minimal offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides the API surface the workspace's `benches/` targets use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkId`], [`Throughput`] — with
+//! a simple mean/min wall-clock measurement instead of the real crate's
+//! statistical analysis.
+//!
+//! Behaviour notes:
+//!
+//! * Under `cargo bench`, cargo passes `--bench` to the (harness = false)
+//!   binary; the shim then runs every registered benchmark and prints one
+//!   line per function (mean time per iteration, plus throughput when the
+//!   group set one).
+//! * Under `cargo test`, no `--bench` flag is passed; the shim prints a note
+//!   and exits immediately, so benchmark workloads never slow down the test
+//!   suite.
+//!
+//! The workspace builds without network access, so the real crates.io
+//! dependency is replaced by this shim (see the repository's DEVELOPMENT.md).
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// True when the binary was invoked by `cargo bench` (cargo passes
+    /// `--bench` to harness-less bench targets).
+    pub fn bench_mode() -> bool {
+        std::env::args().any(|arg| arg == "--bench")
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// How much work one benchmark iteration performs, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration work for derived throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) {
+        self.sample_size = n.max(1);
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iters as u32
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if per_iter > Duration::ZERO => {
+                let gib = bytes as f64 / (1u64 << 30) as f64;
+                format!(" ({:.3} GiB/s)", gib / per_iter.as_secs_f64())
+            }
+            Some(Throughput::Elements(elements)) if per_iter > Duration::ZERO => {
+                format!(
+                    " ({:.3} Melem/s)",
+                    elements as f64 / 1e6 / per_iter.as_secs_f64()
+                )
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: {per_iter:?}/iter over {} iters{rate}",
+            self.name, bencher.iters
+        );
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Runs the measured closure and accumulates timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body` over the configured number of iterations (plus one
+    /// untimed warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        black_box(body());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Identifier combining a function name and a parameter, printed as
+/// `name/parameter` like the real crate.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Groups benchmark functions under one runner function, mirroring the real
+/// crate's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` for a bench target: runs the groups under `cargo bench`,
+/// exits immediately under `cargo test`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::Criterion::bench_mode() {
+                println!(
+                    "criterion shim: not invoked by `cargo bench`; skipping benchmarks"
+                );
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::new("count", "x"), |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 measured iterations.
+        assert_eq!(calls, 4);
+    }
+}

@@ -1,0 +1,42 @@
+//! Fixed-size array strategies ([`uniform8`], [`uniform16`]).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[S::Value; N]` by sampling the element strategy once
+/// per lane.
+pub struct UniformArray<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+/// Arrays of 8 values drawn from `element`.
+pub fn uniform8<S: Strategy>(element: S) -> UniformArray<S, 8> {
+    UniformArray { element }
+}
+
+/// Arrays of 16 values drawn from `element`.
+pub fn uniform16<S: Strategy>(element: S) -> UniformArray<S, 16> {
+    UniformArray { element }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn arrays_have_independent_lanes() {
+        let mut rng = TestRng::from_name("array-tests");
+        let a: [u32; 16] = uniform16(any::<u32>()).sample(&mut rng);
+        let b: [u32; 8] = uniform8(any::<u32>()).sample(&mut rng);
+        assert_ne!(&a[..8], &b[..], "consecutive samples should differ");
+    }
+}

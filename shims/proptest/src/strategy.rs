@@ -1,0 +1,145 @@
+//! The [`Strategy`] trait and the combinators the workspace uses.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of a type.
+///
+/// Unlike the real proptest (whose strategies produce shrinkable value
+/// trees), the shim's strategies simply sample a value from a PRNG.
+pub trait Strategy {
+    /// The type of values this strategy generates.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Strategy that always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + rng.below((self.end - self.start) as u64) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+/// Weighted choice among boxed strategies of a common value type
+/// (what [`crate::prop_oneof!`] builds).
+pub struct OneOf<T> {
+    choices: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+    total_weight: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Creates the choice strategy. Use [`weighted`] to build the entries.
+    ///
+    /// # Panics
+    /// Panics if `choices` is empty or all weights are zero.
+    pub fn new(choices: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+        let total_weight: u64 = choices.iter().map(|(w, _)| *w as u64).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs at least one positive weight"
+        );
+        OneOf {
+            choices,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.below(self.total_weight);
+        for (weight, strategy) in &self.choices {
+            if roll < *weight as u64 {
+                return strategy.sample(rng);
+            }
+            roll -= *weight as u64;
+        }
+        unreachable!("roll below total weight always lands in a choice")
+    }
+}
+
+/// Boxes a strategy with a weight, unifying heterogeneous strategy types for
+/// [`OneOf`] (called by the [`crate::prop_oneof!`] expansion).
+pub fn weighted<S>(weight: u32, strategy: S) -> (u32, Box<dyn Strategy<Value = S::Value>>)
+where
+    S: Strategy + 'static,
+{
+    (weight, Box::new(strategy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_map_and_oneof() {
+        let mut rng = TestRng::from_name("strategy-tests");
+        for _ in 0..500 {
+            let v = (10u32..20).sample(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+        let doubled = (1usize..4).prop_map(|v| v * 2);
+        for _ in 0..100 {
+            let v = doubled.sample(&mut rng);
+            assert!(v == 2 || v == 4 || v == 6);
+        }
+        let choice = OneOf::new(vec![weighted(1, Just(7u8)), weighted(3, Just(9u8))]);
+        let mut sevens = 0;
+        for _ in 0..1000 {
+            match choice.sample(&mut rng) {
+                7 => sevens += 1,
+                9 => {}
+                other => panic!("unexpected {other}"),
+            }
+        }
+        // Weight 1-vs-3 should land far from 50/50.
+        assert!((150..400).contains(&sevens), "got {sevens}");
+    }
+}

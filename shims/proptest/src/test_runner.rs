@@ -1,0 +1,108 @@
+//! Test-execution support types: configuration, the per-test PRNG, and the
+//! error type property bodies return.
+
+use std::fmt;
+
+/// Per-test configuration (only the case count is honoured by the shim).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; the shim defaults lower because the
+        // engine-equivalence properties run several engine builds per case.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a property case did not pass.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-test PRNG (SplitMix64 seeded from the test name), so a
+/// failing case reproduces on every run.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a over the bytes).
+    pub fn from_name(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in name.as_bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let mut c = TestRng::from_name("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn config_defaults_and_with_cases() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}

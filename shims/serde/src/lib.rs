@@ -1,0 +1,175 @@
+//! Minimal offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The real serde models serialisation as a visitor protocol between a data
+//! structure and a format backend. This workspace only ever serialises result
+//! structures to JSON for reporting, so the shim collapses the protocol to a
+//! concrete [`Value`] tree: [`Serialize`] converts a value into a `Value`,
+//! and the `serde_json` shim renders that tree. [`Deserialize`] is a marker
+//! only — nothing in the workspace deserialises.
+//!
+//! The derive macros are re-exported from the `serde_derive` shim, so
+//! `#[derive(Serialize, Deserialize)]` and `use serde::{Serialize,
+//! Deserialize}` work exactly as with the real crate (for the supported type
+//! shapes — see the `serde_derive` shim's documentation).
+//!
+//! The workspace builds without network access, so the real crates.io
+//! dependency is replaced by this shim (see the repository's DEVELOPMENT.md).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+
+/// A serialised value tree (the shim's wire-format-independent middle layer,
+/// playing the role JSON values play in `serde_json`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Null / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered map of string keys to values (insertion order preserved,
+    /// matching how derived structs list their fields).
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] tree (the shim's analogue of
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// Converts `self` into a serialised value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait standing in for `serde::Deserialize` (derivable, never
+/// actually used to deserialise anything in this workspace).
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_and_container_conversions() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-4i64).to_value(), Value::Int(-4));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(Option::<u8>::None.to_value(), Value::Null);
+        let mut map = BTreeMap::new();
+        map.insert("k".to_string(), 9usize);
+        assert_eq!(
+            map.to_value(),
+            Value::Object(vec![("k".to_string(), Value::UInt(9))])
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits implementations of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits (see `shims/serde`). Because `syn`/`quote`
+//! are unavailable offline, the input item is parsed directly from the
+//! `proc_macro` token stream. The supported shapes are exactly what this
+//! workspace derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype or multi-field),
+//! * field-less enums,
+//!
+//! all without generic parameters. Anything else produces a compile error
+//! naming this shim, so a future use of an unsupported shape fails loudly
+//! instead of serialising wrongly.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` trait (a `to_value` conversion).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => emit_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(message) => compile_error(&message),
+    }
+}
+
+/// Derives the shim `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => format!("impl ::serde::Deserialize for {} {{}}", item.name)
+            .parse()
+            .expect("generated impl parses"),
+        Err(message) => compile_error(&message),
+    }
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});")
+        .parse()
+        .expect("error literal parses")
+}
+
+/// What the derive input turned out to be.
+enum ItemKind {
+    /// Struct with named fields (field identifiers in declaration order).
+    NamedStruct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    /// Field-less enum (variant identifiers).
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match &token {
+            // Outer attributes (including doc comments): `#` `[...]`.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "pub" => {
+                // `pub(crate)` etc: skip the restriction group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                let name = expect_ident(tokens.next())?;
+                return match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                        name,
+                        kind: ItemKind::NamedStruct(parse_named_fields(g.stream())?),
+                    }),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Ok(Item {
+                            name,
+                            kind: ItemKind::TupleStruct(count_tuple_fields(g.stream())),
+                        })
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+                        "serde_derive shim: generic type `{name}` is not supported"
+                    )),
+                    other => Err(format!(
+                        "serde_derive shim: unsupported struct shape for `{name}` ({other:?})"
+                    )),
+                };
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                let name = expect_ident(tokens.next())?;
+                return match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item {
+                        kind: ItemKind::Enum(parse_fieldless_variants(&name, g.stream())?),
+                        name,
+                    }),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+                        "serde_derive shim: generic type `{name}` is not supported"
+                    )),
+                    other => Err(format!(
+                        "serde_derive shim: unsupported enum shape for `{name}` ({other:?})"
+                    )),
+                };
+            }
+            // `union`, visibility modifiers we don't know, etc.
+            _ => {}
+        }
+    }
+    Err("serde_derive shim: found no struct or enum in derive input".to_string())
+}
+
+fn expect_ident(token: Option<TokenTree>) -> Result<String, String> {
+    match token {
+        Some(TokenTree::Ident(ident)) => Ok(ident.to_string()),
+        other => Err(format!(
+            "serde_derive shim: expected an identifier, found {other:?}"
+        )),
+    }
+}
+
+/// Extracts the field names of a named-field struct body. Commas inside
+/// angle brackets (`BTreeMap<String, usize>`) do not terminate a field.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected a field name, found {other:?}"
+                ))
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        fields.push(name);
+        // Skip the type: consume until a comma at angle-bracket depth zero.
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Counts the fields of a tuple struct body (top-level comma-separated types).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    for token in body {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Extracts the variant names of a field-less enum body.
+fn parse_fieldless_variants(name: &str, body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(ident)) => variants.push(ident.to_string()),
+            other => {
+                return Err(format!(
+                    "serde_derive shim: expected a variant of `{name}`, found {other:?}"
+                ))
+            }
+        }
+        // Reject data-carrying variants, skip discriminants, consume the comma.
+        match tokens.peek() {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde_derive shim: enum `{name}` has data-carrying variants, \
+                     which this shim does not support"
+                ))
+            }
+            _ => {}
+        }
+        for token in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &token {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn emit_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut entries = String::new();
+            for field in fields {
+                entries.push_str(&format!(
+                    "(::std::string::String::from({field:?}), \
+                     ::serde::Serialize::to_value(&self.{field})),"
+                ));
+            }
+            format!("::serde::Value::Object(::std::vec![{entries}])")
+        }
+        ItemKind::TupleStruct(0) => "::serde::Value::Array(::std::vec![])".to_string(),
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let mut entries = String::new();
+            for i in 0..*n {
+                entries.push_str(&format!("::serde::Serialize::to_value(&self.{i}),"));
+            }
+            format!("::serde::Value::Array(::std::vec![{entries}])")
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                arms.push_str(&format!("{name}::{variant} => {variant:?},"));
+            }
+            format!("::serde::Value::String(::std::string::String::from(match self {{ {arms} }}))")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}

@@ -1,0 +1,184 @@
+//! Minimal offline stand-in for [`serde_json`](https://crates.io/crates/serde_json):
+//! renders the shim `serde` crate's [`serde::Value`] tree as JSON text, with
+//! the same layout conventions as the real crate's pretty printer (two-space
+//! indent, `"key": value` separators).
+//!
+//! The workspace builds without network access, so the real crates.io
+//! dependency is replaced by this shim (see the repository's DEVELOPMENT.md).
+
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialisation error. The shim's value tree can always be rendered, so this
+/// is never actually constructed; it exists so call sites keep the real
+/// crate's `Result` signature.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<&str>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => write_sequence(
+            out,
+            items.iter(),
+            indent,
+            depth,
+            ('[', ']'),
+            |out, item, indent, depth| {
+                write_value(out, item, indent, depth);
+            },
+        ),
+        Value::Object(entries) => write_sequence(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |out, (key, item), indent, depth| {
+                write_string(out, key);
+                out.push(':');
+                out.push(' ');
+                write_value(out, item, indent, depth);
+            },
+        ),
+    }
+}
+
+fn write_sequence<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<&str>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, Option<&str>, usize),
+{
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(pad) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(pad);
+            }
+        }
+        write_item(out, item, indent, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(pad) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(pad);
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        // `{:?}` on f64 produces the shortest round-trip representation and
+        // always includes a decimal point or exponent, matching serde_json
+        // ("1.8", "42.0").
+        out.push_str(&format!("{f:?}"));
+    } else {
+        // serde_json maps non-finite floats to null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_layout_matches_serde_json_conventions() {
+        let value = Value::Object(vec![
+            ("name".to_string(), Value::String("x".to_string())),
+            ("speed".to_string(), Value::Float(1.8)),
+            (
+                "counts".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+            ("empty".to_string(), Value::Array(vec![])),
+        ]);
+        let text = to_string_pretty(&WrapperForTest(value)).unwrap();
+        assert!(text.contains("\"speed\": 1.8"));
+        assert!(text.contains("\"empty\": []"));
+        assert!(text.starts_with("{\n  \"name\": \"x\","));
+        assert!(text.ends_with("\n}"));
+    }
+
+    #[test]
+    fn compact_and_escapes() {
+        let value = Value::Array(vec![
+            Value::String("a\"b\\c\nd".to_string()),
+            Value::Bool(true),
+            Value::Null,
+            Value::Int(-3),
+        ]);
+        let text = to_string(&WrapperForTest(value)).unwrap();
+        assert_eq!(text, "[\"a\\\"b\\\\c\\nd\",true,null,-3]");
+    }
+
+    /// Test helper: a `Serialize` that returns a pre-built tree.
+    struct WrapperForTest(Value);
+
+    impl Serialize for WrapperForTest {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+}

@@ -27,8 +27,8 @@ pub use mpm_patterns as patterns;
 pub use mpm_simd as simd;
 pub use mpm_traffic as traffic;
 pub use mpm_verify as verify;
-pub use mpm_wu_manber as wu_manber;
 pub use mpm_vpatch as vpatch;
+pub use mpm_wu_manber as wu_manber;
 
 /// The most commonly used items, for glob import in applications and
 /// examples.
@@ -40,7 +40,9 @@ pub mod prelude {
         ProtocolGroup, SyntheticRuleset,
     };
     pub use mpm_simd::{available_backends, detect_best, BackendKind, VectorBackend};
-    pub use mpm_traffic::{ChunkedStream, MatchDensityGenerator, TraceGenerator, TraceKind, TraceSpec};
+    pub use mpm_traffic::{
+        ChunkedStream, MatchDensityGenerator, TraceGenerator, TraceKind, TraceSpec,
+    };
     pub use mpm_vpatch::{build_auto, FilterOnlyMode, SPatch, Scratch, VPatch};
     pub use mpm_wu_manber::WuManber;
 }
@@ -58,9 +60,6 @@ mod tests {
             Some(&rules),
         );
         let matches = engine.find_all(&trace);
-        assert_eq!(
-            matches,
-            mpm_patterns::naive::naive_find_all(&rules, &trace)
-        );
+        assert_eq!(matches, mpm_patterns::naive::naive_find_all(&rules, &trace));
     }
 }

@@ -32,9 +32,9 @@ fn all_engines(rules: &PatternSet) -> Vec<Box<dyn Matcher + Send + Sync>> {
 
 #[test]
 fn every_engine_reports_identical_alerts_on_realistic_traffic() {
-    let ruleset = SyntheticRuleset::generate(
-        vpatch_suite::patterns::synthetic::RulesetSpec::tiny(600, 2024),
-    );
+    let ruleset = SyntheticRuleset::generate(vpatch_suite::patterns::synthetic::RulesetSpec::tiny(
+        600, 2024,
+    ));
     let rules = ruleset.http();
     let trace = TraceGenerator::generate(
         &TraceSpec::new(TraceKind::IscxDay2, 512 * 1024),
@@ -52,15 +52,29 @@ fn every_engine_reports_identical_alerts_on_realistic_traffic() {
             "engine {} diverged from the reference",
             engine.name()
         );
-        assert_eq!(engine.count(&trace), reference.len() as u64, "{}", engine.name());
+        assert_eq!(
+            engine.count(&trace),
+            reference.len() as u64,
+            "{}",
+            engine.name()
+        );
     }
 }
 
 #[test]
 fn every_engine_agrees_on_random_and_adversarial_inputs() {
     let rules = PatternSet::from_literals(&[
-        "a", "ab", "abc", "abcd", "aaaa", "GET ", "\x00\x00\x00\x00", "attack", "attach",
-        "attribute", "end-of-buffer",
+        "a",
+        "ab",
+        "abc",
+        "abcd",
+        "aaaa",
+        "GET ",
+        "\x00\x00\x00\x00",
+        "attack",
+        "attach",
+        "attribute",
+        "end-of-buffer",
     ]);
     let mut inputs: Vec<Vec<u8>> = vec![
         Vec::new(),
@@ -95,10 +109,9 @@ fn every_engine_agrees_on_random_and_adversarial_inputs() {
 
 #[test]
 fn chunked_streaming_scan_equals_whole_buffer_scan() {
-    let rules = SyntheticRuleset::generate(
-        vpatch_suite::patterns::synthetic::RulesetSpec::tiny(200, 7),
-    )
-    .http();
+    let rules =
+        SyntheticRuleset::generate(vpatch_suite::patterns::synthetic::RulesetSpec::tiny(200, 7))
+            .http();
     let trace = TraceGenerator::generate(
         &TraceSpec::new(TraceKind::IscxDay6, 256 * 1024),
         Some(&rules),
@@ -134,16 +147,15 @@ fn engines_are_shareable_across_threads() {
     let expected: Vec<u64> = traces.iter().map(|t| engine.count(t)).collect();
 
     let counted = std::sync::Mutex::new(vec![0u64; traces.len()]);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, trace) in traces.iter().enumerate() {
             let engine = engine.as_ref();
             let counted = &counted;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 counted.lock().unwrap()[i] = engine.count(trace);
             });
         }
-    })
-    .unwrap();
+    });
     assert_eq!(*counted.lock().unwrap(), expected);
 }
 
@@ -151,10 +163,9 @@ fn engines_are_shareable_across_threads() {
 fn match_density_generator_drives_the_expected_verification_load() {
     // Cross-crate sanity for the Figure 5c workload: a higher requested match
     // fraction yields more matches and more candidates for the same engine.
-    let rules = SyntheticRuleset::generate(
-        vpatch_suite::patterns::synthetic::RulesetSpec::tiny(300, 3),
-    )
-    .http();
+    let rules =
+        SyntheticRuleset::generate(vpatch_suite::patterns::synthetic::RulesetSpec::tiny(300, 3))
+            .http();
     let engine = SPatch::build(&rules);
     let generator = MatchDensityGenerator::new(128 * 1024, 99);
     let low_input = generator.generate(&rules, 0.05);

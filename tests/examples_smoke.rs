@@ -1,0 +1,52 @@
+//! Smoke test: every example under `examples/` must build and run to
+//! completion, so the doc-facing entry points can never silently rot.
+//!
+//! Each example is executed through `cargo run --example` with
+//! `VPATCH_EXAMPLE_FAST=1`, which the examples honour by scaling their
+//! workloads down to sizes that finish in seconds even in the debug profile.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Discovers the example names from the `examples/` directory so a new
+/// example is covered automatically.
+fn example_names() -> Vec<String> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("examples/ directory exists")
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            if path.extension()? == "rs" {
+                Some(path.file_stem()?.to_string_lossy().into_owned())
+            } else {
+                None
+            }
+        })
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 5,
+        "expected the five shipped examples, found {names:?}"
+    );
+    names
+}
+
+#[test]
+fn every_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    for name in example_names() {
+        let output = Command::new(&cargo)
+            .args(["run", "--quiet", "--example", &name])
+            .env("VPATCH_EXAMPLE_FAST", "1")
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .unwrap_or_else(|error| panic!("failed to spawn cargo for example {name}: {error}"));
+        assert!(
+            output.status.success(),
+            "example `{name}` failed with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+    }
+}

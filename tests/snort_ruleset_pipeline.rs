@@ -1,8 +1,8 @@
 //! Integration test: from Snort rule text all the way to alerts, using the
 //! rule parser instead of the synthetic generators.
 
-use vpatch_suite::prelude::*;
 use vpatch_suite::patterns::snort::{parse_rules, ParseOptions};
+use vpatch_suite::prelude::*;
 
 const RULES: &str = r#"
 # A miniature web ruleset in Snort syntax.
