@@ -1,0 +1,113 @@
+//! Emits the machine-readable perf-trajectory snapshot recorded in the
+//! repository's `BENCH_baseline.json`.
+//!
+//! Measures the Figure 6 quantity — V-PATCH filtering-phase throughput with
+//! and without candidate stores — for every backend this CPU supports (plus
+//! the scalar reference at both widths), on the canonical fig6 workload
+//! (S1-HTTP ruleset, ISCX-day2-like trace). Output is a JSON snapshot in the
+//! `vpatch-bench-baseline/v1` row shape (`rows[].gbps` / `rows[].gbps_std`);
+//! the checked-in `BENCH_baseline.json` accumulates one snapshot per
+//! optimisation PR so regressions and wins stay diff-able:
+//!
+//! ```text
+//! cargo run --release -p mpm-bench --bin bench_baseline -- --mb 1 --runs 30
+//! ```
+//!
+//! `--mb` / `--runs` tune trace size and repetitions; `--ruleset` switches
+//! the sub-figure workload. Each snapshot records its own `source`
+//! (methodology); only compare rows whose sources match.
+
+use mpm_bench::measure::measure_closure;
+use mpm_bench::{report, Options, Workload};
+use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend};
+use mpm_traffic::TraceKind;
+use mpm_vpatch::{FilterOnlyMode, Scratch, VPatch};
+use serde::Serialize;
+
+/// One measured (backend, configuration) point, in the
+/// `vpatch-bench-baseline/v1` row shape.
+#[derive(Clone, Debug, Serialize)]
+struct BaselineRow {
+    /// Backend name as reported by the trait (`scalar` / `avx2` / `avx512`).
+    backend: String,
+    /// Vector width the engine was instantiated at.
+    lanes: usize,
+    /// `filtering+stores` or `filtering` (the two V-PATCH bars of Figure 6).
+    config: String,
+    /// Mean filtering-phase throughput in Gbit/s.
+    gbps: f64,
+    /// Sample standard deviation of the throughput.
+    gbps_std: f64,
+}
+
+/// One snapshot of the perf trajectory (what this binary emits).
+#[derive(Clone, Debug, Serialize)]
+struct BaselineSnapshot {
+    /// Snapshot label; edit when merging into `BENCH_baseline.json`.
+    label: String,
+    /// Measurement methodology; appended snapshots are only comparable to
+    /// entries whose `source` matches.
+    source: String,
+    /// Ruleset the engines were compiled for.
+    ruleset: String,
+    /// Trace size in MiB.
+    trace_mib: usize,
+    /// Measured repetitions per point.
+    runs: usize,
+    /// One row per backend × configuration.
+    rows: Vec<BaselineRow>,
+}
+
+fn measure_backend<B: VectorBackend<W>, const W: usize>(
+    workload: &Workload,
+    trace: &[u8],
+    runs: usize,
+    rows: &mut Vec<BaselineRow>,
+) {
+    if !B::is_available() {
+        return;
+    }
+    let engine = VPatch::<B, W>::build(&workload.patterns);
+    let mut scratch = Scratch::with_capacity_for(trace.len());
+    for (mode, config) in [
+        (FilterOnlyMode::WithStores, "filtering+stores"),
+        (FilterOnlyMode::NoStores, "filtering"),
+    ] {
+        let measurement = measure_closure(trace.len(), runs, || {
+            engine.filter_only(trace, mode, &mut scratch)
+        });
+        rows.push(BaselineRow {
+            backend: B::name().to_string(),
+            lanes: W,
+            config: config.to_string(),
+            gbps: measurement.gbps_mean,
+            gbps_std: measurement.gbps_std,
+        });
+    }
+}
+
+fn main() {
+    let options = Options::from_env();
+    let workload =
+        Workload::build_with_traces(options.ruleset, options.trace_mib, &[TraceKind::IscxDay2]);
+    let trace = &workload.traces[0].1;
+
+    let mut rows = Vec::new();
+    measure_backend::<ScalarBackend, 8>(&workload, trace, options.runs, &mut rows);
+    measure_backend::<ScalarBackend, 16>(&workload, trace, options.runs, &mut rows);
+    measure_backend::<Avx2Backend, 8>(&workload, trace, options.runs, &mut rows);
+    measure_backend::<Avx512Backend, 16>(&workload, trace, options.runs, &mut rows);
+
+    let snapshot = BaselineSnapshot {
+        label: "current".to_string(),
+        source: format!(
+            "bench_baseline bin (filter_only via measure_closure, {} runs after warm-up)",
+            options.runs
+        ),
+        ruleset: options.ruleset.label().to_string(),
+        trace_mib: options.trace_mib,
+        runs: options.runs,
+        rows,
+    };
+    println!("{}", report::to_json(&snapshot));
+}

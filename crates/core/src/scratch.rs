@@ -6,6 +6,22 @@
 //! (`Scratch::clear` keeps the capacity). The counters feed Figure 5b
 //! (filtering-time ratio, useful-lane occupancy) and the EXPERIMENTS.md
 //! analysis.
+//!
+//! Two lifecycle methods serve the two reuse patterns:
+//!
+//! * [`Scratch::clear`] — full reset (candidates **and** counters), the
+//!   start-of-measurement entry point;
+//! * [`Scratch::begin_chunk`] — clears only the candidate arrays, keeping
+//!   the phase counters accumulating. `scan_with_scratch` uses this, so a
+//!   streaming caller that feeds many chunks through one scratch reads
+//!   whole-stream totals (`filter_nanos`, `verify_nanos`, lane occupancy)
+//!   at the end instead of the last chunk's values.
+//!
+//! Capacity hints are **engine-aware**: the compiled tables know whether a
+//! ruleset contains short and/or long patterns, and an array that can never
+//! receive a candidate is not pre-reserved (see [`Scratch::with_hints`]).
+
+use std::cell::RefCell;
 
 /// Temporary arrays and counters for one scan.
 #[derive(Clone, Debug, Default)]
@@ -19,11 +35,17 @@ pub struct Scratch {
     /// Total lanes that were genuinely active (had passed filter 2) over all
     /// third-filter evaluations.
     pub useful_lanes: u64,
-    /// Nanoseconds spent in the filtering round of the last scan.
+    /// Nanoseconds spent in filtering rounds since the last [`Scratch::clear`]
+    /// (accumulates across `scan_with_scratch` calls for streaming use).
     pub filter_nanos: u64,
-    /// Nanoseconds spent in the verification round of the last scan.
+    /// Nanoseconds spent in verification rounds since the last
+    /// [`Scratch::clear`].
     pub verify_nanos: u64,
 }
+
+/// Fraction of input positions the capacity hints assume can become
+/// candidates (a few percent is typical on realistic traffic).
+const CANDIDATE_FRACTION_DIV: usize = 32;
 
 impl Scratch {
     /// Creates an empty scratch.
@@ -31,31 +53,96 @@ impl Scratch {
         Self::default()
     }
 
-    /// Creates a scratch with capacity hints derived from the input length
-    /// (a few percent of positions typically become candidates on realistic
-    /// traffic).
+    /// Creates a scratch with capacity hints derived from the input length,
+    /// assuming both candidate classes can occur. Prefer
+    /// [`Scratch::with_hints`] when the engine's tables are at hand.
     pub fn with_capacity_for(input_len: usize) -> Self {
-        Scratch {
-            a_short: Vec::with_capacity(input_len / 32 + 16),
-            a_long: Vec::with_capacity(input_len / 32 + 16),
-            ..Scratch::default()
+        Self::with_hints(input_len, true, true)
+    }
+
+    /// Creates a scratch with engine-aware capacity hints: only the
+    /// candidate arrays the ruleset can actually populate are pre-reserved
+    /// (`expect_short` ⇔ the ruleset has 1–3-byte patterns, `expect_long` ⇔
+    /// it has ≥ 4-byte ones). A short-only ruleset therefore allocates
+    /// nothing for `a_long`, and vice versa.
+    pub fn with_hints(input_len: usize, expect_short: bool, expect_long: bool) -> Self {
+        let mut scratch = Scratch::default();
+        scratch.reserve_for(input_len, expect_short, expect_long);
+        scratch
+    }
+
+    /// Grows the candidate arrays to the capacity [`Scratch::with_hints`]
+    /// would pick for `input_len`, without shrinking or discarding anything.
+    /// Cheap when the scratch is already warm — the common case for a cached
+    /// or streaming scratch.
+    pub fn reserve_for(&mut self, input_len: usize, expect_short: bool, expect_long: bool) {
+        let hint = input_len / CANDIDATE_FRACTION_DIV + 16;
+        if expect_short && self.a_short.capacity() < hint {
+            self.a_short.reserve(hint - self.a_short.len());
+        }
+        if expect_long && self.a_long.capacity() < hint {
+            self.a_long.reserve(hint - self.a_long.len());
         }
     }
 
     /// Clears candidates and counters but keeps allocated capacity.
     pub fn clear(&mut self) {
-        self.a_short.clear();
-        self.a_long.clear();
+        self.begin_chunk();
         self.filter3_blocks = 0;
         self.useful_lanes = 0;
         self.filter_nanos = 0;
         self.verify_nanos = 0;
     }
 
+    /// Clears the candidate arrays for the next chunk of a stream while the
+    /// phase counters keep accumulating. Capacity is kept.
+    pub fn begin_chunk(&mut self) {
+        self.a_short.clear();
+        self.a_long.clear();
+    }
+
     /// Total candidate positions recorded by the filtering round.
     pub fn candidates(&self) -> u64 {
         (self.a_short.len() + self.a_long.len()) as u64
     }
+}
+
+thread_local! {
+    /// Per-thread scratch reused by the engines' `find_into` /
+    /// `scan_with_stats` entry points, so repeated one-shot scans stop
+    /// paying an allocation per call.
+    static CACHED_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// Upper bound on the candidate capacity the thread-local scratch keeps
+/// between calls (entries per array; 1 MiB of `u32`s each). One scan of a
+/// huge buffer must not pin hundreds of megabytes of idle heap on the
+/// thread for the process lifetime — anything above this is released when
+/// the cached scratch is handed back.
+const MAX_CACHED_CAPACITY: usize = 1 << 18;
+
+/// Runs `f` with this thread's cached [`Scratch`] (allocating a transient
+/// one only in the re-entrant case, which the engines never hit themselves).
+/// The scratch is handed over un-cleared; callers reset whatever state they
+/// rely on. On return the candidate arrays are emptied and capacity beyond
+/// `MAX_CACHED_CAPACITY` entries per array is given back to the allocator,
+/// so the cache's idle footprint stays bounded regardless of the largest
+/// input ever scanned on the thread.
+pub fn with_cached_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    CACHED_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => {
+            let result = f(&mut scratch);
+            scratch.begin_chunk();
+            if scratch.a_short.capacity() > MAX_CACHED_CAPACITY {
+                scratch.a_short.shrink_to(MAX_CACHED_CAPACITY);
+            }
+            if scratch.a_long.capacity() > MAX_CACHED_CAPACITY {
+                scratch.a_long.shrink_to(MAX_CACHED_CAPACITY);
+            }
+            result
+        }
+        Err(_) => f(&mut Scratch::new()),
+    })
 }
 
 #[cfg(test)]
@@ -81,5 +168,74 @@ mod tests {
         s.a_short.extend_from_slice(&[1, 2]);
         s.a_long.extend_from_slice(&[3, 4, 5]);
         assert_eq!(s.candidates(), 5);
+    }
+
+    #[test]
+    fn hints_skip_impossible_candidate_classes() {
+        let short_only = Scratch::with_hints(1 << 20, true, false);
+        assert!(short_only.a_short.capacity() > 0);
+        assert_eq!(short_only.a_long.capacity(), 0);
+        let long_only = Scratch::with_hints(1 << 20, false, true);
+        assert_eq!(long_only.a_short.capacity(), 0);
+        assert!(long_only.a_long.capacity() > 0);
+    }
+
+    #[test]
+    fn reserve_for_grows_without_discarding() {
+        let mut s = Scratch::new();
+        s.a_short.push(42);
+        s.reserve_for(1 << 16, true, true);
+        assert_eq!(s.a_short, vec![42]);
+        assert!(s.a_short.capacity() >= (1 << 16) / 32);
+        let cap = s.a_short.capacity();
+        // Re-reserving for a smaller input never shrinks.
+        s.reserve_for(64, true, true);
+        assert_eq!(s.a_short.capacity(), cap);
+    }
+
+    #[test]
+    fn begin_chunk_keeps_counters_accumulating() {
+        let mut s = Scratch::new();
+        s.a_short.push(1);
+        s.filter_nanos = 10;
+        s.useful_lanes = 3;
+        s.begin_chunk();
+        assert_eq!(s.candidates(), 0);
+        assert_eq!(s.filter_nanos, 10);
+        assert_eq!(s.useful_lanes, 3);
+    }
+
+    #[test]
+    fn cached_scratch_footprint_is_bounded() {
+        // A scan-sized reservation far above the cache limit...
+        with_cached_scratch(|s| {
+            s.clear();
+            s.reserve_for(MAX_CACHED_CAPACITY * 64 * 32, true, true);
+            assert!(s.a_short.capacity() > MAX_CACHED_CAPACITY);
+            s.a_short.push(1);
+        });
+        // ...is trimmed back (and emptied) once the cache is released.
+        with_cached_scratch(|s| {
+            assert!(s.a_short.capacity() <= MAX_CACHED_CAPACITY);
+            assert!(s.a_long.capacity() <= MAX_CACHED_CAPACITY);
+            assert!(s.a_short.is_empty());
+        });
+    }
+
+    #[test]
+    fn cached_scratch_is_reused_and_reentrancy_safe() {
+        let cap = with_cached_scratch(|s| {
+            s.clear();
+            s.reserve_for(1 << 16, true, true);
+            s.a_short.capacity()
+        });
+        let (cap_again, nested_ok) = with_cached_scratch(|s| {
+            let outer_cap = s.a_short.capacity();
+            // A nested borrow must not panic; it falls back to a transient.
+            let nested = with_cached_scratch(|inner| inner.a_short.capacity() <= outer_cap);
+            (outer_cap, nested)
+        });
+        assert_eq!(cap, cap_again, "capacity persisted across calls");
+        assert!(nested_ok);
     }
 }

@@ -1,7 +1,7 @@
 //! S-PATCH: the scalar, vectorization-friendly two-round engine
 //! (Algorithm 1 of the paper).
 
-use crate::scratch::Scratch;
+use crate::scratch::{self, Scratch};
 use crate::tables::SPatchTables;
 use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
 use std::time::Instant;
@@ -89,21 +89,24 @@ impl SPatch {
     }
 
     /// Full scan reusing caller-provided scratch (no allocation in the steady
-    /// state). Phase timings are recorded into the scratch counters.
+    /// state). Candidate arrays are reset per call; the phase counters
+    /// **accumulate** across calls (reset with [`Scratch::clear`]), so a
+    /// streaming caller that pushes many chunks through one scratch reads
+    /// whole-stream totals at the end.
     pub fn scan_with_scratch(
         &self,
         haystack: &[u8],
         scratch: &mut Scratch,
         out: &mut Vec<MatchEvent>,
     ) {
-        scratch.clear();
+        scratch.begin_chunk();
         let t0 = Instant::now();
         self.filter_round(haystack, scratch);
         let t1 = Instant::now();
         self.verify_round(haystack, scratch, out);
         let t2 = Instant::now();
-        scratch.filter_nanos = (t1 - t0).as_nanos() as u64;
-        scratch.verify_nanos = (t2 - t1).as_nanos() as u64;
+        scratch.filter_nanos += (t1 - t0).as_nanos() as u64;
+        scratch.verify_nanos += (t2 - t1).as_nanos() as u64;
     }
 }
 
@@ -113,23 +116,32 @@ impl Matcher for SPatch {
     }
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
-        let mut scratch = Scratch::with_capacity_for(haystack.len());
-        self.filter_round(haystack, &mut scratch);
-        self.verify_round(haystack, &scratch, out);
+        // Reuse this thread's cached scratch (warm capacity, no per-scan
+        // allocation) with hints for the candidate classes this ruleset can
+        // actually produce.
+        scratch::with_cached_scratch(|scratch| {
+            scratch.clear();
+            scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
+            self.filter_round(haystack, scratch);
+            self.verify_round(haystack, scratch, out);
+        });
     }
 
     fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
-        let mut scratch = Scratch::with_capacity_for(haystack.len());
-        let mut out = Vec::new();
-        self.scan_with_scratch(haystack, &mut scratch, &mut out);
-        MatcherStats {
-            bytes_scanned: haystack.len() as u64,
-            candidates: scratch.candidates(),
-            matches: out.len() as u64,
-            filter_nanos: scratch.filter_nanos,
-            verify_nanos: scratch.verify_nanos,
-            ..MatcherStats::default()
-        }
+        scratch::with_cached_scratch(|scratch| {
+            scratch.clear();
+            scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
+            let mut out = Vec::new();
+            self.scan_with_scratch(haystack, scratch, &mut out);
+            MatcherStats {
+                bytes_scanned: haystack.len() as u64,
+                candidates: scratch.candidates(),
+                matches: out.len() as u64,
+                filter_nanos: scratch.filter_nanos,
+                verify_nanos: scratch.verify_nanos,
+                ..MatcherStats::default()
+            }
+        })
     }
 
     fn heap_bytes(&self) -> usize {

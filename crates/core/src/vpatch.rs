@@ -1,7 +1,18 @@
 //! V-PATCH: the vectorized filtering engine (Algorithm 2 of the paper),
 //! generic over the SIMD backend.
+//!
+//! The filtering pipeline is **register-resident**: every value flowing
+//! between the backend ops in `VPatch::process_block` has the backend's
+//! native register type (`VectorBackend::Vec`), so the composed
+//! `windows2 → gather_u16 → shift/mask → test` chain compiles to one
+//! straight-line kernel with no array materialisation between ops. Candidate
+//! positions leave the registers through the vectorized
+//! [`VectorBackend::compress_store`] primitive (`vpcompressd` on AVX-512, a
+//! `vpermd` LUT on AVX2) instead of a scalar bit-drain of the lane mask —
+//! the paper's Figure 6 shows those stores are the main cost on top of pure
+//! filtering, so they get the same vector treatment as the filters.
 
-use crate::scratch::Scratch;
+use crate::scratch::{self, Scratch};
 use crate::tables::SPatchTables;
 use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
 use mpm_simd::VectorBackend;
@@ -76,10 +87,12 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     ///
     /// Returns `(mask_short, mask_long)`: the lane masks that passed
     /// filter 1 and filters 2+3 respectively. When `STORE` is true the
-    /// corresponding positions are appended to the scratch arrays.
+    /// corresponding positions are appended to the scratch arrays through
+    /// the backend's `compress_store`.
     ///
     /// Always inlined into the dispatch-wrapped loops so the backend's
-    /// intrinsics fuse into one straight-line kernel.
+    /// intrinsics fuse into one straight-line kernel and every intermediate
+    /// `B::Vec` stays in a vector register.
     #[inline(always)]
     fn process_block<const STORE: bool>(
         &self,
@@ -102,7 +115,7 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         if t.has_short {
             mask_short = B::test_window_bits(f1_bytes, windows);
             if STORE && mask_short != 0 {
-                push_positions(mask_short, base, &mut scratch.a_short);
+                B::compress_store(mask_short, base as u32, &mut scratch.a_short);
             }
         }
 
@@ -123,7 +136,7 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
                 scratch.filter3_blocks += 1;
                 scratch.useful_lanes += mask2.count_ones() as u64;
                 if STORE && mask_long != 0 {
-                    push_positions(mask_long, base, &mut scratch.a_long);
+                    B::compress_store(mask_long, base as u32, &mut scratch.a_long);
                 }
             }
         }
@@ -195,6 +208,9 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     /// Filtering-only entry point for the Figure 6 experiments. Returns a
     /// checksum of the lane masks so the optimizer cannot discard the work in
     /// [`FilterOnlyMode::NoStores`] mode.
+    ///
+    /// Both modes run entirely in the caller's `scratch` (which is cleared on
+    /// entry); `NoStores` leaves no candidate positions behind.
     pub fn filter_only(&self, haystack: &[u8], mode: FilterOnlyMode, scratch: &mut Scratch) -> u64 {
         scratch.clear();
         let n = haystack.len();
@@ -210,17 +226,28 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
             }
             FilterOnlyMode::NoStores => {
                 B::dispatch(|| {
+                    // Same 2× unroll as the storing round so the two Figure 6
+                    // configurations differ only in the stores.
+                    while i + 2 * W + 3 <= n {
+                        let (a1, a2) = self.process_block::<false>(haystack, i, scratch);
+                        let (b1, b2) = self.process_block::<false>(haystack, i + W, scratch);
+                        checksum +=
+                            (a1.count_ones() + a2.count_ones() + b1.count_ones() + b2.count_ones())
+                                as u64;
+                        i += 2 * W;
+                    }
                     while i + W + 3 <= n {
                         let (m1, m2) = self.process_block::<false>(haystack, i, scratch);
                         checksum += (m1.count_ones() + m2.count_ones()) as u64;
                         i += W;
                     }
                 });
-                // The scalar tail is negligible for the multi-megabyte traces
-                // this mode is used with; count it without storing either.
-                let mut tail = Scratch::new();
-                self.filter_tail(haystack, i, &mut tail);
-                checksum += tail.candidates();
+                // The scalar tail runs through the caller's scratch (no
+                // transient allocation); its candidates join the checksum and
+                // the arrays are reset so no stores are observable.
+                self.filter_tail(haystack, i, scratch);
+                checksum += scratch.candidates();
+                scratch.begin_chunk();
             }
         }
         checksum
@@ -245,32 +272,24 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         comparisons
     }
 
-    /// Full scan reusing caller-provided scratch; phase timings are recorded
-    /// into the scratch counters.
+    /// Full scan reusing caller-provided scratch. Candidate arrays are reset
+    /// per call; the phase counters **accumulate** across calls (reset with
+    /// [`Scratch::clear`]), so a streaming caller that pushes many chunks
+    /// through one scratch reads whole-stream totals at the end.
     pub fn scan_with_scratch(
         &self,
         haystack: &[u8],
         scratch: &mut Scratch,
         out: &mut Vec<MatchEvent>,
     ) {
-        scratch.clear();
+        scratch.begin_chunk();
         let t0 = Instant::now();
         self.filter_round(haystack, scratch);
         let t1 = Instant::now();
         self.verify_round(haystack, scratch, out);
         let t2 = Instant::now();
-        scratch.filter_nanos = (t1 - t0).as_nanos() as u64;
-        scratch.verify_nanos = (t2 - t1).as_nanos() as u64;
-    }
-}
-
-/// Appends `base + lane` for every set bit of `mask` to `out`.
-#[inline]
-fn push_positions(mut mask: u32, base: usize, out: &mut Vec<u32>) {
-    while mask != 0 {
-        let lane = mask.trailing_zeros() as usize;
-        out.push((base + lane) as u32);
-        mask &= mask - 1;
+        scratch.filter_nanos += (t1 - t0).as_nanos() as u64;
+        scratch.verify_nanos += (t2 - t1).as_nanos() as u64;
     }
 }
 
@@ -280,24 +299,33 @@ impl<B: VectorBackend<W>, const W: usize> Matcher for VPatch<B, W> {
     }
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
-        let mut scratch = Scratch::with_capacity_for(haystack.len());
-        self.filter_round(haystack, &mut scratch);
-        self.verify_round(haystack, &scratch, out);
+        // Reuse this thread's cached scratch (warm capacity, no per-scan
+        // allocation) with hints for the candidate classes this ruleset can
+        // actually produce.
+        scratch::with_cached_scratch(|scratch| {
+            scratch.clear();
+            scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
+            self.filter_round(haystack, scratch);
+            self.verify_round(haystack, scratch, out);
+        });
     }
 
     fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
-        let mut scratch = Scratch::with_capacity_for(haystack.len());
-        let mut out = Vec::new();
-        self.scan_with_scratch(haystack, &mut scratch, &mut out);
-        MatcherStats {
-            bytes_scanned: haystack.len() as u64,
-            candidates: scratch.candidates(),
-            matches: out.len() as u64,
-            filter_nanos: scratch.filter_nanos,
-            verify_nanos: scratch.verify_nanos,
-            filter3_blocks: scratch.filter3_blocks,
-            useful_lanes: scratch.useful_lanes,
-        }
+        scratch::with_cached_scratch(|scratch| {
+            scratch.clear();
+            scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
+            let mut out = Vec::new();
+            self.scan_with_scratch(haystack, scratch, &mut out);
+            MatcherStats {
+                bytes_scanned: haystack.len() as u64,
+                candidates: scratch.candidates(),
+                matches: out.len() as u64,
+                filter_nanos: scratch.filter_nanos,
+                verify_nanos: scratch.verify_nanos,
+                filter3_blocks: scratch.filter3_blocks,
+                useful_lanes: scratch.useful_lanes,
+            }
+        })
     }
 
     fn heap_bytes(&self) -> usize {
@@ -421,6 +449,37 @@ mod tests {
     }
 
     #[test]
+    fn stats_are_per_scan_not_accumulated() {
+        let set = mixed_set();
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        let hay = sample_input();
+        let first = vp.scan_with_stats(&hay);
+        let second = vp.scan_with_stats(&hay);
+        // Identical scans through the cached scratch must report identical
+        // per-scan counters, not running totals.
+        assert_eq!(first.filter3_blocks, second.filter3_blocks);
+        assert_eq!(first.useful_lanes, second.useful_lanes);
+        assert_eq!(first.candidates, second.candidates);
+    }
+
+    #[test]
+    fn scan_with_scratch_accumulates_counters_across_chunks() {
+        let set = mixed_set();
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        let hay = sample_input();
+        let mut scratch = Scratch::new();
+        let mut out = Vec::new();
+        vp.scan_with_scratch(&hay, &mut scratch, &mut out);
+        let after_one = (scratch.filter3_blocks, scratch.useful_lanes);
+        vp.scan_with_scratch(&hay, &mut scratch, &mut out);
+        assert_eq!(scratch.filter3_blocks, 2 * after_one.0);
+        assert_eq!(scratch.useful_lanes, 2 * after_one.1);
+        // ... until the caller resets the stream counters explicitly.
+        scratch.clear();
+        assert_eq!(scratch.filter3_blocks, 0);
+    }
+
+    #[test]
     fn filter_only_modes_report_consistent_work() {
         let set = mixed_set();
         let vp = VPatch::<ScalarBackend, 8>::build(&set);
@@ -434,6 +493,18 @@ mod tests {
         assert_eq!(no_stores, with_stores);
         // But no positions were stored in NoStores mode.
         assert_eq!(scratch2.candidates(), 0);
+    }
+
+    #[test]
+    fn filter_only_no_stores_reuses_one_scratch_across_calls() {
+        let set = mixed_set();
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        let hay = sample_input();
+        let mut scratch = Scratch::new();
+        let first = vp.filter_only(&hay, FilterOnlyMode::NoStores, &mut scratch);
+        let again = vp.filter_only(&hay, FilterOnlyMode::NoStores, &mut scratch);
+        assert_eq!(first, again, "checksums must not depend on scratch reuse");
+        assert_eq!(scratch.candidates(), 0);
     }
 
     #[test]

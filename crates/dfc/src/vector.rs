@@ -9,6 +9,15 @@
 //! scalar DFC is modest (the paper measures 1.03×–1.23× on Haswell); the
 //! point of reproducing it is to show *why* S-PATCH's restructuring is
 //! needed before vectorization pays off.
+//!
+//! The filter lookups ride the register-resident `VectorBackend` API: the
+//! `windows2 → shr → gather → test` chain stays in `B::Vec` registers, and
+//! only the final lane bitmask crosses back into scalar control flow — which
+//! is then, deliberately, where Vector-DFC spends its time. It drains that
+//! mask with a scalar bit-loop rather than `compress_store` because each
+//! surviving lane is classified and verified inline, exactly as in DFC; the
+//! two-round engines in `mpm-vpatch` are the ones that buy the vectorized
+//! candidate compaction.
 
 use crate::tables::DfcTables;
 use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};

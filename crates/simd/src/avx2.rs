@@ -4,7 +4,16 @@
 //! (`_mm256_i32gather_epi32`) for the filter lookups, byte shuffles /
 //! zero-extensions for the sliding-window transformation, variable per-lane
 //! shifts for the bitmap bit test and `movemask` to hand the per-lane
-//! results back to scalar control flow.
+//! results back to scalar control flow. Its register type is `__m256i`, so
+//! chained trait ops stay in `ymm` registers with no array spill between
+//! them.
+//!
+//! AVX2 has no compress instruction, so
+//! [`VectorBackend::compress_store`] is implemented with the classic
+//! left-packing idiom: a 256-entry LUT maps the 8-bit lane mask to a lane
+//! permutation, `vpermd` (`_mm256_permutevar8x32_epi32`) packs the surviving
+//! `base + lane` positions to the front of the register, and one unaligned
+//! store plus a `popcnt` length bump publishes them.
 //!
 //! # Availability
 //! All methods assume the CPU supports AVX2. Engine constructors check
@@ -42,6 +51,29 @@ mod imp {
         out
     }
 
+    /// Lane-permutation LUT for the left-packing `compress_store`: entry `m`
+    /// lists, front-packed, the indices of the set bits of `m` (unused tail
+    /// lanes repeat 0 and are never published).
+    static COMPRESS_LUT: [[u32; 8]; 256] = build_compress_lut();
+
+    const fn build_compress_lut() -> [[u32; 8]; 256] {
+        let mut lut = [[0u32; 8]; 256];
+        let mut m = 0usize;
+        while m < 256 {
+            let mut dst = 0usize;
+            let mut lane = 0usize;
+            while lane < 8 {
+                if m & (1 << lane) != 0 {
+                    lut[m][dst] = lane as u32;
+                    dst += 1;
+                }
+                lane += 1;
+            }
+            m += 1;
+        }
+        lut
+    }
+
     /// Zero-extends the 8 bytes starting at `ptr + offset` into 8 u32 lanes.
     ///
     /// # Safety
@@ -58,7 +90,7 @@ mod imp {
     /// directly from the input (fast path, when at least 17 bytes remain) or
     /// from a bounded stack copy near the end of the buffer.
     #[target_feature(enable = "avx2")]
-    unsafe fn windows2_avx2(input: &[u8], pos: usize) -> [u32; 8] {
+    unsafe fn windows2_avx2(input: &[u8], pos: usize) -> __m256i {
         let block;
         let ptr = if pos + 17 <= input.len() {
             input.as_ptr().add(pos)
@@ -68,12 +100,12 @@ mod imp {
         };
         let lo = load_bytes_as_u32(ptr, 0);
         let hi = load_bytes_as_u32(ptr, 1);
-        from_m256i(_mm256_or_si256(lo, _mm256_slli_epi32(hi, 8)))
+        _mm256_or_si256(lo, _mm256_slli_epi32(hi, 8))
     }
 
     /// # Safety: AVX2 required and `pos + 11 <= input.len()`.
     #[target_feature(enable = "avx2")]
-    unsafe fn windows4_avx2(input: &[u8], pos: usize) -> [u32; 8] {
+    unsafe fn windows4_avx2(input: &[u8], pos: usize) -> __m256i {
         let block;
         let ptr = if pos + 19 <= input.len() {
             input.as_ptr().add(pos)
@@ -85,11 +117,10 @@ mod imp {
         let b1 = load_bytes_as_u32(ptr, 1);
         let b2 = load_bytes_as_u32(ptr, 2);
         let b3 = load_bytes_as_u32(ptr, 3);
-        let v = _mm256_or_si256(
+        _mm256_or_si256(
             _mm256_or_si256(b0, _mm256_slli_epi32(b1, 8)),
             _mm256_or_si256(_mm256_slli_epi32(b2, 16), _mm256_slli_epi32(b3, 24)),
-        );
-        from_m256i(v)
+        )
     }
 
     /// Trampoline that gives the caller's code AVX2 codegen context so the
@@ -103,47 +134,45 @@ mod imp {
 
     /// # Safety: AVX2 required; every `idx[j] + 4 <= table.len()`.
     #[target_feature(enable = "avx2")]
-    unsafe fn gather_bytes_avx2(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
-        let indices = to_m256i(idx);
+    unsafe fn gather_bytes_avx2(table: &[u8], idx: __m256i) -> __m256i {
         // Scale 1: indices are byte offsets. The gather loads 4 bytes per
         // lane, which is why tables carry GATHER_PADDING trailing bytes.
-        let gathered = _mm256_i32gather_epi32(table.as_ptr() as *const i32, indices, 1);
-        from_m256i(_mm256_and_si256(gathered, _mm256_set1_epi32(0xff)))
+        let gathered = _mm256_i32gather_epi32(table.as_ptr() as *const i32, idx, 1);
+        _mm256_and_si256(gathered, _mm256_set1_epi32(0xff))
     }
 
     /// # Safety: AVX2 required; every `idx[j] + 4 <= table.len()`.
     #[target_feature(enable = "avx2")]
-    unsafe fn gather_u16_avx2(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
-        let indices = to_m256i(idx);
-        let gathered = _mm256_i32gather_epi32(table.as_ptr() as *const i32, indices, 1);
-        from_m256i(_mm256_and_si256(gathered, _mm256_set1_epi32(0xffff)))
+    unsafe fn gather_u16_avx2(table: &[u8], idx: __m256i) -> __m256i {
+        let gathered = _mm256_i32gather_epi32(table.as_ptr() as *const i32, idx, 1);
+        _mm256_and_si256(gathered, _mm256_set1_epi32(0xffff))
     }
 
     /// # Safety: AVX2 required.
     #[target_feature(enable = "avx2")]
-    unsafe fn hash_mul_shift_avx2(v: [u32; 8], mul: u32, shift: u32, mask: u32) -> [u32; 8] {
-        let x = _mm256_mullo_epi32(to_m256i(v), _mm256_set1_epi32(mul as i32));
+    unsafe fn hash_mul_shift_avx2(v: __m256i, mul: u32, shift: u32, mask: u32) -> __m256i {
+        let x = _mm256_mullo_epi32(v, _mm256_set1_epi32(mul as i32));
         let x = _mm256_srl_epi32(x, _mm_cvtsi32_si128(shift as i32));
-        from_m256i(_mm256_and_si256(x, _mm256_set1_epi32(mask as i32)))
+        _mm256_and_si256(x, _mm256_set1_epi32(mask as i32))
     }
 
     /// # Safety: AVX2 required.
     #[target_feature(enable = "avx2")]
-    unsafe fn shr_const_avx2(v: [u32; 8], n: u32) -> [u32; 8] {
-        from_m256i(_mm256_srl_epi32(to_m256i(v), _mm_cvtsi32_si128(n as i32)))
+    unsafe fn shr_const_avx2(v: __m256i, n: u32) -> __m256i {
+        _mm256_srl_epi32(v, _mm_cvtsi32_si128(n as i32))
     }
 
     /// # Safety: AVX2 required.
     #[target_feature(enable = "avx2")]
-    unsafe fn and_const_avx2(v: [u32; 8], c: u32) -> [u32; 8] {
-        from_m256i(_mm256_and_si256(to_m256i(v), _mm256_set1_epi32(c as i32)))
+    unsafe fn and_const_avx2(v: __m256i, c: u32) -> __m256i {
+        _mm256_and_si256(v, _mm256_set1_epi32(c as i32))
     }
 
     /// # Safety: AVX2 required.
     #[target_feature(enable = "avx2")]
-    unsafe fn test_window_bits_avx2(bytes: [u32; 8], windows: [u32; 8]) -> u32 {
-        let bit = _mm256_and_si256(to_m256i(windows), _mm256_set1_epi32(7));
-        let shifted = _mm256_srlv_epi32(to_m256i(bytes), bit);
+    unsafe fn test_window_bits_avx2(bytes: __m256i, windows: __m256i) -> u32 {
+        let bit = _mm256_and_si256(windows, _mm256_set1_epi32(7));
+        let shifted = _mm256_srlv_epi32(bytes, bit);
         let one = _mm256_and_si256(shifted, _mm256_set1_epi32(1));
         let hit = _mm256_cmpeq_epi32(one, _mm256_set1_epi32(1));
         _mm256_movemask_ps(_mm256_castsi256_ps(hit)) as u32
@@ -151,10 +180,34 @@ mod imp {
 
     /// # Safety: AVX2 required.
     #[target_feature(enable = "avx2")]
-    unsafe fn nonzero_mask_avx2(v: [u32; 8]) -> u32 {
+    unsafe fn nonzero_mask_avx2(v: __m256i) -> u32 {
         let zero = _mm256_setzero_si256();
-        let eq = _mm256_cmpeq_epi32(to_m256i(v), zero);
+        let eq = _mm256_cmpeq_epi32(v, zero);
         (!(_mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32)) & 0xff
+    }
+
+    /// Left-packing candidate store (see the module docs).
+    ///
+    /// # Safety: AVX2 required.
+    #[target_feature(enable = "avx2")]
+    unsafe fn compress_store_avx2(mask: u32, base: u32, out: &mut Vec<u32>) {
+        let m = (mask & 0xff) as usize;
+        let len = out.len();
+        if out.capacity() - len < 8 {
+            // Cold: Vec::reserve grows amortized, so candidate-dense inputs
+            // do not reallocate per block.
+            out.reserve(8);
+        }
+        let positions = _mm256_add_epi32(
+            _mm256_set1_epi32(base as i32),
+            _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+        );
+        let perm = _mm256_loadu_si256(COMPRESS_LUT[m].as_ptr() as *const __m256i);
+        let packed = _mm256_permutevar8x32_epi32(positions, perm);
+        // SAFETY: 8 lanes (32 bytes) of spare capacity were reserved above;
+        // only the first popcnt(m) stored lanes are published via set_len.
+        _mm256_storeu_si256(out.as_mut_ptr().add(len) as *mut __m256i, packed);
+        out.set_len(len + m.count_ones() as usize);
     }
 
     /// Copies the (up to 24-byte) window block the shuffle kernels read from,
@@ -173,6 +226,8 @@ mod imp {
     }
 
     impl VectorBackend<8> for Avx2Backend {
+        type Vec = __m256i;
+
         fn name() -> &'static str {
             "avx2"
         }
@@ -190,7 +245,17 @@ mod imp {
         }
 
         #[inline(always)]
-        fn windows2(input: &[u8], pos: usize) -> [u32; 8] {
+        fn from_array(v: [u32; 8]) -> __m256i {
+            to_m256i(v)
+        }
+
+        #[inline(always)]
+        fn to_array(v: __m256i) -> [u32; 8] {
+            from_m256i(v)
+        }
+
+        #[inline(always)]
+        fn windows2(input: &[u8], pos: usize) -> __m256i {
             assert!(pos + 9 <= input.len(), "windows2 out of bounds");
             // SAFETY: availability is checked at engine construction; the
             // bound above plus the kernel's internal tail copy bound every
@@ -199,16 +264,16 @@ mod imp {
         }
 
         #[inline(always)]
-        fn windows4(input: &[u8], pos: usize) -> [u32; 8] {
+        fn windows4(input: &[u8], pos: usize) -> __m256i {
             assert!(pos + 11 <= input.len(), "windows4 out of bounds");
             // SAFETY: as above.
             unsafe { windows4_avx2(input, pos) }
         }
 
         #[inline(always)]
-        fn gather_bytes(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
+        fn gather_bytes(table: &[u8], idx: __m256i) -> __m256i {
             #[cfg(debug_assertions)]
-            for &i in &idx {
+            for &i in &from_m256i(idx) {
                 assert!(
                     i as usize + GATHER_PADDING <= table.len(),
                     "gather index {i} violates padding requirement"
@@ -220,9 +285,9 @@ mod imp {
         }
 
         #[inline(always)]
-        fn gather_u16(table: &[u8], idx: [u32; 8]) -> [u32; 8] {
+        fn gather_u16(table: &[u8], idx: __m256i) -> __m256i {
             #[cfg(debug_assertions)]
-            for &i in &idx {
+            for &i in &from_m256i(idx) {
                 assert!(
                     i as usize + GATHER_PADDING <= table.len(),
                     "gather index {i} violates padding requirement"
@@ -234,33 +299,40 @@ mod imp {
         }
 
         #[inline(always)]
-        fn hash_mul_shift(v: [u32; 8], mul: u32, shift: u32, mask: u32) -> [u32; 8] {
+        fn hash_mul_shift(v: __m256i, mul: u32, shift: u32, mask: u32) -> __m256i {
             // SAFETY: availability checked at engine construction.
             unsafe { hash_mul_shift_avx2(v, mul, shift, mask) }
         }
 
         #[inline(always)]
-        fn shr_const(v: [u32; 8], n: u32) -> [u32; 8] {
+        fn shr_const(v: __m256i, n: u32) -> __m256i {
             // SAFETY: availability checked at engine construction.
             unsafe { shr_const_avx2(v, n) }
         }
 
         #[inline(always)]
-        fn and_const(v: [u32; 8], c: u32) -> [u32; 8] {
+        fn and_const(v: __m256i, c: u32) -> __m256i {
             // SAFETY: availability checked at engine construction.
             unsafe { and_const_avx2(v, c) }
         }
 
         #[inline(always)]
-        fn test_window_bits(bytes: [u32; 8], windows: [u32; 8]) -> u32 {
+        fn test_window_bits(bytes: __m256i, windows: __m256i) -> u32 {
             // SAFETY: availability checked at engine construction.
             unsafe { test_window_bits_avx2(bytes, windows) }
         }
 
         #[inline(always)]
-        fn nonzero_mask(v: [u32; 8]) -> u32 {
+        fn nonzero_mask(v: __m256i) -> u32 {
             // SAFETY: availability checked at engine construction.
             unsafe { nonzero_mask_avx2(v) }
+        }
+
+        #[inline(always)]
+        fn compress_store(mask: u32, base: u32, out: &mut Vec<u32>) {
+            // SAFETY: availability checked at engine construction; the kernel
+            // reserves the spare capacity it over-stores into.
+            unsafe { compress_store_avx2(mask, base, out) }
         }
     }
 }
@@ -269,11 +341,19 @@ mod imp {
 /// semantics so the crate still compiles and tests run everywhere.
 #[cfg(not(target_arch = "x86_64"))]
 impl VectorBackend<8> for Avx2Backend {
+    type Vec = [u32; 8];
+
     fn name() -> &'static str {
         "avx2(unavailable)"
     }
     fn is_available() -> bool {
         false
+    }
+    fn from_array(v: [u32; 8]) -> [u32; 8] {
+        v
+    }
+    fn to_array(v: [u32; 8]) -> [u32; 8] {
+        v
     }
     fn windows2(input: &[u8], pos: usize) -> [u32; 8] {
         <ScalarBackend as VectorBackend<8>>::windows2(input, pos)
@@ -300,8 +380,15 @@ mod tests {
     use super::*;
     use crate::scalar::ScalarBackend;
 
+    type A8 = Avx2Backend;
+    type S8 = ScalarBackend;
+
     fn skip() -> bool {
-        !<Avx2Backend as VectorBackend<8>>::is_available()
+        !<A8 as VectorBackend<8>>::is_available()
+    }
+
+    fn a(v: <A8 as VectorBackend<8>>::Vec) -> [u32; 8] {
+        <A8 as VectorBackend<8>>::to_array(v)
     }
 
     #[test]
@@ -313,11 +400,11 @@ mod tests {
             .map(|i| i.wrapping_mul(37).wrapping_add(11))
             .collect();
         for pos in 0..40 {
-            let a2: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows2(&input, pos);
-            let s2: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows2(&input, pos);
+            let a2 = a(<A8 as VectorBackend<8>>::windows2(&input, pos));
+            let s2 = <S8 as VectorBackend<8>>::windows2(&input, pos);
             assert_eq!(a2, s2, "windows2 mismatch at pos {pos}");
-            let a4: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows4(&input, pos);
-            let s4: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows4(&input, pos);
+            let a4 = a(<A8 as VectorBackend<8>>::windows4(&input, pos));
+            let s4 = <S8 as VectorBackend<8>>::windows4(&input, pos);
             assert_eq!(a4, s4, "windows4 mismatch at pos {pos}");
         }
     }
@@ -329,13 +416,15 @@ mod tests {
         }
         // Exactly the minimum bytes needed: pos + 9 for windows2.
         let input = vec![7u8; 9];
-        let a: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows2(&input, 0);
-        let s: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows2(&input, 0);
-        assert_eq!(a, s);
+        assert_eq!(
+            a(<A8 as VectorBackend<8>>::windows2(&input, 0)),
+            <S8 as VectorBackend<8>>::windows2(&input, 0)
+        );
         let input4 = vec![9u8; 11];
-        let a4: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows4(&input4, 0);
-        let s4: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows4(&input4, 0);
-        assert_eq!(a4, s4);
+        assert_eq!(
+            a(<A8 as VectorBackend<8>>::windows4(&input4, 0)),
+            <S8 as VectorBackend<8>>::windows4(&input4, 0)
+        );
     }
 
     #[test]
@@ -345,9 +434,11 @@ mod tests {
         }
         let table: Vec<u8> = (0..1024u32).map(|i| (i * 131 % 251) as u8).collect();
         let idx = [0u32, 5, 100, 1019, 512, 7, 999, 1];
-        let a = <Avx2Backend as VectorBackend<8>>::gather_bytes(&table, idx);
-        let s = <ScalarBackend as VectorBackend<8>>::gather_bytes(&table, idx);
-        assert_eq!(a, s);
+        let got = a(<A8 as VectorBackend<8>>::gather_bytes(
+            &table,
+            <A8 as VectorBackend<8>>::from_array(idx),
+        ));
+        assert_eq!(got, <S8 as VectorBackend<8>>::gather_bytes(&table, idx));
     }
 
     #[test]
@@ -356,17 +447,23 @@ mod tests {
             return;
         }
         let v = [1u32, 0xffff_ffff, 12345, 0, 77, 0x8000_0000, 3, 9];
+        let reg = <A8 as VectorBackend<8>>::from_array(v);
         assert_eq!(
-            <Avx2Backend as VectorBackend<8>>::hash_mul_shift(v, 0x9E37_79B1, 19, 0x1fff),
-            <ScalarBackend as VectorBackend<8>>::hash_mul_shift(v, 0x9E37_79B1, 19, 0x1fff)
+            a(<A8 as VectorBackend<8>>::hash_mul_shift(
+                reg,
+                0x9E37_79B1,
+                19,
+                0x1fff
+            )),
+            <S8 as VectorBackend<8>>::hash_mul_shift(v, 0x9E37_79B1, 19, 0x1fff)
         );
         assert_eq!(
-            <Avx2Backend as VectorBackend<8>>::shr_const(v, 3),
-            <ScalarBackend as VectorBackend<8>>::shr_const(v, 3)
+            a(<A8 as VectorBackend<8>>::shr_const(reg, 3)),
+            <S8 as VectorBackend<8>>::shr_const(v, 3)
         );
         assert_eq!(
-            <Avx2Backend as VectorBackend<8>>::and_const(v, 0xff),
-            <ScalarBackend as VectorBackend<8>>::and_const(v, 0xff)
+            a(<A8 as VectorBackend<8>>::and_const(reg, 0xff)),
+            <S8 as VectorBackend<8>>::and_const(v, 0xff)
         );
     }
 
@@ -378,13 +475,40 @@ mod tests {
         let bytes = [0b1000_0001u32, 0, 0xff, 2, 4, 8, 16, 32];
         let windows = [0u32, 1, 7, 1, 2, 3, 4, 5];
         assert_eq!(
-            <Avx2Backend as VectorBackend<8>>::test_window_bits(bytes, windows),
-            <ScalarBackend as VectorBackend<8>>::test_window_bits(bytes, windows)
+            <A8 as VectorBackend<8>>::test_window_bits(
+                <A8 as VectorBackend<8>>::from_array(bytes),
+                <A8 as VectorBackend<8>>::from_array(windows)
+            ),
+            <S8 as VectorBackend<8>>::test_window_bits(bytes, windows)
         );
         let v = [0u32, 1, 0, 2, 0, 0, 3, 0];
         assert_eq!(
-            <Avx2Backend as VectorBackend<8>>::nonzero_mask(v),
-            <ScalarBackend as VectorBackend<8>>::nonzero_mask(v)
+            <A8 as VectorBackend<8>>::nonzero_mask(<A8 as VectorBackend<8>>::from_array(v)),
+            <S8 as VectorBackend<8>>::nonzero_mask(v)
         );
+    }
+
+    #[test]
+    fn compress_store_agrees_with_scalar_on_every_mask() {
+        if skip() {
+            return;
+        }
+        for mask in 0u32..256 {
+            let mut expected = vec![0xdead_beef];
+            <S8 as VectorBackend<8>>::compress_store(mask, 1000, &mut expected);
+            let mut got = vec![0xdead_beef];
+            <A8 as VectorBackend<8>>::compress_store(mask, 1000, &mut got);
+            assert_eq!(got, expected, "mask {mask:#010b}");
+        }
+    }
+
+    #[test]
+    fn compress_store_grows_from_zero_capacity() {
+        if skip() {
+            return;
+        }
+        let mut out = Vec::new();
+        <A8 as VectorBackend<8>>::compress_store(0xff, 0, &mut out);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5, 6, 7]);
     }
 }

@@ -7,7 +7,14 @@
 //! instructions on CPUs that support them; on CPUs without AVX-512 the
 //! 16-lane experiments fall back to [`crate::ScalarBackend`] at width 16, which is
 //! functionally identical (the figure-7 harness reports which backend
-//! actually ran).
+//! actually ran). Its register type is `__m512i`, so chained trait ops stay
+//! in `zmm` registers with no array spill between them.
+//!
+//! [`VectorBackend::compress_store`] maps directly onto hardware here:
+//! `vpaddd` builds `base + lane` for all 16 lanes, `vpcompressd`
+//! (`_mm512_maskz_compress_epi32`) packs the masked survivors to the front
+//! of the register, and one unaligned store plus a `popcnt` length bump
+//! publishes them — no LUT and no per-bit loop.
 
 #[cfg(not(target_arch = "x86_64"))]
 use crate::scalar::ScalarBackend;
@@ -48,27 +55,26 @@ mod imp {
     /// # Safety: AVX-512F required and `pos + 17 <= input.len()` (the
     /// wrapper's assertion), which also bounds the two 16-byte loads.
     #[target_feature(enable = "avx512f")]
-    unsafe fn windows2_avx512(input: &[u8], pos: usize) -> [u32; 16] {
+    unsafe fn windows2_avx512(input: &[u8], pos: usize) -> __m512i {
         let ptr = input.as_ptr().add(pos);
         let lo = load_bytes_as_u32(ptr, 0);
         let hi = load_bytes_as_u32(ptr, 1);
-        from_m512i(_mm512_or_si512(lo, _mm512_slli_epi32(hi, 8)))
+        _mm512_or_si512(lo, _mm512_slli_epi32(hi, 8))
     }
 
     /// # Safety: AVX-512F required and `pos + 19 <= input.len()`, which
     /// bounds the four 16-byte loads.
     #[target_feature(enable = "avx512f")]
-    unsafe fn windows4_avx512(input: &[u8], pos: usize) -> [u32; 16] {
+    unsafe fn windows4_avx512(input: &[u8], pos: usize) -> __m512i {
         let ptr = input.as_ptr().add(pos);
         let b0 = load_bytes_as_u32(ptr, 0);
         let b1 = load_bytes_as_u32(ptr, 1);
         let b2 = load_bytes_as_u32(ptr, 2);
         let b3 = load_bytes_as_u32(ptr, 3);
-        let v = _mm512_or_si512(
+        _mm512_or_si512(
             _mm512_or_si512(b0, _mm512_slli_epi32(b1, 8)),
             _mm512_or_si512(_mm512_slli_epi32(b2, 16), _mm512_slli_epi32(b3, 24)),
-        );
-        from_m512i(v)
+        )
     }
 
     /// Trampoline giving the caller AVX-512 codegen context (see the AVX2
@@ -82,56 +88,79 @@ mod imp {
 
     /// # Safety: AVX-512F required; every `idx[j] + 4 <= table.len()`.
     #[target_feature(enable = "avx512f")]
-    unsafe fn gather_bytes_avx512(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
-        let indices = to_m512i(idx);
-        let gathered = _mm512_i32gather_epi32(indices, table.as_ptr() as *const i32, 1);
-        from_m512i(_mm512_and_si512(gathered, _mm512_set1_epi32(0xff)))
+    unsafe fn gather_bytes_avx512(table: &[u8], idx: __m512i) -> __m512i {
+        let gathered = _mm512_i32gather_epi32(idx, table.as_ptr() as *const i32, 1);
+        _mm512_and_si512(gathered, _mm512_set1_epi32(0xff))
     }
 
     /// # Safety: AVX-512F required; every `idx[j] + 4 <= table.len()`.
     #[target_feature(enable = "avx512f")]
-    unsafe fn gather_u16_avx512(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
-        let indices = to_m512i(idx);
-        let gathered = _mm512_i32gather_epi32(indices, table.as_ptr() as *const i32, 1);
-        from_m512i(_mm512_and_si512(gathered, _mm512_set1_epi32(0xffff)))
+    unsafe fn gather_u16_avx512(table: &[u8], idx: __m512i) -> __m512i {
+        let gathered = _mm512_i32gather_epi32(idx, table.as_ptr() as *const i32, 1);
+        _mm512_and_si512(gathered, _mm512_set1_epi32(0xffff))
     }
 
     /// # Safety: AVX-512F required.
     #[target_feature(enable = "avx512f")]
-    unsafe fn hash_mul_shift_avx512(v: [u32; 16], mul: u32, shift: u32, mask: u32) -> [u32; 16] {
-        let x = _mm512_mullo_epi32(to_m512i(v), _mm512_set1_epi32(mul as i32));
+    unsafe fn hash_mul_shift_avx512(v: __m512i, mul: u32, shift: u32, mask: u32) -> __m512i {
+        let x = _mm512_mullo_epi32(v, _mm512_set1_epi32(mul as i32));
         let x = _mm512_srl_epi32(x, _mm_cvtsi32_si128(shift as i32));
-        from_m512i(_mm512_and_si512(x, _mm512_set1_epi32(mask as i32)))
+        _mm512_and_si512(x, _mm512_set1_epi32(mask as i32))
     }
 
     /// # Safety: AVX-512F required.
     #[target_feature(enable = "avx512f")]
-    unsafe fn shr_const_avx512(v: [u32; 16], n: u32) -> [u32; 16] {
-        from_m512i(_mm512_srl_epi32(to_m512i(v), _mm_cvtsi32_si128(n as i32)))
+    unsafe fn shr_const_avx512(v: __m512i, n: u32) -> __m512i {
+        _mm512_srl_epi32(v, _mm_cvtsi32_si128(n as i32))
     }
 
     /// # Safety: AVX-512F required.
     #[target_feature(enable = "avx512f")]
-    unsafe fn and_const_avx512(v: [u32; 16], c: u32) -> [u32; 16] {
-        from_m512i(_mm512_and_si512(to_m512i(v), _mm512_set1_epi32(c as i32)))
+    unsafe fn and_const_avx512(v: __m512i, c: u32) -> __m512i {
+        _mm512_and_si512(v, _mm512_set1_epi32(c as i32))
     }
 
     /// # Safety: AVX-512F required.
     #[target_feature(enable = "avx512f")]
-    unsafe fn test_window_bits_avx512(bytes: [u32; 16], windows: [u32; 16]) -> u32 {
-        let bit = _mm512_and_si512(to_m512i(windows), _mm512_set1_epi32(7));
-        let shifted = _mm512_srlv_epi32(to_m512i(bytes), bit);
+    unsafe fn test_window_bits_avx512(bytes: __m512i, windows: __m512i) -> u32 {
+        let bit = _mm512_and_si512(windows, _mm512_set1_epi32(7));
+        let shifted = _mm512_srlv_epi32(bytes, bit);
         let mask = _mm512_test_epi32_mask(shifted, _mm512_set1_epi32(1));
         mask as u32
     }
 
     /// # Safety: AVX-512F required.
     #[target_feature(enable = "avx512f")]
-    unsafe fn nonzero_mask_avx512(v: [u32; 16]) -> u32 {
-        _mm512_cmpneq_epi32_mask(to_m512i(v), _mm512_setzero_si512()) as u32
+    unsafe fn nonzero_mask_avx512(v: __m512i) -> u32 {
+        _mm512_cmpneq_epi32_mask(v, _mm512_setzero_si512()) as u32
+    }
+
+    /// `vpcompressd` candidate store (see the module docs).
+    ///
+    /// # Safety: AVX-512F required.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn compress_store_avx512(mask: u32, base: u32, out: &mut Vec<u32>) {
+        let m = (mask & 0xffff) as u16;
+        let len = out.len();
+        if out.capacity() - len < 16 {
+            // Cold: Vec::reserve grows amortized, so candidate-dense inputs
+            // do not reallocate per block.
+            out.reserve(16);
+        }
+        let positions = _mm512_add_epi32(
+            _mm512_set1_epi32(base as i32),
+            _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15),
+        );
+        let packed = _mm512_maskz_compress_epi32(m, positions);
+        // SAFETY: 16 lanes (64 bytes) of spare capacity were reserved above;
+        // only the first popcnt(m) stored lanes are published via set_len.
+        _mm512_storeu_si512(out.as_mut_ptr().add(len) as *mut __m512i, packed);
+        out.set_len(len + m.count_ones() as usize);
     }
 
     impl VectorBackend<16> for Avx512Backend {
+        type Vec = __m512i;
+
         fn name() -> &'static str {
             "avx512"
         }
@@ -149,7 +178,17 @@ mod imp {
         }
 
         #[inline(always)]
-        fn windows2(input: &[u8], pos: usize) -> [u32; 16] {
+        fn from_array(v: [u32; 16]) -> __m512i {
+            to_m512i(v)
+        }
+
+        #[inline(always)]
+        fn to_array(v: __m512i) -> [u32; 16] {
+            from_m512i(v)
+        }
+
+        #[inline(always)]
+        fn windows2(input: &[u8], pos: usize) -> __m512i {
             assert!(pos + 17 <= input.len(), "windows2 out of bounds");
             // SAFETY: availability checked at engine construction; the bound
             // above covers both 16-byte loads (offsets 0 and 1).
@@ -157,16 +196,16 @@ mod imp {
         }
 
         #[inline(always)]
-        fn windows4(input: &[u8], pos: usize) -> [u32; 16] {
+        fn windows4(input: &[u8], pos: usize) -> __m512i {
             assert!(pos + 19 <= input.len(), "windows4 out of bounds");
             // SAFETY: as above (offsets 0..=3).
             unsafe { windows4_avx512(input, pos) }
         }
 
         #[inline(always)]
-        fn gather_bytes(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
+        fn gather_bytes(table: &[u8], idx: __m512i) -> __m512i {
             #[cfg(debug_assertions)]
-            for &i in &idx {
+            for &i in &from_m512i(idx) {
                 assert!(
                     i as usize + GATHER_PADDING <= table.len(),
                     "gather index {i} violates padding requirement"
@@ -178,9 +217,9 @@ mod imp {
         }
 
         #[inline(always)]
-        fn gather_u16(table: &[u8], idx: [u32; 16]) -> [u32; 16] {
+        fn gather_u16(table: &[u8], idx: __m512i) -> __m512i {
             #[cfg(debug_assertions)]
-            for &i in &idx {
+            for &i in &from_m512i(idx) {
                 assert!(
                     i as usize + GATHER_PADDING <= table.len(),
                     "gather index {i} violates padding requirement"
@@ -192,33 +231,40 @@ mod imp {
         }
 
         #[inline(always)]
-        fn hash_mul_shift(v: [u32; 16], mul: u32, shift: u32, mask: u32) -> [u32; 16] {
+        fn hash_mul_shift(v: __m512i, mul: u32, shift: u32, mask: u32) -> __m512i {
             // SAFETY: availability checked at engine construction.
             unsafe { hash_mul_shift_avx512(v, mul, shift, mask) }
         }
 
         #[inline(always)]
-        fn shr_const(v: [u32; 16], n: u32) -> [u32; 16] {
+        fn shr_const(v: __m512i, n: u32) -> __m512i {
             // SAFETY: availability checked at engine construction.
             unsafe { shr_const_avx512(v, n) }
         }
 
         #[inline(always)]
-        fn and_const(v: [u32; 16], c: u32) -> [u32; 16] {
+        fn and_const(v: __m512i, c: u32) -> __m512i {
             // SAFETY: availability checked at engine construction.
             unsafe { and_const_avx512(v, c) }
         }
 
         #[inline(always)]
-        fn test_window_bits(bytes: [u32; 16], windows: [u32; 16]) -> u32 {
+        fn test_window_bits(bytes: __m512i, windows: __m512i) -> u32 {
             // SAFETY: availability checked at engine construction.
             unsafe { test_window_bits_avx512(bytes, windows) }
         }
 
         #[inline(always)]
-        fn nonzero_mask(v: [u32; 16]) -> u32 {
+        fn nonzero_mask(v: __m512i) -> u32 {
             // SAFETY: availability checked at engine construction.
             unsafe { nonzero_mask_avx512(v) }
+        }
+
+        #[inline(always)]
+        fn compress_store(mask: u32, base: u32, out: &mut Vec<u32>) {
+            // SAFETY: availability checked at engine construction; the kernel
+            // reserves the spare capacity it over-stores into.
+            unsafe { compress_store_avx512(mask, base, out) }
         }
     }
 }
@@ -226,11 +272,19 @@ mod imp {
 /// Fallback for non-x86_64 targets: scalar semantics at width 16.
 #[cfg(not(target_arch = "x86_64"))]
 impl VectorBackend<16> for Avx512Backend {
+    type Vec = [u32; 16];
+
     fn name() -> &'static str {
         "avx512(unavailable)"
     }
     fn is_available() -> bool {
         false
+    }
+    fn from_array(v: [u32; 16]) -> [u32; 16] {
+        v
+    }
+    fn to_array(v: [u32; 16]) -> [u32; 16] {
+        v
     }
     fn windows2(input: &[u8], pos: usize) -> [u32; 16] {
         <ScalarBackend as VectorBackend<16>>::windows2(input, pos)
@@ -257,8 +311,15 @@ mod tests {
     use super::*;
     use crate::scalar::ScalarBackend;
 
+    type A16 = Avx512Backend;
+    type S16 = ScalarBackend;
+
     fn skip() -> bool {
-        !<Avx512Backend as VectorBackend<16>>::is_available()
+        !<A16 as VectorBackend<16>>::is_available()
+    }
+
+    fn a(v: <A16 as VectorBackend<16>>::Vec) -> [u32; 16] {
+        <A16 as VectorBackend<16>>::to_array(v)
     }
 
     #[test]
@@ -270,11 +331,11 @@ mod tests {
             .map(|i| i.wrapping_mul(73).wrapping_add(5))
             .collect();
         for pos in 0..70 {
-            let a2: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows2(&input, pos);
-            let s2: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows2(&input, pos);
+            let a2 = a(<A16 as VectorBackend<16>>::windows2(&input, pos));
+            let s2 = <S16 as VectorBackend<16>>::windows2(&input, pos);
             assert_eq!(a2, s2, "windows2 mismatch at pos {pos}");
-            let a4: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows4(&input, pos);
-            let s4: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows4(&input, pos);
+            let a4 = a(<A16 as VectorBackend<16>>::windows4(&input, pos));
+            let s4 = <S16 as VectorBackend<16>>::windows4(&input, pos);
             assert_eq!(a4, s4, "windows4 mismatch at pos {pos}");
         }
     }
@@ -287,21 +348,30 @@ mod tests {
         let table: Vec<u8> = (0..4096u32).map(|i| (i * 67 % 253) as u8).collect();
         let idx: [u32; 16] = std::array::from_fn(|j| ((j * 251 + 13) % 4090) as u32);
         assert_eq!(
-            <Avx512Backend as VectorBackend<16>>::gather_bytes(&table, idx),
-            <ScalarBackend as VectorBackend<16>>::gather_bytes(&table, idx)
+            a(<A16 as VectorBackend<16>>::gather_bytes(
+                &table,
+                <A16 as VectorBackend<16>>::from_array(idx)
+            )),
+            <S16 as VectorBackend<16>>::gather_bytes(&table, idx)
         );
         let v: [u32; 16] = std::array::from_fn(|j| (j as u32).wrapping_mul(0x1234_5677));
+        let reg = <A16 as VectorBackend<16>>::from_array(v);
         assert_eq!(
-            <Avx512Backend as VectorBackend<16>>::hash_mul_shift(v, 0x9E37_79B1, 18, 0x3fff),
-            <ScalarBackend as VectorBackend<16>>::hash_mul_shift(v, 0x9E37_79B1, 18, 0x3fff)
+            a(<A16 as VectorBackend<16>>::hash_mul_shift(
+                reg,
+                0x9E37_79B1,
+                18,
+                0x3fff
+            )),
+            <S16 as VectorBackend<16>>::hash_mul_shift(v, 0x9E37_79B1, 18, 0x3fff)
         );
         assert_eq!(
-            <Avx512Backend as VectorBackend<16>>::shr_const(v, 5),
-            <ScalarBackend as VectorBackend<16>>::shr_const(v, 5)
+            a(<A16 as VectorBackend<16>>::shr_const(reg, 5)),
+            <S16 as VectorBackend<16>>::shr_const(v, 5)
         );
         assert_eq!(
-            <Avx512Backend as VectorBackend<16>>::and_const(v, 0xffff),
-            <ScalarBackend as VectorBackend<16>>::and_const(v, 0xffff)
+            a(<A16 as VectorBackend<16>>::and_const(reg, 0xffff)),
+            <S16 as VectorBackend<16>>::and_const(v, 0xffff)
         );
     }
 
@@ -313,16 +383,49 @@ mod tests {
         let bytes: [u32; 16] = std::array::from_fn(|j| (j as u32 * 0x41) & 0xff);
         let windows: [u32; 16] = std::array::from_fn(|j| j as u32);
         assert_eq!(
-            <Avx512Backend as VectorBackend<16>>::test_window_bits(bytes, windows),
-            <ScalarBackend as VectorBackend<16>>::test_window_bits(bytes, windows)
+            <A16 as VectorBackend<16>>::test_window_bits(
+                <A16 as VectorBackend<16>>::from_array(bytes),
+                <A16 as VectorBackend<16>>::from_array(windows)
+            ),
+            <S16 as VectorBackend<16>>::test_window_bits(bytes, windows)
         );
         let mut v = [0u32; 16];
         v[0] = 1;
         v[9] = 2;
         v[15] = 3;
         assert_eq!(
-            <Avx512Backend as VectorBackend<16>>::nonzero_mask(v),
-            <ScalarBackend as VectorBackend<16>>::nonzero_mask(v)
+            <A16 as VectorBackend<16>>::nonzero_mask(<A16 as VectorBackend<16>>::from_array(v)),
+            <S16 as VectorBackend<16>>::nonzero_mask(v)
         );
+    }
+
+    #[test]
+    fn compress_store_agrees_with_scalar_on_structured_masks() {
+        if skip() {
+            return;
+        }
+        let masks: Vec<u32> = (0..16)
+            .map(|b| 1u32 << b)
+            .chain([0, 0xffff, 0x5555, 0xaaaa, 0x00ff, 0xff00, 0x8001, 0x7ffe])
+            .chain((0..64).map(|i| (i as u32).wrapping_mul(0x9E37_79B1) >> 16))
+            .collect();
+        for mask in masks {
+            let mut expected = vec![3u32, 1];
+            <S16 as VectorBackend<16>>::compress_store(mask, 77_777, &mut expected);
+            let mut got = vec![3u32, 1];
+            <A16 as VectorBackend<16>>::compress_store(mask, 77_777, &mut got);
+            assert_eq!(got, expected, "mask {mask:#018b}");
+        }
+    }
+
+    #[test]
+    fn compress_store_grows_from_zero_capacity() {
+        if skip() {
+            return;
+        }
+        let mut out = Vec::new();
+        <A16 as VectorBackend<16>>::compress_store(0xffff, 16, &mut out);
+        let expected: Vec<u32> = (16..32).collect();
+        assert_eq!(out, expected);
     }
 }

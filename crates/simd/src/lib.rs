@@ -16,20 +16,45 @@
 //!   into a scalar bitmask so the scalar part of the loop can decide which
 //!   lanes passed a filter.
 //!
-//! [`VectorBackend`] captures exactly those operations behind a
-//! width-generic, platform-independent interface with three implementations:
+//! [`VectorBackend`] captures those operations behind a width-generic,
+//! platform-independent interface with three implementations:
 //!
-//! | backend | lanes (`W`) | hardware | models |
-//! |---|---|---|---|
-//! | [`ScalarBackend`] | any | none (plain Rust loops) | portable fallback / reference semantics |
-//! | [`Avx2Backend`] | 8 | AVX2 (`vpgatherdd`, `vpshufb`, `vpmovmskb`) | the paper's Haswell platform |
-//! | [`Avx512Backend`] | 16 | AVX-512F | the paper's Xeon-Phi 512-bit VPU |
+//! | backend | lanes (`W`) | [`VectorBackend::Vec`] | hardware | models |
+//! |---|---|---|---|---|
+//! | [`ScalarBackend`] | any | `[u32; W]` | none (plain Rust loops) | portable fallback / reference semantics |
+//! | [`Avx2Backend`] | 8 | `__m256i` | AVX2 (`vpgatherdd`, `vpshufb`, `vpermd`) | the paper's Haswell platform |
+//! | [`Avx512Backend`] | 16 | `__m512i` | AVX-512F (`vpcompressd`) | the paper's Xeon-Phi 512-bit VPU |
+//!
+//! # Register residency
+//!
+//! Every operation consumes and produces the backend's **associated register
+//! type** [`VectorBackend::Vec`] — `__m256i` / `__m512i` on the hardware
+//! backends — rather than `[u32; W]` arrays. Composed operations
+//! (`windows2 → gather_u16 → shr_const → test_window_bits`) therefore stay in
+//! vector registers end-to-end: there is no array materialisation at the op
+//! boundaries for the compiler to spill and reload. The paper's speedups
+//! assume exactly this (its Figure 6 isolates the filtering pipeline); the
+//! array-based interface this crate used previously forced a store/load pair
+//! per op on every backend. Use [`VectorBackend::from_array`] /
+//! [`VectorBackend::to_array`] at the edges (tests, debugging) — never inside
+//! a hot loop.
 //!
 //! Every backend produces bit-for-bit identical results (property-tested in
 //! this crate); they differ only in speed. Engines are generic over
 //! `B: VectorBackend<W>`, so the same V-PATCH source compiles to a scalar,
 //! an 8-lane and a 16-lane binary — mirroring how the paper runs one design
 //! on both Haswell and Xeon-Phi.
+//!
+//! # Candidate compaction
+//!
+//! [`VectorBackend::compress_store`] turns a lane bitmask into appended
+//! candidate positions (`base + lane` for every set bit) in one vectorized
+//! step — `vpcompressd` on AVX-512, a 256-entry `vpermd` permutation LUT on
+//! AVX2, a `trailing_zeros` bit-loop on the scalar backend. Storing
+//! candidates is the dominant cost on top of pure filtering
+//! ("V-PATCH-filtering+stores" vs "V-PATCH-filtering" in the paper's
+//! Figure 6), which is why it gets a dedicated primitive instead of a scalar
+//! drain of the mask.
 //!
 //! # Table padding requirement
 //!
@@ -60,7 +85,22 @@ pub const GATHER_PADDING: usize = 4;
 /// `W` is the number of 32-bit lanes (8 for AVX2, 16 for AVX-512 /
 /// Xeon-Phi). All operations are pure functions of their inputs; backends
 /// hold no state, so the trait is implemented on zero-sized types.
+///
+/// Operations pass values as the backend's native register type
+/// [`Self::Vec`] so that composed ops never round-trip through memory; see
+/// the crate-level documentation.
 pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 'static {
+    /// The register-resident vector of `W` 32-bit lanes this backend computes
+    /// with: `[u32; W]` for the scalar backend, `__m256i` / `__m512i` for the
+    /// hardware backends.
+    ///
+    /// Values of this type are only meaningful while the backend is available
+    /// (engines check [`VectorBackend::is_available`] at construction) and
+    /// are intended to live inside a [`VectorBackend::dispatch`] region;
+    /// convert with [`VectorBackend::from_array`] / [`VectorBackend::to_array`]
+    /// at the edges.
+    type Vec: Copy;
+
     /// Human-readable backend name (used in benchmark output).
     fn name() -> &'static str;
 
@@ -74,8 +114,9 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
     /// what lets the per-operation intrinsics below inline into the loop:
     /// a `#[target_feature]` function can only be inlined into callers that
     /// also carry the feature, so without the trampoline every `gather` /
-    /// `shuffle` would remain an opaque function call and the vectorized loop
-    /// would lose its advantage to call overhead and register spills.
+    /// `shuffle` would remain an opaque function call, [`Self::Vec`] values
+    /// would spill across those calls, and the vectorized loop would lose its
+    /// advantage to call overhead.
     ///
     /// The scalar backend's implementation simply calls `f`.
     #[inline(always)]
@@ -83,34 +124,40 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
         f()
     }
 
+    /// Materialises a lane array into a register value.
+    fn from_array(v: [u32; W]) -> Self::Vec;
+
+    /// Extracts the lanes of a register value into an array.
+    fn to_array(v: Self::Vec) -> [u32; W];
+
     /// Builds `W` overlapping 2-byte little-endian windows:
-    /// `out[j] = input[pos + j] | input[pos + j + 1] << 8`.
+    /// `lane[j] = input[pos + j] | input[pos + j + 1] << 8`.
     ///
     /// This is the "input transformation" of Figure 2 in the paper,
     /// implemented with byte shuffles on the SIMD backends.
     ///
     /// # Panics
     /// Panics (at least in debug builds) if `pos + W + 1 > input.len()`.
-    fn windows2(input: &[u8], pos: usize) -> [u32; W];
+    fn windows2(input: &[u8], pos: usize) -> Self::Vec;
 
     /// Builds `W` overlapping 4-byte little-endian windows:
-    /// `out[j] = u32::from_le_bytes(input[pos + j .. pos + j + 4])`.
+    /// `lane[j] = u32::from_le_bytes(input[pos + j .. pos + j + 4])`.
     ///
     /// # Panics
     /// Panics (at least in debug builds) if `pos + W + 3 > input.len()`.
-    fn windows4(input: &[u8], pos: usize) -> [u32; W];
+    fn windows4(input: &[u8], pos: usize) -> Self::Vec;
 
-    /// Gathers one byte per lane: `out[j] = table[idx[j]] as u32`.
+    /// Gathers one byte per lane: `lane[j] = table[idx[j]] as u32`.
     ///
     /// # Panics / Safety
     /// Requires `idx[j] as usize + GATHER_PADDING <= table.len()` for every
     /// lane. The scalar backend asserts this; the SIMD backends rely on it
     /// (they read 4 bytes per lane) and the debug assertion is kept in their
     /// safe wrappers.
-    fn gather_bytes(table: &[u8], idx: [u32; W]) -> [u32; W];
+    fn gather_bytes(table: &[u8], idx: Self::Vec) -> Self::Vec;
 
     /// Gathers two consecutive bytes per lane, little-endian:
-    /// `out[j] = table[idx[j]] as u32 | (table[idx[j] + 1] as u32) << 8`.
+    /// `lane[j] = table[idx[j]] as u32 | (table[idx[j] + 1] as u32) << 8`.
     ///
     /// This is what the paper's *filter merging* optimisation needs: with
     /// filters 1 and 2 interleaved in memory, a single gather at
@@ -120,7 +167,8 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
     ///
     /// The default implementation performs two scalar loads per lane;
     /// hardware backends override it to reuse their 32-bit gather.
-    fn gather_u16(table: &[u8], idx: [u32; W]) -> [u32; W] {
+    fn gather_u16(table: &[u8], idx: Self::Vec) -> Self::Vec {
+        let idx = Self::to_array(idx);
         let mut out = [0u32; W];
         for (j, slot) in out.iter_mut().enumerate() {
             let i = idx[j] as usize;
@@ -131,18 +179,18 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
             );
             *slot = u16::from_le_bytes([table[i], table[i + 1]]) as u32;
         }
-        out
+        Self::from_array(out)
     }
 
     /// Per-lane multiplicative hash: `((v * mul) >> shift) & mask`
     /// (wrapping multiplication), the hash family used by the third filter.
-    fn hash_mul_shift(v: [u32; W], mul: u32, shift: u32, mask: u32) -> [u32; W];
+    fn hash_mul_shift(v: Self::Vec, mul: u32, shift: u32, mask: u32) -> Self::Vec;
 
     /// Per-lane right shift by a constant.
-    fn shr_const(v: [u32; W], n: u32) -> [u32; W];
+    fn shr_const(v: Self::Vec, n: u32) -> Self::Vec;
 
     /// Per-lane bitwise AND with a constant.
-    fn and_const(v: [u32; W], c: u32) -> [u32; W];
+    fn and_const(v: Self::Vec, c: u32) -> Self::Vec;
 
     /// Tests, for every lane, bit `windows[j] & 7` of the gathered filter
     /// byte `bytes[j]`, returning a lane bitmask (bit `j` set ⇔ the filter
@@ -152,7 +200,9 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
     /// the vectorized-Bloom-filter literature: the window value selects both
     /// the byte (high bits, via the gather index) and the bit inside that
     /// byte (low 3 bits).
-    fn test_window_bits(bytes: [u32; W], windows: [u32; W]) -> u32 {
+    fn test_window_bits(bytes: Self::Vec, windows: Self::Vec) -> u32 {
+        let bytes = Self::to_array(bytes);
+        let windows = Self::to_array(windows);
         let mut mask = 0u32;
         for j in 0..W {
             if (bytes[j] >> (windows[j] & 7)) & 1 != 0 {
@@ -163,7 +213,8 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
     }
 
     /// Returns the bitmask of lanes whose value is non-zero.
-    fn nonzero_mask(v: [u32; W]) -> u32 {
+    fn nonzero_mask(v: Self::Vec) -> u32 {
+        let v = Self::to_array(v);
         let mut mask = 0u32;
         for (j, &x) in v.iter().enumerate() {
             if x != 0 {
@@ -171,6 +222,39 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
             }
         }
         mask
+    }
+
+    /// Appends `base + j` to `out` for every set bit `j` of
+    /// `mask & full_mask()`, in ascending lane order.
+    ///
+    /// This is the **vectorized candidate compaction** primitive: the lane
+    /// bitmask a filter test produced becomes stored candidate positions in
+    /// one step. AVX-512 compacts with `vpcompressd` over `base + iota`
+    /// (`vpaddd`); AVX2 permutes `base + iota` through a 256-entry
+    /// lane-index LUT (`vpermd`); the scalar backend drains the mask with a
+    /// `trailing_zeros` bit-loop (this default).
+    ///
+    /// # Contract
+    ///
+    /// * Exactly `(mask & full_mask()).count_ones()` elements are appended;
+    ///   existing contents of `out` are preserved.
+    /// * Backends may *write* up to `W` `u32`s of spare capacity past
+    ///   `out.len()` before publishing the true count (an over-store, never
+    ///   an over-read of published data). They reserve that spare capacity
+    ///   themselves; callers need no pre-reservation, but reserving ahead
+    ///   (e.g. via `Scratch` capacity hints) keeps the internal grow branch
+    ///   cold.
+    /// * `mask == 0` is valid and appends nothing.
+    /// * `base + j` wraps modulo 2³² on every backend (the hardware adds are
+    ///   wrapping), so backends stay byte-identical even for `base` within
+    ///   `W` of `u32::MAX` — engines never get there (scan chunks are
+    ///   bounded below 4 GiB), but the primitive itself is total.
+    fn compress_store(mask: u32, base: u32, out: &mut Vec<u32>) {
+        let mut m = mask & Self::full_mask();
+        while m != 0 {
+            out.push(base.wrapping_add(m.trailing_zeros()));
+            m &= m - 1;
+        }
     }
 
     /// All-lanes mask constant for this width (`W` low bits set).
@@ -213,5 +297,29 @@ mod trait_tests {
             <ScalarWide8 as VectorBackend<8>>::nonzero_mask(v),
             (1 << 1) | (1 << 6)
         );
+    }
+
+    #[test]
+    fn default_compress_store_appends_set_lanes_in_order() {
+        let mut out = vec![7u32];
+        <ScalarWide8 as VectorBackend<8>>::compress_store(0b1010_0001, 100, &mut out);
+        assert_eq!(out, vec![7, 100, 105, 107]);
+        // Bits above the width are ignored; a zero mask appends nothing.
+        <ScalarWide8 as VectorBackend<8>>::compress_store(0xffff_ff00, 0, &mut out);
+        assert_eq!(out, vec![7, 100, 105, 107]);
+    }
+
+    #[test]
+    fn compress_store_wraps_at_u32_max() {
+        let mut out = Vec::new();
+        <ScalarWide8 as VectorBackend<8>>::compress_store(0b1000_0001, u32::MAX, &mut out);
+        assert_eq!(out, vec![u32::MAX, 6]);
+    }
+
+    #[test]
+    fn array_round_trip_is_identity() {
+        let v: [u32; 8] = std::array::from_fn(|j| j as u32 * 0x0101_0101);
+        let reg = <ScalarWide8 as VectorBackend<8>>::from_array(v);
+        assert_eq!(<ScalarWide8 as VectorBackend<8>>::to_array(reg), v);
     }
 }

@@ -5,6 +5,11 @@
 //! "S-PATCH run through the vector interface" used by some ablation benches:
 //! plain loops over `W`-element arrays, which the compiler may or may not
 //! auto-vectorize, but which never use gather hardware.
+//!
+//! Its register type [`VectorBackend::Vec`] is the plain `[u32; W]` lane
+//! array, so the trait's array-based default implementations (`gather_u16`,
+//! `test_window_bits`, `nonzero_mask`, `compress_store`) *are* the scalar
+//! implementations.
 
 use crate::{VectorBackend, GATHER_PADDING};
 
@@ -22,12 +27,24 @@ pub type ScalarWide8 = ScalarBackend;
 pub type ScalarWide16 = ScalarBackend;
 
 impl<const W: usize> VectorBackend<W> for ScalarBackend {
+    type Vec = [u32; W];
+
     fn name() -> &'static str {
         "scalar"
     }
 
     fn is_available() -> bool {
         true
+    }
+
+    #[inline(always)]
+    fn from_array(v: [u32; W]) -> [u32; W] {
+        v
+    }
+
+    #[inline(always)]
+    fn to_array(v: [u32; W]) -> [u32; W] {
+        v
     }
 
     #[inline]
@@ -164,5 +181,14 @@ mod tests {
         let v = [0b1011u32; 8];
         assert_eq!(<S8 as VectorBackend<8>>::shr_const(v, 1)[0], 0b101);
         assert_eq!(<S8 as VectorBackend<8>>::and_const(v, 0b10)[0], 0b10);
+    }
+
+    #[test]
+    fn compress_store_drains_mask_in_lane_order() {
+        let mut out = Vec::new();
+        <S8 as VectorBackend<8>>::compress_store(0b0101_0110, 40, &mut out);
+        assert_eq!(out, vec![41, 42, 44, 46]);
+        <S8 as VectorBackend<8>>::compress_store(0, 99, &mut out);
+        assert_eq!(out.len(), 4);
     }
 }

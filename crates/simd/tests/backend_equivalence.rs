@@ -1,5 +1,10 @@
 //! Property tests: every SIMD backend must agree bit-for-bit with the scalar
 //! reference semantics on arbitrary inputs.
+//!
+//! The trait passes values as each backend's register type
+//! (`VectorBackend::Vec`), so the tests convert at the edges with
+//! `from_array` / `to_array` — exactly the boundary the register-resident
+//! contract reserves for non-hot-loop code.
 
 use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend, GATHER_PADDING};
 use proptest::prelude::*;
@@ -12,16 +17,25 @@ fn avx512_available() -> bool {
     <Avx512Backend as VectorBackend<16>>::is_available()
 }
 
+/// Runs one backend's `windows2`/`windows4` and returns the lanes as arrays.
+fn windows_arrays<B: VectorBackend<W>, const W: usize>(
+    input: &[u8],
+    pos: usize,
+) -> ([u32; W], [u32; W]) {
+    (
+        B::to_array(B::windows2(input, pos)),
+        B::to_array(B::windows4(input, pos)),
+    )
+}
+
 proptest! {
     #[test]
     fn avx2_windows_match_scalar(input in proptest::collection::vec(any::<u8>(), 24..256), pos in 0usize..200) {
         prop_assume!(pos + 11 <= input.len());
         if !avx2_available() { return Ok(()); }
-        let s2: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows2(&input, pos);
-        let a2: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows2(&input, pos);
+        let (s2, s4) = windows_arrays::<ScalarBackend, 8>(&input, pos);
+        let (a2, a4) = windows_arrays::<Avx2Backend, 8>(&input, pos);
         prop_assert_eq!(s2, a2);
-        let s4: [u32; 8] = <ScalarBackend as VectorBackend<8>>::windows4(&input, pos);
-        let a4: [u32; 8] = <Avx2Backend as VectorBackend<8>>::windows4(&input, pos);
         prop_assert_eq!(s4, a4);
     }
 
@@ -29,11 +43,9 @@ proptest! {
     fn avx512_windows_match_scalar(input in proptest::collection::vec(any::<u8>(), 40..256), pos in 0usize..200) {
         prop_assume!(pos + 19 <= input.len());
         if !avx512_available() { return Ok(()); }
-        let s2: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows2(&input, pos);
-        let a2: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows2(&input, pos);
+        let (s2, s4) = windows_arrays::<ScalarBackend, 16>(&input, pos);
+        let (a2, a4) = windows_arrays::<Avx512Backend, 16>(&input, pos);
         prop_assert_eq!(s2, a2);
-        let s4: [u32; 16] = <ScalarBackend as VectorBackend<16>>::windows4(&input, pos);
-        let a4: [u32; 16] = <Avx512Backend as VectorBackend<16>>::windows4(&input, pos);
         prop_assert_eq!(s4, a4);
     }
 
@@ -43,7 +55,12 @@ proptest! {
         let limit = (table.len() - GATHER_PADDING) as u32;
         let idx = raw_idx.map(|i| i % limit);
         let s = <ScalarBackend as VectorBackend<8>>::gather_bytes(&table, idx);
-        let a = <Avx2Backend as VectorBackend<8>>::gather_bytes(&table, idx);
+        let a = <Avx2Backend as VectorBackend<8>>::to_array(
+            <Avx2Backend as VectorBackend<8>>::gather_bytes(
+                &table,
+                <Avx2Backend as VectorBackend<8>>::from_array(idx),
+            ),
+        );
         prop_assert_eq!(s, a);
     }
 
@@ -53,59 +70,76 @@ proptest! {
         let limit = (table.len() - GATHER_PADDING) as u32;
         let idx = raw_idx.map(|i| i % limit);
         let s = <ScalarBackend as VectorBackend<16>>::gather_bytes(&table, idx);
-        let a = <Avx512Backend as VectorBackend<16>>::gather_bytes(&table, idx);
+        let a = <Avx512Backend as VectorBackend<16>>::to_array(
+            <Avx512Backend as VectorBackend<16>>::gather_bytes(
+                &table,
+                <Avx512Backend as VectorBackend<16>>::from_array(idx),
+            ),
+        );
         prop_assert_eq!(s, a);
     }
 
     #[test]
     fn avx2_lane_ops_match_scalar(v in proptest::array::uniform8(any::<u32>()), mul in any::<u32>(), shift in 0u32..31, mask in any::<u32>()) {
         if !avx2_available() { return Ok(()); }
+        type A8 = Avx2Backend;
+        let reg = <A8 as VectorBackend<8>>::from_array(v);
         prop_assert_eq!(
             <ScalarBackend as VectorBackend<8>>::hash_mul_shift(v, mul, shift, mask),
-            <Avx2Backend as VectorBackend<8>>::hash_mul_shift(v, mul, shift, mask)
+            <A8 as VectorBackend<8>>::to_array(<A8 as VectorBackend<8>>::hash_mul_shift(reg, mul, shift, mask))
         );
         prop_assert_eq!(
             <ScalarBackend as VectorBackend<8>>::shr_const(v, shift),
-            <Avx2Backend as VectorBackend<8>>::shr_const(v, shift)
+            <A8 as VectorBackend<8>>::to_array(<A8 as VectorBackend<8>>::shr_const(reg, shift))
         );
         prop_assert_eq!(
             <ScalarBackend as VectorBackend<8>>::and_const(v, mask),
-            <Avx2Backend as VectorBackend<8>>::and_const(v, mask)
+            <A8 as VectorBackend<8>>::to_array(<A8 as VectorBackend<8>>::and_const(reg, mask))
         );
         prop_assert_eq!(
             <ScalarBackend as VectorBackend<8>>::nonzero_mask(v),
-            <Avx2Backend as VectorBackend<8>>::nonzero_mask(v)
+            <A8 as VectorBackend<8>>::nonzero_mask(reg)
         );
     }
 
     #[test]
     fn avx512_lane_ops_match_scalar(v in proptest::array::uniform16(any::<u32>()), mul in any::<u32>(), shift in 0u32..31, mask in any::<u32>()) {
         if !avx512_available() { return Ok(()); }
+        type A16 = Avx512Backend;
+        let reg = <A16 as VectorBackend<16>>::from_array(v);
         prop_assert_eq!(
             <ScalarBackend as VectorBackend<16>>::hash_mul_shift(v, mul, shift, mask),
-            <Avx512Backend as VectorBackend<16>>::hash_mul_shift(v, mul, shift, mask)
+            <A16 as VectorBackend<16>>::to_array(<A16 as VectorBackend<16>>::hash_mul_shift(reg, mul, shift, mask))
         );
         prop_assert_eq!(
             <ScalarBackend as VectorBackend<16>>::nonzero_mask(v),
-            <Avx512Backend as VectorBackend<16>>::nonzero_mask(v)
+            <A16 as VectorBackend<16>>::nonzero_mask(reg)
         );
     }
 
     #[test]
     fn avx2_bit_test_matches_scalar(bytes in proptest::array::uniform8(0u32..256), windows in proptest::array::uniform8(any::<u32>())) {
         if !avx2_available() { return Ok(()); }
+        type A8 = Avx2Backend;
         prop_assert_eq!(
             <ScalarBackend as VectorBackend<8>>::test_window_bits(bytes, windows),
-            <Avx2Backend as VectorBackend<8>>::test_window_bits(bytes, windows)
+            <A8 as VectorBackend<8>>::test_window_bits(
+                <A8 as VectorBackend<8>>::from_array(bytes),
+                <A8 as VectorBackend<8>>::from_array(windows)
+            )
         );
     }
 
     #[test]
     fn avx512_bit_test_matches_scalar(bytes in proptest::array::uniform16(0u32..256), windows in proptest::array::uniform16(any::<u32>())) {
         if !avx512_available() { return Ok(()); }
+        type A16 = Avx512Backend;
         prop_assert_eq!(
             <ScalarBackend as VectorBackend<16>>::test_window_bits(bytes, windows),
-            <Avx512Backend as VectorBackend<16>>::test_window_bits(bytes, windows)
+            <A16 as VectorBackend<16>>::test_window_bits(
+                <A16 as VectorBackend<16>>::from_array(bytes),
+                <A16 as VectorBackend<16>>::from_array(windows)
+            )
         );
     }
 }
@@ -123,11 +157,160 @@ proptest! {
             prop_assert_eq!(expected8[j], want);
         }
         if avx2_available() {
-            prop_assert_eq!(<Avx2Backend as VectorBackend<8>>::gather_u16(&table, idx8), expected8);
+            type A8 = Avx2Backend;
+            prop_assert_eq!(
+                <A8 as VectorBackend<8>>::to_array(<A8 as VectorBackend<8>>::gather_u16(
+                    &table,
+                    <A8 as VectorBackend<8>>::from_array(idx8)
+                )),
+                expected8
+            );
         }
         if avx512_available() {
+            type A16 = Avx512Backend;
             let expected16 = <ScalarBackend as VectorBackend<16>>::gather_u16(&table, idx16);
-            prop_assert_eq!(<Avx512Backend as VectorBackend<16>>::gather_u16(&table, idx16), expected16);
+            prop_assert_eq!(
+                <A16 as VectorBackend<16>>::to_array(<A16 as VectorBackend<16>>::gather_u16(
+                    &table,
+                    <A16 as VectorBackend<16>>::from_array(idx16)
+                )),
+                expected16
+            );
+        }
+    }
+}
+
+// --- compress_store: the vectorized candidate-compaction primitive --------
+//
+// Scalar (the trait default's bit-loop), AVX2 (vpermd LUT) and AVX-512
+// (vpcompressd) must produce byte-identical candidate arrays: same values,
+// same order, same count, pre-existing contents untouched.
+
+proptest! {
+    #[test]
+    fn compress_store_matches_scalar_over_random_masks_and_bases(
+        masks in proptest::collection::vec(any::<u32>(), 1..40),
+        base in 0u32..0x4000_0000,
+        prefix in proptest::collection::vec(any::<u32>(), 0..8),
+    ) {
+        // Chain many appends so capacity growth and non-empty destinations
+        // are exercised, not just the single-call case.
+        let mut expected8 = prefix.clone();
+        let mut got8 = prefix.clone();
+        let mut expected16 = prefix.clone();
+        let mut got16 = prefix.clone();
+        for (k, &mask) in masks.iter().enumerate() {
+            // Walk the base forward as the filtering loop would.
+            let b = base.wrapping_add((k * 8) as u32);
+            <ScalarBackend as VectorBackend<8>>::compress_store(mask, b, &mut expected8);
+            if avx2_available() {
+                <Avx2Backend as VectorBackend<8>>::compress_store(mask, b, &mut got8);
+            }
+            let b16 = base.wrapping_add((k * 16) as u32);
+            <ScalarBackend as VectorBackend<16>>::compress_store(mask, b16, &mut expected16);
+            if avx512_available() {
+                <Avx512Backend as VectorBackend<16>>::compress_store(mask, b16, &mut got16);
+            }
+        }
+        if avx2_available() {
+            prop_assert_eq!(&got8, &expected8);
+        }
+        if avx512_available() {
+            prop_assert_eq!(&got16, &expected16);
+        }
+        // The scalar reference itself: each appended run is sorted, within
+        // [b, b + W), and sized by the mask popcount.
+        let appended = &expected8[prefix.len()..];
+        let total: u32 = masks.iter().map(|m| (m & 0xff).count_ones()).sum();
+        prop_assert_eq!(appended.len() as u32, total);
+    }
+
+    #[test]
+    fn compress_store_popcount_and_order_invariants(mask in any::<u32>(), base in 0u32..0x7fff_0000) {
+        let mut out = Vec::new();
+        <ScalarBackend as VectorBackend<16>>::compress_store(mask, base, &mut out);
+        prop_assert_eq!(out.len() as u32, (mask & 0xffff).count_ones());
+        prop_assert!(out.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(out.iter().all(|&p| p >= base && p < base + 16));
+    }
+}
+
+/// Block-boundary cases: masks emitted by consecutive filter blocks at
+/// `base = 0, W, 2*W` must concatenate into the exact candidate array the
+/// scalar reference produces — this is the pattern `VPatch::filter_round`
+/// relies on (including its 2× unrolled `base` / `base + W` pairs).
+#[test]
+fn compress_store_block_boundary_cases() {
+    fn check<B: VectorBackend<W>, const W: usize>(available: bool) {
+        if !available {
+            return;
+        }
+        let interesting = [
+            0u32,
+            1,
+            1 << (W - 1),
+            B::full_mask(),
+            0x5555_5555 & B::full_mask(),
+            0xaaaa_aaaa & B::full_mask(),
+            (1 << (W / 2)) | 1,
+        ];
+        for &m0 in &interesting {
+            for &m1 in &interesting {
+                for &m2 in &interesting {
+                    let mut expected = Vec::new();
+                    let mut got = Vec::new();
+                    for (block, &mask) in [m0, m1, m2].iter().enumerate() {
+                        // Bases at exactly 0, W and 2*W: the boundaries where
+                        // the unrolled vector loop stitches blocks together.
+                        let base = (block * W) as u32;
+                        <ScalarBackend as VectorBackend<W>>::compress_store(
+                            mask,
+                            base,
+                            &mut expected,
+                        );
+                        B::compress_store(mask, base, &mut got);
+                    }
+                    assert_eq!(
+                        got,
+                        expected,
+                        "backend {} masks {m0:#x}/{m1:#x}/{m2:#x}",
+                        B::name()
+                    );
+                    // Concatenated blocks must remain strictly increasing:
+                    // no duplicated or out-of-order position can cross a
+                    // W or 2*W boundary.
+                    assert!(got.windows(2).all(|w| w[0] < w[1]));
+                }
+            }
+        }
+    }
+    check::<ScalarBackend, 8>(true);
+    check::<ScalarBackend, 16>(true);
+    check::<Avx2Backend, 8>(avx2_available());
+    check::<Avx512Backend, 16>(avx512_available());
+}
+
+/// `base + lane` wraps modulo 2³² identically on every backend (the hardware
+/// adds are wrapping; the scalar default matches). Engines never scan within
+/// `W` of `u32::MAX`, but the primitive is total and must stay equivalent.
+#[test]
+fn compress_store_wraps_identically_near_u32_max() {
+    for base in [u32::MAX, u32::MAX - 7, u32::MAX - 15] {
+        for mask in [1u32, 0x8001, 0xffff, 0xaaaa] {
+            let mut expected8 = Vec::new();
+            <ScalarBackend as VectorBackend<8>>::compress_store(mask, base, &mut expected8);
+            if avx2_available() {
+                let mut got = Vec::new();
+                <Avx2Backend as VectorBackend<8>>::compress_store(mask, base, &mut got);
+                assert_eq!(got, expected8, "avx2 base {base:#x} mask {mask:#x}");
+            }
+            let mut expected16 = Vec::new();
+            <ScalarBackend as VectorBackend<16>>::compress_store(mask, base, &mut expected16);
+            if avx512_available() {
+                let mut got = Vec::new();
+                <Avx512Backend as VectorBackend<16>>::compress_store(mask, base, &mut got);
+                assert_eq!(got, expected16, "avx512 base {base:#x} mask {mask:#x}");
+            }
         }
     }
 }
