@@ -87,6 +87,14 @@ impl Matcher for DfaMatcher {
         "Aho-Corasick"
     }
 
+    fn max_pattern_len(&self) -> usize {
+        self.pattern_lens
+            .iter()
+            .map(|&l| l as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         let mut state = 0u32;
         for (i, &byte) in haystack.iter().enumerate() {

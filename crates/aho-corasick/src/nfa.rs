@@ -183,6 +183,11 @@ impl Matcher for NfaMatcher {
         "Aho-Corasick (NFA)"
     }
 
+    fn max_pattern_len(&self) -> usize {
+        let set = &self.automaton.set;
+        set.patterns().iter().map(|p| p.len()).max().unwrap_or(0)
+    }
+
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         let set = &self.automaton.set;
         let mut state = 0u32;

@@ -16,9 +16,16 @@
 //! `--mb` / `--runs` tune trace size and repetitions; `--ruleset` switches
 //! the sub-figure workload. Each snapshot records its own `source`
 //! (methodology); only compare rows whose sources match.
+//!
+//! The snapshot also carries a `multicore` section: aggregate
+//! `ShardedScanner` throughput (full scans over a packetized copy of the
+//! same trace) at 1/2/4/8 workers — the multi-core scaling trajectory. Its
+//! `available_parallelism` field records how many hardware threads the
+//! machine had, so flat scaling on a 1-CPU runner is not misread as a
+//! regression.
 
 use mpm_bench::measure::measure_closure;
-use mpm_bench::{report, Options, Workload};
+use mpm_bench::{multicore, report, MultiCoreFigure, Options, Workload};
 use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend};
 use mpm_traffic::TraceKind;
 use mpm_vpatch::{FilterOnlyMode, Scratch, VPatch};
@@ -56,6 +63,9 @@ struct BaselineSnapshot {
     runs: usize,
     /// One row per backend × configuration.
     rows: Vec<BaselineRow>,
+    /// Multi-core scaling on the same workload: aggregate sharded-scan
+    /// throughput (full scans, not filtering-only) vs worker count.
+    multicore: MultiCoreFigure,
 }
 
 fn measure_backend<B: VectorBackend<W>, const W: usize>(
@@ -98,6 +108,9 @@ fn main() {
     measure_backend::<Avx2Backend, 8>(&workload, trace, options.runs, &mut rows);
     measure_backend::<Avx512Backend, 16>(&workload, trace, options.runs, &mut rows);
 
+    let multicore =
+        multicore::run_scaling_auto(&workload.patterns, trace, &[1, 2, 4, 8], options.runs);
+
     let snapshot = BaselineSnapshot {
         label: "current".to_string(),
         source: format!(
@@ -108,6 +121,7 @@ fn main() {
         trace_mib: options.trace_mib,
         runs: options.runs,
         rows,
+        multicore,
     };
     println!("{}", report::to_json(&snapshot));
 }

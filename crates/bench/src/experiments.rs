@@ -228,7 +228,7 @@ pub fn run_match_density(options: &Options, fractions: &[f64]) -> MatchDensityFi
         &[TraceKind::Random],
     );
     let patterns = workload.pattern_subset(2_000);
-    let generator = MatchDensityGenerator::new(options.trace_mib * 1024 * 1024, 0xf16_5c);
+    let generator = MatchDensityGenerator::new(options.trace_mib * 1024 * 1024, 0x000f_165c);
     let platform = Platform::Haswell;
     let spatch = build_engine(EngineKind::SPatch, &patterns, platform);
     let vpatch = build_engine(EngineKind::VPatch, &patterns, platform);

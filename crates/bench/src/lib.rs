@@ -25,11 +25,13 @@
 pub mod engines;
 pub mod experiments;
 pub mod measure;
+pub mod multicore;
 pub mod options;
 pub mod report;
 pub mod workload;
 
 pub use engines::EngineKind;
 pub use measure::{measure_throughput, Measurement};
+pub use multicore::{MultiCoreFigure, MultiCoreRow};
 pub use options::Options;
 pub use workload::{RulesetChoice, Workload};

@@ -16,6 +16,7 @@
 //!      patterns, consulted only when filter 2 hits, to weed out 2-byte
 //!      coincidences (e.g. `attribute` vs `attack`) before paying for
 //!      verification —
+//!
 //!    and records candidate positions in two temporary arrays
 //!    (`A_short`, `A_long`);
 //! 2. a **verification round** replays those arrays against DFC-style
@@ -72,11 +73,29 @@ pub type VPatchScalar16 = VPatch<ScalarBackend, 16>;
 
 /// Builds the fastest engine available on this CPU:
 /// AVX-512 V-PATCH ≻ AVX2 V-PATCH ≻ scalar S-PATCH.
+///
+/// `MPM_FORCE_BACKEND` pins the choice (see [`mpm_simd::forced_backend`]):
+/// under `MPM_FORCE_BACKEND=scalar` this returns S-PATCH even on AVX-512
+/// hardware, which is how CI deterministically exercises every code path.
 pub fn build_auto(set: &PatternSet) -> Box<dyn Matcher + Send + Sync> {
-    match mpm_simd::detect_best() {
-        BackendKind::Avx512 => Box::new(VPatchAvx512::build(set)),
-        BackendKind::Avx2 => Box::new(VPatchAvx2::build(set)),
-        BackendKind::Scalar => Box::new(SPatch::build(set)),
+    build_for(set, mpm_simd::detect_best()).expect("detect_best returns an available backend")
+}
+
+/// Builds the paper's engine for an explicit backend choice: V-PATCH at the
+/// backend's width for the SIMD backends, scalar S-PATCH for
+/// [`BackendKind::Scalar`]. Returns `None` if the backend is unavailable on
+/// this CPU. (Use [`build_vpatch_for`] to get V-PATCH compiled against the
+/// portable scalar backend instead of S-PATCH.)
+pub fn build_for(set: &PatternSet, backend: BackendKind) -> Option<Box<dyn Matcher + Send + Sync>> {
+    match backend {
+        BackendKind::Avx512 if BackendKind::Avx512.is_available() => {
+            Some(Box::new(VPatchAvx512::build(set)))
+        }
+        BackendKind::Avx2 if BackendKind::Avx2.is_available() => {
+            Some(Box::new(VPatchAvx2::build(set)))
+        }
+        BackendKind::Scalar => Some(Box::new(SPatch::build(set))),
+        _ => None,
     }
 }
 
@@ -120,6 +139,14 @@ mod tests {
         assert_eq!(scalar.find_all(b"zzabcd").len(), 2);
         for kind in mpm_simd::available_backends() {
             assert!(build_vpatch_for(&set, kind).is_some());
+            let engine = build_for(&set, kind).unwrap();
+            assert_eq!(engine.find_all(b"zzabcd").len(), 2);
+            assert_eq!(engine.max_pattern_len(), 4);
         }
+        // build_for hands out S-PATCH on the scalar path, V-PATCH otherwise.
+        assert_eq!(
+            build_for(&set, BackendKind::Scalar).unwrap().name(),
+            "S-PATCH"
+        );
     }
 }

@@ -26,6 +26,9 @@ pub struct SPatchTables {
     /// True if the set contains any long pattern.
     pub(crate) has_long: bool,
     pattern_count: usize,
+    /// Length of the longest pattern (streaming callers overlap chunks by
+    /// `max_pattern_len - 1`; see `mpm-stream`).
+    max_pattern_len: usize,
 }
 
 impl SPatchTables {
@@ -47,8 +50,9 @@ impl SPatchTables {
         let filter3 = HashedFilter::build(set, filter3_bits, is_long);
         let merged = MergedDirectFilters::merge(&filter1, &filter2);
         let verifier = Verifier::build(set);
-        let has_short = set.patterns().iter().any(|p| is_short(p));
-        let has_long = set.patterns().iter().any(|p| is_long(p));
+        let has_short = set.patterns().iter().any(is_short);
+        let has_long = set.patterns().iter().any(is_long);
+        let max_pattern_len = set.patterns().iter().map(|p| p.len()).max().unwrap_or(0);
         SPatchTables {
             filter1,
             filter2,
@@ -58,12 +62,20 @@ impl SPatchTables {
             has_short,
             has_long,
             pattern_count: set.len(),
+            max_pattern_len,
         }
     }
 
     /// Number of patterns the tables were built from.
     pub fn pattern_count(&self) -> usize {
         self.pattern_count
+    }
+
+    /// Length of the longest pattern the tables were built from (`0` for an
+    /// empty set). Chunked/streaming callers must overlap consecutive chunks
+    /// by `max_pattern_len - 1` bytes to keep boundary matches.
+    pub fn max_pattern_len(&self) -> usize {
+        self.max_pattern_len
     }
 
     /// Resident size of the filtering-round structures (must stay cache

@@ -298,6 +298,10 @@ impl<B: VectorBackend<W>, const W: usize> Matcher for VPatch<B, W> {
         "V-PATCH"
     }
 
+    fn max_pattern_len(&self) -> usize {
+        self.tables.max_pattern_len()
+    }
+
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         // Reuse this thread's cached scratch (warm capacity, no per-scan
         // allocation) with hints for the candidate classes this ruleset can

@@ -49,6 +49,10 @@ impl Matcher for Dfc {
         "DFC"
     }
 
+    fn max_pattern_len(&self) -> usize {
+        self.tables.max_pattern_len
+    }
+
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         self.scan(haystack, out);
     }

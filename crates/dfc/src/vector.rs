@@ -73,7 +73,7 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
             // `VectorBackend::dispatch`); classification + verification stay
             // interleaved and scalar exactly as in the original DFC.
             B::dispatch(|| {
-                while i + W + 1 <= n {
+                while i + W < n {
                     let windows = B::windows2(haystack, i);
                     let idx = B::shr_const(windows, 3);
                     let bytes = B::gather_bytes(filter_bytes, idx);
@@ -105,6 +105,10 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
 impl<B: VectorBackend<W>, const W: usize> Matcher for VectorDfc<B, W> {
     fn name(&self) -> &'static str {
         "Vector-DFC"
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        self.tables.max_pattern_len
     }
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {

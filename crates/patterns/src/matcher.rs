@@ -106,6 +106,15 @@ pub trait Matcher {
     /// (e.g. `"Aho-Corasick"`, `"DFC"`, `"V-PATCH"`).
     fn name(&self) -> &'static str;
 
+    /// Length in bytes of the longest pattern this engine was compiled for
+    /// (`0` for an empty pattern set).
+    ///
+    /// Streaming callers need this to size the chunk overlap: a scanner that
+    /// processes a stream in chunks must carry over the last
+    /// `max_pattern_len - 1` bytes of the previous chunk, otherwise matches
+    /// straddling a chunk boundary are lost (see `mpm-stream`).
+    fn max_pattern_len(&self) -> usize;
+
     /// Scans `haystack` and appends every occurrence of every pattern to
     /// `out`. Occurrences may be appended in any order; callers that need a
     /// canonical order sort the vector (see [`normalize_matches`]).

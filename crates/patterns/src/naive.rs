@@ -31,6 +31,15 @@ impl Matcher for NaiveMatcher {
         "Naive"
     }
 
+    fn max_pattern_len(&self) -> usize {
+        self.set
+            .patterns()
+            .iter()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0)
+    }
+
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         for (id, pattern) in self.set.iter() {
             let needle = pattern.bytes();

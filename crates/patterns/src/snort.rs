@@ -156,7 +156,7 @@ fn classify_header(header: &str) -> ProtocolGroup {
         ProtocolGroup::Ftp
     } else if has_port("25") || lower.contains("smtp") || lower.contains("mail") {
         ProtocolGroup::Smtp
-    } else if ports.iter().any(|t| *t == "any") && proto == "ip" {
+    } else if ports.contains(&"any") && proto == "ip" {
         ProtocolGroup::Any
     } else {
         ProtocolGroup::Other

@@ -6,8 +6,29 @@
 //! by default?". It mirrors the paper's two platforms: AVX2 ⇒ the Haswell
 //! configuration (8 lanes), AVX-512 ⇒ the Xeon-Phi-width configuration
 //! (16 lanes).
+//!
+//! # Forcing a backend
+//!
+//! Setting [`FORCE_BACKEND_ENV`] (`MPM_FORCE_BACKEND=scalar|avx2|avx512`)
+//! pins the *dispatch-level* selection: [`detect_best`] returns the forced
+//! backend and [`available_backends`] returns only it, so everything built
+//! through auto-selection (engine `build_auto` constructors, tests and
+//! benches that iterate the available list) deterministically exercises that
+//! one code path. This is how CI pins the scalar and AVX2 paths under test
+//! regardless of runner silicon.
+//!
+//! Forcing never lies about hardware: naming a backend the CPU cannot run
+//! (or an unknown name) panics with a diagnostic on first use rather than
+//! silently falling back. Explicit instantiation (`VPatch::<Avx2Backend,
+//! 8>::build`) and [`BackendKind::is_available`] keep reporting the hardware
+//! truth — the override narrows choice, it does not fake capability.
 
 use crate::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend};
+use std::sync::OnceLock;
+
+/// Environment variable that pins dispatch-level backend selection
+/// (`scalar`, `avx2` or `avx512`). See the module documentation.
+pub const FORCE_BACKEND_ENV: &str = "MPM_FORCE_BACKEND";
 
 /// The backends an engine can be instantiated with.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -41,7 +62,19 @@ impl BackendKind {
         }
     }
 
-    /// True if the current CPU can run this backend.
+    /// Parses a backend name as used by [`FORCE_BACKEND_ENV`]
+    /// (case-insensitive; `avx-512`/`avx512f` are accepted for `avx512`).
+    pub fn from_name(name: &str) -> Option<BackendKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(BackendKind::Scalar),
+            "avx2" => Some(BackendKind::Avx2),
+            "avx512" | "avx-512" | "avx512f" => Some(BackendKind::Avx512),
+            _ => None,
+        }
+    }
+
+    /// True if the current CPU can run this backend. Reports the hardware
+    /// truth; [`forced_backend`] does not affect it.
     pub fn is_available(self) -> bool {
         match self {
             BackendKind::Scalar => <ScalarBackend as VectorBackend<8>>::is_available(),
@@ -57,9 +90,44 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
-/// Returns every backend the current CPU supports, in increasing width order
-/// (scalar is always present).
+/// The backend pinned by [`FORCE_BACKEND_ENV`], if any.
+///
+/// The environment is read once (first call wins, the result is cached for
+/// the process lifetime, matching how tests and engines expect a stable
+/// dispatch decision).
+///
+/// # Panics
+/// Panics if the variable is set to an unknown name, or names a backend this
+/// CPU cannot run — a forced run must never silently measure or test a
+/// different code path than the one asked for.
+pub fn forced_backend() -> Option<BackendKind> {
+    static FORCED: OnceLock<Option<BackendKind>> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        let value = std::env::var(FORCE_BACKEND_ENV).ok()?;
+        if value.trim().is_empty() {
+            return None;
+        }
+        let kind = BackendKind::from_name(&value).unwrap_or_else(|| {
+            panic!("{FORCE_BACKEND_ENV}={value:?} is not a backend (expected scalar|avx2|avx512)")
+        });
+        assert!(
+            kind.is_available(),
+            "{FORCE_BACKEND_ENV}={} but this CPU does not support it",
+            kind.name()
+        );
+        Some(kind)
+    })
+}
+
+/// Returns every backend dispatch may select, in increasing width order.
+///
+/// Without a [`forced_backend`] this is every backend the CPU supports
+/// (scalar is always present); with one it is exactly the forced backend, so
+/// callers that sweep "all available backends" stay pinned too.
 pub fn available_backends() -> Vec<BackendKind> {
+    if let Some(kind) = forced_backend() {
+        return vec![kind];
+    }
     let mut v = vec![BackendKind::Scalar];
     if BackendKind::Avx2.is_available() {
         v.push(BackendKind::Avx2);
@@ -70,8 +138,9 @@ pub fn available_backends() -> Vec<BackendKind> {
     v
 }
 
-/// The widest available backend — what an engine's `new_auto` constructor
-/// should pick for best throughput on this machine.
+/// The backend an engine's `new_auto`/`build_auto` constructor should pick:
+/// the [`forced_backend`] when set, otherwise the widest available backend
+/// (best throughput on this machine).
 pub fn detect_best() -> BackendKind {
     *available_backends()
         .last()
@@ -85,7 +154,14 @@ mod tests {
     #[test]
     fn scalar_is_always_available() {
         assert!(BackendKind::Scalar.is_available());
-        assert!(available_backends().contains(&BackendKind::Scalar));
+        // `is_available` reports hardware truth regardless of any force; the
+        // available list contains scalar unless a non-scalar force narrowed it.
+        match forced_backend() {
+            None | Some(BackendKind::Scalar) => {
+                assert!(available_backends().contains(&BackendKind::Scalar));
+            }
+            Some(kind) => assert_eq!(available_backends(), vec![kind]),
+        }
     }
 
     #[test]
@@ -94,6 +170,9 @@ mod tests {
         assert!(best.is_available());
         // Best is the last (widest) entry of the available list.
         assert_eq!(best, *available_backends().last().unwrap());
+        if let Some(kind) = forced_backend() {
+            assert_eq!(best, kind, "forcing must pin detect_best");
+        }
     }
 
     #[test]
@@ -106,11 +185,34 @@ mod tests {
     }
 
     #[test]
+    fn from_name_round_trips_and_rejects_garbage() {
+        for kind in [BackendKind::Scalar, BackendKind::Avx2, BackendKind::Avx512] {
+            assert_eq!(BackendKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::from_name(" AVX2 "), Some(BackendKind::Avx2));
+        assert_eq!(BackendKind::from_name("avx-512"), Some(BackendKind::Avx512));
+        assert_eq!(BackendKind::from_name("sse2"), None);
+        assert_eq!(BackendKind::from_name(""), None);
+    }
+
+    #[test]
     fn available_list_is_ordered_by_width() {
         let list = available_backends();
         let lanes: Vec<usize> = list.iter().map(|b| b.lanes()).collect();
         let mut sorted = lanes.clone();
         sorted.sort_unstable();
         assert_eq!(lanes, sorted);
+    }
+
+    #[test]
+    fn forced_backend_matches_environment() {
+        // The OnceLock caches the first read, so this test only asserts
+        // consistency with whatever the process environment says now.
+        match std::env::var(FORCE_BACKEND_ENV) {
+            Ok(value) if !value.trim().is_empty() => {
+                assert_eq!(forced_backend(), BackendKind::from_name(&value));
+            }
+            _ => assert_eq!(forced_backend(), None),
+        }
     }
 }

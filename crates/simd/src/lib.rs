@@ -73,7 +73,9 @@ pub mod scalar;
 
 pub use avx2::Avx2Backend;
 pub use avx512::Avx512Backend;
-pub use dispatch::{available_backends, detect_best, BackendKind};
+pub use dispatch::{
+    available_backends, detect_best, forced_backend, BackendKind, FORCE_BACKEND_ENV,
+};
 pub use scalar::{ScalarBackend, ScalarWide16, ScalarWide8};
 
 /// Number of extra bytes every gather table must have after its last

@@ -1,0 +1,33 @@
+//! Streaming and multi-core scanning on top of the `mpm-*` engines.
+//!
+//! The paper evaluates S-PATCH / V-PATCH on one-shot buffers on a single
+//! core. A production NIDS sees neither: payload arrives as a never-ending
+//! sequence of reassembled chunks, and serving line-rate traffic means
+//! spreading flows across cores. This crate supplies that deployment shape
+//! without touching the engines themselves:
+//!
+//! * [`StreamScanner`] — wraps any [`mpm_patterns::Matcher`] and makes
+//!   chunked scanning equivalent to a one-shot scan: it carries the last
+//!   `max_pattern_len - 1` bytes between [`StreamScanner::push`] calls,
+//!   drops overlap re-reports, and translates match positions to absolute
+//!   stream offsets. Property-tested: any chunking (down to 1-byte chunks)
+//!   reports byte-identical match sets to `find_all` on the whole input.
+//! * [`ShardedScanner`] — fans batches of [`Packet`]s out over N worker
+//!   threads with **flow-affine sharding** (same flow id ⇒ same worker, so
+//!   per-flow stream state stays coherent), merging matches and
+//!   [`mpm_patterns::MatcherStats`] deterministically: 1 worker and N
+//!   workers produce identical output for the same batch.
+//!
+//! Engines are shared across flows and threads as a
+//! [`SharedMatcher`] (`Arc<dyn Matcher + Send +
+//! Sync>`); pin the backend they compile for with `MPM_FORCE_BACKEND`
+//! (see `mpm_simd::forced_backend`) when determinism across machines
+//! matters — CI runs the whole test suite once per backend that way.
+
+#![warn(missing_docs)]
+
+pub mod shard;
+pub mod stream;
+
+pub use shard::{BatchResult, FlowMatch, Packet, ShardedScanner};
+pub use stream::{SharedMatcher, StreamScanner};

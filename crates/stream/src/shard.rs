@@ -1,0 +1,382 @@
+//! [`ShardedScanner`]: fan a batch of packets out over worker threads with
+//! flow-affine sharding.
+//!
+//! The paper's engines are single-core by design ("different hardware
+//! threads can operate independently on different parts of the stream");
+//! this module supplies the multi-core harness a production NIDS needs:
+//!
+//! * **N worker threads** (plain `std::thread` + `std::sync::mpsc`, in line
+//!   with the workspace's no-external-deps policy), each draining its own
+//!   queue;
+//! * **flow-affine sharding** — packets of the same flow id always land on
+//!   the same worker, so each flow's [`StreamScanner`] state (the
+//!   chunk-boundary carry) lives on exactly one thread and matches that
+//!   straddle packet boundaries within a flow are still found;
+//! * **one shared engine** — workers clone an [`Arc`] of the compiled
+//!   matcher; the paper's cache-resident filter tables are read-only and
+//!   shared, per-worker mutable state is confined to the per-flow scanners
+//!   (and the engines' thread-cached `Scratch`, which is thread-local by
+//!   construction);
+//! * **merged, deterministic results** — [`ShardedScanner::scan_batch`]
+//!   returns the union of every worker's matches sorted by
+//!   `(flow, start, pattern)` plus summed [`MatcherStats`], so the same
+//!   batch produces byte-identical output whether 1 or N workers ran it
+//!   (property: `tests/shard_determinism.rs`).
+
+use crate::stream::{SharedMatcher, StreamScanner};
+use mpm_patterns::{MatchEvent, MatcherStats, PatternSet};
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One unit of work: a payload chunk belonging to a flow.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Flow identifier (e.g. a 5-tuple hash). Packets with equal ids are
+    /// scanned in submission order on one worker, as one logical stream.
+    pub flow: u64,
+    /// The payload bytes of this packet.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Creates a packet.
+    pub fn new(flow: u64, payload: impl Into<Vec<u8>>) -> Self {
+        Packet {
+            flow,
+            payload: payload.into(),
+        }
+    }
+}
+
+/// A match, tagged with the flow it occurred in. `event.start` is the
+/// absolute byte offset within that flow's stream.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct FlowMatch {
+    /// The flow the pattern occurred in.
+    pub flow: u64,
+    /// The occurrence, with `start` in flow-stream coordinates.
+    pub event: MatchEvent,
+}
+
+/// Result of one [`ShardedScanner::scan_batch`] call.
+#[derive(Clone, Debug, Default)]
+pub struct BatchResult {
+    /// All matches of the batch, sorted by `(flow, start, pattern)`.
+    pub matches: Vec<FlowMatch>,
+    /// Per-batch statistics summed over all workers (`bytes_scanned` and
+    /// `matches` are exact and deterministic; the timing fields are zero —
+    /// wall-clock belongs to the caller, who knows what overlapped).
+    pub stats: MatcherStats,
+}
+
+enum Job {
+    Packet(Packet),
+    /// Drop a finished flow's stream state (see
+    /// [`ShardedScanner::close_flow`]).
+    CloseFlow(u64),
+    /// Barrier: report everything accumulated since the last flush.
+    Flush(Sender<WorkerReport>),
+}
+
+struct WorkerReport {
+    matches: Vec<FlowMatch>,
+    stats: MatcherStats,
+}
+
+struct Worker {
+    sender: Sender<Job>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Multi-core batch scanner with per-flow stream state.
+///
+/// ```
+/// use mpm_patterns::{NaiveMatcher, PatternSet};
+/// use mpm_stream::{Packet, ShardedScanner};
+/// use std::sync::Arc;
+///
+/// let rules = PatternSet::from_literals(&["attack"]);
+/// let engine: mpm_stream::SharedMatcher = Arc::from(NaiveMatcher::new(&rules));
+/// let mut scanner = ShardedScanner::new(engine, &rules, 4);
+///
+/// let batch = vec![
+///     Packet::new(7, b"...att".to_vec()),  // flow 7, cut inside the pattern
+///     Packet::new(9, b"clean".to_vec()),
+///     Packet::new(7, b"ack...".to_vec()),  // same flow => same worker
+/// ];
+/// let result = scanner.scan_batch(batch);
+/// assert_eq!(result.matches.len(), 1);
+/// assert_eq!(result.matches[0].flow, 7);
+/// assert_eq!(result.matches[0].event.start, 3);
+/// ```
+pub struct ShardedScanner {
+    workers: Vec<Worker>,
+}
+
+impl ShardedScanner {
+    /// Spawns `workers` worker threads sharing `engine`.
+    ///
+    /// `set` must be the pattern set the engine was compiled for (same
+    /// contract as [`StreamScanner::new`]).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero or the engine/set disagree about the
+    /// longest pattern.
+    pub fn new(engine: SharedMatcher, set: &PatternSet, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let lengths: Arc<[u32]> = set.patterns().iter().map(|p| p.len() as u32).collect();
+        // Validate the engine/set pairing once, on the caller's thread, so a
+        // mismatch panics here instead of inside a worker.
+        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+        assert_eq!(
+            engine.max_pattern_len(),
+            max_len,
+            "engine was compiled for a different pattern set"
+        );
+        let workers = (0..workers)
+            .map(|_| {
+                let (sender, receiver) = mpsc::channel();
+                let engine = engine.clone();
+                let lengths = lengths.clone();
+                let handle = std::thread::spawn(move || worker_loop(receiver, engine, lengths));
+                Worker {
+                    sender,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardedScanner { workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The worker a flow is pinned to. Deterministic for a given worker
+    /// count: a flow's packets always share a worker (and therefore its
+    /// per-flow stream state), and batches are reproducible run-to-run.
+    pub fn worker_of(&self, flow: u64) -> usize {
+        (mix64(flow) % self.workers.len() as u64) as usize
+    }
+
+    /// Scans a batch of packets across the workers and returns the merged,
+    /// deterministically-ordered result.
+    ///
+    /// Flow stream state **persists across batches**: a pattern cut between
+    /// the last packet of one batch and the first packet of the next (in the
+    /// same flow) is still reported, by the later batch.
+    pub fn scan_batch(&mut self, packets: impl IntoIterator<Item = Packet>) -> BatchResult {
+        for packet in packets {
+            let worker = self.worker_of(packet.flow);
+            self.workers[worker]
+                .sender
+                .send(Job::Packet(packet))
+                .expect("worker thread alive");
+        }
+        self.flush()
+    }
+
+    /// Barrier: waits for every worker to drain its queue and merges what
+    /// they accumulated since the last flush. [`ShardedScanner::scan_batch`]
+    /// calls this; it is public for callers that dispatch packets
+    /// incrementally via [`ShardedScanner::dispatch`].
+    pub fn flush(&mut self) -> BatchResult {
+        let (report_sender, report_receiver) = mpsc::channel();
+        for worker in &self.workers {
+            worker
+                .sender
+                .send(Job::Flush(report_sender.clone()))
+                .expect("worker thread alive");
+        }
+        drop(report_sender);
+        let mut result = BatchResult::default();
+        for report in report_receiver {
+            result.matches.extend(report.matches);
+            result.stats.merge(&report.stats);
+        }
+        result.matches.sort_unstable();
+        result
+    }
+
+    /// Sends one packet to its flow's worker without waiting. Pair with
+    /// [`ShardedScanner::flush`] to collect results.
+    pub fn dispatch(&mut self, packet: Packet) {
+        let worker = self.worker_of(packet.flow);
+        self.workers[worker]
+            .sender
+            .send(Job::Packet(packet))
+            .expect("worker thread alive");
+    }
+
+    /// Retires a finished flow, freeing its per-flow stream state (carry
+    /// bytes and buffers) on the owning worker.
+    ///
+    /// Per-flow state otherwise lives for the scanner's lifetime, which is
+    /// unbounded growth under millions of short-lived flows — a long-running
+    /// pipeline must close flows as connections end (on FIN/RST or an idle
+    /// timeout), exactly as a NIDS retires its reassembly state. Closing is
+    /// ordered with respect to packets sent earlier for the same flow;
+    /// packets sent *after* start a fresh stream (offset 0, empty carry).
+    /// Closing an unknown flow is a no-op.
+    pub fn close_flow(&mut self, flow: u64) {
+        let worker = self.worker_of(flow);
+        self.workers[worker]
+            .sender
+            .send(Job::CloseFlow(flow))
+            .expect("worker thread alive");
+    }
+}
+
+impl Drop for ShardedScanner {
+    fn drop(&mut self) {
+        for worker in &mut self.workers {
+            // Dropping the sender ends the worker's receive loop.
+            let (hangup, _) = mpsc::channel();
+            let _ = std::mem::replace(&mut worker.sender, hangup);
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates adjacent flow ids (sequential ids are
+/// common in synthetic batches and would otherwise stripe unevenly).
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn worker_loop(receiver: Receiver<Job>, engine: SharedMatcher, lengths: Arc<[u32]>) {
+    // Per-flow stream state; the engines' thread-cached Scratch is implicit
+    // (find_into uses this worker thread's cached scratch).
+    let mut flows: HashMap<u64, StreamScanner> = HashMap::new();
+    let mut matches: Vec<FlowMatch> = Vec::new();
+    let mut stats = MatcherStats::default();
+    let mut events: Vec<MatchEvent> = Vec::new();
+    while let Ok(job) = receiver.recv() {
+        match job {
+            Job::Packet(packet) => {
+                let scanner = flows.entry(packet.flow).or_insert_with(|| {
+                    StreamScanner::with_lengths(engine.clone(), lengths.clone())
+                });
+                events.clear();
+                scanner.push(&packet.payload, &mut events);
+                stats.bytes_scanned += packet.payload.len() as u64;
+                stats.matches += events.len() as u64;
+                matches.extend(events.drain(..).map(|event| FlowMatch {
+                    flow: packet.flow,
+                    event,
+                }));
+            }
+            Job::CloseFlow(flow) => {
+                flows.remove(&flow);
+            }
+            Job::Flush(report) => {
+                let _ = report.send(WorkerReport {
+                    matches: std::mem::take(&mut matches),
+                    stats: std::mem::take(&mut stats),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::NaiveMatcher;
+
+    fn engine(set: &PatternSet) -> SharedMatcher {
+        Arc::from(NaiveMatcher::new(set))
+    }
+
+    #[test]
+    fn cross_packet_match_within_a_flow() {
+        let set = PatternSet::from_literals(&["needle"]);
+        let mut scanner = ShardedScanner::new(engine(&set), &set, 3);
+        let result = scanner.scan_batch(vec![
+            Packet::new(1, b"xxnee".to_vec()),
+            Packet::new(2, b"dle".to_vec()), // different flow: no match
+            Packet::new(1, b"dleyy".to_vec()),
+        ]);
+        assert_eq!(result.matches.len(), 1);
+        assert_eq!(result.matches[0].flow, 1);
+        assert_eq!(result.matches[0].event.start, 2);
+        assert_eq!(result.stats.bytes_scanned, 13);
+        assert_eq!(result.stats.matches, 1);
+    }
+
+    #[test]
+    fn state_persists_across_batches() {
+        let set = PatternSet::from_literals(&["split"]);
+        let mut scanner = ShardedScanner::new(engine(&set), &set, 2);
+        let first = scanner.scan_batch(vec![Packet::new(5, b"..spl".to_vec())]);
+        assert!(first.matches.is_empty());
+        let second = scanner.scan_batch(vec![Packet::new(5, b"it..".to_vec())]);
+        assert_eq!(second.matches.len(), 1);
+        assert_eq!(second.matches[0].event.start, 2);
+    }
+
+    #[test]
+    fn flow_affinity_is_stable() {
+        let set = PatternSet::from_literals(&["x"]);
+        let scanner = ShardedScanner::new(engine(&set), &set, 4);
+        for flow in 0..100 {
+            assert_eq!(scanner.worker_of(flow), scanner.worker_of(flow));
+        }
+        // The mixer should not send every flow to one worker.
+        let hit: std::collections::HashSet<usize> =
+            (0..100).map(|f| scanner.worker_of(f)).collect();
+        assert!(hit.len() > 1);
+    }
+
+    #[test]
+    fn dispatch_then_flush_equals_scan_batch() {
+        let set = PatternSet::from_literals(&["ab", "b"]);
+        let packets = vec![
+            Packet::new(1, b"zab".to_vec()),
+            Packet::new(2, b"ba".to_vec()),
+        ];
+        let mut a = ShardedScanner::new(engine(&set), &set, 2);
+        let batch = a.scan_batch(packets.clone());
+        let mut b = ShardedScanner::new(engine(&set), &set, 2);
+        for packet in packets {
+            b.dispatch(packet);
+        }
+        let incremental = b.flush();
+        assert_eq!(batch.matches, incremental.matches);
+        assert_eq!(batch.stats.bytes_scanned, incremental.stats.bytes_scanned);
+    }
+
+    #[test]
+    fn close_flow_drops_stream_state() {
+        let set = PatternSet::from_literals(&["split"]);
+        let mut scanner = ShardedScanner::new(engine(&set), &set, 2);
+        assert!(scanner
+            .scan_batch(vec![Packet::new(9, b"..spl".to_vec())])
+            .matches
+            .is_empty());
+        scanner.close_flow(9);
+        // The carried "spl" was retired with the flow: no straddle match,
+        // and the flow restarts at offset 0.
+        let after = scanner.scan_batch(vec![Packet::new(9, b"it.split".to_vec())]);
+        assert_eq!(after.matches.len(), 1);
+        assert_eq!(after.matches[0].event.start, 3);
+        // Closing an unknown flow is a no-op.
+        scanner.close_flow(12345);
+        assert!(scanner.flush().matches.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let set = PatternSet::from_literals(&["x"]);
+        let _ = ShardedScanner::new(engine(&set), &set, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Sharding must not change results: the same packet batch scanned with 1
+//! worker and with N workers yields an identical merged match set and
+//! identical summed (deterministic) statistics, and the merged set equals a
+//! per-flow one-shot scan of the reassembled streams.
+
+use mpm_patterns::naive::naive_find_all;
+use mpm_patterns::PatternSet;
+use mpm_stream::{FlowMatch, Packet, ShardedScanner, SharedMatcher};
+use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+use mpm_vpatch::build_auto;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A deterministic, realistic packet batch: one ISCX-like trace (with
+/// injected rule occurrences) cut into variable-size packets striped over
+/// `flows` flows.
+fn packet_batch(rules: &PatternSet, bytes: usize, flows: u64) -> Vec<Packet> {
+    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, bytes), Some(rules));
+    let mut packets = Vec::new();
+    let mut pos = 0;
+    let mut n = 0u64;
+    // Vary packet sizes so cuts land inside patterns; keep them deterministic.
+    let sizes = [301, 17, 997, 64, 1460, 5, 233];
+    while pos < trace.len() {
+        let take = sizes[(n as usize) % sizes.len()].min(trace.len() - pos);
+        packets.push(Packet::new(n % flows, trace[pos..pos + take].to_vec()));
+        pos += take;
+        n += 1;
+    }
+    packets
+}
+
+/// Reassembles the per-flow streams of a batch (ground truth for the
+/// sharded scan).
+fn reassemble(packets: &[Packet]) -> BTreeMap<u64, Vec<u8>> {
+    let mut flows: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    for packet in packets {
+        flows
+            .entry(packet.flow)
+            .or_default()
+            .extend_from_slice(&packet.payload);
+    }
+    flows
+}
+
+#[test]
+fn one_worker_and_n_workers_agree() {
+    let rules = PatternSet::from_literals(&[
+        "GET /",
+        "passwd",
+        "cmd.exe",
+        "needle",
+        "ab",
+        "User-Agent",
+        "aaaa",
+    ]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    let packets = packet_batch(&rules, 256 * 1024, 13);
+    let total_bytes: u64 = packets.iter().map(|p| p.payload.len() as u64).sum();
+
+    let mut baseline: Option<Vec<FlowMatch>> = None;
+    for workers in [1usize, 2, 4, 7] {
+        let mut scanner = ShardedScanner::new(engine.clone(), &rules, workers);
+        let result = scanner.scan_batch(packets.clone());
+        assert_eq!(
+            result.stats.bytes_scanned, total_bytes,
+            "{workers} workers: every payload byte scanned exactly once"
+        );
+        assert_eq!(
+            result.stats.matches,
+            result.matches.len() as u64,
+            "{workers} workers: stats.matches consistent with the match set"
+        );
+        match &baseline {
+            None => baseline = Some(result.matches),
+            Some(expected) => assert_eq!(
+                &result.matches, expected,
+                "{workers} workers changed the merged match set"
+            ),
+        }
+    }
+
+    // The merged set is also exactly what one-shot per-flow scans report.
+    let expected: Vec<FlowMatch> = reassemble(&packets)
+        .into_iter()
+        .flat_map(|(flow, stream)| {
+            naive_find_all(&rules, &stream)
+                .into_iter()
+                .map(move |event| FlowMatch { flow, event })
+        })
+        .collect();
+    let mut expected = expected;
+    expected.sort_unstable();
+    assert_eq!(baseline.unwrap(), expected);
+}
+
+#[test]
+fn repeated_batches_are_deterministic_and_stateful() {
+    let rules = PatternSet::from_literals(&["splitme", "GET /"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    // Two batches; "splitme" is cut across the batch boundary within flow 3.
+    let first = vec![
+        Packet::new(3, b"...spli".to_vec()),
+        Packet::new(4, b"GET /index".to_vec()),
+    ];
+    let second = vec![Packet::new(3, b"tme...".to_vec())];
+
+    for workers in [1usize, 4] {
+        let mut scanner = ShardedScanner::new(engine.clone(), &rules, workers);
+        let a = scanner.scan_batch(first.clone());
+        assert_eq!(a.matches.len(), 1, "{workers} workers");
+        assert_eq!(a.matches[0].flow, 4);
+        let b = scanner.scan_batch(second.clone());
+        assert_eq!(b.matches.len(), 1, "{workers} workers");
+        assert_eq!(b.matches[0].flow, 3);
+        assert_eq!(b.matches[0].event.start, 3);
+        assert_eq!(engine.max_pattern_len(), 7);
+    }
+}

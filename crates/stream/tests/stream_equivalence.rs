@@ -1,0 +1,164 @@
+//! The streaming invariant, property-tested: for random patterns, random
+//! haystacks and random chunkings — including 1-byte chunks and chunk cuts
+//! inside every pattern — [`StreamScanner`] over the chunks reports a
+//! byte-identical match set to a one-shot scan, for S-PATCH, V-PATCH and
+//! DFC on every available backend.
+
+use mpm_dfc::{Dfc, VectorDfc};
+use mpm_patterns::matcher::normalize_matches;
+use mpm_patterns::naive::naive_find_all;
+use mpm_patterns::{MatchEvent, Pattern, PatternSet};
+use mpm_simd::{Avx2Backend, Avx512Backend, BackendKind, ScalarBackend};
+use mpm_stream::{SharedMatcher, StreamScanner};
+use mpm_vpatch::{SPatch, VPatch};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn bytes_strategy(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    // Small alphabet plus arbitrary bytes: collisions (and therefore real
+    // matches and boundary straddles) happen often.
+    proptest::collection::vec(
+        prop_oneof![
+            Just(b'a'),
+            Just(b'b'),
+            Just(b'c'),
+            Just(b'G'),
+            Just(b'E'),
+            Just(b'T'),
+            any::<u8>()
+        ],
+        1..max_len,
+    )
+}
+
+fn pattern_set_strategy() -> impl Strategy<Value = PatternSet> {
+    proptest::collection::vec(bytes_strategy(10), 1..12)
+        .prop_map(|ps| PatternSet::new(ps.into_iter().map(Pattern::literal).collect()))
+}
+
+/// A chunking plan: chunk sizes are taken from this list round-robin, so a
+/// plan of `[1]` is pure 1-byte streaming and mixed plans cut at arbitrary
+/// offsets (including inside patterns).
+fn chunk_plan_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..24, 1..16)
+}
+
+/// Every engine the issue's invariant covers: S-PATCH, V-PATCH and
+/// (Vector-)DFC, at both scalar widths and on every backend this run can
+/// dispatch to (`MPM_FORCE_BACKEND` narrows the list, pinning the suite).
+fn engines(set: &PatternSet) -> Vec<SharedMatcher> {
+    let mut engines: Vec<SharedMatcher> = vec![
+        Arc::from(SPatch::build(set)),
+        Arc::from(Dfc::build(set)),
+        Arc::from(VPatch::<ScalarBackend, 8>::build(set)),
+        Arc::from(VPatch::<ScalarBackend, 16>::build(set)),
+        Arc::from(VectorDfc::<ScalarBackend, 8>::build(set)),
+    ];
+    for kind in mpm_simd::available_backends() {
+        match kind {
+            BackendKind::Scalar => {}
+            BackendKind::Avx2 => {
+                engines.push(Arc::from(VPatch::<Avx2Backend, 8>::build(set)));
+                engines.push(Arc::from(VectorDfc::<Avx2Backend, 8>::build(set)));
+            }
+            BackendKind::Avx512 => {
+                engines.push(Arc::from(VPatch::<Avx512Backend, 16>::build(set)));
+                engines.push(Arc::from(VectorDfc::<Avx512Backend, 16>::build(set)));
+            }
+        }
+    }
+    engines
+}
+
+/// Streams `hay` through `scanner` following the chunking plan and returns
+/// the normalized match set.
+fn streamed_matches(
+    engine: SharedMatcher,
+    set: &PatternSet,
+    hay: &[u8],
+    plan: &[usize],
+) -> Vec<MatchEvent> {
+    let mut scanner = StreamScanner::new(engine, set);
+    let mut got = Vec::new();
+    let mut pos = 0;
+    let mut step = 0;
+    while pos < hay.len() {
+        let take = plan[step % plan.len()].min(hay.len() - pos);
+        scanner.push(&hay[pos..pos + take], &mut got);
+        pos += take;
+        step += 1;
+    }
+    assert_eq!(scanner.position(), hay.len());
+    normalize_matches(&mut got);
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn streamed_equals_one_shot_for_random_chunkings(
+        set in pattern_set_strategy(),
+        hay in bytes_strategy(400),
+        plan in chunk_plan_strategy(),
+    ) {
+        let expected = naive_find_all(&set, &hay);
+        for engine in engines(&set) {
+            let name = engine.name();
+            let got = streamed_matches(engine, &set, &hay, &plan);
+            prop_assert_eq!(
+                &got, &expected,
+                "{} diverged from one-shot scan under plan {:?}",
+                name, &plan
+            );
+        }
+    }
+
+    #[test]
+    fn one_byte_chunks_equal_one_shot(
+        set in pattern_set_strategy(),
+        hay in bytes_strategy(200),
+    ) {
+        let expected = naive_find_all(&set, &hay);
+        for engine in engines(&set) {
+            let name = engine.name();
+            let got = streamed_matches(engine, &set, &hay, &[1]);
+            prop_assert_eq!(
+                &got, &expected,
+                "{} diverged from one-shot scan on 1-byte chunks",
+                name
+            );
+        }
+    }
+}
+
+/// Exhaustive boundary cuts: for every pattern and every cut position inside
+/// it, split the stream exactly there and require the match to be found —
+/// the deterministic core of the carry-over invariant.
+#[test]
+fn every_cut_inside_every_pattern_is_found() {
+    let set = PatternSet::from_literals(&["GET /", "passwd", "ab", "aaaa", "x"]);
+    for (id, pattern) in set.iter() {
+        let needle = pattern.bytes();
+        let mut hay = Vec::new();
+        hay.extend_from_slice(b"..");
+        hay.extend_from_slice(needle);
+        hay.extend_from_slice(b"..");
+        let expected = naive_find_all(&set, &hay);
+        for cut in 1..needle.len() {
+            let boundary = 2 + cut; // stream offset of the cut
+            for engine in engines(&set) {
+                let name = engine.name();
+                let mut scanner = StreamScanner::new(engine, &set);
+                let mut got = Vec::new();
+                scanner.push(&hay[..boundary], &mut got);
+                scanner.push(&hay[boundary..], &mut got);
+                normalize_matches(&mut got);
+                assert_eq!(
+                    got, expected,
+                    "{name}: pattern {id} cut at {cut} lost a match"
+                );
+            }
+        }
+    }
+}

@@ -121,8 +121,9 @@ mod tests {
         let stream = ChunkedStream::new(data.clone(), 16, 4);
         let mut covered = vec![0u32; data.len()];
         for chunk in stream.iter() {
-            for i in chunk.fresh_start()..chunk.offset + chunk.bytes.len() {
-                covered[i] += 1;
+            let end = chunk.offset + chunk.bytes.len();
+            for slot in &mut covered[chunk.fresh_start()..end] {
+                *slot += 1;
             }
         }
         assert!(covered.iter().all(|&c| c == 1), "{covered:?}");

@@ -135,6 +135,15 @@ impl Matcher for WuManber {
         "Wu-Manber"
     }
 
+    fn max_pattern_len(&self) -> usize {
+        self.set
+            .patterns()
+            .iter()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0)
+    }
+
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         if self.has_one_byte {
             self.scan_one_byte(haystack, out);

@@ -233,14 +233,11 @@ fn parse_fieldless_variants(name: &str, body: TokenStream) -> Result<Vec<String>
             }
         }
         // Reject data-carrying variants, skip discriminants, consume the comma.
-        match tokens.peek() {
-            Some(TokenTree::Group(_)) => {
-                return Err(format!(
-                    "serde_derive shim: enum `{name}` has data-carrying variants, \
-                     which this shim does not support"
-                ))
-            }
-            _ => {}
+        if let Some(TokenTree::Group(_)) = tokens.peek() {
+            return Err(format!(
+                "serde_derive shim: enum `{name}` has data-carrying variants, \
+                 which this shim does not support"
+            ));
         }
         for token in tokens.by_ref() {
             if let TokenTree::Punct(p) = &token {

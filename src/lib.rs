@@ -15,8 +15,9 @@
 //! See the individual crates for the full documentation:
 //! [`mpm_vpatch`] (the paper's S-PATCH / V-PATCH engines), [`mpm_dfc`] and
 //! [`mpm_aho_corasick`] (baselines), [`mpm_patterns`] / [`mpm_traffic`]
-//! (workload substrates), [`mpm_simd`] (vector backends), [`mpm_verify`]
-//! (filters + compact hash tables) and [`mpm_cachesim`] (locality analysis).
+//! (workload substrates), [`mpm_simd`] (vector backends), [`mpm_stream`]
+//! (streaming + sharded multi-core scanning), [`mpm_verify`] (filters +
+//! compact hash tables) and [`mpm_cachesim`] (locality analysis).
 
 #![warn(missing_docs)]
 
@@ -25,6 +26,7 @@ pub use mpm_cachesim as cachesim;
 pub use mpm_dfc as dfc;
 pub use mpm_patterns as patterns;
 pub use mpm_simd as simd;
+pub use mpm_stream as stream;
 pub use mpm_traffic as traffic;
 pub use mpm_verify as verify;
 pub use mpm_vpatch as vpatch;
@@ -39,11 +41,14 @@ pub mod prelude {
         MatchEvent, Matcher, MatcherStats, NaiveMatcher, Pattern, PatternId, PatternSet,
         ProtocolGroup, SyntheticRuleset,
     };
-    pub use mpm_simd::{available_backends, detect_best, BackendKind, VectorBackend};
+    pub use mpm_simd::{
+        available_backends, detect_best, forced_backend, BackendKind, VectorBackend,
+    };
+    pub use mpm_stream::{Packet, ShardedScanner, SharedMatcher, StreamScanner};
     pub use mpm_traffic::{
         ChunkedStream, MatchDensityGenerator, TraceGenerator, TraceKind, TraceSpec,
     };
-    pub use mpm_vpatch::{build_auto, FilterOnlyMode, SPatch, Scratch, VPatch};
+    pub use mpm_vpatch::{build_auto, build_for, FilterOnlyMode, SPatch, Scratch, VPatch};
     pub use mpm_wu_manber::WuManber;
 }
 
