@@ -23,6 +23,15 @@ pub struct DfaMatcher {
     /// Pattern lengths (indexed by pattern id) so match starts can be
     /// computed without touching the pattern set.
     pattern_lens: Vec<u32>,
+    /// Per-pattern `nocase` flags (indexed by pattern id), consulted on the
+    /// cold emit path when the table is folded.
+    pattern_nocase: Vec<bool>,
+    /// True if the dense table was converted from a folded automaton: the
+    /// table itself absorbs the input case-fold (its rows were filled
+    /// through `AcAutomaton::next_state`, which folds), so the per-byte scan
+    /// loop is unchanged and only the emit path verifies case-sensitive
+    /// patterns byte-exactly.
+    folded: bool,
     set: PatternSet,
 }
 
@@ -46,12 +55,21 @@ impl DfaMatcher {
         }
         let set = automaton.pattern_set().clone();
         let pattern_lens = set.patterns().iter().map(|p| p.len() as u32).collect();
+        let pattern_nocase = set.patterns().iter().map(|p| p.is_nocase()).collect();
         DfaMatcher {
             table,
             outputs,
             pattern_lens,
+            pattern_nocase,
+            folded: automaton.is_folded(),
             set,
         }
+    }
+
+    /// True if the dense table absorbs an ASCII case-fold (built from a
+    /// folded automaton because the set contains a `nocase` pattern).
+    pub fn is_folded(&self) -> bool {
+        self.folded
     }
 
     /// Number of rows (states) in the dense table.
@@ -103,7 +121,17 @@ impl Matcher for DfaMatcher {
             if !outs.is_empty() {
                 for &id in outs {
                     let len = self.pattern_lens[id.index()] as usize;
-                    out.push(MatchEvent::new(i + 1 - len, id));
+                    let start = i + 1 - len;
+                    // Folded table = case-insensitive acceptance: confirm
+                    // case-sensitive patterns through the shared per-pattern
+                    // verification rule before reporting.
+                    if self.folded
+                        && !self.pattern_nocase[id.index()]
+                        && !self.set.get(id).matches_at(haystack, start)
+                    {
+                        continue;
+                    }
+                    out.push(MatchEvent::new(start, id));
                 }
             }
         }
@@ -112,9 +140,25 @@ impl Matcher for DfaMatcher {
     fn count(&self, haystack: &[u8]) -> u64 {
         let mut state = 0u32;
         let mut count = 0u64;
-        for &byte in haystack {
+        for (i, &byte) in haystack.iter().enumerate() {
             state = self.table[state as usize * 256 + byte as usize];
-            count += self.outputs[state as usize].len() as u64;
+            let outs = &self.outputs[state as usize];
+            if outs.is_empty() {
+                continue;
+            }
+            if self.folded {
+                for &id in outs {
+                    let len = self.pattern_lens[id.index()] as usize;
+                    let start = i + 1 - len;
+                    if self.pattern_nocase[id.index()]
+                        || self.set.get(id).matches_at(haystack, start)
+                    {
+                        count += 1;
+                    }
+                }
+            } else {
+                count += outs.len() as u64;
+            }
         }
         count
     }
@@ -130,6 +174,7 @@ impl Matcher for DfaMatcher {
                 })
                 .sum::<usize>()
             + self.pattern_lens.len() * 4
+            + self.pattern_nocase.len()
     }
 }
 
@@ -171,6 +216,52 @@ mod tests {
             "2k patterns should already exceed typical L2 (got {} bytes)",
             dfa.heap_bytes()
         );
+    }
+
+    #[test]
+    fn folded_dfa_matches_nocase_semantics_exactly() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"ShE"),
+            Pattern::literal(*b"he"),
+            Pattern::literal_nocase(*b"HERS"),
+            Pattern::literal(*b"His"),
+        ]);
+        let dfa = DfaMatcher::build(&set);
+        let nfa = NfaMatcher::build(&set);
+        assert!(dfa.is_folded());
+        let hay = b"uSHErs ushers His HIS hE he sHe HeRs";
+        let expected = naive_find_all(&set, hay);
+        assert_eq!(dfa.find_all(hay), expected);
+        assert_eq!(nfa.find_all(hay), expected);
+        assert_eq!(dfa.count(hay), expected.len() as u64);
+        assert_eq!(nfa.count(hay), expected.len() as u64);
+    }
+
+    #[test]
+    fn case_variant_duplicates_are_distinguished_by_verification() {
+        use mpm_patterns::Pattern;
+        // "AB" exact and "ab" nocase share one folded trie path; only the
+        // per-pattern check separates them.
+        let set = PatternSet::new(vec![
+            Pattern::literal(*b"AB"),
+            Pattern::literal_nocase(*b"ab"),
+        ]);
+        let dfa = DfaMatcher::build(&set);
+        let hay = b"AB ab Ab";
+        let expected = naive_find_all(&set, hay);
+        assert_eq!(dfa.find_all(hay), expected);
+        // nocase hits all three, exact only the first.
+        assert_eq!(expected.len(), 4);
+    }
+
+    #[test]
+    fn case_sensitive_only_sets_build_unfolded_dfa() {
+        let set = PatternSet::from_literals(&["He", "SHE"]);
+        let dfa = DfaMatcher::build(&set);
+        assert!(!dfa.is_folded());
+        let hay = b"He he SHE she";
+        assert_eq!(dfa.find_all(hay), naive_find_all(&set, hay));
     }
 
     #[test]

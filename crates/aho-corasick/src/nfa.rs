@@ -33,21 +33,36 @@ impl State {
 /// The constructed Aho-Corasick automaton (trie + failure links + merged
 /// output sets). This is the shared artefact both execution engines
 /// ([`NfaMatcher`], [`crate::DfaMatcher`]) are built from.
+///
+/// When the pattern set contains a `nocase` pattern the automaton is built
+/// in **folded** mode: every trie transition byte is ASCII-case-folded at
+/// construction and [`AcAutomaton::next_state`] folds the input byte to
+/// match, so the automaton accepts every case variant of every pattern. The
+/// execution engines then apply the verify-exact half of the contract: a
+/// case-sensitive pattern's occurrence is confirmed byte-exactly against the
+/// input before being reported (the automaton is a perfect filter for those
+/// patterns — folding only ever adds acceptances), while `nocase` patterns
+/// need no check because folded acceptance *is* their match rule.
+/// Case-sensitive-only sets build the exact automaton they always had.
 #[derive(Clone, Debug)]
 pub struct AcAutomaton {
     states: Vec<State>,
     set: PatternSet,
+    folded: bool,
 }
 
 impl AcAutomaton {
     /// Builds the automaton for `set`.
     pub fn build(set: &PatternSet) -> Self {
+        let folded = set.has_nocase();
+        let fold = |b: u8| if folded { b.to_ascii_lowercase() } else { b };
         let mut states = vec![State::default()]; // root = 0
 
-        // Phase 1: trie (goto function).
+        // Phase 1: trie (goto function), over folded bytes when folded.
         for (id, pattern) in set.iter() {
             let mut current = 0u32;
-            for (i, &byte) in pattern.bytes().iter().enumerate() {
+            for (i, &raw) in pattern.bytes().iter().enumerate() {
+                let byte = fold(raw);
                 current = match states[current as usize].transition(byte) {
                     Some(next) => next,
                     None => {
@@ -105,7 +120,14 @@ impl AcAutomaton {
         AcAutomaton {
             states,
             set: set.clone(),
+            folded,
         }
+    }
+
+    /// True if the automaton was built over ASCII-case-folded transition
+    /// bytes (the set contains a `nocase` pattern).
+    pub fn is_folded(&self) -> bool {
+        self.folded
     }
 
     /// Number of states, including the root.
@@ -119,9 +141,17 @@ impl AcAutomaton {
     }
 
     /// Follows goto/fail transitions from `state` on `byte` and returns the
-    /// next state (the deterministic delta function).
+    /// next state (the deterministic delta function). `byte` is a raw input
+    /// byte: in folded mode it is case-folded here, so callers — including
+    /// the dense-table construction in [`crate::DfaMatcher`], whose table
+    /// thereby absorbs the fold — never fold themselves.
     #[inline]
     pub fn next_state(&self, mut state: u32, byte: u8) -> u32 {
+        let byte = if self.folded {
+            byte.to_ascii_lowercase()
+        } else {
+            byte
+        };
         loop {
             if let Some(next) = self.states[state as usize].transition(byte) {
                 return next;
@@ -190,22 +220,43 @@ impl Matcher for NfaMatcher {
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         let set = &self.automaton.set;
+        let folded = self.automaton.folded;
         let mut state = 0u32;
         for (i, &byte) in haystack.iter().enumerate() {
             state = self.automaton.next_state(state, byte);
             for &id in self.automaton.outputs(state) {
-                let len = set.get(id).len();
-                out.push(MatchEvent::new(i + 1 - len, id));
+                let pattern = set.get(id);
+                let start = i + 1 - pattern.len();
+                // Folded automaton = case-insensitive acceptance: confirm
+                // case-sensitive patterns through the shared per-pattern
+                // verification rule before reporting (`nocase` patterns need
+                // no check — folded acceptance *is* their match rule).
+                if folded && !pattern.is_nocase() && !pattern.matches_at(haystack, start) {
+                    continue;
+                }
+                out.push(MatchEvent::new(start, id));
             }
         }
     }
 
     fn count(&self, haystack: &[u8]) -> u64 {
+        let set = &self.automaton.set;
+        let folded = self.automaton.folded;
         let mut state = 0u32;
         let mut count = 0u64;
-        for &byte in haystack {
+        for (i, &byte) in haystack.iter().enumerate() {
             state = self.automaton.next_state(state, byte);
-            count += self.automaton.outputs(state).len() as u64;
+            if folded {
+                for &id in self.automaton.outputs(state) {
+                    let pattern = set.get(id);
+                    let start = i + 1 - pattern.len();
+                    if pattern.is_nocase() || pattern.matches_at(haystack, start) {
+                        count += 1;
+                    }
+                }
+            } else {
+                count += self.automaton.outputs(state).len() as u64;
+            }
         }
         count
     }
@@ -240,6 +291,22 @@ mod tests {
         let a = AcAutomaton::build(&set);
         // Prefixes: h, he, her, hers, hi, his, s, sh, she + root = 10.
         assert_eq!(a.state_count(), 10);
+    }
+
+    #[test]
+    fn folded_nfa_matches_nocase_semantics() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"He"),
+            Pattern::literal(*b"she"),
+            Pattern::literal_nocase(*b"HERS"),
+        ]);
+        let m = NfaMatcher::build(&set);
+        assert!(m.automaton().is_folded());
+        let hay = b"uSHERS ushers SHE she HE he";
+        let expected = naive_find_all(&set, hay);
+        assert_eq!(m.find_all(hay), expected);
+        assert_eq!(m.count(hay), expected.len() as u64);
     }
 
     #[test]

@@ -72,6 +72,7 @@ fn measure_backend<B: VectorBackend<W>, const W: usize>(
     workload: &Workload,
     trace: &[u8],
     runs: usize,
+    config_suffix: &str,
     rows: &mut Vec<BaselineRow>,
 ) {
     if !B::is_available() {
@@ -89,11 +90,24 @@ fn measure_backend<B: VectorBackend<W>, const W: usize>(
         rows.push(BaselineRow {
             backend: B::name().to_string(),
             lanes: W,
-            config: config.to_string(),
+            config: format!("{config}{config_suffix}"),
             gbps: measurement.gbps_mean,
             gbps_std: measurement.gbps_std,
         });
     }
+}
+
+fn measure_all_backends(
+    workload: &Workload,
+    runs: usize,
+    suffix: &str,
+    rows: &mut Vec<BaselineRow>,
+) {
+    let trace = &workload.traces[0].1;
+    measure_backend::<ScalarBackend, 8>(workload, trace, runs, suffix, rows);
+    measure_backend::<ScalarBackend, 16>(workload, trace, runs, suffix, rows);
+    measure_backend::<Avx2Backend, 8>(workload, trace, runs, suffix, rows);
+    measure_backend::<Avx512Backend, 16>(workload, trace, runs, suffix, rows);
 }
 
 fn main() {
@@ -103,10 +117,13 @@ fn main() {
     let trace = &workload.traces[0].1;
 
     let mut rows = Vec::new();
-    measure_backend::<ScalarBackend, 8>(&workload, trace, options.runs, &mut rows);
-    measure_backend::<ScalarBackend, 16>(&workload, trace, options.runs, &mut rows);
-    measure_backend::<Avx2Backend, 8>(&workload, trace, options.runs, &mut rows);
-    measure_backend::<Avx512Backend, 16>(&workload, trace, options.runs, &mut rows);
+    // Case-sensitive-only rows: the historical byte-exact fast path — these
+    // are the rows the zero-regression claim compares across snapshots.
+    measure_all_backends(&workload, options.runs, "", &mut rows);
+    // Mixed-case rows: ~1/3 of the patterns nocase (folded filters +
+    // to_ascii_lower on the window registers) over case-mutated traffic.
+    let mixed = workload.mixed_case_variant(0x5eed);
+    measure_all_backends(&mixed, options.runs, " (mixed-case)", &mut rows);
 
     let multicore =
         multicore::run_scaling_auto(&workload.patterns, trace, &[1, 2, 4, 8], options.runs);

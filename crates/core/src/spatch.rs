@@ -3,7 +3,7 @@
 
 use crate::scratch::{self, Scratch};
 use crate::tables::SPatchTables;
-use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
+use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
 use std::time::Instant;
 
 /// Scalar S-PATCH engine.
@@ -34,7 +34,20 @@ impl SPatch {
     /// **Filtering round** (lines 3–14 of Algorithm 1): sweeps the input
     /// through filters 1–3 and records candidate positions in
     /// `scratch.a_short` / `scratch.a_long`.
+    ///
+    /// When the tables are folded (the set contains a `nocase` pattern) the
+    /// window bytes are ASCII-case-folded before every lookup; the two
+    /// variants are monomorphized separately so a case-sensitive-only set
+    /// runs exactly the historical byte-exact loop.
     pub fn filter_round(&self, haystack: &[u8], scratch: &mut Scratch) {
+        if self.tables.folded {
+            self.filter_round_impl::<true>(haystack, scratch);
+        } else {
+            self.filter_round_impl::<false>(haystack, scratch);
+        }
+    }
+
+    fn filter_round_impl<const FOLD: bool>(&self, haystack: &[u8], scratch: &mut Scratch) {
         let t = &self.tables;
         let n = haystack.len();
         if n == 0 {
@@ -45,16 +58,18 @@ impl SPatch {
             "scan chunks must be smaller than 4 GiB"
         );
         for i in 0..n - 1 {
-            let window = u16::from_le_bytes([haystack[i], haystack[i + 1]]);
+            let b0 = fold_byte(haystack[i], FOLD);
+            let b1 = fold_byte(haystack[i + 1], FOLD);
+            let window = u16::from_le_bytes([b0, b1]);
             if t.has_short && t.filter1.contains(window) {
                 scratch.a_short.push(i as u32);
             }
             if t.has_long && t.filter2.contains(window) && i + 4 <= n {
                 let window4 = u32::from_le_bytes([
-                    haystack[i],
-                    haystack[i + 1],
-                    haystack[i + 2],
-                    haystack[i + 3],
+                    b0,
+                    b1,
+                    fold_byte(haystack[i + 2], FOLD),
+                    fold_byte(haystack[i + 3], FOLD),
                 ]);
                 if t.filter3.contains(window4) {
                     scratch.a_long.push(i as u32);
@@ -246,6 +261,40 @@ mod tests {
         engine.filter_round(b"xxabcdefxx", &mut scratch);
         assert!(scratch.a_short.is_empty());
         assert!(!scratch.a_long.is_empty());
+    }
+
+    #[test]
+    fn nocase_patterns_match_every_case_variant() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"/Etc/Passwd"),
+            Pattern::literal(*b"GET"),
+            Pattern::literal_nocase(*b"aTk"),
+            Pattern::literal_nocase(*b"q"),
+        ]);
+        let engine = SPatch::build(&set);
+        assert!(engine.tables().is_folded());
+        let hay = b"get /ETC/PASSWD GET /etc/passwd ATK atk Q q";
+        assert_eq!(engine.find_all(hay), naive_find_all(&set, hay));
+        // The case-sensitive pattern must not have been folded into matching:
+        // "get" occurs but only "GET" may be reported for it.
+        let get_hits: Vec<_> = engine
+            .find_all(hay)
+            .into_iter()
+            .filter(|m| m.pattern == mpm_patterns::PatternId(1))
+            .collect();
+        assert_eq!(get_hits.len(), 1);
+        assert_eq!(get_hits[0].start, 16);
+    }
+
+    #[test]
+    fn case_sensitive_only_sets_stay_unfolded_and_exact() {
+        let set = mixed_set();
+        let engine = SPatch::build(&set);
+        assert!(!engine.tables().is_folded());
+        // Upper-cased traffic must NOT match the case-sensitive rules.
+        let hay = b"ATTACK ATTRIBUTE /ETC/PASSWD ABCD";
+        assert_eq!(engine.find_all(hay), naive_find_all(&set, hay));
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct SPatchTables {
     pub(crate) has_short: bool,
     /// True if the set contains any long pattern.
     pub(crate) has_long: bool,
+    /// True if the set contains any `nocase` pattern: the filters and
+    /// verification tables were built over ASCII-case-folded bytes and the
+    /// engines must fold every input window before the filter lookups
+    /// (filter-folded / verify-exact). False keeps the byte-exact fast path.
+    pub(crate) folded: bool,
     pattern_count: usize,
     /// Length of the longest pattern (streaming callers overlap chunks by
     /// `max_pattern_len - 1`; see `mpm-stream`).
@@ -45,9 +50,14 @@ impl SPatchTables {
     pub fn build_with_filter3_bits(set: &PatternSet, filter3_bits: u32) -> Self {
         let is_short = |p: &mpm_patterns::Pattern| p.len() < 4;
         let is_long = |p: &mpm_patterns::Pattern| p.len() >= 4;
-        let filter1 = DirectFilter::build(set, is_short);
-        let filter2 = DirectFilter::build(set, is_long);
-        let filter3 = HashedFilter::build(set, filter3_bits, is_long);
+        // Case-folded tables if (and only if) the set contains a `nocase`
+        // pattern: folding the filters over every pattern lets one filter
+        // pass serve mixed sets, while a case-sensitive-only set compiles to
+        // exactly the byte-exact structures it always had.
+        let folded = set.has_nocase();
+        let filter1 = DirectFilter::build_with_fold(set, folded, is_short);
+        let filter2 = DirectFilter::build_with_fold(set, folded, is_long);
+        let filter3 = HashedFilter::build_with_fold(set, filter3_bits, folded, is_long);
         let merged = MergedDirectFilters::merge(&filter1, &filter2);
         let verifier = Verifier::build(set);
         let has_short = set.patterns().iter().any(is_short);
@@ -61,9 +71,16 @@ impl SPatchTables {
             verifier,
             has_short,
             has_long,
+            folded,
             pattern_count: set.len(),
             max_pattern_len,
         }
+    }
+
+    /// True if the tables were built over ASCII-case-folded bytes (the set
+    /// contains a `nocase` pattern); the engines fold input windows to match.
+    pub fn is_folded(&self) -> bool {
+        self.folded
     }
 
     /// Number of patterns the tables were built from.
@@ -152,6 +169,27 @@ mod tests {
         assert!(short_only.has_short && !short_only.has_long);
         let long_only = SPatchTables::build(&PatternSet::from_literals(&["abcd", "efghij"]));
         assert!(!long_only.has_short && long_only.has_long);
+    }
+
+    #[test]
+    fn nocase_sets_build_folded_tables_and_exact_sets_do_not() {
+        use mpm_patterns::Pattern;
+        let exact = SPatchTables::build(&PatternSet::from_literals(&["GeT", "AbCd"]));
+        assert!(!exact.is_folded());
+        // Exact tables index on the original bytes.
+        assert!(exact.filter1.contains(u16::from_le_bytes([b'G', b'e'])));
+        assert!(!exact.filter1.contains(u16::from_le_bytes([b'g', b'e'])));
+
+        let mixed = SPatchTables::build(&PatternSet::new(vec![
+            Pattern::literal_nocase(*b"GeT"),
+            Pattern::literal(*b"AbCd"),
+        ]));
+        assert!(mixed.is_folded());
+        // Folded tables index every pattern — nocase or not — on the folded
+        // bytes; the engines fold the input windows to match.
+        assert!(mixed.filter1.contains(u16::from_le_bytes([b'g', b'e'])));
+        assert!(mixed.filter2.contains(u16::from_le_bytes([b'a', b'b'])));
+        assert!(mixed.filter3.contains(u32::from_le_bytes(*b"abcd")));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::scratch::{self, Scratch};
 use crate::tables::SPatchTables;
-use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
+use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
 use mpm_simd::VectorBackend;
 use mpm_verify::HASH_MULTIPLIER;
 use std::marker::PhantomData;
@@ -88,13 +88,17 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     /// Returns `(mask_short, mask_long)`: the lane masks that passed
     /// filter 1 and filters 2+3 respectively. When `STORE` is true the
     /// corresponding positions are appended to the scratch arrays through
-    /// the backend's `compress_store`.
+    /// the backend's `compress_store`. When `FOLD` is true (folded tables:
+    /// the set contains a `nocase` pattern) the window registers are
+    /// ASCII-case-folded with [`VectorBackend::to_ascii_lower`] before the
+    /// gathers and hashes, matching the folded bytes the tables were built
+    /// over; `FOLD = false` compiles to the historical byte-exact kernel.
     ///
     /// Always inlined into the dispatch-wrapped loops so the backend's
     /// intrinsics fuse into one straight-line kernel and every intermediate
     /// `B::Vec` stays in a vector register.
     #[inline(always)]
-    fn process_block<const STORE: bool>(
+    fn process_block<const STORE: bool, const FOLD: bool>(
         &self,
         haystack: &[u8],
         base: usize,
@@ -103,6 +107,11 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         let t = &self.tables;
         // Input transformation (Figure 2): W overlapping 2-byte windows.
         let windows = B::windows2(haystack, base);
+        let windows = if FOLD {
+            B::to_ascii_lower(windows)
+        } else {
+            windows
+        };
         // Filter merging (Figure 3): one gather serves both filters. The
         // merged layout stores filter-1/filter-2 bytes at 2*(window >> 3),
         // computed branch-free as (window >> 2) & !1.
@@ -128,6 +137,11 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
             // compacting the register).
             if mask2 != 0 {
                 let windows4 = B::windows4(haystack, base);
+                let windows4 = if FOLD {
+                    B::to_ascii_lower(windows4)
+                } else {
+                    windows4
+                };
                 let f3_bits = t.filter3.bits_log2();
                 let hashes = B::hash_mul_shift(windows4, HASH_MULTIPLIER, 32 - f3_bits, u32::MAX);
                 let f3_idx = B::shr_const(hashes, 3);
@@ -145,23 +159,25 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
 
     /// Scalar continuation of the filtering round for the final positions
     /// that do not fill a whole vector block.
-    fn filter_tail(&self, haystack: &[u8], start: usize, scratch: &mut Scratch) {
+    fn filter_tail<const FOLD: bool>(&self, haystack: &[u8], start: usize, scratch: &mut Scratch) {
         let t = &self.tables;
         let n = haystack.len();
         if n == 0 {
             return;
         }
         for i in start..n - 1 {
-            let window = u16::from_le_bytes([haystack[i], haystack[i + 1]]);
+            let b0 = fold_byte(haystack[i], FOLD);
+            let b1 = fold_byte(haystack[i + 1], FOLD);
+            let window = u16::from_le_bytes([b0, b1]);
             if t.has_short && t.filter1.contains(window) {
                 scratch.a_short.push(i as u32);
             }
             if t.has_long && t.filter2.contains(window) && i + 4 <= n {
                 let window4 = u32::from_le_bytes([
-                    haystack[i],
-                    haystack[i + 1],
-                    haystack[i + 2],
-                    haystack[i + 3],
+                    b0,
+                    b1,
+                    fold_byte(haystack[i + 2], FOLD),
+                    fold_byte(haystack[i + 3], FOLD),
                 ]);
                 if t.filter3.contains(window4) {
                     scratch.a_long.push(i as u32);
@@ -174,8 +190,18 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     }
 
     /// **Vectorized filtering round** (Algorithm 2): fills the candidate
-    /// arrays in `scratch`.
+    /// arrays in `scratch`. Dispatches to the folded (`nocase`-capable) or
+    /// byte-exact kernel depending on how the tables were built, so
+    /// case-sensitive-only sets keep the historical code path.
     pub fn filter_round(&self, haystack: &[u8], scratch: &mut Scratch) {
+        if self.tables.folded {
+            self.filter_round_impl::<true>(haystack, scratch);
+        } else {
+            self.filter_round_impl::<false>(haystack, scratch);
+        }
+    }
+
+    fn filter_round_impl<const FOLD: bool>(&self, haystack: &[u8], scratch: &mut Scratch) {
         let n = haystack.len();
         if n == 0 {
             return;
@@ -193,16 +219,16 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
             // iteration, as the paper does to exploit instruction-level
             // parallelism.
             while i + 2 * W + 3 <= n {
-                self.process_block::<true>(haystack, i, scratch);
-                self.process_block::<true>(haystack, i + W, scratch);
+                self.process_block::<true, FOLD>(haystack, i, scratch);
+                self.process_block::<true, FOLD>(haystack, i + W, scratch);
                 i += 2 * W;
             }
             while i + W + 3 <= n {
-                self.process_block::<true>(haystack, i, scratch);
+                self.process_block::<true, FOLD>(haystack, i, scratch);
                 i += W;
             }
         });
-        self.filter_tail(haystack, i, scratch);
+        self.filter_tail::<FOLD>(haystack, i, scratch);
     }
 
     /// Filtering-only entry point for the Figure 6 experiments. Returns a
@@ -212,6 +238,19 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     /// Both modes run entirely in the caller's `scratch` (which is cleared on
     /// entry); `NoStores` leaves no candidate positions behind.
     pub fn filter_only(&self, haystack: &[u8], mode: FilterOnlyMode, scratch: &mut Scratch) -> u64 {
+        if self.tables.folded {
+            self.filter_only_impl::<true>(haystack, mode, scratch)
+        } else {
+            self.filter_only_impl::<false>(haystack, mode, scratch)
+        }
+    }
+
+    fn filter_only_impl<const FOLD: bool>(
+        &self,
+        haystack: &[u8],
+        mode: FilterOnlyMode,
+        scratch: &mut Scratch,
+    ) -> u64 {
         scratch.clear();
         let n = haystack.len();
         if n == 0 {
@@ -221,7 +260,7 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         let mut i = 0usize;
         match mode {
             FilterOnlyMode::WithStores => {
-                self.filter_round(haystack, scratch);
+                self.filter_round_impl::<FOLD>(haystack, scratch);
                 checksum = scratch.candidates();
             }
             FilterOnlyMode::NoStores => {
@@ -229,15 +268,15 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
                     // Same 2× unroll as the storing round so the two Figure 6
                     // configurations differ only in the stores.
                     while i + 2 * W + 3 <= n {
-                        let (a1, a2) = self.process_block::<false>(haystack, i, scratch);
-                        let (b1, b2) = self.process_block::<false>(haystack, i + W, scratch);
+                        let (a1, a2) = self.process_block::<false, FOLD>(haystack, i, scratch);
+                        let (b1, b2) = self.process_block::<false, FOLD>(haystack, i + W, scratch);
                         checksum +=
                             (a1.count_ones() + a2.count_ones() + b1.count_ones() + b2.count_ones())
                                 as u64;
                         i += 2 * W;
                     }
                     while i + W + 3 <= n {
-                        let (m1, m2) = self.process_block::<false>(haystack, i, scratch);
+                        let (m1, m2) = self.process_block::<false, FOLD>(haystack, i, scratch);
                         checksum += (m1.count_ones() + m2.count_ones()) as u64;
                         i += W;
                     }
@@ -245,7 +284,7 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
                 // The scalar tail runs through the caller's scratch (no
                 // transient allocation); its candidates join the checksum and
                 // the arrays are reset so no stores are observable.
-                self.filter_tail(haystack, i, scratch);
+                self.filter_tail::<FOLD>(haystack, i, scratch);
                 checksum += scratch.candidates();
                 scratch.begin_chunk();
             }
@@ -517,6 +556,75 @@ mod tests {
         let hay = sample_input();
         let vp = VPatch::<ScalarBackend, 16>::build(&set);
         assert_eq!(vp.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    fn nocase_set() -> PatternSet {
+        use mpm_patterns::Pattern;
+        PatternSet::new(vec![
+            Pattern::literal_nocase(*b"/Etc/Passwd"),
+            Pattern::literal(*b"attribute"),
+            Pattern::literal_nocase(*b"AtK"),
+            Pattern::literal(*b"GET"),
+            Pattern::literal_nocase(*b"z"),
+        ])
+    }
+
+    fn nocase_input() -> Vec<u8> {
+        let mut hay = Vec::new();
+        for i in 0..120 {
+            hay.extend_from_slice(b"get /ETC/passwd ATTRIBUTE attribute atk ATK Z ");
+            if i % 4 == 0 {
+                hay.extend_from_slice(b"GET /etc/PASSWD ");
+            }
+            hay.push(b'A' + (i % 26) as u8);
+        }
+        hay
+    }
+
+    #[test]
+    fn nocase_matches_naive_on_scalar_backend() {
+        let set = nocase_set();
+        let hay = nocase_input();
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        assert!(vp.tables().is_folded());
+        assert_eq!(vp.find_all(&hay), naive_find_all(&set, &hay));
+        let vp16 = VPatch::<ScalarBackend, 16>::build(&set);
+        assert_eq!(vp16.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn nocase_matches_naive_on_avx2_when_available() {
+        if !<Avx2Backend as VectorBackend<8>>::is_available() {
+            return;
+        }
+        let set = nocase_set();
+        let hay = nocase_input();
+        let vp = VPatch::<Avx2Backend, 8>::build(&set);
+        assert_eq!(vp.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn nocase_matches_naive_on_avx512_when_available() {
+        if !<Avx512Backend as VectorBackend<16>>::is_available() {
+            return;
+        }
+        let set = nocase_set();
+        let hay = nocase_input();
+        let vp = VPatch::<Avx512Backend, 16>::build(&set);
+        assert_eq!(vp.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn filter_only_modes_agree_on_folded_tables() {
+        let set = nocase_set();
+        let hay = nocase_input();
+        let vp = VPatch::<ScalarBackend, 8>::build(&set);
+        let mut scratch = Scratch::new();
+        let with_stores = vp.filter_only(&hay, FilterOnlyMode::WithStores, &mut scratch);
+        let mut scratch2 = Scratch::new();
+        let no_stores = vp.filter_only(&hay, FilterOnlyMode::NoStores, &mut scratch2);
+        assert_eq!(with_stores, no_stores);
+        assert_eq!(scratch2.candidates(), 0);
     }
 
     #[test]

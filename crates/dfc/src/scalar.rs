@@ -1,7 +1,7 @@
 //! The original (scalar, single-pass) DFC engine.
 
 use crate::tables::DfcTables;
-use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
+use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
 
 /// Scalar DFC: interleaved filtering + verification, exactly the structure
 /// the paper uses as its "DFC" baseline.
@@ -25,7 +25,21 @@ impl Dfc {
 
     /// Core scan loop shared by [`Matcher::find_into`] and
     /// [`Matcher::scan_with_stats`]. Returns `(candidates, comparisons)`.
+    /// Dispatches to the folded (`nocase`-capable) or byte-exact loop
+    /// depending on how the tables were built.
     fn scan(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) -> (u64, u64) {
+        if self.tables.is_folded() {
+            self.scan_impl::<true>(haystack, out)
+        } else {
+            self.scan_impl::<false>(haystack, out)
+        }
+    }
+
+    fn scan_impl<const FOLD: bool>(
+        &self,
+        haystack: &[u8],
+        out: &mut Vec<MatchEvent>,
+    ) -> (u64, u64) {
         let t = &self.tables;
         let mut candidates = 0u64;
         let mut comparisons = 0u64;
@@ -33,7 +47,10 @@ impl Dfc {
             return (0, 0);
         }
         for i in 0..haystack.len() - 1 {
-            let window = u16::from_le_bytes([haystack[i], haystack[i + 1]]);
+            let window = u16::from_le_bytes([
+                fold_byte(haystack[i], FOLD),
+                fold_byte(haystack[i + 1], FOLD),
+            ]);
             if t.df_initial.contains(window) {
                 candidates += 1;
                 comparisons += t.classify_and_verify(haystack, i, out) as u64;
@@ -116,6 +133,31 @@ mod tests {
             "candidate rate on random input too high: {rate}"
         );
         assert_eq!(dfc.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn nocase_patterns_match_case_variants_exactly() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"CmD.exe"),
+            Pattern::literal(*b"cmd.exe"),
+            Pattern::literal_nocase(*b"ab"),
+            Pattern::literal_nocase(*b"x"),
+            Pattern::literal_nocase(*b"GeT"),
+        ]);
+        let dfc = Dfc::build(&set);
+        assert!(dfc.tables().is_folded());
+        let hay = b"CMD.EXE cmd.exe AB aB X x GET get gEt";
+        assert_eq!(dfc.find_all(hay), naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn case_sensitive_only_sets_stay_byte_exact() {
+        let set = PatternSet::from_literals(&["attack", "AbCd"]);
+        let dfc = Dfc::build(&set);
+        assert!(!dfc.tables().is_folded());
+        let hay = b"ATTACK abcd AbCd attack";
+        assert_eq!(dfc.find_all(hay), naive_find_all(&set, hay));
     }
 
     #[test]

@@ -22,27 +22,34 @@ pub struct DfcTables {
     /// Length of the longest pattern (useful for chunked/streaming callers
     /// that must overlap chunks by `max_pattern_len - 1`).
     pub max_pattern_len: usize,
+    /// True if the set contains a `nocase` pattern: every filter and hash
+    /// table is built over ASCII-case-folded bytes and the scan loops fold
+    /// input windows to match (filter-folded / verify-exact). False keeps
+    /// the byte-exact fast path.
+    pub(crate) folded: bool,
     pattern_count: usize,
 }
 
 impl DfcTables {
     /// Compiles the DFC structures for `set`.
     pub fn build(set: &PatternSet) -> Self {
-        let df_initial = DirectFilter::build(set, |_| true);
+        let folded = set.has_nocase();
+        let fold = |b: u8| mpm_patterns::fold_byte(b, folded);
+        let df_initial = DirectFilter::build_with_fold(set, folded, |_| true);
 
         // Progressive filter for long patterns: indexed by bytes 2..4.
         let mut df_long = DirectFilter::new();
         for (_, p) in set.iter() {
             if p.len() >= 4 {
                 let b = p.bytes();
-                df_long.set(u16::from_le_bytes([b[2], b[3]]));
+                df_long.set(u16::from_le_bytes([fold(b[2]), fold(b[3])]));
             }
         }
 
-        let ht_len1 = CompactHashTable::build(set, 1, 8, |p| p.len() == 1);
-        let ht_len2 = CompactHashTable::build(set, 2, 16, |p| p.len() == 2);
-        let ht_len3 = CompactHashTable::build(set, 3, 13, |p| p.len() == 3);
-        let ht_long = CompactHashTable::build(set, 4, 16, |p| p.len() >= 4);
+        let ht_len1 = CompactHashTable::build_with_fold(set, 1, 8, folded, |p| p.len() == 1);
+        let ht_len2 = CompactHashTable::build_with_fold(set, 2, 16, folded, |p| p.len() == 2);
+        let ht_len3 = CompactHashTable::build_with_fold(set, 3, 13, folded, |p| p.len() == 3);
+        let ht_long = CompactHashTable::build_with_fold(set, 4, 16, folded, |p| p.len() >= 4);
         let max_pattern_len = set.patterns().iter().map(|p| p.len()).max().unwrap_or(0);
 
         DfcTables {
@@ -53,8 +60,15 @@ impl DfcTables {
             ht_len3,
             ht_long,
             max_pattern_len,
+            folded,
             pattern_count: set.len(),
         }
+    }
+
+    /// True if the tables were built over ASCII-case-folded bytes (the set
+    /// contains a `nocase` pattern); the scan loops fold input to match.
+    pub fn is_folded(&self) -> bool {
+        self.folded
     }
 
     /// Number of patterns the tables were built from.
@@ -101,7 +115,10 @@ impl DfcTables {
             comparisons += self.ht_len3.verify_at(haystack, i, out);
         }
         if !self.ht_long.is_empty() && i + 4 <= haystack.len() {
-            let w2 = u16::from_le_bytes([haystack[i + 2], haystack[i + 3]]);
+            let w2 = u16::from_le_bytes([
+                mpm_patterns::fold_byte(haystack[i + 2], self.folded),
+                mpm_patterns::fold_byte(haystack[i + 3], self.folded),
+            ]);
             if self.df_long.contains(w2) {
                 comparisons += self.ht_long.verify_at(haystack, i, out);
             }

@@ -20,7 +20,7 @@
 //! candidate compaction.
 
 use crate::tables::DfcTables;
-use mpm_patterns::{MatchEvent, Matcher, MatcherStats, PatternSet};
+use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
 use mpm_simd::VectorBackend;
 use std::marker::PhantomData;
 
@@ -56,6 +56,14 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
     }
 
     fn scan(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) -> u64 {
+        if self.tables.is_folded() {
+            self.scan_impl::<true>(haystack, out)
+        } else {
+            self.scan_impl::<false>(haystack, out)
+        }
+    }
+
+    fn scan_impl<const FOLD: bool>(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) -> u64 {
         let t = &self.tables;
         let mut candidates = 0u64;
         if haystack.is_empty() {
@@ -71,10 +79,17 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
             // Run the vectorized initial-filter loop inside the backend's
             // feature context so the gathers inline (see
             // `VectorBackend::dispatch`); classification + verification stay
-            // interleaved and scalar exactly as in the original DFC.
+            // interleaved and scalar exactly as in the original DFC. With
+            // folded tables the window register is case-folded before the
+            // filter lookup, mirroring the folded build.
             B::dispatch(|| {
                 while i + W < n {
                     let windows = B::windows2(haystack, i);
+                    let windows = if FOLD {
+                        B::to_ascii_lower(windows)
+                    } else {
+                        windows
+                    };
                     let idx = B::shr_const(windows, 3);
                     let bytes = B::gather_bytes(filter_bytes, idx);
                     let mut mask = B::test_window_bits(bytes, windows);
@@ -90,7 +105,10 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
         }
         // Scalar tail: remaining windows plus the final byte.
         while i + 1 < n {
-            let window = u16::from_le_bytes([haystack[i], haystack[i + 1]]);
+            let window = u16::from_le_bytes([
+                fold_byte(haystack[i], FOLD),
+                fold_byte(haystack[i + 1], FOLD),
+            ]);
             if t.df_initial.contains(window) {
                 candidates += 1;
                 t.classify_and_verify(haystack, i, out);
@@ -193,6 +211,38 @@ mod tests {
         let hay = test_input();
         let vdfc = VectorDfc::<Avx512Backend, 16>::build(&set);
         assert_eq!(vdfc.find_all(&hay), naive_find_all(&set, &hay));
+    }
+
+    #[test]
+    fn nocase_sets_match_naive_on_every_available_backend() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"Attack-Vector"),
+            Pattern::literal(*b"attack-vector"),
+            Pattern::literal_nocase(*b"GeT"),
+            Pattern::literal_nocase(*b"z"),
+        ]);
+        let mut hay = Vec::new();
+        for _ in 0..40 {
+            hay.extend_from_slice(b"ATTACK-VECTOR attack-vector get GET Z z aTtAcK-vEcToR ");
+        }
+        let expected = naive_find_all(&set, &hay);
+        assert_eq!(
+            VectorDfc::<ScalarBackend, 8>::build(&set).find_all(&hay),
+            expected
+        );
+        if <Avx2Backend as VectorBackend<8>>::is_available() {
+            assert_eq!(
+                VectorDfc::<Avx2Backend, 8>::build(&set).find_all(&hay),
+                expected
+            );
+        }
+        if <Avx512Backend as VectorBackend<16>>::is_available() {
+            assert_eq!(
+                VectorDfc::<Avx512Backend, 16>::build(&set).find_all(&hay),
+                expected
+            );
+        }
     }
 
     #[test]

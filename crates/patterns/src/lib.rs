@@ -18,9 +18,12 @@
 //!   Snort v2.9.7 ("S1") and ET-open 2.9.0 ("S2") rulesets used in the paper,
 //!   which are not redistributable.
 //!
-//! The paper evaluates exact, case-sensitive, byte-level matching of
-//! thousands of patterns against reassembled network streams; these types
-//! encode exactly that model.
+//! The paper evaluates exact byte-level matching of thousands of patterns
+//! against reassembled network streams; these types encode that model, plus
+//! the per-pattern ASCII-case-insensitivity real Snort rules demand
+//! ([`Pattern::is_nocase`], set by the parser from `nocase;` — see the
+//! filter-folded / verify-exact contract in `DEVELOPMENT.md` for how the
+//! engines implement it without slowing case-sensitive sets down).
 
 #![warn(missing_docs)]
 
@@ -33,5 +36,5 @@ pub mod synthetic;
 
 pub use matcher::{MatchEvent, Matcher, MatcherStats};
 pub use naive::NaiveMatcher;
-pub use pattern::{Pattern, PatternId, PatternSet, ProtocolGroup};
+pub use pattern::{fold_byte, Pattern, PatternId, PatternSet, ProtocolGroup};
 pub use synthetic::{RulesetSpec, SyntheticRuleset};

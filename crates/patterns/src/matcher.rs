@@ -2,9 +2,12 @@
 //! workspace, and the [`MatchEvent`] type they report.
 //!
 //! The paper's correctness criterion is that every engine "produces the same
-//! output as Aho-Corasick": the full set of `(pattern, position)` occurrences.
-//! Encoding that interface once lets the test suite compare engines
-//! byte-for-byte and lets the benchmark harness drive them uniformly.
+//! output as Aho-Corasick": the full set of `(pattern, position)` occurrences
+//! — where an occurrence is byte-exact for ordinary patterns and
+//! ASCII-case-insensitive for `nocase` ones (see
+//! [`crate::Pattern::matches_at`]). Encoding that interface once lets the
+//! test suite compare engines byte-for-byte and lets the benchmark harness
+//! drive them uniformly.
 
 use crate::pattern::{PatternId, PatternSet};
 use serde::{Deserialize, Serialize};

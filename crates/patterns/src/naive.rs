@@ -1,9 +1,11 @@
 //! Obviously-correct reference matcher used as ground truth in tests.
 //!
 //! `NaiveMatcher` checks every pattern at every input position with a direct
-//! byte comparison. It is O(input × total pattern bytes) and far too slow for
-//! the evaluation workloads, but its simplicity makes it the trusted oracle
-//! against which Aho-Corasick, DFC, S-PATCH and V-PATCH are all validated.
+//! comparison — byte-exact, or ASCII-case-insensitive for `nocase` patterns
+//! (see [`crate::Pattern::matches_at`]). It is O(input × total pattern
+//! bytes) and far too slow for the evaluation workloads, but its simplicity
+//! makes it the trusted oracle against which Aho-Corasick, DFC, S-PATCH and
+//! V-PATCH are all validated, including the case-insensitive semantics.
 
 use crate::matcher::{MatchEvent, Matcher};
 use crate::pattern::PatternSet;
@@ -42,12 +44,12 @@ impl Matcher for NaiveMatcher {
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         for (id, pattern) in self.set.iter() {
-            let needle = pattern.bytes();
-            if needle.len() > haystack.len() {
+            let len = pattern.len();
+            if len > haystack.len() {
                 continue;
             }
-            for start in 0..=(haystack.len() - needle.len()) {
-                if &haystack[start..start + needle.len()] == needle {
+            for start in 0..=(haystack.len() - len) {
+                if pattern.matches_window(&haystack[start..start + len]) {
                     out.push(MatchEvent::new(start, id));
                 }
             }
@@ -134,6 +136,22 @@ mod tests {
         assert_eq!(count_occurrences(b"aaaa", b"aa"), 3);
         assert_eq!(count_occurrences(b"abc", b""), 0);
         assert_eq!(count_occurrences(b"ab", b"abc"), 0);
+    }
+
+    #[test]
+    fn nocase_patterns_match_all_case_variants() {
+        use crate::pattern::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"get"),
+            Pattern::literal(*b"get"),
+        ]);
+        let m = naive_find_all(&set, b"get GET GeT");
+        // The nocase pattern hits all three variants; the exact one only the
+        // first.
+        let nocase_hits = m.iter().filter(|e| e.pattern == PatternId(0)).count();
+        let exact_hits = m.iter().filter(|e| e.pattern == PatternId(1)).count();
+        assert_eq!(nocase_hits, 3);
+        assert_eq!(exact_hits, 1);
     }
 
     #[test]

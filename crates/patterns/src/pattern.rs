@@ -1,15 +1,37 @@
 //! Core pattern types: [`Pattern`], [`PatternId`], [`PatternSet`] and
 //! [`ProtocolGroup`].
 //!
-//! A pattern is an exact byte string (a Snort `content:` string). The paper's
-//! engines are all *exact multiple pattern matchers*: given a set of patterns
-//! and an input stream, report every `(pattern, position)` at which the
-//! pattern occurs verbatim.
+//! A pattern is a byte string (a Snort `content:` string), matched either
+//! byte-exactly or — when its `nocase` flag is set, mirroring Snort's
+//! `nocase;` modifier — ASCII-case-insensitively. The paper's engines are all
+//! *exact multiple pattern matchers*: given a set of patterns and an input
+//! stream, report every `(pattern, position)` at which the pattern occurs
+//! under its own case rule. Engines implement mixed sets with the
+//! *filter-folded / verify-exact* design: filter tables are built over
+//! ASCII-case-folded bytes whenever the set contains a `nocase` pattern
+//! (folding only ever adds candidates), and per-pattern verification
+//! ([`Pattern::matches_at`]) restores each pattern's exact semantics.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+/// ASCII-case-folds `b` when `folded` is true; identity otherwise.
+///
+/// The one case-folding rule of the filter-folded / verify-exact design:
+/// every engine's table builder and scan loop folds through this helper, so
+/// the filter bytes and the verification tables can never disagree about
+/// what "folded" means. Hot loops pass a `const FOLD: bool` straight
+/// through — monomorphization constant-folds the branch away.
+#[inline(always)]
+pub fn fold_byte(b: u8, folded: bool) -> u8 {
+    if folded {
+        b.to_ascii_lowercase()
+    } else {
+        b
+    }
+}
 
 /// Identifier of a pattern inside a [`PatternSet`].
 ///
@@ -80,17 +102,21 @@ impl fmt::Display for ProtocolGroup {
     }
 }
 
-/// A single exact-match pattern.
+/// A single pattern: a byte string plus its matching rule (byte-exact or
+/// ASCII-case-insensitive).
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct Pattern {
     /// The literal bytes to search for. Never empty.
     bytes: Vec<u8>,
     /// The protocol group this pattern belongs to.
     group: ProtocolGroup,
+    /// True if the pattern matches ASCII-case-insensitively (Snort
+    /// `nocase;`). False — the default — means byte-exact matching.
+    nocase: bool,
 }
 
 impl Pattern {
-    /// Creates a new pattern from raw bytes.
+    /// Creates a new byte-exact pattern from raw bytes.
     ///
     /// # Panics
     /// Panics if `bytes` is empty — empty patterns match everywhere and are
@@ -98,12 +124,28 @@ impl Pattern {
     pub fn new(bytes: impl Into<Vec<u8>>, group: ProtocolGroup) -> Self {
         let bytes = bytes.into();
         assert!(!bytes.is_empty(), "patterns must be non-empty");
-        Pattern { bytes, group }
+        Pattern {
+            bytes,
+            group,
+            nocase: false,
+        }
     }
 
-    /// Convenience constructor for a protocol-agnostic pattern.
+    /// Convenience constructor for a protocol-agnostic byte-exact pattern.
     pub fn literal(bytes: impl Into<Vec<u8>>) -> Self {
         Pattern::new(bytes, ProtocolGroup::Any)
+    }
+
+    /// Convenience constructor for a protocol-agnostic case-insensitive
+    /// pattern (shorthand for `Pattern::literal(..).with_nocase(true)`).
+    pub fn literal_nocase(bytes: impl Into<Vec<u8>>) -> Self {
+        Pattern::literal(bytes).with_nocase(true)
+    }
+
+    /// Returns the pattern with its case-insensitivity flag set to `nocase`.
+    pub fn with_nocase(mut self, nocase: bool) -> Self {
+        self.nocase = nocase;
+        self
     }
 
     /// The pattern bytes.
@@ -130,6 +172,38 @@ impl Pattern {
         self.group
     }
 
+    /// True if this pattern matches ASCII-case-insensitively (Snort's
+    /// `nocase;` modifier).
+    #[inline]
+    pub fn is_nocase(&self) -> bool {
+        self.nocase
+    }
+
+    /// Tests whether this pattern occurs at `pos` in `haystack`, honouring
+    /// the pattern's own case rule (byte-exact, or ASCII-case-insensitive
+    /// for `nocase` patterns). This is the per-pattern verification step of
+    /// the filter-folded / verify-exact design; every engine's verification
+    /// phase reduces to it.
+    #[inline]
+    pub fn matches_at(&self, haystack: &[u8], pos: usize) -> bool {
+        match haystack.get(pos..pos + self.bytes.len()) {
+            Some(window) => self.matches_window(window),
+            None => false,
+        }
+    }
+
+    /// Tests whether `window` (exactly `self.len()` bytes of input) matches
+    /// this pattern under its case rule.
+    #[inline]
+    pub fn matches_window(&self, window: &[u8]) -> bool {
+        debug_assert_eq!(window.len(), self.bytes.len());
+        if self.nocase {
+            window.eq_ignore_ascii_case(&self.bytes)
+        } else {
+            window == &self.bytes[..]
+        }
+    }
+
     /// True if this is a "short" pattern in the paper's sense (1–3 bytes),
     /// i.e. it is handled by filter 1 of S-PATCH / V-PATCH.
     #[inline]
@@ -148,7 +222,11 @@ impl fmt::Display for Pattern {
                 write!(f, "\\x{:02x}", b)?;
             }
         }
-        write!(f, "\" ({})", self.group)
+        if self.nocase {
+            write!(f, "\" ({}, nocase)", self.group)
+        } else {
+            write!(f, "\" ({})", self.group)
+        }
     }
 }
 
@@ -235,6 +313,14 @@ impl PatternSet {
     #[inline]
     pub fn patterns(&self) -> &[Pattern] {
         &self.patterns
+    }
+
+    /// True if any pattern in the set matches case-insensitively. Engines
+    /// use this at build time to decide whether to compile the folded
+    /// (case-insensitive-capable) tables or today's byte-exact fast path —
+    /// a case-sensitive-only set never pays for folding.
+    pub fn has_nocase(&self) -> bool {
+        self.patterns.iter().any(|p| p.is_nocase())
     }
 
     /// Returns a new set containing only the patterns of `group`, plus the
@@ -398,6 +484,53 @@ mod tests {
         assert_ne!(a, c, "different seeds should give different subsets");
         // Asking for more than available just returns everything.
         assert_eq!(set.random_subset(1000, 1).len(), 100);
+    }
+
+    #[test]
+    fn nocase_flag_controls_matching_semantics() {
+        let exact = Pattern::literal(*b"GeT");
+        assert!(!exact.is_nocase());
+        assert!(exact.matches_at(b"..GeT..", 2));
+        assert!(!exact.matches_at(b"..GET..", 2));
+        assert!(
+            !exact.matches_at(b"..GeT", 4),
+            "window past end never matches"
+        );
+
+        let folded = Pattern::literal_nocase(*b"GeT");
+        assert!(folded.is_nocase());
+        for hay in [&b"get"[..], b"GET", b"gEt", b"GeT"] {
+            assert!(folded.matches_at(hay, 0), "{hay:?}");
+        }
+        assert!(!folded.matches_at(b"ge7", 0));
+    }
+
+    #[test]
+    fn nocase_only_folds_ascii_letters() {
+        // 0xC0..0xDF must NOT be case-folded: matching is byte-level ASCII,
+        // not Unicode-aware.
+        let p = Pattern::literal_nocase(vec![0xC0u8, b'A']);
+        assert!(p.matches_at(&[0xC0, b'a'], 0));
+        assert!(!p.matches_at(&[0xE0, b'a'], 0));
+    }
+
+    #[test]
+    fn set_has_nocase_reflects_any_flag() {
+        let exact_only = PatternSet::from_literals(&["abc", "de"]);
+        assert!(!exact_only.has_nocase());
+        let mixed = PatternSet::new(vec![
+            Pattern::literal(*b"abc"),
+            Pattern::literal_nocase(*b"de"),
+        ]);
+        assert!(mixed.has_nocase());
+    }
+
+    #[test]
+    fn display_marks_nocase_patterns() {
+        let p = Pattern::literal_nocase(*b"GET");
+        assert!(format!("{p}").contains("nocase"));
+        let q = Pattern::literal(*b"GET");
+        assert!(!format!("{q}").contains("nocase"));
     }
 
     #[test]

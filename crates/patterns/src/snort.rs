@@ -12,9 +12,16 @@
 //!   only the protocol and the port fields are inspected, to derive the
 //!   [`ProtocolGroup`];
 //! * `content:"...";` options with Snort escaping: `\"`, `\\`, `\;`, `\:` and
-//!   hex blocks `|41 42 43|`;
-//! * `nocase;` — recorded but patterns are kept case-sensitive, matching the
-//!   paper's exact-matching setting;
+//!   hex blocks — both whitespace-separated (`|41 42 43|`) and contiguous
+//!   (`|414243|`) byte pairs, and any mix of the two, as Snort accepts;
+//! * `nocase;` — sets the **case-insensitivity flag** of the `content:` it
+//!   modifies (the immediately preceding one, per Snort's modifier rules).
+//!   The resulting [`Pattern`] reports [`Pattern::is_nocase`]` == true` and
+//!   every engine in the workspace matches it ASCII-case-insensitively while
+//!   the rest of the set stays byte-exact — see the filter-folded /
+//!   verify-exact contract in `DEVELOPMENT.md`. A `nocase` with no preceding
+//!   content (or following a negated content) is ignored, as Snort does not
+//!   accept such rules anyway;
 //! * all other options are skipped;
 //! * comment lines (`#`) and blank lines are ignored.
 //!
@@ -109,7 +116,12 @@ fn parse_rule_line(
     let body = &line[open + 1..close];
     let group = classify_header(header);
 
-    let mut contents = Vec::new();
+    // `(bytes, nocase)` per kept content. `nocase;` is a modifier of the
+    // content option it follows, so we track the index of the most recent
+    // kept content; a negated (skipped) content resets it so its trailing
+    // modifiers cannot leak onto the previous pattern.
+    let mut contents: Vec<(Vec<u8>, bool)> = Vec::new();
+    let mut last_content: Option<usize> = None;
     for option in split_options(body) {
         let option = option.trim();
         if let Some(rest) = option.strip_prefix("content:") {
@@ -117,11 +129,19 @@ fn parse_rule_line(
             // content may be negated: content:!"..."; negated contents are not
             // part of the multi-pattern matching workload.
             if value.starts_with('!') {
+                last_content = None;
                 continue;
             }
             let bytes = parse_content_string(value, line_no)?;
             if bytes.len() >= options.min_len {
-                contents.push(bytes);
+                contents.push((bytes, false));
+                last_content = Some(contents.len() - 1);
+            } else {
+                last_content = None;
+            }
+        } else if option == "nocase" {
+            if let Some(idx) = last_content {
+                contents[idx].1 = true;
             }
         }
     }
@@ -129,13 +149,13 @@ fn parse_rule_line(
         return Ok(None);
     }
     if options.longest_content_only {
-        contents.sort_by_key(|c| std::cmp::Reverse(c.len()));
+        contents.sort_by_key(|(c, _)| std::cmp::Reverse(c.len()));
         contents.truncate(1);
     }
     Ok(Some(
         contents
             .into_iter()
-            .map(|bytes| Pattern::new(bytes, group))
+            .map(|(bytes, nocase)| Pattern::new(bytes, group).with_nocase(nocase))
             .collect(),
     ))
 }
@@ -214,13 +234,32 @@ fn parse_content_string(value: &str, line_no: usize) -> Result<Vec<u8>, ParseErr
     while let Some(c) = chars.next() {
         if in_hex {
             if c == '|' {
-                // Flush the hex block.
+                // Flush the hex block. Snort accepts both whitespace-
+                // separated bytes (`|41 42|`) and contiguous runs of byte
+                // pairs (`|4142|`, `|41 4243|`): each whitespace-delimited
+                // token must be an even-length run of hex digits and is
+                // consumed two digits per byte. Odd-length runs and non-hex
+                // characters are still rejected.
                 for tok in hex_buf.split_whitespace() {
-                    let b = u8::from_str_radix(tok, 16).map_err(|_| ParseError {
-                        line: line_no,
-                        message: format!("invalid hex byte {tok:?} in content"),
-                    })?;
-                    bytes.push(b);
+                    if !tok.bytes().all(|b| b.is_ascii_hexdigit()) {
+                        return Err(ParseError {
+                            line: line_no,
+                            message: format!("invalid hex byte {tok:?} in content"),
+                        });
+                    }
+                    if tok.len() % 2 != 0 {
+                        return Err(ParseError {
+                            line: line_no,
+                            message: format!(
+                                "odd-length hex run {tok:?} in content (hex bytes are two digits each)"
+                            ),
+                        });
+                    }
+                    for pair in tok.as_bytes().chunks_exact(2) {
+                        let hi = (pair[0] as char).to_digit(16).expect("checked hex digit");
+                        let lo = (pair[1] as char).to_digit(16).expect("checked hex digit");
+                        bytes.push((hi * 16 + lo) as u8);
+                    }
                 }
                 hex_buf.clear();
                 in_hex = false;
@@ -272,6 +311,55 @@ mod tests {
         let (_, p) = set.iter().next().unwrap();
         assert_eq!(p.bytes(), b"GET /etc/passwd");
         assert_eq!(p.group(), ProtocolGroup::Http);
+        assert!(p.is_nocase(), "the rule carries a nocase; modifier");
+    }
+
+    #[test]
+    fn nocase_applies_to_the_preceding_content_only() {
+        let rule = r#"alert tcp any any -> any 80 (content:"CaseSensitive"; content:"FoldMe-longer"; nocase; sid:10;)"#;
+        let set = parse_rules(
+            rule,
+            ParseOptions {
+                longest_content_only: false,
+                ..ParseOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(set.len(), 2);
+        let flags: Vec<(Vec<u8>, bool)> = set
+            .iter()
+            .map(|(_, p)| (p.bytes().to_vec(), p.is_nocase()))
+            .collect();
+        assert_eq!(
+            flags,
+            vec![
+                (b"CaseSensitive".to_vec(), false),
+                (b"FoldMe-longer".to_vec(), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn nocase_survives_longest_content_selection() {
+        let rule = r#"alert tcp any any -> any 80 (content:"short"; content:"the-much-longer-one"; nocase; sid:11;)"#;
+        let set = parse_rules(rule, ParseOptions::default()).unwrap();
+        assert_eq!(set.len(), 1);
+        let (_, p) = set.iter().next().unwrap();
+        assert_eq!(p.bytes(), b"the-much-longer-one");
+        assert!(p.is_nocase());
+    }
+
+    #[test]
+    fn nocase_after_negated_content_is_ignored() {
+        let rule = r#"alert tcp any any -> any 80 (content:"keepme"; content:!"skipped"; nocase; sid:12;)"#;
+        let set = parse_rules(rule, ParseOptions::default()).unwrap();
+        assert_eq!(set.len(), 1);
+        let (_, p) = set.iter().next().unwrap();
+        assert_eq!(p.bytes(), b"keepme");
+        assert!(
+            !p.is_nocase(),
+            "a nocase modifying a negated content must not leak onto the previous pattern"
+        );
     }
 
     #[test]
@@ -300,6 +388,31 @@ mod tests {
         )
         .unwrap();
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn contiguous_hex_runs_are_byte_pairs() {
+        // `|4142|` is Snort-legal and means the same as `|41 42|`.
+        for rule in [
+            r#"alert tcp any any -> any 445 (content:"|41 42 43|"; sid:20;)"#,
+            r#"alert tcp any any -> any 445 (content:"|414243|"; sid:21;)"#,
+            r#"alert tcp any any -> any 445 (content:"|41 4243|"; sid:22;)"#,
+            r#"alert tcp any any -> any 445 (content:"|4142 43|"; sid:23;)"#,
+        ] {
+            let set = parse_rules(rule, ParseOptions::default()).unwrap();
+            assert_eq!(set.iter().next().unwrap().1.bytes(), b"ABC", "{rule}");
+        }
+    }
+
+    #[test]
+    fn odd_length_and_garbage_hex_runs_error() {
+        let odd = r#"alert tcp any any -> any 80 (content:"|41424|"; sid:24;)"#;
+        let err = parse_rules(odd, ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("odd-length"), "{}", err.message);
+
+        let garbage = r#"alert tcp any any -> any 80 (content:"|41zz|"; sid:25;)"#;
+        let err = parse_rules(garbage, ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("invalid hex byte"), "{}", err.message);
     }
 
     #[test]

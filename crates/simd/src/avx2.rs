@@ -148,6 +148,20 @@ mod imp {
         _mm256_and_si256(gathered, _mm256_set1_epi32(0xffff))
     }
 
+    /// Byte-granular ASCII lowercasing: the classic range-compare +
+    /// `or 0x20` idiom. The signed `vpcmpgtb` compares are safe here because
+    /// `'A'-1` and `'Z'+1` are both positive: bytes `0x80..=0xFF` read as
+    /// negative, fail the `> 0x40` test and stay untouched.
+    ///
+    /// # Safety: AVX2 required.
+    #[target_feature(enable = "avx2")]
+    unsafe fn to_ascii_lower_avx2(v: __m256i) -> __m256i {
+        let ge_a = _mm256_cmpgt_epi8(v, _mm256_set1_epi8(0x40)); // byte > '@'
+        let le_z = _mm256_cmpgt_epi8(_mm256_set1_epi8(0x5b), v); // byte < '['
+        let upper = _mm256_and_si256(ge_a, le_z);
+        _mm256_or_si256(v, _mm256_and_si256(upper, _mm256_set1_epi8(0x20)))
+    }
+
     /// # Safety: AVX2 required.
     #[target_feature(enable = "avx2")]
     unsafe fn hash_mul_shift_avx2(v: __m256i, mul: u32, shift: u32, mask: u32) -> __m256i {
@@ -296,6 +310,12 @@ mod imp {
             // SAFETY: availability checked at engine construction; padding
             // contract bounds the per-lane 4-byte loads.
             unsafe { gather_u16_avx2(table, idx) }
+        }
+
+        #[inline(always)]
+        fn to_ascii_lower(v: __m256i) -> __m256i {
+            // SAFETY: availability checked at engine construction.
+            unsafe { to_ascii_lower_avx2(v) }
         }
 
         #[inline(always)]
@@ -486,6 +506,31 @@ mod tests {
             <A8 as VectorBackend<8>>::nonzero_mask(<A8 as VectorBackend<8>>::from_array(v)),
             <S8 as VectorBackend<8>>::nonzero_mask(v)
         );
+    }
+
+    #[test]
+    fn to_ascii_lower_agrees_with_scalar_on_every_byte() {
+        if skip() {
+            return;
+        }
+        // Every byte value through every lane byte position.
+        for b in 0..=255u32 {
+            let v: [u32; 8] = [
+                b,
+                b << 8,
+                b << 16,
+                b << 24,
+                b.wrapping_mul(0x0101_0101),
+                u32::from_le_bytes(*b"GeT "),
+                !b,
+                b ^ 0x8040_2010,
+            ];
+            let got = a(<A8 as VectorBackend<8>>::to_ascii_lower(
+                <A8 as VectorBackend<8>>::from_array(v),
+            ));
+            let expected = <S8 as VectorBackend<8>>::to_ascii_lower(v);
+            assert_eq!(got, expected, "byte {b:#04x}");
+        }
     }
 
     #[test]

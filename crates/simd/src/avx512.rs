@@ -100,6 +100,26 @@ mod imp {
         _mm512_and_si512(gathered, _mm512_set1_epi32(0xffff))
     }
 
+    /// Byte-granular ASCII lowercasing via the 32-bit SWAR form of
+    /// `crate::ascii_lower_u32`: AVX-512**F** has no byte compares (those
+    /// are AVX-512BW, which this backend deliberately does not require), so
+    /// the uppercase-detection carries ride 32-bit adds — the masked bytes
+    /// are ≤ `0x7F`, so the per-byte adds cannot carry across byte
+    /// boundaries and `vpaddd` is exact.
+    ///
+    /// # Safety: AVX-512F required.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn to_ascii_lower_avx512(v: __m512i) -> __m512i {
+        let x80 = _mm512_set1_epi32(0x8080_8080u32 as i32);
+        let hi = _mm512_and_si512(v, x80);
+        let low7 = _mm512_and_si512(v, _mm512_set1_epi32(0x7f7f_7f7f));
+        let ge_a = _mm512_and_si512(_mm512_add_epi32(low7, _mm512_set1_epi32(0x3f3f_3f3f)), x80);
+        let gt_z = _mm512_and_si512(_mm512_add_epi32(low7, _mm512_set1_epi32(0x2525_2525)), x80);
+        // is_upper = ge_a & !(gt_z | hi); vpandnd computes !a & b.
+        let is_upper = _mm512_andnot_si512(_mm512_or_si512(gt_z, hi), ge_a);
+        _mm512_or_si512(v, _mm512_srli_epi32(is_upper, 2))
+    }
+
     /// # Safety: AVX-512F required.
     #[target_feature(enable = "avx512f")]
     unsafe fn hash_mul_shift_avx512(v: __m512i, mul: u32, shift: u32, mask: u32) -> __m512i {
@@ -228,6 +248,12 @@ mod imp {
             // SAFETY: availability checked at engine construction; padding
             // contract bounds the per-lane 4-byte loads.
             unsafe { gather_u16_avx512(table, idx) }
+        }
+
+        #[inline(always)]
+        fn to_ascii_lower(v: __m512i) -> __m512i {
+            // SAFETY: availability checked at engine construction.
+            unsafe { to_ascii_lower_avx512(v) }
         }
 
         #[inline(always)]
@@ -397,6 +423,27 @@ mod tests {
             <A16 as VectorBackend<16>>::nonzero_mask(<A16 as VectorBackend<16>>::from_array(v)),
             <S16 as VectorBackend<16>>::nonzero_mask(v)
         );
+    }
+
+    #[test]
+    fn to_ascii_lower_agrees_with_scalar_on_every_byte() {
+        if skip() {
+            return;
+        }
+        for b in 0..=255u32 {
+            let v: [u32; 16] = std::array::from_fn(|j| match j % 5 {
+                0 => b << (8 * (j % 4)),
+                1 => b.wrapping_mul(0x0101_0101),
+                2 => u32::from_le_bytes(*b"AzZ@"),
+                3 => !b,
+                _ => b ^ (j as u32).wrapping_mul(0x2041_8010),
+            });
+            let got = a(<A16 as VectorBackend<16>>::to_ascii_lower(
+                <A16 as VectorBackend<16>>::from_array(v),
+            ));
+            let expected = <S16 as VectorBackend<16>>::to_ascii_lower(v);
+            assert_eq!(got, expected, "byte {b:#04x}");
+        }
     }
 
     #[test]

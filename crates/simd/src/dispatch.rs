@@ -104,12 +104,7 @@ pub fn forced_backend() -> Option<BackendKind> {
     static FORCED: OnceLock<Option<BackendKind>> = OnceLock::new();
     *FORCED.get_or_init(|| {
         let value = std::env::var(FORCE_BACKEND_ENV).ok()?;
-        if value.trim().is_empty() {
-            return None;
-        }
-        let kind = BackendKind::from_name(&value).unwrap_or_else(|| {
-            panic!("{FORCE_BACKEND_ENV}={value:?} is not a backend (expected scalar|avx2|avx512)")
-        });
+        let kind = parse_force_value(&value)?;
         assert!(
             kind.is_available(),
             "{FORCE_BACKEND_ENV}={} but this CPU does not support it",
@@ -117,6 +112,34 @@ pub fn forced_backend() -> Option<BackendKind> {
         );
         Some(kind)
     })
+}
+
+/// Parses a raw [`FORCE_BACKEND_ENV`] value. The value is normalized with
+/// trim + ASCII-lowercase before matching, so `AVX2`, ` avx512 ` and the
+/// trailing newline that shell quoting (`MPM_FORCE_BACKEND="avx2\n"`) or
+/// `echo`-built env files commonly leave behind all resolve to their
+/// backend. A value that is empty after trimming counts as unset.
+///
+/// Extracted from [`forced_backend`] so the full unset/normalized/unknown
+/// decision — previously spread between the env read and
+/// [`BackendKind::from_name`]'s own normalization — lives (and is unit
+/// tested) in one place; `forced_backend`'s `OnceLock` makes the composed
+/// path untestable in-process.
+///
+/// # Panics
+/// Panics on a genuinely unknown name — a forced run must never silently
+/// fall back to a different code path than the one asked for.
+fn parse_force_value(value: &str) -> Option<BackendKind> {
+    let normalized = value.trim();
+    if normalized.is_empty() {
+        return None;
+    }
+    match BackendKind::from_name(normalized) {
+        Some(kind) => Some(kind),
+        None => {
+            panic!("{FORCE_BACKEND_ENV}={value:?} is not a backend (expected scalar|avx2|avx512)")
+        }
+    }
 }
 
 /// Returns every backend dispatch may select, in increasing width order.
@@ -193,6 +216,26 @@ mod tests {
         assert_eq!(BackendKind::from_name("avx-512"), Some(BackendKind::Avx512));
         assert_eq!(BackendKind::from_name("sse2"), None);
         assert_eq!(BackendKind::from_name(""), None);
+    }
+
+    #[test]
+    fn force_values_are_normalized_before_matching() {
+        // Uppercase, surrounding whitespace and the trailing newline shell
+        // quoting leaves behind must all resolve — not panic.
+        assert_eq!(parse_force_value("AVX2"), Some(BackendKind::Avx2));
+        assert_eq!(parse_force_value("avx2\n"), Some(BackendKind::Avx2));
+        assert_eq!(parse_force_value(" Scalar \n"), Some(BackendKind::Scalar));
+        assert_eq!(parse_force_value("AVX512\n"), Some(BackendKind::Avx512));
+        assert_eq!(parse_force_value("Avx-512"), Some(BackendKind::Avx512));
+        // Empty-after-trim counts as unset.
+        assert_eq!(parse_force_value(""), None);
+        assert_eq!(parse_force_value(" \n\t"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a backend")]
+    fn genuinely_unknown_force_value_still_panics() {
+        let _ = parse_force_value("sse2\n");
     }
 
     #[test]

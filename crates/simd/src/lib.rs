@@ -82,6 +82,31 @@ pub use scalar::{ScalarBackend, ScalarWide16, ScalarWide8};
 /// addressable index (see the crate-level documentation).
 pub const GATHER_PADDING: usize = 4;
 
+/// ASCII-lowercases the four packed bytes of a little-endian `u32` lane
+/// without branches (SWAR): every byte in `b'A'..=b'Z'` gets `0x20` OR-ed
+/// in, every other byte — including non-ASCII `0x80..=0xFF` — is unchanged.
+///
+/// This is the scalar reference semantics of
+/// [`VectorBackend::to_ascii_lower`] and the building block of the AVX-512
+/// implementation (AVX-512**F** has no byte-granular compares — those are
+/// AVX-512BW — so the 32-bit SWAR form is what maps onto `vpaddd`/`vpandd`).
+///
+/// Derivation, per byte `v` with the high bit masked off: `v >= b'A'` ⇔
+/// `v + 0x3F` overflows into bit 7, and `v > b'Z'` ⇔ `v + 0x25` does; the
+/// adds stay within each byte because the masked inputs are ≤ `0x7F`
+/// (`0x7F + 0x3F = 0xBE`). Bytes whose original high bit was set are
+/// excluded, and the surviving bit-7 marks shift right by 2 to become the
+/// `0x20` case bit.
+#[inline]
+pub const fn ascii_lower_u32(x: u32) -> u32 {
+    let hi = x & 0x8080_8080;
+    let low7 = x & 0x7f7f_7f7f;
+    let ge_a = low7.wrapping_add(0x3f3f_3f3f) & 0x8080_8080;
+    let gt_z = low7.wrapping_add(0x2525_2525) & 0x8080_8080;
+    let is_upper = ge_a & !gt_z & !hi;
+    x | (is_upper >> 2)
+}
+
 /// Width-generic SIMD operations used by the vectorized matching engines.
 ///
 /// `W` is the number of 32-bit lanes (8 for AVX2, 16 for AVX-512 /
@@ -180,6 +205,31 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
                 table.len()
             );
             *slot = u16::from_le_bytes([table[i], table[i + 1]]) as u32;
+        }
+        Self::from_array(out)
+    }
+
+    /// ASCII-lowercases every packed byte of every lane: each byte in
+    /// `b'A'..=b'Z'` gets `0x20` OR-ed in, all other bytes (including
+    /// non-ASCII `0x80..=0xFF`) pass through unchanged.
+    ///
+    /// This is the **case-folding primitive** of the filter-folded /
+    /// verify-exact design: when a pattern set contains `nocase` patterns,
+    /// the engines fold the sliding-window registers (`windows2` /
+    /// `windows4` output) with this op before the filter gathers and hashes,
+    /// matching the case-folded bytes the filter tables were built over.
+    /// Zero bytes (the unused high bytes of 2-byte windows) are unaffected,
+    /// so the same op serves both window widths.
+    ///
+    /// Implementations: a byte range-compare + `or 0x20` on AVX2
+    /// (`vpcmpgtb`), the 32-bit SWAR form [`ascii_lower_u32`] on AVX-512F
+    /// (byte compares are AVX-512BW, which the backend does not require),
+    /// and a per-lane scalar loop here in the default.
+    fn to_ascii_lower(v: Self::Vec) -> Self::Vec {
+        let v = Self::to_array(v);
+        let mut out = [0u32; W];
+        for (j, slot) in out.iter_mut().enumerate() {
+            *slot = ascii_lower_u32(v[j]);
         }
         Self::from_array(out)
     }
@@ -316,6 +366,46 @@ mod trait_tests {
         let mut out = Vec::new();
         <ScalarWide8 as VectorBackend<8>>::compress_store(0b1000_0001, u32::MAX, &mut out);
         assert_eq!(out, vec![u32::MAX, 6]);
+    }
+
+    #[test]
+    fn ascii_lower_u32_folds_exactly_the_uppercase_bytes() {
+        // Exhaustive over every byte value in every byte position.
+        for b in 0..=255u8 {
+            let expected = b.to_ascii_lowercase();
+            for pos in 0..4 {
+                let x = (b as u32) << (8 * pos);
+                let folded = ascii_lower_u32(x);
+                let got = ((folded >> (8 * pos)) & 0xff) as u8;
+                assert_eq!(got, expected, "byte {b:#04x} at position {pos}");
+                // Other byte positions stay zero.
+                assert_eq!(folded & !(0xffu32 << (8 * pos)), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn default_to_ascii_lower_folds_packed_windows() {
+        let v: [u32; 8] = [
+            u32::from_le_bytes(*b"GET "),
+            u32::from_le_bytes(*b"get "),
+            u32::from_le_bytes([b'A', b'Z', 0, 0]), // a 2-byte window shape
+            u32::from_le_bytes([b'@', b'[', 0x80, 0xFF]),
+            0,
+            u32::MAX,
+            u32::from_le_bytes(*b"aZ9z"),
+            u32::from_le_bytes([0xC0, b'B', 0x5B, 0x40]),
+        ];
+        let folded = <ScalarWide8 as VectorBackend<8>>::to_ascii_lower(v);
+        assert_eq!(folded[0], u32::from_le_bytes(*b"get "));
+        assert_eq!(folded[1], u32::from_le_bytes(*b"get "));
+        assert_eq!(folded[2], u32::from_le_bytes([b'a', b'z', 0, 0]));
+        // '@' (0x40), '[' (0x5B) and non-ASCII bytes are untouched.
+        assert_eq!(folded[3], v[3]);
+        assert_eq!(folded[4], 0);
+        assert_eq!(folded[5], u32::MAX);
+        assert_eq!(folded[6], u32::from_le_bytes(*b"az9z"));
+        assert_eq!(folded[7], u32::from_le_bytes([0xC0, b'b', 0x5B, 0x40]));
     }
 
     #[test]

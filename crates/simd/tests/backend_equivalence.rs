@@ -314,3 +314,45 @@ fn compress_store_wraps_identically_near_u32_max() {
         }
     }
 }
+
+// --- to_ascii_lower: the case-folding primitive ---------------------------
+//
+// Every backend must fold exactly the bytes `b'A'..=b'Z'` (OR 0x20) in every
+// packed byte position and leave everything else — digits, punctuation,
+// already-lowercase letters, non-ASCII 0x80..=0xFF — untouched. The scalar
+// SWAR reference is itself validated byte-exhaustively in the crate's unit
+// tests; here the hardware backends are held to it on arbitrary lanes.
+
+proptest! {
+    #[test]
+    fn to_ascii_lower_matches_scalar_on_random_lanes(
+        v8 in proptest::array::uniform8(any::<u32>()),
+        v16 in proptest::array::uniform16(any::<u32>()),
+    ) {
+        // Scalar reference equals the per-byte std fold.
+        let expected8 = <ScalarBackend as VectorBackend<8>>::to_ascii_lower(v8);
+        for (lane, &x) in v8.iter().enumerate() {
+            let want = u32::from_le_bytes(x.to_le_bytes().map(|b| b.to_ascii_lowercase()));
+            prop_assert_eq!(expected8[lane], want);
+        }
+        if avx2_available() {
+            type A8 = Avx2Backend;
+            prop_assert_eq!(
+                <A8 as VectorBackend<8>>::to_array(<A8 as VectorBackend<8>>::to_ascii_lower(
+                    <A8 as VectorBackend<8>>::from_array(v8)
+                )),
+                expected8
+            );
+        }
+        let expected16 = <ScalarBackend as VectorBackend<16>>::to_ascii_lower(v16);
+        if avx512_available() {
+            type A16 = Avx512Backend;
+            prop_assert_eq!(
+                <A16 as VectorBackend<16>>::to_array(<A16 as VectorBackend<16>>::to_ascii_lower(
+                    <A16 as VectorBackend<16>>::from_array(v16)
+                )),
+                expected16
+            );
+        }
+    }
+}

@@ -16,7 +16,13 @@
 //!   threads with **flow-affine sharding** (same flow id ⇒ same worker, so
 //!   per-flow stream state stays coherent), merging matches and
 //!   [`mpm_patterns::MatcherStats`] deterministically: 1 worker and N
-//!   workers produce identical output for the same batch.
+//!   workers produce identical output for the same batch. Per-flow state is
+//!   retired by [`ShardedScanner::close_flow`] or bounded wholesale by
+//!   [`ShardedScanner::with_max_flows`] (least-recently-pushed eviction).
+//!
+//! Both layers consult only pattern *lengths*, so they are agnostic to each
+//! pattern's case rule — `nocase` sets stream and shard unchanged
+//! (property-tested in the workspace's `tests/nocase_differential.rs`).
 //!
 //! Engines are shared across flows and threads as a
 //! [`SharedMatcher`] (`Arc<dyn Matcher + Send +

@@ -21,7 +21,12 @@
 //!   returns the union of every worker's matches sorted by
 //!   `(flow, start, pattern)` plus summed [`MatcherStats`], so the same
 //!   batch produces byte-identical output whether 1 or N workers ran it
-//!   (property: `tests/shard_determinism.rs`).
+//!   (property: `tests/shard_determinism.rs`);
+//! * **bounded per-flow state** — [`ShardedScanner::with_max_flows`] caps
+//!   the resident flow count with least-recently-pushed eviction (eviction
+//!   retires carry state like [`ShardedScanner::close_flow`]), so a
+//!   million-flow churn cannot grow memory without bound when callers do
+//!   not close flows themselves.
 
 use crate::stream::{SharedMatcher, StreamScanner};
 use mpm_patterns::{MatchEvent, MatcherStats, PatternSet};
@@ -69,6 +74,10 @@ pub struct BatchResult {
     /// `matches` are exact and deterministic; the timing fields are zero —
     /// wall-clock belongs to the caller, who knows what overlapped).
     pub stats: MatcherStats,
+    /// Flows whose stream state is resident across all workers at flush
+    /// time. With a [`ShardedScanner::with_max_flows`] cap this never
+    /// exceeds the cap (rounded up to a whole number of flows per worker).
+    pub resident_flows: usize,
 }
 
 enum Job {
@@ -83,6 +92,7 @@ enum Job {
 struct WorkerReport {
     matches: Vec<FlowMatch>,
     stats: MatcherStats,
+    resident_flows: usize,
 }
 
 struct Worker {
@@ -125,6 +135,41 @@ impl ShardedScanner {
     /// Panics if `workers` is zero or the engine/set disagree about the
     /// longest pattern.
     pub fn new(engine: SharedMatcher, set: &PatternSet, workers: usize) -> Self {
+        Self::spawn(engine, set, workers, None)
+    }
+
+    /// Like [`ShardedScanner::new`], but bounds the per-flow stream state to
+    /// at most `max_flows` resident flows (rounded up to a whole number per
+    /// worker). When a worker is at its share of the cap and a packet for an
+    /// unseen flow arrives, the **least-recently-pushed** flow on that
+    /// worker is evicted first — eviction retires the flow's carry state
+    /// exactly like [`ShardedScanner::close_flow`], so a later packet for
+    /// the evicted flow starts a fresh stream at offset 0.
+    ///
+    /// Without a cap (`new`), per-flow state lives until `close_flow`; under
+    /// millions of short-lived flows that is unbounded growth, so a
+    /// long-running pipeline should either close flows as connections end or
+    /// run with a cap as its idle-timeout analogue.
+    ///
+    /// # Panics
+    /// Panics if `workers` or `max_flows` is zero, or the engine/set
+    /// disagree about the longest pattern.
+    pub fn with_max_flows(
+        engine: SharedMatcher,
+        set: &PatternSet,
+        workers: usize,
+        max_flows: usize,
+    ) -> Self {
+        assert!(max_flows > 0, "max_flows must be at least 1");
+        Self::spawn(engine, set, workers, Some(max_flows))
+    }
+
+    fn spawn(
+        engine: SharedMatcher,
+        set: &PatternSet,
+        workers: usize,
+        max_flows: Option<usize>,
+    ) -> Self {
         assert!(workers > 0, "need at least one worker");
         let lengths: Arc<[u32]> = set.patterns().iter().map(|p| p.len() as u32).collect();
         // Validate the engine/set pairing once, on the caller's thread, so a
@@ -135,12 +180,17 @@ impl ShardedScanner {
             max_len,
             "engine was compiled for a different pattern set"
         );
+        // The cap is split evenly; div_ceil so the total never rounds below
+        // the requested bound for small caps.
+        let per_worker_cap = max_flows.map(|m| m.div_ceil(workers).max(1));
         let workers = (0..workers)
             .map(|_| {
                 let (sender, receiver) = mpsc::channel();
                 let engine = engine.clone();
                 let lengths = lengths.clone();
-                let handle = std::thread::spawn(move || worker_loop(receiver, engine, lengths));
+                let handle = std::thread::spawn(move || {
+                    worker_loop(receiver, engine, lengths, per_worker_cap)
+                });
                 Worker {
                     sender,
                     handle: Some(handle),
@@ -196,6 +246,7 @@ impl ShardedScanner {
         for report in report_receiver {
             result.matches.extend(report.matches);
             result.stats.merge(&report.stats);
+            result.resident_flows += report.resident_flows;
         }
         result.matches.sort_unstable();
         result
@@ -252,35 +303,88 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-fn worker_loop(receiver: Receiver<Job>, engine: SharedMatcher, lengths: Arc<[u32]>) {
+/// One flow's stream state plus its recency stamp (the sequence number of
+/// the flow's latest packet on this worker).
+struct FlowSlot {
+    scanner: StreamScanner,
+    seq: u64,
+}
+
+fn worker_loop(
+    receiver: Receiver<Job>,
+    engine: SharedMatcher,
+    lengths: Arc<[u32]>,
+    max_flows: Option<usize>,
+) {
     // Per-flow stream state; the engines' thread-cached Scratch is implicit
-    // (find_into uses this worker thread's cached scratch).
-    let mut flows: HashMap<u64, StreamScanner> = HashMap::new();
+    // (find_into uses this worker thread's cached scratch). With a cap,
+    // `recency` keys flows by their last-push sequence number so the
+    // least-recently-pushed flow is found in O(log flows) at eviction time;
+    // without one the map stays empty and the uncapped hot path pays
+    // nothing for the eviction machinery.
+    let mut flows: HashMap<u64, FlowSlot> = HashMap::new();
+    let mut recency: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut next_seq = 0u64;
     let mut matches: Vec<FlowMatch> = Vec::new();
     let mut stats = MatcherStats::default();
     let mut events: Vec<MatchEvent> = Vec::new();
     while let Ok(job) = receiver.recv() {
         match job {
             Job::Packet(packet) => {
-                let scanner = flows.entry(packet.flow).or_insert_with(|| {
-                    StreamScanner::with_lengths(engine.clone(), lengths.clone())
-                });
+                let seq = next_seq;
+                next_seq += 1;
+                let flow = packet.flow;
+                let slot = if let Some(cap) = max_flows {
+                    if let Some(slot) = flows.get_mut(&flow) {
+                        recency.remove(&slot.seq);
+                        slot.seq = seq;
+                    } else {
+                        // An unseen flow would push this worker past its
+                        // share of the cap: retire the least-recently-pushed
+                        // flow first (same semantics as close_flow — its
+                        // carry state is dropped and a later packet for it
+                        // starts a fresh stream).
+                        if flows.len() >= cap {
+                            let (_, evicted) =
+                                recency.pop_first().expect("cap >= 1, so map is non-empty");
+                            flows.remove(&evicted);
+                        }
+                        flows.insert(
+                            flow,
+                            FlowSlot {
+                                scanner: StreamScanner::with_lengths(
+                                    engine.clone(),
+                                    lengths.clone(),
+                                ),
+                                seq,
+                            },
+                        );
+                    }
+                    recency.insert(seq, flow);
+                    flows.get_mut(&flow).expect("present or just inserted")
+                } else {
+                    // Uncapped: no recency bookkeeping, one hash lookup.
+                    flows.entry(flow).or_insert_with(|| FlowSlot {
+                        scanner: StreamScanner::with_lengths(engine.clone(), lengths.clone()),
+                        seq,
+                    })
+                };
                 events.clear();
-                scanner.push(&packet.payload, &mut events);
+                slot.scanner.push(&packet.payload, &mut events);
                 stats.bytes_scanned += packet.payload.len() as u64;
                 stats.matches += events.len() as u64;
-                matches.extend(events.drain(..).map(|event| FlowMatch {
-                    flow: packet.flow,
-                    event,
-                }));
+                matches.extend(events.drain(..).map(|event| FlowMatch { flow, event }));
             }
             Job::CloseFlow(flow) => {
-                flows.remove(&flow);
+                if let Some(slot) = flows.remove(&flow) {
+                    recency.remove(&slot.seq);
+                }
             }
             Job::Flush(report) => {
                 let _ = report.send(WorkerReport {
                     matches: std::mem::take(&mut matches),
                     stats: std::mem::take(&mut stats),
+                    resident_flows: flows.len(),
                 });
             }
         }
@@ -378,5 +482,79 @@ mod tests {
     fn zero_workers_rejected() {
         let set = PatternSet::from_literals(&["x"]);
         let _ = ShardedScanner::new(engine(&set), &set, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_flows must be at least 1")]
+    fn zero_max_flows_rejected() {
+        let set = PatternSet::from_literals(&["x"]);
+        let _ = ShardedScanner::with_max_flows(engine(&set), &set, 2, 0);
+    }
+
+    #[test]
+    fn million_flow_churn_stays_bounded_and_scans_correctly() {
+        let set = PatternSet::from_literals(&["needle"]);
+        let cap = 64;
+        let workers = 3;
+        let mut scanner = ShardedScanner::with_max_flows(engine(&set), &set, workers, cap);
+        // A million distinct flows, each carrying one complete occurrence:
+        // every match must be found (the pattern never straddles packets of
+        // different flows) and the resident state must stay at the cap, not
+        // at one million scanners.
+        let total_flows = 1_000_000u64;
+        let batch_size = 50_000u64;
+        let mut found = 0u64;
+        let mut flow = 0u64;
+        while flow < total_flows {
+            let packets: Vec<Packet> = (flow..flow + batch_size)
+                .map(|f| Packet::new(f, b"..needle..".to_vec()))
+                .collect();
+            flow += batch_size;
+            let result = scanner.scan_batch(packets);
+            found += result.matches.len() as u64;
+            assert!(
+                result.resident_flows <= workers * cap.div_ceil(workers),
+                "resident flows {} exceeded the cap",
+                result.resident_flows
+            );
+        }
+        assert_eq!(found, total_flows);
+    }
+
+    #[test]
+    fn eviction_is_least_recently_pushed_and_acts_like_close_flow() {
+        let set = PatternSet::from_literals(&["split"]);
+        // One worker, two resident flows.
+        let mut scanner = ShardedScanner::with_max_flows(engine(&set), &set, 1, 2);
+        // Flow 1 and 2 each buffer a half-pattern; pushing flow 1 again
+        // makes flow 2 the least-recently-pushed.
+        scanner.scan_batch(vec![
+            Packet::new(1, b"..sp".to_vec()),
+            Packet::new(2, b"..sp".to_vec()),
+            Packet::new(1, b"spl".to_vec()),
+        ]);
+        // Flow 3 arrives at the cap: flow 2 (LRP) is evicted, flow 1 stays.
+        let result = scanner.scan_batch(vec![
+            Packet::new(3, b"zzz".to_vec()),
+            Packet::new(1, b"it!".to_vec()), // completes flow 1's "split"
+            Packet::new(2, b"lit".to_vec()), // would complete flow 2's — evicted
+        ]);
+        let flows_matched: Vec<u64> = result.matches.iter().map(|m| m.flow).collect();
+        assert_eq!(flows_matched, vec![1], "only the retained flow straddles");
+        assert_eq!(result.matches[0].event.start, 4);
+        // Evicted flow restarted at offset 0: a full occurrence still hits.
+        let after = scanner.scan_batch(vec![Packet::new(2, b"split".to_vec())]);
+        assert_eq!(after.matches.len(), 1);
+        assert_eq!(after.matches[0].event.start, 3);
+    }
+
+    #[test]
+    fn resident_flows_reported_without_a_cap_too() {
+        let set = PatternSet::from_literals(&["x"]);
+        let mut scanner = ShardedScanner::new(engine(&set), &set, 2);
+        let result = scanner.scan_batch((0..10u64).map(|f| Packet::new(f, b"x".to_vec())));
+        assert_eq!(result.resident_flows, 10);
+        scanner.close_flow(3);
+        assert_eq!(scanner.flush().resident_flows, 9);
     }
 }

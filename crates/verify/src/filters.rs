@@ -54,17 +54,36 @@ impl DirectFilter {
     /// window can still detect them (this is how DFC handles 1-byte
     /// patterns).
     pub fn build<F: Fn(&mpm_patterns::Pattern) -> bool>(set: &PatternSet, select: F) -> Self {
+        Self::build_with_fold(set, false, select)
+    }
+
+    /// Builds the filter over **ASCII-case-folded** prefix bytes when
+    /// `folded` is true (the filter-folded / verify-exact design for sets
+    /// containing `nocase` patterns: engines fold the input windows the same
+    /// way before the lookup, so folding only ever adds candidates and
+    /// verification restores per-pattern exactness). With `folded == false`
+    /// this is exactly [`DirectFilter::build`].
+    pub fn build_with_fold<F: Fn(&mpm_patterns::Pattern) -> bool>(
+        set: &PatternSet,
+        folded: bool,
+        select: F,
+    ) -> Self {
+        let fold = |b: u8| mpm_patterns::fold_byte(b, folded);
         let mut filter = DirectFilter::new();
         for (_, p) in set.iter() {
             if !select(p) {
                 continue;
             }
+            assert!(
+                folded || !p.is_nocase(),
+                "nocase pattern in an unfolded filter would silently match case-sensitively"
+            );
             let bytes = p.bytes();
             if bytes.len() >= 2 {
-                filter.set(u16::from_le_bytes([bytes[0], bytes[1]]));
+                filter.set(u16::from_le_bytes([fold(bytes[0]), fold(bytes[1])]));
             } else {
                 for second in 0..=255u8 {
-                    filter.set(u16::from_le_bytes([bytes[0], second]));
+                    filter.set(u16::from_le_bytes([fold(bytes[0]), second]));
                 }
             }
         }
@@ -139,14 +158,37 @@ impl HashedFilter {
         bits_log2: u32,
         select: F,
     ) -> Self {
+        Self::build_with_fold(set, bits_log2, false, select)
+    }
+
+    /// Builds the filter over **ASCII-case-folded** 4-byte prefixes when
+    /// `folded` is true (see [`DirectFilter::build_with_fold`] for the
+    /// contract); engines fold the input windows before hashing so the
+    /// filter stays a superset of the true candidates.
+    pub fn build_with_fold<F: Fn(&mpm_patterns::Pattern) -> bool>(
+        set: &PatternSet,
+        bits_log2: u32,
+        folded: bool,
+        select: F,
+    ) -> Self {
+        let fold = |b: u8| mpm_patterns::fold_byte(b, folded);
         let mut filter = HashedFilter::new(bits_log2);
         for (_, p) in set.iter() {
             if !select(p) {
                 continue;
             }
+            assert!(
+                folded || !p.is_nocase(),
+                "nocase pattern in an unfolded filter would silently match case-sensitively"
+            );
             let b = p.bytes();
             assert!(b.len() >= 4, "hashed filter requires >= 4-byte patterns");
-            filter.insert(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+            filter.insert(u32::from_le_bytes([
+                fold(b[0]),
+                fold(b[1]),
+                fold(b[2]),
+                fold(b[3]),
+            ]));
         }
         filter
     }
@@ -311,6 +353,34 @@ mod tests {
     fn hashed_filter_rejects_short_patterns() {
         let set = PatternSet::from_literals(&["ab"]);
         let _ = HashedFilter::build(&set, 12, |_| true);
+    }
+
+    #[test]
+    fn folded_direct_filter_indexes_on_lowercased_prefixes() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"GeT"),
+            Pattern::literal(*b"AB"),
+        ]);
+        let f = DirectFilter::build_with_fold(&set, true, |_| true);
+        // Folded build: only the folded window bits are set; engines fold the
+        // input windows before the lookup.
+        assert!(f.contains(u16::from_le_bytes([b'g', b'e'])));
+        assert!(!f.contains(u16::from_le_bytes([b'G', b'E'])));
+        assert!(f.contains(u16::from_le_bytes([b'a', b'b'])));
+        assert!(!f.contains(u16::from_le_bytes([b'A', b'B'])));
+    }
+
+    #[test]
+    fn folded_hashed_filter_accepts_folded_prefixes_of_all_patterns() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"PassWord"),
+            Pattern::literal(*b"MiXeD-case"),
+        ]);
+        let f = HashedFilter::build_with_fold(&set, HashedFilter::DEFAULT_BITS, true, |_| true);
+        assert!(f.contains(u32::from_le_bytes(*b"pass")));
+        assert!(f.contains(u32::from_le_bytes(*b"mixe")));
     }
 
     #[test]

@@ -19,11 +19,17 @@
 //!   third filter of S-PATCH.
 //!
 //! Equivalence guarantee: for any candidate position, verification reports
-//! exactly the patterns that occur verbatim at that position — never more
-//! (false positives are eliminated by the byte comparison) and never fewer
-//! (every pattern of the table's length class is reachable through its index
-//! prefix). The engines' overall exactness then only depends on their
-//! filters never dropping a true candidate, which the engine crates test.
+//! exactly the patterns that occur at that position under their own case
+//! rule — byte-exactly, or ASCII-case-insensitively for `nocase` patterns —
+//! never more (false positives are eliminated by the per-pattern comparison)
+//! and never fewer (every pattern of the table's length class is reachable
+//! through its index prefix). Tables built in **folded** mode (the engines
+//! do this whenever the set contains a `nocase` pattern) compute their
+//! bucket index over ASCII-case-folded bytes, both at build time and at
+//! lookup time, so one index serves mixed case-sensitive/`nocase` sets; the
+//! per-entry comparison then restores each pattern's exact semantics. The
+//! engines' overall exactness then only depends on their filters never
+//! dropping a true candidate, which the engine crates test.
 
 #![warn(missing_docs)]
 
@@ -51,12 +57,14 @@ pub fn hash32(value: u32, bits: u32) -> u32 {
 }
 
 /// One pattern reference inside a bucket: where the pattern's bytes live in
-/// the arena and which pattern id to report.
+/// the arena, which pattern id to report, and how to compare it against the
+/// input (byte-exact vs ASCII-case-insensitive).
 #[derive(Clone, Copy, Debug)]
 struct Entry {
     offset: u32,
     len: u32,
     id: PatternId,
+    nocase: bool,
 }
 
 /// A compact, prefix-indexed table of pattern references with an arena of
@@ -67,6 +75,10 @@ pub struct CompactHashTable {
     prefix_len: usize,
     /// log2 of the number of buckets.
     bucket_bits: u32,
+    /// True if the bucket index is computed over ASCII-case-folded bytes
+    /// (both at build time and at lookup time). Required whenever the table
+    /// holds a `nocase` pattern.
+    folded: bool,
     /// Bucket start offsets into `entries` (length = buckets + 1), CSR-style
     /// so lookups touch one contiguous slice.
     bucket_starts: Vec<u32>,
@@ -92,6 +104,28 @@ impl CompactHashTable {
         bucket_bits: u32,
         select: F,
     ) -> Self {
+        Self::build_with_fold(set, prefix_len, bucket_bits, false, select)
+    }
+
+    /// Builds a table whose bucket index is computed over
+    /// **ASCII-case-folded** bytes when `folded` is true — required whenever
+    /// the selection contains `nocase` patterns, so that a case-variant
+    /// input window still reaches the bucket holding the pattern.
+    /// [`CompactHashTable::verify_at`] folds the input window the same way;
+    /// the per-entry comparison stays byte-exact for case-sensitive patterns
+    /// and case-insensitive for `nocase` ones, so folding never introduces
+    /// false matches.
+    ///
+    /// # Panics
+    /// Panics if a selected pattern is `nocase` while `folded` is false:
+    /// such a table would silently match the pattern case-sensitively.
+    pub fn build_with_fold<F: Fn(&mpm_patterns::Pattern) -> bool>(
+        set: &PatternSet,
+        prefix_len: usize,
+        bucket_bits: u32,
+        folded: bool,
+        select: F,
+    ) -> Self {
         assert!((1..=4).contains(&prefix_len), "prefix_len must be 1..=4");
         let bucket_bits = if prefix_len <= 2 {
             (prefix_len as u32) * 8
@@ -113,12 +147,17 @@ impl CompactHashTable {
                     "pattern {id} (len {}) shorter than table prefix {prefix_len}",
                     p.len()
                 );
+                assert!(
+                    folded || !p.is_nocase(),
+                    "nocase pattern {id} requires a folded table \
+                     (build_with_fold(.., folded: true, ..))"
+                );
                 selected.push((id, p));
             }
         }
         let mut counts = vec![0u32; buckets];
         for (_, p) in &selected {
-            counts[Self::index_of(p.bytes(), prefix_len, bucket_bits) as usize] += 1;
+            counts[Self::index_of(p.bytes(), prefix_len, bucket_bits, folded) as usize] += 1;
         }
         let mut bucket_starts = vec![0u32; buckets + 1];
         for i in 0..buckets {
@@ -131,7 +170,8 @@ impl CompactHashTable {
             Entry {
                 offset: 0,
                 len: 0,
-                id: PatternId(0)
+                id: PatternId(0),
+                nocase: false,
             };
             total
         ];
@@ -139,13 +179,14 @@ impl CompactHashTable {
         let mut arena = Vec::with_capacity(selected.iter().map(|(_, p)| p.len()).sum());
         let mut min_pattern_len = usize::MAX;
         for (id, p) in &selected {
-            let bucket = Self::index_of(p.bytes(), prefix_len, bucket_bits) as usize;
+            let bucket = Self::index_of(p.bytes(), prefix_len, bucket_bits, folded) as usize;
             let slot = cursor[bucket] as usize;
             cursor[bucket] += 1;
             entries[slot] = Entry {
                 offset: arena.len() as u32,
                 len: p.len() as u32,
                 id: *id,
+                nocase: p.is_nocase(),
             };
             arena.extend_from_slice(p.bytes());
             min_pattern_len = min_pattern_len.min(p.len());
@@ -157,6 +198,7 @@ impl CompactHashTable {
         CompactHashTable {
             prefix_len,
             bucket_bits,
+            folded,
             bucket_starts,
             entries,
             arena,
@@ -165,18 +207,29 @@ impl CompactHashTable {
     }
 
     /// Bucket index for a window starting with `bytes` (at least
-    /// `prefix_len` bytes).
+    /// `prefix_len` bytes), over ASCII-case-folded bytes when `folded`.
     #[inline]
-    fn index_of(bytes: &[u8], prefix_len: usize, bucket_bits: u32) -> u32 {
+    fn index_of(bytes: &[u8], prefix_len: usize, bucket_bits: u32, folded: bool) -> u32 {
+        use mpm_patterns::fold_byte as fold;
         match prefix_len {
-            1 => bytes[0] as u32,
-            2 => u16::from_le_bytes([bytes[0], bytes[1]]) as u32,
+            1 => fold(bytes[0], folded) as u32,
+            2 => u16::from_le_bytes([fold(bytes[0], folded), fold(bytes[1], folded)]) as u32,
             3 => {
-                let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], 0]);
+                let v = u32::from_le_bytes([
+                    fold(bytes[0], folded),
+                    fold(bytes[1], folded),
+                    fold(bytes[2], folded),
+                    0,
+                ]);
                 hash32(v, bucket_bits)
             }
             4 => {
-                let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+                let v = u32::from_le_bytes([
+                    fold(bytes[0], folded),
+                    fold(bytes[1], folded),
+                    fold(bytes[2], folded),
+                    fold(bytes[3], folded),
+                ]);
                 hash32(v, bucket_bits)
             }
             _ => unreachable!("prefix_len validated at construction"),
@@ -207,7 +260,8 @@ impl CompactHashTable {
 
     /// Verifies the candidate position `pos` in `haystack`: every pattern in
     /// the bucket selected by the window at `pos` is compared against the
-    /// input, and confirmed matches are appended to `out`.
+    /// input — byte-exactly, or ASCII-case-insensitively for `nocase`
+    /// entries — and confirmed matches are appended to `out`.
     ///
     /// Returns the number of pattern comparisons performed (used by the
     /// instrumentation and the cache model).
@@ -216,7 +270,12 @@ impl CompactHashTable {
         if self.entries.is_empty() || pos + self.prefix_len > haystack.len() {
             return 0;
         }
-        let bucket = Self::index_of(&haystack[pos..], self.prefix_len, self.bucket_bits) as usize;
+        let bucket = Self::index_of(
+            &haystack[pos..],
+            self.prefix_len,
+            self.bucket_bits,
+            self.folded,
+        ) as usize;
         let start = self.bucket_starts[bucket] as usize;
         let end = self.bucket_starts[bucket + 1] as usize;
         let mut comparisons = 0;
@@ -227,7 +286,13 @@ impl CompactHashTable {
                 continue;
             }
             let pattern = &self.arena[entry.offset as usize..entry.offset as usize + len];
-            if &haystack[pos..pos + len] == pattern {
+            let window = &haystack[pos..pos + len];
+            let hit = if entry.nocase {
+                window.eq_ignore_ascii_case(pattern)
+            } else {
+                window == pattern
+            };
+            if hit {
                 out.push(MatchEvent::new(pos, entry.id));
             }
         }
@@ -241,8 +306,18 @@ impl CompactHashTable {
         if pos + self.prefix_len > haystack.len() {
             None
         } else {
-            Some(Self::index_of(&haystack[pos..], self.prefix_len, self.bucket_bits) as usize)
+            Some(Self::index_of(
+                &haystack[pos..],
+                self.prefix_len,
+                self.bucket_bits,
+                self.folded,
+            ) as usize)
         }
+    }
+
+    /// True if the bucket index is computed over ASCII-case-folded bytes.
+    pub fn is_folded(&self) -> bool {
+        self.folded
     }
 
     /// Approximate byte offset of a bucket inside the table's memory, for the
@@ -266,11 +341,21 @@ pub struct Verifier {
 pub const DEFAULT_LONG_BUCKET_BITS: u32 = 16;
 
 impl Verifier {
-    /// Builds the verifier for `set`.
+    /// Builds the verifier for `set`. When the set contains any `nocase`
+    /// pattern both tables are built in folded mode (the engines fold their
+    /// filter tables and input windows to match); a case-sensitive-only set
+    /// gets exactly the byte-exact tables it always had.
     pub fn build(set: &PatternSet) -> Self {
+        let folded = set.has_nocase();
         Verifier {
-            short: CompactHashTable::build(set, 1, 8, |p| p.len() < 4),
-            long: CompactHashTable::build(set, 4, DEFAULT_LONG_BUCKET_BITS, |p| p.len() >= 4),
+            short: CompactHashTable::build_with_fold(set, 1, 8, folded, |p| p.len() < 4),
+            long: CompactHashTable::build_with_fold(
+                set,
+                4,
+                DEFAULT_LONG_BUCKET_BITS,
+                folded,
+                |p| p.len() >= 4,
+            ),
         }
     }
 
@@ -369,6 +454,43 @@ mod tests {
         }
         mpm_patterns::matcher::normalize_matches(&mut out);
         assert_eq!(out, naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn folded_verifier_is_exact_on_mixed_case_sets() {
+        // Mixed set: nocase and case-sensitive patterns sharing prefixes.
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"GET /Admin"),
+            Pattern::literal(*b"get /admin"),
+            Pattern::literal_nocase(*b"XyZ"),
+            Pattern::literal(*b"xyz"),
+            Pattern::literal_nocase(*b"q"),
+        ]);
+        let v = Verifier::build(&set);
+        assert!(v.short_table().is_folded());
+        assert!(v.long_table().is_folded());
+        let hay = b"GET /ADMIN get /admin XYZ xyz Q q";
+        let mut out = Vec::new();
+        for pos in 0..hay.len() {
+            v.verify_short(hay, pos, &mut out);
+            v.verify_long(hay, pos, &mut out);
+        }
+        mpm_patterns::matcher::normalize_matches(&mut out);
+        assert_eq!(out, naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn case_sensitive_only_sets_build_unfolded_tables() {
+        let v = Verifier::build(&mixed_set());
+        assert!(!v.short_table().is_folded());
+        assert!(!v.long_table().is_folded());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a folded table")]
+    fn unfolded_table_rejects_nocase_patterns() {
+        let set = PatternSet::new(vec![Pattern::literal_nocase(*b"abcd")]);
+        let _ = CompactHashTable::build(&set, 4, 8, |_| true);
     }
 
     #[test]

@@ -18,10 +18,22 @@
 //! pattern. Patterns shorter than `B` (single bytes) cannot participate in
 //! the shift machinery at all and are handled by a dedicated scan — the
 //! degenerate behaviour the paper alludes to.
+//!
+//! Case-insensitive (`nocase`) patterns follow the workspace's
+//! filter-folded / verify-exact contract — the design the Wu-Manber hardware
+//! line (Aldwairi et al.) also adopts for NIDS rulesets: when the set
+//! contains any `nocase` pattern, the SHIFT and HASH tables are built over
+//! ASCII-case-folded pattern bytes and the scan folds the input block values
+//! to match (folding can only shrink shift distances, never skip a true
+//! occurrence), while per-pattern verification compares byte-exactly or
+//! case-insensitively as each pattern demands. Single-byte `nocase`
+//! patterns are simply registered under both case variants of their byte,
+//! which is already exact. Case-sensitive-only sets build and scan exactly
+//! as before.
 
 #![warn(missing_docs)]
 
-use mpm_patterns::{MatchEvent, Matcher, PatternId, PatternSet};
+use mpm_patterns::{fold_byte, MatchEvent, Matcher, PatternId, PatternSet};
 
 /// Block size used for the shift table (the classic choice).
 const B: usize = 2;
@@ -42,9 +54,14 @@ pub struct WuManber {
     /// `shift == 0`).
     buckets: Vec<Vec<PatternId>>,
     /// Single-byte patterns, handled by a dedicated pass: `one_byte[b]`
-    /// lists the ids of patterns equal to byte `b`.
+    /// lists the ids of patterns matching byte `b` (a `nocase` letter is
+    /// registered under both of its case variants).
     one_byte: Vec<Vec<PatternId>>,
     has_one_byte: bool,
+    /// True if the SHIFT/HASH tables were built over ASCII-case-folded
+    /// pattern bytes (the set contains a `nocase` pattern); the scan folds
+    /// input block values to match.
+    folded: bool,
 }
 
 #[inline]
@@ -55,21 +72,29 @@ fn block_value(a: u8, b: u8) -> usize {
 impl WuManber {
     /// Compiles the matcher for `set`.
     pub fn build(set: &PatternSet) -> Self {
+        let folded = set.has_nocase();
+        let fold = |b: u8| fold_byte(b, folded);
         let mut one_byte = vec![Vec::new(); 256];
         let mut has_one_byte = false;
-        let mut shift_patterns: Vec<(PatternId, &[u8])> = Vec::new();
+        let mut shift_patterns: Vec<(PatternId, &mpm_patterns::Pattern)> = Vec::new();
         for (id, p) in set.iter() {
             if p.len() < B {
-                one_byte[p.bytes()[0] as usize].push(id);
+                let b0 = p.bytes()[0];
+                one_byte[b0 as usize].push(id);
+                if p.is_nocase() && b0.is_ascii_alphabetic() {
+                    // Registering both case variants makes the single-byte
+                    // pass exact with no verification step.
+                    one_byte[(b0 ^ 0x20) as usize].push(id);
+                }
                 has_one_byte = true;
             } else {
-                shift_patterns.push((id, p.bytes()));
+                shift_patterns.push((id, p));
             }
         }
 
         let m = shift_patterns
             .iter()
-            .map(|(_, b)| b.len())
+            .map(|(_, p)| p.len())
             .min()
             .unwrap_or(0);
         let mut shift = vec![0u16; TABLE_SIZE];
@@ -78,11 +103,12 @@ impl WuManber {
             // Default shift: the whole window minus one block.
             let default = (m - B + 1) as u16;
             shift.iter_mut().for_each(|s| *s = default);
-            for (id, bytes) in &shift_patterns {
+            for (id, p) in &shift_patterns {
+                let bytes = p.bytes();
                 // Every block ending at position j (0-based, within the first
                 // m bytes) constrains the shift for that block value.
                 for j in (B - 1)..m {
-                    let value = block_value(bytes[j - 1], bytes[j]);
+                    let value = block_value(fold(bytes[j - 1]), fold(bytes[j]));
                     let safe = (m - 1 - j) as u16;
                     if safe < shift[value] {
                         shift[value] = safe;
@@ -90,7 +116,7 @@ impl WuManber {
                 }
                 // Blocks with shift 0 (the block ending the window) get the
                 // pattern added to their candidate bucket.
-                let value = block_value(bytes[m - 2], bytes[m - 1]);
+                let value = block_value(fold(bytes[m - 2]), fold(bytes[m - 1]));
                 buckets[value].push(*id);
             }
         }
@@ -102,7 +128,14 @@ impl WuManber {
             buckets,
             one_byte,
             has_one_byte,
+            folded,
         }
+    }
+
+    /// True if the tables were built over ASCII-case-folded bytes (the set
+    /// contains a `nocase` pattern).
+    pub fn is_folded(&self) -> bool {
+        self.folded
     }
 
     /// Shortest shift-eligible pattern length (`0` if all patterns are
@@ -128,6 +161,43 @@ impl WuManber {
             }
         }
     }
+
+    /// The shift-table scan over patterns of length ≥ `B`, monomorphized per
+    /// case mode: `FOLD = true` folds the input block values to match the
+    /// folded tables, `FOLD = false` is the historical byte-exact loop.
+    fn shift_scan<const FOLD: bool>(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        let m = self.m;
+        if m < B || haystack.len() < m {
+            return;
+        }
+        let n = haystack.len();
+        // `pos` is the index of the last byte of the current m-byte window.
+        let mut pos = m - 1;
+        while pos < n {
+            let value = block_value(
+                fold_byte(haystack[pos - 1], FOLD),
+                fold_byte(haystack[pos], FOLD),
+            );
+            let shift = self.shift[value] as usize;
+            if shift > 0 {
+                pos += shift;
+                continue;
+            }
+            // Candidate window: verify every pattern in the bucket against
+            // the text starting at the window start, under each pattern's
+            // own case rule.
+            let start = pos + 1 - m;
+            for &id in &self.buckets[value] {
+                let pattern = self.set.get(id);
+                if start + pattern.len() <= n
+                    && pattern.matches_window(&haystack[start..start + pattern.len()])
+                {
+                    out.push(MatchEvent::new(start, id));
+                }
+            }
+            pos += 1;
+        }
+    }
 }
 
 impl Matcher for WuManber {
@@ -148,31 +218,10 @@ impl Matcher for WuManber {
         if self.has_one_byte {
             self.scan_one_byte(haystack, out);
         }
-        let m = self.m;
-        if m < B || haystack.len() < m {
-            return;
-        }
-        let n = haystack.len();
-        // `pos` is the index of the last byte of the current m-byte window.
-        let mut pos = m - 1;
-        while pos < n {
-            let value = block_value(haystack[pos - 1], haystack[pos]);
-            let shift = self.shift[value] as usize;
-            if shift > 0 {
-                pos += shift;
-                continue;
-            }
-            // Candidate window: verify every pattern in the bucket against
-            // the text starting at the window start.
-            let start = pos + 1 - m;
-            for &id in &self.buckets[value] {
-                let pattern = self.set.get(id).bytes();
-                if start + pattern.len() <= n && &haystack[start..start + pattern.len()] == pattern
-                {
-                    out.push(MatchEvent::new(start, id));
-                }
-            }
-            pos += 1;
+        if self.folded {
+            self.shift_scan::<true>(haystack, out);
+        } else {
+            self.shift_scan::<false>(haystack, out);
         }
     }
 
@@ -234,6 +283,43 @@ mod tests {
         assert!(long_only.average_shift() > 5.0);
         assert!(with_short.average_shift() <= 1.0);
         assert_eq!(with_short.window_len(), 2);
+    }
+
+    #[test]
+    fn nocase_patterns_are_found_in_any_case() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"AnnOunce"),
+            Pattern::literal(*b"annual"),
+            Pattern::literal_nocase(*b"x"),
+            Pattern::literal_nocase(*b"aB"),
+        ]);
+        let wm = WuManber::build(&set);
+        assert!(wm.is_folded());
+        let hay = b"ANNOUNCE announce ANNUAL annual X x AB ab Ab aB";
+        assert_eq!(wm.find_all(hay), naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn case_sensitive_only_sets_stay_unfolded() {
+        let set = PatternSet::from_literals(&["AnnOunce", "annual"]);
+        let wm = WuManber::build(&set);
+        assert!(!wm.is_folded());
+        let hay = b"ANNOUNCE AnnOunce annual ANNUAL";
+        assert_eq!(wm.find_all(hay), naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn nocase_single_byte_registers_both_case_variants() {
+        use mpm_patterns::Pattern;
+        let set = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"q"),
+            Pattern::literal(*b"q"),
+            Pattern::literal_nocase(*b"7"),
+        ]);
+        let wm = WuManber::build(&set);
+        let hay = b"Q q 7";
+        assert_eq!(wm.find_all(hay), naive_find_all(&set, hay));
     }
 
     #[test]

@@ -47,3 +47,56 @@ fn parsed_ruleset_drives_all_engines_identically() {
     let http_alerts = http_engine.find_all(&payload);
     assert_eq!(http_alerts.len(), 4);
 }
+
+#[test]
+fn nocase_rules_fire_on_case_varied_traffic_end_to_end() {
+    let rules = parse_rules(RULES, ParseOptions::default()).expect("rules parse");
+    assert!(rules.has_nocase(), "the XSS rule carries nocase;");
+
+    // Case-varied attack: the nocase <script> rule must fire on <ScRiPt>,
+    // while the case-sensitive cmd.exe rule must NOT fire on CMD.EXE.
+    let payload = b"GET /?q=<ScRiPt>alert(1)</script> CMD.EXE cmd.exe HTTP/1.1";
+    let reference = NaiveMatcher::new(&rules).find_all(payload);
+    let fired: Vec<&str> = reference
+        .iter()
+        .map(|m| match m.pattern.0 {
+            2 => "<script>",
+            3 => "cmd.exe",
+            _ => "other",
+        })
+        .collect();
+    assert_eq!(fired, vec!["<script>", "cmd.exe"]);
+
+    for engine in [
+        Box::new(DfaMatcher::build(&rules)) as Box<dyn Matcher + Send + Sync>,
+        Box::new(WuManber::build(&rules)),
+        Box::new(Dfc::build(&rules)),
+        Box::new(SPatch::build(&rules)),
+        build_auto(&rules),
+    ] {
+        assert_eq!(engine.find_all(payload), reference, "{}", engine.name());
+    }
+
+    // Same semantics through the sharded streaming surface, with the match
+    // cut across packets and the flow table capped.
+    let engine: SharedMatcher = std::sync::Arc::from(build_auto(&rules));
+    let mut sharded = ShardedScanner::with_max_flows(engine, &rules, 2, 1024);
+    let result = sharded.scan_batch(vec![
+        Packet::new(7, b"GET /?q=<ScR".to_vec()),
+        Packet::new(7, b"iPt>alert(1)".to_vec()),
+    ]);
+    assert_eq!(result.matches.len(), 1);
+    assert_eq!(result.matches[0].event.start, 8);
+}
+
+#[test]
+fn contiguous_hex_contents_parse_and_match() {
+    // Snort-legal contiguous hex: |DEADBEEF| == |de ad be ef|.
+    let rule = r#"alert tcp any any -> any 445 (msg:"blob"; content:"|DEADBEEF|"; sid:1;)"#;
+    let rules = parse_rules(rule, ParseOptions::default()).expect("contiguous hex parses");
+    assert_eq!(rules.len(), 1);
+    let engine = build_auto(&rules);
+    let mut payload = b"....".to_vec();
+    payload.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+    assert_eq!(engine.count(&payload), 1);
+}
