@@ -1,12 +1,25 @@
 //! Emits the machine-readable perf-trajectory snapshot recorded in the
 //! repository's `BENCH_baseline.json`.
 //!
-//! Measures the Figure 6 quantity — V-PATCH filtering-phase throughput with
-//! and without candidate stores — for every backend this CPU supports (plus
-//! the scalar reference at both widths), on the canonical fig6 workload
-//! (S1-HTTP ruleset, ISCX-day2-like trace). Output is a JSON snapshot in the
-//! `vpatch-bench-baseline/v1` row shape (`rows[].gbps` / `rows[].gbps_std`);
-//! the checked-in `BENCH_baseline.json` accumulates one snapshot per
+//! Measures, for every backend this CPU supports (plus the scalar reference
+//! at both widths):
+//!
+//! * the Figure 6 quantity — V-PATCH filtering-phase throughput with and
+//!   without candidate stores — on the canonical fig6 workload (S1-HTTP
+//!   ruleset, ISCX-day2-like trace), case-sensitive and mixed-case;
+//! * since PR 5, a **verify-heavy** section: end-to-end V-PATCH throughput
+//!   (filter round + verification round) on the adversarial
+//!   [`Workload::verify_heavy_variant`] workload — hot-prefix patterns, so
+//!   candidate density is 10–100× s1-http — measured once with the batched,
+//!   prefetch-pipelined verification path and once with the historical
+//!   per-candidate path, each row carrying its `verify_share` (fraction of
+//!   scan time spent verifying) so the batched win is attributable;
+//! * since PR 5, a **memory** section: every engine's
+//!   [`mpm_patterns::Matcher::memory_footprint`] (filter vs verifier bytes)
+//!   on the s1 ruleset, so perf snapshots carry their memory cost.
+//!
+//! Output is a JSON snapshot in the `vpatch-bench-baseline/v1` shape; the
+//! checked-in `BENCH_baseline.json` accumulates one snapshot per
 //! optimisation PR so regressions and wins stay diff-able:
 //!
 //! ```text
@@ -24,12 +37,16 @@
 //! machine had, so flat scaling on a 1-CPU runner is not misread as a
 //! regression.
 
+use mpm_bench::engines::{build_engine, EngineKind, Platform};
 use mpm_bench::measure::measure_closure;
 use mpm_bench::{multicore, report, MultiCoreFigure, Options, Workload};
+use mpm_patterns::stats::RunningStats;
+use mpm_patterns::Matcher;
 use mpm_simd::{Avx2Backend, Avx512Backend, ScalarBackend, VectorBackend};
 use mpm_traffic::TraceKind;
 use mpm_vpatch::{FilterOnlyMode, Scratch, VPatch};
 use serde::Serialize;
+use std::time::Instant;
 
 /// One measured (backend, configuration) point, in the
 /// `vpatch-bench-baseline/v1` row shape.
@@ -47,6 +64,42 @@ struct BaselineRow {
     gbps_std: f64,
 }
 
+/// One end-to-end point on the verify-heavy workload: full V-PATCH scan
+/// (filter round + verification round), batched vs per-candidate verify.
+#[derive(Clone, Debug, Serialize)]
+struct VerifyHeavyRow {
+    /// Backend name.
+    backend: String,
+    /// Vector width.
+    lanes: usize,
+    /// `batched` (PR 5 path) or `per-candidate` (historical path).
+    verify: String,
+    /// Mean end-to-end throughput in Gbit/s.
+    gbps: f64,
+    /// Sample standard deviation.
+    gbps_std: f64,
+    /// Fraction of scan time spent in the verification round.
+    verify_share: f64,
+    /// Candidate positions produced per input KiB (workload density check;
+    /// identical across verify modes by construction).
+    candidates_per_kib: f64,
+}
+
+/// Per-engine resident-size row (s1 ruleset).
+#[derive(Clone, Debug, Serialize)]
+struct MemoryRow {
+    /// Engine label as used in the paper's figures.
+    engine: String,
+    /// Bytes of the filtering structures (0 when not phase-attributed).
+    filter_bytes: usize,
+    /// Bytes of the verification structures.
+    verify_bytes: usize,
+    /// Bytes not attributable to either phase.
+    other_bytes: usize,
+    /// Total resident bytes (`== Matcher::heap_bytes`).
+    total_bytes: usize,
+}
+
 /// One snapshot of the perf trajectory (what this binary emits).
 #[derive(Clone, Debug, Serialize)]
 struct BaselineSnapshot {
@@ -61,8 +114,13 @@ struct BaselineSnapshot {
     trace_mib: usize,
     /// Measured repetitions per point.
     runs: usize,
-    /// One row per backend × configuration.
+    /// One row per backend × configuration (Figure 6 filtering quantity).
     rows: Vec<BaselineRow>,
+    /// End-to-end rows on the verify-heavy adversarial workload, batched vs
+    /// per-candidate verification.
+    verify_heavy: Vec<VerifyHeavyRow>,
+    /// Per-engine resident table sizes on the s1 ruleset.
+    memory: Vec<MemoryRow>,
     /// Multi-core scaling on the same workload: aggregate sharded-scan
     /// throughput (full scans, not filtering-only) vs worker count.
     multicore: MultiCoreFigure,
@@ -110,6 +168,93 @@ fn measure_all_backends(
     measure_backend::<Avx512Backend, 16>(workload, trace, runs, suffix, rows);
 }
 
+/// Measures one backend's full scan (filter + verify) on the verify-heavy
+/// workload, once per verification mode. Per-phase times are taken around
+/// the two rounds directly, so `verify_share` is attributable to the path
+/// under test rather than inferred.
+fn measure_verify_heavy<B: VectorBackend<W>, const W: usize>(
+    workload: &Workload,
+    trace: &[u8],
+    runs: usize,
+    rows: &mut Vec<VerifyHeavyRow>,
+) {
+    if !B::is_available() {
+        return;
+    }
+    let engine = VPatch::<B, W>::build(&workload.patterns);
+    let mut scratch = Scratch::with_capacity_for(trace.len());
+    let mut out = Vec::new();
+    for (mode, batched) in [("batched", true), ("per-candidate", false)] {
+        // Warm-up pass (tables + trace into cache, scratch to steady state).
+        scratch.clear();
+        engine.filter_round(trace, &mut scratch);
+        let candidates = scratch.candidates();
+        let mut stats = RunningStats::new();
+        let mut filter_nanos = 0u64;
+        let mut verify_nanos = 0u64;
+        for _ in 0..runs {
+            out.clear();
+            scratch.begin_chunk();
+            let t0 = Instant::now();
+            engine.filter_round(trace, &mut scratch);
+            let t1 = Instant::now();
+            if batched {
+                engine.verify_round(trace, &scratch, &mut out);
+            } else {
+                engine.verify_round_per_candidate(trace, &scratch, &mut out);
+            }
+            let t2 = Instant::now();
+            filter_nanos += (t1 - t0).as_nanos() as u64;
+            verify_nanos += (t2 - t1).as_nanos() as u64;
+            stats.push(mpm_bench::measure::gbps(
+                trace.len(),
+                (t2 - t0).as_secs_f64(),
+            ));
+        }
+        rows.push(VerifyHeavyRow {
+            backend: B::name().to_string(),
+            lanes: W,
+            verify: mode.to_string(),
+            gbps: stats.mean(),
+            gbps_std: stats.stddev(),
+            verify_share: verify_nanos as f64 / (filter_nanos + verify_nanos).max(1) as f64,
+            candidates_per_kib: candidates as f64 * 1024.0 / trace.len() as f64,
+        });
+    }
+}
+
+/// Builds the per-engine memory section on the s1 ruleset (the figure
+/// engines at the widest platform this machine models, plus Wu-Manber).
+fn memory_section(workload: &Workload) -> Vec<MemoryRow> {
+    let mut rows = Vec::new();
+    let platform = if <Avx512Backend as VectorBackend<16>>::is_available() {
+        Platform::XeonPhi
+    } else {
+        Platform::Haswell
+    };
+    for kind in EngineKind::ALL {
+        let engine = build_engine(kind, &workload.patterns, platform);
+        let fp = engine.memory_footprint();
+        rows.push(MemoryRow {
+            engine: kind.label().to_string(),
+            filter_bytes: fp.filter_bytes,
+            verify_bytes: fp.verify_bytes,
+            other_bytes: fp.other_bytes,
+            total_bytes: fp.total(),
+        });
+    }
+    let wm = mpm_wu_manber::WuManber::build(&workload.patterns);
+    let fp = wm.memory_footprint();
+    rows.push(MemoryRow {
+        engine: wm.name().to_string(),
+        filter_bytes: fp.filter_bytes,
+        verify_bytes: fp.verify_bytes,
+        other_bytes: fp.other_bytes,
+        total_bytes: fp.total(),
+    });
+    rows
+}
+
 fn main() {
     let options = Options::from_env();
     let workload =
@@ -125,19 +270,30 @@ fn main() {
     let mixed = workload.mixed_case_variant(0x5eed);
     measure_all_backends(&mixed, options.runs, " (mixed-case)", &mut rows);
 
+    // Verify-heavy adversarial rows: end-to-end scans where verification
+    // dominates, batched vs per-candidate.
+    let heavy = workload.verify_heavy_variant(0x5eed);
+    let heavy_trace = &heavy.traces[0].1;
+    let mut verify_heavy = Vec::new();
+    measure_verify_heavy::<ScalarBackend, 8>(&heavy, heavy_trace, options.runs, &mut verify_heavy);
+    measure_verify_heavy::<Avx2Backend, 8>(&heavy, heavy_trace, options.runs, &mut verify_heavy);
+    measure_verify_heavy::<Avx512Backend, 16>(&heavy, heavy_trace, options.runs, &mut verify_heavy);
+
     let multicore =
         multicore::run_scaling_auto(&workload.patterns, trace, &[1, 2, 4, 8], options.runs);
 
     let snapshot = BaselineSnapshot {
         label: "current".to_string(),
         source: format!(
-            "bench_baseline bin (filter_only via measure_closure, {} runs after warm-up)",
+            "bench_baseline bin (filter_only + verify-heavy end-to-end via direct phase timing, {} runs after warm-up)",
             options.runs
         ),
         ruleset: options.ruleset.label().to_string(),
         trace_mib: options.trace_mib,
         runs: options.runs,
         rows,
+        verify_heavy,
+        memory: memory_section(&workload),
         multicore,
     };
     println!("{}", report::to_json(&snapshot));

@@ -163,4 +163,35 @@ mod tests {
         assert!(Platform::Haswell.describe().contains("8 lanes"));
         assert!(Platform::XeonPhi.describe().contains("16 lanes"));
     }
+
+    #[test]
+    fn every_engine_reports_a_consistent_memory_footprint() {
+        // The uniform contract behind the bench snapshot's memory section:
+        // footprint.total() == heap_bytes() for every engine, and the
+        // filtering engines attribute their bytes to the filter/verify split.
+        let set = PatternSet::from_literals(&["GET", "abcd", "x", "/etc/passwd", "attack"]);
+        for kind in EngineKind::ALL {
+            let engine = build_engine(kind, &set, Platform::Haswell);
+            let fp = engine.memory_footprint();
+            assert_eq!(fp.total(), engine.heap_bytes(), "{}", kind.label());
+            assert!(fp.total() > 0, "{}", kind.label());
+            if matches!(
+                kind,
+                EngineKind::Dfc | EngineKind::VectorDfc | EngineKind::SPatch | EngineKind::VPatch
+            ) {
+                assert!(fp.filter_bytes > 0, "{}", kind.label());
+                assert!(fp.verify_bytes > 0, "{}", kind.label());
+                assert_eq!(fp.other_bytes, 0, "{}", kind.label());
+            }
+        }
+        // The non-figure engines expose the same contract.
+        let wm = mpm_wu_manber::WuManber::build(&set);
+        assert_eq!(wm.memory_footprint().total(), wm.heap_bytes());
+        assert!(wm.memory_footprint().filter_bytes > 0);
+        assert!(wm.memory_footprint().verify_bytes > 0);
+        let nfa = mpm_aho_corasick::NfaMatcher::build(&set);
+        assert_eq!(nfa.memory_footprint().total(), nfa.heap_bytes());
+        let naive = mpm_patterns::NaiveMatcher::new(&set);
+        assert_eq!(naive.memory_footprint().total(), naive.heap_bytes());
+    }
 }

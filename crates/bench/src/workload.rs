@@ -1,7 +1,8 @@
 //! Workload construction: rulesets and traces for the experiments.
 
-use mpm_patterns::{PatternSet, SyntheticRuleset};
+use mpm_patterns::{Pattern, PatternSet, SyntheticRuleset};
 use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+use std::collections::HashMap;
 
 /// Which of the paper's rulesets to emulate.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -123,6 +124,83 @@ impl Workload {
             traces,
         }
     }
+    /// A **verify-heavy adversarial** variant of this workload: the traces
+    /// are unchanged, but the pattern set is replaced with patterns built
+    /// from the *hottest 4-grams actually present in the trace*, each
+    /// extended with a pseudo-random tail that (almost) never occurs. Every
+    /// occurrence of a hot 4-gram passes filters 2+3 exactly (the filter
+    /// bits were set by that very 4-gram) but fails verification at the
+    /// tail, so candidate density is one to two orders of magnitude above
+    /// the realistic s1-http workload while the match count stays tiny — the
+    /// regime where the scan rate is governed by the verification stage's
+    /// dependent hash-table loads, not by filtering. A second, smaller group
+    /// of 3-byte patterns seeded from the hottest first bytes does the same
+    /// to the short-pattern table (whose buckets are indexed by one byte, so
+    /// the shared-prefix patterns pile into shared buckets and each short
+    /// candidate pays multiple comparisons).
+    ///
+    /// This is the workload the `post_pr5` snapshot and the `verify_round`
+    /// Criterion bench measure the batched verification path on.
+    pub fn verify_heavy_variant(&self, seed: u64) -> Workload {
+        const HOT_GRAMS: usize = 6000;
+        const LONG_PATTERNS: usize = 24000;
+        const SHORT_PATTERNS: usize = 48;
+        let trace = &self.traces[0].1;
+
+        // Rank the trace's 4-grams by occurrence count.
+        let mut counts: HashMap<[u8; 4], u32> = HashMap::new();
+        for w in trace.windows(4) {
+            *counts.entry([w[0], w[1], w[2], w[3]]).or_insert(0) += 1;
+        }
+        let mut ranked: Vec<([u8; 4], u32)> = counts.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(HOT_GRAMS);
+
+        let mut state = seed ^ 0x7665_7269_6679; // "verify"
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+
+        let mut patterns: Vec<Pattern> = Vec::with_capacity(LONG_PATTERNS + SHORT_PATTERNS);
+        for i in 0..LONG_PATTERNS {
+            let (gram, _) = ranked[i % ranked.len()];
+            let tail_len = 4 + (next() % 9) as usize;
+            let mut bytes = gram.to_vec();
+            for _ in 0..tail_len {
+                bytes.push((next() % 256) as u8);
+            }
+            patterns.push(Pattern::literal(bytes));
+        }
+        // Short adversaries: hot first byte + hot second byte + a byte that
+        // rarely follows, so filter 1 fires constantly and the one-byte-
+        // indexed short buckets hold many same-prefix entries.
+        let mut hot2: Vec<([u8; 2], u32)> = {
+            let mut c: HashMap<[u8; 2], u32> = HashMap::new();
+            for w in trace.windows(2) {
+                *c.entry([w[0], w[1]]).or_insert(0) += 1;
+            }
+            c.into_iter().collect()
+        };
+        hot2.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for i in 0..SHORT_PATTERNS {
+            let (gram, _) = hot2[i % hot2.len().min(SHORT_PATTERNS)];
+            patterns.push(Pattern::literal(vec![
+                gram[0],
+                gram[1],
+                (next() % 256) as u8,
+            ]));
+        }
+        let patterns = PatternSet::new(patterns);
+        Workload {
+            full_ruleset: patterns.clone(),
+            patterns,
+            traces: self.traces.clone(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -188,6 +266,40 @@ mod tests {
             .all(|(a, b)| a.eq_ignore_ascii_case(b)));
         // Deterministic.
         assert_eq!(mixed.traces[0].1, w.mixed_case_variant(7).traces[0].1);
+    }
+
+    #[test]
+    fn verify_heavy_variant_is_candidate_dense_and_deterministic() {
+        use mpm_patterns::Matcher;
+        let w = Workload::build_with_traces(RulesetChoice::S1, 1, &[TraceKind::IscxDay2]);
+        let heavy = w.verify_heavy_variant(7);
+        // Deterministic.
+        assert_eq!(
+            heavy.patterns.patterns(),
+            w.verify_heavy_variant(7).patterns.patterns()
+        );
+        // The traces are untouched; only the pattern set is adversarial.
+        assert_eq!(heavy.traces[0].1, w.traces[0].1);
+        // Candidate density (the verification load) is at least an order of
+        // magnitude above the realistic ruleset on the same trace, while the
+        // hot-prefix-plus-random-tail construction keeps confirmed matches
+        // rare relative to candidates.
+        let base = mpm_vpatch::SPatch::build(&w.patterns);
+        let adv = mpm_vpatch::SPatch::build(&heavy.patterns);
+        let base_stats = base.scan_with_stats(&w.traces[0].1);
+        let adv_stats = adv.scan_with_stats(&heavy.traces[0].1);
+        assert!(
+            adv_stats.candidates >= 10 * base_stats.candidates.max(1),
+            "adversarial candidates {} vs base {}",
+            adv_stats.candidates,
+            base_stats.candidates
+        );
+        assert!(
+            adv_stats.matches < adv_stats.candidates / 10,
+            "matches {} should stay rare vs candidates {}",
+            adv_stats.matches,
+            adv_stats.candidates
+        );
     }
 
     #[test]

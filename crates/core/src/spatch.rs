@@ -86,7 +86,30 @@ impl SPatch {
     /// **Verification round** (lines 15–20 of Algorithm 1): replays the
     /// candidate arrays against the compact hash tables and appends confirmed
     /// matches to `out`. Returns the number of pattern comparisons performed.
+    ///
+    /// Since PR 5 the replay is **batched through the scalar backend**: the
+    /// dependent table loads (bucket offsets, entry rows, arena lines) are
+    /// software-prefetched `K` candidates ahead instead of serialising one
+    /// candidate at a time. S-PATCH stays the paper's scalar engine — the
+    /// index computation and compares use the scalar reference ops, no SIMD —
+    /// but verification throughput is memory-latency-bound, not compute
+    /// bound, so the pipeline alone recovers most of the batched win.
     pub fn verify_round(
+        &self,
+        haystack: &[u8],
+        scratch: &Scratch,
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        use mpm_simd::ScalarBackend;
+        let v = self.tables.verifier();
+        v.verify_short_batch::<ScalarBackend, 8>(haystack, &scratch.a_short, out)
+            + v.verify_long_batch::<ScalarBackend, 8>(haystack, &scratch.a_long, out)
+    }
+
+    /// The historical per-candidate verification round (no prefetching, one
+    /// serial lookup per candidate); the differential-suite reference and
+    /// bench A/B baseline, mirroring [`crate::VPatch::verify_round_per_candidate`].
+    pub fn verify_round_per_candidate(
         &self,
         haystack: &[u8],
         scratch: &Scratch,
@@ -164,7 +187,15 @@ impl Matcher for SPatch {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.tables.filter_bytes() + self.tables.table_bytes()
+        self.memory_footprint().total()
+    }
+
+    fn memory_footprint(&self) -> mpm_patterns::MemoryFootprint {
+        mpm_patterns::MemoryFootprint {
+            filter_bytes: self.tables.filter_bytes(),
+            verify_bytes: self.tables.table_bytes(),
+            other_bytes: 0,
+        }
     }
 }
 

@@ -292,9 +292,33 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         checksum
     }
 
-    /// **Verification round**: identical to S-PATCH (scalar replay of the
-    /// candidate arrays through the compact hash tables).
+    /// **Verification round**, batched: the candidate arrays the filtering
+    /// round compacted are replayed through
+    /// [`mpm_verify::Verifier::verify_short_batch`] /
+    /// [`mpm_verify::Verifier::verify_long_batch`] on this engine's own
+    /// backend — the same registers that filtered the input now gather the
+    /// candidate windows back, hash the bucket indices `W` at a time, and
+    /// the table walk is prefetch-pipelined `K` candidates deep. Returns the
+    /// number of pattern comparisons performed (identical, by construction
+    /// and by the differential suite, to the per-candidate count).
     pub fn verify_round(
+        &self,
+        haystack: &[u8],
+        scratch: &Scratch,
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        let v = self.tables.verifier();
+        v.verify_short_batch::<B, W>(haystack, &scratch.a_short, out)
+            + v.verify_long_batch::<B, W>(haystack, &scratch.a_long, out)
+    }
+
+    /// The historical per-candidate verification round (one serial
+    /// [`mpm_verify::Verifier::verify_short`] / `verify_long` lookup per
+    /// candidate, no prefetching, byte-loop compares). Kept as the reference
+    /// the differential suite holds [`VPatch::verify_round`] to, and as the
+    /// A/B baseline the `verify_round` Criterion bench and the
+    /// `bench_baseline` verify-heavy rows measure the batched path against.
+    pub fn verify_round_per_candidate(
         &self,
         haystack: &[u8],
         scratch: &Scratch,
@@ -372,7 +396,15 @@ impl<B: VectorBackend<W>, const W: usize> Matcher for VPatch<B, W> {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.tables.filter_bytes() + self.tables.table_bytes()
+        self.memory_footprint().total()
+    }
+
+    fn memory_footprint(&self) -> mpm_patterns::MemoryFootprint {
+        mpm_patterns::MemoryFootprint {
+            filter_bytes: self.tables.filter_bytes(),
+            verify_bytes: self.tables.table_bytes(),
+            other_bytes: 0,
+        }
     }
 }
 

@@ -1,7 +1,18 @@
 //! The original (scalar, single-pass) DFC engine.
+//!
+//! Since PR 5 the verification side of the pass is **block-drained**: the
+//! positions that survive the initial direct filter are buffered (up to
+//! [`crate::tables::DRAIN_BLOCK`] at a time) and pushed through the batched,
+//! prefetch-pipelined compact-hash-table path instead of being classified
+//! and verified one at a time the moment they pass. The filter loop itself —
+//! the part the paper's "DFC" baseline measures against the vectorized
+//! engines — is unchanged scalar code; what changed is that the dependent
+//! hash-table loads of consecutive candidates now overlap instead of
+//! serialising.
 
-use crate::tables::DfcTables;
+use crate::tables::{DfcTables, DRAIN_BLOCK};
 use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
+use mpm_simd::ScalarBackend;
 
 /// Scalar DFC: interleaved filtering + verification, exactly the structure
 /// the paper uses as its "DFC" baseline.
@@ -41,23 +52,42 @@ impl Dfc {
         out: &mut Vec<MatchEvent>,
     ) -> (u64, u64) {
         let t = &self.tables;
-        let mut candidates = 0u64;
-        let mut comparisons = 0u64;
         if haystack.is_empty() {
             return (0, 0);
         }
-        for i in 0..haystack.len() - 1 {
-            let window = u16::from_le_bytes([
-                fold_byte(haystack[i], FOLD),
-                fold_byte(haystack[i + 1], FOLD),
-            ]);
-            if t.df_initial.contains(window) {
-                candidates += 1;
-                comparisons += t.classify_and_verify(haystack, i, out) as u64;
+        // The drain buffers come from the thread-local cache, so repeated
+        // scans (one per streamed chunk/packet) allocate nothing.
+        crate::tables::with_drain_buffers(|pending, long_scratch| {
+            let mut candidates = 0u64;
+            let mut comparisons = 0u64;
+            for i in 0..haystack.len() - 1 {
+                let window = u16::from_le_bytes([
+                    fold_byte(haystack[i], FOLD),
+                    fold_byte(haystack[i + 1], FOLD),
+                ]);
+                if t.df_initial.contains(window) {
+                    candidates += 1;
+                    pending.push(i as u32);
+                    if pending.len() == DRAIN_BLOCK {
+                        comparisons += t.classify_and_verify_batch::<ScalarBackend, 8>(
+                            haystack,
+                            pending,
+                            long_scratch,
+                            out,
+                        );
+                        pending.clear();
+                    }
+                }
             }
-        }
-        t.verify_tail(haystack, out);
-        (candidates, comparisons)
+            comparisons += t.classify_and_verify_batch::<ScalarBackend, 8>(
+                haystack,
+                pending,
+                long_scratch,
+                out,
+            );
+            t.verify_tail(haystack, out);
+            (candidates, comparisons)
+        })
     }
 }
 
@@ -86,7 +116,15 @@ impl Matcher for Dfc {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.tables.filter_bytes() + self.tables.table_bytes()
+        self.memory_footprint().total()
+    }
+
+    fn memory_footprint(&self) -> mpm_patterns::MemoryFootprint {
+        mpm_patterns::MemoryFootprint {
+            filter_bytes: self.tables.filter_bytes(),
+            verify_bytes: self.tables.table_bytes(),
+            other_bytes: 0,
+        }
     }
 }
 

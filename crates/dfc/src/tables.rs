@@ -2,7 +2,40 @@
 //! shared by the scalar and vectorized execution engines.
 
 use mpm_patterns::{MatchEvent, PatternSet};
+use mpm_simd::VectorBackend;
 use mpm_verify::{CompactHashTable, DirectFilter};
+use std::cell::RefCell;
+
+/// How many initial-filter survivors the DFC engines buffer before draining
+/// them through the batched verification path (one block per length-class
+/// table keeps the candidate positions and the per-table pipeline state hot).
+pub const DRAIN_BLOCK: usize = 256;
+
+thread_local! {
+    /// Per-thread `(pending, long_scratch)` drain buffers reused across
+    /// scans, so the block-drained engines stay allocation-free per scan —
+    /// streaming callers invoke `find_into` once per pushed chunk/packet
+    /// (mirrors the cached scratch in `mpm-vpatch`). Both buffers are
+    /// bounded by [`DRAIN_BLOCK`] (+ one vector width of compress_store
+    /// spare), so no shrink policy is needed.
+    static DRAIN_BUFFERS: RefCell<(Vec<u32>, Vec<u32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Runs `f` with this thread's cached drain buffers, cleared on entry
+/// (a transient pair is allocated only in the re-entrant case, which the
+/// engines never hit themselves).
+pub(crate) fn with_drain_buffers<R>(f: impl FnOnce(&mut Vec<u32>, &mut Vec<u32>) -> R) -> R {
+    DRAIN_BUFFERS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buffers) => {
+            let (pending, long_scratch) = &mut *buffers;
+            pending.clear();
+            long_scratch.clear();
+            f(pending, long_scratch)
+        }
+        Err(_) => f(&mut Vec::new(), &mut Vec::new()),
+    })
+}
 
 /// All compiled state of a DFC instance.
 #[derive(Clone, Debug)]
@@ -95,10 +128,14 @@ impl DfcTables {
     /// window passed the initial filter. Appends confirmed matches to `out`
     /// and returns the number of pattern comparisons performed.
     ///
-    /// `last_window_byte_pair` tells the routine whether `i + 4 <= input len`
-    /// so the long-class progressive filter can be consulted.
+    /// This is the historical **per-candidate** path: the engines now drain
+    /// buffered candidate blocks through
+    /// [`DfcTables::classify_and_verify_batch`] instead, but this form is
+    /// kept public as the reference semantics the batched drain is held to
+    /// (`tests/verify_batch_differential.rs`) and for per-position callers
+    /// like the cache simulator's access replay.
     #[inline]
-    pub(crate) fn classify_and_verify(
+    pub fn classify_and_verify(
         &self,
         haystack: &[u8],
         i: usize,
@@ -122,6 +159,58 @@ impl DfcTables {
             if self.df_long.contains(w2) {
                 comparisons += self.ht_long.verify_at(haystack, i, out);
             }
+        }
+        comparisons
+    }
+
+    /// Batched form of [`DfcTables::classify_and_verify`]: drains a whole
+    /// block of initial-filter survivors through every length-class table's
+    /// [`CompactHashTable::verify_batch`] (SIMD bucket indexing + K-deep
+    /// prefetch pipeline + vector compares) instead of one interleaved
+    /// classification per candidate. The long class is still gated per
+    /// candidate by the progressive filter `df_long` — a cheap L1-resident
+    /// bitmap test — with the survivors collected into `long_scratch` and
+    /// batch-verified in one go. Semantically identical to calling
+    /// `classify_and_verify` per position in order, modulo the append order
+    /// of matches (grouped by length class instead of by position), which no
+    /// caller observes ([`mpm_patterns::Matcher::find_into`] output order is
+    /// unspecified).
+    ///
+    /// Returns the number of pattern comparisons performed.
+    pub fn classify_and_verify_batch<B: VectorBackend<W>, const W: usize>(
+        &self,
+        haystack: &[u8],
+        positions: &[u32],
+        long_scratch: &mut Vec<u32>,
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        let mut comparisons = 0u64;
+        if !self.ht_len1.is_empty() {
+            comparisons += self.ht_len1.verify_batch::<B, W>(haystack, positions, out);
+        }
+        if !self.ht_len2.is_empty() {
+            comparisons += self.ht_len2.verify_batch::<B, W>(haystack, positions, out);
+        }
+        if !self.ht_len3.is_empty() {
+            comparisons += self.ht_len3.verify_batch::<B, W>(haystack, positions, out);
+        }
+        if !self.ht_long.is_empty() {
+            long_scratch.clear();
+            for &p in positions {
+                let i = p as usize;
+                if i + 4 <= haystack.len() {
+                    let w2 = u16::from_le_bytes([
+                        mpm_patterns::fold_byte(haystack[i + 2], self.folded),
+                        mpm_patterns::fold_byte(haystack[i + 3], self.folded),
+                    ]);
+                    if self.df_long.contains(w2) {
+                        long_scratch.push(p);
+                    }
+                }
+            }
+            comparisons += self
+                .ht_long
+                .verify_batch::<B, W>(haystack, long_scratch, out);
         }
         comparisons
     }
@@ -183,6 +272,24 @@ mod tests {
         t.verify_tail(hay, &mut out);
         mpm_patterns::matcher::normalize_matches(&mut out);
         assert_eq!(out, mpm_patterns::naive::naive_find_all(&set, hay));
+    }
+
+    #[test]
+    fn drain_buffers_are_cached_cleared_and_reentrancy_safe() {
+        let cap = with_drain_buffers(|pending, _| {
+            pending.reserve(128);
+            pending.push(7);
+            pending.capacity()
+        });
+        with_drain_buffers(|pending, long_scratch| {
+            // Cleared on entry, capacity persisted from the previous scan.
+            assert!(pending.is_empty());
+            assert!(long_scratch.is_empty());
+            assert!(pending.capacity() >= cap.min(128));
+            // A nested borrow must not panic; it falls back to transients.
+            let nested_empty = with_drain_buffers(|p, l| p.is_empty() && l.is_empty());
+            assert!(nested_empty);
+        });
     }
 
     #[test]

@@ -11,15 +11,20 @@
 //! needed before vectorization pays off.
 //!
 //! The filter lookups ride the register-resident `VectorBackend` API: the
-//! `windows2 → shr → gather → test` chain stays in `B::Vec` registers, and
-//! only the final lane bitmask crosses back into scalar control flow — which
-//! is then, deliberately, where Vector-DFC spends its time. It drains that
-//! mask with a scalar bit-loop rather than `compress_store` because each
-//! surviving lane is classified and verified inline, exactly as in DFC; the
-//! two-round engines in `mpm-vpatch` are the ones that buy the vectorized
-//! candidate compaction.
+//! `windows2 → shr → gather → test` chain stays in `B::Vec` registers. The
+//! algorithmic *structure* is still DFC's single pass — there is no separate
+//! whole-input filtering round as in S-PATCH/V-PATCH — but since PR 5 the
+//! surviving lane masks leave the registers through `compress_store` into a
+//! small pending block that is drained through the batched,
+//! prefetch-pipelined verification path (`DfcTables::classify_and_verify_batch`)
+//! whenever it fills, rather than each lane being classified and verified
+//! inline the moment its bit pops out of the mask. The candidate set, match
+//! set and comparison counts are unchanged; only the memory scheduling of
+//! the verification tail — which dominates Vector-DFC's runtime on
+//! realistic traffic, which is the paper's whole point about this engine —
+//! is improved.
 
-use crate::tables::DfcTables;
+use crate::tables::{DfcTables, DRAIN_BLOCK};
 use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
 use mpm_simd::VectorBackend;
 use std::marker::PhantomData;
@@ -55,6 +60,12 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
         B::name()
     }
 
+    /// The compiled tables (exposed for the cache-simulation experiments and
+    /// the memory-footprint reporting).
+    pub fn tables(&self) -> &DfcTables {
+        &self.tables
+    }
+
     fn scan(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) -> u64 {
         if self.tables.is_folded() {
             self.scan_impl::<true>(haystack, out)
@@ -65,58 +76,71 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
 
     fn scan_impl<const FOLD: bool>(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) -> u64 {
         let t = &self.tables;
-        let mut candidates = 0u64;
         if haystack.is_empty() {
             return 0;
         }
         let filter_bytes = t.df_initial.bytes();
         let n = haystack.len();
-        // The vector loop needs W + 1 input bytes per block; positions whose
-        // 2-byte window would read past the end are handled by the scalar
-        // tail below.
-        let mut i = 0usize;
-        if n > W {
-            // Run the vectorized initial-filter loop inside the backend's
-            // feature context so the gathers inline (see
-            // `VectorBackend::dispatch`); classification + verification stay
-            // interleaved and scalar exactly as in the original DFC. With
-            // folded tables the window register is case-folded before the
-            // filter lookup, mirroring the folded build.
-            B::dispatch(|| {
-                while i + W < n {
-                    let windows = B::windows2(haystack, i);
-                    let windows = if FOLD {
-                        B::to_ascii_lower(windows)
-                    } else {
-                        windows
-                    };
-                    let idx = B::shr_const(windows, 3);
-                    let bytes = B::gather_bytes(filter_bytes, idx);
-                    let mut mask = B::test_window_bits(bytes, windows);
-                    while mask != 0 {
-                        let lane = mask.trailing_zeros() as usize;
-                        mask &= mask - 1;
-                        candidates += 1;
-                        t.classify_and_verify(haystack, i + lane, out);
+        // The drain buffers come from the thread-local cache, so repeated
+        // scans (one per streamed chunk/packet) allocate nothing.
+        crate::tables::with_drain_buffers(|pending, long_scratch| {
+            let mut candidates = 0u64;
+            // The vector loop needs W + 1 input bytes per block; positions
+            // whose 2-byte window would read past the end are handled by the
+            // scalar tail below.
+            let mut i = 0usize;
+            if n > W {
+                // Run the vectorized initial-filter loop inside the backend's
+                // feature context so the gathers inline (see
+                // `VectorBackend::dispatch`). Surviving lanes are compacted
+                // into the pending block with `compress_store` and drained
+                // through the batched verification path when it fills. With
+                // folded tables the window register is case-folded before the
+                // filter lookup, mirroring the folded build.
+                B::dispatch(|| {
+                    while i + W < n {
+                        let windows = B::windows2(haystack, i);
+                        let windows = if FOLD {
+                            B::to_ascii_lower(windows)
+                        } else {
+                            windows
+                        };
+                        let idx = B::shr_const(windows, 3);
+                        let bytes = B::gather_bytes(filter_bytes, idx);
+                        let mask = B::test_window_bits(bytes, windows);
+                        if mask != 0 {
+                            candidates += mask.count_ones() as u64;
+                            B::compress_store(mask, i as u32, pending);
+                            if pending.len() >= DRAIN_BLOCK {
+                                t.classify_and_verify_batch::<B, W>(
+                                    haystack,
+                                    pending,
+                                    long_scratch,
+                                    out,
+                                );
+                                pending.clear();
+                            }
+                        }
+                        i += W;
                     }
-                    i += W;
-                }
-            });
-        }
-        // Scalar tail: remaining windows plus the final byte.
-        while i + 1 < n {
-            let window = u16::from_le_bytes([
-                fold_byte(haystack[i], FOLD),
-                fold_byte(haystack[i + 1], FOLD),
-            ]);
-            if t.df_initial.contains(window) {
-                candidates += 1;
-                t.classify_and_verify(haystack, i, out);
+                });
             }
-            i += 1;
-        }
-        t.verify_tail(haystack, out);
-        candidates
+            // Scalar tail: remaining windows plus the final byte.
+            while i + 1 < n {
+                let window = u16::from_le_bytes([
+                    fold_byte(haystack[i], FOLD),
+                    fold_byte(haystack[i + 1], FOLD),
+                ]);
+                if t.df_initial.contains(window) {
+                    candidates += 1;
+                    pending.push(i as u32);
+                }
+                i += 1;
+            }
+            t.classify_and_verify_batch::<B, W>(haystack, pending, long_scratch, out);
+            t.verify_tail(haystack, out);
+            candidates
+        })
     }
 }
 
@@ -145,7 +169,15 @@ impl<B: VectorBackend<W>, const W: usize> Matcher for VectorDfc<B, W> {
     }
 
     fn heap_bytes(&self) -> usize {
-        self.tables.filter_bytes() + self.tables.table_bytes()
+        self.memory_footprint().total()
+    }
+
+    fn memory_footprint(&self) -> mpm_patterns::MemoryFootprint {
+        mpm_patterns::MemoryFootprint {
+            filter_bytes: self.tables.filter_bytes(),
+            verify_bytes: self.tables.table_bytes(),
+            other_bytes: 0,
+        }
     }
 }
 

@@ -34,7 +34,7 @@ pub mod snort;
 pub mod stats;
 pub mod synthetic;
 
-pub use matcher::{MatchEvent, Matcher, MatcherStats};
+pub use matcher::{MatchEvent, Matcher, MatcherStats, MemoryFootprint};
 pub use naive::NaiveMatcher;
 pub use pattern::{fold_byte, Pattern, PatternId, PatternSet, ProtocolGroup};
 pub use synthetic::{RulesetSpec, SyntheticRuleset};

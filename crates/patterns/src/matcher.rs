@@ -99,6 +99,33 @@ impl MatcherStats {
     }
 }
 
+/// Phase-attributed breakdown of an engine's resident data structures, in
+/// bytes. Complements [`Matcher::heap_bytes`] with the split the paper's
+/// cache-locality argument is about: the *filtering* structures must stay
+/// cache-resident while the *verification* tables may spill to L3 — so a
+/// perf snapshot without the split cannot tell whether an engine is fast
+/// because its algorithm is good or because its tables happen to be tiny.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// Bytes of the filtering structures the scan loop touches per input
+    /// position (direct/hashed bitmap filters, shift tables).
+    pub filter_bytes: usize,
+    /// Bytes of the verification structures (compact hash tables, candidate
+    /// buckets, pattern arenas).
+    pub verify_bytes: usize,
+    /// Bytes not attributable to either phase (e.g. an automaton that
+    /// filters and verifies in one structure).
+    pub other_bytes: usize,
+}
+
+impl MemoryFootprint {
+    /// Total resident bytes; equals [`Matcher::heap_bytes`] for every engine
+    /// in the workspace (asserted in the engines' tests).
+    pub fn total(&self) -> usize {
+        self.filter_bytes + self.verify_bytes + self.other_bytes
+    }
+}
+
 /// The interface every multiple-pattern-matching engine implements.
 ///
 /// Engines are constructed from a [`PatternSet`] (a potentially expensive,
@@ -162,6 +189,19 @@ pub trait Matcher {
     /// automaton exceeds cache capacity while the filters stay cache-resident.
     fn heap_bytes(&self) -> usize {
         0
+    }
+
+    /// Phase-attributed breakdown of [`Matcher::heap_bytes`]. Engines with a
+    /// filter/verify split override this; the default attributes everything
+    /// to [`MemoryFootprint::other_bytes`]. The `bench_baseline` snapshot
+    /// emits one row per engine from this, so every perf trajectory entry
+    /// carries its memory cost.
+    fn memory_footprint(&self) -> MemoryFootprint {
+        MemoryFootprint {
+            filter_bytes: 0,
+            verify_bytes: 0,
+            other_bytes: self.heap_bytes(),
+        }
     }
 }
 

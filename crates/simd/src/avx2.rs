@@ -148,6 +148,70 @@ mod imp {
         _mm256_and_si256(gathered, _mm256_set1_epi32(0xffff))
     }
 
+    /// # Safety: AVX2 required; every `idx[j] + 4 <= table.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn gather_u32_avx2(table: &[u8], idx: __m256i) -> __m256i {
+        _mm256_i32gather_epi32(table.as_ptr() as *const i32, idx, 1)
+    }
+
+    /// Masked-load window comparison (see `VectorBackend::eq_window`):
+    /// full 32-byte blocks ride `vpcmpeqb` + `vpmovmskb`; the remainder is
+    /// read with a dword-granular `vpmaskmovd`, which architecturally does
+    /// not access masked-out elements, so the loads never touch bytes past
+    /// either slice. The final `len % 4` bytes are compared scalar. With
+    /// `FOLD`, both sides pass through the byte-range ASCII fold first, so
+    /// the compare is `eq_ignore_ascii_case`.
+    ///
+    /// # Safety: AVX2 required; `a.len() == b.len()`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn eq_window_avx2<const FOLD: bool>(a: &[u8], b: &[u8]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let len = a.len();
+        let fold = |v: __m256i| if FOLD { to_ascii_lower_avx2(v) } else { v };
+        let mut i = 0usize;
+        while i + 32 <= len {
+            let va = fold(_mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i));
+            let vb = fold(_mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i));
+            if _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) != -1 {
+                return false;
+            }
+            i += 32;
+        }
+        let dwords = (len - i) / 4;
+        if dwords > 0 {
+            // Lane j participates iff j < dwords; vpmaskmovd leaves the
+            // other lanes zero on both sides, which compare equal.
+            let lane_mask = _mm256_cmpgt_epi32(
+                _mm256_set1_epi32(dwords as i32),
+                _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+            );
+            let va = fold(_mm256_maskload_epi32(
+                a.as_ptr().add(i) as *const i32,
+                lane_mask,
+            ));
+            let vb = fold(_mm256_maskload_epi32(
+                b.as_ptr().add(i) as *const i32,
+                lane_mask,
+            ));
+            if _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)) != -1 {
+                return false;
+            }
+            i += dwords * 4;
+        }
+        while i < len {
+            let (x, y) = if FOLD {
+                (a[i].to_ascii_lowercase(), b[i].to_ascii_lowercase())
+            } else {
+                (a[i], b[i])
+            };
+            if x != y {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
     /// Byte-granular ASCII lowercasing: the classic range-compare +
     /// `or 0x20` idiom. The signed `vpcmpgtb` compares are safe here because
     /// `'A'-1` and `'Z'+1` are both positive: bytes `0x80..=0xFF` read as
@@ -310,6 +374,33 @@ mod imp {
             // SAFETY: availability checked at engine construction; padding
             // contract bounds the per-lane 4-byte loads.
             unsafe { gather_u16_avx2(table, idx) }
+        }
+
+        #[inline(always)]
+        fn gather_u32(table: &[u8], idx: __m256i) -> __m256i {
+            #[cfg(debug_assertions)]
+            for &i in &from_m256i(idx) {
+                assert!(
+                    i as usize + GATHER_PADDING <= table.len(),
+                    "gather index {i} violates padding requirement"
+                );
+            }
+            // SAFETY: availability checked at engine construction; the
+            // padding contract bounds the 4-byte per-lane loads.
+            unsafe { gather_u32_avx2(table, idx) }
+        }
+
+        #[inline(always)]
+        fn eq_window(window: &[u8], pattern: &[u8]) -> bool {
+            // SAFETY: availability checked at engine construction; lengths
+            // asserted equal inside, masked loads stay inside the slices.
+            unsafe { eq_window_avx2::<false>(window, pattern) }
+        }
+
+        #[inline(always)]
+        fn eq_window_nocase(window: &[u8], pattern: &[u8]) -> bool {
+            // SAFETY: as above.
+            unsafe { eq_window_avx2::<true>(window, pattern) }
         }
 
         #[inline(always)]

@@ -100,6 +100,61 @@ mod imp {
         _mm512_and_si512(gathered, _mm512_set1_epi32(0xffff))
     }
 
+    /// # Safety: AVX-512F required; every `idx[j] + 4 <= table.len()`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn gather_u32_avx512(table: &[u8], idx: __m512i) -> __m512i {
+        _mm512_i32gather_epi32(idx, table.as_ptr() as *const i32, 1)
+    }
+
+    /// Masked-load window comparison (see `VectorBackend::eq_window`):
+    /// full 64-byte blocks compare with `vpcmpeqd` over unaligned loads
+    /// (dword equality ⇔ byte equality); the remainder is read with the
+    /// k-masked `vmovdqu32`, whose masked-out dwords are architecturally
+    /// not accessed — the loads never touch bytes past either slice. The
+    /// final `len % 4` bytes are compared scalar. With `FOLD`, both sides
+    /// pass through the 32-bit SWAR ASCII fold first (AVX-512F has no byte
+    /// compares, so the fold — like the equality — rides dword ops).
+    ///
+    /// # Safety: AVX-512F required; `a.len() == b.len()`.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn eq_window_avx512<const FOLD: bool>(a: &[u8], b: &[u8]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let len = a.len();
+        let fold = |v: __m512i| if FOLD { to_ascii_lower_avx512(v) } else { v };
+        let mut i = 0usize;
+        while i + 64 <= len {
+            let va = fold(_mm512_loadu_si512(a.as_ptr().add(i) as *const __m512i));
+            let vb = fold(_mm512_loadu_si512(b.as_ptr().add(i) as *const __m512i));
+            if _mm512_cmpeq_epi32_mask(va, vb) != 0xffff {
+                return false;
+            }
+            i += 64;
+        }
+        let dwords = ((len - i) / 4) as u16;
+        if dwords > 0 {
+            let k = (1u16 << dwords) - 1;
+            // Masked-out dwords load as zero on both sides and compare equal.
+            let va = fold(_mm512_maskz_loadu_epi32(k, a.as_ptr().add(i) as *const i32));
+            let vb = fold(_mm512_maskz_loadu_epi32(k, b.as_ptr().add(i) as *const i32));
+            if _mm512_cmpeq_epi32_mask(va, vb) != 0xffff {
+                return false;
+            }
+            i += dwords as usize * 4;
+        }
+        while i < len {
+            let (x, y) = if FOLD {
+                (a[i].to_ascii_lowercase(), b[i].to_ascii_lowercase())
+            } else {
+                (a[i], b[i])
+            };
+            if x != y {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
     /// Byte-granular ASCII lowercasing via the 32-bit SWAR form of
     /// `crate::ascii_lower_u32`: AVX-512**F** has no byte compares (those
     /// are AVX-512BW, which this backend deliberately does not require), so
@@ -248,6 +303,33 @@ mod imp {
             // SAFETY: availability checked at engine construction; padding
             // contract bounds the per-lane 4-byte loads.
             unsafe { gather_u16_avx512(table, idx) }
+        }
+
+        #[inline(always)]
+        fn gather_u32(table: &[u8], idx: __m512i) -> __m512i {
+            #[cfg(debug_assertions)]
+            for &i in &from_m512i(idx) {
+                assert!(
+                    i as usize + GATHER_PADDING <= table.len(),
+                    "gather index {i} violates padding requirement"
+                );
+            }
+            // SAFETY: availability checked at engine construction; the
+            // padding contract bounds the 4-byte per-lane loads.
+            unsafe { gather_u32_avx512(table, idx) }
+        }
+
+        #[inline(always)]
+        fn eq_window(window: &[u8], pattern: &[u8]) -> bool {
+            // SAFETY: availability checked at engine construction; lengths
+            // asserted equal inside, masked loads stay inside the slices.
+            unsafe { eq_window_avx512::<false>(window, pattern) }
+        }
+
+        #[inline(always)]
+        fn eq_window_nocase(window: &[u8], pattern: &[u8]) -> bool {
+            // SAFETY: as above.
+            unsafe { eq_window_avx512::<true>(window, pattern) }
         }
 
         #[inline(always)]

@@ -82,6 +82,31 @@ pub use scalar::{ScalarBackend, ScalarWide16, ScalarWide8};
 /// addressable index (see the crate-level documentation).
 pub const GATHER_PADDING: usize = 4;
 
+/// Issues a best-effort read prefetch for the cache line containing `ptr`
+/// (`prefetcht0` on x86-64, a no-op elsewhere).
+///
+/// This is the scheduling primitive of the batched verification pipeline
+/// (`mpm-verify`): the dependent loads of a compact-hash-table lookup —
+/// bucket offsets, entry rows, pattern arena lines — are requested `K`
+/// candidates ahead of use, so their memory latency overlaps the compares of
+/// the current candidate instead of serialising behind them.
+///
+/// The instruction is architecturally a hint: it never faults, even for a
+/// dangling or misaligned address, so the wrapper is safe. It is also not
+/// gated on any target feature (`prefetcht0` is baseline x86-64), so callers
+/// do not need a [`VectorBackend::dispatch`] region to use it.
+#[inline(always)]
+pub fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it performs no architecturally visible
+    // memory access and cannot fault regardless of the pointer value.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(ptr as *const i8)
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = ptr;
+}
+
 /// ASCII-lowercases the four packed bytes of a little-endian `u32` lane
 /// without branches (SWAR): every byte in `b'A'..=b'Z'` gets `0x20` OR-ed
 /// in, every other byte — including non-ASCII `0x80..=0xFF` — is unchanged.
@@ -207,6 +232,65 @@ pub trait VectorBackend<const W: usize>: Copy + Clone + Default + Send + Sync + 
             *slot = u16::from_le_bytes([table[i], table[i + 1]]) as u32;
         }
         Self::from_array(out)
+    }
+
+    /// Gathers four consecutive bytes per lane, little-endian:
+    /// `lane[j] = u32::from_le_bytes(table[idx[j] .. idx[j] + 4])`.
+    ///
+    /// This is how the batched verifier re-reads the 4-byte candidate
+    /// windows straight out of the haystack: the filter's `compress_store`
+    /// output is already a `u32` position array, so feeding it back through
+    /// the gather yields all `W` windows in one register with no scalar
+    /// re-assembly. Same padding contract as [`VectorBackend::gather_bytes`]:
+    /// every `idx[j] as usize + GATHER_PADDING <= table.len()` (here the
+    /// "padding" is simply the 4 bytes actually read — callers route
+    /// positions closer than 4 bytes to the end through a scalar path).
+    ///
+    /// The default implementation performs one scalar load per lane;
+    /// hardware backends override it with their 32-bit gather.
+    fn gather_u32(table: &[u8], idx: Self::Vec) -> Self::Vec {
+        let idx = Self::to_array(idx);
+        let mut out = [0u32; W];
+        for (j, slot) in out.iter_mut().enumerate() {
+            let i = idx[j] as usize;
+            debug_assert!(
+                i + GATHER_PADDING <= table.len(),
+                "gather index {i} violates the padding requirement (table len {})",
+                table.len()
+            );
+            *slot = u32::from_le_bytes([table[i], table[i + 1], table[i + 2], table[i + 3]]);
+        }
+        Self::from_array(out)
+    }
+
+    /// Byte-exact window comparison: true iff `window == pattern`.
+    ///
+    /// `window` and `pattern` must have equal lengths. The hardware backends
+    /// compare 32/64-byte blocks with vector compare-mask instructions and
+    /// drain the sub-register remainder with **masked vector loads** (dword
+    /// granular, so at most 3 trailing bytes fall back to scalar compares);
+    /// the scalar default is the plain slice comparison. All backends are
+    /// byte-exhaustively tested identical (see `backend_equivalence.rs`).
+    ///
+    /// This is the compare half of the batched verification design: the
+    /// per-entry `==` byte loop of `CompactHashTable::verify_at` becomes one
+    /// or two vector compares for typical Snort-length patterns.
+    fn eq_window(window: &[u8], pattern: &[u8]) -> bool {
+        debug_assert_eq!(window.len(), pattern.len());
+        window == pattern
+    }
+
+    /// ASCII-case-insensitive window comparison: true iff
+    /// `window.eq_ignore_ascii_case(pattern)`.
+    ///
+    /// Same contract and implementation shape as
+    /// [`VectorBackend::eq_window`], with both sides folded through the
+    /// backend's ASCII-lowercase primitive before the compare (byte-exact
+    /// for non-alphabetic and non-ASCII bytes, exactly like
+    /// [`ascii_lower_u32`]).
+    fn eq_window_nocase(window: &[u8], pattern: &[u8]) -> bool {
+        debug_assert_eq!(window.len(), pattern.len());
+        window.eq_ignore_ascii_case(pattern)
     }
 
     /// ASCII-lowercases every packed byte of every lane: each byte in

@@ -315,6 +315,180 @@ fn compress_store_wraps_identically_near_u32_max() {
     }
 }
 
+// --- gather_u32: 4-byte windows straight from candidate positions ---------
+
+proptest! {
+    #[test]
+    fn gather_u32_matches_scalar_on_all_backends(table in proptest::collection::vec(any::<u8>(), 64..2048), raw_idx in proptest::array::uniform16(any::<u32>())) {
+        let limit = (table.len() - GATHER_PADDING) as u32;
+        let idx16 = raw_idx.map(|i| i % limit);
+        let idx8: [u32; 8] = std::array::from_fn(|j| idx16[j]);
+        // Scalar default implementation is the reference.
+        let expected8 = <ScalarBackend as VectorBackend<8>>::gather_u32(&table, idx8);
+        for (j, &i) in idx8.iter().enumerate() {
+            let i = i as usize;
+            let want = u32::from_le_bytes([table[i], table[i + 1], table[i + 2], table[i + 3]]);
+            prop_assert_eq!(expected8[j], want);
+        }
+        if avx2_available() {
+            type A8 = Avx2Backend;
+            prop_assert_eq!(
+                <A8 as VectorBackend<8>>::to_array(<A8 as VectorBackend<8>>::gather_u32(
+                    &table,
+                    <A8 as VectorBackend<8>>::from_array(idx8)
+                )),
+                expected8
+            );
+        }
+        if avx512_available() {
+            type A16 = Avx512Backend;
+            let expected16 = <ScalarBackend as VectorBackend<16>>::gather_u32(&table, idx16);
+            prop_assert_eq!(
+                <A16 as VectorBackend<16>>::to_array(<A16 as VectorBackend<16>>::gather_u32(
+                    &table,
+                    <A16 as VectorBackend<16>>::from_array(idx16)
+                )),
+                expected16
+            );
+        }
+    }
+}
+
+// --- eq_window / eq_window_nocase: the batched-verify compare -------------
+//
+// The scalar defaults (`==` / `eq_ignore_ascii_case`) are the reference
+// semantics; the hardware backends' 32/64-byte compare-mask + masked-load
+// implementations must agree on every byte value at every position across
+// lengths that cover the full-block loop, the masked-dword remainder and the
+// final scalar bytes.
+
+/// Asserts every backend agrees with the scalar reference on one pair.
+fn assert_eq_window_all_backends(a: &[u8], b: &[u8], context: &str) {
+    let exact = <ScalarBackend as VectorBackend<8>>::eq_window(a, b);
+    let folded = <ScalarBackend as VectorBackend<8>>::eq_window_nocase(a, b);
+    assert_eq!(
+        exact,
+        a == b,
+        "scalar eq_window reference broken: {context}"
+    );
+    assert_eq!(
+        folded,
+        a.eq_ignore_ascii_case(b),
+        "scalar eq_window_nocase reference broken: {context}"
+    );
+    if avx2_available() {
+        assert_eq!(
+            <Avx2Backend as VectorBackend<8>>::eq_window(a, b),
+            exact,
+            "avx2 eq_window: {context}"
+        );
+        assert_eq!(
+            <Avx2Backend as VectorBackend<8>>::eq_window_nocase(a, b),
+            folded,
+            "avx2 eq_window_nocase: {context}"
+        );
+    }
+    if avx512_available() {
+        assert_eq!(
+            <Avx512Backend as VectorBackend<16>>::eq_window(a, b),
+            exact,
+            "avx512 eq_window: {context}"
+        );
+        assert_eq!(
+            <Avx512Backend as VectorBackend<16>>::eq_window_nocase(a, b),
+            folded,
+            "avx512 eq_window_nocase: {context}"
+        );
+    }
+}
+
+/// Window lengths covering every code-path split of both hardware kernels:
+/// scalar-only (< 4), masked-dword-only (4..32 / 4..64), full blocks with
+/// every remainder class, and multi-block.
+const EQ_WINDOW_LENGTHS: &[usize] = &[
+    1, 2, 3, 4, 5, 6, 7, 8, 11, 15, 16, 19, 28, 31, 32, 33, 35, 36, 47, 48, 63, 64, 65, 67, 96,
+    100, 128, 131,
+];
+
+#[test]
+fn eq_window_byte_exhaustive_at_every_position_class() {
+    for &len in EQ_WINDOW_LENGTHS {
+        let base: Vec<u8> = (0..len).map(|i| (i as u8).wrapping_mul(37)).collect();
+        // Mutation positions: start, every block/tail seam neighbourhood, end.
+        let mut positions = vec![0, len / 2, len - 1];
+        for seam in [4usize, 32, 64] {
+            if len > seam {
+                positions.push(seam - 1);
+                positions.push(seam);
+            }
+        }
+        positions.retain(|&p| p < len);
+        for byte in 0..=255u8 {
+            for &pos in &positions {
+                // The partner byte sweeps: identical, case-toggled,
+                // lowercased, and off-by-one — covering equal, fold-equal
+                // and unequal outcomes for every byte value.
+                for partner in [
+                    byte,
+                    byte ^ 0x20,
+                    byte.to_ascii_lowercase(),
+                    byte.wrapping_add(1),
+                ] {
+                    let mut a = base.clone();
+                    let mut b = base.clone();
+                    a[pos] = byte;
+                    b[pos] = partner;
+                    assert_eq_window_all_backends(
+                        &a,
+                        &b,
+                        &format!("len {len} pos {pos} byte {byte:#04x} partner {partner:#04x}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eq_window_at_the_very_end_of_an_allocation() {
+    // The masked-load safety contract: windows ending exactly at the last
+    // byte of a heap allocation must compare correctly without reading past
+    // it (dword-masked loads + scalar tail never touch bytes outside the
+    // slice). Exercised for every remainder class.
+    let hay: Vec<u8> = (0..4096).map(|i| (i as u8) ^ 0x5a).collect();
+    for &len in EQ_WINDOW_LENGTHS {
+        let window = &hay[hay.len() - len..];
+        let pattern = window.to_vec();
+        assert_eq_window_all_backends(window, &pattern, &format!("end-of-alloc len {len}"));
+        let mut unequal = pattern.clone();
+        unequal[len - 1] ^= 0xff;
+        assert_eq_window_all_backends(window, &unequal, &format!("end-of-alloc-ne len {len}"));
+    }
+}
+
+proptest! {
+    #[test]
+    fn eq_window_matches_reference_on_random_pairs(
+        a in proptest::collection::vec(any::<u8>(), 0..140),
+        flips in proptest::collection::vec(any::<bool>(), 1..8),
+        toggle_case in proptest::collection::vec(any::<bool>(), 1..8),
+    ) {
+        // Derive b from a: random case toggles (fold-equal) plus occasional
+        // hard flips (unequal), so all three outcomes appear.
+        let mut b = a.clone();
+        for (i, byte) in b.iter_mut().enumerate() {
+            if toggle_case[i % toggle_case.len()] && byte.is_ascii_alphabetic() {
+                *byte ^= 0x20;
+            }
+            if flips[i % flips.len()] && i % 13 == 0 {
+                *byte = byte.wrapping_add(1);
+            }
+        }
+        assert_eq_window_all_backends(&a, &b, "random pair");
+        assert_eq_window_all_backends(&a, &a.clone(), "identical pair");
+    }
+}
+
 // --- to_ascii_lower: the case-folding primitive ---------------------------
 //
 // Every backend must fold exactly the bytes `b'A'..=b'Z'` (OR 0x20) in every

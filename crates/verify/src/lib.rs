@@ -38,6 +38,34 @@ pub mod filters;
 pub use filters::{DirectFilter, HashedFilter, MergedDirectFilters, FILTER_PADDING};
 
 use mpm_patterns::{MatchEvent, PatternId, PatternSet};
+use mpm_simd::{prefetch_read, VectorBackend, GATHER_PADDING};
+
+/// Prefetch distance `K` of the batched verification pipeline: the
+/// `bucket_starts` slot of candidate `i + K` is prefetched while candidate
+/// `i` is being verified, the entry row at `i + K/2` (its bucket offset is
+/// cached by then) and the pattern-arena line at `i + 2` (its entry row is
+/// cached by then). Eight candidates ahead covers a memory-latency's worth
+/// of verification work for typical bucket sizes without evicting lines
+/// before use; see DEVELOPMENT.md for the contract.
+pub const PREFETCH_DISTANCE: usize = 8;
+
+/// Prefetch distance of the entry-row stage (reads `bucket_starts`, which
+/// the [`PREFETCH_DISTANCE`] stage requested earlier).
+const ENTRY_PREFETCH_DISTANCE: usize = PREFETCH_DISTANCE / 2;
+
+/// Prefetch distance of the arena stage (reads the first entry of the
+/// bucket, which the entry stage requested earlier).
+const ARENA_PREFETCH_DISTANCE: usize = 2;
+
+/// Candidates per index-computation block of the batched verifier: bucket
+/// indices for a whole block are computed SIMD-first into a stack buffer,
+/// then drained through the prefetch pipeline. 128 keeps the buffer well
+/// inside one page while amortising the pipeline prologue.
+const BATCH_BLOCK: usize = 128;
+
+/// Bucket sentinel for candidates whose index window does not fit in the
+/// haystack (they verify nothing, exactly like [`CompactHashTable::verify_at`]).
+const SKIP_BUCKET: u32 = u32::MAX;
 
 /// The multiplier of the multiplicative hash family used by the third filter
 /// and the verification tables (2^32 / φ, the usual Fibonacci-hash constant).
@@ -280,11 +308,14 @@ impl CompactHashTable {
         let end = self.bucket_starts[bucket + 1] as usize;
         let mut comparisons = 0;
         for entry in &self.entries[start..end] {
-            comparisons += 1;
             let len = entry.len as usize;
             if pos + len > haystack.len() {
+                // Skipped by the bounds check: no pattern bytes were compared,
+                // so nothing is counted (candidates near the end of the buffer
+                // must not inflate the comparison statistics).
                 continue;
             }
+            comparisons += 1;
             let pattern = &self.arena[entry.offset as usize..entry.offset as usize + len];
             let window = &haystack[pos..pos + len];
             let hit = if entry.nocase {
@@ -294,6 +325,221 @@ impl CompactHashTable {
             };
             if hit {
                 out.push(MatchEvent::new(pos, entry.id));
+            }
+        }
+        comparisons
+    }
+
+    /// **Batched, software-pipelined verification** of a whole candidate
+    /// array: semantically identical to calling
+    /// [`CompactHashTable::verify_at`] for every position in order (same
+    /// matches, same append order, same comparison count — property-tested
+    /// in `tests/verify_batch_differential.rs`), but scheduled for the
+    /// memory system instead of one dependent-load chain per candidate:
+    ///
+    /// 1. **SIMD index computation** — the positions (already `u32`, exactly
+    ///    as `compress_store` emitted them) are fed back through the
+    ///    backend's registers: one [`VectorBackend::gather_u32`] re-reads all
+    ///    `W` candidate windows from the haystack, [`VectorBackend::to_ascii_lower`]
+    ///    folds them when the table is folded, and
+    ///    [`VectorBackend::hash_mul_shift`] computes the bucket indices —
+    ///    `W` candidates per iteration, no scalar byte assembly.
+    /// 2. **K-deep prefetch pipeline** — while candidate `i` is verified,
+    ///    the `bucket_starts` slot of candidate `i + K`, the entry row of
+    ///    candidate `i + K/2` and the arena line of candidate `i + 2` are
+    ///    prefetched ([`PREFETCH_DISTANCE`]), so the three dependent loads
+    ///    of each lookup overlap the compares of earlier candidates.
+    /// 3. **Vector compares** — each surviving entry is compared with
+    ///    [`VectorBackend::eq_window`] / [`VectorBackend::eq_window_nocase`]
+    ///    instead of the byte loop.
+    ///
+    /// Candidates whose 4-byte gather window would cross the end of the
+    /// haystack are detoured through the scalar index computation (and a
+    /// candidate whose *prefix* does not fit verifies nothing), so the
+    /// batch path is total over arbitrary position arrays.
+    ///
+    /// Returns the number of pattern comparisons performed.
+    pub fn verify_batch<B: VectorBackend<W>, const W: usize>(
+        &self,
+        haystack: &[u8],
+        positions: &[u32],
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        if self.entries.is_empty() || positions.is_empty() {
+            return 0;
+        }
+        // Monomorphize over the fold mode: case-sensitive-only tables keep a
+        // dedicated kernel with no fold instructions and no per-entry case
+        // branch, mirroring the engines' `const FOLD` filter kernels.
+        if self.folded {
+            self.verify_batch_impl::<B, W, true>(haystack, positions, out)
+        } else {
+            self.verify_batch_impl::<B, W, false>(haystack, positions, out)
+        }
+    }
+
+    fn verify_batch_impl<B: VectorBackend<W>, const W: usize, const FOLD: bool>(
+        &self,
+        haystack: &[u8],
+        positions: &[u32],
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        let mut comparisons = 0u64;
+        let mut buckets = [0u32; BATCH_BLOCK];
+        // The whole batch runs inside the backend's dispatch trampoline so
+        // the gathers, folds and masked compares inline into one kernel.
+        B::dispatch(|| {
+            for block in positions.chunks(BATCH_BLOCK) {
+                self.compute_buckets::<B, W, FOLD>(haystack, block, &mut buckets);
+                comparisons += self.drain_pipelined::<B, W, FOLD>(
+                    haystack,
+                    block,
+                    &buckets[..block.len()],
+                    out,
+                );
+            }
+        });
+        comparisons
+    }
+
+    /// Computes the bucket index of every candidate in `block` into
+    /// `buckets`, `W` lanes at a time ([`SKIP_BUCKET`] for candidates whose
+    /// prefix window does not fit the haystack).
+    #[inline(always)]
+    fn compute_buckets<B: VectorBackend<W>, const W: usize, const FOLD: bool>(
+        &self,
+        haystack: &[u8],
+        block: &[u32],
+        buckets: &mut [u32; BATCH_BLOCK],
+    ) {
+        let n = haystack.len();
+        let shift = 32 - self.bucket_bits;
+        let mut i = 0usize;
+        while i + W <= block.len() {
+            let chunk: [u32; W] = block[i..i + W].try_into().expect("chunk is W long");
+            // The 4-byte gather reads `pos .. pos + 4`; candidates closer
+            // than GATHER_PADDING to the end take the scalar detour below.
+            if chunk.iter().all(|&p| p as usize + GATHER_PADDING <= n) {
+                let windows = B::gather_u32(haystack, B::from_array(chunk));
+                let windows = if FOLD {
+                    B::to_ascii_lower(windows)
+                } else {
+                    windows
+                };
+                let idx = match self.prefix_len {
+                    1 => B::and_const(windows, 0xff),
+                    2 => B::and_const(windows, 0xffff),
+                    3 => B::hash_mul_shift(
+                        B::and_const(windows, 0x00ff_ffff),
+                        HASH_MULTIPLIER,
+                        shift,
+                        u32::MAX,
+                    ),
+                    _ => B::hash_mul_shift(windows, HASH_MULTIPLIER, shift, u32::MAX),
+                };
+                buckets[i..i + W].copy_from_slice(&B::to_array(idx));
+            } else {
+                for (j, &p) in chunk.iter().enumerate() {
+                    buckets[i + j] = self.scalar_bucket(haystack, p as usize);
+                }
+            }
+            i += W;
+        }
+        for (j, &p) in block[i..].iter().enumerate() {
+            buckets[i + j] = self.scalar_bucket(haystack, p as usize);
+        }
+    }
+
+    /// Scalar bucket computation for candidates the gather cannot reach
+    /// (block tails and positions within [`GATHER_PADDING`] of the end).
+    #[inline]
+    fn scalar_bucket(&self, haystack: &[u8], pos: usize) -> u32 {
+        if pos + self.prefix_len > haystack.len() {
+            SKIP_BUCKET
+        } else {
+            Self::index_of(
+                &haystack[pos..],
+                self.prefix_len,
+                self.bucket_bits,
+                self.folded,
+            )
+        }
+    }
+
+    /// Drains one block of candidates through the K-deep prefetch pipeline.
+    #[inline(always)]
+    fn drain_pipelined<B: VectorBackend<W>, const W: usize, const FOLD: bool>(
+        &self,
+        haystack: &[u8],
+        block: &[u32],
+        buckets: &[u32],
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        let len = block.len();
+        // Prologue: request the bucket offsets of the first K candidates so
+        // the steady-state stages below find them resident.
+        for &b in buckets.iter().take(PREFETCH_DISTANCE.min(len)) {
+            if b != SKIP_BUCKET {
+                prefetch_read(&self.bucket_starts[b as usize]);
+            }
+        }
+        let mut comparisons = 0u64;
+        for i in 0..len {
+            // Stage 1 (distance K): bucket offsets of candidate i + K.
+            if i + PREFETCH_DISTANCE < len {
+                let b = buckets[i + PREFETCH_DISTANCE];
+                if b != SKIP_BUCKET {
+                    prefetch_read(&self.bucket_starts[b as usize]);
+                }
+            }
+            // Stage 2 (distance K/2): entry row of candidate i + K/2; its
+            // bucket offset was prefetched K/2 iterations ago.
+            if i + ENTRY_PREFETCH_DISTANCE < len {
+                let b = buckets[i + ENTRY_PREFETCH_DISTANCE];
+                if b != SKIP_BUCKET {
+                    let start = self.bucket_starts[b as usize] as usize;
+                    if let Some(entry) = self.entries.get(start) {
+                        prefetch_read(entry);
+                    }
+                }
+            }
+            // Stage 3 (distance 2): arena line of candidate i + 2's first
+            // entry; the entry row is resident from stage 2.
+            if i + ARENA_PREFETCH_DISTANCE < len {
+                let b = buckets[i + ARENA_PREFETCH_DISTANCE];
+                if b != SKIP_BUCKET {
+                    let start = self.bucket_starts[b as usize] as usize;
+                    let end = self.bucket_starts[b as usize + 1] as usize;
+                    if start < end {
+                        prefetch_read(&self.arena[self.entries[start].offset as usize]);
+                    }
+                }
+            }
+            // Stage 0: verify candidate i — every load it performs was
+            // requested stages ago.
+            let b = buckets[i];
+            if b == SKIP_BUCKET {
+                continue;
+            }
+            let start = self.bucket_starts[b as usize] as usize;
+            let end = self.bucket_starts[b as usize + 1] as usize;
+            let pos = block[i] as usize;
+            for entry in &self.entries[start..end] {
+                let elen = entry.len as usize;
+                if pos + elen > haystack.len() {
+                    continue;
+                }
+                comparisons += 1;
+                let pattern = &self.arena[entry.offset as usize..entry.offset as usize + elen];
+                let window = &haystack[pos..pos + elen];
+                let hit = if FOLD && entry.nocase {
+                    B::eq_window_nocase(window, pattern)
+                } else {
+                    B::eq_window(window, pattern)
+                };
+                if hit {
+                    out.push(MatchEvent::new(pos, entry.id));
+                }
             }
         }
         comparisons
@@ -371,6 +617,32 @@ impl Verifier {
     #[inline]
     pub fn verify_long(&self, haystack: &[u8], pos: usize, out: &mut Vec<MatchEvent>) -> usize {
         self.long.verify_at(haystack, pos, out)
+    }
+
+    /// Batched verification of a whole short-candidate array (`A_short`):
+    /// semantically identical to [`Verifier::verify_short`] per position, but
+    /// SIMD-indexed, prefetch-pipelined and vector-compared — see
+    /// [`CompactHashTable::verify_batch`].
+    #[inline]
+    pub fn verify_short_batch<B: VectorBackend<W>, const W: usize>(
+        &self,
+        haystack: &[u8],
+        positions: &[u32],
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        self.short.verify_batch::<B, W>(haystack, positions, out)
+    }
+
+    /// Batched verification of a whole long-candidate array (`A_long`); see
+    /// [`Verifier::verify_short_batch`].
+    #[inline]
+    pub fn verify_long_batch<B: VectorBackend<W>, const W: usize>(
+        &self,
+        haystack: &[u8],
+        positions: &[u32],
+        out: &mut Vec<MatchEvent>,
+    ) -> u64 {
+        self.long.verify_batch::<B, W>(haystack, positions, out)
     }
 
     /// The short-pattern table.
@@ -526,6 +798,128 @@ mod tests {
         let n = table.verify_at(b"attack now", 0, &mut out);
         assert_eq!(n, 2, "'attack' and 'attach' share the bucket prefix 'atta'");
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn comparisons_counter_excludes_entries_skipped_at_buffer_end() {
+        // "attack" and "attach" share the bucket prefix "atta". On a buffer
+        // that ends right after the prefix, neither pattern fits: the bounds
+        // check skips both entries without comparing a byte, so the counter
+        // must report 0 — not the bucket size.
+        let set = PatternSet::from_literals(&["attack", "attach"]);
+        let table = CompactHashTable::build(&set, 4, 8, |_| true);
+        let mut out = Vec::new();
+        assert_eq!(table.verify_at(b"zzatta", 2, &mut out), 0);
+        assert!(out.is_empty());
+        // One byte more and both 6-byte patterns still don't fit.
+        assert_eq!(table.verify_at(b"zzattac", 2, &mut out), 0);
+        assert!(out.is_empty());
+        // With the full window present both entries are genuinely compared.
+        assert_eq!(table.verify_at(b"zzattack", 2, &mut out), 2);
+        assert_eq!(out.len(), 1);
+        // Mixed-length bucket: only the entries that fit are counted.
+        let set = PatternSet::from_literals(&["atta", "attack"]);
+        let table = CompactHashTable::build(&set, 4, 8, |_| true);
+        let mut out = Vec::new();
+        assert_eq!(
+            table.verify_at(b"atta", 0, &mut out),
+            1,
+            "only the 4-byte pattern fits and is compared"
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn verify_batch_equals_per_candidate_on_every_table_shape() {
+        use mpm_simd::ScalarBackend;
+        // One table per prefix length, mixed folded/unfolded.
+        let exact = PatternSet::from_literals(&[
+            "x",
+            "ab",
+            "abc",
+            "abcd",
+            "attack",
+            "attach",
+            "attribute",
+            "/etc/passwd",
+        ]);
+        let folded = PatternSet::new(vec![
+            Pattern::literal_nocase(*b"GeT"),
+            Pattern::literal(*b"get"),
+            Pattern::literal_nocase(*b"AtTaCk"),
+            Pattern::literal_nocase(*b"Q"),
+            Pattern::literal(*b"abcd"),
+        ]);
+        let hay = b"GET get attack ATTACK abcd attribute q Q x ab /etc/passwd atta";
+        for (set, fold) in [(&exact, false), (&folded, true)] {
+            for (prefix_len, bits) in [(1usize, 8u32), (2, 16), (3, 10), (4, 12)] {
+                let table = CompactHashTable::build_with_fold(set, prefix_len, bits, fold, |p| {
+                    p.len() >= prefix_len
+                });
+                let positions: Vec<u32> = (0..hay.len() as u32).collect();
+                let mut expected = Vec::new();
+                let mut expected_cmp = 0u64;
+                for &p in &positions {
+                    expected_cmp += table.verify_at(hay, p as usize, &mut expected) as u64;
+                }
+                let mut got = Vec::new();
+                let got_cmp = table.verify_batch::<ScalarBackend, 8>(hay, &positions, &mut got);
+                assert_eq!(got, expected, "prefix {prefix_len} fold {fold}");
+                assert_eq!(got_cmp, expected_cmp, "prefix {prefix_len} fold {fold}");
+            }
+        }
+    }
+
+    #[test]
+    fn verify_batch_handles_out_of_gather_range_and_empty_positions() {
+        use mpm_simd::ScalarBackend;
+        let set = mixed_set();
+        let v = Verifier::build(&set);
+        let hay = b"xGET";
+        // Positions at and past the last gatherable window, plus pos == len
+        // boundary values: the scalar detour must keep the batch total.
+        let positions: Vec<u32> = (0..=hay.len() as u32).collect();
+        let mut expected = Vec::new();
+        for &p in &positions {
+            v.verify_short(hay, p as usize, &mut expected);
+            v.verify_long(hay, p as usize, &mut expected);
+        }
+        let mut got = Vec::new();
+        v.verify_short_batch::<ScalarBackend, 8>(hay, &positions, &mut got);
+        v.verify_long_batch::<ScalarBackend, 8>(hay, &positions, &mut got);
+        mpm_patterns::matcher::normalize_matches(&mut expected);
+        mpm_patterns::matcher::normalize_matches(&mut got);
+        assert_eq!(got, expected);
+        // Empty candidate arrays are a no-op.
+        assert_eq!(
+            v.verify_short_batch::<ScalarBackend, 8>(hay, &[], &mut got),
+            0
+        );
+    }
+
+    #[test]
+    fn verify_batch_spans_multiple_blocks() {
+        use mpm_simd::ScalarBackend;
+        // More candidates than BATCH_BLOCK so block seams are crossed, with
+        // matches sprinkled throughout.
+        let set = PatternSet::from_literals(&["needle", "ne", "n"]);
+        let hay: Vec<u8> = b"a needle in a haystack ".repeat(40);
+        let v = Verifier::build(&set);
+        let positions: Vec<u32> = (0..hay.len() as u32).collect();
+        assert!(positions.len() > 3 * 128);
+        let mut expected = Vec::new();
+        let mut expected_cmp = 0u64;
+        for &p in &positions {
+            expected_cmp += v.verify_short(&hay, p as usize, &mut expected) as u64;
+            expected_cmp += v.verify_long(&hay, p as usize, &mut expected) as u64;
+        }
+        let mut got = Vec::new();
+        let mut got_cmp = v.verify_short_batch::<ScalarBackend, 8>(&hay, &positions, &mut got);
+        got_cmp += v.verify_long_batch::<ScalarBackend, 8>(&hay, &positions, &mut got);
+        mpm_patterns::matcher::normalize_matches(&mut expected);
+        mpm_patterns::matcher::normalize_matches(&mut got);
+        assert_eq!(got, expected);
+        assert_eq!(got_cmp, expected_cmp);
     }
 
     #[test]

@@ -34,12 +34,26 @@
 #![warn(missing_docs)]
 
 use mpm_patterns::{fold_byte, MatchEvent, Matcher, PatternId, PatternSet};
+use mpm_simd::{
+    prefetch_read, Avx2Backend, Avx512Backend, BackendKind, ScalarBackend, VectorBackend,
+};
 
 /// Block size used for the shift table (the classic choice).
 const B: usize = 2;
 
 /// Number of entries in the SHIFT/HASH tables (one per 2-byte block value).
 const TABLE_SIZE: usize = 1 << 16;
+
+/// Zero-shift candidates buffered before a batched verification drain: the
+/// candidate-window loop no longer verifies each window the moment its shift
+/// hits zero, it buffers `(start, block value)` pairs and drains them with
+/// the bucket storage prefetched ahead and the per-pattern compares running
+/// through the SIMD window comparison (`VectorBackend::eq_window`).
+const WM_BATCH: usize = 64;
+
+/// Prefetch distance inside the drain: the id storage of candidate `i + K`
+/// is requested while candidate `i`'s patterns are compared.
+const WM_PREFETCH: usize = 4;
 
 /// Wu-Manber matcher.
 #[derive(Clone, Debug)]
@@ -58,6 +72,10 @@ pub struct WuManber {
     /// registered under both of its case variants).
     one_byte: Vec<Vec<PatternId>>,
     has_one_byte: bool,
+    /// SIMD backend the candidate drain's window compares dispatch to,
+    /// resolved once at build time (`MPM_FORCE_BACKEND` pins it, exactly as
+    /// for the filtering engines) so the per-scan path allocates nothing.
+    backend: BackendKind,
     /// True if the SHIFT/HASH tables were built over ASCII-case-folded
     /// pattern bytes (the set contains a `nocase` pattern); the scan folds
     /// input block values to match.
@@ -128,6 +146,7 @@ impl WuManber {
             buckets,
             one_byte,
             has_one_byte,
+            backend: mpm_simd::detect_best(),
             folded,
         }
     }
@@ -163,14 +182,28 @@ impl WuManber {
     }
 
     /// The shift-table scan over patterns of length ≥ `B`, monomorphized per
-    /// case mode: `FOLD = true` folds the input block values to match the
-    /// folded tables, `FOLD = false` is the historical byte-exact loop.
-    fn shift_scan<const FOLD: bool>(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+    /// case mode (`FOLD = true` folds the input block values to match the
+    /// folded tables) and per SIMD backend `S` (used only in the candidate
+    /// drain; the shift walk itself is inherently scalar).
+    ///
+    /// Zero-shift candidates are **batched**: `(start, block value)` pairs
+    /// are buffered — prefetching the bucket header the moment the candidate
+    /// is found — and drained [`WM_BATCH`] at a time through
+    /// [`WuManber::drain_candidates`], so the bucket walks of consecutive
+    /// candidates overlap in the memory system instead of serialising.
+    fn shift_scan<S: VectorBackend<W>, const W: usize, const FOLD: bool>(
+        &self,
+        haystack: &[u8],
+        out: &mut Vec<MatchEvent>,
+    ) {
         let m = self.m;
         if m < B || haystack.len() < m {
             return;
         }
         let n = haystack.len();
+        let mut pend_start = [0u32; WM_BATCH];
+        let mut pend_value = [0u32; WM_BATCH];
+        let mut pending = 0usize;
         // `pos` is the index of the last byte of the current m-byte window.
         let mut pos = m - 1;
         while pos < n {
@@ -183,19 +216,77 @@ impl WuManber {
                 pos += shift;
                 continue;
             }
-            // Candidate window: verify every pattern in the bucket against
-            // the text starting at the window start, under each pattern's
-            // own case rule.
-            let start = pos + 1 - m;
-            for &id in &self.buckets[value] {
-                let pattern = self.set.get(id);
-                if start + pattern.len() <= n
-                    && pattern.matches_window(&haystack[start..start + pattern.len()])
-                {
-                    out.push(MatchEvent::new(start, id));
-                }
+            // Candidate window: buffer it and request its bucket now, so the
+            // pattern-id list is resident by the time the drain walks it.
+            prefetch_read(&self.buckets[value]);
+            pend_start[pending] = (pos + 1 - m) as u32;
+            pend_value[pending] = value as u32;
+            pending += 1;
+            if pending == WM_BATCH {
+                self.drain_candidates::<S, W, FOLD>(haystack, &pend_start, &pend_value, out);
+                pending = 0;
             }
             pos += 1;
+        }
+        self.drain_candidates::<S, W, FOLD>(
+            haystack,
+            &pend_start[..pending],
+            &pend_value[..pending],
+            out,
+        );
+    }
+
+    /// Verifies a buffered block of zero-shift candidates: every pattern in
+    /// each candidate's bucket is compared against the text at the window
+    /// start under its own case rule, via the backend's vector window
+    /// comparison. The id storage of candidate `i + K` is prefetched while
+    /// candidate `i` is verified.
+    fn drain_candidates<S: VectorBackend<W>, const W: usize, const FOLD: bool>(
+        &self,
+        haystack: &[u8],
+        starts: &[u32],
+        values: &[u32],
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let n = haystack.len();
+        S::dispatch(|| {
+            for i in 0..starts.len() {
+                if i + WM_PREFETCH < starts.len() {
+                    prefetch_read(self.buckets[values[i + WM_PREFETCH] as usize].as_ptr());
+                }
+                let start = starts[i] as usize;
+                for &id in &self.buckets[values[i] as usize] {
+                    let pattern = self.set.get(id);
+                    let end = start + pattern.len();
+                    if end > n {
+                        continue;
+                    }
+                    let window = &haystack[start..end];
+                    // `FOLD = false` sets hold no `nocase` patterns, so the
+                    // case branch vanishes from the monomorphized kernel.
+                    let hit = if FOLD && pattern.is_nocase() {
+                        S::eq_window_nocase(window, pattern.bytes())
+                    } else {
+                        S::eq_window(window, pattern.bytes())
+                    };
+                    if hit {
+                        out.push(MatchEvent::new(start, id));
+                    }
+                }
+            }
+        });
+    }
+
+    /// Monomorphizes the shift scan over the fold mode for one backend.
+    fn shift_scan_on<S: VectorBackend<W>, const W: usize>(
+        &self,
+        haystack: &[u8],
+        out: &mut Vec<MatchEvent>,
+    ) {
+        if self.folded {
+            self.shift_scan::<S, W, true>(haystack, out);
+        } else {
+            self.shift_scan::<S, W, false>(haystack, out);
         }
     }
 }
@@ -218,21 +309,34 @@ impl Matcher for WuManber {
         if self.has_one_byte {
             self.scan_one_byte(haystack, out);
         }
-        if self.folded {
-            self.shift_scan::<true>(haystack, out);
-        } else {
-            self.shift_scan::<false>(haystack, out);
+        // The candidate drain's window compares ride the backend resolved at
+        // build time; the shift walk itself is scalar.
+        match self.backend {
+            BackendKind::Scalar => self.shift_scan_on::<ScalarBackend, 8>(haystack, out),
+            BackendKind::Avx2 => self.shift_scan_on::<Avx2Backend, 8>(haystack, out),
+            BackendKind::Avx512 => self.shift_scan_on::<Avx512Backend, 16>(haystack, out),
         }
     }
 
     fn heap_bytes(&self) -> usize {
-        self.shift.len() * 2
-            + self
+        let footprint = self.memory_footprint();
+        footprint.total()
+    }
+
+    fn memory_footprint(&self) -> mpm_patterns::MemoryFootprint {
+        mpm_patterns::MemoryFootprint {
+            // The shift table is what the skip loop touches per position —
+            // Wu-Manber's analogue of the filtering structures.
+            filter_bytes: self.shift.len() * 2,
+            // Candidate buckets + the pattern bytes they are compared to.
+            verify_bytes: self
                 .buckets
                 .iter()
                 .map(|b| b.len() * std::mem::size_of::<PatternId>())
                 .sum::<usize>()
-            + self.set.patterns().iter().map(|p| p.len()).sum::<usize>()
+                + self.set.patterns().iter().map(|p| p.len()).sum::<usize>(),
+            other_bytes: 0,
+        }
     }
 }
 
