@@ -16,7 +16,11 @@
 //!   scan time spent verifying) so the batched win is attributable;
 //! * since PR 5, a **memory** section: every engine's
 //!   [`mpm_patterns::Matcher::memory_footprint`] (filter vs verifier bytes)
-//!   on the s1 ruleset, so perf snapshots carry their memory cost.
+//!   on the s1 ruleset, so perf snapshots carry their memory cost;
+//! * since PR 6, a **rule_confirmation** section: the s1-http contents
+//!   regrouped into multi-content rules (every content kept, secondaries
+//!   tied with `distance:0`), scanned anchors-only vs with anchor-gated
+//!   rule confirmation — the cost of promoting patterns to rules.
 //!
 //! Output is a JSON snapshot in the `vpatch-bench-baseline/v1` shape; the
 //! checked-in `BENCH_baseline.json` accumulates one snapshot per
@@ -85,6 +89,30 @@ struct VerifyHeavyRow {
     candidates_per_kib: f64,
 }
 
+/// One point of the rule-confirmation section: the s1-http contents
+/// regrouped into multi-content rules (`longest_content_only: false`
+/// semantics — every content kept), scanned with confirmation off
+/// (anchors only, the plain `Matcher` path) and on (anchor-gated
+/// confirmation of secondary contents + positional windows).
+#[derive(Clone, Debug, Serialize)]
+struct RulesetRow {
+    /// Backend name.
+    backend: String,
+    /// Vector width.
+    lanes: usize,
+    /// `anchors-only` or `confirmation`.
+    config: String,
+    /// Mean end-to-end throughput in Gbit/s.
+    gbps: f64,
+    /// Sample standard deviation.
+    gbps_std: f64,
+    /// Rules in the compiled set.
+    rules: usize,
+    /// Rules confirmed on the trace (identical across backends; a
+    /// workload-density check like `candidates_per_kib`).
+    confirmed: usize,
+}
+
 /// Per-engine resident-size row (s1 ruleset).
 #[derive(Clone, Debug, Serialize)]
 struct MemoryRow {
@@ -119,6 +147,9 @@ struct BaselineSnapshot {
     /// End-to-end rows on the verify-heavy adversarial workload, batched vs
     /// per-candidate verification.
     verify_heavy: Vec<VerifyHeavyRow>,
+    /// Rule-confirmation rows: multi-content rules built from the same
+    /// contents, anchors-only vs confirmation-on.
+    rule_confirmation: Vec<RulesetRow>,
     /// Per-engine resident table sizes on the s1 ruleset.
     memory: Vec<MemoryRow>,
     /// Multi-core scaling on the same workload: aggregate sharded-scan
@@ -223,6 +254,81 @@ fn measure_verify_heavy<B: VectorBackend<W>, const W: usize>(
     }
 }
 
+/// Regroups the workload's contents into a multi-content rule set: every
+/// run of `contents_per_rule` consecutive patterns becomes one rule, the
+/// secondary contents tied to their predecessor with `distance:0` (the
+/// commonest Snort idiom). All contents are kept — the rule analogue of
+/// `longest_content_only: false` — and the set's anchor selection picks
+/// which one the engines search for.
+fn ruleset_from_patterns(
+    patterns: &mpm_patterns::PatternSet,
+    contents_per_rule: usize,
+) -> mpm_patterns::RuleSet {
+    let rules = patterns
+        .patterns()
+        .chunks(contents_per_rule)
+        .map(|chunk| {
+            let contents = chunk
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    let c = mpm_patterns::RuleContent::new(p.bytes().to_vec())
+                        .with_nocase(p.is_nocase());
+                    if i == 0 {
+                        c
+                    } else {
+                        c.with_distance(0)
+                    }
+                })
+                .collect();
+            mpm_patterns::Rule::new(chunk[0].group(), contents)
+        })
+        .collect();
+    mpm_patterns::RuleSet::new(rules)
+}
+
+/// Measures one backend on the rule workload: anchors-only (plain engine
+/// scan of the anchor set — the cost floor) and confirmation-on
+/// (anchor-gated `scan_rules`).
+fn measure_ruleset<B: VectorBackend<W>, const W: usize>(
+    set: &mpm_patterns::RuleSet,
+    trace: &[u8],
+    runs: usize,
+    rows: &mut Vec<RulesetRow>,
+) {
+    if !B::is_available() {
+        return;
+    }
+    let engine: std::sync::Arc<dyn Matcher + Send + Sync> =
+        std::sync::Arc::new(VPatch::<B, W>::build(set.anchors()));
+    let anchors_only = measure_closure(trace.len(), runs, || engine.count(trace));
+    rows.push(RulesetRow {
+        backend: B::name().to_string(),
+        lanes: W,
+        config: "anchors-only".to_string(),
+        gbps: anchors_only.gbps_mean,
+        gbps_std: anchors_only.gbps_std,
+        rules: set.len(),
+        confirmed: 0,
+    });
+    let scanner = mpm_verify::RuleScanner::new(engine, set);
+    let mut confirmed = 0usize;
+    let with_confirmation = measure_closure(trace.len(), runs, || {
+        let hits = scanner.scan_rules(trace);
+        confirmed = hits.len();
+        hits.len() as u64
+    });
+    rows.push(RulesetRow {
+        backend: B::name().to_string(),
+        lanes: W,
+        config: "confirmation".to_string(),
+        gbps: with_confirmation.gbps_mean,
+        gbps_std: with_confirmation.gbps_std,
+        rules: set.len(),
+        confirmed,
+    });
+}
+
 /// Builds the per-engine memory section on the s1 ruleset (the figure
 /// engines at the widest platform this machine models, plus Wu-Manber).
 fn memory_section(workload: &Workload) -> Vec<MemoryRow> {
@@ -279,6 +385,14 @@ fn main() {
     measure_verify_heavy::<Avx2Backend, 8>(&heavy, heavy_trace, options.runs, &mut verify_heavy);
     measure_verify_heavy::<Avx512Backend, 16>(&heavy, heavy_trace, options.runs, &mut verify_heavy);
 
+    // Rule-confirmation rows: the same s1-http contents regrouped two per
+    // rule, on the same trace, confirmation off vs on.
+    let rule_set = ruleset_from_patterns(&workload.patterns, 2);
+    let mut rule_confirmation = Vec::new();
+    measure_ruleset::<ScalarBackend, 8>(&rule_set, trace, options.runs, &mut rule_confirmation);
+    measure_ruleset::<Avx2Backend, 8>(&rule_set, trace, options.runs, &mut rule_confirmation);
+    measure_ruleset::<Avx512Backend, 16>(&rule_set, trace, options.runs, &mut rule_confirmation);
+
     let multicore =
         multicore::run_scaling_auto(&workload.patterns, trace, &[1, 2, 4, 8], options.runs);
 
@@ -293,6 +407,7 @@ fn main() {
         runs: options.runs,
         rows,
         verify_heavy,
+        rule_confirmation,
         memory: memory_section(&workload),
         multicore,
     };

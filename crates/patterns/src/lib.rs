@@ -11,8 +11,13 @@
 //!   S-PATCH, V-PATCH) so that their outputs can be compared byte-for-byte;
 //! * [`naive::NaiveMatcher`] — an obviously-correct reference matcher used by
 //!   the test suites as ground truth;
+//! * [`rule`] — first-class multi-content rules with Snort's positional
+//!   constraints (`offset`/`depth`/`distance`/`within`), anchor selection
+//!   over set statistics, and a naive rule evaluator used as differential
+//!   ground truth;
 //! * [`snort`] — a parser for Snort rule syntax that extracts the exact-match
-//!   `content:` strings, so real rulesets can be loaded when available;
+//!   `content:` strings (and, via [`snort::parse_ruleset`], whole
+//!   multi-content rules), so real rulesets can be loaded when available;
 //! * [`synthetic`] — deterministic generators that reproduce the *structure*
 //!   (count, length distribution, prefix collisions, protocol mix) of the
 //!   Snort v2.9.7 ("S1") and ET-open 2.9.0 ("S2") rulesets used in the paper,
@@ -30,6 +35,7 @@
 pub mod matcher;
 pub mod naive;
 pub mod pattern;
+pub mod rule;
 pub mod snort;
 pub mod stats;
 pub mod synthetic;
@@ -37,4 +43,5 @@ pub mod synthetic;
 pub use matcher::{MatchEvent, Matcher, MatcherStats, MemoryFootprint};
 pub use naive::NaiveMatcher;
 pub use pattern::{fold_byte, Pattern, PatternId, PatternSet, ProtocolGroup};
+pub use rule::{Rule, RuleContent, RuleId, RuleMatch, RuleSet};
 pub use synthetic::{RulesetSpec, SyntheticRuleset};

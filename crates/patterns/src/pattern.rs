@@ -261,6 +261,10 @@ pub struct PatternSetSummary {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PatternSet {
     patterns: Vec<Pattern>,
+    /// Per-pattern rule binding: `rule_of[i]` is the index of the rule
+    /// pattern `i` anchors (see [`crate::rule::RuleSet::anchors`]). Empty
+    /// for ordinary (non-rule-bound) sets.
+    rule_of: Vec<u32>,
 }
 
 impl PatternSet {
@@ -270,7 +274,51 @@ impl PatternSet {
     /// different rules); every occurrence gets its own id and engines report
     /// matches for each of them.
     pub fn new(patterns: Vec<Pattern>) -> Self {
-        PatternSet { patterns }
+        PatternSet {
+            patterns,
+            rule_of: Vec::new(),
+        }
+    }
+
+    /// Attaches per-pattern rule bindings: `rule_of[i]` names the rule
+    /// pattern `i` anchors. Built by [`crate::rule::RuleSet::new`]; derived
+    /// sets ([`PatternSet::select_group`], [`PatternSet::random_subset`])
+    /// drop the bindings, since the pattern↔rule correspondence no longer
+    /// holds there.
+    ///
+    /// # Panics
+    /// Panics unless `rule_of` has exactly one entry per pattern.
+    pub fn with_rule_bindings(mut self, rule_of: Vec<u32>) -> Self {
+        assert_eq!(
+            rule_of.len(),
+            self.patterns.len(),
+            "need exactly one rule binding per pattern"
+        );
+        self.rule_of = rule_of;
+        self
+    }
+
+    /// True if the set carries an anchor→rule mapping.
+    #[inline]
+    pub fn is_rule_bound(&self) -> bool {
+        !self.rule_of.is_empty()
+    }
+
+    /// The rule the given pattern anchors, when the set is rule-bound.
+    #[inline]
+    pub fn rule_binding(&self, id: PatternId) -> Option<crate::rule::RuleId> {
+        self.rule_of
+            .get(id.index())
+            .map(|&r| crate::rule::RuleId(r))
+    }
+
+    /// The full anchor→rule mapping (`None` for ordinary sets).
+    pub fn rule_bindings(&self) -> Option<&[u32]> {
+        if self.rule_of.is_empty() {
+            None
+        } else {
+            Some(&self.rule_of)
+        }
     }
 
     /// Builds a set from plain string literals (protocol group `Any`).

@@ -22,15 +22,32 @@
 //!   verify-exact contract in `DEVELOPMENT.md`. A `nocase` with no preceding
 //!   content (or following a negated content) is ignored, as Snort does not
 //!   accept such rules anyway;
+//! * the positional modifiers `offset:`/`depth:` (absolute) and
+//!   `distance:`/`within:` (relative to the previous content's match) —
+//!   each binds to the immediately preceding content. A positional modifier
+//!   **before any content** is a [`ParseError`] (there is nothing for it to
+//!   modify, and silently dropping it would change the rule's meaning); one
+//!   following a *negated* content is ignored, mirroring the `nocase`
+//!   precedent above. `depth`/`within` smaller than their content, duplicate
+//!   modifiers, and mixing the absolute and relative families on one
+//!   content are rejected, as Snort rejects them;
+//! * `sid:` is recorded on the parsed [`Rule`];
 //! * all other options are skipped;
 //! * comment lines (`#`) and blank lines are ignored.
 //!
-//! Each `content:` string becomes one pattern (the longest content of a rule
-//! is what Snort hands to the multi-pattern matcher; we keep *all* contents,
-//! which only increases the workload and is configurable via
-//! [`ParseOptions::longest_content_only`]).
+//! Two entry points share one parsing path:
+//!
+//! * [`parse_rules`] — the pattern-set view: each `content:` string becomes
+//!   one [`Pattern`] (positional modifiers dropped; the longest content of a
+//!   rule is what Snort hands to the multi-pattern matcher, configurable via
+//!   [`ParseOptions::longest_content_only`]);
+//! * [`parse_ruleset`] — the rule view: every content **with** its
+//!   positional constraints becomes part of a [`Rule`], and the returned
+//!   [`RuleSet`] carries the per-rule anchor patterns for the engines plus
+//!   everything the confirmation stage needs.
 
 use crate::pattern::{Pattern, PatternSet, ProtocolGroup};
+use crate::rule::{Rule, RuleContent, RuleSet};
 use std::fmt;
 
 /// Options controlling rule parsing.
@@ -77,26 +94,85 @@ impl std::error::Error for ParseError {}
 /// skipped. Rules without any `content:` option contribute no patterns.
 pub fn parse_rules(text: &str, options: ParseOptions) -> Result<PatternSet, ParseError> {
     let mut patterns = Vec::new();
-    for (idx, line) in text.lines().enumerate() {
-        let line_no = idx + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        if let Some(rule_patterns) = parse_rule_line(trimmed, line_no, options)? {
-            patterns.extend(rule_patterns);
+    for (line_no, line) in rule_lines(text) {
+        if let Some(parsed) = parse_rule_body(line, line_no)? {
+            // The pattern-set view: contents become patterns, positional
+            // modifiers are dropped (they are the confirmation stage's job),
+            // short contents are filtered per min_len.
+            let mut contents: Vec<RuleContent> = parsed
+                .contents
+                .into_iter()
+                .filter(|c| c.len() >= options.min_len)
+                .collect();
+            if contents.is_empty() {
+                continue;
+            }
+            if options.longest_content_only {
+                contents.sort_by_key(|c| std::cmp::Reverse(c.len()));
+                contents.truncate(1);
+            }
+            patterns.extend(contents.into_iter().map(|c| {
+                Pattern::new(c.bytes().to_vec(), parsed.group).with_nocase(c.is_nocase())
+            }));
         }
     }
     Ok(PatternSet::new(patterns))
 }
 
-/// Parses one rule line. Returns `Ok(None)` for lines that look like rules but
-/// contain no content option.
-fn parse_rule_line(
-    line: &str,
-    line_no: usize,
-    options: ParseOptions,
-) -> Result<Option<Vec<Pattern>>, ParseError> {
+/// Parses a whole rule file into a [`RuleSet`]: every rule keeps **all** of
+/// its contents with their positional constraints, anchors are selected over
+/// the set's statistics, and [`RuleSet::anchors`] is the rule-bound pattern
+/// set to compile an engine for.
+///
+/// [`ParseOptions::longest_content_only`] is ignored here — evaluating a
+/// rule requires all of its contents. A rule with *any* content shorter than
+/// [`ParseOptions::min_len`] is skipped entirely (evaluating it without the
+/// short content would change its meaning); rules without contents are
+/// skipped as in [`parse_rules`].
+pub fn parse_ruleset(text: &str, options: ParseOptions) -> Result<RuleSet, ParseError> {
+    let mut rules = Vec::new();
+    for (line_no, line) in rule_lines(text) {
+        if let Some(parsed) = parse_rule_body(line, line_no)? {
+            if parsed.contents.is_empty()
+                || parsed.contents.iter().any(|c| c.len() < options.min_len)
+            {
+                continue;
+            }
+            rules.push(Rule::new(parsed.group, parsed.contents).with_sid(parsed.sid));
+        }
+    }
+    Ok(RuleSet::new(rules))
+}
+
+/// The non-comment, non-blank lines of a rule file, 1-based.
+fn rule_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(idx, line)| {
+        let trimmed = line.trim();
+        (!trimmed.is_empty() && !trimmed.starts_with('#')).then_some((idx + 1, trimmed))
+    })
+}
+
+/// One parsed rule line, before either view (patterns / rules) is derived.
+struct ParsedRule {
+    group: ProtocolGroup,
+    sid: Option<u32>,
+    contents: Vec<RuleContent>,
+}
+
+/// Which modifiers a content has already received (for duplicate and
+/// family-mixing detection; `offset` needs a flag because its default, 0,
+/// is also a legal explicit value).
+#[derive(Clone, Copy, Default)]
+struct ModifierFlags {
+    offset: bool,
+    depth: bool,
+    distance: bool,
+    within: bool,
+}
+
+/// Parses one rule line into its header group, sid and contents-with-
+/// modifiers. Returns `Ok(None)` for lines that are not rules.
+fn parse_rule_body(line: &str, line_no: usize) -> Result<Option<ParsedRule>, ParseError> {
     let open = match line.find('(') {
         Some(i) => i,
         // Not a rule (e.g. a variable definition); ignore.
@@ -116,12 +192,17 @@ fn parse_rule_line(
     let body = &line[open + 1..close];
     let group = classify_header(header);
 
-    // `(bytes, nocase)` per kept content. `nocase;` is a modifier of the
-    // content option it follows, so we track the index of the most recent
-    // kept content; a negated (skipped) content resets it so its trailing
-    // modifiers cannot leak onto the previous pattern.
-    let mut contents: Vec<(Vec<u8>, bool)> = Vec::new();
+    // Modifier options bind to the content option they follow, so we track
+    // the index of the most recent kept content; a negated (skipped) content
+    // resets it so its trailing modifiers cannot leak onto the previous
+    // content. `any_content` distinguishes "modifier after a negated
+    // content" (ignored, like nocase) from "modifier before any content at
+    // all" (a hard error: there is nothing it could bind to).
+    let mut contents: Vec<RuleContent> = Vec::new();
+    let mut flags: Vec<ModifierFlags> = Vec::new();
     let mut last_content: Option<usize> = None;
+    let mut any_content = false;
+    let mut sid = None;
     for option in split_options(body) {
         let option = option.trim();
         if let Some(rest) = option.strip_prefix("content:") {
@@ -130,34 +211,135 @@ fn parse_rule_line(
             // part of the multi-pattern matching workload.
             if value.starts_with('!') {
                 last_content = None;
+                any_content = true;
                 continue;
             }
             let bytes = parse_content_string(value, line_no)?;
-            if bytes.len() >= options.min_len {
-                contents.push((bytes, false));
-                last_content = Some(contents.len() - 1);
-            } else {
-                last_content = None;
-            }
+            contents.push(RuleContent::new(bytes));
+            flags.push(ModifierFlags::default());
+            last_content = Some(contents.len() - 1);
+            any_content = true;
         } else if option == "nocase" {
             if let Some(idx) = last_content {
-                contents[idx].1 = true;
+                contents[idx].set_nocase(true);
+            }
+        } else if let Some((name, value)) = split_modifier(option) {
+            apply_positional_modifier(
+                name,
+                value,
+                &mut contents,
+                &mut flags,
+                last_content,
+                any_content,
+                line_no,
+            )?;
+        } else if let Some(rest) = option.strip_prefix("sid:") {
+            sid = rest.trim().parse::<u32>().ok();
+        }
+    }
+    Ok(Some(ParsedRule {
+        group,
+        sid,
+        contents,
+    }))
+}
+
+/// Splits a `name:value` option when `name` is a positional modifier.
+fn split_modifier(option: &str) -> Option<(&'static str, &str)> {
+    for name in ["offset", "depth", "distance", "within"] {
+        if let Some(rest) = option.strip_prefix(name) {
+            let rest = rest.trim_start();
+            if let Some(value) = rest.strip_prefix(':') {
+                return Some((name, value.trim()));
             }
         }
     }
-    if contents.is_empty() {
-        return Ok(None);
+    None
+}
+
+/// Attaches one positional modifier to the preceding content, enforcing
+/// Snort's binding and validity rules.
+fn apply_positional_modifier(
+    name: &'static str,
+    value: &str,
+    contents: &mut [RuleContent],
+    flags: &mut [ModifierFlags],
+    last_content: Option<usize>,
+    any_content: bool,
+    line_no: usize,
+) -> Result<(), ParseError> {
+    let err = |message: String| ParseError {
+        line: line_no,
+        message,
+    };
+    let idx = match last_content {
+        Some(idx) => idx,
+        // Mirrors the nocase rule: a modifier trailing a *negated* content
+        // is ignored with the content it modified; one before any content
+        // at all has nothing to bind to and the rule is malformed.
+        None if any_content => return Ok(()),
+        None => {
+            return Err(err(format!(
+                "{name} before any content: positional modifiers bind to the preceding content"
+            )))
+        }
+    };
+    let parsed: i64 = value
+        .parse()
+        .map_err(|_| err(format!("invalid {name} value {value:?}")))?;
+    if name != "distance" && !(0..=u32::MAX as i64).contains(&parsed) {
+        return Err(err(format!("{name} value {parsed} out of range")));
     }
-    if options.longest_content_only {
-        contents.sort_by_key(|(c, _)| std::cmp::Reverse(c.len()));
-        contents.truncate(1);
+    if name == "distance" && i32::try_from(parsed).is_err() {
+        return Err(err(format!("distance value {parsed} out of range")));
     }
-    Ok(Some(
-        contents
-            .into_iter()
-            .map(|(bytes, nocase)| Pattern::new(bytes, group).with_nocase(nocase))
-            .collect(),
-    ))
+    let f = &mut flags[idx];
+    let duplicate = match name {
+        "offset" => f.offset,
+        "depth" => f.depth,
+        "distance" => f.distance,
+        _ => f.within,
+    };
+    if duplicate {
+        return Err(err(format!("duplicate {name} modifier on one content")));
+    }
+    let absolute = name == "offset" || name == "depth";
+    let mixed = if absolute {
+        f.distance || f.within
+    } else {
+        f.offset || f.depth
+    };
+    if mixed {
+        return Err(err(format!(
+            "{name} cannot combine with a modifier of the other family \
+             (offset/depth are absolute, distance/within are relative)"
+        )));
+    }
+    let len = contents[idx].len() as i64;
+    if (name == "depth" || name == "within") && parsed < len {
+        return Err(err(format!(
+            "{name} {parsed} smaller than its content ({len} bytes)"
+        )));
+    }
+    match name {
+        "offset" => {
+            f.offset = true;
+            contents[idx].set_offset(parsed as u32);
+        }
+        "depth" => {
+            f.depth = true;
+            contents[idx].set_depth(parsed as u32);
+        }
+        "distance" => {
+            f.distance = true;
+            contents[idx].set_distance(parsed as i32);
+        }
+        _ => {
+            f.within = true;
+            contents[idx].set_within(parsed as u32);
+        }
+    }
+    Ok(())
 }
 
 /// Derives the protocol group from the rule header (protocol and ports).
@@ -479,6 +661,159 @@ mod tests {
         assert_eq!(
             classify_header("alert tcp any any -> any 6667 "),
             ProtocolGroup::Other
+        );
+    }
+
+    // --- positional modifiers (offset/depth/distance/within) ---
+
+    #[test]
+    fn modifiers_bind_to_the_preceding_content() {
+        let rule = r#"alert tcp any any -> any 80 (content:"first"; offset:2; depth:10; content:"second"; distance:3; within:9; nocase; sid:30;)"#;
+        let set = parse_ruleset(rule, ParseOptions::default()).unwrap();
+        assert_eq!(set.len(), 1);
+        let contents = set.get(crate::rule::RuleId(0)).contents();
+        assert_eq!(contents.len(), 2);
+        assert_eq!(contents[0].bytes(), b"first");
+        assert_eq!(contents[0].offset(), 2);
+        assert_eq!(contents[0].depth(), Some(10));
+        assert_eq!(contents[0].distance(), None);
+        assert!(!contents[0].is_nocase());
+        assert_eq!(contents[1].bytes(), b"second");
+        assert_eq!(contents[1].distance(), Some(3));
+        assert_eq!(contents[1].within(), Some(9));
+        assert_eq!(contents[1].offset(), 0);
+        assert!(contents[1].is_nocase());
+    }
+
+    #[test]
+    fn each_modifier_before_any_content_is_an_error() {
+        for modifier in ["offset:1", "depth:5", "distance:2", "within:6"] {
+            let rule = format!(
+                r#"alert tcp any any -> any 80 (msg:"x"; {modifier}; content:"late"; sid:31;)"#
+            );
+            let err = parse_ruleset(&rule, ParseOptions::default()).unwrap_err();
+            assert!(
+                err.message.contains("before any content"),
+                "{modifier}: {}",
+                err.message
+            );
+            // Both views share the parsing path, so the pattern view errors
+            // identically instead of silently dropping the modifier.
+            assert!(
+                parse_rules(&rule, ParseOptions::default()).is_err(),
+                "{modifier}"
+            );
+        }
+    }
+
+    #[test]
+    fn each_modifier_after_negated_content_is_ignored() {
+        // Mirrors nocase_after_negated_content_is_ignored: the modifier
+        // binds to the negated (dropped) content and vanishes with it.
+        for modifier in ["offset:1", "depth:7", "distance:2", "within:8"] {
+            let rule = format!(
+                r#"alert tcp any any -> any 80 (content:"keepme"; content:!"skipped"; {modifier}; sid:32;)"#
+            );
+            let set = parse_ruleset(&rule, ParseOptions::default()).unwrap();
+            let contents = set.get(crate::rule::RuleId(0)).contents();
+            assert_eq!(contents.len(), 1, "{modifier}");
+            assert_eq!(contents[0].offset(), 0, "{modifier}");
+            assert_eq!(contents[0].depth(), None, "{modifier}");
+            assert_eq!(contents[0].distance(), None, "{modifier}");
+            assert_eq!(contents[0].within(), None, "{modifier}");
+        }
+    }
+
+    #[test]
+    fn depth_and_within_smaller_than_their_content_error() {
+        let depth = r#"alert tcp any any -> any 80 (content:"abcd"; depth:3; sid:33;)"#;
+        let err = parse_ruleset(depth, ParseOptions::default()).unwrap_err();
+        assert!(
+            err.message.contains("smaller than its content"),
+            "{}",
+            err.message
+        );
+        let within =
+            r#"alert tcp any any -> any 80 (content:"ab"; content:"abcd"; within:3; sid:34;)"#;
+        let err = parse_ruleset(within, ParseOptions::default()).unwrap_err();
+        assert!(
+            err.message.contains("smaller than its content"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn duplicate_and_mixed_family_modifiers_error() {
+        let dup = r#"alert tcp any any -> any 80 (content:"abcd"; offset:1; offset:2; sid:35;)"#;
+        let err = parse_ruleset(dup, ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("duplicate"), "{}", err.message);
+        let mixed = r#"alert tcp any any -> any 80 (content:"ab"; content:"cd"; distance:1; depth:8; sid:36;)"#;
+        let err = parse_ruleset(mixed, ParseOptions::default()).unwrap_err();
+        assert!(err.message.contains("other family"), "{}", err.message);
+    }
+
+    #[test]
+    fn garbage_and_out_of_range_modifier_values_error() {
+        let garbage = r#"alert tcp any any -> any 80 (content:"ab"; offset:abc; sid:37;)"#;
+        assert!(parse_ruleset(garbage, ParseOptions::default())
+            .unwrap_err()
+            .message
+            .contains("invalid offset value"));
+        let negative = r#"alert tcp any any -> any 80 (content:"ab"; depth:-4; sid:38;)"#;
+        assert!(parse_ruleset(negative, ParseOptions::default())
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        // distance may be negative (Snort allows backwards-relative search).
+        let back =
+            r#"alert tcp any any -> any 80 (content:"ab"; content:"cd"; distance:-2; sid:39;)"#;
+        let set = parse_ruleset(back, ParseOptions::default()).unwrap();
+        assert_eq!(
+            set.get(crate::rule::RuleId(0)).contents()[1].distance(),
+            Some(-2)
+        );
+    }
+
+    #[test]
+    fn parse_rules_ignores_positional_modifiers_for_the_pattern_view() {
+        let rule = r#"alert tcp any any -> any 80 (content:"short"; offset:4; content:"the-much-longer-one"; distance:1; sid:40;)"#;
+        let set = parse_rules(rule, ParseOptions::default()).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.iter().next().unwrap().1.bytes(), b"the-much-longer-one");
+    }
+
+    #[test]
+    fn parse_ruleset_keeps_all_contents_and_records_sid() {
+        let text = r#"
+# two multi-content rules and a content-less one
+alert tcp any any -> any 80 (msg:"a"; content:"GET /"; content:"passwd"; distance:0; sid:41;)
+alert icmp any any -> any any (msg:"ping"; itype:8; sid:42;)
+alert tcp any any -> any 25 (msg:"b"; content:"VRFY"; sid:43;)
+"#;
+        let set = parse_ruleset(text, ParseOptions::default()).unwrap();
+        assert_eq!(set.len(), 2, "the content-less rule contributes nothing");
+        assert_eq!(set.get(crate::rule::RuleId(0)).sid(), Some(41));
+        assert_eq!(set.get(crate::rule::RuleId(0)).contents().len(), 2);
+        assert_eq!(set.get(crate::rule::RuleId(1)).sid(), Some(43));
+        assert_eq!(set.get(crate::rule::RuleId(1)).group(), ProtocolGroup::Smtp);
+        assert!(set.anchors().is_rule_bound());
+    }
+
+    #[test]
+    fn parse_ruleset_skips_rules_with_sub_min_len_contents() {
+        let text = r#"alert tcp any any -> any 80 (content:"ab"; content:"longenough"; sid:44;)"#;
+        let set = parse_ruleset(
+            text,
+            ParseOptions {
+                min_len: 3,
+                ..ParseOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            set.is_empty(),
+            "a rule missing one of its contents cannot be evaluated faithfully"
         );
     }
 

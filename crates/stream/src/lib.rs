@@ -20,9 +20,19 @@
 //!   retired by [`ShardedScanner::close_flow`] or bounded wholesale by
 //!   [`ShardedScanner::with_max_flows`] (least-recently-pushed eviction).
 //!
-//! Both layers consult only pattern *lengths*, so they are agnostic to each
-//! pattern's case rule — `nocase` sets stream and shard unchanged
-//! (property-tested in the workspace's `tests/nocase_differential.rs`).
+//! * [`RuleStreamScanner`] — the same chunking guarantee one level up:
+//!   multi-content rules with positional constraints
+//!   (`offset`/`depth`/`distance`/`within`) are confirmed over a chunked
+//!   flow exactly as `mpm_verify::RuleScanner::scan_rules` would confirm
+//!   them over the concatenated payload. [`ShardedScanner::with_rules`]
+//!   runs it per flow across workers, reporting confirmed rules in
+//!   [`BatchResult::rule_matches`].
+//!
+//! The pattern layers consult only pattern *lengths*, so they are agnostic
+//! to each pattern's case rule — `nocase` sets stream and shard unchanged
+//! (property-tested in the workspace's `tests/nocase_differential.rs`). The
+//! rule layer buffers each flow's payload (positional windows are
+//! unbounded); see the `rules` module docs for the memory contract.
 //!
 //! Engines are shared across flows and threads as a
 //! [`SharedMatcher`] (`Arc<dyn Matcher + Send +
@@ -32,8 +42,10 @@
 
 #![warn(missing_docs)]
 
+pub mod rules;
 pub mod shard;
 pub mod stream;
 
-pub use shard::{BatchResult, FlowMatch, Packet, ShardedScanner};
+pub use rules::RuleStreamScanner;
+pub use shard::{BatchResult, FlowMatch, FlowRuleMatch, Packet, ShardedScanner};
 pub use stream::{SharedMatcher, StreamScanner};

@@ -1,0 +1,285 @@
+//! [`RuleStreamScanner`]: rule confirmation over a chunked stream.
+//!
+//! The pattern layer ([`StreamScanner`]) only needs `max_pattern_len - 1`
+//! bytes of history, because a pattern occurrence spans at most
+//! `max_pattern_len` bytes. Rules are different: `offset`/`distance`
+//! windows are unbounded (a rule may pair a content at offset 0 with one a
+//! megabyte later), so confirmation is a function of the **whole flow
+//! payload seen so far**. `RuleStreamScanner` therefore buffers the flow's
+//! payload, while still running the anchor engine incrementally through the
+//! inner [`StreamScanner`] (carry bytes only) so the per-chunk fast path
+//! stays cheap: confirmation work happens only on pushes where an anchor
+//! fires or a rule is already pending.
+//!
+//! Equivalence guarantee (property-tested in
+//! `tests/rule_confirmation_differential.rs` and
+//! `crates/stream/tests/rule_stream_equivalence.rs`): for any chunking, the
+//! set of confirmed rules and their reported offsets equals
+//! `RuleScanner::scan_rules` on the concatenated payload. That holds
+//! because the confirmer reports the **minimal prefix length** at which a
+//! rule is satisfiable — a pure function of the payload bytes, independent
+//! of where chunk seams fall — and satisfiability is monotone in the
+//! prefix, so re-checking a pending rule on each push confirms it on
+//! exactly the push whose chunk completes that minimal prefix.
+
+use crate::stream::{SharedMatcher, StreamScanner};
+use mpm_patterns::rule::{RuleId, RuleMatch, RuleSet};
+use mpm_patterns::{MatchEvent, MatcherStats};
+use mpm_verify::RuleConfirmer;
+use std::sync::Arc;
+
+/// Per-rule confirmation progress within one flow.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RuleState {
+    /// No anchor hit yet; the rule cannot match (anchor gating is exact).
+    Unseen,
+    /// Anchor fired, but the remaining contents/constraints are not yet
+    /// satisfiable on the payload so far — re-checked on every later push.
+    Pending,
+    /// Confirmed and reported; never re-reported for this flow.
+    Confirmed,
+}
+
+/// Stateful rule scanning over one logical stream (one flow).
+///
+/// Wraps a [`StreamScanner`] over the rule set's anchor patterns and a
+/// [`RuleConfirmer`]; both the engine and the confirmer are shared
+/// (`Arc`), so per-flow cost is the buffered payload plus a byte of state
+/// per rule.
+///
+/// ```
+/// use mpm_patterns::rule::{Rule, RuleContent, RuleSet};
+/// use mpm_patterns::ProtocolGroup;
+/// use mpm_stream::RuleStreamScanner;
+/// use std::sync::Arc;
+///
+/// let set = RuleSet::new(vec![Rule::new(
+///     ProtocolGroup::Any,
+///     vec![
+///         RuleContent::new(*b"GET "),
+///         RuleContent::new(*b"passwd").with_distance(0),
+///     ],
+/// )]);
+/// let engine: mpm_stream::SharedMatcher =
+///     Arc::from(mpm_patterns::NaiveMatcher::new(set.anchors()));
+/// let mut scanner = RuleStreamScanner::new(engine, &set);
+///
+/// let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+/// scanner.push(b"GET /etc/pas", &mut anchors, &mut rules);
+/// assert!(rules.is_empty()); // anchor seen, second content incomplete
+/// scanner.push(b"swd HTTP/1.1", &mut anchors, &mut rules);
+/// assert_eq!(rules.len(), 1);
+/// assert_eq!(rules[0].end, 15); // minimal satisfiable prefix, absolute
+/// ```
+pub struct RuleStreamScanner {
+    inner: StreamScanner,
+    confirmer: Arc<RuleConfirmer>,
+    /// Pattern index → rule index for the anchor set.
+    rule_of: Arc<[u32]>,
+    /// The flow's payload so far (see module docs for why rules need it).
+    payload: Vec<u8>,
+    state: Vec<RuleState>,
+    /// Rules in [`RuleState::Pending`], re-checked each push.
+    pending: Vec<u32>,
+}
+
+impl std::fmt::Debug for RuleStreamScanner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleStreamScanner")
+            .field("inner", &self.inner)
+            .field("rules", &self.state.len())
+            .field("pending", &self.pending.len())
+            .field("buffered_bytes", &self.payload.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuleStreamScanner {
+    /// Creates a rule scanner for one stream.
+    ///
+    /// `engine` must be compiled for `set.anchors()` (same contract as
+    /// [`StreamScanner::new`], which this delegates to).
+    ///
+    /// # Panics
+    /// Panics if the engine disagrees with the anchor set about the longest
+    /// pattern.
+    pub fn new(engine: SharedMatcher, set: &RuleSet) -> Self {
+        let inner = StreamScanner::new(engine, set.anchors());
+        let rule_of: Arc<[u32]> = set
+            .anchors()
+            .rule_bindings()
+            .expect("RuleSet::anchors is always rule-bound")
+            .into();
+        Self::with_parts(inner, Arc::new(RuleConfirmer::build(set)), rule_of)
+    }
+
+    /// Internal constructor used by `ShardedScanner` to mint per-flow
+    /// scanners from shared, pre-built parts.
+    pub(crate) fn with_parts(
+        inner: StreamScanner,
+        confirmer: Arc<RuleConfirmer>,
+        rule_of: Arc<[u32]>,
+    ) -> Self {
+        let rules = confirmer.rule_count();
+        RuleStreamScanner {
+            inner,
+            confirmer,
+            rule_of,
+            payload: Vec::new(),
+            state: vec![RuleState::Unseen; rules],
+            pending: Vec::new(),
+        }
+    }
+
+    /// Absolute offset of the next byte to be pushed.
+    pub fn position(&self) -> usize {
+        self.inner.position()
+    }
+
+    /// Bytes of flow payload currently buffered for confirmation (the whole
+    /// stream so far — see the module docs for the memory contract).
+    pub fn buffered_bytes(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Accumulated whole-stream statistics of the anchor engine.
+    pub fn stats(&self) -> MatcherStats {
+        self.inner.stats()
+    }
+
+    /// The shared confirmation stage.
+    pub fn confirmer(&self) -> &Arc<RuleConfirmer> {
+        &self.confirmer
+    }
+
+    /// Resets the scanner for a new stream, keeping the engine, confirmer
+    /// and allocated buffers.
+    pub fn reset(&mut self) {
+        self.inner.reset();
+        self.payload.clear();
+        self.state.fill(RuleState::Unseen);
+        self.pending.clear();
+    }
+
+    /// Scans the next chunk: anchor-pattern hits are appended to
+    /// `anchors_out` (absolute offsets, exactly as [`StreamScanner::push`]
+    /// reports them) and newly confirmed rules to `rules_out`, each rule at
+    /// most once per stream, with [`RuleMatch::end`] the minimal prefix
+    /// length of the stream at which the rule became satisfiable.
+    pub fn push(
+        &mut self,
+        chunk: &[u8],
+        anchors_out: &mut Vec<MatchEvent>,
+        rules_out: &mut Vec<RuleMatch>,
+    ) {
+        if chunk.is_empty() {
+            return;
+        }
+        self.payload.extend_from_slice(chunk);
+        let first_new = anchors_out.len();
+        self.inner.push(chunk, anchors_out);
+        for event in &anchors_out[first_new..] {
+            let rule = self.rule_of[event.pattern.index()] as usize;
+            if self.state[rule] == RuleState::Unseen {
+                self.state[rule] = RuleState::Pending;
+                self.pending.push(rule as u32);
+            }
+        }
+        let (confirmer, payload, state) = (&self.confirmer, &self.payload, &mut self.state);
+        self.pending.retain(|&rule| {
+            let id = RuleId(rule);
+            match confirmer.confirm(payload, id) {
+                Some(end) => {
+                    state[id.index()] = RuleState::Confirmed;
+                    rules_out.push(RuleMatch::new(id, end));
+                    false
+                }
+                None => true,
+            }
+        });
+    }
+
+    /// Convenience wrapper: scans `chunk` and returns the new anchor events
+    /// and confirmed rules.
+    pub fn push_collect(&mut self, chunk: &[u8]) -> (Vec<MatchEvent>, Vec<RuleMatch>) {
+        let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+        self.push(chunk, &mut anchors, &mut rules);
+        (anchors, rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::rule::{naive_rule_find_all, Rule, RuleContent};
+    use mpm_patterns::{NaiveMatcher, ProtocolGroup};
+
+    fn ruleset(rules: Vec<Vec<RuleContent>>) -> RuleSet {
+        RuleSet::new(
+            rules
+                .into_iter()
+                .map(|contents| Rule::new(ProtocolGroup::Any, contents))
+                .collect(),
+        )
+    }
+
+    fn scanner(set: &RuleSet) -> RuleStreamScanner {
+        RuleStreamScanner::new(Arc::new(NaiveMatcher::new(set.anchors())), set)
+    }
+
+    #[test]
+    fn rule_confirmed_on_the_push_that_completes_it() {
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"user"),
+            RuleContent::new(*b"pass").with_distance(0),
+        ]]);
+        let mut s = scanner(&set);
+        let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+        s.push(b"user alice ", &mut anchors, &mut rules);
+        assert!(rules.is_empty(), "anchor alone must not confirm");
+        s.push(b"pa", &mut anchors, &mut rules);
+        assert!(rules.is_empty());
+        s.push(b"ss", &mut anchors, &mut rules);
+        assert_eq!(rules, vec![RuleMatch::new(RuleId(0), 15)]);
+        // Never re-reported.
+        s.push(b" pass", &mut anchors, &mut rules);
+        assert_eq!(rules.len(), 1);
+    }
+
+    #[test]
+    fn streamed_equals_one_shot_for_every_two_chunk_cut() {
+        let set = ruleset(vec![
+            vec![
+                RuleContent::new(*b"abcd"),
+                RuleContent::new(*b"wxyz").with_distance(1).with_within(12),
+            ],
+            vec![RuleContent::new(*b"wxyz").with_offset(3)],
+        ]);
+        let payload = b"..abcd...wxyz...";
+        let expected = naive_rule_find_all(&set, payload);
+        assert!(!expected.is_empty());
+        for cut in 0..=payload.len() {
+            let mut s = scanner(&set);
+            let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+            s.push(&payload[..cut], &mut anchors, &mut rules);
+            s.push(&payload[cut..], &mut anchors, &mut rules);
+            rules.sort_unstable();
+            assert_eq!(rules, expected, "diverged at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn reset_forgets_payload_and_rule_state() {
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"ab"),
+            RuleContent::new(*b"cd").with_distance(0),
+        ]]);
+        let mut s = scanner(&set);
+        let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+        s.push(b"ab", &mut anchors, &mut rules);
+        s.reset();
+        assert_eq!(s.buffered_bytes(), 0);
+        s.push(b"cd", &mut anchors, &mut rules);
+        assert!(rules.is_empty(), "old stream's anchor must not linger");
+    }
+}

@@ -28,8 +28,11 @@
 //!   million-flow churn cannot grow memory without bound when callers do
 //!   not close flows themselves.
 
+use crate::rules::RuleStreamScanner;
 use crate::stream::{SharedMatcher, StreamScanner};
+use mpm_patterns::rule::{RuleId, RuleMatch, RuleSet};
 use mpm_patterns::{MatchEvent, MatcherStats, PatternSet};
+use mpm_verify::RuleConfirmer;
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
@@ -65,11 +68,30 @@ pub struct FlowMatch {
     pub event: MatchEvent,
 }
 
+/// A confirmed rule, tagged with the flow it was confirmed in. `end` is the
+/// minimal prefix length of that flow's stream at which the rule's
+/// constraints became satisfiable (flow-stream coordinates, like
+/// [`FlowMatch`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct FlowRuleMatch {
+    /// The flow the rule was confirmed in.
+    pub flow: u64,
+    /// The confirmed rule.
+    pub rule: RuleId,
+    /// Minimal satisfiable prefix length of the flow's stream.
+    pub end: usize,
+}
+
 /// Result of one [`ShardedScanner::scan_batch`] call.
 #[derive(Clone, Debug, Default)]
 pub struct BatchResult {
-    /// All matches of the batch, sorted by `(flow, start, pattern)`.
+    /// All matches of the batch, sorted by `(flow, start, pattern)`. In
+    /// rule mode ([`ShardedScanner::with_rules`]) these are the anchor hits.
     pub matches: Vec<FlowMatch>,
+    /// Rules confirmed during the batch, sorted by `(flow, rule, end)`;
+    /// each rule at most once per flow-stream. Empty unless the scanner was
+    /// built in rule mode.
+    pub rule_matches: Vec<FlowRuleMatch>,
     /// Per-batch statistics summed over all workers (`bytes_scanned` and
     /// `matches` are exact and deterministic; the timing fields are zero —
     /// wall-clock belongs to the caller, who knows what overlapped).
@@ -91,8 +113,17 @@ enum Job {
 
 struct WorkerReport {
     matches: Vec<FlowMatch>,
+    rule_matches: Vec<FlowRuleMatch>,
     stats: MatcherStats,
     resident_flows: usize,
+}
+
+/// Shared, pre-built rule-mode parts handed to every worker: one confirmer
+/// and one anchor→rule mapping serve all flows on all threads.
+#[derive(Clone)]
+struct RuleParts {
+    confirmer: Arc<RuleConfirmer>,
+    rule_of: Arc<[u32]>,
 }
 
 struct Worker {
@@ -135,7 +166,49 @@ impl ShardedScanner {
     /// Panics if `workers` is zero or the engine/set disagree about the
     /// longest pattern.
     pub fn new(engine: SharedMatcher, set: &PatternSet, workers: usize) -> Self {
-        Self::spawn(engine, set, workers, None)
+        Self::spawn(engine, set, workers, None, None)
+    }
+
+    /// Spawns `workers` worker threads in **rule mode**: each flow runs a
+    /// [`RuleStreamScanner`] over `set`'s anchor patterns, and
+    /// [`BatchResult::rule_matches`] reports confirmed rules per flow with
+    /// absolute (flow-stream) offsets — a rule whose contents are split
+    /// across packets, batches, or both is still confirmed, on the packet
+    /// that completes its minimal satisfiable prefix.
+    ///
+    /// `engine` must be compiled for `set.anchors()`. Anchor hits keep
+    /// flowing into [`BatchResult::matches`] unchanged.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero or the engine/anchor-set disagree about
+    /// the longest pattern.
+    pub fn with_rules(engine: SharedMatcher, set: &RuleSet, workers: usize) -> Self {
+        Self::spawn(engine, set.anchors(), workers, None, Some(rule_parts(set)))
+    }
+
+    /// Rule mode with a resident-flow cap, combining
+    /// [`ShardedScanner::with_rules`] and
+    /// [`ShardedScanner::with_max_flows`]. Eviction retires a flow's
+    /// buffered payload and rule state exactly like a close: a later packet
+    /// for that flow starts a fresh stream.
+    ///
+    /// # Panics
+    /// Panics if `workers` or `max_flows` is zero, or the engine/anchor-set
+    /// disagree about the longest pattern.
+    pub fn with_rules_max_flows(
+        engine: SharedMatcher,
+        set: &RuleSet,
+        workers: usize,
+        max_flows: usize,
+    ) -> Self {
+        assert!(max_flows > 0, "max_flows must be at least 1");
+        Self::spawn(
+            engine,
+            set.anchors(),
+            workers,
+            Some(max_flows),
+            Some(rule_parts(set)),
+        )
     }
 
     /// Like [`ShardedScanner::new`], but bounds the per-flow stream state to
@@ -161,7 +234,7 @@ impl ShardedScanner {
         max_flows: usize,
     ) -> Self {
         assert!(max_flows > 0, "max_flows must be at least 1");
-        Self::spawn(engine, set, workers, Some(max_flows))
+        Self::spawn(engine, set, workers, Some(max_flows), None)
     }
 
     fn spawn(
@@ -169,6 +242,7 @@ impl ShardedScanner {
         set: &PatternSet,
         workers: usize,
         max_flows: Option<usize>,
+        rules: Option<RuleParts>,
     ) -> Self {
         assert!(workers > 0, "need at least one worker");
         let lengths: Arc<[u32]> = set.patterns().iter().map(|p| p.len() as u32).collect();
@@ -188,8 +262,9 @@ impl ShardedScanner {
                 let (sender, receiver) = mpsc::channel();
                 let engine = engine.clone();
                 let lengths = lengths.clone();
+                let rules = rules.clone();
                 let handle = std::thread::spawn(move || {
-                    worker_loop(receiver, engine, lengths, per_worker_cap)
+                    worker_loop(receiver, engine, lengths, per_worker_cap, rules)
                 });
                 Worker {
                     sender,
@@ -245,10 +320,12 @@ impl ShardedScanner {
         let mut result = BatchResult::default();
         for report in report_receiver {
             result.matches.extend(report.matches);
+            result.rule_matches.extend(report.rule_matches);
             result.stats.merge(&report.stats);
             result.resident_flows += report.resident_flows;
         }
         result.matches.sort_unstable();
+        result.rule_matches.sort_unstable();
         result
     }
 
@@ -294,6 +371,18 @@ impl Drop for ShardedScanner {
     }
 }
 
+/// Builds the shared rule-mode parts once, on the caller's thread.
+fn rule_parts(set: &RuleSet) -> RuleParts {
+    RuleParts {
+        confirmer: Arc::new(RuleConfirmer::build(set)),
+        rule_of: set
+            .anchors()
+            .rule_bindings()
+            .expect("RuleSet::anchors is always rule-bound")
+            .into(),
+    }
+}
+
 /// SplitMix64 finalizer: decorrelates adjacent flow ids (sequential ids are
 /// common in synthetic batches and would otherwise stripe unevenly).
 fn mix64(mut x: u64) -> u64 {
@@ -303,10 +392,30 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// One flow's scanning state: pattern-only, or anchors + rule confirmation.
+enum FlowScanner {
+    Plain(StreamScanner),
+    Rules(RuleStreamScanner),
+}
+
+impl FlowScanner {
+    fn mint(engine: &SharedMatcher, lengths: &Arc<[u32]>, rules: &Option<RuleParts>) -> Self {
+        let inner = StreamScanner::with_lengths(engine.clone(), lengths.clone());
+        match rules {
+            Some(parts) => FlowScanner::Rules(RuleStreamScanner::with_parts(
+                inner,
+                parts.confirmer.clone(),
+                parts.rule_of.clone(),
+            )),
+            None => FlowScanner::Plain(inner),
+        }
+    }
+}
+
 /// One flow's stream state plus its recency stamp (the sequence number of
 /// the flow's latest packet on this worker).
 struct FlowSlot {
-    scanner: StreamScanner,
+    scanner: FlowScanner,
     seq: u64,
 }
 
@@ -315,6 +424,7 @@ fn worker_loop(
     engine: SharedMatcher,
     lengths: Arc<[u32]>,
     max_flows: Option<usize>,
+    rules: Option<RuleParts>,
 ) {
     // Per-flow stream state; the engines' thread-cached Scratch is implicit
     // (find_into uses this worker thread's cached scratch). With a cap,
@@ -326,8 +436,10 @@ fn worker_loop(
     let mut recency: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     let mut next_seq = 0u64;
     let mut matches: Vec<FlowMatch> = Vec::new();
+    let mut rule_matches: Vec<FlowRuleMatch> = Vec::new();
     let mut stats = MatcherStats::default();
     let mut events: Vec<MatchEvent> = Vec::new();
+    let mut rule_events: Vec<RuleMatch> = Vec::new();
     while let Ok(job) = receiver.recv() {
         match job {
             Job::Packet(packet) => {
@@ -352,10 +464,7 @@ fn worker_loop(
                         flows.insert(
                             flow,
                             FlowSlot {
-                                scanner: StreamScanner::with_lengths(
-                                    engine.clone(),
-                                    lengths.clone(),
-                                ),
+                                scanner: FlowScanner::mint(&engine, &lengths, &rules),
                                 seq,
                             },
                         );
@@ -365,15 +474,26 @@ fn worker_loop(
                 } else {
                     // Uncapped: no recency bookkeeping, one hash lookup.
                     flows.entry(flow).or_insert_with(|| FlowSlot {
-                        scanner: StreamScanner::with_lengths(engine.clone(), lengths.clone()),
+                        scanner: FlowScanner::mint(&engine, &lengths, &rules),
                         seq,
                     })
                 };
                 events.clear();
-                slot.scanner.push(&packet.payload, &mut events);
+                rule_events.clear();
+                match &mut slot.scanner {
+                    FlowScanner::Plain(scanner) => scanner.push(&packet.payload, &mut events),
+                    FlowScanner::Rules(scanner) => {
+                        scanner.push(&packet.payload, &mut events, &mut rule_events)
+                    }
+                }
                 stats.bytes_scanned += packet.payload.len() as u64;
                 stats.matches += events.len() as u64;
                 matches.extend(events.drain(..).map(|event| FlowMatch { flow, event }));
+                rule_matches.extend(rule_events.drain(..).map(|m| FlowRuleMatch {
+                    flow,
+                    rule: m.rule,
+                    end: m.end,
+                }));
             }
             Job::CloseFlow(flow) => {
                 if let Some(slot) = flows.remove(&flow) {
@@ -383,6 +503,7 @@ fn worker_loop(
             Job::Flush(report) => {
                 let _ = report.send(WorkerReport {
                     matches: std::mem::take(&mut matches),
+                    rule_matches: std::mem::take(&mut rule_matches),
                     stats: std::mem::take(&mut stats),
                     resident_flows: flows.len(),
                 });
@@ -546,6 +667,106 @@ mod tests {
         let after = scanner.scan_batch(vec![Packet::new(2, b"split".to_vec())]);
         assert_eq!(after.matches.len(), 1);
         assert_eq!(after.matches[0].event.start, 3);
+    }
+
+    fn rules_for_shard() -> RuleSet {
+        use mpm_patterns::rule::{Rule, RuleContent};
+        RuleSet::new(vec![Rule::new(
+            mpm_patterns::ProtocolGroup::Any,
+            vec![
+                RuleContent::new(*b"attack"),
+                RuleContent::new(*b"body").with_distance(0),
+            ],
+        )])
+    }
+
+    #[test]
+    fn rule_mode_confirms_across_packets_within_a_flow() {
+        let set = rules_for_shard();
+        let mut scanner =
+            ShardedScanner::with_rules(Arc::new(NaiveMatcher::new(set.anchors())), &set, 3);
+        let result = scanner.scan_batch(vec![
+            Packet::new(1, b"..atta".to_vec()),
+            Packet::new(2, b"ck body".to_vec()), // other flow: no anchor
+            Packet::new(1, b"ck..".to_vec()),
+            Packet::new(1, b"body".to_vec()),
+        ]);
+        assert_eq!(
+            result.rule_matches,
+            vec![FlowRuleMatch {
+                flow: 1,
+                rule: RuleId(0),
+                end: 14
+            }]
+        );
+        // Anchor hits still reported, in flow-stream coordinates.
+        assert_eq!(result.matches.len(), 1);
+        assert_eq!(result.matches[0].event.start, 2);
+    }
+
+    #[test]
+    fn rule_mode_confirms_across_batches_and_reports_once() {
+        let set = rules_for_shard();
+        let mut scanner =
+            ShardedScanner::with_rules(Arc::new(NaiveMatcher::new(set.anchors())), &set, 2);
+        let first = scanner.scan_batch(vec![Packet::new(7, b"attack..".to_vec())]);
+        assert!(
+            first.rule_matches.is_empty(),
+            "second content still missing"
+        );
+        let second = scanner.scan_batch(vec![Packet::new(7, b"body".to_vec())]);
+        assert_eq!(
+            second.rule_matches,
+            vec![FlowRuleMatch {
+                flow: 7,
+                rule: RuleId(0),
+                end: 12
+            }]
+        );
+        let third = scanner.scan_batch(vec![Packet::new(7, b"body".to_vec())]);
+        assert!(
+            third.rule_matches.is_empty(),
+            "a rule confirms once per flow"
+        );
+    }
+
+    #[test]
+    fn rule_mode_determinism_across_worker_counts() {
+        let set = rules_for_shard();
+        let packets: Vec<Packet> = (0..20u64)
+            .map(|f| Packet::new(f, format!("attack {f} body").into_bytes()))
+            .collect();
+        let run = |workers: usize| {
+            let mut scanner = ShardedScanner::with_rules(
+                Arc::new(NaiveMatcher::new(set.anchors())),
+                &set,
+                workers,
+            );
+            scanner.scan_batch(packets.clone())
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.rule_matches, four.rule_matches);
+        assert_eq!(one.matches, four.matches);
+        assert_eq!(one.rule_matches.len(), 20);
+    }
+
+    #[test]
+    fn rule_mode_eviction_retires_buffered_payload() {
+        let set = rules_for_shard();
+        // One worker, one resident flow: flow 2's arrival evicts flow 1.
+        let mut scanner = ShardedScanner::with_rules_max_flows(
+            Arc::new(NaiveMatcher::new(set.anchors())),
+            &set,
+            1,
+            1,
+        );
+        scanner.scan_batch(vec![Packet::new(1, b"attack..".to_vec())]);
+        let result = scanner.scan_batch(vec![
+            Packet::new(2, b"zz".to_vec()),
+            Packet::new(1, b"body".to_vec()), // flow 1 restarted: no anchor
+        ]);
+        assert!(result.rule_matches.is_empty());
     }
 
     #[test]

@@ -1,0 +1,602 @@
+//! Rule confirmation: from anchor hits to confirmed multi-content rules.
+//!
+//! The engines' multi-pattern matchers search only each rule's **anchor**
+//! content ([`mpm_patterns::rule::RuleSet::anchors`]). When an anchor fires,
+//! [`RuleConfirmer`] decides whether the *whole rule* matches — every
+//! content present, every `offset`/`depth`/`distance`/`within` constraint
+//! satisfiable — and at which offset, riding the same batched
+//! `eq_window`/`eq_window_nocase` backend primitives as the PR 5 verifier so
+//! confirmation stays on the SIMD path.
+//!
+//! # Algorithm
+//!
+//! Confirmation of one rule against one payload runs in two steps, inside a
+//! single [`VectorBackend::dispatch`] region:
+//!
+//! 1. **Occurrence enumeration** — for each content, scan the absolute
+//!    window its `offset`/`depth` allow and record every occurrence
+//!    (first-byte prescreen, then one `eq_window[_nocase]` vector compare
+//!    per surviving position). Any content with zero occurrences refutes
+//!    the rule immediately.
+//! 2. **Chain DP** — over contents in rule order, compute for every
+//!    occurrence the minimal achievable *maximum occurrence end* of any
+//!    constraint-satisfying assignment ending there: the relative
+//!    constraints couple only adjacent contents through the previous
+//!    occurrence's end, so
+//!    `g_i(j) = max(end_j, min over feasible k of g_{i-1}(k))`.
+//!    The rule is satisfiable iff some `g` survives, and `min g` is the
+//!    **minimal prefix length at which the rule matches** — the offset
+//!    reported in [`RuleMatch::end`].
+//!
+//! That minimum is a pure function of the payload bytes: it never depends
+//! on chunking, which is what lets `mpm-stream` report identical rule
+//! matches streamed and one-shot (property-tested in
+//! `tests/rule_confirmation_differential.rs` against the naive evaluator in
+//! `mpm_patterns::rule`, which uses a deliberately different algorithm —
+//! memoized recursion plus binary search).
+//!
+//! Gating confirmation on anchor hits loses nothing: a satisfying
+//! assignment contains a real anchor occurrence, and the anchor MPM is
+//! exact, so "rule satisfiable" implies "anchor reported".
+//!
+//! # Amortizing confirmation: the payload index
+//!
+//! Step 1 above re-scans the payload once per content *per triggered rule*.
+//! That is the right shape for streaming (per-flow payloads are small and
+//! few rules are pending at once), but on a monolithic trace where hundreds
+//! of anchors fire it degenerates to `O(rules × payload)`. For that case
+//! [`RuleConfirmer::index_payload`] enumerates every occurrence of every
+//! *distinct* content in **one** Aho-Corasick pass and
+//! [`RuleConfirmer::confirm_indexed`] replaces step 1 with two binary
+//! searches per content (slicing the absolute `offset`/`depth` window out
+//! of the sorted occurrence list); step 2 is unchanged.
+//! [`RuleScanner::scan_rules`] takes this path whenever any rule triggers.
+
+use mpm_aho_corasick::NfaMatcher;
+use mpm_patterns::rule::{RuleContent, RuleId, RuleMatch, RuleSet};
+use mpm_patterns::{MatchEvent, Matcher, Pattern, PatternSet, ProtocolGroup};
+use mpm_simd::{Avx2Backend, Avx512Backend, BackendKind, ScalarBackend, VectorBackend};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The rule-confirmation stage: compiled constraint chains for every rule
+/// of a [`RuleSet`], evaluated on demand when the rule's anchor fires.
+///
+/// Stateless per payload (scratch is allocated per call); share one
+/// confirmer across threads via [`Arc`].
+#[derive(Clone, Debug)]
+pub struct RuleConfirmer {
+    rules: Arc<RuleSet>,
+    /// Per rule, the unique-content slot of each of its contents in order.
+    slots: Arc<Vec<Vec<u32>>>,
+    /// Content length in bytes per unique-content slot.
+    slot_len: Arc<Vec<u32>>,
+    /// Exact multi-pattern matcher over the distinct `(bytes, nocase)`
+    /// contents (one pattern per slot), backing [`Self::index_payload`].
+    contents: Arc<NfaMatcher>,
+}
+
+impl RuleConfirmer {
+    /// Compiles the confirmation stage for `set`.
+    pub fn build(set: &RuleSet) -> Self {
+        let mut slot_of: HashMap<(Vec<u8>, bool), u32> = HashMap::new();
+        let mut patterns: Vec<Pattern> = Vec::new();
+        let mut slots: Vec<Vec<u32>> = Vec::with_capacity(set.len());
+        for rule in set.rules() {
+            slots.push(
+                rule.contents()
+                    .iter()
+                    .map(|content| {
+                        let key = (content.bytes().to_vec(), content.is_nocase());
+                        *slot_of.entry(key).or_insert_with(|| {
+                            patterns.push(
+                                Pattern::new(content.bytes().to_vec(), ProtocolGroup::Any)
+                                    .with_nocase(content.is_nocase()),
+                            );
+                            (patterns.len() - 1) as u32
+                        })
+                    })
+                    .collect(),
+            );
+        }
+        let slot_len = patterns.iter().map(|p| p.len() as u32).collect();
+        let contents = Arc::new(NfaMatcher::build(&PatternSet::new(patterns)));
+        RuleConfirmer {
+            rules: Arc::new(set.clone()),
+            slots: Arc::new(slots),
+            slot_len: Arc::new(slot_len),
+            contents,
+        }
+    }
+
+    /// Number of rules this confirmer covers.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// The underlying rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Confirms `rule` against `payload` on the best backend this process
+    /// dispatches to (honours `MPM_FORCE_BACKEND`). Returns the minimal
+    /// prefix length at which the rule is satisfiable, or `None`.
+    pub fn confirm(&self, payload: &[u8], rule: RuleId) -> Option<usize> {
+        match mpm_simd::detect_best() {
+            BackendKind::Scalar => self.confirm_with::<ScalarBackend, 8>(payload, rule),
+            BackendKind::Avx2 => self.confirm_with::<Avx2Backend, 8>(payload, rule),
+            BackendKind::Avx512 => self.confirm_with::<Avx512Backend, 16>(payload, rule),
+        }
+    }
+
+    /// [`RuleConfirmer::confirm`] monomorphized for one backend (the
+    /// engines' usual `B`/`W` shape, so tests can pin a backend directly).
+    pub fn confirm_with<B: VectorBackend<W>, const W: usize>(
+        &self,
+        payload: &[u8],
+        rule: RuleId,
+    ) -> Option<usize> {
+        let contents = self.rules.get(rule).contents();
+        B::dispatch(|| {
+            // Step 1: per-content occurrence ends within the absolute
+            // windows. Ends are u64 so the DP sentinel below cannot collide.
+            let mut lists: Vec<Vec<u64>> = Vec::with_capacity(contents.len());
+            for content in contents {
+                let mut ends = Vec::new();
+                if let Some((lo, hi)) = content.scan_range(payload.len()) {
+                    let bytes = content.bytes();
+                    let len = bytes.len();
+                    if content.is_nocase() {
+                        let first = bytes[0].to_ascii_lowercase();
+                        for start in lo..=hi {
+                            if payload[start].to_ascii_lowercase() == first
+                                && B::eq_window_nocase(&payload[start..start + len], bytes)
+                            {
+                                ends.push((start + len) as u64);
+                            }
+                        }
+                    } else {
+                        let first = bytes[0];
+                        for start in lo..=hi {
+                            if payload[start] == first
+                                && B::eq_window(&payload[start..start + len], bytes)
+                            {
+                                ends.push((start + len) as u64);
+                            }
+                        }
+                    }
+                }
+                if ends.is_empty() {
+                    return None;
+                }
+                lists.push(ends);
+            }
+
+            let slices: Vec<&[u64]> = lists.iter().map(|l| l.as_slice()).collect();
+            chain_dp(contents, &slices)
+        })
+    }
+
+    /// Enumerates every occurrence of every distinct rule content in one
+    /// Aho-Corasick pass over `payload`. The index amortizes confirmation
+    /// across many triggered rules: [`Self::confirm_indexed`] then needs no
+    /// byte compares at all, only binary searches into the sorted
+    /// occurrence lists.
+    pub fn index_payload(&self, payload: &[u8]) -> PayloadIndex {
+        let mut ends: Vec<Vec<u64>> = vec![Vec::new(); self.slot_len.len()];
+        // NfaMatcher emits events in increasing end order, so per-slot
+        // lists arrive sorted — the binary searches below rely on that.
+        for event in self.contents.find_all(payload) {
+            let slot = event.pattern.index();
+            ends[slot].push((event.start + self.slot_len[slot] as usize) as u64);
+        }
+        PayloadIndex {
+            ends,
+            payload_len: payload.len(),
+        }
+    }
+
+    /// [`Self::confirm`] against a prebuilt [`PayloadIndex`] of the same
+    /// payload: per-content occurrence lists become window slices of the
+    /// index (two binary searches each), then the identical chain DP runs.
+    pub fn confirm_indexed(&self, index: &PayloadIndex, rule: RuleId) -> Option<usize> {
+        let contents = self.rules.get(rule).contents();
+        let slots = &self.slots[rule.index()];
+        let mut lists: Vec<&[u64]> = Vec::with_capacity(contents.len());
+        for (content, &slot) in contents.iter().zip(slots) {
+            let (lo, hi) = content.scan_range(index.payload_len)?;
+            let all = index.ends[slot as usize].as_slice();
+            let len = content.len() as u64;
+            // Starts in [lo, hi] <=> ends in [lo + len, hi + len].
+            let from = all.partition_point(|&end| end < lo as u64 + len);
+            let to = all.partition_point(|&end| end <= hi as u64 + len);
+            if from == to {
+                return None;
+            }
+            lists.push(&all[from..to]);
+        }
+        chain_dp(contents, &lists)
+    }
+
+    /// Heap bytes of the compiled rule chains, slot tables, and the
+    /// unique-content automaton behind [`Self::index_payload`].
+    pub fn heap_bytes(&self) -> usize {
+        let chains: usize = self.rules.rules().iter().map(|r| r.heap_bytes()).sum();
+        let slots: usize = self
+            .slots
+            .iter()
+            .map(|s| s.len() * std::mem::size_of::<u32>())
+            .sum();
+        chains + slots + self.contents.automaton().heap_bytes()
+    }
+}
+
+/// Per-payload occurrence index built by [`RuleConfirmer::index_payload`]:
+/// sorted occurrence ends per distinct rule content. Valid only for the
+/// exact payload it was built from.
+pub struct PayloadIndex {
+    /// Sorted occurrence ends (`start + len`) per unique-content slot.
+    ends: Vec<Vec<u64>>,
+    /// Length of the indexed payload (drives `offset`/`depth` windows).
+    payload_len: usize,
+}
+
+impl PayloadIndex {
+    /// Total number of content occurrences recorded in the index.
+    pub fn occurrence_count(&self) -> usize {
+        self.ends.iter().map(|e| e.len()).sum()
+    }
+}
+
+/// Step 2 of confirmation (shared by the scanning and indexed paths): chain
+/// DP on the minimal achievable maximum occurrence end, over one sorted
+/// occurrence-end list per content. The first content's own relative
+/// constraints (legal in Snort: relative to payload start) are checked
+/// against `prev_end = 0`.
+fn chain_dp(contents: &[RuleContent], lists: &[&[u64]]) -> Option<usize> {
+    const UNSAT: u64 = u64::MAX;
+    let mut g: Vec<u64> = if contents[0].is_relative() {
+        let len = contents[0].len() as u64;
+        lists[0]
+            .iter()
+            .map(|&end| {
+                if contents[0].relative_ok((end - len) as usize, 0) {
+                    end
+                } else {
+                    UNSAT
+                }
+            })
+            .collect()
+    } else {
+        lists[0].to_vec()
+    };
+    for (i, content) in contents.iter().enumerate().skip(1) {
+        let len = content.len() as u64;
+        let prev_ends = lists[i - 1];
+        let prev_g = std::mem::take(&mut g);
+        if content.is_relative() {
+            g = lists[i]
+                .iter()
+                .map(|&end| {
+                    let start = (end - len) as usize;
+                    let best_prev = prev_ends
+                        .iter()
+                        .zip(&prev_g)
+                        .filter(|&(&prev_end, &pg)| {
+                            pg != UNSAT && content.relative_ok(start, prev_end as usize)
+                        })
+                        .map(|(_, &pg)| pg)
+                        .min()
+                        .unwrap_or(UNSAT);
+                    if best_prev == UNSAT {
+                        UNSAT
+                    } else {
+                        best_prev.max(end)
+                    }
+                })
+                .collect();
+        } else {
+            // No relative coupling: every occurrence may follow the
+            // globally cheapest prefix assignment.
+            let best_prev = prev_g.iter().copied().min().unwrap_or(UNSAT);
+            g = lists[i]
+                .iter()
+                .map(|&end| {
+                    if best_prev == UNSAT {
+                        UNSAT
+                    } else {
+                        best_prev.max(end)
+                    }
+                })
+                .collect();
+        }
+    }
+    g.into_iter()
+        .filter(|&v| v != UNSAT)
+        .min()
+        .map(|v| v as usize)
+}
+
+/// One-shot rule scanning: an anchor engine plus a [`RuleConfirmer`].
+///
+/// [`RuleScanner::scan`] keeps reporting plain anchor-pattern hits (the
+/// [`Matcher`] view); [`RuleScanner::scan_rules`] reports **confirmed
+/// rules**, each at most once per payload, at the minimal prefix length at
+/// which its constraints are satisfiable. For streaming and multi-core use
+/// see `mpm_stream::RuleStreamScanner` / `ShardedScanner::with_rules`.
+pub struct RuleScanner {
+    engine: Arc<dyn Matcher + Send + Sync>,
+    confirmer: RuleConfirmer,
+    rule_of: Arc<[u32]>,
+}
+
+impl RuleScanner {
+    /// Wraps an engine compiled for `set.anchors()`.
+    ///
+    /// # Panics
+    /// Panics if the engine disagrees with the anchor set about the longest
+    /// pattern (the symptom of compiling it for a different set).
+    pub fn new(engine: Arc<dyn Matcher + Send + Sync>, set: &RuleSet) -> Self {
+        let anchors = set.anchors();
+        let max_len = anchors
+            .patterns()
+            .iter()
+            .map(|p| p.len())
+            .max()
+            .unwrap_or(0);
+        assert_eq!(
+            engine.max_pattern_len(),
+            max_len,
+            "engine was compiled for a different anchor set"
+        );
+        let rule_of: Arc<[u32]> = anchors
+            .rule_bindings()
+            .expect("RuleSet::anchors is always rule-bound")
+            .into();
+        RuleScanner {
+            engine,
+            confirmer: RuleConfirmer::build(set),
+            rule_of,
+        }
+    }
+
+    /// The wrapped anchor engine.
+    pub fn engine(&self) -> &Arc<dyn Matcher + Send + Sync> {
+        &self.engine
+    }
+
+    /// The confirmation stage.
+    pub fn confirmer(&self) -> &RuleConfirmer {
+        &self.confirmer
+    }
+
+    /// Anchor-pattern hits, exactly as the wrapped [`Matcher`] reports them.
+    pub fn scan(&self, payload: &[u8]) -> Vec<MatchEvent> {
+        self.engine.find_all(payload)
+    }
+
+    /// Confirmed rules, in rule-id order, each at most once.
+    ///
+    /// Confirmation is amortized through one [`RuleConfirmer::index_payload`]
+    /// pass shared by every triggered rule, so the cost of dense anchor
+    /// traffic scales with the payload, not with `rules × payload`.
+    pub fn scan_rules(&self, payload: &[u8]) -> Vec<RuleMatch> {
+        let mut triggered: BTreeSet<u32> = BTreeSet::new();
+        for event in self.engine.find_all(payload) {
+            triggered.insert(self.rule_of[event.pattern.index()]);
+        }
+        if triggered.is_empty() {
+            return Vec::new();
+        }
+        let index = self.confirmer.index_payload(payload);
+        triggered
+            .into_iter()
+            .filter_map(|rule| {
+                let id = RuleId(rule);
+                self.confirmer
+                    .confirm_indexed(&index, id)
+                    .map(|end| RuleMatch::new(id, end))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpm_patterns::rule::{naive_rule_find_all, naive_rule_first_end, Rule, RuleContent};
+    use mpm_patterns::{NaiveMatcher, ProtocolGroup};
+
+    fn ruleset(rules: Vec<Vec<RuleContent>>) -> RuleSet {
+        RuleSet::new(
+            rules
+                .into_iter()
+                .map(|contents| Rule::new(ProtocolGroup::Any, contents))
+                .collect(),
+        )
+    }
+
+    fn scanner(set: &RuleSet) -> RuleScanner {
+        RuleScanner::new(Arc::new(NaiveMatcher::new(set.anchors())), set)
+    }
+
+    /// Asserts the confirmer agrees with the naive evaluator on every rule
+    /// of `set`, on every backend this machine dispatches to.
+    fn assert_matches_naive(set: &RuleSet, payload: &[u8]) {
+        let confirmer = RuleConfirmer::build(set);
+        let index = confirmer.index_payload(payload);
+        for (id, rule) in set.iter() {
+            let expected = naive_rule_first_end(rule, payload);
+            assert_eq!(
+                confirmer.confirm_with::<ScalarBackend, 8>(payload, id),
+                expected,
+                "scalar diverged on rule {id} over {payload:?}"
+            );
+            assert_eq!(
+                confirmer.confirm_indexed(&index, id),
+                expected,
+                "indexed confirmation diverged on rule {id} over {payload:?}"
+            );
+            for kind in mpm_simd::available_backends() {
+                let got = match kind {
+                    BackendKind::Scalar => confirmer.confirm_with::<ScalarBackend, 8>(payload, id),
+                    BackendKind::Avx2 => confirmer.confirm_with::<Avx2Backend, 8>(payload, id),
+                    BackendKind::Avx512 => confirmer.confirm_with::<Avx512Backend, 16>(payload, id),
+                };
+                assert_eq!(got, expected, "{kind:?} diverged on rule {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_content_chain_confirms_at_minimal_end() {
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"GET "),
+            RuleContent::new(*b"passwd")
+                .with_distance(0)
+                .with_within(20),
+        ]]);
+        let payload = b"GET /etc/passwd HTTP/1.1";
+        assert_matches_naive(&set, payload);
+        let got = scanner(&set).scan_rules(payload);
+        assert_eq!(got, vec![RuleMatch::new(RuleId(0), 15)]);
+    }
+
+    #[test]
+    fn violated_within_window_refutes() {
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"GET "),
+            RuleContent::new(*b"passwd").with_within(8),
+        ]]);
+        let payload = b"GET /some/long/prefix/passwd";
+        assert_matches_naive(&set, payload);
+        assert!(scanner(&set).scan_rules(payload).is_empty());
+    }
+
+    #[test]
+    fn absolute_offset_depth_windows_are_enforced() {
+        let set = ruleset(vec![
+            vec![RuleContent::new(*b"ab").with_offset(2).with_depth(4)],
+            vec![RuleContent::new(*b"ab").with_offset(6)],
+        ]);
+        let payload = b"ab..ab..ab";
+        assert_matches_naive(&set, payload);
+        let got = scanner(&set).scan_rules(payload);
+        assert_eq!(
+            got,
+            vec![RuleMatch::new(RuleId(0), 6), RuleMatch::new(RuleId(1), 10)]
+        );
+    }
+
+    #[test]
+    fn negative_distance_reaches_backwards() {
+        // Second content may start up to 3 bytes before the first's end.
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"abcd"),
+            RuleContent::new(*b"cdx").with_distance(-3),
+        ]]);
+        let payload = b"..abcdx.";
+        assert_matches_naive(&set, payload);
+        assert_eq!(scanner(&set).scan_rules(payload).len(), 1);
+    }
+
+    #[test]
+    fn nocase_contents_confirm_case_insensitively() {
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"user").with_nocase(true),
+            RuleContent::new(*b"Pass").with_distance(0),
+        ]]);
+        assert_matches_naive(&set, b"USER x Pass");
+        assert_matches_naive(&set, b"USER x pass");
+        assert_eq!(scanner(&set).scan_rules(b"UsEr x Pass").len(), 1);
+        assert!(
+            scanner(&set).scan_rules(b"UsEr x pass").is_empty(),
+            "the case-sensitive content must stay byte-exact"
+        );
+    }
+
+    #[test]
+    fn later_anchor_occurrence_rescues_the_chain() {
+        // First "ab" is too far from any "cd"; the second works.
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"ab"),
+            RuleContent::new(*b"cd").with_distance(0).with_within(4),
+        ]]);
+        let payload = b"ab........ab.cd";
+        assert_matches_naive(&set, payload);
+        assert_eq!(
+            scanner(&set).scan_rules(payload),
+            vec![RuleMatch::new(RuleId(0), 15)]
+        );
+    }
+
+    #[test]
+    fn first_content_relative_constraints_anchor_at_payload_start() {
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"xy").with_distance(3),
+            RuleContent::new(*b"zz").with_distance(0),
+        ]]);
+        // "xy" must start at >= 3 from payload start.
+        assert_matches_naive(&set, b"xy.xy.zz");
+        assert_matches_naive(&set, b"xy.zz");
+        assert_eq!(scanner(&set).scan_rules(b"xy.xy.zz").len(), 1);
+        assert!(scanner(&set).scan_rules(b"xy.zz").is_empty());
+    }
+
+    #[test]
+    fn scan_rules_reports_each_rule_once_and_scan_reports_anchor_hits() {
+        let set = ruleset(vec![vec![RuleContent::new(*b"dup")]]);
+        let s = scanner(&set);
+        let payload = b"dup dup dup";
+        assert_eq!(s.scan(payload).len(), 3, "three anchor hits");
+        assert_eq!(
+            s.scan_rules(payload),
+            vec![RuleMatch::new(RuleId(0), 3)],
+            "one confirmed rule, at the minimal end"
+        );
+        assert_eq!(s.scan_rules(payload), naive_rule_find_all(&set, payload));
+    }
+
+    #[test]
+    fn empty_payload_and_unsatisfiable_rules() {
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"ab"),
+            RuleContent::new(*b"missing").with_distance(0),
+        ]]);
+        assert_matches_naive(&set, b"");
+        assert_matches_naive(&set, b"ab but nothing else");
+        assert!(scanner(&set).scan_rules(b"ab but nothing else").is_empty());
+    }
+
+    #[test]
+    fn payload_index_dedups_shared_contents_and_respects_windows() {
+        // "ab" appears in three rules (twice case-sensitive, once nocase):
+        // two distinct slots, each indexed once regardless of rule count.
+        let set = ruleset(vec![
+            vec![
+                RuleContent::new(*b"ab"),
+                RuleContent::new(*b"cd").with_distance(0),
+            ],
+            vec![RuleContent::new(*b"ab").with_offset(4)],
+            vec![RuleContent::new(*b"ab").with_nocase(true)],
+        ]);
+        let confirmer = RuleConfirmer::build(&set);
+        let payload = b"ab..AB..cd";
+        let index = confirmer.index_payload(payload);
+        // Slots: "ab" exact (1 occurrence), "cd" (1), "ab" nocase (2).
+        assert_eq!(index.occurrence_count(), 4);
+        assert_matches_naive(&set, payload);
+        // The offset:4 window excludes the only exact "ab" at start 0.
+        assert_eq!(confirmer.confirm_indexed(&index, RuleId(1)), None);
+        assert_eq!(confirmer.confirm_indexed(&index, RuleId(2)), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "different anchor set")]
+    fn mismatched_engine_rejected() {
+        let set = ruleset(vec![vec![RuleContent::new(*b"abcdef")]]);
+        let other = ruleset(vec![vec![RuleContent::new(*b"ab")]]);
+        let _ = RuleScanner::new(Arc::from(NaiveMatcher::new(other.anchors())), &set);
+    }
+}

@@ -33,8 +33,10 @@
 
 #![warn(missing_docs)]
 
+pub mod confirm;
 pub mod filters;
 
+pub use confirm::{PayloadIndex, RuleConfirmer, RuleScanner};
 pub use filters::{DirectFilter, HashedFilter, MergedDirectFilters, FILTER_PADDING};
 
 use mpm_patterns::{MatchEvent, PatternId, PatternSet};

@@ -6,8 +6,11 @@
 //! Demonstrates: synthetic rulesets, protocol-group selection, trace
 //! generation, `ShardedScanner` (flow-affine multi-core scanning with
 //! per-flow `StreamScanner` state, so no match is lost at a packet
-//! boundary), backend pinning via `MPM_FORCE_BACKEND`, and merged
-//! statistics.
+//! boundary), backend pinning via `MPM_FORCE_BACKEND`, merged statistics,
+//! and — stage two — **multi-content rule confirmation**: Snort rules whose
+//! several `content:`s are tied together by `offset`/`depth`/`distance`/
+//! `within` are confirmed per flow even when the contents arrive in
+//! different packets.
 //!
 //! ```text
 //! cargo run --release --example nids_pipeline
@@ -105,4 +108,60 @@ fn main() {
             alert.flow, alert.event.start, pattern
         );
     }
+
+    rule_confirmation_stage();
+}
+
+/// Stage two: multi-content Snort rules with positional constraints on the
+/// same sharded streaming surface. The engines search only each rule's
+/// *anchor* content; an anchor hit triggers confirmation of the remaining
+/// contents and windows over the flow's payload.
+fn rule_confirmation_stage() {
+    use vpatch_suite::patterns::snort::{parse_ruleset, ParseOptions};
+
+    let text = r#"
+alert tcp any any -> any 80 (msg:"traversal"; content:"GET "; content:"/etc/passwd"; distance:0; within:40; sid:1;)
+alert tcp any any -> any 80 (msg:"shellshock UA"; content:"User-Agent:"; content:"() {"; distance:0; sid:2;)
+alert tcp any any -> any 80 (msg:"upload probe"; content:"POST"; offset:0; depth:4; content:"upload"; nocase; sid:3;)
+"#;
+    let set = parse_ruleset(text, ParseOptions::default()).expect("rules parse");
+    println!(
+        "\nrule confirmation: {} multi-content rules, anchors: {}",
+        set.len(),
+        set.iter()
+            .map(|(_, r)| format!("{:?}", String::from_utf8_lossy(r.anchor().bytes())))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let engine: SharedMatcher = Arc::from(build_auto(set.anchors()));
+    let mut scanner = ShardedScanner::with_rules(engine, &set, 2);
+    // Flow 1 carries a traversal whose second content arrives two packets
+    // after the anchor; flow 2 carries an upload probe with a case-varied
+    // secondary; flow 3 has the anchor but violates the window.
+    let result = scanner.scan_batch(vec![
+        Packet::new(1, b"GET /cgi".to_vec()),
+        Packet::new(2, b"POST /form UP".to_vec()),
+        Packet::new(1, b"-bin/../".to_vec()),
+        Packet::new(3, b"GET /x ".to_vec()),
+        Packet::new(1, b"/etc/passwd HTTP/1.1".to_vec()),
+        Packet::new(2, b"LOAD=1".to_vec()),
+        Packet::new(3, "y".repeat(60).into_bytes()),
+        Packet::new(3, b"/etc/passwd".to_vec()),
+    ]);
+    for m in &result.rule_matches {
+        let rule = set.get(m.rule);
+        println!(
+            "  confirmed flow {} @ {:>3}: sid {} ({} contents)",
+            m.flow,
+            m.end,
+            rule.sid().unwrap_or(0),
+            rule.contents().len()
+        );
+    }
+    assert_eq!(
+        result.rule_matches.len(),
+        2,
+        "flows 1 and 2 confirm; flow 3's within-window is violated"
+    );
 }

