@@ -113,6 +113,48 @@ struct RulesetRow {
     confirmed: usize,
 }
 
+/// One point of the ruleset-scaling section: a synthetic `scale`×
+/// replication of an s1 subset, each replica bound to its own destination
+/// port, scanned grouped (per-flow group selection over the
+/// `GroupedRuleSet` partitioning, engines sharing one pattern arena) vs
+/// monolithic (one engine + confirmer over all `scale × base` rules, every
+/// flow scanning everything). `memory_ratio` is the CI budget gauge
+/// (`--scaling-only --mem-budget`).
+#[derive(Clone, Debug, Serialize)]
+struct ScalingRow {
+    /// Replication factor (== number of single-port groups).
+    scale: usize,
+    /// Total rules in the scaled set.
+    rules: usize,
+    /// Port groups the partitioning produced.
+    port_groups: usize,
+    /// Distinct compiled engines after identical-group sharing.
+    unique_engines: usize,
+    /// Mean grouped throughput in Gbit/s (per-flow group selection).
+    grouped_gbps: f64,
+    /// Sample standard deviation of the grouped throughput.
+    grouped_gbps_std: f64,
+    /// Mean monolithic throughput in Gbit/s (every flow scans every rule).
+    monolithic_gbps: f64,
+    /// Sample standard deviation of the monolithic throughput.
+    monolithic_gbps_std: f64,
+    /// `grouped_gbps / monolithic_gbps`.
+    speedup: f64,
+    /// Grouped resident bytes: unique engines + confirmers + the shared
+    /// arena once (`GroupedEngineSet::memory_footprint`).
+    grouped_bytes: usize,
+    /// Monolithic resident bytes: engine footprint + rule confirmer.
+    monolithic_bytes: usize,
+    /// `grouped_bytes / monolithic_bytes` — must stay under the budget.
+    memory_ratio: f64,
+    /// Rules confirmed per pass, grouped path (workload-density check).
+    confirmed_grouped: usize,
+    /// Rules confirmed per pass, monolithic path filtered post-hoc to the
+    /// flows' applicable rules (equals `confirmed_grouped` by the grouped
+    /// equivalence property).
+    confirmed_monolithic: usize,
+}
+
 /// Per-engine resident-size row (s1 ruleset).
 #[derive(Clone, Debug, Serialize)]
 struct MemoryRow {
@@ -150,6 +192,9 @@ struct BaselineSnapshot {
     /// Rule-confirmation rows: multi-content rules built from the same
     /// contents, anchors-only vs confirmation-on.
     rule_confirmation: Vec<RulesetRow>,
+    /// Ruleset-scaling rows: grouped vs monolithic scanning of 10×/30×
+    /// port-replicated rulesets (throughput and memory).
+    ruleset_scaling: Vec<ScalingRow>,
     /// Per-engine resident table sizes on the s1 ruleset.
     memory: Vec<MemoryRow>,
     /// Multi-core scaling on the same workload: aggregate sharded-scan
@@ -329,6 +374,123 @@ fn measure_ruleset<B: VectorBackend<W>, const W: usize>(
     });
 }
 
+/// Replicates a base pattern subset `scale` times, each replica addressed
+/// to its own destination port (`2000 + r`, outside the default
+/// `$HTTP_PORTS`). A deterministic ~20% of each replica's contents get a
+/// replica-unique tail, so replicas are structurally distinct (no trivial
+/// whole-engine sharing) while the remaining ~80% stay byte-identical
+/// across replicas — which is exactly the regime the grouped design is
+/// for: the shared arena stores those bytes once, and per-group tables
+/// keep buckets 1-deep where the monolithic table piles `scale` duplicate
+/// entries into every shared bucket.
+fn scaled_grouped_rules(
+    base: &mpm_patterns::PatternSet,
+    scale: usize,
+) -> Vec<(mpm_patterns::RuleHeader, mpm_patterns::Rule)> {
+    use mpm_patterns::{PortSpec, Proto, RuleHeader};
+    let mut out = Vec::with_capacity(base.len() * scale);
+    for r in 0..scale {
+        let port = 2000 + r as u16;
+        for (i, p) in base.patterns().iter().enumerate() {
+            let mut bytes = p.bytes().to_vec();
+            if i % 5 == 0 {
+                bytes.extend_from_slice(&[b'-', b'0' + (r % 10) as u8, b'0' + (r / 10) as u8]);
+            }
+            let content = mpm_patterns::RuleContent::new(bytes).with_nocase(p.is_nocase());
+            out.push((
+                RuleHeader::new(Proto::Tcp, PortSpec::any(), PortSpec::single(port)),
+                mpm_patterns::Rule::new(p.group(), vec![content]),
+            ));
+        }
+    }
+    out
+}
+
+/// Measures grouped vs monolithic scanning of the scaled rulesets. Traffic
+/// is the trace cut into one flow per port group, each flow addressed to
+/// its group's port — the realistic shape where grouping pays: every flow
+/// is scanned against its own replica (plus catch-alls) instead of all
+/// `scale` replicas.
+fn measure_ruleset_scaling(workload: &Workload, runs: usize) -> Vec<ScalingRow> {
+    use mpm_patterns::{FlowTuple, GroupedRuleSet, Proto};
+    use mpm_stream::GroupedEngineSet;
+    use std::sync::Arc;
+    // A 600-pattern base keeps the 30× point (18K rules) tractable while
+    // preserving the s1 length/prefix mix.
+    let base = workload.pattern_subset(600);
+    let trace = &workload.traces[0].1;
+    let mut rows = Vec::new();
+    for scale in [10usize, 30] {
+        let grouped = GroupedRuleSet::new(scaled_grouped_rules(&base, scale));
+        let mono_set = grouped.monolithic().clone();
+        let rules = grouped.len();
+        let engines = Arc::new(GroupedEngineSet::build_with(grouped, |set, arena| {
+            Arc::from(mpm_vpatch::build_auto_with_arena(set, arena))
+        }));
+
+        let chunk = trace.len() / scale;
+        let flows: Vec<(FlowTuple, &[u8])> = (0..scale)
+            .map(|r| {
+                (
+                    FlowTuple::new(Proto::Tcp, 40000, 2000 + r as u16),
+                    &trace[r * chunk..(r + 1) * chunk],
+                )
+            })
+            .collect();
+        let total: usize = flows.iter().map(|(_, payload)| payload.len()).sum();
+
+        let mut confirmed_grouped = 0usize;
+        let grouped_run = measure_closure(total, runs, || {
+            let mut n = 0u64;
+            for (tuple, payload) in &flows {
+                n += engines.scan_flow(Some(*tuple), payload).len() as u64;
+            }
+            confirmed_grouped = n as usize;
+            n
+        });
+
+        let mono_engine: Arc<dyn Matcher + Send + Sync> =
+            Arc::from(mpm_vpatch::build_auto(mono_set.anchors()));
+        let mono_engine_bytes = mono_engine.memory_footprint().total();
+        let scanner = mpm_verify::RuleScanner::new(mono_engine, &mono_set);
+        let mut confirmed_monolithic = 0usize;
+        let mono_run = measure_closure(total, runs, || {
+            let mut n = 0u64;
+            for (tuple, payload) in &flows {
+                // Post-hoc header filter: what a monolithic deployment must
+                // do to report only the flow's applicable rules.
+                n += scanner
+                    .scan_rules(payload)
+                    .iter()
+                    .filter(|m| engines.grouped().applies_to(m.rule, *tuple))
+                    .count() as u64;
+            }
+            confirmed_monolithic = n as usize;
+            n
+        });
+
+        let grouped_bytes = engines.memory_footprint().total();
+        let monolithic_bytes = mono_engine_bytes + scanner.confirmer().heap_bytes();
+        rows.push(ScalingRow {
+            scale,
+            rules,
+            port_groups: engines.group_count(),
+            unique_engines: engines.unique_engine_count(),
+            grouped_gbps: grouped_run.gbps_mean,
+            grouped_gbps_std: grouped_run.gbps_std,
+            monolithic_gbps: mono_run.gbps_mean,
+            monolithic_gbps_std: mono_run.gbps_std,
+            speedup: grouped_run.gbps_mean / mono_run.gbps_mean.max(f64::MIN_POSITIVE),
+            grouped_bytes,
+            monolithic_bytes,
+            memory_ratio: grouped_bytes as f64 / monolithic_bytes.max(1) as f64,
+            confirmed_grouped,
+            confirmed_monolithic,
+        });
+    }
+    rows
+}
+
 /// Builds the per-engine memory section on the s1 ruleset (the figure
 /// engines at the widest platform this machine models, plus Wu-Manber).
 fn memory_section(workload: &Workload) -> Vec<MemoryRow> {
@@ -361,11 +523,38 @@ fn memory_section(workload: &Workload) -> Vec<MemoryRow> {
     rows
 }
 
+/// Enforces the grouped-memory budget on the scaling rows; returns true if
+/// every row is within budget.
+fn scaling_within_budget(rows: &[ScalingRow], budget: f64) -> bool {
+    let mut ok = true;
+    for row in rows {
+        if row.memory_ratio > budget {
+            eprintln!(
+                "MEMORY BUDGET EXCEEDED at scale {}: grouped {} B / monolithic {} B = {:.3} > {:.3}",
+                row.scale, row.grouped_bytes, row.monolithic_bytes, row.memory_ratio, budget
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 fn main() {
     let options = Options::from_env();
     let workload =
         Workload::build_with_traces(options.ruleset, options.trace_mib, &[TraceKind::IscxDay2]);
     let trace = &workload.traces[0].1;
+
+    if options.scaling_only {
+        // CI memory-regression gate: just the grouped-vs-monolithic section,
+        // budget-checked, nonzero exit on regression.
+        let ruleset_scaling = measure_ruleset_scaling(&workload, options.runs);
+        println!("{}", report::to_json(&ruleset_scaling));
+        if !scaling_within_budget(&ruleset_scaling, options.mem_budget) {
+            std::process::exit(1);
+        }
+        return;
+    }
 
     let mut rows = Vec::new();
     // Case-sensitive-only rows: the historical byte-exact fast path — these
@@ -408,6 +597,7 @@ fn main() {
         rows,
         verify_heavy,
         rule_confirmation,
+        ruleset_scaling: measure_ruleset_scaling(&workload, options.runs),
         memory: memory_section(&workload),
         multicore,
     };

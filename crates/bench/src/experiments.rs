@@ -422,6 +422,7 @@ mod tests {
             trace_mib: 1,
             runs: 1,
             json: false,
+            ..Options::default()
         }
     }
 

@@ -81,6 +81,29 @@ pub fn build_auto(set: &PatternSet) -> Box<dyn Matcher + Send + Sync> {
     build_for(set, mpm_simd::detect_best()).expect("detect_best returns an available backend")
 }
 
+/// [`build_auto`] for one port group compiled against a shared
+/// [`mpm_patterns::PatternArena`]: the engine's verification tables
+/// reference the arena by offset and its hashed filter is sized to the
+/// group ([`SPatchTables::build_with_arena`]). The returned engine's
+/// `memory_footprint` therefore excludes the arena bytes, which the owner
+/// of the group collection counts exactly once. Every pattern of `set`
+/// must already be interned in `arena`.
+pub fn build_auto_with_arena(
+    set: &PatternSet,
+    arena: &mpm_patterns::PatternArena,
+) -> Box<dyn Matcher + Send + Sync> {
+    let tables = SPatchTables::build_with_arena(set, arena);
+    match mpm_simd::detect_best() {
+        BackendKind::Avx512 if BackendKind::Avx512.is_available() => {
+            Box::new(VPatchAvx512::from_tables(tables))
+        }
+        BackendKind::Avx2 if BackendKind::Avx2.is_available() => {
+            Box::new(VPatchAvx2::from_tables(tables))
+        }
+        _ => Box::new(SPatch::from_tables(tables)),
+    }
+}
+
 /// Builds the paper's engine for an explicit backend choice: V-PATCH at the
 /// backend's width for the SIMD backends, scalar S-PATCH for
 /// [`BackendKind::Scalar`]. Returns `None` if the backend is unavailable on
@@ -148,5 +171,36 @@ mod tests {
             build_for(&set, BackendKind::Scalar).unwrap().name(),
             "S-PATCH"
         );
+    }
+
+    #[test]
+    fn arena_engine_is_exact_smaller_and_honestly_accounted() {
+        use mpm_patterns::{assert_footprint_consistent, ArenaBuilder};
+        let lits: Vec<String> = (0..500).map(|i| format!("needle-{i:04}-tail")).collect();
+        let set = PatternSet::from_literals(&lits);
+        let mut builder = ArenaBuilder::new();
+        for p in set.patterns() {
+            builder.intern(p.bytes());
+        }
+        let arena = builder.finish();
+        let plain = build_auto(&set);
+        let grouped = build_auto_with_arena(&set, &arena);
+        let hay = b"xx needle-0000-tail .. needle-0499-tail yy needle-0250-tai";
+        assert_eq!(grouped.find_all(hay), plain.find_all(hay));
+        assert_eq!(grouped.find_all(hay), naive_find_all(&set, hay));
+        // The shared build drops the pattern bytes (charged to the arena
+        // owner) and shrinks filter 3 + the long table to the set size.
+        assert!(grouped.heap_bytes() + arena.len() < plain.heap_bytes());
+        assert_footprint_consistent(plain.as_ref());
+        assert_footprint_consistent(grouped.as_ref());
+    }
+
+    #[test]
+    fn filter3_sizing_tracks_group_size() {
+        use tables::SPatchTables;
+        assert_eq!(SPatchTables::filter3_bits_for(0), 10);
+        assert_eq!(SPatchTables::filter3_bits_for(40), 10);
+        assert_eq!(SPatchTables::filter3_bits_for(600), 13);
+        assert_eq!(SPatchTables::filter3_bits_for(1 << 16), 17, "clamped");
     }
 }

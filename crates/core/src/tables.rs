@@ -1,6 +1,6 @@
 //! The compiled filter/table state shared by S-PATCH and V-PATCH.
 
-use mpm_patterns::PatternSet;
+use mpm_patterns::{PatternArena, PatternSet};
 use mpm_verify::{DirectFilter, HashedFilter, MergedDirectFilters, Verifier};
 
 /// Everything S-PATCH / V-PATCH precompute from a pattern set
@@ -48,6 +48,36 @@ impl SPatchTables {
     /// a large filter (fewer collisions ⇒ better filtering rate) and a small
     /// one (fits higher in the cache hierarchy).
     pub fn build_with_filter3_bits(set: &PatternSet, filter3_bits: u32) -> Self {
+        Self::build_inner(set, filter3_bits, None)
+    }
+
+    /// Compiles tables for one **port group** against a shared
+    /// [`PatternArena`]: verification tables reference pattern bytes by
+    /// offset into the arena ([`Verifier::build_with_arena`]) and the
+    /// hashed third filter is sized to the group's long-pattern count
+    /// ([`SPatchTables::filter3_bits_for`]) instead of the monolithic 16 KB
+    /// default — a 40-rule group gets a 128-byte filter 3, which is what
+    /// keeps N groups' fixed overhead from multiplying into megabytes.
+    /// Match semantics are identical to [`SPatchTables::build`].
+    ///
+    /// Every pattern of `set` must already be interned in `arena`.
+    pub fn build_with_arena(set: &PatternSet, arena: &PatternArena) -> Self {
+        let long_count = set.patterns().iter().filter(|p| p.len() >= 4).count();
+        Self::build_inner(set, Self::filter3_bits_for(long_count), Some(arena))
+    }
+
+    /// Filter-3 sizing for per-group tables: about 8 bits per long pattern
+    /// (`ceil_log2(n) + 3`), clamped to `[HashedFilter::MIN_BITS_LOG2 = 10,
+    /// DEFAULT_BITS = 17]` — small groups stay selective at a few hundred
+    /// bytes, and a group as large as the monolithic set gets the paper's
+    /// default size back.
+    pub fn filter3_bits_for(long_patterns: usize) -> u32 {
+        let n = long_patterns.max(1);
+        let ceil_log2 = usize::BITS - n.next_power_of_two().leading_zeros() - 1;
+        (ceil_log2 + 3).clamp(10, HashedFilter::DEFAULT_BITS)
+    }
+
+    fn build_inner(set: &PatternSet, filter3_bits: u32, arena: Option<&PatternArena>) -> Self {
         let is_short = |p: &mpm_patterns::Pattern| p.len() < 4;
         let is_long = |p: &mpm_patterns::Pattern| p.len() >= 4;
         // Case-folded tables if (and only if) the set contains a `nocase`
@@ -59,7 +89,10 @@ impl SPatchTables {
         let filter2 = DirectFilter::build_with_fold(set, folded, is_long);
         let filter3 = HashedFilter::build_with_fold(set, filter3_bits, folded, is_long);
         let merged = MergedDirectFilters::merge(&filter1, &filter2);
-        let verifier = Verifier::build(set);
+        let verifier = match arena {
+            Some(arena) => Verifier::build_with_arena(set, arena),
+            None => Verifier::build(set),
+        };
         let has_short = set.patterns().iter().any(is_short);
         let has_long = set.patterns().iter().any(is_long);
         let max_pattern_len = set.patterns().iter().map(|p| p.len()).max().unwrap_or(0);

@@ -1,0 +1,141 @@
+//! [`PatternArena`]: one deduplicated, shared byte store for every pattern
+//! of every port group.
+//!
+//! The naive encoding of port-group scanning — one verification table per
+//! group, each owning a private copy of its pattern bytes — multiplies
+//! pattern storage by the number of groups a pattern appears in, and real
+//! rulesets repeat the same `content:` strings across many rules and
+//! groups. The arena removes that multiplier the way Bellekens et al.'s
+//! GPU memory-compression scheme does for trie storage: all pattern bytes
+//! live once in a single immutable buffer, deduplicated by exact content,
+//! and every table entry references them as `(offset, len)` instead of
+//! owning a `Vec<u8>`.
+//!
+//! Build protocol (two passes, enforced by the type split):
+//!
+//! 1. [`ArenaBuilder::intern`] every pattern byte string that any table
+//!    will reference — duplicate strings return the same offset;
+//! 2. [`ArenaBuilder::finish`] freezes the bytes into an `Arc<[u8]>`-backed
+//!    [`PatternArena`]; table builders then resolve each pattern through
+//!    [`PatternArena::offset_of`] and keep a clone of the shared buffer.
+//!
+//! Ownership / accounting contract (see DEVELOPMENT.md "Port groups &
+//! shared arenas"): the arena's bytes are immutable and reference-counted;
+//! tables holding a shared arena report **zero** arena bytes in their own
+//! `heap_bytes`, and the *owner* of the group collection counts
+//! [`PatternArena::len`] exactly once. The intern index lives only in the
+//! builder/arena used at compile time and is dropped with it — resident
+//! cost after building is the byte buffer alone.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Accumulates deduplicated pattern bytes; see the module docs.
+#[derive(Debug, Default)]
+pub struct ArenaBuilder {
+    bytes: Vec<u8>,
+    offsets: HashMap<Vec<u8>, u32>,
+}
+
+impl ArenaBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        ArenaBuilder::default()
+    }
+
+    /// Interns one byte string, returning its arena offset. Identical
+    /// strings (byte-exact — `nocase` patterns store their original bytes,
+    /// comparison semantics live in the table entry) intern once.
+    ///
+    /// # Panics
+    /// Panics if the arena would exceed `u32::MAX` bytes (table entries
+    /// store 32-bit offsets).
+    pub fn intern(&mut self, pattern: &[u8]) -> u32 {
+        if let Some(&offset) = self.offsets.get(pattern) {
+            return offset;
+        }
+        let offset = u32::try_from(self.bytes.len()).expect("pattern arena exceeds u32 offsets");
+        let end = self.bytes.len() + pattern.len();
+        assert!(
+            u32::try_from(end).is_ok(),
+            "pattern arena exceeds u32 offsets"
+        );
+        self.bytes.extend_from_slice(pattern);
+        self.offsets.insert(pattern.to_vec(), offset);
+        offset
+    }
+
+    /// Freezes the builder into an immutable, shareable arena.
+    pub fn finish(self) -> PatternArena {
+        PatternArena {
+            bytes: Arc::from(self.bytes.into_boxed_slice()),
+            offsets: self.offsets,
+        }
+    }
+}
+
+/// The frozen arena: an immutable shared byte buffer plus the intern index
+/// used while tables are being built. Keep it only for the duration of the
+/// build — afterwards hold the [`PatternArena::bytes`] `Arc` alone, so the
+/// resident cost is the deduplicated bytes and nothing else.
+#[derive(Clone, Debug)]
+pub struct PatternArena {
+    bytes: Arc<[u8]>,
+    offsets: HashMap<Vec<u8>, u32>,
+}
+
+impl PatternArena {
+    /// The shared byte buffer (what verification tables keep a clone of).
+    pub fn bytes(&self) -> &Arc<[u8]> {
+        &self.bytes
+    }
+
+    /// Total deduplicated bytes — what the owner of a group collection
+    /// counts once in its memory accounting.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The offset of an interned byte string, or `None` if it was never
+    /// interned. Table builders treat `None` as a build-order bug: every
+    /// pattern must be interned before any table is built.
+    pub fn offset_of(&self, pattern: &[u8]) -> Option<u32> {
+        self.offsets.get(pattern).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates_exact_bytes() {
+        let mut b = ArenaBuilder::new();
+        let a1 = b.intern(b"attack");
+        let a2 = b.intern(b"GET /");
+        let a3 = b.intern(b"attack");
+        assert_eq!(a1, a3, "identical strings share one offset");
+        assert_ne!(a1, a2);
+        let arena = b.finish();
+        assert_eq!(arena.len(), "attack".len() + "GET /".len());
+        assert_eq!(&arena.bytes()[a1 as usize..a1 as usize + 6], b"attack");
+        assert_eq!(arena.offset_of(b"attack"), Some(a1));
+        assert_eq!(arena.offset_of(b"GET /"), Some(a2));
+        assert_eq!(arena.offset_of(b"missing"), None);
+    }
+
+    #[test]
+    fn shared_buffer_is_reference_counted_not_copied() {
+        let mut b = ArenaBuilder::new();
+        b.intern(b"shared-bytes");
+        let arena = b.finish();
+        let first = arena.bytes().clone();
+        let second = arena.bytes().clone();
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+}

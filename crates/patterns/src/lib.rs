@@ -18,6 +18,15 @@
 //! * [`snort`] — a parser for Snort rule syntax that extracts the exact-match
 //!   `content:` strings (and, via [`snort::parse_ruleset`], whole
 //!   multi-content rules), so real rulesets can be loaded when available;
+//! * [`ports`] — a structured parser for the Snort rule *header* (protocol,
+//!   port lists/ranges/negation, `$VAR` defaults, direction) with exact
+//!   per-flow applicability ([`ports::RuleHeader::applies_to`]);
+//! * [`group`] — [`group::GroupedRuleSet`], the port/protocol partitioning
+//!   of a ruleset into per-group rule sets so a flow is scanned only
+//!   against the groups that can match it;
+//! * [`arena`] — [`arena::PatternArena`], the deduplicated shared byte
+//!   store that keeps many per-group verification tables from multiplying
+//!   pattern storage;
 //! * [`synthetic`] — deterministic generators that reproduce the *structure*
 //!   (count, length distribution, prefix collisions, protocol mix) of the
 //!   Snort v2.9.7 ("S1") and ET-open 2.9.0 ("S2") rulesets used in the paper,
@@ -32,16 +41,24 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod group;
 pub mod matcher;
 pub mod naive;
 pub mod pattern;
+pub mod ports;
 pub mod rule;
 pub mod snort;
 pub mod stats;
 pub mod synthetic;
 
-pub use matcher::{MatchEvent, Matcher, MatcherStats, MemoryFootprint};
+pub use arena::{ArenaBuilder, PatternArena};
+pub use group::{GroupKey, GroupedRuleSet, RuleGroup};
+pub use matcher::{
+    assert_footprint_consistent, MatchEvent, Matcher, MatcherStats, MemoryFootprint,
+};
 pub use naive::NaiveMatcher;
 pub use pattern::{fold_byte, Pattern, PatternId, PatternSet, ProtocolGroup};
+pub use ports::{Direction, FlowTuple, PortSpec, PortVars, Proto, RuleHeader};
 pub use rule::{Rule, RuleContent, RuleId, RuleMatch, RuleSet};
 pub use synthetic::{RulesetSpec, SyntheticRuleset};

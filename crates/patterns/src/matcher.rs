@@ -205,6 +205,30 @@ pub trait Matcher {
     }
 }
 
+/// Asserts the memory-accounting honesty contract for one engine: the
+/// phase-attributed [`Matcher::memory_footprint`] must sum to exactly
+/// [`Matcher::heap_bytes`] — an engine whose footprint drifts from its real
+/// resident bytes (e.g. after a table refactor moves an arena without
+/// updating the accounting) silently corrupts every memory row the
+/// benchmark emits and every CI budget built on it. Engine test suites call
+/// this on every constructed matcher.
+///
+/// # Panics
+/// Panics with a labelled breakdown when the totals disagree.
+pub fn assert_footprint_consistent(engine: &dyn Matcher) {
+    let footprint = engine.memory_footprint();
+    assert_eq!(
+        footprint.total(),
+        engine.heap_bytes(),
+        "{}: memory_footprint (filter {} + verify {} + other {}) must equal heap_bytes {}",
+        engine.name(),
+        footprint.filter_bytes,
+        footprint.verify_bytes,
+        footprint.other_bytes,
+        engine.heap_bytes(),
+    );
+}
+
 /// Sorts matches into the canonical order and removes duplicates.
 ///
 /// Engines must never report the same `(pattern, start)` twice; deduplication

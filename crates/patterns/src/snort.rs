@@ -47,6 +47,7 @@
 //!   everything the confirmation stage needs.
 
 use crate::pattern::{Pattern, PatternSet, ProtocolGroup};
+use crate::ports::{self, RuleHeader};
 use crate::rule::{Rule, RuleContent, RuleSet};
 use std::fmt;
 
@@ -144,6 +145,42 @@ pub fn parse_ruleset(text: &str, options: ParseOptions) -> Result<RuleSet, Parse
     Ok(RuleSet::new(rules))
 }
 
+/// Parses a whole rule file into `(header, rule)` pairs — the input of
+/// [`crate::group::GroupedRuleSet`]: the rule view of [`parse_ruleset`],
+/// keeping each rule's parsed [`RuleHeader`] so the port-group partitioner
+/// can place it and per-flow scanning can test applicability exactly.
+///
+/// Unlike the older entry points, a rule line whose header does not parse
+/// (wrong field count, unknown protocol or direction, malformed port spec)
+/// is a [`ParseError`] here: grouped scanning *depends* on the header, so
+/// silently guessing one would change which flows a rule fires on.
+pub fn parse_grouped(
+    text: &str,
+    options: ParseOptions,
+) -> Result<Vec<(RuleHeader, Rule)>, ParseError> {
+    let mut rules = Vec::new();
+    for (line_no, line) in rule_lines(text) {
+        if let Some(parsed) = parse_rule_body(line, line_no)? {
+            if parsed.contents.is_empty()
+                || parsed.contents.iter().any(|c| c.len() < options.min_len)
+            {
+                continue;
+            }
+            let header = parsed.header.ok_or_else(|| ParseError {
+                line: line_no,
+                message: parsed
+                    .header_error
+                    .unwrap_or_else(|| "malformed rule header".to_string()),
+            })?;
+            rules.push((
+                header,
+                Rule::new(parsed.group, parsed.contents).with_sid(parsed.sid),
+            ));
+        }
+    }
+    Ok(rules)
+}
+
 /// The non-comment, non-blank lines of a rule file, 1-based.
 fn rule_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
     text.lines().enumerate().filter_map(|(idx, line)| {
@@ -155,6 +192,11 @@ fn rule_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
 /// One parsed rule line, before either view (patterns / rules) is derived.
 struct ParsedRule {
     group: ProtocolGroup,
+    /// The structured header, when it parsed ([`parse_grouped`] requires
+    /// it; the pattern/rule views only need `group`).
+    header: Option<RuleHeader>,
+    /// Why the header failed to parse, for [`parse_grouped`]'s error.
+    header_error: Option<String>,
     sid: Option<u32>,
     contents: Vec<RuleContent>,
 }
@@ -190,7 +232,11 @@ fn parse_rule_body(line: &str, line_no: usize) -> Result<Option<ParsedRule>, Par
         });
     }
     let body = &line[open + 1..close];
-    let group = classify_header(header);
+    let (parsed_header, header_error) = match ports::parse_header(header) {
+        Ok(h) => (Some(h), None),
+        Err(e) => (None, Some(e)),
+    };
+    let group = classify(header, parsed_header.as_ref());
 
     // Modifier options bind to the content option they follow, so we track
     // the index of the most recent kept content; a negated (skipped) content
@@ -239,6 +285,8 @@ fn parse_rule_body(line: &str, line_no: usize) -> Result<Option<ParsedRule>, Par
     }
     Ok(Some(ParsedRule {
         group,
+        header: parsed_header,
+        header_error,
         sid,
         contents,
     }))
@@ -342,26 +390,42 @@ fn apply_positional_modifier(
     Ok(())
 }
 
-/// Derives the protocol group from the rule header (protocol and ports).
+/// Derives the protocol group from the rule header — a thin wrapper over
+/// the structured port parser ([`ports::protocol_group`]): ports classify
+/// by *exact* membership in the header's explicit port sets, so `8080`,
+/// `800` or `1808` no longer classify as HTTP the way the old
+/// `token.contains("80")` substring heuristic made them. Headers whose
+/// structure names no known service fall back to service names appearing
+/// in the header text (`$HTTP_SERVERS`-style address variables).
+#[cfg(test)]
 fn classify_header(header: &str) -> ProtocolGroup {
-    let lower = header.to_ascii_lowercase();
-    let tokens: Vec<&str> = lower.split_whitespace().collect();
-    // header: action proto src sport direction dst dport
-    let proto = tokens.get(1).copied().unwrap_or("");
-    let ports: Vec<&str> = tokens.iter().skip(2).copied().collect();
-    let has_port = |p: &str| ports.iter().any(|t| t.contains(p));
-    if has_port("$http_ports") || has_port("80") || lower.contains("http") {
-        ProtocolGroup::Http
-    } else if proto == "udp" && (has_port("53") || lower.contains("dns")) {
-        ProtocolGroup::Dns
-    } else if has_port("21") || lower.contains("ftp") {
-        ProtocolGroup::Ftp
-    } else if has_port("25") || lower.contains("smtp") || lower.contains("mail") {
-        ProtocolGroup::Smtp
-    } else if ports.contains(&"any") && proto == "ip" {
-        ProtocolGroup::Any
-    } else {
-        ProtocolGroup::Other
+    classify(header, ports::parse_header(header).ok().as_ref())
+}
+
+/// Classification over an already-parsed header (when it parsed), shared
+/// with `parse_rule_body` so the header is only parsed once per rule line.
+fn classify(header: &str, parsed: Option<&RuleHeader>) -> ProtocolGroup {
+    let structural = parsed.map(ports::protocol_group);
+    match structural {
+        Some(ProtocolGroup::Other) | None => {
+            let lower = header.to_ascii_lowercase();
+            let is_udp = parsed.map_or_else(
+                || lower.split_whitespace().nth(1) == Some("udp"),
+                |h| h.proto == ports::Proto::Udp,
+            );
+            if lower.contains("http") {
+                ProtocolGroup::Http
+            } else if is_udp && lower.contains("dns") {
+                ProtocolGroup::Dns
+            } else if lower.contains("ftp") {
+                ProtocolGroup::Ftp
+            } else if lower.contains("smtp") || lower.contains("mail") {
+                ProtocolGroup::Smtp
+            } else {
+                ProtocolGroup::Other
+            }
+        }
+        Some(group) => group,
     }
 }
 
@@ -662,6 +726,64 @@ mod tests {
             classify_header("alert tcp any any -> any 6667 "),
             ProtocolGroup::Other
         );
+    }
+
+    #[test]
+    fn port_classification_is_exact_not_substring() {
+        // Regression: the old heuristic used `token.contains("80")`, so any
+        // port whose digits merely contained "80" classified as HTTP.
+        for header in [
+            "alert tcp any any -> any 8080 ",
+            "alert tcp any any -> any 800 ",
+            "alert tcp any any -> any 1808 ",
+            "alert tcp any any -> any 2125 ", // contains "21" and "25"
+            "alert tcp any any -> any 5353 ", // contains "53"
+        ] {
+            assert_eq!(classify_header(header), ProtocolGroup::Other, "{header}");
+        }
+        // Exact membership in a port list still classifies.
+        assert_eq!(
+            classify_header("alert tcp any any -> any [80,443] "),
+            ProtocolGroup::Http
+        );
+        // Service names in address variables still classify (fallback).
+        assert_eq!(
+            classify_header("alert tcp any any -> $HTTP_SERVERS 8080 "),
+            ProtocolGroup::Http
+        );
+    }
+
+    #[test]
+    fn parse_grouped_keeps_headers() {
+        use crate::ports::{FlowTuple, Proto};
+        let text = r#"
+alert tcp any any -> any 80 (msg:"web"; content:"GET /"; sid:50;)
+alert udp any any -> any 53 (msg:"dns"; content:"query"; sid:51;)
+alert tcp any 445 <> any any (msg:"smb"; content:"|ff|SMB"; sid:52;)
+"#;
+        let rules = parse_grouped(text, ParseOptions::default()).unwrap();
+        assert_eq!(rules.len(), 3);
+        let (h, r) = &rules[0];
+        assert!(h.applies_to(FlowTuple::new(Proto::Tcp, 40000, 80)));
+        assert!(!h.applies_to(FlowTuple::new(Proto::Tcp, 40000, 81)));
+        assert_eq!(r.sid(), Some(50));
+        let (h, _) = &rules[2];
+        assert!(h.applies_to(FlowTuple::new(Proto::Tcp, 1000, 445)));
+        assert!(h.applies_to(FlowTuple::new(Proto::Tcp, 445, 1000)));
+    }
+
+    #[test]
+    fn parse_grouped_rejects_malformed_headers() {
+        // 6 header fields: no destination port. The older views cannot
+        // error here (they only need a best-effort group), but the grouped
+        // view depends on the header, so it must.
+        let text = r#"alert tcp any any -> any (msg:"x"; content:"abcd"; sid:53;)"#;
+        let err = parse_grouped(text, ParseOptions::default()).unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("header"), "{}", err.message);
+        // A malformed port spec in the header errors too.
+        let bad_ports = r#"alert tcp any any -> any !any (msg:"x"; content:"abcd"; sid:54;)"#;
+        assert!(parse_grouped(bad_ports, ParseOptions::default()).is_err());
     }
 
     // --- positional modifiers (offset/depth/distance/within) ---

@@ -28,6 +28,15 @@
 //!   runs it per flow across workers, reporting confirmed rules in
 //!   [`BatchResult::rule_matches`].
 //!
+//! * [`GroupedEngineSet`] / [`GroupedFlowScanner`] — **port-grouped**
+//!   scanning: a `mpm_patterns::GroupedRuleSet` partitions the ruleset by
+//!   Snort header (protocol + ports), one engine is compiled per group
+//!   against a shared pattern arena, and each flow is scanned only against
+//!   the groups its protocol/port tuple selects.
+//!   [`ShardedScanner::with_groups`] runs it per flow across workers;
+//!   results are provably identical to a monolithic scan filtered to each
+//!   flow's applicable rules (`tests/grouped_differential.rs`).
+//!
 //! The pattern layers consult only pattern *lengths*, so they are agnostic
 //! to each pattern's case rule — `nocase` sets stream and shard unchanged
 //! (property-tested in the workspace's `tests/nocase_differential.rs`). The
@@ -42,10 +51,12 @@
 
 #![warn(missing_docs)]
 
+pub mod group;
 pub mod rules;
 pub mod shard;
 pub mod stream;
 
+pub use group::{GroupedEngineSet, GroupedFlowScanner};
 pub use rules::RuleStreamScanner;
 pub use shard::{BatchResult, FlowMatch, FlowRuleMatch, Packet, ShardedScanner};
 pub use stream::{SharedMatcher, StreamScanner};

@@ -76,6 +76,12 @@ pub struct RuleStreamScanner {
     confirmer: Arc<RuleConfirmer>,
     /// Pattern index → rule index for the anchor set.
     rule_of: Arc<[u32]>,
+    /// When the confirmer covers a *superset* of this scanner's rules (the
+    /// grouped path shares one confirmer across every port group), maps the
+    /// scanner-local rule index to the confirmer's rule id; `None` means
+    /// the identity (the confirmer was built for exactly these rules).
+    /// Confirmed rules are reported under the **mapped** id.
+    confirm_ids: Option<Arc<[u32]>>,
     /// The flow's payload so far (see module docs for why rules need it).
     payload: Vec<u8>,
     state: Vec<RuleState>,
@@ -110,21 +116,28 @@ impl RuleStreamScanner {
             .rule_bindings()
             .expect("RuleSet::anchors is always rule-bound")
             .into();
-        Self::with_parts(inner, Arc::new(RuleConfirmer::build(set)), rule_of)
+        Self::with_parts(inner, Arc::new(RuleConfirmer::build(set)), rule_of, None)
     }
 
-    /// Internal constructor used by `ShardedScanner` to mint per-flow
-    /// scanners from shared, pre-built parts.
+    /// Internal constructor used by `ShardedScanner` and the grouped path
+    /// to mint per-flow scanners from shared, pre-built parts.
+    /// `confirm_ids` translates scanner-local rule indices to the
+    /// confirmer's ids when the confirmer is shared across groups.
     pub(crate) fn with_parts(
         inner: StreamScanner,
         confirmer: Arc<RuleConfirmer>,
         rule_of: Arc<[u32]>,
+        confirm_ids: Option<Arc<[u32]>>,
     ) -> Self {
-        let rules = confirmer.rule_count();
+        let rules = match &confirm_ids {
+            Some(ids) => ids.len(),
+            None => confirmer.rule_count(),
+        };
         RuleStreamScanner {
             inner,
             confirmer,
             rule_of,
+            confirm_ids,
             payload: Vec::new(),
             state: vec![RuleState::Unseen; rules],
             pending: Vec::new(),
@@ -186,11 +199,15 @@ impl RuleStreamScanner {
             }
         }
         let (confirmer, payload, state) = (&self.confirmer, &self.payload, &mut self.state);
+        let confirm_ids = self.confirm_ids.as_deref();
         self.pending.retain(|&rule| {
-            let id = RuleId(rule);
+            let id = match confirm_ids {
+                Some(ids) => RuleId(ids[rule as usize]),
+                None => RuleId(rule),
+            };
             match confirmer.confirm(payload, id) {
                 Some(end) => {
-                    state[id.index()] = RuleState::Confirmed;
+                    state[rule as usize] = RuleState::Confirmed;
                     rules_out.push(RuleMatch::new(id, end));
                     false
                 }

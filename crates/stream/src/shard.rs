@@ -28,8 +28,10 @@
 //!   million-flow churn cannot grow memory without bound when callers do
 //!   not close flows themselves.
 
+use crate::group::{GroupedEngineSet, GroupedFlowScanner};
 use crate::rules::RuleStreamScanner;
 use crate::stream::{SharedMatcher, StreamScanner};
+use mpm_patterns::ports::FlowTuple;
 use mpm_patterns::rule::{RuleId, RuleMatch, RuleSet};
 use mpm_patterns::{MatchEvent, MatcherStats, PatternSet};
 use mpm_verify::RuleConfirmer;
@@ -46,15 +48,31 @@ pub struct Packet {
     pub flow: u64,
     /// The payload bytes of this packet.
     pub payload: Vec<u8>,
+    /// Protocol + ports of the flow, used by grouped scanning
+    /// ([`ShardedScanner::with_groups`]) to select which port groups scan
+    /// the flow. Group selection happens once per flow, from the **first**
+    /// packet's tuple; tuples on later packets of the same flow are ignored
+    /// (a flow's 5-tuple does not change mid-flow). `None` scans the flow
+    /// against every group, exactly like a monolithic scan. Plain and rule
+    /// mode ignore this field.
+    pub tuple: Option<FlowTuple>,
 }
 
 impl Packet {
-    /// Creates a packet.
+    /// Creates a packet with no flow tuple (grouped scanners fall back to
+    /// scanning all groups for it).
     pub fn new(flow: u64, payload: impl Into<Vec<u8>>) -> Self {
         Packet {
             flow,
             payload: payload.into(),
+            tuple: None,
         }
+    }
+
+    /// Attaches the flow's protocol/port tuple (see [`Packet::tuple`]).
+    pub fn with_tuple(mut self, tuple: FlowTuple) -> Self {
+        self.tuple = Some(tuple);
+        self
     }
 }
 
@@ -126,6 +144,22 @@ struct RuleParts {
     rule_of: Arc<[u32]>,
 }
 
+/// What every worker thread scans with — the shared, read-only compile
+/// product its per-flow scanners are minted from.
+#[derive(Clone)]
+enum WorkerMode {
+    /// One engine for every flow: pattern-only, or (with `rules`) anchor +
+    /// rule confirmation over one monolithic rule set.
+    Plain {
+        engine: SharedMatcher,
+        lengths: Arc<[u32]>,
+        rules: Option<RuleParts>,
+    },
+    /// Port-grouped rule scanning: each flow is scanned only against the
+    /// groups its tuple selects ([`GroupedEngineSet`]).
+    Grouped(Arc<GroupedEngineSet>),
+}
+
 struct Worker {
     sender: Sender<Job>,
     handle: Option<JoinHandle<()>>,
@@ -166,7 +200,7 @@ impl ShardedScanner {
     /// Panics if `workers` is zero or the engine/set disagree about the
     /// longest pattern.
     pub fn new(engine: SharedMatcher, set: &PatternSet, workers: usize) -> Self {
-        Self::spawn(engine, set, workers, None, None)
+        Self::spawn(plain_mode(engine, set, None), workers, None)
     }
 
     /// Spawns `workers` worker threads in **rule mode**: each flow runs a
@@ -183,7 +217,11 @@ impl ShardedScanner {
     /// Panics if `workers` is zero or the engine/anchor-set disagree about
     /// the longest pattern.
     pub fn with_rules(engine: SharedMatcher, set: &RuleSet, workers: usize) -> Self {
-        Self::spawn(engine, set.anchors(), workers, None, Some(rule_parts(set)))
+        Self::spawn(
+            plain_mode(engine, set.anchors(), Some(rule_parts(set))),
+            workers,
+            None,
+        )
     }
 
     /// Rule mode with a resident-flow cap, combining
@@ -203,12 +241,44 @@ impl ShardedScanner {
     ) -> Self {
         assert!(max_flows > 0, "max_flows must be at least 1");
         Self::spawn(
-            engine,
-            set.anchors(),
+            plain_mode(engine, set.anchors(), Some(rule_parts(set))),
             workers,
             Some(max_flows),
-            Some(rule_parts(set)),
         )
+    }
+
+    /// Spawns `workers` worker threads in **grouped rule mode**: each flow
+    /// runs a [`GroupedFlowScanner`], scanning only the port groups its
+    /// [`Packet::tuple`] selects (every group when the tuple is `None`).
+    /// [`BatchResult::rule_matches`] reports confirmed rules under their
+    /// **global** ids — deduplicated across groups, exact-header-filtered —
+    /// so the result equals monolithic rule mode filtered to each flow's
+    /// applicable rules (property: `tests/grouped_differential.rs`), while
+    /// each flow pays only for the groups that can match it.
+    ///
+    /// Anchor-level [`BatchResult::matches`] stays empty in this mode:
+    /// pattern ids are group-local and would be ambiguous across groups.
+    /// [`MatcherStats::matches`] counts confirmed rules instead.
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn with_groups(engines: Arc<GroupedEngineSet>, workers: usize) -> Self {
+        Self::spawn(WorkerMode::Grouped(engines), workers, None)
+    }
+
+    /// Grouped rule mode with a resident-flow cap, combining
+    /// [`ShardedScanner::with_groups`] and
+    /// [`ShardedScanner::with_max_flows`].
+    ///
+    /// # Panics
+    /// Panics if `workers` or `max_flows` is zero.
+    pub fn with_groups_max_flows(
+        engines: Arc<GroupedEngineSet>,
+        workers: usize,
+        max_flows: usize,
+    ) -> Self {
+        assert!(max_flows > 0, "max_flows must be at least 1");
+        Self::spawn(WorkerMode::Grouped(engines), workers, Some(max_flows))
     }
 
     /// Like [`ShardedScanner::new`], but bounds the per-flow stream state to
@@ -234,38 +304,20 @@ impl ShardedScanner {
         max_flows: usize,
     ) -> Self {
         assert!(max_flows > 0, "max_flows must be at least 1");
-        Self::spawn(engine, set, workers, Some(max_flows), None)
+        Self::spawn(plain_mode(engine, set, None), workers, Some(max_flows))
     }
 
-    fn spawn(
-        engine: SharedMatcher,
-        set: &PatternSet,
-        workers: usize,
-        max_flows: Option<usize>,
-        rules: Option<RuleParts>,
-    ) -> Self {
+    fn spawn(mode: WorkerMode, workers: usize, max_flows: Option<usize>) -> Self {
         assert!(workers > 0, "need at least one worker");
-        let lengths: Arc<[u32]> = set.patterns().iter().map(|p| p.len() as u32).collect();
-        // Validate the engine/set pairing once, on the caller's thread, so a
-        // mismatch panics here instead of inside a worker.
-        let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
-        assert_eq!(
-            engine.max_pattern_len(),
-            max_len,
-            "engine was compiled for a different pattern set"
-        );
         // The cap is split evenly; div_ceil so the total never rounds below
         // the requested bound for small caps.
         let per_worker_cap = max_flows.map(|m| m.div_ceil(workers).max(1));
         let workers = (0..workers)
             .map(|_| {
                 let (sender, receiver) = mpsc::channel();
-                let engine = engine.clone();
-                let lengths = lengths.clone();
-                let rules = rules.clone();
-                let handle = std::thread::spawn(move || {
-                    worker_loop(receiver, engine, lengths, per_worker_cap, rules)
-                });
+                let mode = mode.clone();
+                let handle =
+                    std::thread::spawn(move || worker_loop(receiver, mode, per_worker_cap));
                 Worker {
                     sender,
                     handle: Some(handle),
@@ -371,6 +423,24 @@ impl Drop for ShardedScanner {
     }
 }
 
+/// Builds a plain/rule [`WorkerMode`], validating the engine/set pairing
+/// once, on the caller's thread, so a mismatch panics here instead of
+/// inside a worker.
+fn plain_mode(engine: SharedMatcher, set: &PatternSet, rules: Option<RuleParts>) -> WorkerMode {
+    let lengths: Arc<[u32]> = set.patterns().iter().map(|p| p.len() as u32).collect();
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    assert_eq!(
+        engine.max_pattern_len(),
+        max_len,
+        "engine was compiled for a different pattern set"
+    );
+    WorkerMode::Plain {
+        engine,
+        lengths,
+        rules,
+    }
+}
+
 /// Builds the shared rule-mode parts once, on the caller's thread.
 fn rule_parts(set: &RuleSet) -> RuleParts {
     RuleParts {
@@ -392,22 +462,39 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// One flow's scanning state: pattern-only, or anchors + rule confirmation.
+/// One flow's scanning state: pattern-only, anchors + rule confirmation, or
+/// port-grouped rule confirmation.
 enum FlowScanner {
     Plain(StreamScanner),
     Rules(RuleStreamScanner),
+    Grouped(GroupedFlowScanner),
 }
 
 impl FlowScanner {
-    fn mint(engine: &SharedMatcher, lengths: &Arc<[u32]>, rules: &Option<RuleParts>) -> Self {
-        let inner = StreamScanner::with_lengths(engine.clone(), lengths.clone());
-        match rules {
-            Some(parts) => FlowScanner::Rules(RuleStreamScanner::with_parts(
-                inner,
-                parts.confirmer.clone(),
-                parts.rule_of.clone(),
-            )),
-            None => FlowScanner::Plain(inner),
+    /// Mints a flow's scanner from the worker's shared mode. `tuple` is the
+    /// flow's first packet's tuple; only grouped mode consults it (this is
+    /// where per-flow group selection happens).
+    fn mint(mode: &WorkerMode, tuple: Option<FlowTuple>) -> Self {
+        match mode {
+            WorkerMode::Plain {
+                engine,
+                lengths,
+                rules,
+            } => {
+                let inner = StreamScanner::with_lengths(engine.clone(), lengths.clone());
+                match rules {
+                    Some(parts) => FlowScanner::Rules(RuleStreamScanner::with_parts(
+                        inner,
+                        parts.confirmer.clone(),
+                        parts.rule_of.clone(),
+                        None,
+                    )),
+                    None => FlowScanner::Plain(inner),
+                }
+            }
+            WorkerMode::Grouped(engines) => {
+                FlowScanner::Grouped(GroupedFlowScanner::new(engines.clone(), tuple))
+            }
         }
     }
 }
@@ -419,13 +506,7 @@ struct FlowSlot {
     seq: u64,
 }
 
-fn worker_loop(
-    receiver: Receiver<Job>,
-    engine: SharedMatcher,
-    lengths: Arc<[u32]>,
-    max_flows: Option<usize>,
-    rules: Option<RuleParts>,
-) {
+fn worker_loop(receiver: Receiver<Job>, mode: WorkerMode, max_flows: Option<usize>) {
     // Per-flow stream state; the engines' thread-cached Scratch is implicit
     // (find_into uses this worker thread's cached scratch). With a cap,
     // `recency` keys flows by their last-push sequence number so the
@@ -464,7 +545,7 @@ fn worker_loop(
                         flows.insert(
                             flow,
                             FlowSlot {
-                                scanner: FlowScanner::mint(&engine, &lengths, &rules),
+                                scanner: FlowScanner::mint(&mode, packet.tuple),
                                 seq,
                             },
                         );
@@ -474,7 +555,7 @@ fn worker_loop(
                 } else {
                     // Uncapped: no recency bookkeeping, one hash lookup.
                     flows.entry(flow).or_insert_with(|| FlowSlot {
-                        scanner: FlowScanner::mint(&engine, &lengths, &rules),
+                        scanner: FlowScanner::mint(&mode, packet.tuple),
                         seq,
                     })
                 };
@@ -485,9 +566,17 @@ fn worker_loop(
                     FlowScanner::Rules(scanner) => {
                         scanner.push(&packet.payload, &mut events, &mut rule_events)
                     }
+                    FlowScanner::Grouped(scanner) => {
+                        scanner.push(&packet.payload, &mut rule_events)
+                    }
                 }
                 stats.bytes_scanned += packet.payload.len() as u64;
-                stats.matches += events.len() as u64;
+                // Grouped mode reports no anchor events (group-local pattern
+                // ids would be ambiguous); count confirmed rules instead.
+                stats.matches += match &slot.scanner {
+                    FlowScanner::Grouped(_) => rule_events.len() as u64,
+                    _ => events.len() as u64,
+                };
                 matches.extend(events.drain(..).map(|event| FlowMatch { flow, event }));
                 rule_matches.extend(rule_events.drain(..).map(|m| FlowRuleMatch {
                     flow,
@@ -765,6 +854,100 @@ mod tests {
         let result = scanner.scan_batch(vec![
             Packet::new(2, b"zz".to_vec()),
             Packet::new(1, b"body".to_vec()), // flow 1 restarted: no anchor
+        ]);
+        assert!(result.rule_matches.is_empty());
+    }
+
+    fn grouped_engines() -> Arc<GroupedEngineSet> {
+        use mpm_patterns::group::GroupedRuleSet;
+        use mpm_patterns::snort::{parse_grouped, ParseOptions};
+        let text = r#"
+alert tcp any any -> any 80 (msg:"web"; content:"GET /admin"; sid:1;)
+alert udp any any -> any 53 (msg:"dns"; content:"querydata"; sid:2;)
+alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
+"#;
+        let grouped = GroupedRuleSet::new(parse_grouped(text, ParseOptions::default()).unwrap());
+        Arc::new(GroupedEngineSet::build_with(grouped, |set, _| {
+            Arc::from(NaiveMatcher::new(set))
+        }))
+    }
+
+    #[test]
+    fn grouped_mode_selects_groups_per_flow_and_confirms_across_packets() {
+        use mpm_patterns::ports::{FlowTuple, Proto};
+        let mut scanner = ShardedScanner::with_groups(grouped_engines(), 3);
+        let web = FlowTuple::new(Proto::Tcp, 40000, 80);
+        let dns = FlowTuple::new(Proto::Udp, 1000, 53);
+        let result = scanner.scan_batch(vec![
+            // Flow 1 (HTTP): web rule cut across packets + the ip-any rule.
+            Packet::new(1, b"..GET /ad".to_vec()).with_tuple(web),
+            Packet::new(2, b"querydata evil-bytes".to_vec()).with_tuple(dns),
+            Packet::new(1, b"min evil-bytes".to_vec()),
+            // Flow 3 (HTTP): dns content must NOT fire on an HTTP flow.
+            Packet::new(3, b"querydata".to_vec()).with_tuple(web),
+        ]);
+        assert!(result.matches.is_empty(), "grouped mode reports rules only");
+        assert_eq!(
+            result.rule_matches,
+            vec![
+                FlowRuleMatch {
+                    flow: 1,
+                    rule: RuleId(0),
+                    end: 12
+                },
+                FlowRuleMatch {
+                    flow: 1,
+                    rule: RuleId(2),
+                    end: 23
+                },
+                FlowRuleMatch {
+                    flow: 2,
+                    rule: RuleId(1),
+                    end: 9
+                },
+                FlowRuleMatch {
+                    flow: 2,
+                    rule: RuleId(2),
+                    end: 20
+                },
+            ]
+        );
+        assert_eq!(result.stats.matches, 4);
+    }
+
+    #[test]
+    fn grouped_mode_determinism_across_worker_counts() {
+        use mpm_patterns::ports::{FlowTuple, Proto};
+        let packets: Vec<Packet> = (0..24u64)
+            .map(|f| {
+                let tuple = if f % 2 == 0 {
+                    FlowTuple::new(Proto::Tcp, 40000 + f as u16, 80)
+                } else {
+                    FlowTuple::new(Proto::Udp, 1000 + f as u16, 53)
+                };
+                Packet::new(f, b"GET /admin querydata evil-bytes".to_vec()).with_tuple(tuple)
+            })
+            .collect();
+        let run = |workers: usize| {
+            let mut scanner = ShardedScanner::with_groups(grouped_engines(), workers);
+            scanner.scan_batch(packets.clone())
+        };
+        let one = run(1);
+        let four = run(4);
+        assert_eq!(one.rule_matches, four.rule_matches);
+        // Every flow fires its protocol's rule plus the ip-any rule.
+        assert_eq!(one.rule_matches.len(), 48);
+    }
+
+    #[test]
+    fn grouped_mode_eviction_retires_flow_state() {
+        use mpm_patterns::ports::{FlowTuple, Proto};
+        let web = FlowTuple::new(Proto::Tcp, 9, 80);
+        let mut scanner = ShardedScanner::with_groups_max_flows(grouped_engines(), 1, 1);
+        scanner.scan_batch(vec![Packet::new(1, b"GET /ad".to_vec()).with_tuple(web)]);
+        let result = scanner.scan_batch(vec![
+            Packet::new(2, b"zz".to_vec()).with_tuple(web), // evicts flow 1
+            Packet::new(1, b"min".to_vec()).with_tuple(web), // fresh stream
         ]);
         assert!(result.rule_matches.is_empty());
     }

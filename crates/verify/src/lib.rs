@@ -39,8 +39,9 @@ pub mod filters;
 pub use confirm::{PayloadIndex, RuleConfirmer, RuleScanner};
 pub use filters::{DirectFilter, HashedFilter, MergedDirectFilters, FILTER_PADDING};
 
-use mpm_patterns::{MatchEvent, PatternId, PatternSet};
+use mpm_patterns::{MatchEvent, PatternArena, PatternId, PatternSet};
 use mpm_simd::{prefetch_read, VectorBackend, GATHER_PADDING};
+use std::sync::Arc;
 
 /// Prefetch distance `K` of the batched verification pipeline: the
 /// `bucket_starts` slot of candidate `i + K` is prefetched while candidate
@@ -97,6 +98,48 @@ struct Entry {
     nocase: bool,
 }
 
+/// Where a table's pattern bytes live: a private buffer the table owns, or
+/// a reference-counted slice of a [`PatternArena`] shared with other tables
+/// (the port-group build). Shared storage reports **zero** resident bytes —
+/// the owner of the group collection counts the arena's bytes exactly once
+/// (see DEVELOPMENT.md "Port groups & shared arenas").
+#[derive(Clone, Debug)]
+enum ArenaStorage {
+    Owned(Vec<u8>),
+    Shared(Arc<[u8]>),
+}
+
+impl ArenaStorage {
+    /// The pattern bytes, wherever they live.
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            ArenaStorage::Owned(v) => v,
+            ArenaStorage::Shared(a) => a,
+        }
+    }
+
+    /// Bytes this table is *charged* for: owned buffers in full, shared
+    /// arenas zero (counted once by the collection owner).
+    fn resident_bytes(&self) -> usize {
+        match self {
+            ArenaStorage::Owned(v) => v.len(),
+            ArenaStorage::Shared(_) => 0,
+        }
+    }
+}
+
+/// Bucket-bits sizing for hashed-prefix tables built per port group: about
+/// two entries per bucket on average (`ceil_log2(entries) + 1`), clamped to
+/// `[6, 16]`. A monolithic 30K-pattern set still gets its 2^16 buckets, but
+/// a 40-rule port group gets 2^6 — 256 bytes of bucket offsets instead of
+/// 256 KiB — which is what keeps per-group fixed overhead from multiplying
+/// by the group count.
+pub fn bucket_bits_for_entries(entries: usize) -> u32 {
+    let ceil_log2 = usize::BITS - entries.max(1).next_power_of_two().leading_zeros() - 1;
+    (ceil_log2 + 1).clamp(6, 16)
+}
+
 /// A compact, prefix-indexed table of pattern references with an arena of
 /// pattern bytes, as used by DFC's verification phase.
 #[derive(Clone, Debug)]
@@ -113,8 +156,8 @@ pub struct CompactHashTable {
     /// so lookups touch one contiguous slice.
     bucket_starts: Vec<u32>,
     entries: Vec<Entry>,
-    /// All pattern bytes, concatenated.
-    arena: Vec<u8>,
+    /// All pattern bytes — owned and concatenated, or a shared arena slice.
+    arena: ArenaStorage,
     /// Smallest pattern length stored (for the caller's bookkeeping).
     min_pattern_len: usize,
 }
@@ -155,6 +198,43 @@ impl CompactHashTable {
         bucket_bits: u32,
         folded: bool,
         select: F,
+    ) -> Self {
+        Self::build_inner(set, prefix_len, bucket_bits, folded, select, None)
+    }
+
+    /// Builds a table whose pattern bytes are **offset references into a
+    /// shared [`PatternArena`]** instead of a privately owned buffer — the
+    /// port-group build, where many per-group tables would otherwise each
+    /// copy the same `content:` bytes. Every selected pattern must already
+    /// be interned in `arena` (the two-pass protocol: intern everything,
+    /// freeze, then build tables).
+    ///
+    /// The table holds a clone of the arena's `Arc` and reports zero arena
+    /// bytes in [`CompactHashTable::heap_bytes`]; the owner of the group
+    /// collection counts the arena once. Lookup semantics are bit-identical
+    /// to the owned build.
+    ///
+    /// # Panics
+    /// Panics if a selected pattern was never interned (a build-order bug),
+    /// plus everything [`CompactHashTable::build_with_fold`] panics on.
+    pub fn build_shared_with_fold<F: Fn(&mpm_patterns::Pattern) -> bool>(
+        set: &PatternSet,
+        prefix_len: usize,
+        bucket_bits: u32,
+        folded: bool,
+        select: F,
+        arena: &PatternArena,
+    ) -> Self {
+        Self::build_inner(set, prefix_len, bucket_bits, folded, select, Some(arena))
+    }
+
+    fn build_inner<F: Fn(&mpm_patterns::Pattern) -> bool>(
+        set: &PatternSet,
+        prefix_len: usize,
+        bucket_bits: u32,
+        folded: bool,
+        select: F,
+        shared: Option<&PatternArena>,
     ) -> Self {
         assert!((1..=4).contains(&prefix_len), "prefix_len must be 1..=4");
         let bucket_bits = if prefix_len <= 2 {
@@ -206,19 +286,31 @@ impl CompactHashTable {
             total
         ];
         let mut cursor = bucket_starts.clone();
-        let mut arena = Vec::with_capacity(selected.iter().map(|(_, p)| p.len()).sum());
+        let mut owned = match shared {
+            Some(_) => Vec::new(),
+            None => Vec::with_capacity(selected.iter().map(|(_, p)| p.len()).sum()),
+        };
         let mut min_pattern_len = usize::MAX;
         for (id, p) in &selected {
             let bucket = Self::index_of(p.bytes(), prefix_len, bucket_bits, folded) as usize;
             let slot = cursor[bucket] as usize;
             cursor[bucket] += 1;
+            let offset = match shared {
+                Some(arena) => arena
+                    .offset_of(p.bytes())
+                    .expect("pattern not interned in the shared arena before table build"),
+                None => {
+                    let offset = owned.len() as u32;
+                    owned.extend_from_slice(p.bytes());
+                    offset
+                }
+            };
             entries[slot] = Entry {
-                offset: arena.len() as u32,
+                offset,
                 len: p.len() as u32,
                 id: *id,
                 nocase: p.is_nocase(),
             };
-            arena.extend_from_slice(p.bytes());
             min_pattern_len = min_pattern_len.min(p.len());
         }
         if selected.is_empty() {
@@ -231,7 +323,10 @@ impl CompactHashTable {
             folded,
             bucket_starts,
             entries,
-            arena,
+            arena: match shared {
+                Some(arena) => ArenaStorage::Shared(arena.bytes().clone()),
+                None => ArenaStorage::Owned(owned),
+            },
             min_pattern_len,
         }
     }
@@ -281,11 +376,25 @@ impl CompactHashTable {
         self.min_pattern_len
     }
 
-    /// Approximate resident size of the table in bytes.
+    /// Resident size of the table in bytes. Tables built over a shared
+    /// arena ([`CompactHashTable::build_shared_with_fold`]) do **not**
+    /// count the arena here — the owner of the group collection counts it
+    /// exactly once.
     pub fn heap_bytes(&self) -> usize {
         self.bucket_starts.len() * 4
             + self.entries.len() * std::mem::size_of::<Entry>()
-            + self.arena.len()
+            + self.arena.resident_bytes()
+    }
+
+    /// True if the pattern bytes live in a shared [`PatternArena`] rather
+    /// than a buffer this table owns.
+    pub fn uses_shared_arena(&self) -> bool {
+        matches!(self.arena, ArenaStorage::Shared(_))
+    }
+
+    /// log2 of the number of buckets.
+    pub fn bucket_bits(&self) -> u32 {
+        self.bucket_bits
     }
 
     /// Verifies the candidate position `pos` in `haystack`: every pattern in
@@ -308,6 +417,7 @@ impl CompactHashTable {
         ) as usize;
         let start = self.bucket_starts[bucket] as usize;
         let end = self.bucket_starts[bucket + 1] as usize;
+        let arena = self.arena.bytes();
         let mut comparisons = 0;
         for entry in &self.entries[start..end] {
             let len = entry.len as usize;
@@ -318,7 +428,7 @@ impl CompactHashTable {
                 continue;
             }
             comparisons += 1;
-            let pattern = &self.arena[entry.offset as usize..entry.offset as usize + len];
+            let pattern = &arena[entry.offset as usize..entry.offset as usize + len];
             let window = &haystack[pos..pos + len];
             let hit = if entry.nocase {
                 window.eq_ignore_ascii_case(pattern)
@@ -478,6 +588,7 @@ impl CompactHashTable {
         out: &mut Vec<MatchEvent>,
     ) -> u64 {
         let len = block.len();
+        let arena = self.arena.bytes();
         // Prologue: request the bucket offsets of the first K candidates so
         // the steady-state stages below find them resident.
         for &b in buckets.iter().take(PREFETCH_DISTANCE.min(len)) {
@@ -513,7 +624,7 @@ impl CompactHashTable {
                     let start = self.bucket_starts[b as usize] as usize;
                     let end = self.bucket_starts[b as usize + 1] as usize;
                     if start < end {
-                        prefetch_read(&self.arena[self.entries[start].offset as usize]);
+                        prefetch_read(&arena[self.entries[start].offset as usize]);
                     }
                 }
             }
@@ -532,7 +643,7 @@ impl CompactHashTable {
                     continue;
                 }
                 comparisons += 1;
-                let pattern = &self.arena[entry.offset as usize..entry.offset as usize + elen];
+                let pattern = &arena[entry.offset as usize..entry.offset as usize + elen];
                 let window = &haystack[pos..pos + elen];
                 let hit = if FOLD && entry.nocase {
                     B::eq_window_nocase(window, pattern)
@@ -603,6 +714,38 @@ impl Verifier {
                 DEFAULT_LONG_BUCKET_BITS,
                 folded,
                 |p| p.len() >= 4,
+            ),
+        }
+    }
+
+    /// Builds the verifier for one port group against a shared
+    /// [`PatternArena`]: pattern bytes are offset references into the arena
+    /// (see [`CompactHashTable::build_shared_with_fold`]) and the
+    /// long-pattern table's bucket count is sized to the group's actual
+    /// entry count ([`bucket_bits_for_entries`]) instead of the monolithic
+    /// [`DEFAULT_LONG_BUCKET_BITS`]. Lookup semantics are identical to
+    /// [`Verifier::build`]; only the memory layout changes.
+    ///
+    /// Every pattern of `set` must already be interned in `arena`.
+    pub fn build_with_arena(set: &PatternSet, arena: &PatternArena) -> Self {
+        let folded = set.has_nocase();
+        let long_count = set.iter().filter(|(_, p)| p.len() >= 4).count();
+        Verifier {
+            short: CompactHashTable::build_shared_with_fold(
+                set,
+                1,
+                8,
+                folded,
+                |p| p.len() < 4,
+                arena,
+            ),
+            long: CompactHashTable::build_shared_with_fold(
+                set,
+                4,
+                bucket_bits_for_entries(long_count),
+                folded,
+                |p| p.len() >= 4,
+                arena,
             ),
         }
     }
@@ -949,5 +1092,83 @@ mod tests {
         let v = Verifier::build(&set);
         let total_pattern_bytes: usize = set.patterns().iter().map(|p| p.len()).sum();
         assert!(v.heap_bytes() >= total_pattern_bytes);
+    }
+
+    #[test]
+    fn bucket_bits_scale_with_entry_count() {
+        assert_eq!(bucket_bits_for_entries(0), 6);
+        assert_eq!(bucket_bits_for_entries(1), 6);
+        assert_eq!(bucket_bits_for_entries(40), 7);
+        assert_eq!(bucket_bits_for_entries(600), 11);
+        assert_eq!(bucket_bits_for_entries(30_000), 16);
+        assert_eq!(bucket_bits_for_entries(1 << 20), 16, "clamped");
+    }
+
+    fn arena_for(set: &PatternSet) -> mpm_patterns::PatternArena {
+        let mut b = mpm_patterns::ArenaBuilder::new();
+        for p in set.patterns() {
+            b.intern(p.bytes());
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn shared_arena_verifier_matches_owned_verifier_exactly() {
+        use mpm_simd::ScalarBackend;
+        let sets = [
+            mixed_set(),
+            PatternSet::new(vec![
+                Pattern::literal_nocase(*b"GET /Admin"),
+                Pattern::literal(*b"get /admin"),
+                Pattern::literal_nocase(*b"XyZ"),
+                Pattern::literal(*b"x"),
+            ]),
+        ];
+        let hay = b"GET /ADMIN get /admin XYZ xyz attribute=abcd x attack-vector /etc/passwd";
+        for set in &sets {
+            let owned = Verifier::build(set);
+            let shared = Verifier::build_with_arena(set, &arena_for(set));
+            assert!(shared.short_table().uses_shared_arena());
+            assert!(shared.long_table().uses_shared_arena());
+            let positions: Vec<u32> = (0..hay.len() as u32).collect();
+            let mut want = Vec::new();
+            let mut got = Vec::new();
+            for &p in &positions {
+                owned.verify_short(hay, p as usize, &mut want);
+                owned.verify_long(hay, p as usize, &mut want);
+                shared.verify_short(hay, p as usize, &mut got);
+                shared.verify_long(hay, p as usize, &mut got);
+            }
+            assert_eq!(got, want);
+            // The batched path reads through the shared arena too.
+            let mut batch = Vec::new();
+            shared.verify_short_batch::<ScalarBackend, 8>(hay, &positions, &mut batch);
+            shared.verify_long_batch::<ScalarBackend, 8>(hay, &positions, &mut batch);
+            mpm_patterns::matcher::normalize_matches(&mut want);
+            mpm_patterns::matcher::normalize_matches(&mut batch);
+            assert_eq!(batch, want);
+        }
+    }
+
+    #[test]
+    fn shared_arena_tables_report_zero_arena_bytes() {
+        let set = mixed_set();
+        let arena = arena_for(&set);
+        let owned = Verifier::build(&set);
+        let shared = Verifier::build_with_arena(&set, &arena);
+        let owned_pattern_bytes: usize = set.patterns().iter().map(|p| p.len()).sum();
+        // The shared build drops the pattern bytes from both tables (they
+        // are charged to the arena owner) and shrinks the long table's
+        // bucket array to the entry count.
+        assert!(shared.heap_bytes() + owned_pattern_bytes <= owned.heap_bytes());
+        assert!(shared.long_table().bucket_bits() < DEFAULT_LONG_BUCKET_BITS);
+    }
+
+    #[test]
+    #[should_panic(expected = "not interned")]
+    fn shared_build_requires_interned_patterns() {
+        let set = PatternSet::from_literals(&["abcd"]);
+        let empty = mpm_patterns::ArenaBuilder::new().finish();
+        let _ = Verifier::build_with_arena(&set, &empty);
     }
 }

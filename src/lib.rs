@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 pub use mpm_aho_corasick as aho_corasick;
 pub use mpm_cachesim as cachesim;
 pub use mpm_dfc as dfc;
@@ -32,20 +34,51 @@ pub use mpm_verify as verify;
 pub use mpm_vpatch as vpatch;
 pub use mpm_wu_manber as wu_manber;
 
+/// Compiles a port-grouped ruleset into one auto-selected engine per group
+/// (`mpm_vpatch::build_auto_with_arena`: widest available SIMD V-PATCH, or
+/// scalar S-PATCH), all sharing one deduplicated pattern arena. The result
+/// plugs straight into `mpm_stream::ShardedScanner::with_groups` or
+/// per-flow `mpm_stream::GroupedFlowScanner`s:
+///
+/// ```
+/// use vpatch_suite::prelude::*;
+///
+/// let rules = vpatch_suite::patterns::snort::parse_grouped(
+///     r#"alert tcp any any -> any 80 (msg:"web"; content:"GET /admin"; sid:1;)"#,
+///     Default::default(),
+/// )
+/// .unwrap();
+/// let engines = vpatch_suite::build_grouped_engines(GroupedRuleSet::new(rules));
+/// let flow = FlowTuple::new(Proto::Tcp, 40000, 80);
+/// let hits = engines.scan_flow(Some(flow), b"GET /admin HTTP/1.1");
+/// assert_eq!(hits.len(), 1);
+/// ```
+pub fn build_grouped_engines(
+    grouped: mpm_patterns::GroupedRuleSet,
+) -> Arc<mpm_stream::GroupedEngineSet> {
+    Arc::new(mpm_stream::GroupedEngineSet::build_with(
+        grouped,
+        |set, arena| Arc::from(mpm_vpatch::build_auto_with_arena(set, arena)),
+    ))
+}
+
 /// The most commonly used items, for glob import in applications and
 /// examples.
 pub mod prelude {
     pub use mpm_aho_corasick::{DfaMatcher, NfaMatcher};
     pub use mpm_dfc::{Dfc, VectorDfc};
     pub use mpm_patterns::{
-        MatchEvent, Matcher, MatcherStats, NaiveMatcher, Pattern, PatternId, PatternSet,
-        ProtocolGroup, Rule, RuleContent, RuleId, RuleMatch, RuleSet, SyntheticRuleset,
+        ArenaBuilder, Direction, FlowTuple, GroupKey, GroupedRuleSet, MatchEvent, Matcher,
+        MatcherStats, MemoryFootprint, NaiveMatcher, Pattern, PatternArena, PatternId, PatternSet,
+        PortSpec, PortVars, Proto, ProtocolGroup, Rule, RuleContent, RuleHeader, RuleId, RuleMatch,
+        RuleSet, SyntheticRuleset,
     };
     pub use mpm_simd::{
         available_backends, detect_best, forced_backend, BackendKind, VectorBackend,
     };
     pub use mpm_stream::{
-        FlowRuleMatch, Packet, RuleStreamScanner, ShardedScanner, SharedMatcher, StreamScanner,
+        FlowRuleMatch, GroupedEngineSet, GroupedFlowScanner, Packet, RuleStreamScanner,
+        ShardedScanner, SharedMatcher, StreamScanner,
     };
     pub use mpm_traffic::{
         ChunkedStream, MatchDensityGenerator, TraceGenerator, TraceKind, TraceSpec,
