@@ -34,12 +34,16 @@
 //! the sub-figure workload. Each snapshot records its own `source`
 //! (methodology); only compare rows whose sources match.
 //!
-//! The snapshot also carries a `multicore` section: aggregate
-//! `ShardedScanner` throughput (full scans over a packetized copy of the
-//! same trace) at 1/2/4/8 workers — the multi-core scaling trajectory. Its
+//! The snapshot also carries a `multicore` section: aggregate sharded-scan
+//! throughput (full scans over a packetized copy of the same trace) at
+//! 1/2/4/8 workers — the multi-core scaling trajectory. Its
 //! `available_parallelism` field records how many hardware threads the
 //! machine had, so flat scaling on a 1-CPU runner is not misread as a
-//! regression.
+//! regression. Since PR 8 the section's `latency` subsection adds the
+//! continuously-running pipeline's per-packet p50/p99/p99.9 latency,
+//! worker utilization and backpressure counters at the same worker counts;
+//! `--latency-only` runs just that subsection and emits it as JSON (the CI
+//! latency artifact).
 
 use mpm_bench::engines::{build_engine, EngineKind, Platform};
 use mpm_bench::measure::measure_closure;
@@ -545,6 +549,14 @@ fn main() {
         Workload::build_with_traces(options.ruleset, options.trace_mib, &[TraceKind::IscxDay2]);
     let trace = &workload.traces[0].1;
 
+    if options.latency_only {
+        // CI latency artifact: just the pipeline-latency subsection.
+        let latency =
+            multicore::run_latency_auto(&workload.patterns, trace, &[1, 2, 4, 8], options.runs);
+        println!("{}", report::to_json(&latency));
+        return;
+    }
+
     if options.scaling_only {
         // CI memory-regression gate: just the grouped-vs-monolithic section,
         // budget-checked, nonzero exit on regression.
@@ -582,8 +594,10 @@ fn main() {
     measure_ruleset::<Avx2Backend, 8>(&rule_set, trace, options.runs, &mut rule_confirmation);
     measure_ruleset::<Avx512Backend, 16>(&rule_set, trace, options.runs, &mut rule_confirmation);
 
-    let multicore =
+    let mut multicore =
         multicore::run_scaling_auto(&workload.patterns, trace, &[1, 2, 4, 8], options.runs);
+    multicore.latency =
+        multicore::run_latency_auto(&workload.patterns, trace, &[1, 2, 4, 8], options.runs);
 
     let snapshot = BaselineSnapshot {
         label: "current".to_string(),

@@ -32,6 +32,6 @@ pub mod workload;
 
 pub use engines::EngineKind;
 pub use measure::{measure_throughput, Measurement};
-pub use multicore::{MultiCoreFigure, MultiCoreRow};
+pub use multicore::{LatencyRow, MultiCoreFigure, MultiCoreRow};
 pub use options::Options;
 pub use workload::{RulesetChoice, Workload};

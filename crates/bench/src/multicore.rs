@@ -12,10 +12,17 @@
 //! runner every worker count measures ≈ 1×; the row shape records
 //! `available_parallelism` so a reader can tell "no scaling" from "nothing
 //! to scale onto".
+//!
+//! Since PR 8 the figure also carries a **latency** subsection measured on
+//! the continuously-running `PipelineScanner`: per-packet
+//! p50/p99/p99.9/max latency (dispatch-to-scanned, histograms merged
+//! across workers and runs), mean worker utilization, ring high-water
+//! marks and backpressure engagement — the SLO trajectory next to the
+//! throughput trajectory.
 
 use mpm_patterns::stats::RunningStats;
-use mpm_patterns::PatternSet;
-use mpm_stream::{Packet, ShardedScanner, SharedMatcher};
+use mpm_patterns::{LatencyHistogram, LatencySummary, PatternSet};
+use mpm_stream::{Packet, ScannerBuilder, SharedMatcher};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -44,6 +51,29 @@ pub struct MultiCoreRow {
     pub matches: u64,
 }
 
+/// One measured point of the pipeline-latency experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyRow {
+    /// Worker threads packets were dispatched over.
+    pub workers: usize,
+    /// Mean aggregate throughput of the pipeline runs in Gbit/s.
+    pub gbps: f64,
+    /// Sample standard deviation of the throughput.
+    pub gbps_std: f64,
+    /// Per-packet dispatch-to-scanned latency percentiles, merged across
+    /// workers and runs.
+    pub latency: LatencySummary,
+    /// Mean worker utilization (busy / wall) across workers and runs.
+    pub utilization_mean: f64,
+    /// Highest job-ring occupancy any worker saw in any run.
+    pub max_ring_occupancy: usize,
+    /// Job-ring capacity the pipeline ran with.
+    pub ring_capacity: usize,
+    /// Total dispatch stalls on a full ring across all runs (0 means the
+    /// rings never filled — latency is scan-bound, not queue-bound).
+    pub backpressure_waits: u64,
+}
+
 /// The scaling experiment result.
 #[derive(Clone, Debug, Serialize)]
 pub struct MultiCoreFigure {
@@ -60,6 +90,9 @@ pub struct MultiCoreFigure {
     pub flows: u64,
     /// One row per measured worker count.
     pub rows: Vec<MultiCoreRow>,
+    /// Pipeline latency rows (empty unless the latency experiment ran;
+    /// see [`run_latency`]).
+    pub latency: Vec<LatencyRow>,
 }
 
 /// Cuts `trace` into `packet_len`-sized packets striped over `flows` flows.
@@ -88,7 +121,13 @@ pub fn run_scaling(
     let packets = packetize(trace, DEFAULT_PACKET_LEN, DEFAULT_FLOWS);
     let mut rows: Vec<MultiCoreRow> = Vec::new();
     for &workers in worker_counts {
-        let mut scanner = ShardedScanner::new(engine.clone(), rules, workers);
+        let barrier = || {
+            ScannerBuilder::new()
+                .engine(engine.clone(), rules)
+                .workers(workers)
+                .build_barrier()
+        };
+        let mut scanner = barrier();
         // Warm-up pass: first-touch of per-flow scanners and worker scratch.
         let warm = scanner.scan_batch(packets.clone());
         let mut matches = warm.matches.len() as u64;
@@ -96,7 +135,7 @@ pub fn run_scaling(
         for _ in 0..runs {
             // Per-flow carry state persists across batches; reset it by
             // rebuilding the scanner so every run scans identical state.
-            scanner = ShardedScanner::new(engine.clone(), rules, workers);
+            scanner = barrier();
             let batch = packets.clone();
             let start = Instant::now();
             let result = scanner.scan_batch(batch);
@@ -125,7 +164,80 @@ pub fn run_scaling(
         bytes: trace.len(),
         flows: DEFAULT_FLOWS,
         rows,
+        latency: Vec::new(),
     }
+}
+
+/// Measures the pipeline's per-packet latency distribution at each worker
+/// count: every run dispatches a fresh clone of the packet batch into a
+/// `PipelineScanner` and drains, so the figure includes queueing in the job
+/// rings as well as scan time. Histograms are merged across workers (by
+/// `drain`) and across runs (here) before summarizing.
+pub fn run_latency(
+    engine: SharedMatcher,
+    rules: &PatternSet,
+    trace: &[u8],
+    worker_counts: &[usize],
+    runs: usize,
+) -> Vec<LatencyRow> {
+    assert!(runs > 0, "need at least one run");
+    let packets = packetize(trace, DEFAULT_PACKET_LEN, DEFAULT_FLOWS);
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let pipeline = || {
+            ScannerBuilder::new()
+                .engine(engine.clone(), rules)
+                .workers(workers)
+                .build()
+        };
+        // Warm-up run (thread spawn, first-touch of flow scanners).
+        pipeline().scan_batch(packets.clone());
+        let mut throughput = RunningStats::new();
+        let mut utilization = RunningStats::new();
+        let mut histogram = LatencyHistogram::new();
+        let mut max_ring_occupancy = 0;
+        let mut ring_capacity = 0;
+        let mut backpressure_waits = 0;
+        for _ in 0..runs {
+            // Fresh pipeline per run: identical flow state every time.
+            let mut scanner = pipeline();
+            let batch = packets.clone();
+            let start = Instant::now();
+            let result = scanner.scan_batch(batch);
+            let elapsed = start.elapsed().as_secs_f64();
+            throughput.push(crate::measure::gbps(trace.len(), elapsed));
+            histogram.merge(&result.histogram);
+            for w in &result.workers {
+                utilization.push(w.utilization());
+                max_ring_occupancy = max_ring_occupancy.max(w.max_ring_occupancy);
+                ring_capacity = w.ring_capacity;
+            }
+            backpressure_waits += result.backpressure_waits;
+        }
+        rows.push(LatencyRow {
+            workers,
+            gbps: throughput.mean(),
+            gbps_std: throughput.stddev(),
+            latency: histogram.summary(),
+            utilization_mean: utilization.mean(),
+            max_ring_occupancy,
+            ring_capacity,
+            backpressure_waits,
+        });
+    }
+    rows
+}
+
+/// Convenience: the latency experiment on the auto-selected engine
+/// (which honours `MPM_FORCE_BACKEND`).
+pub fn run_latency_auto(
+    rules: &PatternSet,
+    trace: &[u8],
+    worker_counts: &[usize],
+    runs: usize,
+) -> Vec<LatencyRow> {
+    let engine: SharedMatcher = Arc::from(mpm_vpatch::build_auto(rules));
+    run_latency(engine, rules, trace, worker_counts, runs)
 }
 
 /// Convenience: the scaling experiment on the auto-selected engine
@@ -168,5 +280,28 @@ mod tests {
         assert_eq!(figure.rows[0].matches, figure.rows[1].matches);
         assert!((figure.rows[0].speedup_vs_first - 1.0).abs() < 1e-9);
         assert!(figure.rows[1].gbps > 0.0);
+    }
+
+    #[test]
+    fn latency_rows_carry_populated_percentiles() {
+        let rules = PatternSet::from_literals(&["abc", "GET "]);
+        let engine: SharedMatcher = Arc::from(NaiveMatcher::new(&rules));
+        let trace = b"abcGET abcabcGET ".repeat(400);
+        let rows = run_latency(engine, &rules, &trace, &[1, 2], 2);
+        assert_eq!(rows.len(), 2);
+        let expected = packetize(&trace, DEFAULT_PACKET_LEN, DEFAULT_FLOWS).len() as u64;
+        for row in &rows {
+            assert_eq!(
+                row.latency.count,
+                2 * expected,
+                "one sample per packet per run"
+            );
+            assert!(row.latency.p50_ns > 0);
+            assert!(row.latency.p50_ns <= row.latency.p99_ns);
+            assert!(row.latency.p999_ns <= row.latency.max_ns);
+            assert!((0.0..=1.0).contains(&row.utilization_mean));
+            assert!(row.max_ring_occupancy <= row.ring_capacity);
+            assert!(row.gbps > 0.0);
+        }
     }
 }

@@ -20,6 +20,10 @@ pub struct Options {
     /// (grouped vs monolithic) and enforce `mem_budget` — the fast CI
     /// memory-regression gate.
     pub scaling_only: bool,
+    /// `bench_baseline` only: run just the pipeline-latency section
+    /// (per-packet percentiles vs worker count) and emit it as JSON — the
+    /// CI latency artifact.
+    pub latency_only: bool,
     /// `bench_baseline` only: maximum allowed grouped/monolithic memory
     /// ratio in the `ruleset_scaling` section; exceeded ⇒ nonzero exit when
     /// `scaling_only` is set.
@@ -34,6 +38,7 @@ impl Default for Options {
             runs: 3,
             json: false,
             scaling_only: false,
+            latency_only: false,
             mem_budget: 2.0,
         }
     }
@@ -72,6 +77,7 @@ impl Options {
                 }
                 "--json" => options.json = true,
                 "--scaling-only" => options.scaling_only = true,
+                "--latency-only" => options.latency_only = true,
                 "--mem-budget" => {
                     let value = args.next().ok_or("--mem-budget needs a value")?;
                     options.mem_budget = value
@@ -84,7 +90,7 @@ impl Options {
                 "--help" | "-h" => {
                     return Err(
                         "usage: <figure> [--ruleset s1|s2|full] [--mb N] [--runs N] [--json] \
-                         [--scaling-only] [--mem-budget X]"
+                         [--scaling-only] [--latency-only] [--mem-budget X]"
                             .to_string(),
                     )
                 }
@@ -154,5 +160,11 @@ mod tests {
         let d = parse(&[]).unwrap();
         assert!(!d.scaling_only);
         assert!((d.mem_budget - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parses_latency_only() {
+        assert!(parse(&["--latency-only"]).unwrap().latency_only);
+        assert!(!parse(&[]).unwrap().latency_only);
     }
 }

@@ -61,4 +61,5 @@ pub use naive::NaiveMatcher;
 pub use pattern::{fold_byte, Pattern, PatternId, PatternSet, ProtocolGroup};
 pub use ports::{Direction, FlowTuple, PortSpec, PortVars, Proto, RuleHeader};
 pub use rule::{Rule, RuleContent, RuleId, RuleMatch, RuleSet};
+pub use stats::{LatencyHistogram, LatencySummary};
 pub use synthetic::{RulesetSpec, SyntheticRuleset};

@@ -1,0 +1,341 @@
+//! [`ScannerBuilder`]: one entry point for every multi-core scanner
+//! configuration.
+//!
+//! PRs 3–7 accreted a six-way constructor matrix on
+//! [`crate::ShardedScanner`] (`new` / `with_rules` / `with_groups`, each
+//! crossed with `*_max_flows`); every new knob doubled it. The builder
+//! collapses the matrix into orthogonal axes — *what to scan with*
+//! ([`ScannerBuilder::engine`] / [`ScannerBuilder::rules`] /
+//! [`ScannerBuilder::groups`]), *how wide* ([`ScannerBuilder::workers`],
+//! [`ScannerBuilder::ring_capacity`]), and *how long flows live*
+//! ([`ScannerBuilder::max_flows`], [`ScannerBuilder::eviction`]) — and
+//! offers two terminal shapes: [`ScannerBuilder::build`] for the
+//! continuously-running [`PipelineScanner`] (the production runtime) and
+//! [`ScannerBuilder::build_barrier`] for the batch-and-join
+//! [`crate::ShardedScanner`] (differential oracles and batch benchmarks).
+//! The old constructors survive as thin `#[deprecated]` shims over this
+//! builder for one release.
+
+use crate::group::GroupedEngineSet;
+use crate::pipeline::PipelineScanner;
+use crate::shard::ShardedScanner;
+use crate::stream::SharedMatcher;
+use crate::worker::{plain_mode, rule_parts, WorkerMode};
+use mpm_patterns::rule::RuleSet;
+use mpm_patterns::PatternSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// When per-flow stream state is retired without an explicit
+/// `close_flow`. Both knobs compose: a cap bounds worst-case memory, the
+/// idle timeout retires quiet flows long before the cap forces them out —
+/// the NIDS reassembly idiom of "table size limit + idle timer".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvictionPolicy {
+    /// Bound on resident flows across all workers (rounded up to a whole
+    /// number per worker); at the bound, the least-recently-pushed flow on
+    /// the receiving worker is evicted. `None` = unbounded.
+    pub max_flows: Option<usize>,
+    /// Retire a flow once no packet has arrived for it for this long,
+    /// swept lazily on the owning worker. `None` = no idle timeout.
+    /// Only the pipeline honours this ([`ScannerBuilder::build`]); the
+    /// barrier scanner has no clock between batches.
+    pub idle_after: Option<Duration>,
+}
+
+impl EvictionPolicy {
+    /// Keep every flow until it is closed explicitly.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Cap resident flows at `max_flows` (least-recently-pushed eviction).
+    pub fn max_flows(max_flows: usize) -> Self {
+        EvictionPolicy {
+            max_flows: Some(max_flows),
+            idle_after: None,
+        }
+    }
+
+    /// Retire flows idle for `idle_after` or longer.
+    pub fn idle_after(idle_after: Duration) -> Self {
+        EvictionPolicy {
+            max_flows: None,
+            idle_after: Some(idle_after),
+        }
+    }
+
+    /// Adds an idle timeout to this policy (builder-style).
+    pub fn and_idle_after(mut self, idle_after: Duration) -> Self {
+        self.idle_after = Some(idle_after);
+        self
+    }
+}
+
+/// What the scanner scans with — set exactly once, by
+/// [`ScannerBuilder::engine`], [`ScannerBuilder::rules`] or
+/// [`ScannerBuilder::groups`].
+enum Source {
+    Unset,
+    Mode(WorkerMode),
+}
+
+/// Builder for both multi-core scanners; see the module docs.
+///
+/// ```
+/// use mpm_patterns::{NaiveMatcher, PatternSet};
+/// use mpm_stream::{Packet, ScannerBuilder};
+/// use std::sync::Arc;
+///
+/// let set = PatternSet::from_literals(&["needle"]);
+/// let engine: mpm_stream::SharedMatcher = Arc::from(NaiveMatcher::new(&set));
+/// let mut pipeline = ScannerBuilder::new()
+///     .engine(engine, &set)
+///     .workers(4)
+///     .max_flows(100_000)
+///     .build();
+/// pipeline.dispatch(Packet::new(1, b"..needle..".to_vec()));
+/// assert_eq!(pipeline.drain().matches.len(), 1);
+/// ```
+pub struct ScannerBuilder {
+    source: Source,
+    workers: usize,
+    ring_capacity: usize,
+    eviction: EvictionPolicy,
+}
+
+impl Default for ScannerBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ScannerBuilder {
+    /// Starts a builder with defaults: 1 worker, 1024-slot job rings, no
+    /// eviction.
+    pub fn new() -> Self {
+        ScannerBuilder {
+            source: Source::Unset,
+            workers: 1,
+            ring_capacity: 1024,
+            eviction: EvictionPolicy::none(),
+        }
+    }
+
+    /// Scan every flow with one pattern engine (pattern matches only, no
+    /// rule confirmation). `set` must be the pattern set `engine` was
+    /// compiled for.
+    ///
+    /// # Panics
+    /// Panics if a source was already set, or the engine/set disagree about
+    /// the longest pattern.
+    pub fn engine(mut self, engine: SharedMatcher, set: &PatternSet) -> Self {
+        self.set_source(plain_mode(engine, set, None));
+        self
+    }
+
+    /// Scan every flow in monolithic **rule mode**: `engine` (compiled for
+    /// `set.anchors()`) finds anchors, and rules are confirmed per flow
+    /// with positional constraints across packet boundaries.
+    ///
+    /// # Panics
+    /// Panics if a source was already set, or the engine/anchor-set
+    /// disagree about the longest pattern.
+    pub fn rules(mut self, engine: SharedMatcher, set: &RuleSet) -> Self {
+        self.set_source(plain_mode(engine, set.anchors(), Some(rule_parts(set))));
+        self
+    }
+
+    /// Scan flows in **port-grouped rule mode**: each flow is scanned only
+    /// against the groups its [`crate::Packet::tuple`] selects.
+    ///
+    /// # Panics
+    /// Panics if a source was already set.
+    pub fn groups(mut self, engines: Arc<GroupedEngineSet>) -> Self {
+        self.set_source(WorkerMode::Grouped(engines));
+        self
+    }
+
+    /// Number of worker threads (default 1).
+    ///
+    /// # Panics
+    /// Panics if `workers` is zero.
+    pub fn workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Per-worker job-ring capacity in packets (default 1024, rounded up to
+    /// a power of two). Smaller rings bound latency and memory tighter but
+    /// engage backpressure sooner. Only the pipeline uses rings; the
+    /// barrier scanner ignores this.
+    ///
+    /// # Panics
+    /// Panics if `ring_capacity` is zero.
+    pub fn ring_capacity(mut self, ring_capacity: usize) -> Self {
+        assert!(ring_capacity > 0, "ring capacity must be at least 1");
+        self.ring_capacity = ring_capacity;
+        self
+    }
+
+    /// Caps resident flows at `max_flows` — sugar for the corresponding
+    /// [`ScannerBuilder::eviction`] field, kept as its own axis because it
+    /// is by far the most common policy.
+    ///
+    /// # Panics
+    /// Panics if `max_flows` is zero.
+    pub fn max_flows(mut self, max_flows: usize) -> Self {
+        assert!(max_flows > 0, "max_flows must be at least 1");
+        self.eviction.max_flows = Some(max_flows);
+        self
+    }
+
+    /// Sets the whole eviction policy (cap and/or idle timeout) at once.
+    ///
+    /// # Panics
+    /// Panics if the policy's `max_flows` is `Some(0)`.
+    pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
+        assert!(policy.max_flows != Some(0), "max_flows must be at least 1");
+        self.eviction = policy;
+        self
+    }
+
+    /// Builds the continuously-running [`PipelineScanner`] — bounded SPSC
+    /// rings, flow-affine dispatch without a per-batch barrier,
+    /// backpressure, hybrid eviction, hot-swap, latency telemetry.
+    ///
+    /// # Panics
+    /// Panics if no source was set.
+    pub fn build(self) -> PipelineScanner {
+        let ScannerBuilder {
+            source,
+            workers,
+            ring_capacity,
+            eviction,
+        } = self;
+        PipelineScanner::spawn(
+            take_mode(source),
+            workers,
+            ring_capacity,
+            eviction.max_flows,
+            eviction.idle_after,
+        )
+    }
+
+    /// Builds the batch-and-join [`crate::ShardedScanner`] — every
+    /// `scan_batch` is a full barrier; results arrive as one deterministic
+    /// unit. The differential-testing and batch-benchmark shape.
+    ///
+    /// # Panics
+    /// Panics if no source was set, or the policy has an idle timeout (the
+    /// barrier scanner has no clock; use [`ScannerBuilder::build`]).
+    pub fn build_barrier(self) -> ShardedScanner {
+        assert!(
+            self.eviction.idle_after.is_none(),
+            "idle_after eviction needs the pipeline scanner (ScannerBuilder::build)"
+        );
+        ShardedScanner::spawn(
+            take_mode(self.source),
+            self.workers,
+            self.eviction.max_flows,
+        )
+    }
+
+    fn set_source(&mut self, mode: WorkerMode) {
+        assert!(
+            matches!(self.source, Source::Unset),
+            "scan source already set: call exactly one of engine()/rules()/groups()"
+        );
+        self.source = Source::Mode(mode);
+    }
+}
+
+fn take_mode(source: Source) -> WorkerMode {
+    match source {
+        Source::Mode(mode) => mode,
+        Source::Unset => {
+            panic!("no scan source: call one of engine()/rules()/groups() before building")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Packet;
+    use mpm_patterns::NaiveMatcher;
+
+    fn set_and_engine() -> (PatternSet, SharedMatcher) {
+        let set = PatternSet::from_literals(&["needle"]);
+        let engine: SharedMatcher = Arc::from(NaiveMatcher::new(&set));
+        (set, engine)
+    }
+
+    #[test]
+    #[should_panic(expected = "no scan source")]
+    fn building_without_a_source_is_rejected() {
+        let _ = ScannerBuilder::new().workers(2).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "scan source already set")]
+    fn double_source_is_rejected() {
+        let (set, engine) = set_and_engine();
+        let _ = ScannerBuilder::new()
+            .engine(engine.clone(), &set)
+            .engine(engine, &set);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = ScannerBuilder::new().workers(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_flows must be at least 1")]
+    fn zero_max_flows_rejected() {
+        let _ = ScannerBuilder::new().max_flows(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle_after eviction needs the pipeline")]
+    fn barrier_with_idle_timeout_is_rejected() {
+        let (set, engine) = set_and_engine();
+        let _ = ScannerBuilder::new()
+            .engine(engine, &set)
+            .eviction(EvictionPolicy::idle_after(Duration::from_secs(1)))
+            .build_barrier();
+    }
+
+    #[test]
+    fn deprecated_shims_still_build_working_scanners() {
+        // The one-release compatibility contract: old constructors keep
+        // working and scan identically to builder-built scanners.
+        #![allow(deprecated)]
+        let (set, engine) = set_and_engine();
+        let mut old = ShardedScanner::new(engine.clone(), &set, 2);
+        let mut new = ScannerBuilder::new()
+            .engine(engine, &set)
+            .workers(2)
+            .build_barrier();
+        let packets = || {
+            (0..8u64)
+                .map(|f| Packet::new(f, b"..needle..".to_vec()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            old.scan_batch(packets()).matches,
+            new.scan_batch(packets()).matches
+        );
+    }
+
+    #[test]
+    fn eviction_policy_composes() {
+        let policy = EvictionPolicy::max_flows(64).and_idle_after(Duration::from_secs(30));
+        assert_eq!(policy.max_flows, Some(64));
+        assert_eq!(policy.idle_after, Some(Duration::from_secs(30)));
+        assert_eq!(EvictionPolicy::none(), EvictionPolicy::default());
+    }
+}

@@ -12,13 +12,32 @@
 //!   drops overlap re-reports, and translates match positions to absolute
 //!   stream offsets. Property-tested: any chunking (down to 1-byte chunks)
 //!   reports byte-identical match sets to `find_all` on the whole input.
-//! * [`ShardedScanner`] — fans batches of [`Packet`]s out over N worker
-//!   threads with **flow-affine sharding** (same flow id ⇒ same worker, so
-//!   per-flow stream state stays coherent), merging matches and
+//! * [`ScannerBuilder`] — the one entry point for multi-core scanning:
+//!   pick a source (`engine`/`rules`/`groups`), a width (`workers`,
+//!   `ring_capacity`) and an [`EvictionPolicy`], then [`build`] the
+//!   continuously-running pipeline or [`build_barrier`] the batch oracle.
+//!
+//! * [`PipelineScanner`] — the production runtime: bounded lock-free SPSC
+//!   rings per worker, **flow-affine dispatch with no per-batch barrier**,
+//!   backpressure on ring-full instead of unbounded queueing, time+LRU
+//!   hybrid flow eviction, graceful epoch-stamped ruleset hot-swap, and
+//!   latency observability (per-packet p50/p99/p999 via a log-bucketed
+//!   histogram merged across workers, per-worker utilization and
+//!   ring-occupancy high-water marks) reported by [`PipelineStats`].
+//!
+//! * [`ShardedScanner`] — the batch-and-join harness the pipeline grew out
+//!   of: fans batches of [`Packet`]s out over N worker threads with
+//!   **flow-affine sharding** (same flow id ⇒ same worker, so per-flow
+//!   stream state stays coherent), merging matches and
 //!   [`mpm_patterns::MatcherStats`] deterministically: 1 worker and N
-//!   workers produce identical output for the same batch. Per-flow state is
-//!   retired by [`ShardedScanner::close_flow`] or bounded wholesale by
-//!   [`ShardedScanner::with_max_flows`] (least-recently-pushed eviction).
+//!   workers produce identical output for the same batch — and the
+//!   pipeline produces byte-identical sorted match sets to it
+//!   (`tests/pipeline_equivalence.rs`). Per-flow state is retired by
+//!   [`ShardedScanner::close_flow`] or bounded wholesale by an
+//!   [`EvictionPolicy`] flow cap (least-recently-pushed eviction).
+//!
+//! [`build`]: ScannerBuilder::build
+//! [`build_barrier`]: ScannerBuilder::build_barrier
 //!
 //! * [`RuleStreamScanner`] — the same chunking guarantee one level up:
 //!   multi-content rules with positional constraints
@@ -51,12 +70,18 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod group;
+pub mod pipeline;
+pub mod ring;
 pub mod rules;
 pub mod shard;
 pub mod stream;
+mod worker;
 
+pub use builder::{EvictionPolicy, ScannerBuilder};
 pub use group::{GroupedEngineSet, GroupedFlowScanner};
+pub use pipeline::{PipelineScanner, PipelineStats, WorkerStats};
 pub use rules::RuleStreamScanner;
 pub use shard::{BatchResult, FlowMatch, FlowRuleMatch, Packet, ShardedScanner};
 pub use stream::{SharedMatcher, StreamScanner};

@@ -1,0 +1,774 @@
+//! [`PipelineScanner`]: the continuously-running successor to the
+//! batch-and-join [`crate::ShardedScanner`].
+//!
+//! Where the barrier scanner stalls every worker on the slowest shard once
+//! per batch (unbounded mpsc in, rendezvous channel back), the pipeline
+//! runs its workers free: each worker owns a **bounded SPSC job ring**
+//! ([`crate::ring`]) it drains continuously and a bounded SPSC output ring
+//! it streams matches into. Dispatch is flow-affine exactly as before (same
+//! flow ⇒ same worker ⇒ coherent stream state), but nothing joins: a slow
+//! shard only delays its own flows, and a full job ring pushes back on the
+//! dispatcher ([`PipelineScanner::dispatch`] blocks, draining that worker's
+//! output ring while it waits, so backpressure can never deadlock) instead
+//! of queueing unboundedly.
+//!
+//! On top of the free-running workers this module adds what a production
+//! runtime needs and a batch harness cannot express:
+//!
+//! * **Latency observability** — every packet is stamped at dispatch; the
+//!   owning worker records queue+scan latency into a per-worker
+//!   [`LatencyHistogram`] (log-bucketed, ~3.2% resolution), merged at
+//!   [`PipelineScanner::drain`] into pipeline-wide p50/p99/p999 alongside
+//!   per-worker utilization and ring-occupancy high-water marks
+//!   ([`PipelineStats`], [`WorkerStats`]).
+//! * **Time+LRU hybrid eviction** — [`crate::ScannerBuilder::max_flows`]
+//!   bounds resident flows with least-recently-pushed eviction (as the
+//!   barrier scanner did), and [`crate::EvictionPolicy::idle_after`] adds
+//!   an idle timeout: flows whose last packet is older than the timeout are
+//!   swept lazily (the recency index is push-ordered, so the sweep only
+//!   ever inspects the front), the NIDS analogue of a reassembly idle
+//!   timer.
+//! * **Graceful ruleset hot-swap** — [`PipelineScanner::swap_rules`] (and
+//!   `swap_engine`/`swap_groups`) builds the new compile product on the
+//!   caller's thread, then flips it under the workers via an epoch-stamped
+//!   control message that rides the same FIFO rings as packets. Flows
+//!   minted before the swap keep scanning under the ruleset they started
+//!   with until they close or evict (no torn reads, no mid-flow semantic
+//!   change); flows first seen after the swap use the new one. Because the
+//!   swap marker is FIFO-ordered against packets per worker, which flows
+//!   land on which epoch is a function of the dispatch order alone —
+//!   deterministic across worker counts (`tests/hot_swap.rs`).
+//!
+//! Equivalence contract: for the same packets, `dispatch* + drain` (or
+//! [`PipelineScanner::scan_batch`]) reports byte-identical sorted
+//! `matches`/`rule_matches` to the barrier scanner's `scan_batch`
+//! (`tests/pipeline_equivalence.rs`).
+
+use crate::group::GroupedEngineSet;
+use crate::ring::{self, Consumer, Producer, PushError};
+use crate::shard::{FlowMatch, FlowRuleMatch, Packet};
+use crate::stream::SharedMatcher;
+use crate::worker::{mix64, plain_mode, rule_parts, FlowScanner, WorkerMode};
+use mpm_patterns::rule::{RuleMatch, RuleSet};
+use mpm_patterns::stats::{LatencyHistogram, LatencySummary};
+use mpm_patterns::{MatchEvent, MatcherStats, PatternSet};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::thread::{JoinHandle, Thread};
+use std::time::{Duration, Instant};
+
+/// Jobs flowing control→worker through the bounded job ring.
+enum PipeJob {
+    /// Scan one packet; `enqueued` is the dispatch timestamp the worker
+    /// turns into the packet's queue+scan latency sample.
+    Packet { packet: Packet, enqueued: Instant },
+    /// Drop a finished flow's stream state.
+    CloseFlow(u64),
+    /// Hot-swap: scan flows minted from here on with `mode` under `epoch`.
+    Swap { mode: WorkerMode, epoch: u64 },
+    /// Collection point: emit a [`FlushReport`] for the interval since the
+    /// last flush and reset the interval accumulators.
+    Flush { token: u64 },
+}
+
+/// Results flowing worker→control through the bounded output ring.
+enum Out {
+    Match(FlowMatch),
+    Rule(FlowRuleMatch),
+    /// Boxed: the interval histogram is ~15 KiB and flushes are rare; the
+    /// common `Match`/`Rule` variants stay ring-slot sized.
+    Flushed(Box<FlushReport>),
+}
+
+/// One worker's interval telemetry, shipped through its output ring at
+/// every [`PipelineScanner::drain`].
+struct FlushReport {
+    worker: usize,
+    token: u64,
+    stats: MatcherStats,
+    latency: LatencyHistogram,
+    busy_nanos: u64,
+    wall_nanos: u64,
+    packets: u64,
+    bytes: u64,
+    evicted: u64,
+    resident_flows: usize,
+    old_epoch_flows: usize,
+}
+
+/// Per-worker telemetry for one drain interval (see
+/// [`PipelineStats::workers`]).
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    /// Worker index (== the value [`PipelineScanner::worker_of`] shards to).
+    pub worker: usize,
+    /// Packets scanned this interval.
+    pub packets: u64,
+    /// Payload bytes scanned this interval.
+    pub bytes: u64,
+    /// Nanoseconds spent processing jobs this interval.
+    pub busy_nanos: u64,
+    /// Wall nanoseconds of the interval on this worker.
+    pub wall_nanos: u64,
+    /// High-water mark of the worker's job-ring occupancy, observed at
+    /// dispatch time (an occupancy near [`WorkerStats::ring_capacity`]
+    /// means this shard is the bottleneck).
+    pub max_ring_occupancy: usize,
+    /// Capacity of the worker's job ring.
+    pub ring_capacity: usize,
+    /// Flows evicted this interval (LRU cap + idle timeout combined).
+    pub evicted: u64,
+    /// Flows resident on this worker at flush time.
+    pub resident_flows: usize,
+}
+
+impl WorkerStats {
+    /// Fraction of the interval the worker spent processing jobs, in
+    /// `[0, 1]` — the utilization figure next to p99 in the bench report.
+    pub fn utilization(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            (self.busy_nanos as f64 / self.wall_nanos as f64).min(1.0)
+        }
+    }
+}
+
+/// Result of one [`PipelineScanner::drain`]: everything the pipeline
+/// produced since the previous drain (minus what
+/// [`PipelineScanner::poll`] already handed out), plus the latency and
+/// utilization telemetry the barrier-era `BatchResult` had no way to
+/// express.
+#[derive(Clone, Debug)]
+pub struct PipelineStats {
+    /// All matches of the interval, sorted by `(flow, start, pattern)` —
+    /// same order, same contents as the barrier scanner's `matches`.
+    pub matches: Vec<FlowMatch>,
+    /// Rules confirmed during the interval, sorted by `(flow, rule, end)`.
+    pub rule_matches: Vec<FlowRuleMatch>,
+    /// Scan statistics summed over all workers (exact, deterministic).
+    pub stats: MatcherStats,
+    /// Flows resident across all workers at drain time.
+    pub resident_flows: usize,
+    /// Flows evicted during the interval (LRU cap + idle timeout).
+    pub evicted_flows: u64,
+    /// Per-packet queue+scan latency percentiles, merged across workers.
+    pub latency: LatencySummary,
+    /// The merged histogram behind [`PipelineStats::latency`] — kept so
+    /// callers (the bench harness) can merge intervals/runs before taking
+    /// percentiles, which summaries cannot do.
+    pub histogram: LatencyHistogram,
+    /// Per-worker telemetry, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+    /// Times a dispatch found a job ring full and had to wait this
+    /// interval — nonzero means the traffic source outran a shard and
+    /// backpressure engaged.
+    pub backpressure_waits: u64,
+    /// The ruleset epoch current at drain time (bumped by every swap).
+    pub epoch: u64,
+    /// Flows still scanning under a pre-swap ruleset (they drain
+    /// gracefully; see the module docs on hot-swap).
+    pub old_epoch_flows: usize,
+}
+
+/// One flow's stream state plus bookkeeping for recency eviction and
+/// epoch accounting.
+struct FlowSlot {
+    scanner: FlowScanner,
+    /// Sequence number of the flow's latest packet on this worker (the
+    /// recency key).
+    seq: u64,
+    /// Arrival time of the flow's latest packet (drives `idle_after`).
+    last_seen: Instant,
+    /// The ruleset epoch the flow's scanner was minted from.
+    epoch: u64,
+}
+
+/// Continuously-running multi-core scanner: bounded rings, flow-affine
+/// dispatch, no per-batch barrier. Built by [`crate::ScannerBuilder::build`].
+///
+/// ```
+/// use mpm_patterns::{NaiveMatcher, PatternSet};
+/// use mpm_stream::{Packet, ScannerBuilder};
+/// use std::sync::Arc;
+///
+/// let rules = PatternSet::from_literals(&["attack"]);
+/// let engine: mpm_stream::SharedMatcher = Arc::from(NaiveMatcher::new(&rules));
+/// let mut pipeline = ScannerBuilder::new()
+///     .engine(engine, &rules)
+///     .workers(2)
+///     .build();
+///
+/// pipeline.dispatch(Packet::new(7, b"...att".to_vec()));
+/// pipeline.dispatch(Packet::new(7, b"ack...".to_vec()));
+/// let stats = pipeline.drain();
+/// assert_eq!(stats.matches.len(), 1);
+/// assert_eq!(stats.latency.count, 2); // every packet is a latency sample
+/// ```
+pub struct PipelineScanner {
+    workers: Vec<WorkerHandle>,
+    epoch: u64,
+    flush_token: u64,
+    pending_matches: Vec<FlowMatch>,
+    pending_rules: Vec<FlowRuleMatch>,
+    pending_reports: Vec<FlushReport>,
+    backpressure_waits: u64,
+    ring_capacity: usize,
+}
+
+struct WorkerHandle {
+    /// `Option` so `Drop` can hang up by dropping the producer in place.
+    jobs: Option<Producer<PipeJob>>,
+    out: Consumer<Out>,
+    thread: Thread,
+    handle: Option<JoinHandle<()>>,
+    /// Control-side high-water mark of the job ring, per drain interval.
+    max_occupancy: usize,
+}
+
+impl PipelineScanner {
+    pub(crate) fn spawn(
+        mode: WorkerMode,
+        workers: usize,
+        ring_capacity: usize,
+        max_flows: Option<usize>,
+        idle_after: Option<Duration>,
+    ) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        // Same split as the barrier scanner: div_ceil so small caps never
+        // round below the requested bound.
+        let per_worker_cap = max_flows.map(|m| m.div_ceil(workers).max(1));
+        let ring_capacity = ring_capacity.max(2).next_power_of_two();
+        let workers = (0..workers)
+            .map(|index| {
+                let (jobs_tx, jobs_rx) = ring::spsc(ring_capacity);
+                // Output rings are wider than job rings: one packet can
+                // produce many matches, and headroom there keeps workers
+                // from stalling on their own results.
+                let (out_tx, out_rx) = ring::spsc(ring_capacity * 4);
+                let mode = mode.clone();
+                let handle = std::thread::spawn(move || {
+                    PipelineWorker::new(index, jobs_rx, out_tx, mode, per_worker_cap, idle_after)
+                        .run()
+                });
+                WorkerHandle {
+                    jobs: Some(jobs_tx),
+                    out: out_rx,
+                    thread: handle.thread().clone(),
+                    handle: Some(handle),
+                    max_occupancy: 0,
+                }
+            })
+            .collect();
+        PipelineScanner {
+            workers,
+            epoch: 0,
+            flush_token: 0,
+            pending_matches: Vec::new(),
+            pending_rules: Vec::new(),
+            pending_reports: Vec::new(),
+            backpressure_waits: 0,
+            ring_capacity,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Capacity of each worker's job ring (rounded to a power of two).
+    pub fn ring_capacity(&self) -> usize {
+        self.ring_capacity
+    }
+
+    /// The ruleset epoch new flows are minted under (0 until the first
+    /// swap).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The worker a flow is pinned to — same mixer, same determinism
+    /// contract as the barrier scanner.
+    pub fn worker_of(&self, flow: u64) -> usize {
+        (mix64(flow) % self.workers.len() as u64) as usize
+    }
+
+    /// Sends one packet to its flow's worker. **Blocks under backpressure**:
+    /// if the worker's job ring is full, this drains that worker's output
+    /// ring into the pending result buffers and retries until a slot frees
+    /// up — the pipeline's bounded-memory guarantee (an unbounded queue
+    /// here is exactly the barrier scanner's failure mode at line rate).
+    pub fn dispatch(&mut self, packet: Packet) {
+        let worker = self.worker_of(packet.flow);
+        self.push_job(
+            worker,
+            PipeJob::Packet {
+                packet,
+                enqueued: Instant::now(),
+            },
+        );
+    }
+
+    /// Retires a finished flow, freeing its stream state on the owning
+    /// worker (FIFO-ordered against the flow's packets, exactly like the
+    /// barrier scanner's `close_flow`).
+    pub fn close_flow(&mut self, flow: u64) {
+        let worker = self.worker_of(flow);
+        self.push_job(worker, PipeJob::CloseFlow(flow));
+    }
+
+    /// Non-blocking result pump: drains whatever the workers have pushed so
+    /// far and returns it **unsorted** (arrival order). Use this from a
+    /// live loop that wants matches as they happen; results handed out here
+    /// are *not* repeated by the next [`PipelineScanner::drain`].
+    pub fn poll(&mut self) -> (Vec<FlowMatch>, Vec<FlowRuleMatch>) {
+        for w in 0..self.workers.len() {
+            self.pump_worker(w);
+        }
+        (
+            std::mem::take(&mut self.pending_matches),
+            std::mem::take(&mut self.pending_rules),
+        )
+    }
+
+    /// Collection point (not a scan barrier): asks every worker for its
+    /// interval report, waits for the reports to arrive, and returns the
+    /// merged, deterministically-sorted results plus latency/utilization
+    /// telemetry. Workers keep draining their rings the whole time — only
+    /// the caller waits.
+    pub fn drain(&mut self) -> PipelineStats {
+        let token = self.flush_token;
+        self.flush_token += 1;
+        for w in 0..self.workers.len() {
+            self.push_job(w, PipeJob::Flush { token });
+        }
+        while self.pending_reports.len() < self.workers.len() {
+            for w in 0..self.workers.len() {
+                self.pump_worker(w);
+            }
+            if self.pending_reports.len() < self.workers.len() {
+                std::thread::yield_now();
+            }
+        }
+        let mut reports = std::mem::take(&mut self.pending_reports);
+        debug_assert!(reports.iter().all(|r| r.token == token));
+        reports.sort_by_key(|r| r.worker);
+
+        let mut stats = MatcherStats::default();
+        let mut histogram = LatencyHistogram::new();
+        let mut result_workers = Vec::with_capacity(reports.len());
+        let mut resident_flows = 0;
+        let mut evicted_flows = 0;
+        let mut old_epoch_flows = 0;
+        for report in &reports {
+            stats.merge(&report.stats);
+            histogram.merge(&report.latency);
+            resident_flows += report.resident_flows;
+            evicted_flows += report.evicted;
+            old_epoch_flows += report.old_epoch_flows;
+            let handle = &mut self.workers[report.worker];
+            result_workers.push(WorkerStats {
+                worker: report.worker,
+                packets: report.packets,
+                bytes: report.bytes,
+                busy_nanos: report.busy_nanos,
+                wall_nanos: report.wall_nanos,
+                max_ring_occupancy: handle.max_occupancy,
+                ring_capacity: self.ring_capacity,
+                evicted: report.evicted,
+                resident_flows: report.resident_flows,
+            });
+            handle.max_occupancy = 0;
+        }
+        let mut matches = std::mem::take(&mut self.pending_matches);
+        let mut rule_matches = std::mem::take(&mut self.pending_rules);
+        matches.sort_unstable();
+        rule_matches.sort_unstable();
+        PipelineStats {
+            matches,
+            rule_matches,
+            stats,
+            resident_flows,
+            evicted_flows,
+            latency: histogram.summary(),
+            histogram,
+            workers: result_workers,
+            backpressure_waits: std::mem::take(&mut self.backpressure_waits),
+            epoch: self.epoch,
+            old_epoch_flows,
+        }
+    }
+
+    /// Dispatches a batch and drains — the drop-in shape of the barrier
+    /// scanner's `scan_batch`, used by the equivalence suites. A live
+    /// deployment calls [`PipelineScanner::dispatch`] /
+    /// [`PipelineScanner::poll`] / [`PipelineScanner::drain`] directly.
+    pub fn scan_batch(&mut self, packets: impl IntoIterator<Item = Packet>) -> PipelineStats {
+        for packet in packets {
+            self.dispatch(packet);
+        }
+        self.drain()
+    }
+
+    /// Hot-swaps to a plain pattern engine (see the module docs for the
+    /// epoch semantics). Returns the new epoch.
+    pub fn swap_engine(&mut self, engine: SharedMatcher, set: &PatternSet) -> u64 {
+        self.swap(plain_mode(engine, set, None))
+    }
+
+    /// Hot-swaps to a monolithic rule engine (`engine` compiled for
+    /// `set.anchors()`, validated here on the caller's thread). Returns the
+    /// new epoch.
+    pub fn swap_rules(&mut self, engine: SharedMatcher, set: &RuleSet) -> u64 {
+        self.swap(plain_mode(engine, set.anchors(), Some(rule_parts(set))))
+    }
+
+    /// Hot-swaps to a port-grouped engine set (built off-thread by the
+    /// caller — this call is just the `Arc` flip). Returns the new epoch.
+    pub fn swap_groups(&mut self, engines: Arc<GroupedEngineSet>) -> u64 {
+        self.swap(WorkerMode::Grouped(engines))
+    }
+
+    fn swap(&mut self, mode: WorkerMode) -> u64 {
+        self.epoch += 1;
+        for w in 0..self.workers.len() {
+            self.push_job(
+                w,
+                PipeJob::Swap {
+                    mode: mode.clone(),
+                    epoch: self.epoch,
+                },
+            );
+        }
+        self.epoch
+    }
+
+    /// Blocking ring push with deadlock-free backpressure: while the job
+    /// ring is full, drain that worker's output ring (the worker may itself
+    /// be stalled on it) and retry.
+    fn push_job(&mut self, worker: usize, mut job: PipeJob) {
+        loop {
+            let handle = &mut self.workers[worker];
+            let jobs = handle.jobs.as_mut().expect("alive until drop");
+            let was_empty = jobs.is_empty();
+            match jobs.push(job) {
+                Ok(()) => {
+                    let occupancy = handle.jobs.as_ref().expect("alive until drop").len();
+                    if occupancy > handle.max_occupancy {
+                        handle.max_occupancy = occupancy;
+                    }
+                    if was_empty {
+                        // The worker may be parked on an empty ring; wake it
+                        // now rather than after its park timeout.
+                        handle.thread.unpark();
+                    }
+                    return;
+                }
+                Err(PushError::Full(j)) => {
+                    job = j;
+                    self.backpressure_waits += 1;
+                    self.pump_worker(worker);
+                    std::thread::yield_now();
+                }
+                Err(PushError::Closed(_)) => {
+                    panic!("pipeline worker thread terminated unexpectedly")
+                }
+            }
+        }
+    }
+
+    /// Drains one worker's output ring into the pending buffers.
+    fn pump_worker(&mut self, worker: usize) {
+        while let Some(out) = self.workers[worker].out.pop() {
+            match out {
+                Out::Match(m) => self.pending_matches.push(m),
+                Out::Rule(r) => self.pending_rules.push(r),
+                Out::Flushed(report) => self.pending_reports.push(*report),
+            }
+        }
+    }
+}
+
+impl Drop for PipelineScanner {
+    fn drop(&mut self) {
+        // Hang up every job ring first (workers exit after draining what's
+        // buffered), then join while pumping output rings so a worker
+        // stalled pushing results can finish.
+        for worker in &mut self.workers {
+            worker.jobs = None;
+            worker.thread.unpark();
+        }
+        for w in 0..self.workers.len() {
+            loop {
+                self.pump_worker(w);
+                let finished = self.workers[w]
+                    .handle
+                    .as_ref()
+                    .is_none_or(|h| h.is_finished());
+                if finished {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+            if let Some(handle) = self.workers[w].handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The worker thread's state: per-flow scanners plus interval telemetry.
+struct PipelineWorker {
+    index: usize,
+    jobs: Consumer<PipeJob>,
+    out: Producer<Out>,
+    mode: WorkerMode,
+    epoch: u64,
+    max_flows: Option<usize>,
+    idle_after: Option<Duration>,
+    flows: HashMap<u64, FlowSlot>,
+    /// seq → flow, maintained when any eviction policy is active. Push
+    /// order == recency order, so the least-recently-pushed flow is the
+    /// first entry and the idle sweep never looks past a fresh flow.
+    recency: BTreeMap<u64, u64>,
+    next_seq: u64,
+    stats: MatcherStats,
+    latency: LatencyHistogram,
+    busy_nanos: u64,
+    interval_start: Instant,
+    packets: u64,
+    bytes: u64,
+    evicted: u64,
+    events: Vec<MatchEvent>,
+    rule_events: Vec<RuleMatch>,
+}
+
+impl PipelineWorker {
+    fn new(
+        index: usize,
+        jobs: Consumer<PipeJob>,
+        out: Producer<Out>,
+        mode: WorkerMode,
+        max_flows: Option<usize>,
+        idle_after: Option<Duration>,
+    ) -> Self {
+        PipelineWorker {
+            index,
+            jobs,
+            out,
+            mode,
+            epoch: 0,
+            max_flows,
+            idle_after,
+            flows: HashMap::new(),
+            recency: BTreeMap::new(),
+            next_seq: 0,
+            stats: MatcherStats::default(),
+            latency: LatencyHistogram::new(),
+            busy_nanos: 0,
+            interval_start: Instant::now(),
+            packets: 0,
+            bytes: 0,
+            evicted: 0,
+            events: Vec::new(),
+            rule_events: Vec::new(),
+        }
+    }
+
+    fn tracks_recency(&self) -> bool {
+        self.max_flows.is_some() || self.idle_after.is_some()
+    }
+
+    fn run(mut self) {
+        // Idle strategy: spin briefly (a packet is usually microseconds
+        // away at line rate), then yield, then park with a timeout — the
+        // dispatcher unparks on push-to-empty-ring, the timeout is the
+        // safety net.
+        let mut idle = 0u32;
+        loop {
+            match self.jobs.pop() {
+                Some(job) => {
+                    idle = 0;
+                    self.handle(job);
+                }
+                None => {
+                    if self.jobs.is_closed() {
+                        break;
+                    }
+                    idle += 1;
+                    if idle < 64 {
+                        std::hint::spin_loop();
+                    } else if idle < 128 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::park_timeout(Duration::from_micros(100));
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, job: PipeJob) {
+        let now = Instant::now();
+        match job {
+            PipeJob::Packet { packet, enqueued } => {
+                self.sweep_idle(now);
+                self.scan_packet(packet, now);
+                // Latency is measured dispatch→scanned: ring wait + scan.
+                self.latency.record(enqueued.elapsed().as_nanos() as u64);
+            }
+            PipeJob::CloseFlow(flow) => {
+                if let Some(slot) = self.flows.remove(&flow) {
+                    self.recency.remove(&slot.seq);
+                }
+            }
+            PipeJob::Swap { mode, epoch } => {
+                // Existing flows keep the scanners they were minted with
+                // (graceful drain); only new mints see the new mode.
+                self.mode = mode;
+                self.epoch = epoch;
+            }
+            PipeJob::Flush { token } => {
+                self.sweep_idle(now);
+                self.flush(token, now);
+            }
+        }
+        self.busy_nanos += now.elapsed().as_nanos() as u64;
+    }
+
+    /// Evicts flows idle past the timeout, scanning only the (push-ordered)
+    /// front of the recency index.
+    fn sweep_idle(&mut self, now: Instant) {
+        let Some(idle_after) = self.idle_after else {
+            return;
+        };
+        while let Some((&seq, &flow)) = self.recency.first_key_value() {
+            let stale = self.flows.get(&flow).is_none_or(|slot| {
+                now.checked_duration_since(slot.last_seen)
+                    .is_some_and(|idle| idle >= idle_after)
+            });
+            if !stale {
+                break;
+            }
+            self.recency.remove(&seq);
+            if self.flows.remove(&flow).is_some() {
+                self.evicted += 1;
+            }
+        }
+    }
+
+    fn scan_packet(&mut self, packet: Packet, now: Instant) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let flow = packet.flow;
+        let slot = if self.tracks_recency() {
+            if let Some(slot) = self.flows.get_mut(&flow) {
+                self.recency.remove(&slot.seq);
+                slot.seq = seq;
+                slot.last_seen = now;
+            } else {
+                // Same LRU semantics as the barrier scanner: at the cap, the
+                // least-recently-pushed flow is retired like a close.
+                if let Some(cap) = self.max_flows {
+                    if self.flows.len() >= cap {
+                        let (_, evicted) = self
+                            .recency
+                            .pop_first()
+                            .expect("cap >= 1, so map is non-empty");
+                        self.flows.remove(&evicted);
+                        self.evicted += 1;
+                    }
+                }
+                self.flows.insert(
+                    flow,
+                    FlowSlot {
+                        scanner: FlowScanner::mint(&self.mode, packet.tuple),
+                        seq,
+                        last_seen: now,
+                        epoch: self.epoch,
+                    },
+                );
+            }
+            self.recency.insert(seq, flow);
+            self.flows.get_mut(&flow).expect("present or just inserted")
+        } else {
+            self.flows.entry(flow).or_insert_with(|| FlowSlot {
+                scanner: FlowScanner::mint(&self.mode, packet.tuple),
+                seq,
+                last_seen: now,
+                epoch: self.epoch,
+            })
+        };
+        self.events.clear();
+        self.rule_events.clear();
+        match &mut slot.scanner {
+            FlowScanner::Plain(scanner) => scanner.push(&packet.payload, &mut self.events),
+            FlowScanner::Rules(scanner) => {
+                scanner.push(&packet.payload, &mut self.events, &mut self.rule_events)
+            }
+            FlowScanner::Grouped(scanner) => scanner.push(&packet.payload, &mut self.rule_events),
+        }
+        self.stats.bytes_scanned += packet.payload.len() as u64;
+        // Same accounting as the barrier scanner: grouped mode counts
+        // confirmed rules (group-local pattern ids would be ambiguous).
+        self.stats.matches += match &slot.scanner {
+            FlowScanner::Grouped(_) => self.rule_events.len() as u64,
+            _ => self.events.len() as u64,
+        };
+        self.packets += 1;
+        self.bytes += packet.payload.len() as u64;
+        for event in self.events.drain(..) {
+            push_out(&mut self.out, Out::Match(FlowMatch { flow, event }));
+        }
+        for m in self.rule_events.drain(..) {
+            push_out(
+                &mut self.out,
+                Out::Rule(FlowRuleMatch {
+                    flow,
+                    rule: m.rule,
+                    end: m.end,
+                }),
+            );
+        }
+    }
+
+    fn flush(&mut self, token: u64, now: Instant) {
+        let report = FlushReport {
+            worker: self.index,
+            token,
+            stats: std::mem::take(&mut self.stats),
+            latency: std::mem::replace(&mut self.latency, LatencyHistogram::new()),
+            busy_nanos: std::mem::take(&mut self.busy_nanos),
+            wall_nanos: now.duration_since(self.interval_start).as_nanos() as u64,
+            packets: std::mem::take(&mut self.packets),
+            bytes: std::mem::take(&mut self.bytes),
+            evicted: std::mem::take(&mut self.evicted),
+            resident_flows: self.flows.len(),
+            old_epoch_flows: self
+                .flows
+                .values()
+                .filter(|slot| slot.epoch != self.epoch)
+                .count(),
+        };
+        self.interval_start = now;
+        push_out(&mut self.out, Out::Flushed(Box::new(report)));
+    }
+}
+
+/// Blocking output push: the ring is bounded, so a worker outrunning the
+/// collector waits here (the dispatcher's backpressure loop drains the ring,
+/// so this cannot deadlock). A closed ring means the control side is gone —
+/// results are dropped, the worker drains out.
+fn push_out(out: &mut Producer<Out>, mut item: Out) {
+    loop {
+        match out.push(item) {
+            Ok(()) => return,
+            Err(PushError::Full(v)) => {
+                item = v;
+                std::thread::yield_now();
+            }
+            Err(PushError::Closed(_)) => return,
+        }
+    }
+}

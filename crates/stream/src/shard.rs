@@ -9,7 +9,7 @@
 //!   with the workspace's no-external-deps policy), each draining its own
 //!   queue;
 //! * **flow-affine sharding** — packets of the same flow id always land on
-//!   the same worker, so each flow's [`StreamScanner`] state (the
+//!   the same worker, so each flow's [`StreamScanner`](crate::StreamScanner) state (the
 //!   chunk-boundary carry) lives on exactly one thread and matches that
 //!   straddle packet boundaries within a flow are still found;
 //! * **one shared engine** — workers clone an [`Arc`] of the compiled
@@ -28,13 +28,12 @@
 //!   million-flow churn cannot grow memory without bound when callers do
 //!   not close flows themselves.
 
-use crate::group::{GroupedEngineSet, GroupedFlowScanner};
-use crate::rules::RuleStreamScanner;
-use crate::stream::{SharedMatcher, StreamScanner};
+use crate::group::GroupedEngineSet;
+use crate::stream::SharedMatcher;
+use crate::worker::{mix64, plain_mode, rule_parts, FlowScanner, WorkerMode};
 use mpm_patterns::ports::FlowTuple;
 use mpm_patterns::rule::{RuleId, RuleMatch, RuleSet};
 use mpm_patterns::{MatchEvent, MatcherStats, PatternSet};
-use mpm_verify::RuleConfirmer;
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
@@ -69,7 +68,23 @@ impl Packet {
         }
     }
 
+    /// Creates a packet carrying the flow's protocol/port tuple (see
+    /// [`Packet::tuple`]). Grouped scanning needs the tuple on the flow's
+    /// **first** packet — taking it as a constructor argument (rather than
+    /// the deprecated post-hoc [`Packet::with_tuple`] builder) keeps a
+    /// grouped scan from silently dropping it and degrading to
+    /// scan-every-group.
+    pub fn new_with_tuple(flow: u64, payload: impl Into<Vec<u8>>, tuple: FlowTuple) -> Self {
+        Packet {
+            flow,
+            payload: payload.into(),
+            tuple: Some(tuple),
+        }
+    }
+
     /// Attaches the flow's protocol/port tuple (see [`Packet::tuple`]).
+    #[deprecated(note = "use `Packet::new_with_tuple` so the tuple cannot be \
+                         forgotten after construction")]
     pub fn with_tuple(mut self, tuple: FlowTuple) -> Self {
         self.tuple = Some(tuple);
         self
@@ -136,45 +151,30 @@ struct WorkerReport {
     resident_flows: usize,
 }
 
-/// Shared, pre-built rule-mode parts handed to every worker: one confirmer
-/// and one anchor→rule mapping serve all flows on all threads.
-#[derive(Clone)]
-struct RuleParts {
-    confirmer: Arc<RuleConfirmer>,
-    rule_of: Arc<[u32]>,
-}
-
-/// What every worker thread scans with — the shared, read-only compile
-/// product its per-flow scanners are minted from.
-#[derive(Clone)]
-enum WorkerMode {
-    /// One engine for every flow: pattern-only, or (with `rules`) anchor +
-    /// rule confirmation over one monolithic rule set.
-    Plain {
-        engine: SharedMatcher,
-        lengths: Arc<[u32]>,
-        rules: Option<RuleParts>,
-    },
-    /// Port-grouped rule scanning: each flow is scanned only against the
-    /// groups its tuple selects ([`GroupedEngineSet`]).
-    Grouped(Arc<GroupedEngineSet>),
-}
-
 struct Worker {
     sender: Sender<Job>,
     handle: Option<JoinHandle<()>>,
 }
 
-/// Multi-core batch scanner with per-flow stream state.
+/// Multi-core **batch** scanner with per-flow stream state: every
+/// [`ShardedScanner::scan_batch`] is a dispatch followed by a full barrier.
+/// This is the right harness for differential testing and batch benchmarks
+/// (results arrive as one deterministic unit); a continuously-running
+/// deployment wants [`crate::PipelineScanner`]
+/// (`ScannerBuilder::build`), which replaces the per-batch barrier with
+/// bounded rings, backpressure and latency telemetry.
 ///
 /// ```
 /// use mpm_patterns::{NaiveMatcher, PatternSet};
-/// use mpm_stream::{Packet, ShardedScanner};
+/// use mpm_stream::{Packet, ScannerBuilder, ShardedScanner};
 /// use std::sync::Arc;
 ///
 /// let rules = PatternSet::from_literals(&["attack"]);
 /// let engine: mpm_stream::SharedMatcher = Arc::from(NaiveMatcher::new(&rules));
-/// let mut scanner = ShardedScanner::new(engine, &rules, 4);
+/// let mut scanner: ShardedScanner = ScannerBuilder::new()
+///     .engine(engine, &rules)
+///     .workers(4)
+///     .build_barrier();
 ///
 /// let batch = vec![
 ///     Packet::new(7, b"...att".to_vec()),  // flow 7, cut inside the pattern
@@ -194,17 +194,18 @@ impl ShardedScanner {
     /// Spawns `workers` worker threads sharing `engine`.
     ///
     /// `set` must be the pattern set the engine was compiled for (same
-    /// contract as [`StreamScanner::new`]).
+    /// contract as [`StreamScanner::new`](crate::StreamScanner::new)).
     ///
     /// # Panics
     /// Panics if `workers` is zero or the engine/set disagree about the
     /// longest pattern.
+    #[deprecated(note = "use `ScannerBuilder::new().engine(..).workers(n).build_barrier()`")]
     pub fn new(engine: SharedMatcher, set: &PatternSet, workers: usize) -> Self {
         Self::spawn(plain_mode(engine, set, None), workers, None)
     }
 
     /// Spawns `workers` worker threads in **rule mode**: each flow runs a
-    /// [`RuleStreamScanner`] over `set`'s anchor patterns, and
+    /// [`RuleStreamScanner`](crate::RuleStreamScanner) over `set`'s anchor patterns, and
     /// [`BatchResult::rule_matches`] reports confirmed rules per flow with
     /// absolute (flow-stream) offsets — a rule whose contents are split
     /// across packets, batches, or both is still confirmed, on the packet
@@ -216,6 +217,7 @@ impl ShardedScanner {
     /// # Panics
     /// Panics if `workers` is zero or the engine/anchor-set disagree about
     /// the longest pattern.
+    #[deprecated(note = "use `ScannerBuilder::new().rules(..).workers(n).build_barrier()`")]
     pub fn with_rules(engine: SharedMatcher, set: &RuleSet, workers: usize) -> Self {
         Self::spawn(
             plain_mode(engine, set.anchors(), Some(rule_parts(set))),
@@ -233,6 +235,9 @@ impl ShardedScanner {
     /// # Panics
     /// Panics if `workers` or `max_flows` is zero, or the engine/anchor-set
     /// disagree about the longest pattern.
+    #[deprecated(
+        note = "use `ScannerBuilder::new().rules(..).workers(n).max_flows(m).build_barrier()`"
+    )]
     pub fn with_rules_max_flows(
         engine: SharedMatcher,
         set: &RuleSet,
@@ -248,7 +253,7 @@ impl ShardedScanner {
     }
 
     /// Spawns `workers` worker threads in **grouped rule mode**: each flow
-    /// runs a [`GroupedFlowScanner`], scanning only the port groups its
+    /// runs a [`GroupedFlowScanner`](crate::GroupedFlowScanner), scanning only the port groups its
     /// [`Packet::tuple`] selects (every group when the tuple is `None`).
     /// [`BatchResult::rule_matches`] reports confirmed rules under their
     /// **global** ids — deduplicated across groups, exact-header-filtered —
@@ -262,6 +267,7 @@ impl ShardedScanner {
     ///
     /// # Panics
     /// Panics if `workers` is zero.
+    #[deprecated(note = "use `ScannerBuilder::new().groups(..).workers(n).build_barrier()`")]
     pub fn with_groups(engines: Arc<GroupedEngineSet>, workers: usize) -> Self {
         Self::spawn(WorkerMode::Grouped(engines), workers, None)
     }
@@ -272,6 +278,9 @@ impl ShardedScanner {
     ///
     /// # Panics
     /// Panics if `workers` or `max_flows` is zero.
+    #[deprecated(
+        note = "use `ScannerBuilder::new().groups(..).workers(n).max_flows(m).build_barrier()`"
+    )]
     pub fn with_groups_max_flows(
         engines: Arc<GroupedEngineSet>,
         workers: usize,
@@ -297,6 +306,9 @@ impl ShardedScanner {
     /// # Panics
     /// Panics if `workers` or `max_flows` is zero, or the engine/set
     /// disagree about the longest pattern.
+    #[deprecated(
+        note = "use `ScannerBuilder::new().engine(..).workers(n).max_flows(m).build_barrier()`"
+    )]
     pub fn with_max_flows(
         engine: SharedMatcher,
         set: &PatternSet,
@@ -307,7 +319,7 @@ impl ShardedScanner {
         Self::spawn(plain_mode(engine, set, None), workers, Some(max_flows))
     }
 
-    fn spawn(mode: WorkerMode, workers: usize, max_flows: Option<usize>) -> Self {
+    pub(crate) fn spawn(mode: WorkerMode, workers: usize, max_flows: Option<usize>) -> Self {
         assert!(workers > 0, "need at least one worker");
         // The cap is split evenly; div_ceil so the total never rounds below
         // the requested bound for small caps.
@@ -423,82 +435,6 @@ impl Drop for ShardedScanner {
     }
 }
 
-/// Builds a plain/rule [`WorkerMode`], validating the engine/set pairing
-/// once, on the caller's thread, so a mismatch panics here instead of
-/// inside a worker.
-fn plain_mode(engine: SharedMatcher, set: &PatternSet, rules: Option<RuleParts>) -> WorkerMode {
-    let lengths: Arc<[u32]> = set.patterns().iter().map(|p| p.len() as u32).collect();
-    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
-    assert_eq!(
-        engine.max_pattern_len(),
-        max_len,
-        "engine was compiled for a different pattern set"
-    );
-    WorkerMode::Plain {
-        engine,
-        lengths,
-        rules,
-    }
-}
-
-/// Builds the shared rule-mode parts once, on the caller's thread.
-fn rule_parts(set: &RuleSet) -> RuleParts {
-    RuleParts {
-        confirmer: Arc::new(RuleConfirmer::build(set)),
-        rule_of: set
-            .anchors()
-            .rule_bindings()
-            .expect("RuleSet::anchors is always rule-bound")
-            .into(),
-    }
-}
-
-/// SplitMix64 finalizer: decorrelates adjacent flow ids (sequential ids are
-/// common in synthetic batches and would otherwise stripe unevenly).
-fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
-
-/// One flow's scanning state: pattern-only, anchors + rule confirmation, or
-/// port-grouped rule confirmation.
-enum FlowScanner {
-    Plain(StreamScanner),
-    Rules(RuleStreamScanner),
-    Grouped(GroupedFlowScanner),
-}
-
-impl FlowScanner {
-    /// Mints a flow's scanner from the worker's shared mode. `tuple` is the
-    /// flow's first packet's tuple; only grouped mode consults it (this is
-    /// where per-flow group selection happens).
-    fn mint(mode: &WorkerMode, tuple: Option<FlowTuple>) -> Self {
-        match mode {
-            WorkerMode::Plain {
-                engine,
-                lengths,
-                rules,
-            } => {
-                let inner = StreamScanner::with_lengths(engine.clone(), lengths.clone());
-                match rules {
-                    Some(parts) => FlowScanner::Rules(RuleStreamScanner::with_parts(
-                        inner,
-                        parts.confirmer.clone(),
-                        parts.rule_of.clone(),
-                        None,
-                    )),
-                    None => FlowScanner::Plain(inner),
-                }
-            }
-            WorkerMode::Grouped(engines) => {
-                FlowScanner::Grouped(GroupedFlowScanner::new(engines.clone(), tuple))
-            }
-        }
-    }
-}
-
 /// One flow's stream state plus its recency stamp (the sequence number of
 /// the flow's latest packet on this worker).
 struct FlowSlot {
@@ -604,16 +540,30 @@ fn worker_loop(receiver: Receiver<Job>, mode: WorkerMode, max_flows: Option<usiz
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::ScannerBuilder;
     use mpm_patterns::NaiveMatcher;
 
     fn engine(set: &PatternSet) -> SharedMatcher {
         Arc::from(NaiveMatcher::new(set))
     }
 
+    fn barrier(set: &PatternSet, workers: usize) -> ShardedScanner {
+        ScannerBuilder::new()
+            .engine(engine(set), set)
+            .workers(workers)
+            .build_barrier()
+    }
+
+    fn rules_barrier(set: &RuleSet, workers: usize) -> ScannerBuilder {
+        ScannerBuilder::new()
+            .rules(Arc::new(NaiveMatcher::new(set.anchors())), set)
+            .workers(workers)
+    }
+
     #[test]
     fn cross_packet_match_within_a_flow() {
         let set = PatternSet::from_literals(&["needle"]);
-        let mut scanner = ShardedScanner::new(engine(&set), &set, 3);
+        let mut scanner = barrier(&set, 3);
         let result = scanner.scan_batch(vec![
             Packet::new(1, b"xxnee".to_vec()),
             Packet::new(2, b"dle".to_vec()), // different flow: no match
@@ -629,7 +579,7 @@ mod tests {
     #[test]
     fn state_persists_across_batches() {
         let set = PatternSet::from_literals(&["split"]);
-        let mut scanner = ShardedScanner::new(engine(&set), &set, 2);
+        let mut scanner = barrier(&set, 2);
         let first = scanner.scan_batch(vec![Packet::new(5, b"..spl".to_vec())]);
         assert!(first.matches.is_empty());
         let second = scanner.scan_batch(vec![Packet::new(5, b"it..".to_vec())]);
@@ -640,7 +590,7 @@ mod tests {
     #[test]
     fn flow_affinity_is_stable() {
         let set = PatternSet::from_literals(&["x"]);
-        let scanner = ShardedScanner::new(engine(&set), &set, 4);
+        let scanner = barrier(&set, 4);
         for flow in 0..100 {
             assert_eq!(scanner.worker_of(flow), scanner.worker_of(flow));
         }
@@ -657,9 +607,9 @@ mod tests {
             Packet::new(1, b"zab".to_vec()),
             Packet::new(2, b"ba".to_vec()),
         ];
-        let mut a = ShardedScanner::new(engine(&set), &set, 2);
+        let mut a = barrier(&set, 2);
         let batch = a.scan_batch(packets.clone());
-        let mut b = ShardedScanner::new(engine(&set), &set, 2);
+        let mut b = barrier(&set, 2);
         for packet in packets {
             b.dispatch(packet);
         }
@@ -671,7 +621,7 @@ mod tests {
     #[test]
     fn close_flow_drops_stream_state() {
         let set = PatternSet::from_literals(&["split"]);
-        let mut scanner = ShardedScanner::new(engine(&set), &set, 2);
+        let mut scanner = barrier(&set, 2);
         assert!(scanner
             .scan_batch(vec![Packet::new(9, b"..spl".to_vec())])
             .matches
@@ -689,6 +639,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "at least one worker")]
+    #[allow(deprecated)] // the shim must keep its panic contract
     fn zero_workers_rejected() {
         let set = PatternSet::from_literals(&["x"]);
         let _ = ShardedScanner::new(engine(&set), &set, 0);
@@ -696,6 +647,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "max_flows must be at least 1")]
+    #[allow(deprecated)] // the shim must keep its panic contract
     fn zero_max_flows_rejected() {
         let set = PatternSet::from_literals(&["x"]);
         let _ = ShardedScanner::with_max_flows(engine(&set), &set, 2, 0);
@@ -706,7 +658,11 @@ mod tests {
         let set = PatternSet::from_literals(&["needle"]);
         let cap = 64;
         let workers = 3;
-        let mut scanner = ShardedScanner::with_max_flows(engine(&set), &set, workers, cap);
+        let mut scanner = ScannerBuilder::new()
+            .engine(engine(&set), &set)
+            .workers(workers)
+            .max_flows(cap)
+            .build_barrier();
         // A million distinct flows, each carrying one complete occurrence:
         // every match must be found (the pattern never straddles packets of
         // different flows) and the resident state must stay at the cap, not
@@ -735,7 +691,11 @@ mod tests {
     fn eviction_is_least_recently_pushed_and_acts_like_close_flow() {
         let set = PatternSet::from_literals(&["split"]);
         // One worker, two resident flows.
-        let mut scanner = ShardedScanner::with_max_flows(engine(&set), &set, 1, 2);
+        let mut scanner = ScannerBuilder::new()
+            .engine(engine(&set), &set)
+            .workers(1)
+            .max_flows(2)
+            .build_barrier();
         // Flow 1 and 2 each buffer a half-pattern; pushing flow 1 again
         // makes flow 2 the least-recently-pushed.
         scanner.scan_batch(vec![
@@ -772,8 +732,7 @@ mod tests {
     #[test]
     fn rule_mode_confirms_across_packets_within_a_flow() {
         let set = rules_for_shard();
-        let mut scanner =
-            ShardedScanner::with_rules(Arc::new(NaiveMatcher::new(set.anchors())), &set, 3);
+        let mut scanner = rules_barrier(&set, 3).build_barrier();
         let result = scanner.scan_batch(vec![
             Packet::new(1, b"..atta".to_vec()),
             Packet::new(2, b"ck body".to_vec()), // other flow: no anchor
@@ -796,8 +755,7 @@ mod tests {
     #[test]
     fn rule_mode_confirms_across_batches_and_reports_once() {
         let set = rules_for_shard();
-        let mut scanner =
-            ShardedScanner::with_rules(Arc::new(NaiveMatcher::new(set.anchors())), &set, 2);
+        let mut scanner = rules_barrier(&set, 2).build_barrier();
         let first = scanner.scan_batch(vec![Packet::new(7, b"attack..".to_vec())]);
         assert!(
             first.rule_matches.is_empty(),
@@ -826,11 +784,7 @@ mod tests {
             .map(|f| Packet::new(f, format!("attack {f} body").into_bytes()))
             .collect();
         let run = |workers: usize| {
-            let mut scanner = ShardedScanner::with_rules(
-                Arc::new(NaiveMatcher::new(set.anchors())),
-                &set,
-                workers,
-            );
+            let mut scanner = rules_barrier(&set, workers).build_barrier();
             scanner.scan_batch(packets.clone())
         };
         let one = run(1);
@@ -844,12 +798,7 @@ mod tests {
     fn rule_mode_eviction_retires_buffered_payload() {
         let set = rules_for_shard();
         // One worker, one resident flow: flow 2's arrival evicts flow 1.
-        let mut scanner = ShardedScanner::with_rules_max_flows(
-            Arc::new(NaiveMatcher::new(set.anchors())),
-            &set,
-            1,
-            1,
-        );
+        let mut scanner = rules_barrier(&set, 1).max_flows(1).build_barrier();
         scanner.scan_batch(vec![Packet::new(1, b"attack..".to_vec())]);
         let result = scanner.scan_batch(vec![
             Packet::new(2, b"zz".to_vec()),
@@ -875,16 +824,19 @@ alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
     #[test]
     fn grouped_mode_selects_groups_per_flow_and_confirms_across_packets() {
         use mpm_patterns::ports::{FlowTuple, Proto};
-        let mut scanner = ShardedScanner::with_groups(grouped_engines(), 3);
+        let mut scanner = ScannerBuilder::new()
+            .groups(grouped_engines())
+            .workers(3)
+            .build_barrier();
         let web = FlowTuple::new(Proto::Tcp, 40000, 80);
         let dns = FlowTuple::new(Proto::Udp, 1000, 53);
         let result = scanner.scan_batch(vec![
             // Flow 1 (HTTP): web rule cut across packets + the ip-any rule.
-            Packet::new(1, b"..GET /ad".to_vec()).with_tuple(web),
-            Packet::new(2, b"querydata evil-bytes".to_vec()).with_tuple(dns),
+            Packet::new_with_tuple(1, b"..GET /ad".to_vec(), web),
+            Packet::new_with_tuple(2, b"querydata evil-bytes".to_vec(), dns),
             Packet::new(1, b"min evil-bytes".to_vec()),
             // Flow 3 (HTTP): dns content must NOT fire on an HTTP flow.
-            Packet::new(3, b"querydata".to_vec()).with_tuple(web),
+            Packet::new_with_tuple(3, b"querydata".to_vec(), web),
         ]);
         assert!(result.matches.is_empty(), "grouped mode reports rules only");
         assert_eq!(
@@ -925,11 +877,14 @@ alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
                 } else {
                     FlowTuple::new(Proto::Udp, 1000 + f as u16, 53)
                 };
-                Packet::new(f, b"GET /admin querydata evil-bytes".to_vec()).with_tuple(tuple)
+                Packet::new_with_tuple(f, b"GET /admin querydata evil-bytes".to_vec(), tuple)
             })
             .collect();
         let run = |workers: usize| {
-            let mut scanner = ShardedScanner::with_groups(grouped_engines(), workers);
+            let mut scanner = ScannerBuilder::new()
+                .groups(grouped_engines())
+                .workers(workers)
+                .build_barrier();
             scanner.scan_batch(packets.clone())
         };
         let one = run(1);
@@ -943,11 +898,15 @@ alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
     fn grouped_mode_eviction_retires_flow_state() {
         use mpm_patterns::ports::{FlowTuple, Proto};
         let web = FlowTuple::new(Proto::Tcp, 9, 80);
-        let mut scanner = ShardedScanner::with_groups_max_flows(grouped_engines(), 1, 1);
-        scanner.scan_batch(vec![Packet::new(1, b"GET /ad".to_vec()).with_tuple(web)]);
+        let mut scanner = ScannerBuilder::new()
+            .groups(grouped_engines())
+            .workers(1)
+            .max_flows(1)
+            .build_barrier();
+        scanner.scan_batch(vec![Packet::new_with_tuple(1, b"GET /ad".to_vec(), web)]);
         let result = scanner.scan_batch(vec![
-            Packet::new(2, b"zz".to_vec()).with_tuple(web), // evicts flow 1
-            Packet::new(1, b"min".to_vec()).with_tuple(web), // fresh stream
+            Packet::new_with_tuple(2, b"zz".to_vec(), web), // evicts flow 1
+            Packet::new_with_tuple(1, b"min".to_vec(), web), // fresh stream
         ]);
         assert!(result.rule_matches.is_empty());
     }
@@ -955,7 +914,7 @@ alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
     #[test]
     fn resident_flows_reported_without_a_cap_too() {
         let set = PatternSet::from_literals(&["x"]);
-        let mut scanner = ShardedScanner::new(engine(&set), &set, 2);
+        let mut scanner = barrier(&set, 2);
         let result = scanner.scan_batch((0..10u64).map(|f| Packet::new(f, b"x".to_vec())));
         assert_eq!(result.resident_flows, 10);
         scanner.close_flow(3);

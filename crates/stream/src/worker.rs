@@ -1,0 +1,124 @@
+//! Shared worker machinery: the per-flow state machine and the immutable
+//! compile product both multi-core harnesses scan with.
+//!
+//! [`WorkerMode`] is the read-only, `Arc`-shared bundle a worker thread is
+//! handed at spawn (and, in the pipeline, at hot-swap): the engine(s), the
+//! anchor lengths, and the rule-confirmation parts. [`FlowScanner`] is the
+//! per-flow state machine minted from it — plain streaming, anchors + rule
+//! confirmation, or port-grouped confirmation. The batch-oriented
+//! [`crate::ShardedScanner`] and the continuously-running
+//! [`crate::PipelineScanner`] share both, so a mode built once (including
+//! one built off-thread for a hot-swap) drives either harness identically.
+
+use crate::group::{GroupedEngineSet, GroupedFlowScanner};
+use crate::rules::RuleStreamScanner;
+use crate::stream::{SharedMatcher, StreamScanner};
+use mpm_patterns::ports::FlowTuple;
+use mpm_patterns::rule::RuleSet;
+use mpm_patterns::PatternSet;
+use mpm_verify::RuleConfirmer;
+use std::sync::Arc;
+
+/// Shared, pre-built rule-mode parts handed to every worker: one confirmer
+/// and one anchor→rule mapping serve all flows on all threads.
+#[derive(Clone)]
+pub(crate) struct RuleParts {
+    pub(crate) confirmer: Arc<RuleConfirmer>,
+    pub(crate) rule_of: Arc<[u32]>,
+}
+
+/// What every worker thread scans with — the shared, read-only compile
+/// product its per-flow scanners are minted from.
+#[derive(Clone)]
+pub(crate) enum WorkerMode {
+    /// One engine for every flow: pattern-only, or (with `rules`) anchor +
+    /// rule confirmation over one monolithic rule set.
+    Plain {
+        engine: SharedMatcher,
+        lengths: Arc<[u32]>,
+        rules: Option<RuleParts>,
+    },
+    /// Port-grouped rule scanning: each flow is scanned only against the
+    /// groups its tuple selects ([`GroupedEngineSet`]).
+    Grouped(Arc<GroupedEngineSet>),
+}
+
+/// Builds a plain/rule [`WorkerMode`], validating the engine/set pairing
+/// once, on the caller's thread, so a mismatch panics here instead of
+/// inside a worker.
+pub(crate) fn plain_mode(
+    engine: SharedMatcher,
+    set: &PatternSet,
+    rules: Option<RuleParts>,
+) -> WorkerMode {
+    let lengths: Arc<[u32]> = set.patterns().iter().map(|p| p.len() as u32).collect();
+    let max_len = lengths.iter().copied().max().unwrap_or(0) as usize;
+    assert_eq!(
+        engine.max_pattern_len(),
+        max_len,
+        "engine was compiled for a different pattern set"
+    );
+    WorkerMode::Plain {
+        engine,
+        lengths,
+        rules,
+    }
+}
+
+/// Builds the shared rule-mode parts once, on the caller's thread.
+pub(crate) fn rule_parts(set: &RuleSet) -> RuleParts {
+    RuleParts {
+        confirmer: Arc::new(RuleConfirmer::build(set)),
+        rule_of: set
+            .anchors()
+            .rule_bindings()
+            .expect("RuleSet::anchors is always rule-bound")
+            .into(),
+    }
+}
+
+/// SplitMix64 finalizer: decorrelates adjacent flow ids (sequential ids are
+/// common in synthetic batches and would otherwise stripe unevenly).
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One flow's scanning state: pattern-only, anchors + rule confirmation, or
+/// port-grouped rule confirmation.
+pub(crate) enum FlowScanner {
+    Plain(StreamScanner),
+    Rules(RuleStreamScanner),
+    Grouped(GroupedFlowScanner),
+}
+
+impl FlowScanner {
+    /// Mints a flow's scanner from the worker's shared mode. `tuple` is the
+    /// flow's first packet's tuple; only grouped mode consults it (this is
+    /// where per-flow group selection happens).
+    pub(crate) fn mint(mode: &WorkerMode, tuple: Option<FlowTuple>) -> Self {
+        match mode {
+            WorkerMode::Plain {
+                engine,
+                lengths,
+                rules,
+            } => {
+                let inner = StreamScanner::with_lengths(engine.clone(), lengths.clone());
+                match rules {
+                    Some(parts) => FlowScanner::Rules(RuleStreamScanner::with_parts(
+                        inner,
+                        parts.confirmer.clone(),
+                        parts.rule_of.clone(),
+                        None,
+                    )),
+                    None => FlowScanner::Plain(inner),
+                }
+            }
+            WorkerMode::Grouped(engines) => {
+                FlowScanner::Grouped(GroupedFlowScanner::new(engines.clone(), tuple))
+            }
+        }
+    }
+}

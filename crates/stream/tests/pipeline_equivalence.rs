@@ -1,0 +1,332 @@
+//! The pipeline's core contract: for the same packets, the
+//! continuously-running `PipelineScanner` reports **byte-identical** sorted
+//! match sets to the batch-and-join `ShardedScanner`, in every mode
+//! (plain / rules / grouped), at every worker count, under backpressure
+//! (rings far smaller than the batch) and under flow eviction — while also
+//! producing the latency and utilization telemetry the barrier scanner
+//! cannot.
+
+use mpm_patterns::group::GroupedRuleSet;
+use mpm_patterns::ports::{FlowTuple, Proto};
+use mpm_patterns::rule::{Rule, RuleContent, RuleSet};
+use mpm_patterns::snort::{parse_grouped, ParseOptions};
+use mpm_patterns::{NaiveMatcher, PatternSet, ProtocolGroup};
+use mpm_stream::{EvictionPolicy, GroupedEngineSet, Packet, ScannerBuilder, SharedMatcher};
+use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
+use mpm_vpatch::build_auto;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn worker_counts(default: &[usize]) -> Vec<usize> {
+    match std::env::var("MPM_WORKERS") {
+        Ok(v) => vec![v.parse().expect("MPM_WORKERS must be a positive integer")],
+        Err(_) => default.to_vec(),
+    }
+}
+
+/// A deterministic trace cut into packets striped over `flows` flows, with
+/// tuples attached so grouped mode selects per-flow groups.
+fn packet_batch(rules: &PatternSet, bytes: usize, flows: u64) -> Vec<Packet> {
+    let trace = TraceGenerator::generate(&TraceSpec::new(TraceKind::IscxDay2, bytes), Some(rules));
+    let mut packets = Vec::new();
+    let (mut pos, mut n) = (0, 0u64);
+    let sizes = [301, 17, 997, 64, 1460, 5, 233];
+    while pos < trace.len() {
+        let take = sizes[(n as usize) % sizes.len()].min(trace.len() - pos);
+        let flow = n % flows;
+        let tuple = match flow % 3 {
+            0 => Some(FlowTuple::new(Proto::Tcp, 40000 + flow as u16, 80)),
+            1 => Some(FlowTuple::new(Proto::Udp, 1000 + flow as u16, 53)),
+            _ => None,
+        };
+        packets.push(match tuple {
+            Some(t) => Packet::new_with_tuple(flow, trace[pos..pos + take].to_vec(), t),
+            None => Packet::new(flow, trace[pos..pos + take].to_vec()),
+        });
+        pos += take;
+        n += 1;
+    }
+    packets
+}
+
+#[test]
+fn plain_mode_pipeline_equals_barrier_at_every_worker_count() {
+    let rules = PatternSet::from_literals(&["GET /", "passwd", "needle", "ab", "aaaa"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    let packets = packet_batch(&rules, 128 * 1024, 11);
+    for workers in worker_counts(&[1, 2, 4]) {
+        let mut barrier = ScannerBuilder::new()
+            .engine(engine.clone(), &rules)
+            .workers(workers)
+            .build_barrier();
+        let expected = barrier.scan_batch(packets.clone());
+        let mut pipeline = ScannerBuilder::new()
+            .engine(engine.clone(), &rules)
+            .workers(workers)
+            .build();
+        let got = pipeline.scan_batch(packets.clone());
+        assert_eq!(got.matches, expected.matches, "{workers} workers");
+        assert_eq!(got.stats.bytes_scanned, expected.stats.bytes_scanned);
+        assert_eq!(got.stats.matches, expected.stats.matches);
+        assert_eq!(got.resident_flows, expected.resident_flows);
+        // Telemetry sanity: one latency sample per packet, every packet
+        // accounted to exactly one worker, occupancy within the ring.
+        assert_eq!(got.latency.count, packets.len() as u64);
+        assert!(got.latency.p50_ns <= got.latency.p99_ns);
+        assert!(got.latency.p999_ns <= got.latency.max_ns);
+        assert_eq!(got.histogram.count(), got.latency.count);
+        assert_eq!(got.workers.len(), workers);
+        let packets_by_worker: u64 = got.workers.iter().map(|w| w.packets).sum();
+        assert_eq!(packets_by_worker, packets.len() as u64);
+        for w in &got.workers {
+            let u = w.utilization();
+            assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+            assert!(w.max_ring_occupancy <= w.ring_capacity);
+            assert_eq!(w.ring_capacity, pipeline.ring_capacity());
+        }
+    }
+}
+
+fn rules_fixture() -> RuleSet {
+    RuleSet::new(vec![
+        Rule::new(
+            ProtocolGroup::Any,
+            vec![
+                RuleContent::new(*b"attack"),
+                RuleContent::new(*b"body").with_distance(0),
+            ],
+        ),
+        Rule::new(ProtocolGroup::Any, vec![RuleContent::new(*b"passwd")]),
+    ])
+}
+
+#[test]
+fn rule_mode_pipeline_equals_barrier() {
+    let set = rules_fixture();
+    let engine: SharedMatcher = Arc::new(NaiveMatcher::new(set.anchors()));
+    let packets: Vec<Packet> = (0..40u64)
+        .flat_map(|f| {
+            vec![
+                Packet::new(f, format!("..atta{f}").into_bytes()),
+                Packet::new(f, b"attack passwd ".to_vec()),
+                Packet::new(f, b"body..".to_vec()),
+            ]
+        })
+        .collect();
+    for workers in worker_counts(&[1, 3]) {
+        let mut barrier = ScannerBuilder::new()
+            .rules(engine.clone(), &set)
+            .workers(workers)
+            .build_barrier();
+        let expected = barrier.scan_batch(packets.clone());
+        let mut pipeline = ScannerBuilder::new()
+            .rules(engine.clone(), &set)
+            .workers(workers)
+            .build();
+        let got = pipeline.scan_batch(packets.clone());
+        assert_eq!(got.matches, expected.matches, "{workers} workers");
+        assert_eq!(got.rule_matches, expected.rule_matches);
+        assert!(!got.rule_matches.is_empty());
+    }
+}
+
+fn grouped_engines() -> Arc<GroupedEngineSet> {
+    let text = r#"
+alert tcp any any -> any 80 (msg:"web"; content:"GET /admin"; sid:1;)
+alert udp any any -> any 53 (msg:"dns"; content:"querydata"; sid:2;)
+alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
+"#;
+    let grouped = GroupedRuleSet::new(parse_grouped(text, ParseOptions::default()).unwrap());
+    Arc::new(GroupedEngineSet::build_with(grouped, |set, _| {
+        Arc::from(NaiveMatcher::new(set))
+    }))
+}
+
+#[test]
+fn grouped_mode_pipeline_equals_barrier() {
+    let engines = grouped_engines();
+    let packets: Vec<Packet> = (0..30u64)
+        .flat_map(|f| {
+            let tuple = if f % 2 == 0 {
+                FlowTuple::new(Proto::Tcp, 40000 + f as u16, 80)
+            } else {
+                FlowTuple::new(Proto::Udp, 1000 + f as u16, 53)
+            };
+            vec![
+                Packet::new_with_tuple(f, b"GET /ad".to_vec(), tuple),
+                Packet::new(f, b"min querydata evil-bytes".to_vec()),
+            ]
+        })
+        .collect();
+    for workers in worker_counts(&[1, 4]) {
+        let mut barrier = ScannerBuilder::new()
+            .groups(engines.clone())
+            .workers(workers)
+            .build_barrier();
+        let expected = barrier.scan_batch(packets.clone());
+        let mut pipeline = ScannerBuilder::new()
+            .groups(engines.clone())
+            .workers(workers)
+            .build();
+        let got = pipeline.scan_batch(packets.clone());
+        assert!(got.matches.is_empty(), "grouped mode reports rules only");
+        assert_eq!(got.rule_matches, expected.rule_matches, "{workers} workers");
+        assert_eq!(got.stats.matches, expected.stats.matches);
+    }
+}
+
+#[test]
+fn backpressure_on_tiny_rings_loses_nothing() {
+    // Rings of 2 slots against a 2000-packet burst: dispatch must engage
+    // backpressure (blocking + draining, never dropping or deadlocking) and
+    // the result must still be byte-identical to the barrier scan.
+    let rules = PatternSet::from_literals(&["needle", "ab"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    let packets: Vec<Packet> = (0..2000u64)
+        .map(|i| Packet::new(i % 17, b"..needle..ab..".to_vec()))
+        .collect();
+    let mut barrier = ScannerBuilder::new()
+        .engine(engine.clone(), &rules)
+        .workers(2)
+        .build_barrier();
+    let expected = barrier.scan_batch(packets.clone());
+    let mut pipeline = ScannerBuilder::new()
+        .engine(engine.clone(), &rules)
+        .workers(2)
+        .ring_capacity(2)
+        .build();
+    let got = pipeline.scan_batch(packets.clone());
+    assert_eq!(got.matches, expected.matches);
+    assert_eq!(got.stats.bytes_scanned, expected.stats.bytes_scanned);
+    assert!(
+        got.backpressure_waits > 0,
+        "2-slot rings under a 2000-packet burst must push back"
+    );
+}
+
+#[test]
+fn max_flows_lru_eviction_matches_barrier_semantics() {
+    let rules = PatternSet::from_literals(&["split"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    // One worker, two resident flows — the barrier scanner's LRU scenario,
+    // replayed on the pipeline (worker(1) keeps dispatch order == scan
+    // order, so the eviction sequence is deterministic).
+    let build = || {
+        ScannerBuilder::new()
+            .engine(engine.clone(), &rules)
+            .workers(1)
+            .max_flows(2)
+    };
+    let batch1 = || {
+        vec![
+            Packet::new(1, b"..sp".to_vec()),
+            Packet::new(2, b"..sp".to_vec()),
+            Packet::new(1, b"spl".to_vec()),
+        ]
+    };
+    let batch2 = || {
+        vec![
+            Packet::new(3, b"zzz".to_vec()),
+            Packet::new(1, b"it!".to_vec()),
+            Packet::new(2, b"lit".to_vec()),
+        ]
+    };
+    let mut pipeline = build().build();
+    pipeline.scan_batch(batch1());
+    let got = pipeline.scan_batch(batch2());
+    let mut barrier = build().build_barrier();
+    barrier.scan_batch(batch1());
+    let expected = barrier.scan_batch(batch2());
+    assert_eq!(got.matches, expected.matches);
+    assert_eq!(got.matches.len(), 1, "only the retained flow straddles");
+    assert_eq!(got.matches[0].flow, 1);
+    assert!(got.evicted_flows >= 1, "flow 2 was evicted at the cap");
+    assert!(got.resident_flows <= 2);
+}
+
+#[test]
+fn idle_flows_are_swept_and_fresh_flows_are_kept() {
+    let rules = PatternSet::from_literals(&["needle"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    // Evicting side: a 1 ms timeout and a 60 ms quiet period — the next
+    // drain must have swept the idle flows.
+    let mut fast = ScannerBuilder::new()
+        .engine(engine.clone(), &rules)
+        .workers(2)
+        .eviction(EvictionPolicy::idle_after(Duration::from_millis(1)))
+        .build();
+    for f in 0..10u64 {
+        fast.dispatch(Packet::new(f, b"..needle..".to_vec()));
+    }
+    assert_eq!(fast.drain().resident_flows, 10);
+    std::thread::sleep(Duration::from_millis(60));
+    // A packet on one flow triggers the sweep on its worker; drain flushes
+    // (and sweeps) the rest.
+    fast.dispatch(Packet::new(0, b"x".to_vec()));
+    let after = fast.drain();
+    assert_eq!(
+        after.resident_flows, 1,
+        "only the just-touched flow survives the idle sweep"
+    );
+    assert!(after.evicted_flows >= 9);
+    // Non-evicting side: a generous timeout keeps everything resident.
+    let mut slow = ScannerBuilder::new()
+        .engine(engine.clone(), &rules)
+        .workers(2)
+        .eviction(EvictionPolicy::max_flows(100).and_idle_after(Duration::from_secs(600)))
+        .build();
+    for f in 0..10u64 {
+        slow.dispatch(Packet::new(f, b"..needle..".to_vec()));
+    }
+    let kept = slow.drain();
+    assert_eq!(kept.resident_flows, 10);
+    assert_eq!(kept.evicted_flows, 0);
+}
+
+#[test]
+fn poll_streams_results_without_a_barrier_and_drain_does_not_repeat_them() {
+    let rules = PatternSet::from_literals(&["needle"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    let mut pipeline = ScannerBuilder::new()
+        .engine(engine.clone(), &rules)
+        .workers(2)
+        .build();
+    for f in 0..50u64 {
+        pipeline.dispatch(Packet::new(f, b"..needle..".to_vec()));
+    }
+    // Poll until every match has streamed out — no drain involved.
+    let mut streamed = Vec::new();
+    while streamed.len() < 50 {
+        let (matches, _) = pipeline.poll();
+        streamed.extend(matches);
+        std::thread::yield_now();
+    }
+    assert_eq!(streamed.len(), 50);
+    // Results handed out by poll() are not repeated by drain(), but the
+    // interval's stats still cover all 50 packets.
+    let stats = pipeline.drain();
+    assert!(stats.matches.is_empty());
+    assert_eq!(stats.stats.matches, 50);
+    assert_eq!(stats.latency.count, 50);
+}
+
+#[test]
+fn close_flow_retires_stream_state_in_flight() {
+    let rules = PatternSet::from_literals(&["split"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    let mut pipeline = ScannerBuilder::new()
+        .engine(engine, &rules)
+        .workers(3)
+        .build();
+    pipeline.dispatch(Packet::new(9, b"..spl".to_vec()));
+    pipeline.close_flow(9);
+    pipeline.dispatch(Packet::new(9, b"it.split".to_vec()));
+    let stats = pipeline.drain();
+    assert_eq!(
+        stats.matches.len(),
+        1,
+        "carry retired, fresh occurrence found"
+    );
+    assert_eq!(stats.matches[0].event.start, 3);
+    assert_eq!(stats.resident_flows, 1);
+}

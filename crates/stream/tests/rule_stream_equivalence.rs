@@ -9,7 +9,7 @@
 use mpm_patterns::rule::{naive_rule_find_all, Rule, RuleContent, RuleId, RuleSet};
 use mpm_patterns::{NaiveMatcher, ProtocolGroup};
 use mpm_simd::{Avx2Backend, Avx512Backend, BackendKind, ScalarBackend};
-use mpm_stream::{Packet, RuleStreamScanner, ShardedScanner, SharedMatcher};
+use mpm_stream::{Packet, RuleStreamScanner, ScannerBuilder, SharedMatcher};
 use mpm_vpatch::{SPatch, VPatch};
 use std::sync::Arc;
 
@@ -159,7 +159,10 @@ fn sharded_rule_confirmation_survives_every_packet_seam() {
     let engine: SharedMatcher = Arc::new(NaiveMatcher::new(set.anchors()));
     for cut in 0..=payload.len() {
         for workers in [1usize, 4] {
-            let mut scanner = ShardedScanner::with_rules(engine.clone(), &set, workers);
+            let mut scanner = ScannerBuilder::new()
+                .rules(engine.clone(), &set)
+                .workers(workers)
+                .build_barrier();
             let mut confirmed = Vec::new();
             let first = scanner.scan_batch(vec![Packet::new(5, payload[..cut].to_vec())]);
             confirmed.extend(first.rule_matches);

@@ -5,7 +5,7 @@
 
 use mpm_patterns::naive::naive_find_all;
 use mpm_patterns::PatternSet;
-use mpm_stream::{FlowMatch, Packet, ShardedScanner, SharedMatcher};
+use mpm_stream::{FlowMatch, Packet, ScannerBuilder, SharedMatcher};
 use mpm_traffic::{TraceGenerator, TraceKind, TraceSpec};
 use mpm_vpatch::build_auto;
 use std::collections::BTreeMap;
@@ -28,6 +28,15 @@ fn packet_batch(rules: &PatternSet, bytes: usize, flows: u64) -> Vec<Packet> {
         n += 1;
     }
     packets
+}
+
+/// Worker counts under test: the full ladder by default, or exactly the
+/// count the CI matrix pins via `MPM_WORKERS`.
+fn worker_counts(default: &[usize]) -> Vec<usize> {
+    match std::env::var("MPM_WORKERS") {
+        Ok(v) => vec![v.parse().expect("MPM_WORKERS must be a positive integer")],
+        Err(_) => default.to_vec(),
+    }
 }
 
 /// Reassembles the per-flow streams of a batch (ground truth for the
@@ -59,8 +68,11 @@ fn one_worker_and_n_workers_agree() {
     let total_bytes: u64 = packets.iter().map(|p| p.payload.len() as u64).sum();
 
     let mut baseline: Option<Vec<FlowMatch>> = None;
-    for workers in [1usize, 2, 4, 7] {
-        let mut scanner = ShardedScanner::new(engine.clone(), &rules, workers);
+    for workers in worker_counts(&[1, 2, 4, 7]) {
+        let mut scanner = ScannerBuilder::new()
+            .engine(engine.clone(), &rules)
+            .workers(workers)
+            .build_barrier();
         let result = scanner.scan_batch(packets.clone());
         assert_eq!(
             result.stats.bytes_scanned, total_bytes,
@@ -71,6 +83,20 @@ fn one_worker_and_n_workers_agree() {
             result.matches.len() as u64,
             "{workers} workers: stats.matches consistent with the match set"
         );
+        // The continuously-running pipeline must report the byte-identical
+        // sorted match set the barrier scanner does, with a latency sample
+        // for every packet.
+        let mut pipeline = ScannerBuilder::new()
+            .engine(engine.clone(), &rules)
+            .workers(workers)
+            .build();
+        let piped = pipeline.scan_batch(packets.clone());
+        assert_eq!(
+            piped.matches, result.matches,
+            "{workers} workers: pipeline diverged from the barrier scanner"
+        );
+        assert_eq!(piped.stats.bytes_scanned, total_bytes);
+        assert_eq!(piped.latency.count, packets.len() as u64);
         match &baseline {
             None => baseline = Some(result.matches),
             Some(expected) => assert_eq!(
@@ -105,8 +131,11 @@ fn repeated_batches_are_deterministic_and_stateful() {
     ];
     let second = vec![Packet::new(3, b"tme...".to_vec())];
 
-    for workers in [1usize, 4] {
-        let mut scanner = ShardedScanner::new(engine.clone(), &rules, workers);
+    for workers in worker_counts(&[1, 4]) {
+        let mut scanner = ScannerBuilder::new()
+            .engine(engine.clone(), &rules)
+            .workers(workers)
+            .build_barrier();
         let a = scanner.scan_batch(first.clone());
         assert_eq!(a.matches.len(), 1, "{workers} workers");
         assert_eq!(a.matches[0].flow, 4);

@@ -324,7 +324,7 @@ fn chain_dp(contents: &[RuleContent], lists: &[&[u64]]) -> Option<usize> {
 /// [`Matcher`] view); [`RuleScanner::scan_rules`] reports **confirmed
 /// rules**, each at most once per payload, at the minimal prefix length at
 /// which its constraints are satisfiable. For streaming and multi-core use
-/// see `mpm_stream::RuleStreamScanner` / `ShardedScanner::with_rules`.
+/// see `mpm_stream::RuleStreamScanner` / `ScannerBuilder::rules`.
 pub struct RuleScanner {
     engine: Arc<dyn Matcher + Send + Sync>,
     confirmer: RuleConfirmer,

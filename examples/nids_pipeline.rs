@@ -1,13 +1,15 @@
-//! A miniature network-intrusion-detection pipeline on the **sharded
-//! streaming path**: a synthetic ruleset is matched against HTTP traffic
-//! that arrives as per-flow packets, fanned out over worker threads — the
-//! way a production NIDS actually deploys the paper's engines.
+//! A miniature network-intrusion-detection pipeline on the **continuously
+//! running streaming path**: a synthetic ruleset is matched against HTTP
+//! traffic that arrives as per-flow packets, dispatched into per-worker
+//! lock-free rings — the way a production NIDS actually deploys the
+//! paper's engines.
 //!
 //! Demonstrates: synthetic rulesets, protocol-group selection, trace
-//! generation, `ShardedScanner` (flow-affine multi-core scanning with
-//! per-flow `StreamScanner` state, so no match is lost at a packet
-//! boundary), backend pinning via `MPM_FORCE_BACKEND`, merged statistics,
-//! and — stage two — **multi-content rule confirmation**: Snort rules whose
+//! generation, `ScannerBuilder` → `PipelineScanner` (flow-affine dispatch
+//! with per-flow `StreamScanner` state, so no match is lost at a packet
+//! boundary), per-packet latency percentiles and per-worker utilization
+//! from `PipelineStats`, backend pinning via `MPM_FORCE_BACKEND`, and —
+//! stage two — **multi-content rule confirmation**: Snort rules whose
 //! several `content:`s are tied together by `offset`/`depth`/`distance`/
 //! `within` are confirmed per flow even when the contents arrive in
 //! different packets.
@@ -84,9 +86,16 @@ fn main() {
     );
 
     let packet_count = packets.len();
-    let mut scanner = ShardedScanner::new(engine, &rules, WORKERS);
+    let mut scanner = ScannerBuilder::new()
+        .engine(engine, &rules)
+        .workers(WORKERS)
+        .max_flows(64 * 1024)
+        .build();
     let start = std::time::Instant::now();
-    let result = scanner.scan_batch(packets);
+    for packet in packets {
+        scanner.dispatch(packet);
+    }
+    let result = scanner.drain();
     let elapsed = start.elapsed();
 
     let gbps = (result.stats.bytes_scanned as f64 * 8.0) / elapsed.as_secs_f64() / 1e9;
@@ -98,6 +107,25 @@ fn main() {
         result.matches.len(),
         gbps
     );
+    // The pipeline's latency SLO view: queueing + scan time per packet,
+    // merged across workers, plus how busy each worker actually was.
+    println!(
+        "latency: p50 {:.1} us, p99 {:.1} us, p99.9 {:.1} us, max {:.1} us",
+        result.latency.p50_ns as f64 / 1e3,
+        result.latency.p99_ns as f64 / 1e3,
+        result.latency.p999_ns as f64 / 1e3,
+        result.latency.max_ns as f64 / 1e3,
+    );
+    for w in &result.workers {
+        println!(
+            "  worker {}: {:>6} packets, {:>4.1}% busy, ring high-water {}/{}",
+            w.worker,
+            w.packets,
+            w.utilization() * 100.0,
+            w.max_ring_occupancy,
+            w.ring_capacity
+        );
+    }
 
     // Show the first few alerts with flow context (matches arrive merged and
     // sorted by (flow, offset, pattern) — deterministic for any worker count).
@@ -135,7 +163,7 @@ alert tcp any any -> any 80 (msg:"upload probe"; content:"POST"; offset:0; depth
     );
 
     let engine: SharedMatcher = Arc::from(build_auto(set.anchors()));
-    let mut scanner = ShardedScanner::with_rules(engine, &set, 2);
+    let mut scanner = ScannerBuilder::new().rules(engine, &set).workers(2).build();
     // Flow 1 carries a traversal whose second content arrives two packets
     // after the anchor; flow 2 carries an upload probe with a case-varied
     // secondary; flow 3 has the anchor but violates the window.

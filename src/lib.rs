@@ -37,7 +37,7 @@ pub use mpm_wu_manber as wu_manber;
 /// Compiles a port-grouped ruleset into one auto-selected engine per group
 /// (`mpm_vpatch::build_auto_with_arena`: widest available SIMD V-PATCH, or
 /// scalar S-PATCH), all sharing one deduplicated pattern arena. The result
-/// plugs straight into `mpm_stream::ShardedScanner::with_groups` or
+/// plugs straight into `mpm_stream::ScannerBuilder::groups` or
 /// per-flow `mpm_stream::GroupedFlowScanner`s:
 ///
 /// ```
@@ -73,12 +73,14 @@ pub mod prelude {
         PortSpec, PortVars, Proto, ProtocolGroup, Rule, RuleContent, RuleHeader, RuleId, RuleMatch,
         RuleSet, SyntheticRuleset,
     };
+    pub use mpm_patterns::{LatencyHistogram, LatencySummary};
     pub use mpm_simd::{
         available_backends, detect_best, forced_backend, BackendKind, VectorBackend,
     };
     pub use mpm_stream::{
-        FlowRuleMatch, GroupedEngineSet, GroupedFlowScanner, Packet, RuleStreamScanner,
-        ShardedScanner, SharedMatcher, StreamScanner,
+        EvictionPolicy, FlowRuleMatch, GroupedEngineSet, GroupedFlowScanner, Packet,
+        PipelineScanner, PipelineStats, RuleStreamScanner, ScannerBuilder, ShardedScanner,
+        SharedMatcher, StreamScanner, WorkerStats,
     };
     pub use mpm_traffic::{
         ChunkedStream, MatchDensityGenerator, TraceGenerator, TraceKind, TraceSpec,

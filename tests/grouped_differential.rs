@@ -235,12 +235,15 @@ proptest! {
         let engines = vpatch_suite::build_grouped_engines(grouped);
         let expected_a = monolithic_filtered(engines.grouped(), Some(flow_a), &payload);
         let expected_none = monolithic_filtered(engines.grouped(), None, &payload);
-        let mut scanner = ShardedScanner::with_groups(engines.clone(), 3);
+        let mut scanner = ScannerBuilder::new()
+            .groups(engines.clone())
+            .workers(3)
+            .build_barrier();
         // Flow 11 carries a tuple and is cut at a random seam; flow 22 has
         // no tuple (scanned against every group, unfiltered).
         let cut = cut % (payload.len() + 1);
         let result = scanner.scan_batch(vec![
-            Packet::new(11, payload[..cut].to_vec()).with_tuple(flow_a),
+            Packet::new_with_tuple(11, payload[..cut].to_vec(), flow_a),
             Packet::new(22, payload.to_vec()),
             Packet::new(11, payload[cut..].to_vec()),
         ]);

@@ -211,7 +211,10 @@ proptest! {
         splice(&set, &mut payload, &plan);
         let expected = naive_rule_find_all(&set, &payload);
         let engine: SharedMatcher = Arc::from(build_auto(set.anchors()));
-        let mut scanner = ShardedScanner::with_rules(engine, &set, 3);
+        let mut scanner = ScannerBuilder::new()
+            .rules(engine, &set)
+            .workers(3)
+            .build_barrier();
         // Two flows carrying the same payload, each cut once at a random
         // seam; both must report the same confirmed rules.
         let cut = cut % (payload.len() + 1);

@@ -84,7 +84,11 @@ fn nocase_rules_fire_on_case_varied_traffic_end_to_end() {
     // Same semantics through the sharded streaming surface, with the match
     // cut across packets and the flow table capped.
     let engine: SharedMatcher = std::sync::Arc::from(build_auto(&rules));
-    let mut sharded = ShardedScanner::with_max_flows(engine, &rules, 2, 1024);
+    let mut sharded = ScannerBuilder::new()
+        .engine(engine, &rules)
+        .workers(2)
+        .max_flows(1024)
+        .build_barrier();
     let result = sharded.scan_batch(vec![
         Packet::new(7, b"GET /?q=<ScR".to_vec()),
         Packet::new(7, b"iPt>alert(1)".to_vec()),
@@ -134,7 +138,10 @@ fn multi_content_rules_confirm_end_to_end() {
 
     // Sharded: one flow split mid-constraint-window, one clean flow.
     let engine: SharedMatcher = std::sync::Arc::from(build_auto(set.anchors()));
-    let mut sharded = ShardedScanner::with_rules(engine, &set, 2);
+    let mut sharded = ScannerBuilder::new()
+        .rules(engine, &set)
+        .workers(2)
+        .build_barrier();
     let result = sharded.scan_batch(vec![
         Packet::new(1, payload[..20].to_vec()),
         Packet::new(2, b"POST /upload HTTP/1.1 UPLOAD".to_vec()),
