@@ -3,32 +3,54 @@
 
 use crate::scratch::{self, Scratch};
 use crate::tables::SPatchTables;
+use mpm_graph::{with_cached_scratchpad, GraphConfig, ScanGraph};
 use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Scalar S-PATCH engine.
 #[derive(Clone, Debug)]
 pub struct SPatch {
-    tables: SPatchTables,
+    tables: Arc<SPatchTables>,
+    /// The scan-graph assembly (`spatch:filter` → `patch:verify`) every
+    /// `find_into` / `scan_with_stats` call executes; see
+    /// `graph_ops`.
+    graph: ScanGraph,
 }
 
 impl SPatch {
     /// Compiles S-PATCH for `set`.
     pub fn build(set: &PatternSet) -> Self {
-        SPatch {
-            tables: SPatchTables::build(set),
-        }
+        Self::from_tables(SPatchTables::build(set))
     }
 
     /// Builds from already-compiled tables (shared with V-PATCH in the
     /// benchmark harness so both engines use byte-identical filters).
     pub fn from_tables(tables: SPatchTables) -> Self {
-        SPatch { tables }
+        let tables = Arc::new(tables);
+        let graph = crate::graph_ops::build_spatch_graph(&tables);
+        SPatch { tables, graph }
     }
 
     /// The compiled tables.
     pub fn tables(&self) -> &SPatchTables {
         &self.tables
+    }
+
+    /// The scan-graph assembly this engine executes.
+    pub fn graph(&self) -> &ScanGraph {
+        &self.graph
+    }
+
+    /// The graph execution parameters (chunk size, overlap).
+    pub fn graph_config(&self) -> GraphConfig {
+        self.graph.config()
+    }
+
+    /// Overrides the graph execution parameters; the A/B harnesses use this
+    /// to pin `overlap` on or off regardless of `MPM_GRAPH_OVERLAP`.
+    pub fn set_graph_config(&mut self, config: GraphConfig) {
+        self.graph.set_config(config);
     }
 
     /// **Filtering round** (lines 3–14 of Algorithm 1): sweeps the input
@@ -40,24 +62,52 @@ impl SPatch {
     /// variants are monomorphized separately so a case-sensitive-only set
     /// runs exactly the historical byte-exact loop.
     pub fn filter_round(&self, haystack: &[u8], scratch: &mut Scratch) {
-        if self.tables.folded {
-            self.filter_round_impl::<true>(haystack, scratch);
+        Self::filter_range_tables(&self.tables, haystack, 0, haystack.len(), scratch);
+    }
+
+    /// [`SPatch::filter_round`] restricted to window positions
+    /// `start..end` — the per-chunk kernel the scan-graph filter op runs.
+    /// For any partition of `0..n` the concatenated candidate arrays are
+    /// identical to one whole-input round: window *bytes* are read across
+    /// `end` (the haystack is whole, only the window start set is split).
+    pub fn filter_range(&self, haystack: &[u8], start: usize, end: usize, scratch: &mut Scratch) {
+        Self::filter_range_tables(&self.tables, haystack, start, end, scratch);
+    }
+
+    /// Table-parameterized form of [`SPatch::filter_range`], callable from a
+    /// graph op that shares the tables by `Arc` instead of borrowing the
+    /// engine.
+    pub(crate) fn filter_range_tables(
+        t: &SPatchTables,
+        haystack: &[u8],
+        start: usize,
+        end: usize,
+        scratch: &mut Scratch,
+    ) {
+        if t.folded {
+            Self::filter_range_impl::<true>(t, haystack, start, end, scratch);
         } else {
-            self.filter_round_impl::<false>(haystack, scratch);
+            Self::filter_range_impl::<false>(t, haystack, start, end, scratch);
         }
     }
 
-    fn filter_round_impl<const FOLD: bool>(&self, haystack: &[u8], scratch: &mut Scratch) {
-        let t = &self.tables;
+    fn filter_range_impl<const FOLD: bool>(
+        t: &SPatchTables,
+        haystack: &[u8],
+        start: usize,
+        end: usize,
+        scratch: &mut Scratch,
+    ) {
         let n = haystack.len();
-        if n == 0 {
+        debug_assert!(start <= end && end <= n);
+        if n == 0 || start >= end {
             return;
         }
         assert!(
             n < u32::MAX as usize,
             "scan chunks must be smaller than 4 GiB"
         );
-        for i in 0..n - 1 {
+        for i in start..end.min(n - 1) {
             let b0 = fold_byte(haystack[i], FOLD);
             let b1 = fold_byte(haystack[i + 1], FOLD);
             let window = u16::from_le_bytes([b0, b1]);
@@ -77,8 +127,9 @@ impl SPatch {
             }
         }
         // The final byte has no 2-byte window; only 1-byte patterns can start
-        // there, so it goes straight to the short candidate array.
-        if t.has_short {
+        // there, so it goes straight to the short candidate array (once, by
+        // whichever range ends at the input's end).
+        if end == n && t.has_short {
             scratch.a_short.push((n - 1) as u32);
         }
     }
@@ -146,6 +197,38 @@ impl SPatch {
         scratch.filter_nanos += (t1 - t0).as_nanos() as u64;
         scratch.verify_nanos += (t2 - t1).as_nanos() as u64;
     }
+
+    /// The pre-graph monolithic scan path (whole-input filter round, then
+    /// one verify round through the thread-cached [`Scratch`]). Retained as
+    /// the oracle the scan-graph differential suite holds the graph-routed
+    /// [`Matcher::find_into`] to.
+    pub fn find_into_legacy(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        scratch::with_cached_scratch(|scratch| {
+            scratch.clear();
+            scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
+            self.filter_round(haystack, scratch);
+            self.verify_round(haystack, scratch, out);
+        });
+    }
+
+    /// The pre-graph monolithic stats path; oracle counterpart of
+    /// [`Matcher::scan_with_stats`] (timings excluded, counters exact).
+    pub fn scan_with_stats_legacy(&self, haystack: &[u8]) -> MatcherStats {
+        scratch::with_cached_scratch(|scratch| {
+            scratch.clear();
+            scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
+            let mut out = Vec::new();
+            self.scan_with_scratch(haystack, scratch, &mut out);
+            MatcherStats {
+                bytes_scanned: haystack.len() as u64,
+                candidates: scratch.candidates(),
+                matches: out.len() as u64,
+                filter_nanos: scratch.filter_nanos,
+                verify_nanos: scratch.verify_nanos,
+                ..MatcherStats::default()
+            }
+        })
+    }
 }
 
 impl Matcher for SPatch {
@@ -158,29 +241,23 @@ impl Matcher for SPatch {
     }
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
-        // Reuse this thread's cached scratch (warm capacity, no per-scan
-        // allocation) with hints for the candidate classes this ruleset can
-        // actually produce.
-        scratch::with_cached_scratch(|scratch| {
-            scratch.clear();
-            scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
-            self.filter_round(haystack, scratch);
-            self.verify_round(haystack, scratch, out);
-        });
+        // Execute the scan-graph assembly through this thread's cached
+        // scratchpad: chunked, and (config permitting) software-pipelined
+        // across chunks.
+        with_cached_scratchpad(|pad| self.graph.run(haystack, pad, out));
     }
 
     fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
-        scratch::with_cached_scratch(|scratch| {
-            scratch.clear();
-            scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
+        with_cached_scratchpad(|pad| {
             let mut out = Vec::new();
-            self.scan_with_scratch(haystack, scratch, &mut out);
+            self.graph.run(haystack, pad, &mut out);
+            let c = pad.counters;
             MatcherStats {
                 bytes_scanned: haystack.len() as u64,
-                candidates: scratch.candidates(),
+                candidates: c.candidates,
                 matches: out.len() as u64,
-                filter_nanos: scratch.filter_nanos,
-                verify_nanos: scratch.verify_nanos,
+                filter_nanos: c.filter_nanos,
+                verify_nanos: c.verify_nanos,
                 ..MatcherStats::default()
             }
         })

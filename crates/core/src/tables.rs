@@ -1,7 +1,10 @@
 //! The compiled filter/table state shared by S-PATCH and V-PATCH.
 
 use mpm_patterns::{PatternArena, PatternSet};
-use mpm_verify::{DirectFilter, HashedFilter, MergedDirectFilters, Verifier};
+use mpm_verify::{
+    direct_filter_bits_for, direct_filter_window_count, DirectFilter, HashedFilter,
+    MergedDirectFilters, Verifier, DIRECT_FILTER_FULL_BITS,
+};
 
 /// Everything S-PATCH / V-PATCH precompute from a pattern set
 /// (Figure 1 of the paper).
@@ -85,8 +88,22 @@ impl SPatchTables {
         // pass serve mixed sets, while a case-sensitive-only set compiles to
         // exactly the byte-exact structures it always had.
         let folded = set.has_nocase();
-        let filter1 = DirectFilter::build_with_fold(set, folded, is_short);
-        let filter2 = DirectFilter::build_with_fold(set, folded, is_long);
+        // Per-group (arena-backed) tables size the direct filters to the
+        // group's window population, just as filter 3 is sized to its
+        // long-pattern count: a 40-rule port group gets a pair of ~1 KB
+        // bitmaps instead of two full 8 KB ones. Both filters share one size
+        // because the merged interleaved table requires it (and the engines
+        // mask windows once per block). The monolithic path keeps the paper's
+        // full 2^16 windows.
+        let direct_bits = if arena.is_some() {
+            direct_filter_bits_for(direct_filter_window_count(set, is_short)).max(
+                direct_filter_bits_for(direct_filter_window_count(set, is_long)),
+            )
+        } else {
+            DIRECT_FILTER_FULL_BITS
+        };
+        let filter1 = DirectFilter::build_sized_with_fold(set, direct_bits, folded, is_short);
+        let filter2 = DirectFilter::build_sized_with_fold(set, direct_bits, folded, is_long);
         let filter3 = HashedFilter::build_with_fold(set, filter3_bits, folded, is_long);
         let merged = MergedDirectFilters::merge(&filter1, &filter2);
         let verifier = match arena {
@@ -223,6 +240,42 @@ mod tests {
         assert!(mixed.filter1.contains(u16::from_le_bytes([b'g', b'e'])));
         assert!(mixed.filter2.contains(u16::from_le_bytes([b'a', b'b'])));
         assert!(mixed.filter3.contains(u32::from_le_bytes(*b"abcd")));
+    }
+
+    #[test]
+    fn arena_tables_shrink_the_direct_filters_for_small_groups() {
+        use mpm_patterns::ArenaBuilder;
+        let lits: Vec<String> = (0..40).map(|i| format!("group-rule-{i:02}")).collect();
+        let set = PatternSet::from_literals(&lits);
+        let mut b = ArenaBuilder::new();
+        for p in set.patterns() {
+            b.intern(p.bytes());
+        }
+        let arena = b.finish();
+        let grouped = SPatchTables::build_with_arena(&set, &arena);
+        let monolithic = SPatchTables::build(&set);
+        // 40 windows ⇒ 10-bit direct filters (128 B payloads) instead of the
+        // monolithic 2^16 (8 KB each); the filter working set shrinks by an
+        // order of magnitude while the lookups stay a superset-exact mask.
+        assert_eq!(grouped.filter1.bits_log2(), 10);
+        assert_eq!(grouped.filter2.bits_log2(), 10);
+        assert_eq!(grouped.merged.bits_log2(), 10);
+        assert!(
+            grouped.filter_bytes() * 8 < monolithic.filter_bytes(),
+            "grouped {} vs monolithic {}",
+            grouped.filter_bytes(),
+            monolithic.filter_bytes()
+        );
+
+        // A big group saturates back to the full-size filters.
+        let many: Vec<String> = (0..20_000).map(|i| format!("pat-{i:05}-xyz")).collect();
+        let big_set = PatternSet::from_literals(&many);
+        let mut bb = ArenaBuilder::new();
+        for p in big_set.patterns() {
+            bb.intern(p.bytes());
+        }
+        let big = SPatchTables::build_with_arena(&big_set, &bb.finish());
+        assert_eq!(big.filter2.bits_log2(), DIRECT_FILTER_FULL_BITS);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 
 use crate::scratch::{self, Scratch};
 use crate::tables::SPatchTables;
+use mpm_graph::{with_cached_scratchpad, GraphConfig, ScanGraph};
 use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
 use mpm_simd::VectorBackend;
 use mpm_verify::HASH_MULTIPLIER;
 use std::marker::PhantomData;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which variant of the filtering-only measurement to run
@@ -38,7 +40,11 @@ pub enum FilterOnlyMode {
 /// [`crate::VPatchScalar8`] or the [`crate::build_auto`] factory.
 #[derive(Clone, Debug)]
 pub struct VPatch<B: VectorBackend<W>, const W: usize> {
-    tables: SPatchTables,
+    tables: Arc<SPatchTables>,
+    /// The scan-graph assembly (`vpatch:filter` → `patch:verify`) every
+    /// `find_into` / `scan_with_stats` call executes; see
+    /// `graph_ops`.
+    graph: ScanGraph,
     _backend: PhantomData<B>,
 }
 
@@ -62,8 +68,11 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
             "SIMD backend {} is not available on this CPU",
             B::name()
         );
+        let tables = Arc::new(tables);
+        let graph = crate::graph_ops::build_vpatch_graph::<B, W>(&tables);
         VPatch {
             tables,
+            graph,
             _backend: PhantomData,
         }
     }
@@ -71,6 +80,22 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     /// The compiled tables.
     pub fn tables(&self) -> &SPatchTables {
         &self.tables
+    }
+
+    /// The scan-graph assembly this engine executes.
+    pub fn graph(&self) -> &ScanGraph {
+        &self.graph
+    }
+
+    /// The graph execution parameters (chunk size, overlap).
+    pub fn graph_config(&self) -> GraphConfig {
+        self.graph.config()
+    }
+
+    /// Overrides the graph execution parameters; the A/B harnesses use this
+    /// to pin `overlap` on or off regardless of `MPM_GRAPH_OVERLAP`.
+    pub fn set_graph_config(&mut self, config: GraphConfig) {
+        self.graph.set_config(config);
     }
 
     /// Name of the SIMD backend in use.
@@ -99,12 +124,11 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     /// `B::Vec` stays in a vector register.
     #[inline(always)]
     fn process_block<const STORE: bool, const FOLD: bool>(
-        &self,
+        t: &SPatchTables,
         haystack: &[u8],
         base: usize,
         scratch: &mut Scratch,
     ) -> (u32, u32) {
-        let t = &self.tables;
         // Input transformation (Figure 2): W overlapping 2-byte windows.
         let windows = B::windows2(haystack, base);
         let windows = if FOLD {
@@ -113,9 +137,11 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
             windows
         };
         // Filter merging (Figure 3): one gather serves both filters. The
-        // merged layout stores filter-1/filter-2 bytes at 2*(window >> 3),
-        // computed branch-free as (window >> 2) & !1.
-        let merged_idx = B::and_const(B::shr_const(windows, 2), !1u32);
+        // merged layout stores filter-1/filter-2 bytes at 2*((window & mask)
+        // >> 3), computed branch-free as (window >> 2) & gather_index_mask —
+        // the mask subsumes both the group-adaptive window truncation and
+        // the historical !1 byte-pair alignment.
+        let merged_idx = B::and_const(B::shr_const(windows, 2), t.merged.gather_index_mask());
         let pair = B::gather_u16(t.merged.bytes(), merged_idx);
         let f1_bytes = B::and_const(pair, 0xff);
         let f2_bytes = B::shr_const(pair, 8);
@@ -157,15 +183,22 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         (mask_short, mask_long)
     }
 
-    /// Scalar continuation of the filtering round for the final positions
-    /// that do not fill a whole vector block.
-    fn filter_tail<const FOLD: bool>(&self, haystack: &[u8], start: usize, scratch: &mut Scratch) {
-        let t = &self.tables;
+    /// Scalar continuation of the filtering round: positions
+    /// `start..min(end, n - 1)` that no vector block covered, plus — only
+    /// when `end` is the end of the input — the final byte, which has no
+    /// 2-byte window and goes straight to the short array.
+    fn filter_scalar_range<const FOLD: bool>(
+        t: &SPatchTables,
+        haystack: &[u8],
+        start: usize,
+        end: usize,
+        scratch: &mut Scratch,
+    ) {
         let n = haystack.len();
         if n == 0 {
             return;
         }
-        for i in start..n - 1 {
+        for i in start..end.min(n - 1) {
             let b0 = fold_byte(haystack[i], FOLD);
             let b1 = fold_byte(haystack[i + 1], FOLD);
             let window = u16::from_le_bytes([b0, b1]);
@@ -184,7 +217,7 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
                 }
             }
         }
-        if t.has_short {
+        if end == n && t.has_short {
             scratch.a_short.push((n - 1) as u32);
         }
     }
@@ -194,23 +227,57 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
     /// byte-exact kernel depending on how the tables were built, so
     /// case-sensitive-only sets keep the historical code path.
     pub fn filter_round(&self, haystack: &[u8], scratch: &mut Scratch) {
-        if self.tables.folded {
-            self.filter_round_impl::<true>(haystack, scratch);
+        Self::filter_range_tables(&self.tables, haystack, 0, haystack.len(), scratch);
+    }
+
+    /// [`VPatch::filter_round`] restricted to window positions
+    /// `start..end` — the per-chunk kernel the scan-graph filter op runs.
+    /// `filter_range(0, n)` is exactly `filter_round`, and for any partition
+    /// of `0..n` into `CHUNK_ALIGN`-aligned ranges the concatenated
+    /// candidate arrays (and the filter-3 occupancy counters) are identical
+    /// to one whole-input round: windows read *across* `end` (the haystack
+    /// is whole, only the window start set is split), and the vector blocks
+    /// tile the same `W`-aligned bases.
+    ///
+    /// [`CHUNK_ALIGN`]: mpm_graph::CHUNK_ALIGN
+    pub fn filter_range(&self, haystack: &[u8], start: usize, end: usize, scratch: &mut Scratch) {
+        Self::filter_range_tables(&self.tables, haystack, start, end, scratch);
+    }
+
+    /// Table-parameterized form of [`VPatch::filter_range`], callable from a
+    /// graph op that shares the tables by `Arc` instead of borrowing the
+    /// engine.
+    pub(crate) fn filter_range_tables(
+        t: &SPatchTables,
+        haystack: &[u8],
+        start: usize,
+        end: usize,
+        scratch: &mut Scratch,
+    ) {
+        if t.folded {
+            Self::filter_range_impl::<true>(t, haystack, start, end, scratch);
         } else {
-            self.filter_round_impl::<false>(haystack, scratch);
+            Self::filter_range_impl::<false>(t, haystack, start, end, scratch);
         }
     }
 
-    fn filter_round_impl<const FOLD: bool>(&self, haystack: &[u8], scratch: &mut Scratch) {
+    fn filter_range_impl<const FOLD: bool>(
+        t: &SPatchTables,
+        haystack: &[u8],
+        start: usize,
+        end: usize,
+        scratch: &mut Scratch,
+    ) {
         let n = haystack.len();
-        if n == 0 {
+        debug_assert!(start <= end && end <= n);
+        if n == 0 || start >= end {
             return;
         }
         assert!(
             n < u32::MAX as usize,
             "scan chunks must be smaller than 4 GiB"
         );
-        let mut i = 0usize;
+        let mut i = start;
         // The whole vector loop runs inside the backend's dispatch trampoline
         // so every gather/shuffle inlines into one kernel (see
         // `VectorBackend::dispatch`).
@@ -218,17 +285,17 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
             // Manual 2× unroll: two independent gathers in flight per
             // iteration, as the paper does to exploit instruction-level
             // parallelism.
-            while i + 2 * W + 3 <= n {
-                self.process_block::<true, FOLD>(haystack, i, scratch);
-                self.process_block::<true, FOLD>(haystack, i + W, scratch);
+            while i + 2 * W <= end && i + 2 * W + 3 <= n {
+                Self::process_block::<true, FOLD>(t, haystack, i, scratch);
+                Self::process_block::<true, FOLD>(t, haystack, i + W, scratch);
                 i += 2 * W;
             }
-            while i + W + 3 <= n {
-                self.process_block::<true, FOLD>(haystack, i, scratch);
+            while i + W <= end && i + W + 3 <= n {
+                Self::process_block::<true, FOLD>(t, haystack, i, scratch);
                 i += W;
             }
         });
-        self.filter_tail::<FOLD>(haystack, i, scratch);
+        Self::filter_scalar_range::<FOLD>(t, haystack, i, end, scratch);
     }
 
     /// Filtering-only entry point for the Figure 6 experiments. Returns a
@@ -256,11 +323,12 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         if n == 0 {
             return 0;
         }
+        let t = &*self.tables;
         let mut checksum = 0u64;
         let mut i = 0usize;
         match mode {
             FilterOnlyMode::WithStores => {
-                self.filter_round_impl::<FOLD>(haystack, scratch);
+                Self::filter_range_impl::<FOLD>(t, haystack, 0, n, scratch);
                 checksum = scratch.candidates();
             }
             FilterOnlyMode::NoStores => {
@@ -268,15 +336,16 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
                     // Same 2× unroll as the storing round so the two Figure 6
                     // configurations differ only in the stores.
                     while i + 2 * W + 3 <= n {
-                        let (a1, a2) = self.process_block::<false, FOLD>(haystack, i, scratch);
-                        let (b1, b2) = self.process_block::<false, FOLD>(haystack, i + W, scratch);
+                        let (a1, a2) = Self::process_block::<false, FOLD>(t, haystack, i, scratch);
+                        let (b1, b2) =
+                            Self::process_block::<false, FOLD>(t, haystack, i + W, scratch);
                         checksum +=
                             (a1.count_ones() + a2.count_ones() + b1.count_ones() + b2.count_ones())
                                 as u64;
                         i += 2 * W;
                     }
                     while i + W + 3 <= n {
-                        let (m1, m2) = self.process_block::<false, FOLD>(haystack, i, scratch);
+                        let (m1, m2) = Self::process_block::<false, FOLD>(t, haystack, i, scratch);
                         checksum += (m1.count_ones() + m2.count_ones()) as u64;
                         i += W;
                     }
@@ -284,7 +353,7 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
                 // The scalar tail runs through the caller's scratch (no
                 // transient allocation); its candidates join the checksum and
                 // the arrays are reset so no stores are observable.
-                self.filter_tail::<FOLD>(haystack, i, scratch);
+                Self::filter_scalar_range::<FOLD>(t, haystack, i, n, scratch);
                 checksum += scratch.candidates();
                 scratch.begin_chunk();
             }
@@ -354,21 +423,12 @@ impl<B: VectorBackend<W>, const W: usize> VPatch<B, W> {
         scratch.filter_nanos += (t1 - t0).as_nanos() as u64;
         scratch.verify_nanos += (t2 - t1).as_nanos() as u64;
     }
-}
 
-impl<B: VectorBackend<W>, const W: usize> Matcher for VPatch<B, W> {
-    fn name(&self) -> &'static str {
-        "V-PATCH"
-    }
-
-    fn max_pattern_len(&self) -> usize {
-        self.tables.max_pattern_len()
-    }
-
-    fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
-        // Reuse this thread's cached scratch (warm capacity, no per-scan
-        // allocation) with hints for the candidate classes this ruleset can
-        // actually produce.
+    /// The pre-graph monolithic scan path (whole-input filter round, then
+    /// one verify round through the thread-cached [`Scratch`]). Retained as
+    /// the oracle the scan-graph differential suite holds the graph-routed
+    /// [`Matcher::find_into`] to.
+    pub fn find_into_legacy(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
         scratch::with_cached_scratch(|scratch| {
             scratch.clear();
             scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
@@ -377,7 +437,9 @@ impl<B: VectorBackend<W>, const W: usize> Matcher for VPatch<B, W> {
         });
     }
 
-    fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
+    /// The pre-graph monolithic stats path; oracle counterpart of
+    /// [`Matcher::scan_with_stats`] (timings excluded, counters exact).
+    pub fn scan_with_stats_legacy(&self, haystack: &[u8]) -> MatcherStats {
         scratch::with_cached_scratch(|scratch| {
             scratch.clear();
             scratch.reserve_for(haystack.len(), self.tables.has_short, self.tables.has_long);
@@ -391,6 +453,40 @@ impl<B: VectorBackend<W>, const W: usize> Matcher for VPatch<B, W> {
                 verify_nanos: scratch.verify_nanos,
                 filter3_blocks: scratch.filter3_blocks,
                 useful_lanes: scratch.useful_lanes,
+            }
+        })
+    }
+}
+
+impl<B: VectorBackend<W>, const W: usize> Matcher for VPatch<B, W> {
+    fn name(&self) -> &'static str {
+        "V-PATCH"
+    }
+
+    fn max_pattern_len(&self) -> usize {
+        self.tables.max_pattern_len()
+    }
+
+    fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        // Execute the scan-graph assembly through this thread's cached
+        // scratchpad: chunked, and (config permitting) software-pipelined
+        // across chunks.
+        with_cached_scratchpad(|pad| self.graph.run(haystack, pad, out));
+    }
+
+    fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
+        with_cached_scratchpad(|pad| {
+            let mut out = Vec::new();
+            self.graph.run(haystack, pad, &mut out);
+            let c = pad.counters;
+            MatcherStats {
+                bytes_scanned: haystack.len() as u64,
+                candidates: c.candidates,
+                matches: out.len() as u64,
+                filter_nanos: c.filter_nanos,
+                verify_nanos: c.verify_nanos,
+                filter3_blocks: c.filter3_blocks,
+                useful_lanes: c.useful_lanes,
             }
         })
     }

@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod graph;
 pub mod scalar;
 pub mod tables;
 pub mod vector;

@@ -11,27 +11,77 @@
 //! serialising.
 
 use crate::tables::{DfcTables, DRAIN_BLOCK};
+use mpm_graph::{with_cached_scratchpad, GraphConfig, ScanGraph};
 use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
 use mpm_simd::ScalarBackend;
+use std::sync::Arc;
 
 /// Scalar DFC: interleaved filtering + verification, exactly the structure
 /// the paper uses as its "DFC" baseline.
+///
+/// Since PR 9 the scan path is a graph assembly (`graph` module): the
+/// filter sweep and the block drain are separate operators scheduled by
+/// [`ScanGraph`], which also gives DFC the streaming chunk loop and the
+/// overlapped (double-banked) schedule for free. The historical
+/// single-pass loop is retained as [`Dfc::find_into_legacy`], the
+/// differential oracle the graph path is tested against.
 #[derive(Clone, Debug)]
 pub struct Dfc {
-    tables: DfcTables,
+    tables: Arc<DfcTables>,
+    graph: ScanGraph,
 }
 
 impl Dfc {
     /// Compiles DFC for `set`.
     pub fn build(set: &PatternSet) -> Self {
-        Dfc {
-            tables: DfcTables::build(set),
-        }
+        Self::from_tables(DfcTables::build(set))
+    }
+
+    /// Wraps pre-built tables in the engine (assembles the scan graph).
+    pub fn from_tables(tables: DfcTables) -> Self {
+        let tables = Arc::new(tables);
+        let graph = crate::graph::build_dfc_graph(&tables);
+        Dfc { tables, graph }
     }
 
     /// The compiled tables (used by the cache-simulation experiments).
     pub fn tables(&self) -> &DfcTables {
         &self.tables
+    }
+
+    /// The operator graph the scan path executes.
+    pub fn graph(&self) -> &ScanGraph {
+        &self.graph
+    }
+
+    /// The graph's chunking/overlap configuration.
+    pub fn graph_config(&self) -> GraphConfig {
+        self.graph.config()
+    }
+
+    /// Overrides the graph's chunking/overlap configuration (used by the
+    /// benchmark harness and the differential tests for deterministic A/B
+    /// runs without environment races).
+    pub fn set_graph_config(&mut self, config: GraphConfig) {
+        self.graph.set_config(config);
+    }
+
+    /// The pre-PR 9 monolithic scan pass, kept as the differential oracle
+    /// for the graph assembly.
+    pub fn find_into_legacy(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        self.scan(haystack, out);
+    }
+
+    /// [`Matcher::scan_with_stats`] through the legacy monolithic pass.
+    pub fn scan_with_stats_legacy(&self, haystack: &[u8]) -> MatcherStats {
+        let mut out = Vec::new();
+        let (candidates, _comparisons) = self.scan(haystack, &mut out);
+        MatcherStats {
+            bytes_scanned: haystack.len() as u64,
+            candidates,
+            matches: out.len() as u64,
+            ..MatcherStats::default()
+        }
     }
 
     /// Core scan loop shared by [`Matcher::find_into`] and
@@ -101,16 +151,21 @@ impl Matcher for Dfc {
     }
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
-        self.scan(haystack, out);
+        with_cached_scratchpad(|pad| self.graph.run(haystack, pad, out));
     }
 
     fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
         let mut out = Vec::new();
-        let (candidates, _comparisons) = self.scan(haystack, &mut out);
+        let counters = with_cached_scratchpad(|pad| {
+            self.graph.run(haystack, pad, &mut out);
+            pad.counters
+        });
         MatcherStats {
             bytes_scanned: haystack.len() as u64,
-            candidates,
+            candidates: counters.candidates,
             matches: out.len() as u64,
+            filter_nanos: counters.filter_nanos,
+            verify_nanos: counters.verify_nanos,
             ..MatcherStats::default()
         }
     }

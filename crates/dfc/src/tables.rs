@@ -224,6 +224,17 @@ impl DfcTables {
         }
     }
 
+    /// Prime hook for the scan graph's overlapped schedule: touches the
+    /// hash-table bucket rows the first `limit` pending candidates will
+    /// load, so the drain that runs alongside the next chunk's filter pass
+    /// starts with warm lines instead of a cold dependent-load chain.
+    #[inline]
+    pub(crate) fn prefetch_pending(&self, haystack: &[u8], pending: &[u32], limit: usize) {
+        for ht in [&self.ht_len1, &self.ht_len2, &self.ht_len3, &self.ht_long] {
+            ht.prefetch_candidates(haystack, pending, limit);
+        }
+    }
+
     /// The initial direct filter (exposed for the vectorized engine and for
     /// the cache simulator).
     pub fn initial_filter(&self) -> &DirectFilter {

@@ -25,14 +25,23 @@
 //! is improved.
 
 use crate::tables::{DfcTables, DRAIN_BLOCK};
+use mpm_graph::{with_cached_scratchpad, GraphConfig, ScanGraph};
 use mpm_patterns::{fold_byte, MatchEvent, Matcher, MatcherStats, PatternSet};
 use mpm_simd::VectorBackend;
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 /// Vector-DFC, generic over the SIMD backend and lane count.
+///
+/// Since PR 9 the scan path is a graph assembly (`graph` module): the
+/// vectorized sweep and the block drain are separate operators scheduled
+/// by [`ScanGraph`]. The historical single-pass loop is retained as
+/// [`VectorDfc::find_into_legacy`], the differential oracle the graph
+/// path is tested against.
 #[derive(Clone, Debug)]
 pub struct VectorDfc<B: VectorBackend<W>, const W: usize> {
-    tables: DfcTables,
+    tables: Arc<DfcTables>,
+    graph: ScanGraph,
     _backend: PhantomData<B>,
 }
 
@@ -49,8 +58,18 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
             "SIMD backend {} is not available on this CPU",
             B::name()
         );
+        Self::from_tables(DfcTables::build(set))
+    }
+
+    /// Wraps pre-built tables in the engine (assembles the scan graph).
+    /// The backend-availability check is the caller's responsibility here;
+    /// [`VectorDfc::build`] performs it.
+    pub fn from_tables(tables: DfcTables) -> Self {
+        let tables = Arc::new(tables);
+        let graph = crate::graph::build_vector_dfc_graph::<B, W>(&tables);
         VectorDfc {
-            tables: DfcTables::build(set),
+            tables,
+            graph,
             _backend: PhantomData,
         }
     }
@@ -64,6 +83,41 @@ impl<B: VectorBackend<W>, const W: usize> VectorDfc<B, W> {
     /// the memory-footprint reporting).
     pub fn tables(&self) -> &DfcTables {
         &self.tables
+    }
+
+    /// The operator graph the scan path executes.
+    pub fn graph(&self) -> &ScanGraph {
+        &self.graph
+    }
+
+    /// The graph's chunking/overlap configuration.
+    pub fn graph_config(&self) -> GraphConfig {
+        self.graph.config()
+    }
+
+    /// Overrides the graph's chunking/overlap configuration (used by the
+    /// benchmark harness and the differential tests for deterministic A/B
+    /// runs without environment races).
+    pub fn set_graph_config(&mut self, config: GraphConfig) {
+        self.graph.set_config(config);
+    }
+
+    /// The pre-PR 9 monolithic scan pass, kept as the differential oracle
+    /// for the graph assembly.
+    pub fn find_into_legacy(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        self.scan(haystack, out);
+    }
+
+    /// [`Matcher::scan_with_stats`] through the legacy monolithic pass.
+    pub fn scan_with_stats_legacy(&self, haystack: &[u8]) -> MatcherStats {
+        let mut out = Vec::new();
+        let candidates = self.scan(haystack, &mut out);
+        MatcherStats {
+            bytes_scanned: haystack.len() as u64,
+            candidates,
+            matches: out.len() as u64,
+            ..MatcherStats::default()
+        }
     }
 
     fn scan(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) -> u64 {
@@ -154,16 +208,21 @@ impl<B: VectorBackend<W>, const W: usize> Matcher for VectorDfc<B, W> {
     }
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
-        self.scan(haystack, out);
+        with_cached_scratchpad(|pad| self.graph.run(haystack, pad, out));
     }
 
     fn scan_with_stats(&self, haystack: &[u8]) -> MatcherStats {
         let mut out = Vec::new();
-        let candidates = self.scan(haystack, &mut out);
+        let counters = with_cached_scratchpad(|pad| {
+            self.graph.run(haystack, pad, &mut out);
+            pad.counters
+        });
         MatcherStats {
             bytes_scanned: haystack.len() as u64,
-            candidates,
+            candidates: counters.candidates,
             matches: out.len() as u64,
+            filter_nanos: counters.filter_nanos,
+            verify_nanos: counters.verify_nanos,
             ..MatcherStats::default()
         }
     }

@@ -13,8 +13,8 @@
 //! continuously-running [`PipelineScanner`] (the production runtime) and
 //! [`ScannerBuilder::build_barrier`] for the batch-and-join
 //! [`crate::ShardedScanner`] (differential oracles and batch benchmarks).
-//! The old constructors survive as thin `#[deprecated]` shims over this
-//! builder for one release.
+//! The pre-builder constructors lived on as `#[deprecated]` shims for one
+//! release and were removed in PR 9; the builder is the only entry point.
 
 use crate::group::GroupedEngineSet;
 use crate::pipeline::PipelineScanner;
@@ -263,7 +263,6 @@ fn take_mode(source: Source) -> WorkerMode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Packet;
     use mpm_patterns::NaiveMatcher;
 
     fn set_and_engine() -> (PatternSet, SharedMatcher) {
@@ -307,28 +306,6 @@ mod tests {
             .engine(engine, &set)
             .eviction(EvictionPolicy::idle_after(Duration::from_secs(1)))
             .build_barrier();
-    }
-
-    #[test]
-    fn deprecated_shims_still_build_working_scanners() {
-        // The one-release compatibility contract: old constructors keep
-        // working and scan identically to builder-built scanners.
-        #![allow(deprecated)]
-        let (set, engine) = set_and_engine();
-        let mut old = ShardedScanner::new(engine.clone(), &set, 2);
-        let mut new = ScannerBuilder::new()
-            .engine(engine, &set)
-            .workers(2)
-            .build_barrier();
-        let packets = || {
-            (0..8u64)
-                .map(|f| Packet::new(f, b"..needle..".to_vec()))
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(
-            old.scan_batch(packets()).matches,
-            new.scan_batch(packets()).matches
-        );
     }
 
     #[test]

@@ -112,7 +112,7 @@ fn rules_signature(set: &RuleSet) -> u64 {
 
 /// All compiled engines of a [`GroupedRuleSet`], plus the shared pattern
 /// arena — the immutable, `Arc`-shared compile product that
-/// [`crate::ShardedScanner::with_groups`] workers and
+/// [`crate::ScannerBuilder::groups`]-built workers and
 /// [`GroupedFlowScanner`]s hang off.
 pub struct GroupedEngineSet {
     grouped: Arc<GroupedRuleSet>,

@@ -43,7 +43,7 @@
 //!   multi-content rules with positional constraints
 //!   (`offset`/`depth`/`distance`/`within`) are confirmed over a chunked
 //!   flow exactly as `mpm_verify::RuleScanner::scan_rules` would confirm
-//!   them over the concatenated payload. [`ShardedScanner::with_rules`]
+//!   them over the concatenated payload. Rule mode ([`ScannerBuilder::rules`])
 //!   runs it per flow across workers, reporting confirmed rules in
 //!   [`BatchResult::rule_matches`].
 //!
@@ -52,7 +52,7 @@
 //!   Snort header (protocol + ports), one engine is compiled per group
 //!   against a shared pattern arena, and each flow is scanned only against
 //!   the groups its protocol/port tuple selects.
-//!   [`ShardedScanner::with_groups`] runs it per flow across workers;
+//!   Grouped mode ([`ScannerBuilder::groups`]) runs it per flow across workers;
 //!   results are provably identical to a monolithic scan filtered to each
 //!   flow's applicable rules (`tests/grouped_differential.rs`).
 //!

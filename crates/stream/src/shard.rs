@@ -12,7 +12,7 @@
 //!   the same worker, so each flow's [`StreamScanner`](crate::StreamScanner) state (the
 //!   chunk-boundary carry) lives on exactly one thread and matches that
 //!   straddle packet boundaries within a flow are still found;
-//! * **one shared engine** — workers clone an [`Arc`] of the compiled
+//! * **one shared engine** — workers clone an [`std::sync::Arc`] of the compiled
 //!   matcher; the paper's cache-resident filter tables are read-only and
 //!   shared, per-worker mutable state is confined to the per-flow scanners
 //!   (and the engines' thread-cached `Scratch`, which is thread-local by
@@ -22,21 +22,18 @@
 //!   `(flow, start, pattern)` plus summed [`MatcherStats`], so the same
 //!   batch produces byte-identical output whether 1 or N workers ran it
 //!   (property: `tests/shard_determinism.rs`);
-//! * **bounded per-flow state** — [`ShardedScanner::with_max_flows`] caps
+//! * **bounded per-flow state** — [`crate::ScannerBuilder::max_flows`] caps
 //!   the resident flow count with least-recently-pushed eviction (eviction
 //!   retires carry state like [`ShardedScanner::close_flow`]), so a
 //!   million-flow churn cannot grow memory without bound when callers do
 //!   not close flows themselves.
 
-use crate::group::GroupedEngineSet;
-use crate::stream::SharedMatcher;
-use crate::worker::{mix64, plain_mode, rule_parts, FlowScanner, WorkerMode};
+use crate::worker::{mix64, FlowScanner, WorkerMode};
 use mpm_patterns::ports::FlowTuple;
-use mpm_patterns::rule::{RuleId, RuleMatch, RuleSet};
-use mpm_patterns::{MatchEvent, MatcherStats, PatternSet};
+use mpm_patterns::rule::{RuleId, RuleMatch};
+use mpm_patterns::{MatchEvent, MatcherStats};
 use std::collections::HashMap;
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// One unit of work: a payload chunk belonging to a flow.
@@ -48,7 +45,7 @@ pub struct Packet {
     /// The payload bytes of this packet.
     pub payload: Vec<u8>,
     /// Protocol + ports of the flow, used by grouped scanning
-    /// ([`ShardedScanner::with_groups`]) to select which port groups scan
+    /// ([`crate::ScannerBuilder::groups`]) to select which port groups scan
     /// the flow. Group selection happens once per flow, from the **first**
     /// packet's tuple; tuples on later packets of the same flow are ignored
     /// (a flow's 5-tuple does not change mid-flow). `None` scans the flow
@@ -71,23 +68,14 @@ impl Packet {
     /// Creates a packet carrying the flow's protocol/port tuple (see
     /// [`Packet::tuple`]). Grouped scanning needs the tuple on the flow's
     /// **first** packet — taking it as a constructor argument (rather than
-    /// the deprecated post-hoc [`Packet::with_tuple`] builder) keeps a
-    /// grouped scan from silently dropping it and degrading to
-    /// scan-every-group.
+    /// a post-hoc builder) keeps a grouped scan from silently dropping it
+    /// and degrading to scan-every-group.
     pub fn new_with_tuple(flow: u64, payload: impl Into<Vec<u8>>, tuple: FlowTuple) -> Self {
         Packet {
             flow,
             payload: payload.into(),
             tuple: Some(tuple),
         }
-    }
-
-    /// Attaches the flow's protocol/port tuple (see [`Packet::tuple`]).
-    #[deprecated(note = "use `Packet::new_with_tuple` so the tuple cannot be \
-                         forgotten after construction")]
-    pub fn with_tuple(mut self, tuple: FlowTuple) -> Self {
-        self.tuple = Some(tuple);
-        self
     }
 }
 
@@ -119,7 +107,7 @@ pub struct FlowRuleMatch {
 #[derive(Clone, Debug, Default)]
 pub struct BatchResult {
     /// All matches of the batch, sorted by `(flow, start, pattern)`. In
-    /// rule mode ([`ShardedScanner::with_rules`]) these are the anchor hits.
+    /// rule mode ([`crate::ScannerBuilder::rules`]) these are the anchor hits.
     pub matches: Vec<FlowMatch>,
     /// Rules confirmed during the batch, sorted by `(flow, rule, end)`;
     /// each rule at most once per flow-stream. Empty unless the scanner was
@@ -130,7 +118,7 @@ pub struct BatchResult {
     /// wall-clock belongs to the caller, who knows what overlapped).
     pub stats: MatcherStats,
     /// Flows whose stream state is resident across all workers at flush
-    /// time. With a [`ShardedScanner::with_max_flows`] cap this never
+    /// time. With a [`crate::ScannerBuilder::max_flows`] cap this never
     /// exceeds the cap (rounded up to a whole number of flows per worker).
     pub resident_flows: usize,
 }
@@ -191,134 +179,6 @@ pub struct ShardedScanner {
 }
 
 impl ShardedScanner {
-    /// Spawns `workers` worker threads sharing `engine`.
-    ///
-    /// `set` must be the pattern set the engine was compiled for (same
-    /// contract as [`StreamScanner::new`](crate::StreamScanner::new)).
-    ///
-    /// # Panics
-    /// Panics if `workers` is zero or the engine/set disagree about the
-    /// longest pattern.
-    #[deprecated(note = "use `ScannerBuilder::new().engine(..).workers(n).build_barrier()`")]
-    pub fn new(engine: SharedMatcher, set: &PatternSet, workers: usize) -> Self {
-        Self::spawn(plain_mode(engine, set, None), workers, None)
-    }
-
-    /// Spawns `workers` worker threads in **rule mode**: each flow runs a
-    /// [`RuleStreamScanner`](crate::RuleStreamScanner) over `set`'s anchor patterns, and
-    /// [`BatchResult::rule_matches`] reports confirmed rules per flow with
-    /// absolute (flow-stream) offsets — a rule whose contents are split
-    /// across packets, batches, or both is still confirmed, on the packet
-    /// that completes its minimal satisfiable prefix.
-    ///
-    /// `engine` must be compiled for `set.anchors()`. Anchor hits keep
-    /// flowing into [`BatchResult::matches`] unchanged.
-    ///
-    /// # Panics
-    /// Panics if `workers` is zero or the engine/anchor-set disagree about
-    /// the longest pattern.
-    #[deprecated(note = "use `ScannerBuilder::new().rules(..).workers(n).build_barrier()`")]
-    pub fn with_rules(engine: SharedMatcher, set: &RuleSet, workers: usize) -> Self {
-        Self::spawn(
-            plain_mode(engine, set.anchors(), Some(rule_parts(set))),
-            workers,
-            None,
-        )
-    }
-
-    /// Rule mode with a resident-flow cap, combining
-    /// [`ShardedScanner::with_rules`] and
-    /// [`ShardedScanner::with_max_flows`]. Eviction retires a flow's
-    /// buffered payload and rule state exactly like a close: a later packet
-    /// for that flow starts a fresh stream.
-    ///
-    /// # Panics
-    /// Panics if `workers` or `max_flows` is zero, or the engine/anchor-set
-    /// disagree about the longest pattern.
-    #[deprecated(
-        note = "use `ScannerBuilder::new().rules(..).workers(n).max_flows(m).build_barrier()`"
-    )]
-    pub fn with_rules_max_flows(
-        engine: SharedMatcher,
-        set: &RuleSet,
-        workers: usize,
-        max_flows: usize,
-    ) -> Self {
-        assert!(max_flows > 0, "max_flows must be at least 1");
-        Self::spawn(
-            plain_mode(engine, set.anchors(), Some(rule_parts(set))),
-            workers,
-            Some(max_flows),
-        )
-    }
-
-    /// Spawns `workers` worker threads in **grouped rule mode**: each flow
-    /// runs a [`GroupedFlowScanner`](crate::GroupedFlowScanner), scanning only the port groups its
-    /// [`Packet::tuple`] selects (every group when the tuple is `None`).
-    /// [`BatchResult::rule_matches`] reports confirmed rules under their
-    /// **global** ids — deduplicated across groups, exact-header-filtered —
-    /// so the result equals monolithic rule mode filtered to each flow's
-    /// applicable rules (property: `tests/grouped_differential.rs`), while
-    /// each flow pays only for the groups that can match it.
-    ///
-    /// Anchor-level [`BatchResult::matches`] stays empty in this mode:
-    /// pattern ids are group-local and would be ambiguous across groups.
-    /// [`MatcherStats::matches`] counts confirmed rules instead.
-    ///
-    /// # Panics
-    /// Panics if `workers` is zero.
-    #[deprecated(note = "use `ScannerBuilder::new().groups(..).workers(n).build_barrier()`")]
-    pub fn with_groups(engines: Arc<GroupedEngineSet>, workers: usize) -> Self {
-        Self::spawn(WorkerMode::Grouped(engines), workers, None)
-    }
-
-    /// Grouped rule mode with a resident-flow cap, combining
-    /// [`ShardedScanner::with_groups`] and
-    /// [`ShardedScanner::with_max_flows`].
-    ///
-    /// # Panics
-    /// Panics if `workers` or `max_flows` is zero.
-    #[deprecated(
-        note = "use `ScannerBuilder::new().groups(..).workers(n).max_flows(m).build_barrier()`"
-    )]
-    pub fn with_groups_max_flows(
-        engines: Arc<GroupedEngineSet>,
-        workers: usize,
-        max_flows: usize,
-    ) -> Self {
-        assert!(max_flows > 0, "max_flows must be at least 1");
-        Self::spawn(WorkerMode::Grouped(engines), workers, Some(max_flows))
-    }
-
-    /// Like [`ShardedScanner::new`], but bounds the per-flow stream state to
-    /// at most `max_flows` resident flows (rounded up to a whole number per
-    /// worker). When a worker is at its share of the cap and a packet for an
-    /// unseen flow arrives, the **least-recently-pushed** flow on that
-    /// worker is evicted first — eviction retires the flow's carry state
-    /// exactly like [`ShardedScanner::close_flow`], so a later packet for
-    /// the evicted flow starts a fresh stream at offset 0.
-    ///
-    /// Without a cap (`new`), per-flow state lives until `close_flow`; under
-    /// millions of short-lived flows that is unbounded growth, so a
-    /// long-running pipeline should either close flows as connections end or
-    /// run with a cap as its idle-timeout analogue.
-    ///
-    /// # Panics
-    /// Panics if `workers` or `max_flows` is zero, or the engine/set
-    /// disagree about the longest pattern.
-    #[deprecated(
-        note = "use `ScannerBuilder::new().engine(..).workers(n).max_flows(m).build_barrier()`"
-    )]
-    pub fn with_max_flows(
-        engine: SharedMatcher,
-        set: &PatternSet,
-        workers: usize,
-        max_flows: usize,
-    ) -> Self {
-        assert!(max_flows > 0, "max_flows must be at least 1");
-        Self::spawn(plain_mode(engine, set, None), workers, Some(max_flows))
-    }
-
     pub(crate) fn spawn(mode: WorkerMode, workers: usize, max_flows: Option<usize>) -> Self {
         assert!(workers > 0, "need at least one worker");
         // The cap is split evenly; div_ceil so the total never rounds below
@@ -541,7 +401,11 @@ fn worker_loop(receiver: Receiver<Job>, mode: WorkerMode, max_flows: Option<usiz
 mod tests {
     use super::*;
     use crate::builder::ScannerBuilder;
-    use mpm_patterns::NaiveMatcher;
+    use crate::group::GroupedEngineSet;
+    use crate::stream::SharedMatcher;
+    use mpm_patterns::rule::RuleSet;
+    use mpm_patterns::{NaiveMatcher, PatternSet};
+    use std::sync::Arc;
 
     fn engine(set: &PatternSet) -> SharedMatcher {
         Arc::from(NaiveMatcher::new(set))
@@ -635,22 +499,6 @@ mod tests {
         // Closing an unknown flow is a no-op.
         scanner.close_flow(12345);
         assert!(scanner.flush().matches.is_empty());
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one worker")]
-    #[allow(deprecated)] // the shim must keep its panic contract
-    fn zero_workers_rejected() {
-        let set = PatternSet::from_literals(&["x"]);
-        let _ = ShardedScanner::new(engine(&set), &set, 0);
-    }
-
-    #[test]
-    #[should_panic(expected = "max_flows must be at least 1")]
-    #[allow(deprecated)] // the shim must keep its panic contract
-    fn zero_max_flows_rejected() {
-        let set = PatternSet::from_literals(&["x"]);
-        let _ = ShardedScanner::with_max_flows(engine(&set), &set, 2, 0);
     }
 
     #[test]

@@ -25,13 +25,50 @@ use mpm_patterns::PatternSet;
 /// hardware gathers never read past the allocation (see `mpm_simd`).
 pub const FILTER_PADDING: usize = 4;
 
-/// Number of distinct 2-byte windows.
-const TWO_BYTE_SPACE: usize = 1 << 16;
+/// Full-size direct filter: one bit per possible 2-byte window.
+pub const DIRECT_FILTER_FULL_BITS: u32 = 16;
 
-/// A direct-indexed one-bit-per-2-byte-window filter (8 KB + padding).
+/// Smallest direct filter considered worthwhile (2^10 bits = 128 B). The
+/// lower bound also guarantees the index keeps at least the low 3 bits of
+/// the window, so the byte/bit split (`window >> 3`, `window & 7`) the SIMD
+/// `test_window_bits` contract relies on survives masking.
+pub const DIRECT_FILTER_MIN_BITS: u32 = 10;
+
+/// Index bits for a direct filter expected to hold `windows` distinct
+/// 2-byte windows: sized so at most ~1/8 of the bits are set (three bits of
+/// headroom over ⌈log₂ windows⌉), clamped to
+/// [`DIRECT_FILTER_MIN_BITS`]..=[`DIRECT_FILTER_FULL_BITS`]. This is the
+/// group-adaptive sizing rule: a port group with a dozen patterns gets a
+/// 128 B filter instead of the monolithic 8 KB one.
+pub fn direct_filter_bits_for(windows: usize) -> u32 {
+    let n = windows.max(1);
+    let ceil_log2 = usize::BITS - (n - 1).leading_zeros();
+    (ceil_log2 + 3).clamp(DIRECT_FILTER_MIN_BITS, DIRECT_FILTER_FULL_BITS)
+}
+
+/// Number of 2-byte windows the selected patterns will set in a direct
+/// filter (1-byte patterns set all 256 windows starting with their byte);
+/// the sizing input for [`direct_filter_bits_for`]. An over-count from
+/// shared prefixes only ever rounds the filter up.
+pub fn direct_filter_window_count<F: Fn(&mpm_patterns::Pattern) -> bool>(
+    set: &PatternSet,
+    select: F,
+) -> usize {
+    set.iter()
+        .filter(|(_, p)| select(p))
+        .map(|(_, p)| if p.len() == 1 { 256 } else { 1 })
+        .sum()
+}
+
+/// A direct-indexed one-bit-per-window filter over the low `bits_log2` bits
+/// of a 2-byte window (8 KB + padding at the default full size). Sizes
+/// below 16 bits alias windows modulo `2^bits_log2` — strictly more false
+/// positives, never a false negative, so exact verification downstream
+/// keeps the engine sound.
 #[derive(Clone, Debug)]
 pub struct DirectFilter {
     bits: Vec<u8>,
+    bits_log2: u32,
 }
 
 impl Default for DirectFilter {
@@ -41,10 +78,18 @@ impl Default for DirectFilter {
 }
 
 impl DirectFilter {
-    /// Creates an empty filter.
+    /// Creates an empty full-size (2^16-bit) filter.
     pub fn new() -> Self {
+        Self::with_bits(DIRECT_FILTER_FULL_BITS)
+    }
+
+    /// Creates an empty filter over `2^bits_log2` bits (clamped to
+    /// [`DIRECT_FILTER_MIN_BITS`]..=[`DIRECT_FILTER_FULL_BITS`]).
+    pub fn with_bits(bits_log2: u32) -> Self {
+        let bits_log2 = bits_log2.clamp(DIRECT_FILTER_MIN_BITS, DIRECT_FILTER_FULL_BITS);
         DirectFilter {
-            bits: vec![0u8; TWO_BYTE_SPACE / 8 + FILTER_PADDING],
+            bits: vec![0u8; (1usize << bits_log2) / 8 + FILTER_PADDING],
+            bits_log2,
         }
     }
 
@@ -68,8 +113,20 @@ impl DirectFilter {
         folded: bool,
         select: F,
     ) -> Self {
+        Self::build_sized_with_fold(set, DIRECT_FILTER_FULL_BITS, folded, select)
+    }
+
+    /// [`DirectFilter::build_with_fold`] into a `2^bits_log2`-bit filter —
+    /// the group-adaptive entry point (size via [`direct_filter_bits_for`]
+    /// over [`direct_filter_window_count`]).
+    pub fn build_sized_with_fold<F: Fn(&mpm_patterns::Pattern) -> bool>(
+        set: &PatternSet,
+        bits_log2: u32,
+        folded: bool,
+        select: F,
+    ) -> Self {
         let fold = |b: u8| mpm_patterns::fold_byte(b, folded);
-        let mut filter = DirectFilter::new();
+        let mut filter = DirectFilter::with_bits(bits_log2);
         for (_, p) in set.iter() {
             if !select(p) {
                 continue;
@@ -90,16 +147,39 @@ impl DirectFilter {
         filter
     }
 
-    /// Sets the bit for a window value.
+    /// Sets the bit for a window value (masked to the filter's index space).
     #[inline]
     pub fn set(&mut self, window: u16) {
-        self.bits[(window >> 3) as usize] |= 1 << (window & 7);
+        let w = (window as u32) & self.window_mask();
+        self.bits[(w >> 3) as usize] |= 1 << (w & 7);
     }
 
     /// Tests the bit for a window value.
     #[inline]
     pub fn contains(&self, window: u16) -> bool {
-        (self.bits[(window >> 3) as usize] >> (window & 7)) & 1 != 0
+        let w = (window as u32) & self.window_mask();
+        (self.bits[(w >> 3) as usize] >> (w & 7)) & 1 != 0
+    }
+
+    /// Number of index bits (`log2` of the bit count; 16 for a full filter).
+    #[inline]
+    pub fn bits_log2(&self) -> u32 {
+        self.bits_log2
+    }
+
+    /// Mask folding a raw window value into this filter's index space.
+    /// Always keeps the low 3 bits, so `window & 7` stays the bit index.
+    #[inline]
+    pub fn window_mask(&self) -> u32 {
+        (1u32 << self.bits_log2) - 1
+    }
+
+    /// Mask to apply to a raw **byte index** (`window >> 3`) to land inside
+    /// this filter's backing array — the SIMD gather form of
+    /// [`DirectFilter::window_mask`].
+    #[inline]
+    pub fn gather_index_mask(&self) -> u32 {
+        self.window_mask() >> 3
     }
 
     /// Number of set bits (used by tests and the filtering-rate analysis).
@@ -117,7 +197,7 @@ impl DirectFilter {
         &self.bits
     }
 
-    /// Resident size in bytes (8 KB + padding).
+    /// Resident size in bytes (8 KB + padding at full size).
     pub fn heap_bytes(&self) -> usize {
         self.bits.len()
     }
@@ -238,38 +318,64 @@ impl HashedFilter {
 #[derive(Clone, Debug)]
 pub struct MergedDirectFilters {
     bytes: Vec<u8>,
+    bits_log2: u32,
 }
 
 impl MergedDirectFilters {
-    /// Interleaves two direct filters byte-by-byte.
+    /// Interleaves two direct filters byte-by-byte. Both filters must be
+    /// the same size (build them with the same `bits_log2`).
     pub fn merge(f1: &DirectFilter, f2: &DirectFilter) -> Self {
-        let payload = TWO_BYTE_SPACE / 8;
+        assert_eq!(
+            f1.bits_log2(),
+            f2.bits_log2(),
+            "merged filters must be equally sized"
+        );
+        let payload = (1usize << f1.bits_log2()) / 8;
         let mut bytes = vec![0u8; payload * 2 + FILTER_PADDING];
         for i in 0..payload {
             bytes[2 * i] = f1.bytes()[i];
             bytes[2 * i + 1] = f2.bytes()[i];
         }
-        MergedDirectFilters { bytes }
+        MergedDirectFilters {
+            bytes,
+            bits_log2: f1.bits_log2(),
+        }
     }
 
-    /// Gather index (byte offset) for a window value: both filters' bytes for
-    /// `window` live at `2 * (window >> 3)` (+0 for filter 1, +1 for
-    /// filter 2).
+    /// Gather index (byte offset) for a window value: both filters' bytes
+    /// for `window` live at `2 * ((window & mask) >> 3)` (+0 for filter 1,
+    /// +1 for filter 2).
     #[inline]
-    pub fn gather_index(window: u32) -> u32 {
-        (window >> 3) * 2
+    pub fn gather_index(&self, window: u32) -> u32 {
+        ((window & ((1u32 << self.bits_log2) - 1)) >> 3) * 2
+    }
+
+    /// Mask form of [`MergedDirectFilters::gather_index`] for the SIMD
+    /// kernels: `gather_index(w) == (w >> 2) & gather_index_mask()`. At the
+    /// full 16-bit size this is `0x3ffe` — the even byte offsets of the
+    /// interleaved array (the constant the V-PATCH kernel historically
+    /// hard-coded as `!1`).
+    #[inline]
+    pub fn gather_index_mask(&self) -> u32 {
+        (((1u32 << self.bits_log2) - 1) >> 2) & !1
+    }
+
+    /// Number of index bits of the two merged filters.
+    #[inline]
+    pub fn bits_log2(&self) -> u32 {
+        self.bits_log2
     }
 
     /// Scalar lookup of filter 1 for a window value.
     #[inline]
     pub fn contains_f1(&self, window: u16) -> bool {
-        (self.bytes[Self::gather_index(window as u32) as usize] >> (window & 7)) & 1 != 0
+        (self.bytes[self.gather_index(window as u32) as usize] >> (window & 7)) & 1 != 0
     }
 
     /// Scalar lookup of filter 2 for a window value.
     #[inline]
     pub fn contains_f2(&self, window: u16) -> bool {
-        (self.bytes[Self::gather_index(window as u32) as usize + 1] >> (window & 7)) & 1 != 0
+        (self.bytes[self.gather_index(window as u32) as usize + 1] >> (window & 7)) & 1 != 0
     }
 
     /// Backing bytes (padded) for gathers.
@@ -278,7 +384,7 @@ impl MergedDirectFilters {
         &self.bytes
     }
 
-    /// Resident size in bytes (16 KB + padding).
+    /// Resident size in bytes (16 KB + padding at full size).
     pub fn heap_bytes(&self) -> usize {
         self.bytes.len()
     }
@@ -395,6 +501,68 @@ mod tests {
             assert_eq!(merged.contains_f2(w), f2.contains(w), "f2 mismatch at {w}");
         }
         assert_eq!(merged.heap_bytes(), 2 * 8192 + FILTER_PADDING);
+    }
+
+    #[test]
+    fn adaptive_sizing_rule() {
+        // ~1/8 density with clamping at both ends.
+        assert_eq!(direct_filter_bits_for(0), DIRECT_FILTER_MIN_BITS);
+        assert_eq!(direct_filter_bits_for(1), DIRECT_FILTER_MIN_BITS);
+        assert_eq!(direct_filter_bits_for(100), DIRECT_FILTER_MIN_BITS);
+        assert_eq!(direct_filter_bits_for(256), 11);
+        assert_eq!(direct_filter_bits_for(1 << 12), 15);
+        assert_eq!(direct_filter_bits_for(1 << 13), 16);
+        assert_eq!(direct_filter_bits_for(1 << 20), DIRECT_FILTER_FULL_BITS);
+    }
+
+    #[test]
+    fn window_count_expands_one_byte_patterns() {
+        let set = PatternSet::from_literals(&["x", "ab", "abcd"]);
+        assert_eq!(direct_filter_window_count(&set, |_| true), 258);
+        assert_eq!(direct_filter_window_count(&set, |p| p.len() >= 4), 1);
+    }
+
+    #[test]
+    fn small_filter_is_a_superset_of_the_full_one() {
+        // Masked indexing may alias (false positives) but never drops a
+        // window the full filter would accept.
+        let set = PatternSet::from_literals(&["GET /", "POST /", "ab", "x"]);
+        let full = DirectFilter::build(&set, |_| true);
+        let small = DirectFilter::build_sized_with_fold(&set, 10, false, |_| true);
+        assert_eq!(small.heap_bytes(), 128 + FILTER_PADDING);
+        for w in 0..=u16::MAX {
+            if full.contains(w) {
+                assert!(small.contains(w), "window {w:#06x} lost by downsizing");
+            }
+        }
+    }
+
+    #[test]
+    fn small_merged_filters_agree_with_separate_lookups() {
+        let set1 = PatternSet::from_literals(&["GE", "ab", "zz"]);
+        let set2 = PatternSet::from_literals(&["GEToverlong", "qrstuv"]);
+        let f1 = DirectFilter::build_sized_with_fold(&set1, 11, false, |_| true);
+        let f2 = DirectFilter::build_sized_with_fold(&set2, 11, false, |_| true);
+        let merged = MergedDirectFilters::merge(&f1, &f2);
+        assert_eq!(merged.heap_bytes(), 2 * 256 + FILTER_PADDING);
+        for w in 0..=u16::MAX {
+            assert_eq!(merged.contains_f1(w), f1.contains(w), "f1 mismatch at {w}");
+            assert_eq!(merged.contains_f2(w), f2.contains(w), "f2 mismatch at {w}");
+            // The SIMD form of the index matches the scalar one.
+            assert_eq!(
+                merged.gather_index(w as u32),
+                (w as u32 >> 2) & merged.gather_index_mask(),
+            );
+        }
+    }
+
+    #[test]
+    fn full_size_gather_mask_matches_the_historical_constant() {
+        let set = PatternSet::from_literals(&["ab", "abcd"]);
+        let f = DirectFilter::build(&set, |_| true);
+        let merged = MergedDirectFilters::merge(&f, &f);
+        assert_eq!(merged.gather_index_mask(), 0x3ffe);
+        assert_eq!(f.gather_index_mask(), 0x1fff);
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod confirm;
 pub mod filters;
 
 pub use confirm::{PayloadIndex, RuleConfirmer, RuleScanner};
-pub use filters::{DirectFilter, HashedFilter, MergedDirectFilters, FILTER_PADDING};
+pub use filters::{
+    direct_filter_bits_for, direct_filter_window_count, DirectFilter, HashedFilter,
+    MergedDirectFilters, DIRECT_FILTER_FULL_BITS, DIRECT_FILTER_MIN_BITS, FILTER_PADDING,
+};
 
 use mpm_patterns::{MatchEvent, PatternArena, PatternId, PatternSet};
 use mpm_simd::{prefetch_read, VectorBackend, GATHER_PADDING};
@@ -578,6 +581,26 @@ impl CompactHashTable {
         }
     }
 
+    /// Issues best-effort prefetches for the bucket rows of the leading
+    /// `limit` candidates, without verifying anything. The scan graph's
+    /// overlapped executor calls this (via `ScanOp::prime`) before running
+    /// the *next* chunk's filter pass, so by the time
+    /// [`CompactHashTable::verify_batch`] starts on these candidates its
+    /// first `bucket_starts` rows are already in flight — the cross-chunk
+    /// software-pipelining hook. Read-only; has no observable effect on
+    /// results.
+    pub fn prefetch_candidates(&self, haystack: &[u8], positions: &[u32], limit: usize) {
+        if self.entries.is_empty() {
+            return;
+        }
+        for &pos in positions.iter().take(limit) {
+            let b = self.scalar_bucket(haystack, pos as usize);
+            if b != SKIP_BUCKET {
+                prefetch_read(&self.bucket_starts[b as usize]);
+            }
+        }
+    }
+
     /// Drains one block of candidates through the K-deep prefetch pipeline.
     #[inline(always)]
     fn drain_pipelined<B: VectorBackend<W>, const W: usize, const FOLD: bool>(
@@ -788,6 +811,14 @@ impl Verifier {
         out: &mut Vec<MatchEvent>,
     ) -> u64 {
         self.long.verify_batch::<B, W>(haystack, positions, out)
+    }
+
+    /// Prefetches the bucket rows of the leading short/long candidates (see
+    /// [`CompactHashTable::prefetch_candidates`]); the engines' graph verify
+    /// operators call this from their `prime` hook.
+    pub fn prefetch_batches(&self, haystack: &[u8], short: &[u32], long: &[u32], limit: usize) {
+        self.short.prefetch_candidates(haystack, short, limit);
+        self.long.prefetch_candidates(haystack, long, limit);
     }
 
     /// The short-pattern table.

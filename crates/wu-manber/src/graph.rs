@@ -1,0 +1,211 @@
+//! Wu-Manber as a **scan-graph assembly**.
+//!
+//! Three operators replace the historical interleaved scan:
+//!
+//! * `wm:one-byte` (filter stage) — the dedicated single-byte pass. Its
+//!   matches are exact without verification, so they go to the
+//!   scratchpad's banked event buffer and the executor merges them into
+//!   the output at the chunk's drain point (keeping the overlapped and
+//!   sequential schedules byte-identical).
+//! * `wm:shift` (filter stage) — the shift-table walk, buffering the
+//!   zero-shift candidate windows as `(window start, block value)` pairs
+//!   into a slot pair instead of verifying them inline.
+//! * `wm:verify` (verify stage) — drains the candidate pairs through the
+//!   bucket walk with the backend's vector window comparison, prefetching
+//!   [`WM_PREFETCH`](crate) candidates ahead.
+//!
+//! The walk restarts at every chunk boundary; the shift invariant makes
+//! that safe (see [`WmCore::shift_walk_range`]), so chunking — and with
+//! it streaming and the double-banked overlap schedule — comes for free.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use mpm_graph::{Chunk, GraphBuilder, GraphConfig, ScanGraph, ScanOp, Scratchpad, SlotId, Stage};
+use mpm_patterns::MatchEvent;
+use mpm_simd::{prefetch_read, VectorBackend};
+
+use crate::WmCore;
+
+/// How many leading candidates the prime hook prefetches bucket storage
+/// for while the next chunk is still being filtered.
+const PRIME_CANDIDATES: usize = 64;
+
+/// The slot pair all Wu-Manber assemblies allocate: candidate window
+/// starts (counted — each zero-shift window is one candidate) and their
+/// block values (uncounted, parallel to `starts`).
+#[derive(Clone, Copy)]
+pub(crate) struct WmSlots {
+    starts: SlotId,
+    values: SlotId,
+}
+
+/// Filter-stage operator: the exact single-byte pass.
+struct WmOneByteOp {
+    core: Arc<WmCore>,
+}
+
+impl ScanOp for WmOneByteOp {
+    fn name(&self) -> &'static str {
+        "wm:one-byte"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Filter
+    }
+
+    fn execute(&self, chunk: Chunk<'_>, pad: &mut Scratchpad, _out: &mut Vec<MatchEvent>) {
+        self.core
+            .scan_one_byte_range(chunk.haystack, chunk.start, chunk.end, pad.events_mut());
+    }
+}
+
+/// Filter-stage operator: the shift-table walk.
+struct WmShiftFilterOp {
+    core: Arc<WmCore>,
+    slots: WmSlots,
+}
+
+impl ScanOp for WmShiftFilterOp {
+    fn name(&self) -> &'static str {
+        "wm:shift"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Filter
+    }
+
+    fn init(&self, batch: usize, pad: &mut Scratchpad) {
+        pad.reserve_slot(self.slots.starts, batch / 32 + 16);
+        pad.reserve_slot(self.slots.values, batch / 32 + 16);
+    }
+
+    fn execute(&self, chunk: Chunk<'_>, pad: &mut Scratchpad, _out: &mut Vec<MatchEvent>) {
+        let mut starts = pad.take_write(self.slots.starts);
+        let mut values = pad.take_write(self.slots.values);
+        if self.core.folded {
+            self.core.shift_walk_range::<true>(
+                chunk.haystack,
+                chunk.start,
+                chunk.end,
+                &mut starts,
+                &mut values,
+            );
+        } else {
+            self.core.shift_walk_range::<false>(
+                chunk.haystack,
+                chunk.start,
+                chunk.end,
+                &mut starts,
+                &mut values,
+            );
+        }
+        pad.put_write(self.slots.starts, starts);
+        pad.put_write(self.slots.values, values);
+    }
+}
+
+/// Verify-stage operator: the bucket walk over the buffered candidates.
+struct WmVerifyOp<S: VectorBackend<W>, const W: usize> {
+    core: Arc<WmCore>,
+    slots: WmSlots,
+    _backend: PhantomData<fn() -> S>,
+}
+
+impl<S: VectorBackend<W>, const W: usize> ScanOp for WmVerifyOp<S, W> {
+    fn name(&self) -> &'static str {
+        "wm:verify"
+    }
+
+    fn stage(&self) -> Stage {
+        Stage::Verify
+    }
+
+    fn execute(&self, chunk: Chunk<'_>, pad: &mut Scratchpad, out: &mut Vec<MatchEvent>) {
+        let starts = pad.take_read(self.slots.starts);
+        let values = pad.take_read(self.slots.values);
+        if self.core.folded {
+            self.core
+                .drain_candidates::<S, W, true>(chunk.haystack, &starts, &values, out);
+        } else {
+            self.core
+                .drain_candidates::<S, W, false>(chunk.haystack, &starts, &values, out);
+        }
+        pad.put_read(self.slots.starts, starts);
+        pad.put_read(self.slots.values, values);
+    }
+
+    fn prime(&self, _chunk: Chunk<'_>, pad: &Scratchpad) {
+        for &value in pad.read(self.slots.values).iter().take(PRIME_CANDIDATES) {
+            prefetch_read(self.core.buckets[value as usize].as_ptr());
+        }
+    }
+}
+
+/// Assembles the Wu-Manber graph for one SIMD backend. The single-byte op
+/// is only added when the set has single-byte patterns, so the common
+/// (all-patterns ≥ 2 bytes) case pays nothing for the extra pass.
+pub(crate) fn build_wm_graph<S: VectorBackend<W>, const W: usize>(core: &Arc<WmCore>) -> ScanGraph {
+    let mut b = GraphBuilder::new();
+    let slots = WmSlots {
+        starts: b.slot(true),
+        values: b.slot(false),
+    };
+    b.config(GraphConfig::from_env());
+    if core.has_one_byte {
+        b.op(Arc::new(WmOneByteOp { core: core.clone() }));
+    }
+    b.op(Arc::new(WmShiftFilterOp {
+        core: core.clone(),
+        slots,
+    }));
+    b.op(Arc::new(WmVerifyOp::<S, W> {
+        core: core.clone(),
+        slots,
+        _backend: PhantomData,
+    }));
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::WuManber;
+    use mpm_graph::GraphConfig;
+    use mpm_patterns::{MatchEvent, Matcher, PatternSet};
+
+    fn sorted(mut v: Vec<MatchEvent>) -> Vec<MatchEvent> {
+        v.sort_unstable_by_key(|m| (m.start, m.pattern.0));
+        v
+    }
+
+    #[test]
+    fn graph_matches_legacy_across_chunkings_and_overlap() {
+        let set = PatternSet::from_literals(&["announce", "annual", "annually", "x", "ab"]);
+        let hay: Vec<u8> = b"announce the annual xx event annually ab "
+            .iter()
+            .cycle()
+            .take(4096 + 29)
+            .copied()
+            .collect();
+
+        let wm = WuManber::build(&set);
+        let mut legacy = Vec::new();
+        wm.find_into_legacy(&hay, &mut legacy);
+        let legacy = sorted(legacy);
+
+        for chunk in [64usize, 512, 1 << 16] {
+            for overlap in [false, true] {
+                let mut w = WuManber::build(&set);
+                w.set_graph_config(GraphConfig { chunk, overlap }.normalize());
+                assert_eq!(
+                    sorted(w.find_all(&hay)),
+                    legacy,
+                    "chunk={chunk} overlap={overlap}"
+                );
+                let stats = w.scan_with_stats(&hay);
+                assert_eq!(stats.matches as usize, legacy.len());
+                assert!(stats.candidates > 0);
+            }
+        }
+    }
+}

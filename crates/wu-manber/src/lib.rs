@@ -33,10 +33,14 @@
 
 #![warn(missing_docs)]
 
+pub(crate) mod graph;
+
+use mpm_graph::{with_cached_scratchpad, GraphConfig, ScanGraph};
 use mpm_patterns::{fold_byte, MatchEvent, Matcher, PatternId, PatternSet};
 use mpm_simd::{
     prefetch_read, Avx2Backend, Avx512Backend, BackendKind, ScalarBackend, VectorBackend,
 };
+use std::sync::Arc;
 
 /// Block size used for the shift table (the classic choice).
 const B: usize = 2;
@@ -55,31 +59,45 @@ const WM_BATCH: usize = 64;
 /// is requested while candidate `i`'s patterns are compared.
 const WM_PREFETCH: usize = 4;
 
-/// Wu-Manber matcher.
+/// The compiled Wu-Manber state — everything the scan needs, shared by
+/// the engine facade and the scan-graph operators through an [`Arc`].
 #[derive(Clone, Debug)]
-pub struct WuManber {
-    set: PatternSet,
+pub(crate) struct WmCore {
+    pub(crate) set: PatternSet,
     /// Shortest pattern length among the patterns handled by the shift
     /// machinery (length ≥ 2). Zero when there are none.
-    m: usize,
+    pub(crate) m: usize,
     /// Safe shift distance per 2-byte block value.
-    shift: Vec<u16>,
+    pub(crate) shift: Vec<u16>,
     /// Candidate pattern ids per 2-byte block value (only populated where
     /// `shift == 0`).
-    buckets: Vec<Vec<PatternId>>,
+    pub(crate) buckets: Vec<Vec<PatternId>>,
     /// Single-byte patterns, handled by a dedicated pass: `one_byte[b]`
     /// lists the ids of patterns matching byte `b` (a `nocase` letter is
     /// registered under both of its case variants).
-    one_byte: Vec<Vec<PatternId>>,
-    has_one_byte: bool,
+    pub(crate) one_byte: Vec<Vec<PatternId>>,
+    pub(crate) has_one_byte: bool,
+    /// True if the SHIFT/HASH tables were built over ASCII-case-folded
+    /// pattern bytes (the set contains a `nocase` pattern); the scan folds
+    /// input block values to match.
+    pub(crate) folded: bool,
+}
+
+/// Wu-Manber matcher.
+///
+/// Since PR 9 the scan path is a graph assembly (`graph` module): the
+/// single-byte pass, the shift walk and the candidate drain are separate
+/// operators scheduled by [`ScanGraph`]. The historical interleaved scan
+/// is retained as [`WuManber::find_into_legacy`], the differential oracle
+/// the graph path is tested against.
+#[derive(Clone, Debug)]
+pub struct WuManber {
+    core: Arc<WmCore>,
     /// SIMD backend the candidate drain's window compares dispatch to,
     /// resolved once at build time (`MPM_FORCE_BACKEND` pins it, exactly as
     /// for the filtering engines) so the per-scan path allocates nothing.
     backend: BackendKind,
-    /// True if the SHIFT/HASH tables were built over ASCII-case-folded
-    /// pattern bytes (the set contains a `nocase` pattern); the scan folds
-    /// input block values to match.
-    folded: bool,
+    graph: ScanGraph,
 }
 
 #[inline]
@@ -87,9 +105,9 @@ fn block_value(a: u8, b: u8) -> usize {
     u16::from_le_bytes([a, b]) as usize
 }
 
-impl WuManber {
-    /// Compiles the matcher for `set`.
-    pub fn build(set: &PatternSet) -> Self {
+impl WmCore {
+    /// Compiles the shared scan state for `set`.
+    fn build(set: &PatternSet) -> Self {
         let folded = set.has_nocase();
         let fold = |b: u8| fold_byte(b, folded);
         let mut one_byte = vec![Vec::new(); 256];
@@ -139,74 +157,57 @@ impl WuManber {
             }
         }
 
-        WuManber {
+        WmCore {
             set: set.clone(),
             m,
             shift,
             buckets,
             one_byte,
             has_one_byte,
-            backend: mpm_simd::detect_best(),
             folded,
         }
     }
 
-    /// True if the tables were built over ASCII-case-folded bytes (the set
-    /// contains a `nocase` pattern).
-    pub fn is_folded(&self) -> bool {
-        self.folded
-    }
-
-    /// Shortest shift-eligible pattern length (`0` if all patterns are
-    /// single bytes). The average shift — and therefore the throughput — is
-    /// bounded by this value, which is the paper's argument against
-    /// Wu-Manber for rulesets with short patterns.
-    pub fn window_len(&self) -> usize {
-        self.m
-    }
-
-    /// Average shift value over the whole table (diagnostic; large is good).
-    pub fn average_shift(&self) -> f64 {
-        if self.m < B {
-            return 0.0;
-        }
-        self.shift.iter().map(|&s| s as f64).sum::<f64>() / self.shift.len() as f64
-    }
-
-    fn scan_one_byte(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
-        for (i, &b) in haystack.iter().enumerate() {
+    /// Emits the single-byte matches whose position lies in `start..end`
+    /// (this pass is exact, so its events need no verification round).
+    pub(crate) fn scan_one_byte_range(
+        &self,
+        haystack: &[u8],
+        start: usize,
+        end: usize,
+        out: &mut Vec<MatchEvent>,
+    ) {
+        for (i, &b) in haystack[start..end].iter().enumerate() {
             for &id in &self.one_byte[b as usize] {
-                out.push(MatchEvent::new(i, id));
+                out.push(MatchEvent::new(start + i, id));
             }
         }
     }
 
-    /// The shift-table scan over patterns of length ≥ `B`, monomorphized per
-    /// case mode (`FOLD = true` folds the input block values to match the
-    /// folded tables) and per SIMD backend `S` (used only in the candidate
-    /// drain; the shift walk itself is inherently scalar).
-    ///
-    /// Zero-shift candidates are **batched**: `(start, block value)` pairs
-    /// are buffered — prefetching the bucket header the moment the candidate
-    /// is found — and drained [`WM_BATCH`] at a time through
-    /// [`WuManber::drain_candidates`], so the bucket walks of consecutive
-    /// candidates overlap in the memory system instead of serialising.
-    fn shift_scan<S: VectorBackend<W>, const W: usize, const FOLD: bool>(
+    /// The shift-table walk over window-end positions in `start..end`,
+    /// buffering the zero-shift candidate windows as `(window start, block
+    /// value)` pairs instead of verifying them inline. The walk restarts at
+    /// each range boundary, which can examine a position a continuous walk
+    /// would have skipped over — harmless, because the shift invariant
+    /// guarantees no true match ends at a skipped position, so any extra
+    /// candidate is rejected by verification.
+    pub(crate) fn shift_walk_range<const FOLD: bool>(
         &self,
         haystack: &[u8],
-        out: &mut Vec<MatchEvent>,
+        start: usize,
+        end: usize,
+        starts: &mut Vec<u32>,
+        values: &mut Vec<u32>,
     ) {
         let m = self.m;
         if m < B || haystack.len() < m {
             return;
         }
-        let n = haystack.len();
-        let mut pend_start = [0u32; WM_BATCH];
-        let mut pend_value = [0u32; WM_BATCH];
-        let mut pending = 0usize;
-        // `pos` is the index of the last byte of the current m-byte window.
-        let mut pos = m - 1;
-        while pos < n {
+        // `pos` is the index of the last byte of the current m-byte window;
+        // the window itself may begin before `start` (in the previous
+        // chunk), which is fine — ops always see the full haystack.
+        let mut pos = start.max(m - 1);
+        while pos < end {
             let value = block_value(
                 fold_byte(haystack[pos - 1], FOLD),
                 fold_byte(haystack[pos], FOLD),
@@ -216,24 +217,13 @@ impl WuManber {
                 pos += shift;
                 continue;
             }
-            // Candidate window: buffer it and request its bucket now, so the
-            // pattern-id list is resident by the time the drain walks it.
+            // Request the bucket header now, so the pattern-id list is
+            // resident by the time the drain walks it.
             prefetch_read(&self.buckets[value]);
-            pend_start[pending] = (pos + 1 - m) as u32;
-            pend_value[pending] = value as u32;
-            pending += 1;
-            if pending == WM_BATCH {
-                self.drain_candidates::<S, W, FOLD>(haystack, &pend_start, &pend_value, out);
-                pending = 0;
-            }
+            starts.push((pos + 1 - m) as u32);
+            values.push(value as u32);
             pos += 1;
         }
-        self.drain_candidates::<S, W, FOLD>(
-            haystack,
-            &pend_start[..pending],
-            &pend_value[..pending],
-            out,
-        );
     }
 
     /// Verifies a buffered block of zero-shift candidates: every pattern in
@@ -241,7 +231,7 @@ impl WuManber {
     /// start under its own case rule, via the backend's vector window
     /// comparison. The id storage of candidate `i + K` is prefetched while
     /// candidate `i` is verified.
-    fn drain_candidates<S: VectorBackend<W>, const W: usize, const FOLD: bool>(
+    pub(crate) fn drain_candidates<S: VectorBackend<W>, const W: usize, const FOLD: bool>(
         &self,
         haystack: &[u8],
         starts: &[u32],
@@ -276,14 +266,145 @@ impl WuManber {
             }
         });
     }
+}
 
-    /// Monomorphizes the shift scan over the fold mode for one backend.
+impl WuManber {
+    /// Compiles the matcher for `set`.
+    pub fn build(set: &PatternSet) -> Self {
+        let core = Arc::new(WmCore::build(set));
+        let backend = mpm_simd::detect_best();
+        let graph = match backend {
+            BackendKind::Scalar => graph::build_wm_graph::<ScalarBackend, 8>(&core),
+            BackendKind::Avx2 => graph::build_wm_graph::<Avx2Backend, 8>(&core),
+            BackendKind::Avx512 => graph::build_wm_graph::<Avx512Backend, 16>(&core),
+        };
+        WuManber {
+            core,
+            backend,
+            graph,
+        }
+    }
+
+    /// True if the tables were built over ASCII-case-folded bytes (the set
+    /// contains a `nocase` pattern).
+    pub fn is_folded(&self) -> bool {
+        self.core.folded
+    }
+
+    /// Shortest shift-eligible pattern length (`0` if all patterns are
+    /// single bytes). The average shift — and therefore the throughput — is
+    /// bounded by this value, which is the paper's argument against
+    /// Wu-Manber for rulesets with short patterns.
+    pub fn window_len(&self) -> usize {
+        self.core.m
+    }
+
+    /// Average shift value over the whole table (diagnostic; large is good).
+    pub fn average_shift(&self) -> f64 {
+        if self.core.m < B {
+            return 0.0;
+        }
+        self.core.shift.iter().map(|&s| s as f64).sum::<f64>() / self.core.shift.len() as f64
+    }
+
+    /// The operator graph the scan path executes.
+    pub fn graph(&self) -> &ScanGraph {
+        &self.graph
+    }
+
+    /// The graph's chunking/overlap configuration.
+    pub fn graph_config(&self) -> GraphConfig {
+        self.graph.config()
+    }
+
+    /// Overrides the graph's chunking/overlap configuration (used by the
+    /// benchmark harness and the differential tests for deterministic A/B
+    /// runs without environment races).
+    pub fn set_graph_config(&mut self, config: GraphConfig) {
+        self.graph.set_config(config);
+    }
+
+    /// The pre-PR 9 interleaved scan (single-byte pass + shift walk with
+    /// inline batched verification), kept as the differential oracle for
+    /// the graph assembly.
+    pub fn find_into_legacy(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
+        if self.core.has_one_byte {
+            self.core
+                .scan_one_byte_range(haystack, 0, haystack.len(), out);
+        }
+        // The candidate drain's window compares ride the backend resolved at
+        // build time; the shift walk itself is scalar.
+        match self.backend {
+            BackendKind::Scalar => self.shift_scan_on::<ScalarBackend, 8>(haystack, out),
+            BackendKind::Avx2 => self.shift_scan_on::<Avx2Backend, 8>(haystack, out),
+            BackendKind::Avx512 => self.shift_scan_on::<Avx512Backend, 16>(haystack, out),
+        }
+    }
+
+    /// The shift-table scan over patterns of length ≥ `B`, monomorphized per
+    /// case mode (`FOLD = true` folds the input block values to match the
+    /// folded tables) and per SIMD backend `S` (used only in the candidate
+    /// drain; the shift walk itself is inherently scalar).
+    ///
+    /// Zero-shift candidates are **batched**: `(start, block value)` pairs
+    /// are buffered — prefetching the bucket header the moment the candidate
+    /// is found — and drained [`WM_BATCH`] at a time through
+    /// [`WuManber::drain_candidates`], so the bucket walks of consecutive
+    /// candidates overlap in the memory system instead of serialising.
+    fn shift_scan<S: VectorBackend<W>, const W: usize, const FOLD: bool>(
+        &self,
+        haystack: &[u8],
+        out: &mut Vec<MatchEvent>,
+    ) {
+        let core = &*self.core;
+        let m = core.m;
+        if m < B || haystack.len() < m {
+            return;
+        }
+        let n = haystack.len();
+        let mut pend_start = [0u32; WM_BATCH];
+        let mut pend_value = [0u32; WM_BATCH];
+        let mut pending = 0usize;
+        // `pos` is the index of the last byte of the current m-byte window.
+        let mut pos = m - 1;
+        while pos < n {
+            let value = block_value(
+                fold_byte(haystack[pos - 1], FOLD),
+                fold_byte(haystack[pos], FOLD),
+            );
+            let shift = core.shift[value] as usize;
+            if shift > 0 {
+                pos += shift;
+                continue;
+            }
+            // Candidate window: buffer it and request its bucket now, so the
+            // pattern-id list is resident by the time the drain walks it.
+            prefetch_read(&core.buckets[value]);
+            pend_start[pending] = (pos + 1 - m) as u32;
+            pend_value[pending] = value as u32;
+            pending += 1;
+            if pending == WM_BATCH {
+                core.drain_candidates::<S, W, FOLD>(haystack, &pend_start, &pend_value, out);
+                pending = 0;
+            }
+            pos += 1;
+        }
+        core.drain_candidates::<S, W, FOLD>(
+            haystack,
+            &pend_start[..pending],
+            &pend_value[..pending],
+            out,
+        );
+    }
+
+    /// Monomorphizes the legacy shift scan over the fold mode for one
+    /// backend.
     fn shift_scan_on<S: VectorBackend<W>, const W: usize>(
         &self,
         haystack: &[u8],
         out: &mut Vec<MatchEvent>,
     ) {
-        if self.folded {
+        if self.core.folded {
             self.shift_scan::<S, W, true>(haystack, out);
         } else {
             self.shift_scan::<S, W, false>(haystack, out);
@@ -297,7 +418,8 @@ impl Matcher for WuManber {
     }
 
     fn max_pattern_len(&self) -> usize {
-        self.set
+        self.core
+            .set
             .patterns()
             .iter()
             .map(|p| p.len())
@@ -306,15 +428,22 @@ impl Matcher for WuManber {
     }
 
     fn find_into(&self, haystack: &[u8], out: &mut Vec<MatchEvent>) {
-        if self.has_one_byte {
-            self.scan_one_byte(haystack, out);
-        }
-        // The candidate drain's window compares ride the backend resolved at
-        // build time; the shift walk itself is scalar.
-        match self.backend {
-            BackendKind::Scalar => self.shift_scan_on::<ScalarBackend, 8>(haystack, out),
-            BackendKind::Avx2 => self.shift_scan_on::<Avx2Backend, 8>(haystack, out),
-            BackendKind::Avx512 => self.shift_scan_on::<Avx512Backend, 16>(haystack, out),
+        with_cached_scratchpad(|pad| self.graph.run(haystack, pad, out));
+    }
+
+    fn scan_with_stats(&self, haystack: &[u8]) -> mpm_patterns::MatcherStats {
+        let mut out = Vec::new();
+        let counters = with_cached_scratchpad(|pad| {
+            self.graph.run(haystack, pad, &mut out);
+            pad.counters
+        });
+        mpm_patterns::MatcherStats {
+            bytes_scanned: haystack.len() as u64,
+            candidates: counters.candidates,
+            matches: out.len() as u64,
+            filter_nanos: counters.filter_nanos,
+            verify_nanos: counters.verify_nanos,
+            ..mpm_patterns::MatcherStats::default()
         }
     }
 
@@ -327,14 +456,21 @@ impl Matcher for WuManber {
         mpm_patterns::MemoryFootprint {
             // The shift table is what the skip loop touches per position —
             // Wu-Manber's analogue of the filtering structures.
-            filter_bytes: self.shift.len() * 2,
+            filter_bytes: self.core.shift.len() * 2,
             // Candidate buckets + the pattern bytes they are compared to.
             verify_bytes: self
+                .core
                 .buckets
                 .iter()
                 .map(|b| b.len() * std::mem::size_of::<PatternId>())
                 .sum::<usize>()
-                + self.set.patterns().iter().map(|p| p.len()).sum::<usize>(),
+                + self
+                    .core
+                    .set
+                    .patterns()
+                    .iter()
+                    .map(|p| p.len())
+                    .sum::<usize>(),
             other_bytes: 0,
         }
     }

@@ -1,0 +1,282 @@
+//! PR 9 differential suite: every engine's **graph-assembled** scan path
+//! must be equivalent to its retained legacy monolithic pass — same match
+//! set, same candidate statistics — for every forced backend, one-shot and
+//! streamed, under random chunkings, with the overlapped schedule on and
+//! off. Additionally, at a fixed chunk size the overlapped and sequential
+//! schedules must produce **byte-identical** output (same order), which is
+//! the invariant that makes `overlap` a pure performance knob.
+//!
+//! CI runs this suite once per forced backend (`MPM_FORCE_BACKEND=scalar|
+//! avx2|avx512`); within one run it additionally iterates every backend
+//! available on the host, so the full matrix is covered even locally.
+
+use std::sync::Arc;
+
+use mpm_graph::GraphConfig;
+use mpm_patterns::{MatchEvent, Matcher, Pattern, PatternSet};
+use mpm_simd::BackendKind;
+use mpm_stream::{SharedMatcher, StreamScanner};
+
+/// Chunk sizes exercised for every engine: aligned, unaligned (normalized
+/// up by the graph), tiny, and larger-than-input.
+const CHUNKS: &[usize] = &[32, 64, 96, 131, 256, 1000, 4096, 1 << 20];
+
+fn sorted(mut v: Vec<MatchEvent>) -> Vec<MatchEvent> {
+    v.sort_unstable_by_key(|m| (m.start, m.pattern.0));
+    v
+}
+
+/// A verify-heavy adversarial input: dense near-matches keep the verify
+/// stage busy (the workload the overlapped schedule targets), plus clean
+/// filler so the filter stage also gets exercised.
+fn adversarial_haystack(len: usize) -> Vec<u8> {
+    let phrase = b"GET /etc/passwd attack attac attach cmd.exe cmd.ex aab ab GET GE ";
+    phrase.iter().cycle().take(len).copied().collect()
+}
+
+fn rules() -> PatternSet {
+    PatternSet::from_literals(&[
+        "a",
+        "ab",
+        "GET",
+        "abcd",
+        "attack",
+        "attach",
+        "cmd.exe",
+        "/etc/passwd",
+    ])
+}
+
+fn rules_nocase() -> PatternSet {
+    PatternSet::new(vec![
+        Pattern::literal_nocase(*b"AtTaCk"),
+        Pattern::literal(*b"GET"),
+        Pattern::literal_nocase(*b"x"),
+        Pattern::literal_nocase(*b"Cmd.Exe"),
+        Pattern::literal(*b"ab"),
+    ])
+}
+
+/// Deterministic xorshift so the "random" chunkings are reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// Splits `hay` into random packets and runs them through a
+/// [`StreamScanner`] over `engine` (whose per-chunk scans all go through
+/// the graph path), comparing against the one-shot legacy match set.
+fn check_streamed(engine: SharedMatcher, set: &PatternSet, hay: &[u8], legacy: &[MatchEvent]) {
+    let mut rng = Rng(0x9e3779b97f4a7c15);
+    for _ in 0..3 {
+        let mut scanner = StreamScanner::new(engine.clone(), set);
+        let mut got = Vec::new();
+        let mut offset = 0;
+        while offset < hay.len() {
+            let step = 1 + (rng.next() % 1500) as usize;
+            let end = (offset + step).min(hay.len());
+            scanner.push(&hay[offset..end], &mut got);
+            offset = end;
+        }
+        assert_eq!(sorted(got), legacy, "streamed scan diverged from legacy");
+    }
+}
+
+/// The core differential check, generic over a concrete engine type.
+///
+/// `legacy(e, hay)` runs the retained monolithic pass; `configure` applies
+/// a [`GraphConfig`] to the engine's graph. The engine's [`Matcher`] entry
+/// points are the graph path under test.
+fn check_engine<E, L, C>(
+    name: &str,
+    build: impl Fn() -> E,
+    legacy: L,
+    configure: C,
+    set: &PatternSet,
+    candidates_chunk_invariant: bool,
+) where
+    E: Matcher + Send + Sync + 'static,
+    L: Fn(&E, &[u8]) -> Vec<MatchEvent>,
+    C: Fn(&mut E, GraphConfig),
+{
+    let hay = adversarial_haystack(48 * 1024 + 37);
+    let oracle_engine = build();
+    let oracle = sorted(legacy(&oracle_engine, &hay));
+    assert!(
+        !oracle.is_empty(),
+        "{name}: oracle found nothing — bad setup"
+    );
+
+    let mut candidates_seen: Option<u64> = None;
+    for &chunk in CHUNKS {
+        // The two schedules must agree with the oracle *and* with each
+        // other byte-for-byte (same event order) at the same chunk size.
+        let mut per_overlap: Vec<Vec<MatchEvent>> = Vec::new();
+        let mut per_overlap_candidates: Vec<u64> = Vec::new();
+        for overlap in [false, true] {
+            let mut e = build();
+            configure(&mut e, GraphConfig { chunk, overlap }.normalize());
+            let got = e.find_all(&hay);
+            assert_eq!(
+                sorted(got.clone()),
+                oracle,
+                "{name}: graph(chunk={chunk}, overlap={overlap}) != legacy"
+            );
+            let stats = e.scan_with_stats(&hay);
+            assert_eq!(
+                stats.matches as usize,
+                oracle.len(),
+                "{name}: stats.matches"
+            );
+            assert_eq!(stats.bytes_scanned as usize, hay.len());
+            per_overlap.push(got);
+            per_overlap_candidates.push(stats.candidates);
+        }
+        assert_eq!(
+            per_overlap[0], per_overlap[1],
+            "{name}: overlap on/off output not byte-identical at chunk={chunk}"
+        );
+        assert_eq!(
+            per_overlap_candidates[0], per_overlap_candidates[1],
+            "{name}: overlap on/off candidate counters diverge at chunk={chunk}"
+        );
+        if candidates_chunk_invariant {
+            let c = per_overlap_candidates[0];
+            match candidates_seen {
+                None => candidates_seen = Some(c),
+                Some(prev) => assert_eq!(
+                    prev, c,
+                    "{name}: candidate counter not chunk-invariant at chunk={chunk}"
+                ),
+            }
+        }
+    }
+
+    // Streamed: random packet splits over the default graph config.
+    let engine: SharedMatcher = Arc::new(build());
+    check_streamed(engine, set, &hay, &oracle);
+}
+
+/// Runs the whole engine matrix for one vector backend width.
+fn run_matrix_for_backend(kind: BackendKind) {
+    for set in [rules(), rules_nocase()] {
+        // S-PATCH (scalar two-round engine; backend-independent, checked
+        // once per backend anyway — it is cheap and keeps the loop simple).
+        check_engine(
+            "S-PATCH",
+            || mpm_vpatch::SPatch::build(&set),
+            |e, h| {
+                let mut out = Vec::new();
+                e.find_into_legacy(h, &mut out);
+                out
+            },
+            |e, cfg| e.set_graph_config(cfg),
+            &set,
+            true,
+        );
+
+        // DFC (scalar baseline).
+        check_engine(
+            "DFC",
+            || mpm_dfc::Dfc::build(&set),
+            |e, h| {
+                let mut out = Vec::new();
+                e.find_into_legacy(h, &mut out);
+                out
+            },
+            |e, cfg| e.set_graph_config(cfg),
+            &set,
+            true,
+        );
+
+        // Wu-Manber: candidate counts are legitimately chunk-dependent
+        // (the shift walk restarts at chunk boundaries), so only the
+        // overlap-invariance of the counters is asserted.
+        check_engine(
+            "Wu-Manber",
+            || mpm_wu_manber::WuManber::build(&set),
+            |e, h| {
+                let mut out = Vec::new();
+                e.find_into_legacy(h, &mut out);
+                out
+            },
+            |e, cfg| e.set_graph_config(cfg),
+            &set,
+            false,
+        );
+
+        // V-PATCH and Vector-DFC at the backend's concrete type.
+        macro_rules! vector_engines {
+            ($backend:ty, $w:expr) => {{
+                check_engine(
+                    "V-PATCH",
+                    || mpm_vpatch::VPatch::<$backend, $w>::build(&set),
+                    |e, h| {
+                        let mut out = Vec::new();
+                        e.find_into_legacy(h, &mut out);
+                        out
+                    },
+                    |e, cfg| e.set_graph_config(cfg),
+                    &set,
+                    true,
+                );
+                check_engine(
+                    "Vector-DFC",
+                    || mpm_dfc::VectorDfc::<$backend, $w>::build(&set),
+                    |e, h| {
+                        let mut out = Vec::new();
+                        e.find_into_legacy(h, &mut out);
+                        out
+                    },
+                    |e, cfg| e.set_graph_config(cfg),
+                    &set,
+                    true,
+                );
+            }};
+        }
+        match kind {
+            BackendKind::Scalar => vector_engines!(mpm_simd::ScalarBackend, 8),
+            BackendKind::Avx2 => vector_engines!(mpm_simd::Avx2Backend, 8),
+            BackendKind::Avx512 => vector_engines!(mpm_simd::Avx512Backend, 16),
+        }
+    }
+}
+
+#[test]
+fn scan_graph_equals_legacy_scalar_backend() {
+    run_matrix_for_backend(BackendKind::Scalar);
+}
+
+#[test]
+fn scan_graph_equals_legacy_simd_backends() {
+    for kind in mpm_simd::available_backends() {
+        if kind != BackendKind::Scalar {
+            run_matrix_for_backend(kind);
+        }
+    }
+}
+
+/// The scalar-backend V-PATCH at 16 lanes exercises the second unroll
+/// width without SIMD hardware.
+#[test]
+fn scan_graph_equals_legacy_wide_scalar_vpatch() {
+    let set = rules();
+    let hay = adversarial_haystack(16 * 1024 + 5);
+    let e = mpm_vpatch::VPatchScalar16::build(&set);
+    let mut legacy = Vec::new();
+    e.find_into_legacy(&hay, &mut legacy);
+    let legacy = sorted(legacy);
+    for &chunk in &[96usize, 1 << 16] {
+        for overlap in [false, true] {
+            let mut g = mpm_vpatch::VPatchScalar16::build(&set);
+            g.set_graph_config(GraphConfig { chunk, overlap }.normalize());
+            assert_eq!(sorted(g.find_all(&hay)), legacy);
+        }
+    }
+}
