@@ -238,6 +238,10 @@ struct BaselineSnapshot {
     /// Multi-core scaling on the same workload: aggregate sharded-scan
     /// throughput (full scans, not filtering-only) vs worker count.
     multicore: MultiCoreFigure,
+    /// Overload-resilience rows: bursty flow-skewed dispatch into tiny
+    /// rings under `Block` (lossless, backpressured) vs `Shed`
+    /// (load-shedding) dispatch policies.
+    resilience: Vec<multicore::ResilienceRow>,
 }
 
 fn measure_backend<B: VectorBackend<W>, const W: usize>(
@@ -661,6 +665,15 @@ fn main() {
         return;
     }
 
+    if options.resilience_only {
+        // Resilience artifact: Block vs Shed dispatch over the bursty
+        // flow-skewed packetization at a deliberately tiny ring.
+        let resilience =
+            multicore::run_resilience_auto(&workload.patterns, trace, 4, 2, options.runs);
+        println!("{}", report::to_json(&resilience));
+        return;
+    }
+
     if options.scaling_only {
         // CI memory-regression gate: just the grouped-vs-monolithic section,
         // budget-checked, nonzero exit on regression.
@@ -719,7 +732,7 @@ fn main() {
     let snapshot = BaselineSnapshot {
         label: "current".to_string(),
         source: format!(
-            "bench_baseline bin (filter_only + verify-heavy end-to-end via direct phase timing + scan_graph overlap A/B as interleaved-run medians, {} runs after warm-up)",
+            "bench_baseline bin (filter_only + verify-heavy end-to-end via direct phase timing + scan_graph overlap A/B as interleaved-run medians + resilience Block/Shed A/B on the bursty packetization, {} runs after warm-up)",
             options.runs
         ),
         ruleset: options.ruleset.label().to_string(),
@@ -732,6 +745,7 @@ fn main() {
         ruleset_scaling: measure_ruleset_scaling(&workload, options.runs),
         memory: memory_section(&workload),
         multicore,
+        resilience: multicore::run_resilience_auto(&workload.patterns, trace, 4, 2, options.runs),
     };
     println!("{}", report::to_json(&snapshot));
 }

@@ -32,6 +32,9 @@ pub mod workload;
 
 pub use engines::EngineKind;
 pub use measure::{measure_throughput, Measurement};
-pub use multicore::{LatencyRow, MultiCoreFigure, MultiCoreRow};
+pub use multicore::{
+    packetize_bursty, run_resilience, run_resilience_auto, LatencyRow, MultiCoreFigure,
+    MultiCoreRow, ResilienceRow,
+};
 pub use options::Options;
 pub use workload::{RulesetChoice, Workload};

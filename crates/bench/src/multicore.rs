@@ -22,7 +22,7 @@
 
 use mpm_patterns::stats::RunningStats;
 use mpm_patterns::{LatencyHistogram, LatencySummary, PatternSet};
-use mpm_stream::{Packet, ScannerBuilder, SharedMatcher};
+use mpm_stream::{BackpressurePolicy, Packet, ScannerBuilder, SharedMatcher};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
@@ -126,6 +126,7 @@ pub fn run_scaling(
                 .engine(engine.clone(), rules)
                 .workers(workers)
                 .build_barrier()
+                .expect("valid build")
         };
         let mut scanner = barrier();
         // Warm-up pass: first-touch of per-flow scanners and worker scratch.
@@ -189,9 +190,12 @@ pub fn run_latency(
                 .engine(engine.clone(), rules)
                 .workers(workers)
                 .build()
+                .expect("valid build")
         };
         // Warm-up run (thread spawn, first-touch of flow scanners).
-        pipeline().scan_batch(packets.clone());
+        pipeline()
+            .scan_batch(packets.clone())
+            .expect("workers alive");
         let mut throughput = RunningStats::new();
         let mut utilization = RunningStats::new();
         let mut histogram = LatencyHistogram::new();
@@ -203,7 +207,7 @@ pub fn run_latency(
             let mut scanner = pipeline();
             let batch = packets.clone();
             let start = Instant::now();
-            let result = scanner.scan_batch(batch);
+            let result = scanner.scan_batch(batch).expect("workers alive");
             let elapsed = start.elapsed().as_secs_f64();
             throughput.push(crate::measure::gbps(trace.len(), elapsed));
             histogram.merge(&result.histogram);
@@ -238,6 +242,138 @@ pub fn run_latency_auto(
 ) -> Vec<LatencyRow> {
     let engine: SharedMatcher = Arc::from(mpm_vpatch::build_auto(rules));
     run_latency(engine, rules, trace, worker_counts, runs)
+}
+
+/// One measured point of the overload-resilience experiment: tiny rings, a
+/// bursty elephant-flow workload, one row per backpressure policy.
+#[derive(Clone, Debug, Serialize)]
+pub struct ResilienceRow {
+    /// Backpressure policy the pipeline ran with (`"block"` / `"shed"`).
+    pub policy: String,
+    /// Worker threads packets were dispatched over.
+    pub workers: usize,
+    /// Job-ring capacity (deliberately tiny so overload engages).
+    pub ring_capacity: usize,
+    /// Mean aggregate throughput in Gbit/s, computed over the bytes
+    /// actually scanned (shed packets do not count).
+    pub gbps: f64,
+    /// Sample standard deviation of the throughput.
+    pub gbps_std: f64,
+    /// Packets dispatched across all runs.
+    pub dispatched: u64,
+    /// Packets dropped at full rings across all runs (zero under `block`).
+    pub shed_packets: u64,
+    /// `shed_packets / dispatched` — the headline loss figure.
+    pub shed_rate: f64,
+    /// Dispatch stalls on full rings across all runs.
+    pub backpressure_waits: u64,
+}
+
+/// Cuts `trace` into packets with a bursty "elephant flow" distribution:
+/// four of every five packets land on flow 0, the rest stripe over the
+/// remaining flows — the overload shape where flow-affine dispatch cannot
+/// spread load, so one worker's ring saturates while the others idle.
+pub fn packetize_bursty(trace: &[u8], packet_len: usize, flows: u64) -> Vec<Packet> {
+    assert!(packet_len > 0, "packet_len must be positive");
+    trace
+        .chunks(packet_len)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let flow = if i % 5 < 4 {
+                0
+            } else {
+                1 + (i as u64 % flows.max(1))
+            };
+            Packet::new(flow, chunk.to_vec())
+        })
+        .collect()
+}
+
+/// Measures pipeline behaviour under deliberate overload: tiny job rings
+/// and a bursty elephant-flow batch, once per backpressure policy. The
+/// `block` row is the lossless baseline (shed rate always 0); the `shed`
+/// row shows what predictable load-shedding buys in dispatch throughput
+/// and costs in dropped packets.
+pub fn run_resilience(
+    engine: SharedMatcher,
+    rules: &PatternSet,
+    trace: &[u8],
+    workers: usize,
+    ring_capacity: usize,
+    runs: usize,
+) -> Vec<ResilienceRow> {
+    assert!(runs > 0, "need at least one run");
+    let packets = packetize_bursty(trace, DEFAULT_PACKET_LEN, DEFAULT_FLOWS);
+    let policies = [
+        ("block", BackpressurePolicy::Block),
+        ("shed", BackpressurePolicy::Shed),
+    ];
+    let mut rows = Vec::new();
+    for (name, policy) in policies {
+        let pipeline = || {
+            ScannerBuilder::new()
+                .engine(engine.clone(), rules)
+                .workers(workers)
+                .ring_capacity(ring_capacity)
+                .backpressure(policy)
+                .build()
+                .expect("valid build")
+        };
+        // Warm-up run (thread spawn, first-touch of flow scanners).
+        pipeline()
+            .scan_batch(packets.clone())
+            .expect("workers alive");
+        let mut throughput = RunningStats::new();
+        let mut dispatched = 0u64;
+        let mut shed_packets = 0u64;
+        let mut backpressure_waits = 0u64;
+        for _ in 0..runs {
+            let mut scanner = pipeline();
+            let batch = packets.clone();
+            let start = Instant::now();
+            for packet in batch {
+                scanner.dispatch(packet);
+            }
+            let result = scanner.drain().expect("workers alive");
+            let elapsed = start.elapsed().as_secs_f64();
+            dispatched += packets.len() as u64;
+            shed_packets += result.shed_packets;
+            backpressure_waits += result.backpressure_waits;
+            throughput.push(crate::measure::gbps(
+                result.stats.bytes_scanned as usize,
+                elapsed,
+            ));
+        }
+        rows.push(ResilienceRow {
+            policy: name.to_string(),
+            workers,
+            ring_capacity,
+            gbps: throughput.mean(),
+            gbps_std: throughput.stddev(),
+            dispatched,
+            shed_packets,
+            shed_rate: if dispatched == 0 {
+                0.0
+            } else {
+                shed_packets as f64 / dispatched as f64
+            },
+            backpressure_waits,
+        });
+    }
+    rows
+}
+
+/// Convenience: the resilience experiment on the auto-selected engine
+/// (which honours `MPM_FORCE_BACKEND`).
+pub fn run_resilience_auto(
+    rules: &PatternSet,
+    trace: &[u8],
+    workers: usize,
+    ring_capacity: usize,
+    runs: usize,
+) -> Vec<ResilienceRow> {
+    let engine: SharedMatcher = Arc::from(mpm_vpatch::build_auto(rules));
+    run_resilience(engine, rules, trace, workers, ring_capacity, runs)
 }
 
 /// Convenience: the scaling experiment on the auto-selected engine
@@ -280,6 +416,24 @@ mod tests {
         assert_eq!(figure.rows[0].matches, figure.rows[1].matches);
         assert!((figure.rows[0].speedup_vs_first - 1.0).abs() < 1e-9);
         assert!(figure.rows[1].gbps > 0.0);
+    }
+
+    #[test]
+    fn resilience_rows_cover_both_policies() {
+        let rules = PatternSet::from_literals(&["abc", "GET "]);
+        let engine: SharedMatcher = Arc::from(NaiveMatcher::new(&rules));
+        let trace = b"abcGET abcabcGET ".repeat(800);
+        let rows = run_resilience(engine, &rules, &trace, 2, 2, 2);
+        assert_eq!(rows.len(), 2);
+        let block = &rows[0];
+        let shed = &rows[1];
+        assert_eq!(block.policy, "block");
+        assert_eq!(shed.policy, "shed");
+        assert_eq!(block.shed_packets, 0, "blocking never drops");
+        assert_eq!(block.shed_rate, 0.0);
+        assert!((0.0..=1.0).contains(&shed.shed_rate));
+        assert_eq!(block.ring_capacity, 2);
+        assert!(block.dispatched > 0 && block.dispatched == shed.dispatched);
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub struct Options {
     /// (per-packet percentiles vs worker count) and emit it as JSON — the
     /// CI latency artifact.
     pub latency_only: bool,
+    /// `bench_baseline` only: run just the overload-resilience section
+    /// (Block vs Shed dispatch at tiny ring capacities) and emit it as
+    /// JSON.
+    pub resilience_only: bool,
     /// `bench_baseline` only: maximum allowed grouped/monolithic memory
     /// ratio in the `ruleset_scaling` section; exceeded ⇒ nonzero exit when
     /// `scaling_only` is set.
@@ -39,6 +43,7 @@ impl Default for Options {
             json: false,
             scaling_only: false,
             latency_only: false,
+            resilience_only: false,
             mem_budget: 2.0,
         }
     }
@@ -78,6 +83,7 @@ impl Options {
                 "--json" => options.json = true,
                 "--scaling-only" => options.scaling_only = true,
                 "--latency-only" => options.latency_only = true,
+                "--resilience-only" => options.resilience_only = true,
                 "--mem-budget" => {
                     let value = args.next().ok_or("--mem-budget needs a value")?;
                     options.mem_budget = value
@@ -90,7 +96,7 @@ impl Options {
                 "--help" | "-h" => {
                     return Err(
                         "usage: <figure> [--ruleset s1|s2|full] [--mb N] [--runs N] [--json] \
-                         [--scaling-only] [--latency-only] [--mem-budget X]"
+                         [--scaling-only] [--latency-only] [--resilience-only] [--mem-budget X]"
                             .to_string(),
                     )
                 }
@@ -166,5 +172,11 @@ mod tests {
     fn parses_latency_only() {
         assert!(parse(&["--latency-only"]).unwrap().latency_only);
         assert!(!parse(&[]).unwrap().latency_only);
+    }
+
+    #[test]
+    fn parses_resilience_only() {
+        assert!(parse(&["--resilience-only"]).unwrap().resilience_only);
+        assert!(!parse(&[]).unwrap().resilience_only);
     }
 }

@@ -7,17 +7,27 @@
 //! collapses the matrix into orthogonal axes — *what to scan with*
 //! ([`ScannerBuilder::engine`] / [`ScannerBuilder::rules`] /
 //! [`ScannerBuilder::groups`]), *how wide* ([`ScannerBuilder::workers`],
-//! [`ScannerBuilder::ring_capacity`]), and *how long flows live*
-//! ([`ScannerBuilder::max_flows`], [`ScannerBuilder::eviction`]) — and
-//! offers two terminal shapes: [`ScannerBuilder::build`] for the
+//! [`ScannerBuilder::ring_capacity`]), *how long flows live*
+//! ([`ScannerBuilder::max_flows`], [`ScannerBuilder::eviction`]), and *how
+//! overload and memory pressure are handled*
+//! ([`ScannerBuilder::backpressure`], [`ScannerBuilder::max_flow_buffer`])
+//! — and offers two terminal shapes: [`ScannerBuilder::build`] for the
 //! continuously-running [`PipelineScanner`] (the production runtime) and
 //! [`ScannerBuilder::build_barrier`] for the batch-and-join
 //! [`crate::ShardedScanner`] (differential oracles and batch benchmarks).
 //! The pre-builder constructors lived on as `#[deprecated]` shims for one
 //! release and were removed in PR 9; the builder is the only entry point.
+//!
+//! Configuration mistakes are reported as a typed [`BuildError`] from the
+//! terminal methods, not mid-setter panics: setters store what they are
+//! given, the build validates the combination. The two exceptions stay
+//! panics deliberately, because they are caller bugs no match arm should
+//! ever route around: setting two scan sources, and pairing an engine with
+//! a pattern set it was not compiled for.
 
+use crate::fault::FaultPlan;
 use crate::group::GroupedEngineSet;
-use crate::pipeline::PipelineScanner;
+use crate::pipeline::{PipelineConfig, PipelineScanner};
 use crate::shard::ShardedScanner;
 use crate::stream::SharedMatcher;
 use crate::worker::{plain_mode, rule_parts, WorkerMode};
@@ -72,6 +82,85 @@ impl EvictionPolicy {
     }
 }
 
+/// What [`PipelineScanner::dispatch`](crate::PipelineScanner::dispatch)
+/// does when the target worker's job ring is full.
+///
+/// `Block` is the default and the only policy with the full determinism
+/// contract (no packet is ever dropped, so the pipeline stays
+/// byte-identical to the barrier oracle). `Shed` and `BlockTimeout` trade
+/// completeness for bounded dispatch latency — the NIDS stance that under
+/// overload a predictable drop beats stalling the capture loop. Shed
+/// packets are counted per worker
+/// ([`crate::PipelineStats::shed_packets`]), never silently lost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Wait for ring space, pumping the worker's output ring meanwhile
+    /// (cannot deadlock). Lossless; the default.
+    #[default]
+    Block,
+    /// Wait like [`BackpressurePolicy::Block`] for at most this long, then
+    /// shed the packet.
+    BlockTimeout(Duration),
+    /// One push attempt; a full ring sheds the packet immediately.
+    Shed,
+}
+
+/// A configuration rejected by [`ScannerBuilder::build`] /
+/// [`ScannerBuilder::build_barrier`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// No scan source: call one of `engine()`/`rules()`/`groups()` first.
+    NoSource,
+    /// `workers(0)`: at least one worker thread is required.
+    ZeroWorkers,
+    /// `ring_capacity(0)`: rings need at least one slot.
+    ZeroRingCapacity,
+    /// Ring capacities must be powers of two (the rings use masked
+    /// indices; rounding silently would make the backpressure point differ
+    /// from the configured one).
+    RingCapacityNotPowerOfTwo {
+        /// The rejected capacity.
+        requested: usize,
+    },
+    /// `max_flows` of zero: a scanner that can hold no flow scans nothing.
+    ZeroMaxFlows,
+    /// `max_flow_buffer(0)`: a zero-byte buffer would degrade every rule
+    /// flow on its first payload byte.
+    ZeroMaxFlowBuffer,
+    /// `idle_after` eviction needs a clock between batches, which only the
+    /// pipeline has; use [`ScannerBuilder::build`].
+    IdleEvictionUnsupported,
+    /// Non-default backpressure needs bounded rings, which only the
+    /// pipeline has; the barrier scanner's intake is an unbounded channel.
+    BackpressureUnsupported,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoSource => {
+                f.write_str("no scan source: call one of engine()/rules()/groups() before building")
+            }
+            BuildError::ZeroWorkers => f.write_str("need at least one worker"),
+            BuildError::ZeroRingCapacity => f.write_str("ring capacity must be at least 1"),
+            BuildError::RingCapacityNotPowerOfTwo { requested } => {
+                write!(f, "ring capacity must be a power of two, got {requested}")
+            }
+            BuildError::ZeroMaxFlows => f.write_str("max_flows must be at least 1"),
+            BuildError::ZeroMaxFlowBuffer => f.write_str("max_flow_buffer must be at least 1"),
+            BuildError::IdleEvictionUnsupported => f.write_str(
+                "idle_after eviction needs the pipeline scanner (ScannerBuilder::build)",
+            ),
+            BuildError::BackpressureUnsupported => f.write_str(
+                "non-Block backpressure needs the pipeline scanner (ScannerBuilder::build)",
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// What the scanner scans with — set exactly once, by
 /// [`ScannerBuilder::engine`], [`ScannerBuilder::rules`] or
 /// [`ScannerBuilder::groups`].
@@ -93,15 +182,19 @@ enum Source {
 ///     .engine(engine, &set)
 ///     .workers(4)
 ///     .max_flows(100_000)
-///     .build();
+///     .build()
+///     .expect("valid configuration");
 /// pipeline.dispatch(Packet::new(1, b"..needle..".to_vec()));
-/// assert_eq!(pipeline.drain().matches.len(), 1);
+/// assert_eq!(pipeline.drain().expect("workers alive").matches.len(), 1);
 /// ```
 pub struct ScannerBuilder {
     source: Source,
     workers: usize,
     ring_capacity: usize,
     eviction: EvictionPolicy,
+    backpressure: BackpressurePolicy,
+    max_flow_buffer: Option<usize>,
+    plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ScannerBuilder {
@@ -112,13 +205,16 @@ impl Default for ScannerBuilder {
 
 impl ScannerBuilder {
     /// Starts a builder with defaults: 1 worker, 1024-slot job rings, no
-    /// eviction.
+    /// eviction, blocking backpressure, unbounded rule buffers.
     pub fn new() -> Self {
         ScannerBuilder {
             source: Source::Unset,
             workers: 1,
             ring_capacity: 1024,
             eviction: EvictionPolicy::none(),
+            backpressure: BackpressurePolicy::Block,
+            max_flow_buffer: None,
+            plan: None,
         }
     }
 
@@ -156,90 +252,157 @@ impl ScannerBuilder {
         self
     }
 
-    /// Number of worker threads (default 1).
-    ///
-    /// # Panics
-    /// Panics if `workers` is zero.
+    /// Number of worker threads (default 1). Zero is rejected at build
+    /// time ([`BuildError::ZeroWorkers`]).
     pub fn workers(mut self, workers: usize) -> Self {
-        assert!(workers > 0, "need at least one worker");
         self.workers = workers;
         self
     }
 
-    /// Per-worker job-ring capacity in packets (default 1024, rounded up to
-    /// a power of two). Smaller rings bound latency and memory tighter but
-    /// engage backpressure sooner. Only the pipeline uses rings; the
-    /// barrier scanner ignores this.
-    ///
-    /// # Panics
-    /// Panics if `ring_capacity` is zero.
+    /// Per-worker job-ring capacity in packets (default 1024; must be a
+    /// power of two, checked at build time). Smaller rings bound latency
+    /// and memory tighter but engage backpressure sooner. Only the
+    /// pipeline uses rings; the barrier scanner ignores this.
     pub fn ring_capacity(mut self, ring_capacity: usize) -> Self {
-        assert!(ring_capacity > 0, "ring capacity must be at least 1");
         self.ring_capacity = ring_capacity;
         self
     }
 
     /// Caps resident flows at `max_flows` — sugar for the corresponding
     /// [`ScannerBuilder::eviction`] field, kept as its own axis because it
-    /// is by far the most common policy.
-    ///
-    /// # Panics
-    /// Panics if `max_flows` is zero.
+    /// is by far the most common policy. Zero is rejected at build time
+    /// ([`BuildError::ZeroMaxFlows`]).
     pub fn max_flows(mut self, max_flows: usize) -> Self {
-        assert!(max_flows > 0, "max_flows must be at least 1");
         self.eviction.max_flows = Some(max_flows);
         self
     }
 
     /// Sets the whole eviction policy (cap and/or idle timeout) at once.
-    ///
-    /// # Panics
-    /// Panics if the policy's `max_flows` is `Some(0)`.
     pub fn eviction(mut self, policy: EvictionPolicy) -> Self {
-        assert!(policy.max_flows != Some(0), "max_flows must be at least 1");
         self.eviction = policy;
         self
     }
 
+    /// What a full job ring means for
+    /// [`PipelineScanner::dispatch`](crate::PipelineScanner::dispatch) —
+    /// see [`BackpressurePolicy`]. The default, `Block`, is the only
+    /// policy accepted by [`ScannerBuilder::build_barrier`].
+    pub fn backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Caps the rule-confirmation payload buffer of each flow at `bytes`
+    /// (per selected group in grouped mode). Flows that exceed the cap
+    /// degrade to anchor-only reporting — see
+    /// [`crate::RuleStreamScanner::with_max_buffer`] for the exact
+    /// contract, and [`crate::PipelineStats::degraded_flows`] /
+    /// [`crate::PipelineStats::truncated_bytes`] for the observability.
+    /// Zero is rejected at build time ([`BuildError::ZeroMaxFlowBuffer`]).
+    pub fn max_flow_buffer(mut self, bytes: usize) -> Self {
+        self.max_flow_buffer = Some(bytes);
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (test harnesses
+    /// only; see [`crate::fault`]). Without the `fault-inject` cargo
+    /// feature the plan is an inert unit type and this is a no-op.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Validates the knobs shared by both terminal shapes.
+    fn validate(&self) -> Result<(), BuildError> {
+        if matches!(self.source, Source::Unset) {
+            return Err(BuildError::NoSource);
+        }
+        if self.workers == 0 {
+            return Err(BuildError::ZeroWorkers);
+        }
+        if self.ring_capacity == 0 {
+            return Err(BuildError::ZeroRingCapacity);
+        }
+        if !self.ring_capacity.is_power_of_two() {
+            return Err(BuildError::RingCapacityNotPowerOfTwo {
+                requested: self.ring_capacity,
+            });
+        }
+        if self.eviction.max_flows == Some(0) {
+            return Err(BuildError::ZeroMaxFlows);
+        }
+        if self.max_flow_buffer == Some(0) {
+            return Err(BuildError::ZeroMaxFlowBuffer);
+        }
+        Ok(())
+    }
+
     /// Builds the continuously-running [`PipelineScanner`] — bounded SPSC
     /// rings, flow-affine dispatch without a per-batch barrier,
-    /// backpressure, hybrid eviction, hot-swap, latency telemetry.
+    /// backpressure policies, hybrid eviction, bounded rule buffers,
+    /// worker supervision, hot-swap, latency telemetry.
     ///
-    /// # Panics
-    /// Panics if no source was set.
-    pub fn build(self) -> PipelineScanner {
+    /// # Errors
+    /// A [`BuildError`] describing the first invalid knob.
+    pub fn build(self) -> Result<PipelineScanner, BuildError> {
+        self.validate()?;
+        let plan = self.resolve_plan();
         let ScannerBuilder {
             source,
             workers,
             ring_capacity,
             eviction,
+            backpressure,
+            max_flow_buffer,
+            ..
         } = self;
-        PipelineScanner::spawn(
-            take_mode(source),
+        Ok(PipelineScanner::spawn(PipelineConfig {
+            mode: take_mode(source),
             workers,
             ring_capacity,
-            eviction.max_flows,
-            eviction.idle_after,
-        )
+            max_flows: eviction.max_flows,
+            idle_after: eviction.idle_after,
+            backpressure,
+            max_flow_buffer,
+            plan,
+        }))
     }
 
     /// Builds the batch-and-join [`crate::ShardedScanner`] — every
     /// `scan_batch` is a full barrier; results arrive as one deterministic
     /// unit. The differential-testing and batch-benchmark shape.
     ///
-    /// # Panics
-    /// Panics if no source was set, or the policy has an idle timeout (the
-    /// barrier scanner has no clock; use [`ScannerBuilder::build`]).
-    pub fn build_barrier(self) -> ShardedScanner {
-        assert!(
-            self.eviction.idle_after.is_none(),
-            "idle_after eviction needs the pipeline scanner (ScannerBuilder::build)"
-        );
-        ShardedScanner::spawn(
+    /// # Errors
+    /// A [`BuildError`] describing the first invalid knob; additionally
+    /// rejects pipeline-only knobs ([`BuildError::IdleEvictionUnsupported`],
+    /// [`BuildError::BackpressureUnsupported`]).
+    pub fn build_barrier(self) -> Result<ShardedScanner, BuildError> {
+        self.validate()?;
+        if self.eviction.idle_after.is_some() {
+            return Err(BuildError::IdleEvictionUnsupported);
+        }
+        if self.backpressure != BackpressurePolicy::Block {
+            return Err(BuildError::BackpressureUnsupported);
+        }
+        Ok(ShardedScanner::spawn(
             take_mode(self.source),
             self.workers,
             self.eviction.max_flows,
-        )
+            self.max_flow_buffer,
+        ))
+    }
+
+    /// The fault plan to run with: explicit > environment > inert. The
+    /// environment hook (`MPM_FAULT_PLAN`) only exists under the
+    /// `fault-inject` feature; see [`crate::fault`].
+    fn resolve_plan(&self) -> Arc<FaultPlan> {
+        if let Some(plan) = &self.plan {
+            return plan.clone();
+        }
+        match FaultPlan::from_env() {
+            Some(plan) => Arc::new(plan),
+            None => Arc::new(FaultPlan::new()),
+        }
     }
 
     fn set_source(&mut self, mode: WorkerMode) {
@@ -254,6 +417,8 @@ impl ScannerBuilder {
 fn take_mode(source: Source) -> WorkerMode {
     match source {
         Source::Mode(mode) => mode,
+        // Unreachable after validate(), but keep the message for anyone
+        // who re-plumbs build paths.
         Source::Unset => {
             panic!("no scan source: call one of engine()/rules()/groups() before building")
         }
@@ -272,9 +437,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no scan source")]
     fn building_without_a_source_is_rejected() {
-        let _ = ScannerBuilder::new().workers(2).build();
+        let err = ScannerBuilder::new().workers(2).build().err();
+        assert_eq!(err, Some(BuildError::NoSource));
     }
 
     #[test]
@@ -287,25 +452,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_rejected() {
-        let _ = ScannerBuilder::new().workers(0);
+    fn zero_workers_rejected_at_build() {
+        let (set, engine) = set_and_engine();
+        let err = ScannerBuilder::new()
+            .engine(engine, &set)
+            .workers(0)
+            .build()
+            .err();
+        assert_eq!(err, Some(BuildError::ZeroWorkers));
     }
 
     #[test]
-    #[should_panic(expected = "max_flows must be at least 1")]
-    fn zero_max_flows_rejected() {
-        let _ = ScannerBuilder::new().max_flows(0);
+    fn zero_max_flows_rejected_at_build() {
+        let (set, engine) = set_and_engine();
+        let err = ScannerBuilder::new()
+            .engine(engine, &set)
+            .max_flows(0)
+            .build()
+            .err();
+        assert_eq!(err, Some(BuildError::ZeroMaxFlows));
     }
 
     #[test]
-    #[should_panic(expected = "idle_after eviction needs the pipeline")]
+    fn ring_capacity_must_be_a_nonzero_power_of_two() {
+        let (set, engine) = set_and_engine();
+        let err = ScannerBuilder::new()
+            .engine(engine.clone(), &set)
+            .ring_capacity(0)
+            .build()
+            .err();
+        assert_eq!(err, Some(BuildError::ZeroRingCapacity));
+        let err = ScannerBuilder::new()
+            .engine(engine, &set)
+            .ring_capacity(24)
+            .build()
+            .err();
+        assert_eq!(
+            err,
+            Some(BuildError::RingCapacityNotPowerOfTwo { requested: 24 })
+        );
+    }
+
+    #[test]
+    fn zero_max_flow_buffer_rejected_at_build() {
+        let (set, engine) = set_and_engine();
+        let err = ScannerBuilder::new()
+            .engine(engine, &set)
+            .max_flow_buffer(0)
+            .build()
+            .err();
+        assert_eq!(err, Some(BuildError::ZeroMaxFlowBuffer));
+    }
+
+    #[test]
     fn barrier_with_idle_timeout_is_rejected() {
         let (set, engine) = set_and_engine();
-        let _ = ScannerBuilder::new()
+        let err = ScannerBuilder::new()
             .engine(engine, &set)
             .eviction(EvictionPolicy::idle_after(Duration::from_secs(1)))
-            .build_barrier();
+            .build_barrier()
+            .err();
+        assert_eq!(err, Some(BuildError::IdleEvictionUnsupported));
+    }
+
+    #[test]
+    fn barrier_with_non_default_backpressure_is_rejected() {
+        let (set, engine) = set_and_engine();
+        let err = ScannerBuilder::new()
+            .engine(engine, &set)
+            .backpressure(BackpressurePolicy::Shed)
+            .build_barrier()
+            .err();
+        assert_eq!(err, Some(BuildError::BackpressureUnsupported));
+    }
+
+    #[test]
+    fn build_errors_render_their_cause() {
+        assert!(BuildError::NoSource.to_string().contains("no scan source"));
+        assert!(BuildError::RingCapacityNotPowerOfTwo { requested: 24 }
+            .to_string()
+            .contains("24"));
     }
 
     #[test]
@@ -314,5 +540,10 @@ mod tests {
         assert_eq!(policy.max_flows, Some(64));
         assert_eq!(policy.idle_after, Some(Duration::from_secs(30)));
         assert_eq!(EvictionPolicy::none(), EvictionPolicy::default());
+    }
+
+    #[test]
+    fn backpressure_defaults_to_block() {
+        assert_eq!(BackpressurePolicy::default(), BackpressurePolicy::Block);
     }
 }

@@ -1,0 +1,290 @@
+//! Deterministic fault injection for the pipeline runtime.
+//!
+//! A [`FaultPlan`] describes a script of failures — "panic on worker 1 at
+//! its 3rd packet", "refuse the next 5 pushes to worker 0's ring",
+//! "advance the eviction clock by two minutes" — that the pipeline
+//! consults at well-defined points. Because every trigger is keyed on a
+//! per-worker packet sequence number (packets are popped from a FIFO ring,
+//! so a worker's processing order *is* the dispatch order restricted to
+//! that worker), a plan reproduces the same failure at the same point on
+//! every run, independent of thread scheduling.
+//!
+//! The real implementation only exists under the `fault-inject` cargo
+//! feature. Without the feature this module still compiles and exports the
+//! same API surface, but every hook is an inlined no-op and every
+//! configuration method does nothing — production builds pay nothing for
+//! the harness.
+//!
+//! Faults are **one-shot**: once a trigger fires it is removed from the
+//! plan, so a respawned worker (whose packet sequence restarts at zero)
+//! does not re-trip the same fault in an infinite supervision loop.
+//!
+//! With the feature enabled, `FaultPlan::from_env` parses the
+//! `MPM_FAULT_PLAN` environment variable so a plan can be injected into an
+//! unmodified binary: a `;`-separated list of `panic:W@N`, `exit:W@N`, and
+//! `ring_full:WxC` clauses (worker `W`, packet `N`, refusal count `C`).
+
+#[cfg(feature = "fault-inject")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::{Duration, Instant};
+
+    /// A deterministic script of injected failures, shared (via `Arc`)
+    /// between the test driving the faults and the pipeline under test.
+    ///
+    /// All mutation goes through `&self` so a single plan can be armed
+    /// from the test thread while the dispatcher and workers consult it.
+    /// The lock `expect`s can never see poison: the one panicking path
+    /// (`maybe_panic`) drops its guard before unwinding.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan {
+        /// One-shot (worker, packet-seq) pairs that panic the worker.
+        panics: Mutex<Vec<(usize, u64)>>,
+        /// One-shot (worker, packet-seq) pairs that make the worker exit
+        /// silently (no death report — models a hard crash).
+        exits: Mutex<Vec<(usize, u64)>>,
+        /// Per-worker budget of dispatch pushes to refuse as if the job
+        /// ring were full. `u64::MAX` is effectively "refuse forever".
+        ring_full: Mutex<HashMap<usize, u64>>,
+        /// Nanoseconds added to the eviction clock.
+        clock_offset: AtomicU64,
+    }
+
+    impl FaultPlan {
+        /// Creates an empty plan (no faults armed).
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Arms a one-shot panic on `worker` when it processes its
+        /// `packet`-th packet (1-based, counted per worker lifetime).
+        #[must_use]
+        pub fn panic_on(self, worker: usize, packet: u64) -> Self {
+            self.panics
+                .lock()
+                .expect("fault plan lock")
+                .push((worker, packet));
+            self
+        }
+
+        /// Arms a one-shot silent exit (no death report) on `worker` when
+        /// it receives its `packet`-th packet.
+        #[must_use]
+        pub fn exit_on(self, worker: usize, packet: u64) -> Self {
+            self.exits
+                .lock()
+                .expect("fault plan lock")
+                .push((worker, packet));
+            self
+        }
+
+        /// Makes the next `count` dispatch pushes to `worker` behave as if
+        /// the job ring were full. `count == 0` disarms; `u64::MAX` is
+        /// effectively unbounded. Only `Shed`/`BlockTimeout` dispatch
+        /// consults this (the blocking `Block` path would deadlock against
+        /// an unbounded refusal, and it is the differential oracle).
+        pub fn force_ring_full(&self, worker: usize, count: u64) {
+            let mut map = self.ring_full.lock().expect("fault plan lock");
+            if count == 0 {
+                map.remove(&worker);
+            } else {
+                map.insert(worker, count);
+            }
+        }
+
+        /// Advances the mock eviction clock by `delta`. Only idle-eviction
+        /// timestamps observe the offset; latency/throughput telemetry
+        /// stays on the real clock.
+        pub fn advance_clock(&self, delta: Duration) {
+            let nanos = u64::try_from(delta.as_nanos()).unwrap_or(u64::MAX);
+            self.clock_offset.fetch_add(nanos, Ordering::Relaxed);
+        }
+
+        /// Parses a plan from the `MPM_FAULT_PLAN` environment variable
+        /// (`;`-separated `panic:W@N` / `exit:W@N` / `ring_full:WxC`
+        /// clauses). Returns `None` when the variable is unset or empty;
+        /// malformed clauses are ignored.
+        pub fn from_env() -> Option<Self> {
+            let spec = std::env::var("MPM_FAULT_PLAN").ok()?;
+            if spec.trim().is_empty() {
+                return None;
+            }
+            let mut plan = Self::new();
+            for clause in spec.split(';') {
+                let clause = clause.trim();
+                if let Some(rest) = clause.strip_prefix("panic:") {
+                    if let Some((w, n)) = parse_at(rest) {
+                        plan = plan.panic_on(w, n);
+                    }
+                } else if let Some(rest) = clause.strip_prefix("exit:") {
+                    if let Some((w, n)) = parse_at(rest) {
+                        plan = plan.exit_on(w, n);
+                    }
+                } else if let Some(rest) = clause.strip_prefix("ring_full:") {
+                    if let Some((w, c)) = parse_x(rest) {
+                        plan.force_ring_full(w, c);
+                    }
+                }
+            }
+            Some(plan)
+        }
+
+        /// Worker-side hook: panics iff a `panic_on` trigger matches
+        /// (one-shot — the trigger is consumed).
+        pub(crate) fn maybe_panic(&self, worker: usize, packet: u64) {
+            let mut panics = self.panics.lock().expect("fault plan lock");
+            if let Some(pos) = panics.iter().position(|&(w, n)| w == worker && n == packet) {
+                panics.swap_remove(pos);
+                drop(panics);
+                panic!("fault-inject: forced panic on worker {worker} at packet {packet}");
+            }
+        }
+
+        /// Worker-side hook: true iff an `exit_on` trigger matches
+        /// (one-shot — the trigger is consumed).
+        pub(crate) fn should_exit(&self, worker: usize, packet: u64) -> bool {
+            let mut exits = self.exits.lock().expect("fault plan lock");
+            if let Some(pos) = exits.iter().position(|&(w, n)| w == worker && n == packet) {
+                exits.swap_remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+
+        /// Dispatcher-side hook: true iff this push should be refused as
+        /// ring-full. Decrements the worker's refusal budget.
+        pub(crate) fn refuse_push(&self, worker: usize) -> bool {
+            let mut map = self.ring_full.lock().expect("fault plan lock");
+            match map.get_mut(&worker) {
+                Some(budget) => {
+                    if *budget != u64::MAX {
+                        *budget -= 1;
+                        if *budget == 0 {
+                            map.remove(&worker);
+                        }
+                    }
+                    true
+                }
+                None => false,
+            }
+        }
+
+        /// Shifts a real timestamp by the mock clock offset. The result
+        /// feeds `last_seen`/idle-eviction comparisons only.
+        pub(crate) fn clock(&self, real: Instant) -> Instant {
+            let offset = self.clock_offset.load(Ordering::Relaxed);
+            real + Duration::from_nanos(offset)
+        }
+    }
+
+    fn parse_at(spec: &str) -> Option<(usize, u64)> {
+        let (w, n) = spec.split_once('@')?;
+        Some((w.trim().parse().ok()?, n.trim().parse().ok()?))
+    }
+
+    fn parse_x(spec: &str) -> Option<(usize, u64)> {
+        let (w, c) = spec.split_once('x')?;
+        Some((w.trim().parse().ok()?, c.trim().parse().ok()?))
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+mod imp {
+    use std::time::{Duration, Instant};
+
+    /// No-op stand-in for the fault plan; the real implementation lives
+    /// behind the `fault-inject` cargo feature. Every method compiles to
+    /// nothing so the hooks vanish from release builds.
+    #[derive(Debug, Default)]
+    pub struct FaultPlan;
+
+    impl FaultPlan {
+        /// Creates an (inert) plan.
+        pub fn new() -> Self {
+            Self
+        }
+
+        /// No-op without the `fault-inject` feature.
+        #[must_use]
+        pub fn panic_on(self, _worker: usize, _packet: u64) -> Self {
+            self
+        }
+
+        /// No-op without the `fault-inject` feature.
+        #[must_use]
+        pub fn exit_on(self, _worker: usize, _packet: u64) -> Self {
+            self
+        }
+
+        /// No-op without the `fault-inject` feature.
+        pub fn force_ring_full(&self, _worker: usize, _count: u64) {}
+
+        /// No-op without the `fault-inject` feature.
+        pub fn advance_clock(&self, _delta: Duration) {}
+
+        /// Always `None` without the `fault-inject` feature.
+        pub fn from_env() -> Option<Self> {
+            None
+        }
+
+        #[inline(always)]
+        pub(crate) fn maybe_panic(&self, _worker: usize, _packet: u64) {}
+
+        #[inline(always)]
+        pub(crate) fn should_exit(&self, _worker: usize, _packet: u64) -> bool {
+            false
+        }
+
+        #[inline(always)]
+        pub(crate) fn refuse_push(&self, _worker: usize) -> bool {
+            false
+        }
+
+        #[inline(always)]
+        pub(crate) fn clock(&self, real: Instant) -> Instant {
+            real
+        }
+    }
+}
+
+pub use imp::FaultPlan;
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::FaultPlan;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn triggers_are_one_shot() {
+        let plan = FaultPlan::new().exit_on(1, 3);
+        assert!(!plan.should_exit(1, 2));
+        assert!(plan.should_exit(1, 3));
+        assert!(!plan.should_exit(1, 3), "trigger must be consumed");
+    }
+
+    #[test]
+    fn ring_full_budget_is_exact_and_disarmable() {
+        let plan = FaultPlan::new();
+        plan.force_ring_full(0, 2);
+        assert!(plan.refuse_push(0));
+        assert!(plan.refuse_push(0));
+        assert!(!plan.refuse_push(0), "budget exhausted");
+        plan.force_ring_full(0, 5);
+        plan.force_ring_full(0, 0);
+        assert!(!plan.refuse_push(0), "zero disarms");
+        assert!(!plan.refuse_push(7), "unarmed worker never refuses");
+    }
+
+    #[test]
+    fn clock_offset_accumulates() {
+        let plan = FaultPlan::new();
+        let base = Instant::now();
+        assert_eq!(plan.clock(base), base);
+        plan.advance_clock(Duration::from_secs(30));
+        plan.advance_clock(Duration::from_secs(30));
+        assert_eq!(plan.clock(base), base + Duration::from_secs(60));
+    }
+}

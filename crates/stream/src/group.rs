@@ -67,6 +67,8 @@ impl GroupEngine {
         );
         GroupEngine {
             engine,
+            // Invariant: group anchor sets come from `RuleSet::anchors()`,
+            // which always attaches one rule binding per anchor pattern.
             rule_of: anchors
                 .rule_bindings()
                 .expect("RuleSet::anchors is always rule-bound")
@@ -292,8 +294,22 @@ impl std::fmt::Debug for GroupedFlowScanner {
 
 impl GroupedFlowScanner {
     /// Mints the per-flow state: group selection happens here, once per
-    /// flow, from its tuple.
+    /// flow, from its tuple. The confirmation buffers are unbounded (use
+    /// [`GroupedFlowScanner::with_max_buffer`] to cap them).
     pub fn new(set: Arc<GroupedEngineSet>, tuple: Option<FlowTuple>) -> Self {
+        Self::with_max_buffer(set, tuple, None)
+    }
+
+    /// Like [`GroupedFlowScanner::new`], but caps each selected group's
+    /// confirmation buffer at `max_buffer` bytes (the cap is per group:
+    /// every group buffers the same flow prefix independently). Over the
+    /// cap each group degrades to anchor-only reporting, exactly as
+    /// [`RuleStreamScanner::with_max_buffer`] specifies.
+    pub fn with_max_buffer(
+        set: Arc<GroupedEngineSet>,
+        tuple: Option<FlowTuple>,
+        max_buffer: Option<usize>,
+    ) -> Self {
         let indices: Vec<usize> = match tuple {
             Some(t) => set.grouped.groups_for(t),
             None => (0..set.engines.len()).collect(),
@@ -309,6 +325,7 @@ impl GroupedFlowScanner {
                     set.confirmer.clone(),
                     parts.rule_of.clone(),
                     Some(set.global_ids[i].clone()),
+                    max_buffer,
                 )
             })
             .collect();
@@ -331,6 +348,28 @@ impl GroupedFlowScanner {
     /// Number of groups this flow is scanned against.
     pub fn selected_groups(&self) -> usize {
         self.scanners.len()
+    }
+
+    /// Total bytes buffered for confirmation across the selected groups.
+    pub fn buffered_bytes(&self) -> u64 {
+        self.scanners
+            .iter()
+            .map(|s| s.buffered_bytes() as u64)
+            .sum()
+    }
+
+    /// True once any selected group's buffer exceeded the cap and fell
+    /// back to anchor-only reporting. (All groups of one flow see the same
+    /// byte stream and share one cap, so in practice they degrade on the
+    /// same push.)
+    pub fn degraded(&self) -> bool {
+        self.scanners.iter().any(|s| s.degraded())
+    }
+
+    /// Total payload bytes never eligible for confirmation, summed across
+    /// the selected groups.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.scanners.iter().map(|s| s.truncated_bytes()).sum()
     }
 
     /// Streams the next payload chunk through every selected group,

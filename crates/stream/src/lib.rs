@@ -19,11 +19,20 @@
 //!
 //! * [`PipelineScanner`] — the production runtime: bounded lock-free SPSC
 //!   rings per worker, **flow-affine dispatch with no per-batch barrier**,
-//!   backpressure on ring-full instead of unbounded queueing, time+LRU
-//!   hybrid flow eviction, graceful epoch-stamped ruleset hot-swap, and
-//!   latency observability (per-packet p50/p99/p999 via a log-bucketed
-//!   histogram merged across workers, per-worker utilization and
-//!   ring-occupancy high-water marks) reported by [`PipelineStats`].
+//!   a [`BackpressurePolicy`] choosing between lossless blocking and
+//!   counted load-shedding on ring-full, time+LRU hybrid flow eviction,
+//!   bounded per-flow rule buffers with graceful degradation
+//!   ([`ScannerBuilder::max_flow_buffer`]), worker supervision (a
+//!   panicking worker is respawned, its flows quarantined as
+//!   [`FlowError`]s instead of silently lost), graceful epoch-stamped
+//!   ruleset hot-swap, and latency observability (per-packet p50/p99/p999
+//!   via a log-bucketed histogram merged across workers, per-worker
+//!   utilization and ring-occupancy high-water marks) reported by
+//!   [`PipelineStats`].
+//!
+//! * [`fault`] — a deterministic fault-injection harness (worker panics,
+//!   forced ring-full, a mock eviction clock) behind the `fault-inject`
+//!   cargo feature; without the feature every hook is an inlined no-op.
 //!
 //! * [`ShardedScanner`] — the batch-and-join harness the pipeline grew out
 //!   of: fans batches of [`Packet`]s out over N worker threads with
@@ -71,6 +80,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod fault;
 pub mod group;
 pub mod pipeline;
 pub mod ring;
@@ -79,9 +89,12 @@ pub mod shard;
 pub mod stream;
 mod worker;
 
-pub use builder::{EvictionPolicy, ScannerBuilder};
+pub use builder::{BackpressurePolicy, BuildError, EvictionPolicy, ScannerBuilder};
+pub use fault::FaultPlan;
 pub use group::{GroupedEngineSet, GroupedFlowScanner};
-pub use pipeline::{PipelineScanner, PipelineStats, WorkerStats};
+pub use pipeline::{
+    FlowError, PipelineError, PipelineScanner, PipelineStats, WorkerRestart, WorkerStats,
+};
 pub use rules::RuleStreamScanner;
 pub use shard::{BatchResult, FlowMatch, FlowRuleMatch, Packet, ShardedScanner};
 pub use stream::{SharedMatcher, StreamScanner};

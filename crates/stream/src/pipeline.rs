@@ -38,12 +38,42 @@
 //!   swap marker is FIFO-ordered against packets per worker, which flows
 //!   land on which epoch is a function of the dispatch order alone —
 //!   deterministic across worker counts (`tests/hot_swap.rs`).
+//! * **Worker supervision** — each worker runs its job loop under
+//!   `catch_unwind`. A panicking worker ships a death report (message plus
+//!   every resident flow) through its output ring and exits; the
+//!   dispatcher detects the closed ring, **respawns** the worker with a
+//!   fresh scanner map at the current ruleset epoch, reclaims the jobs the
+//!   dead worker never popped, and **quarantines** the flows whose stream
+//!   state died with it (reported as [`FlowError`]s in
+//!   [`PipelineStats::flow_errors`], never silently dropped). A worker
+//!   that vanishes without a report (a hard crash, simulated by the fault
+//!   harness) is also respawned, and the gap is surfaced once as
+//!   [`PipelineError::WorkerLost`] from the next
+//!   [`PipelineScanner::drain`]/[`PipelineScanner::poll`] — those methods
+//!   return `Result` precisely so supervision can never turn into a silent
+//!   hang.
+//! * **Overload policy** — [`crate::BackpressurePolicy`] picks what a full
+//!   job ring means: `Block` (the default and the differential oracle)
+//!   waits, `Shed` drops the packet and counts it
+//!   ([`PipelineStats::shed_packets`]), `BlockTimeout` waits a bounded
+//!   time and then sheds. Shedding loses payload bytes by design — an
+//!   overloaded IDS that sheds predictably beats one that stalls its
+//!   capture loop.
+//! * **Bounded rule buffers** — [`crate::ScannerBuilder::max_flow_buffer`]
+//!   caps each flow's rule-confirmation payload buffer; over the cap a
+//!   flow degrades to anchor-only reporting
+//!   ([`crate::RuleStreamScanner::with_max_buffer`] has the exact
+//!   contract), with [`PipelineStats::degraded_flows`],
+//!   [`PipelineStats::truncated_bytes`] and the
+//!   [`PipelineStats::buffered_bytes`] gauge as the observability.
 //!
 //! Equivalence contract: for the same packets, `dispatch* + drain` (or
-//! [`PipelineScanner::scan_batch`]) reports byte-identical sorted
-//! `matches`/`rule_matches` to the barrier scanner's `scan_batch`
-//! (`tests/pipeline_equivalence.rs`).
+//! [`PipelineScanner::scan_batch`]) under the default `Block` policy
+//! reports byte-identical sorted `matches`/`rule_matches` to the barrier
+//! scanner's `scan_batch` (`tests/pipeline_equivalence.rs`).
 
+use crate::builder::BackpressurePolicy;
+use crate::fault::FaultPlan;
 use crate::group::GroupedEngineSet;
 use crate::ring::{self, Consumer, Producer, PushError};
 use crate::shard::{FlowMatch, FlowRuleMatch, Packet};
@@ -52,7 +82,7 @@ use crate::worker::{mix64, plain_mode, rule_parts, FlowScanner, WorkerMode};
 use mpm_patterns::rule::{RuleMatch, RuleSet};
 use mpm_patterns::stats::{LatencyHistogram, LatencySummary};
 use mpm_patterns::{MatchEvent, MatcherStats, PatternSet};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::{JoinHandle, Thread};
 use std::time::{Duration, Instant};
@@ -78,6 +108,17 @@ enum Out {
     /// Boxed: the interval histogram is ~15 KiB and flushes are rare; the
     /// common `Match`/`Rule` variants stay ring-slot sized.
     Flushed(Box<FlushReport>),
+    /// The worker caught a panic and is about to exit: its last words,
+    /// carrying the flows whose state dies with it. Boxed like `Flushed`.
+    Died(Box<DeathReport>),
+}
+
+/// A dying worker's final message through its output ring.
+struct DeathReport {
+    message: String,
+    /// `(flow, buffered rule bytes)` for every flow resident at death,
+    /// sorted by flow id for deterministic reporting.
+    flows: Vec<(u64, u64)>,
 }
 
 /// One worker's interval telemetry, shipped through its output ring at
@@ -94,6 +135,12 @@ struct FlushReport {
     evicted: u64,
     resident_flows: usize,
     old_epoch_flows: usize,
+    /// Gauge: rule-payload bytes buffered across resident flows at flush.
+    buffered_bytes: u64,
+    /// Gauge: resident flows currently degraded (over the buffer cap).
+    degraded_flows: u64,
+    /// Interval counter: bytes truncated past flow buffer caps.
+    truncated_bytes: u64,
 }
 
 /// Per-worker telemetry for one drain interval (see
@@ -120,6 +167,9 @@ pub struct WorkerStats {
     pub evicted: u64,
     /// Flows resident on this worker at flush time.
     pub resident_flows: usize,
+    /// Packets shed at this worker's ring this interval (only nonzero
+    /// under the `Shed`/`BlockTimeout` backpressure policies).
+    pub shed_packets: u64,
 }
 
 impl WorkerStats {
@@ -133,6 +183,60 @@ impl WorkerStats {
         }
     }
 }
+
+/// Record of one worker respawn (see [`PipelineStats::worker_restarts`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerRestart {
+    /// The worker that died and was respawned.
+    pub worker: usize,
+    /// The panic message the worker died with, or a placeholder when it
+    /// vanished without reporting.
+    pub message: String,
+}
+
+/// A flow quarantined by a worker death (see
+/// [`PipelineStats::flow_errors`]): its stream state — carry bytes, rule
+/// progress, buffered payload — died with the worker, so its results are
+/// incomplete. Packets of the flow still queued on the dead worker are
+/// dropped (a fresh mid-stream scanner would report wrong offsets);
+/// packets arriving after the respawn start a fresh stream at offset 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowError {
+    /// The quarantined flow.
+    pub flow: u64,
+    /// The worker the flow was resident on when it died.
+    pub worker: usize,
+    /// Rule-payload bytes that were buffered for the flow at death.
+    pub buffered_bytes: u64,
+}
+
+/// Errors surfaced by the pipeline's worker supervision — returned instead
+/// of hanging, which is what a dead worker used to cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// A worker thread terminated without a death report (a hard crash, as
+    /// opposed to a caught panic). The worker has already been respawned
+    /// and the pipeline keeps running, but its resident flows were lost
+    /// *without* per-flow accounting — this error is surfaced exactly once
+    /// so the caller knows coverage has a hole. The next call succeeds.
+    WorkerLost {
+        /// Index of the worker that vanished.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::WorkerLost { worker } => {
+                write!(f, "pipeline worker {worker} terminated without a report")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Result of one [`PipelineScanner::drain`]: everything the pipeline
 /// produced since the previous drain (minus what
@@ -164,11 +268,29 @@ pub struct PipelineStats {
     /// interval — nonzero means the traffic source outran a shard and
     /// backpressure engaged.
     pub backpressure_waits: u64,
+    /// Packets dropped at full rings this interval, summed over workers
+    /// (the `Shed`/`BlockTimeout` policies; always zero under `Block`).
+    pub shed_packets: u64,
     /// The ruleset epoch current at drain time (bumped by every swap).
     pub epoch: u64,
     /// Flows still scanning under a pre-swap ruleset (they drain
     /// gracefully; see the module docs on hot-swap).
     pub old_epoch_flows: usize,
+    /// Gauge: rule-confirmation payload bytes buffered across all resident
+    /// flows at drain time — the memory the
+    /// [`crate::ScannerBuilder::max_flow_buffer`] cap bounds.
+    pub buffered_bytes: u64,
+    /// Gauge: resident flows that exceeded the buffer cap and degraded to
+    /// anchor-only reporting.
+    pub degraded_flows: u64,
+    /// Payload bytes past flow buffer caps this interval — scanned for
+    /// anchors but never eligible for rule confirmation.
+    pub truncated_bytes: u64,
+    /// Workers respawned during the interval, in recovery order.
+    pub worker_restarts: Vec<WorkerRestart>,
+    /// Flows quarantined by worker deaths during the interval, sorted by
+    /// flow id within each death.
+    pub flow_errors: Vec<FlowError>,
 }
 
 /// One flow's stream state plus bookkeeping for recency eviction and
@@ -184,6 +306,31 @@ struct FlowSlot {
     epoch: u64,
 }
 
+/// Everything [`PipelineScanner::spawn`] needs, bundled so the builder and
+/// the respawn path construct workers identically.
+pub(crate) struct PipelineConfig {
+    pub(crate) mode: WorkerMode,
+    pub(crate) workers: usize,
+    pub(crate) ring_capacity: usize,
+    pub(crate) max_flows: Option<usize>,
+    pub(crate) idle_after: Option<Duration>,
+    pub(crate) backpressure: BackpressurePolicy,
+    pub(crate) max_flow_buffer: Option<usize>,
+    pub(crate) plan: Arc<FaultPlan>,
+}
+
+/// Per-worker slice of the pipeline configuration (what one spawned thread
+/// needs), cloned on every spawn and respawn.
+struct WorkerConfig {
+    index: usize,
+    mode: WorkerMode,
+    epoch: u64,
+    max_flows: Option<usize>,
+    idle_after: Option<Duration>,
+    max_flow_buffer: Option<usize>,
+    plan: Arc<FaultPlan>,
+}
+
 /// Continuously-running multi-core scanner: bounded rings, flow-affine
 /// dispatch, no per-batch barrier. Built by [`crate::ScannerBuilder::build`].
 ///
@@ -197,78 +344,119 @@ struct FlowSlot {
 /// let mut pipeline = ScannerBuilder::new()
 ///     .engine(engine, &rules)
 ///     .workers(2)
-///     .build();
+///     .build()
+///     .expect("valid configuration");
 ///
 /// pipeline.dispatch(Packet::new(7, b"...att".to_vec()));
 /// pipeline.dispatch(Packet::new(7, b"ack...".to_vec()));
-/// let stats = pipeline.drain();
+/// let stats = pipeline.drain().expect("workers alive");
 /// assert_eq!(stats.matches.len(), 1);
 /// assert_eq!(stats.latency.count, 2); // every packet is a latency sample
 /// ```
 pub struct PipelineScanner {
     workers: Vec<WorkerHandle>,
+    /// The current compile product — retained so a respawned worker is
+    /// minted at the newest mode (kept in sync by `swap`).
+    mode: WorkerMode,
     epoch: u64,
     flush_token: u64,
     pending_matches: Vec<FlowMatch>,
     pending_rules: Vec<FlowRuleMatch>,
     pending_reports: Vec<FlushReport>,
+    /// Respawns since the last drain.
+    pending_restarts: Vec<WorkerRestart>,
+    /// Quarantined flows since the last drain.
+    pending_flow_errors: Vec<FlowError>,
+    /// Workers that vanished without a death report; each entry is
+    /// surfaced once as [`PipelineError::WorkerLost`].
+    lost: Vec<usize>,
     backpressure_waits: u64,
     ring_capacity: usize,
+    backpressure: BackpressurePolicy,
+    /// Per-worker share of the flow cap (already divided).
+    max_flows: Option<usize>,
+    idle_after: Option<Duration>,
+    max_flow_buffer: Option<usize>,
+    plan: Arc<FaultPlan>,
 }
 
 struct WorkerHandle {
-    /// `Option` so `Drop` can hang up by dropping the producer in place.
+    /// `Option` so `Drop` can hang up by dropping the producer in place
+    /// (and so recovery can take it to reclaim buffered jobs).
     jobs: Option<Producer<PipeJob>>,
     out: Consumer<Out>,
     thread: Thread,
     handle: Option<JoinHandle<()>>,
     /// Control-side high-water mark of the job ring, per drain interval.
     max_occupancy: usize,
+    /// Packets shed at this worker's ring, per drain interval.
+    shed: u64,
+    /// Death report pumped off the output ring, held until recovery
+    /// consumes it.
+    died: Option<DeathReport>,
+}
+
+/// Spawns one worker thread with fresh rings.
+fn spawn_worker(config: WorkerConfig, ring_capacity: usize) -> WorkerHandle {
+    let (jobs_tx, jobs_rx) = ring::spsc(ring_capacity);
+    // Output rings are wider than job rings: one packet can produce many
+    // matches, and headroom there keeps workers from stalling on their own
+    // results.
+    let (out_tx, out_rx) = ring::spsc(ring_capacity * 4);
+    let handle = std::thread::spawn(move || PipelineWorker::new(config, jobs_rx, out_tx).run());
+    WorkerHandle {
+        jobs: Some(jobs_tx),
+        out: out_rx,
+        thread: handle.thread().clone(),
+        handle: Some(handle),
+        max_occupancy: 0,
+        shed: 0,
+        died: None,
+    }
 }
 
 impl PipelineScanner {
-    pub(crate) fn spawn(
-        mode: WorkerMode,
-        workers: usize,
-        ring_capacity: usize,
-        max_flows: Option<usize>,
-        idle_after: Option<Duration>,
-    ) -> Self {
-        assert!(workers > 0, "need at least one worker");
+    pub(crate) fn spawn(config: PipelineConfig) -> Self {
+        // Invariant: `ScannerBuilder` validated the count (BuildError::ZeroWorkers).
+        assert!(config.workers > 0, "need at least one worker");
         // Same split as the barrier scanner: div_ceil so small caps never
         // round below the requested bound.
-        let per_worker_cap = max_flows.map(|m| m.div_ceil(workers).max(1));
-        let ring_capacity = ring_capacity.max(2).next_power_of_two();
-        let workers = (0..workers)
+        let per_worker_cap = config.max_flows.map(|m| m.div_ceil(config.workers).max(1));
+        let ring_capacity = config.ring_capacity.max(2).next_power_of_two();
+        let workers = (0..config.workers)
             .map(|index| {
-                let (jobs_tx, jobs_rx) = ring::spsc(ring_capacity);
-                // Output rings are wider than job rings: one packet can
-                // produce many matches, and headroom there keeps workers
-                // from stalling on their own results.
-                let (out_tx, out_rx) = ring::spsc(ring_capacity * 4);
-                let mode = mode.clone();
-                let handle = std::thread::spawn(move || {
-                    PipelineWorker::new(index, jobs_rx, out_tx, mode, per_worker_cap, idle_after)
-                        .run()
-                });
-                WorkerHandle {
-                    jobs: Some(jobs_tx),
-                    out: out_rx,
-                    thread: handle.thread().clone(),
-                    handle: Some(handle),
-                    max_occupancy: 0,
-                }
+                spawn_worker(
+                    WorkerConfig {
+                        index,
+                        mode: config.mode.clone(),
+                        epoch: 0,
+                        max_flows: per_worker_cap,
+                        idle_after: config.idle_after,
+                        max_flow_buffer: config.max_flow_buffer,
+                        plan: config.plan.clone(),
+                    },
+                    ring_capacity,
+                )
             })
             .collect();
         PipelineScanner {
             workers,
+            mode: config.mode,
             epoch: 0,
             flush_token: 0,
             pending_matches: Vec::new(),
             pending_rules: Vec::new(),
             pending_reports: Vec::new(),
+            pending_restarts: Vec::new(),
+            pending_flow_errors: Vec::new(),
+            lost: Vec::new(),
             backpressure_waits: 0,
             ring_capacity,
+            backpressure: config.backpressure,
+            max_flows: per_worker_cap,
+            idle_after: config.idle_after,
+            max_flow_buffer: config.max_flow_buffer,
+            plan: config.plan,
         }
     }
 
@@ -294,25 +482,65 @@ impl PipelineScanner {
         (mix64(flow) % self.workers.len() as u64) as usize
     }
 
-    /// Sends one packet to its flow's worker. **Blocks under backpressure**:
-    /// if the worker's job ring is full, this drains that worker's output
-    /// ring into the pending result buffers and retries until a slot frees
-    /// up — the pipeline's bounded-memory guarantee (an unbounded queue
-    /// here is exactly the barrier scanner's failure mode at line rate).
-    pub fn dispatch(&mut self, packet: Packet) {
+    /// Sends one packet to its flow's worker; returns `false` iff the
+    /// packet was shed. What a full job ring means depends on the
+    /// [`crate::BackpressurePolicy`]:
+    ///
+    /// * `Block` (default): waits for a slot, draining that worker's
+    ///   output ring while it waits so backpressure can never deadlock —
+    ///   the pipeline's bounded-memory guarantee. Always returns `true`.
+    /// * `Shed`: one push attempt; on a full ring the packet is dropped,
+    ///   counted ([`PipelineStats::shed_packets`]) and `false` returned.
+    /// * `BlockTimeout(limit)`: like `Block` for up to `limit`, then like
+    ///   `Shed`.
+    ///
+    /// A dead worker encountered here is recovered transparently (see the
+    /// module docs on supervision); dispatch itself never errors.
+    pub fn dispatch(&mut self, packet: Packet) -> bool {
         let worker = self.worker_of(packet.flow);
-        self.push_job(
-            worker,
-            PipeJob::Packet {
-                packet,
-                enqueued: Instant::now(),
-            },
-        );
+        let job = PipeJob::Packet {
+            packet,
+            enqueued: Instant::now(),
+        };
+        match self.backpressure {
+            BackpressurePolicy::Block => {
+                self.push_job(worker, job);
+                true
+            }
+            BackpressurePolicy::Shed => {
+                if !self.plan.refuse_push(worker) && self.try_push(worker, job).is_ok() {
+                    return true;
+                }
+                self.workers[worker].shed += 1;
+                self.pump_worker(worker);
+                false
+            }
+            BackpressurePolicy::BlockTimeout(limit) => {
+                let deadline = Instant::now() + limit;
+                let mut job = job;
+                loop {
+                    if !self.plan.refuse_push(worker) {
+                        match self.try_push(worker, job) {
+                            Ok(()) => return true,
+                            Err(back) => job = back,
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        self.workers[worker].shed += 1;
+                        self.pump_worker(worker);
+                        return false;
+                    }
+                    self.backpressure_waits += 1;
+                    self.pump_worker(worker);
+                    std::thread::yield_now();
+                }
+            }
+        }
     }
 
     /// Retires a finished flow, freeing its stream state on the owning
     /// worker (FIFO-ordered against the flow's packets, exactly like the
-    /// barrier scanner's `close_flow`).
+    /// barrier scanner's `close_flow`). Never shed, regardless of policy.
     pub fn close_flow(&mut self, flow: u64) {
         let worker = self.worker_of(flow);
         self.push_job(worker, PipeJob::CloseFlow(flow));
@@ -322,22 +550,41 @@ impl PipelineScanner {
     /// far and returns it **unsorted** (arrival order). Use this from a
     /// live loop that wants matches as they happen; results handed out here
     /// are *not* repeated by the next [`PipelineScanner::drain`].
-    pub fn poll(&mut self) -> (Vec<FlowMatch>, Vec<FlowRuleMatch>) {
+    ///
+    /// # Errors
+    /// [`PipelineError::WorkerLost`] once per worker that vanished without
+    /// a death report (it has already been respawned; the next call
+    /// succeeds).
+    pub fn poll(&mut self) -> Result<(Vec<FlowMatch>, Vec<FlowRuleMatch>), PipelineError> {
+        self.check_workers();
+        if let Some(err) = self.take_lost() {
+            return Err(err);
+        }
         for w in 0..self.workers.len() {
             self.pump_worker(w);
         }
-        (
+        Ok((
             std::mem::take(&mut self.pending_matches),
             std::mem::take(&mut self.pending_rules),
-        )
+        ))
     }
 
     /// Collection point (not a scan barrier): asks every worker for its
     /// interval report, waits for the reports to arrive, and returns the
     /// merged, deterministically-sorted results plus latency/utilization
     /// telemetry. Workers keep draining their rings the whole time — only
-    /// the caller waits.
-    pub fn drain(&mut self) -> PipelineStats {
+    /// the caller waits. A worker that dies mid-drain is recovered and its
+    /// flush re-issued, so this returns instead of hanging.
+    ///
+    /// # Errors
+    /// [`PipelineError::WorkerLost`] once per worker that vanished without
+    /// a death report (it has already been respawned; the next call
+    /// succeeds).
+    pub fn drain(&mut self) -> Result<PipelineStats, PipelineError> {
+        self.check_workers();
+        if let Some(err) = self.take_lost() {
+            return Err(err);
+        }
         let token = self.flush_token;
         self.flush_token += 1;
         for w in 0..self.workers.len() {
@@ -347,9 +594,23 @@ impl PipelineScanner {
             for w in 0..self.workers.len() {
                 self.pump_worker(w);
             }
-            if self.pending_reports.len() < self.workers.len() {
-                std::thread::yield_now();
+            if self.pending_reports.len() >= self.workers.len() {
+                break;
             }
+            // Liveness: a worker that died after its flush was pushed will
+            // never report. Recover it and re-issue the flush (unless the
+            // original flush job was reclaimed and re-enqueued, or its
+            // report arrived just before it died).
+            for w in 0..self.workers.len() {
+                if self.pending_reports.iter().any(|r| r.worker == w) || !self.worker_dead(w) {
+                    continue;
+                }
+                let flush_resent = self.recover_worker(w);
+                if !flush_resent && !self.pending_reports.iter().any(|r| r.worker == w) {
+                    self.push_job(w, PipeJob::Flush { token });
+                }
+            }
+            std::thread::yield_now();
         }
         let mut reports = std::mem::take(&mut self.pending_reports);
         debug_assert!(reports.iter().all(|r| r.token == token));
@@ -361,13 +622,22 @@ impl PipelineScanner {
         let mut resident_flows = 0;
         let mut evicted_flows = 0;
         let mut old_epoch_flows = 0;
+        let mut shed_packets = 0;
+        let mut buffered_bytes = 0;
+        let mut degraded_flows = 0;
+        let mut truncated_bytes = 0;
         for report in &reports {
             stats.merge(&report.stats);
             histogram.merge(&report.latency);
             resident_flows += report.resident_flows;
             evicted_flows += report.evicted;
             old_epoch_flows += report.old_epoch_flows;
+            buffered_bytes += report.buffered_bytes;
+            degraded_flows += report.degraded_flows;
+            truncated_bytes += report.truncated_bytes;
             let handle = &mut self.workers[report.worker];
+            let shed = std::mem::take(&mut handle.shed);
+            shed_packets += shed;
             result_workers.push(WorkerStats {
                 worker: report.worker,
                 packets: report.packets,
@@ -378,6 +648,7 @@ impl PipelineScanner {
                 ring_capacity: self.ring_capacity,
                 evicted: report.evicted,
                 resident_flows: report.resident_flows,
+                shed_packets: shed,
             });
             handle.max_occupancy = 0;
         }
@@ -385,7 +656,7 @@ impl PipelineScanner {
         let mut rule_matches = std::mem::take(&mut self.pending_rules);
         matches.sort_unstable();
         rule_matches.sort_unstable();
-        PipelineStats {
+        Ok(PipelineStats {
             matches,
             rule_matches,
             stats,
@@ -395,16 +666,28 @@ impl PipelineScanner {
             histogram,
             workers: result_workers,
             backpressure_waits: std::mem::take(&mut self.backpressure_waits),
+            shed_packets,
             epoch: self.epoch,
             old_epoch_flows,
-        }
+            buffered_bytes,
+            degraded_flows,
+            truncated_bytes,
+            worker_restarts: std::mem::take(&mut self.pending_restarts),
+            flow_errors: std::mem::take(&mut self.pending_flow_errors),
+        })
     }
 
     /// Dispatches a batch and drains — the drop-in shape of the barrier
     /// scanner's `scan_batch`, used by the equivalence suites. A live
     /// deployment calls [`PipelineScanner::dispatch`] /
     /// [`PipelineScanner::poll`] / [`PipelineScanner::drain`] directly.
-    pub fn scan_batch(&mut self, packets: impl IntoIterator<Item = Packet>) -> PipelineStats {
+    ///
+    /// # Errors
+    /// Same contract as [`PipelineScanner::drain`].
+    pub fn scan_batch(
+        &mut self,
+        packets: impl IntoIterator<Item = Packet>,
+    ) -> Result<PipelineStats, PipelineError> {
         for packet in packets {
             self.dispatch(packet);
         }
@@ -432,6 +715,7 @@ impl PipelineScanner {
 
     fn swap(&mut self, mode: WorkerMode) -> u64 {
         self.epoch += 1;
+        self.mode = mode.clone();
         for w in 0..self.workers.len() {
             self.push_job(
                 w,
@@ -444,17 +728,155 @@ impl PipelineScanner {
         self.epoch
     }
 
-    /// Blocking ring push with deadlock-free backpressure: while the job
-    /// ring is full, drain that worker's output ring (the worker may itself
-    /// be stalled on it) and retry.
-    fn push_job(&mut self, worker: usize, mut job: PipeJob) {
+    /// Is this worker's thread gone (exited or exiting)?
+    fn worker_dead(&self, worker: usize) -> bool {
+        let handle = &self.workers[worker];
+        handle.handle.as_ref().is_none_or(|h| h.is_finished())
+            || handle.jobs.as_ref().is_none_or(|j| j.is_closed())
+    }
+
+    /// Recovers every dead worker; called on entry to `poll`/`drain` so
+    /// deaths that happened while the caller was away are handled before
+    /// new work is issued.
+    fn check_workers(&mut self) {
+        for w in 0..self.workers.len() {
+            if self.worker_dead(w) {
+                self.recover_worker(w);
+            }
+        }
+    }
+
+    /// Pops the next pending "worker vanished" error, if any.
+    fn take_lost(&mut self) -> Option<PipelineError> {
+        if self.lost.is_empty() {
+            None
+        } else {
+            Some(PipelineError::WorkerLost {
+                worker: self.lost.remove(0),
+            })
+        }
+    }
+
+    /// Replaces a dead worker: joins the thread, reclaims the jobs it never
+    /// popped, respawns it with a fresh scanner map at the **current**
+    /// mode/epoch, records the restart, quarantines the flows whose state
+    /// died with it, and re-enqueues the reclaimed jobs that are still
+    /// meaningful. Returns true iff a reclaimed `Flush` was re-enqueued
+    /// (the drain loop uses this to avoid double-flushing).
+    fn recover_worker(&mut self, worker: usize) -> bool {
+        // Wait for the thread to actually finish, pumping its output so a
+        // death report queued behind matches gets through, then join. The
+        // join is the happens-before edge `Producer::reclaim` requires.
+        loop {
+            self.pump_worker(worker);
+            let finished = self.workers[worker]
+                .handle
+                .as_ref()
+                .is_none_or(|h| h.is_finished());
+            if finished {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        if let Some(handle) = self.workers[worker].handle.take() {
+            // The panic payload (if any) already surfaced as a DeathReport;
+            // nothing to learn from the join result.
+            let _ = handle.join();
+        }
+        self.pump_worker(worker);
+        let died = self.workers[worker].died.take();
+        let reclaimed = match self.workers[worker].jobs.take() {
+            Some(mut producer) => producer.reclaim(),
+            None => Vec::new(),
+        };
+        // Respawn at the dispatcher's current mode/epoch: any swap the dead
+        // worker missed is already reflected in the fresh worker, so
+        // reclaimed Swap markers below are dropped rather than replayed.
+        let fresh = spawn_worker(
+            WorkerConfig {
+                index: worker,
+                mode: self.mode.clone(),
+                epoch: self.epoch,
+                max_flows: self.max_flows,
+                idle_after: self.idle_after,
+                max_flow_buffer: self.max_flow_buffer,
+                plan: self.plan.clone(),
+            },
+            self.ring_capacity,
+        );
+        // Interval counters on the control side survive the respawn.
+        let shed = self.workers[worker].shed;
+        let max_occupancy = self.workers[worker].max_occupancy;
+        self.workers[worker] = fresh;
+        self.workers[worker].shed = shed;
+        self.workers[worker].max_occupancy = max_occupancy;
+        let quarantined: HashSet<u64> = match died {
+            Some(report) => {
+                self.pending_restarts.push(WorkerRestart {
+                    worker,
+                    message: report.message,
+                });
+                let flows: HashSet<u64> = report.flows.iter().map(|&(flow, _)| flow).collect();
+                for (flow, buffered_bytes) in report.flows {
+                    self.pending_flow_errors.push(FlowError {
+                        flow,
+                        worker,
+                        buffered_bytes,
+                    });
+                }
+                flows
+            }
+            None => {
+                self.pending_restarts.push(WorkerRestart {
+                    worker,
+                    message: "worker terminated without a report".to_string(),
+                });
+                self.lost.push(worker);
+                HashSet::new()
+            }
+        };
+        let mut flush_resent = false;
+        for job in reclaimed {
+            match job {
+                PipeJob::Packet { ref packet, .. } if quarantined.contains(&packet.flow) => {
+                    // The flow is already reported as errored; its queued
+                    // packets die with it (a fresh mid-stream scanner would
+                    // report wrong offsets).
+                }
+                job @ (PipeJob::Packet { .. } | PipeJob::CloseFlow(_)) => {
+                    // Packets of non-quarantined flows had no state on the
+                    // dead worker (their flow was never minted there), so
+                    // replaying them starts correct fresh streams, in order.
+                    self.push_job(worker, job);
+                }
+                PipeJob::Swap { .. } => {}
+                PipeJob::Flush { token } => {
+                    self.push_job(worker, PipeJob::Flush { token });
+                    flush_resent = true;
+                }
+            }
+        }
+        flush_resent
+    }
+
+    /// One push attempt. `Err` returns the job iff the ring is genuinely
+    /// full right now. A closed ring (dead worker) triggers recovery and a
+    /// retry against the fresh ring, so callers never observe `Closed`.
+    fn try_push(&mut self, worker: usize, job: PipeJob) -> Result<(), PipeJob> {
+        let mut job = job;
         loop {
             let handle = &mut self.workers[worker];
-            let jobs = handle.jobs.as_mut().expect("alive until drop");
+            // Invariant: `jobs` is only None transiently inside
+            // `recover_worker`, which never calls back into `try_push` for
+            // the worker being recovered.
+            let jobs = handle
+                .jobs
+                .as_mut()
+                .expect("producer present outside recovery");
             let was_empty = jobs.is_empty();
             match jobs.push(job) {
                 Ok(()) => {
-                    let occupancy = handle.jobs.as_ref().expect("alive until drop").len();
+                    let occupancy = jobs.len();
                     if occupancy > handle.max_occupancy {
                         handle.max_occupancy = occupancy;
                     }
@@ -463,16 +885,31 @@ impl PipelineScanner {
                         // now rather than after its park timeout.
                         handle.thread.unpark();
                     }
-                    return;
+                    return Ok(());
                 }
-                Err(PushError::Full(j)) => {
-                    job = j;
+                Err(PushError::Full(back)) => return Err(back),
+                Err(PushError::Closed(back)) => {
+                    job = back;
+                    self.recover_worker(worker);
+                }
+            }
+        }
+    }
+
+    /// Blocking ring push with deadlock-free backpressure: while the job
+    /// ring is full, drain that worker's output ring (the worker may itself
+    /// be stalled on it) and retry. Used for control jobs and for packet
+    /// dispatch under the `Block` policy.
+    fn push_job(&mut self, worker: usize, job: PipeJob) {
+        let mut job = job;
+        loop {
+            match self.try_push(worker, job) {
+                Ok(()) => return,
+                Err(back) => {
+                    job = back;
                     self.backpressure_waits += 1;
                     self.pump_worker(worker);
                     std::thread::yield_now();
-                }
-                Err(PushError::Closed(_)) => {
-                    panic!("pipeline worker thread terminated unexpectedly")
                 }
             }
         }
@@ -485,6 +922,7 @@ impl PipelineScanner {
                 Out::Match(m) => self.pending_matches.push(m),
                 Out::Rule(r) => self.pending_rules.push(r),
                 Out::Flushed(report) => self.pending_reports.push(*report),
+                Out::Died(report) => self.workers[worker].died = Some(*report),
             }
         }
     }
@@ -527,6 +965,8 @@ struct PipelineWorker {
     epoch: u64,
     max_flows: Option<usize>,
     idle_after: Option<Duration>,
+    max_flow_buffer: Option<usize>,
+    plan: Arc<FaultPlan>,
     flows: HashMap<u64, FlowSlot>,
     /// seq → flow, maintained when any eviction policy is active. Push
     /// order == recency order, so the least-recently-pushed flow is the
@@ -540,27 +980,27 @@ struct PipelineWorker {
     packets: u64,
     bytes: u64,
     evicted: u64,
+    /// Interval counter of bytes truncated past flow buffer caps.
+    truncated: u64,
+    /// Packets received over the worker's lifetime (not reset at flush) —
+    /// the deterministic coordinate fault-plan triggers key on.
+    lifetime_packets: u64,
     events: Vec<MatchEvent>,
     rule_events: Vec<RuleMatch>,
 }
 
 impl PipelineWorker {
-    fn new(
-        index: usize,
-        jobs: Consumer<PipeJob>,
-        out: Producer<Out>,
-        mode: WorkerMode,
-        max_flows: Option<usize>,
-        idle_after: Option<Duration>,
-    ) -> Self {
+    fn new(config: WorkerConfig, jobs: Consumer<PipeJob>, out: Producer<Out>) -> Self {
         PipelineWorker {
-            index,
+            index: config.index,
             jobs,
             out,
-            mode,
-            epoch: 0,
-            max_flows,
-            idle_after,
+            mode: config.mode,
+            epoch: config.epoch,
+            max_flows: config.max_flows,
+            idle_after: config.idle_after,
+            max_flow_buffer: config.max_flow_buffer,
+            plan: config.plan,
             flows: HashMap::new(),
             recency: BTreeMap::new(),
             next_seq: 0,
@@ -571,6 +1011,8 @@ impl PipelineWorker {
             packets: 0,
             bytes: 0,
             evicted: 0,
+            truncated: 0,
+            lifetime_packets: 0,
             events: Vec::new(),
             rule_events: Vec::new(),
         }
@@ -590,7 +1032,27 @@ impl PipelineWorker {
             match self.jobs.pop() {
                 Some(job) => {
                     idle = 0;
-                    self.handle(job);
+                    if matches!(job, PipeJob::Packet { .. }) {
+                        self.lifetime_packets += 1;
+                        if self.plan.should_exit(self.index, self.lifetime_packets) {
+                            // Injected hard crash: exit with no death
+                            // report — the closed ring is the only signal
+                            // (surfaced as PipelineError::WorkerLost).
+                            return;
+                        }
+                    }
+                    // Supervision: a panic anywhere in job handling (a bad
+                    // engine, a poisoned flow, an injected fault) must not
+                    // strand the dispatcher against a silently dead ring.
+                    // AssertUnwindSafe: on Err we only read flow ids and
+                    // buffer sizes for the death report, then the whole
+                    // worker state is discarded.
+                    let unwound =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(job)));
+                    if let Err(payload) = unwound {
+                        self.report_death(panic_message(payload.as_ref()));
+                        return;
+                    }
                 }
                 None => {
                     if self.jobs.is_closed() {
@@ -609,10 +1071,31 @@ impl PipelineWorker {
         }
     }
 
+    /// Last words: every resident flow dies with this worker; tell the
+    /// dispatcher which ones so it can quarantine them instead of silently
+    /// losing them.
+    fn report_death(&mut self, message: String) {
+        let mut flows: Vec<(u64, u64)> = self
+            .flows
+            .iter()
+            .map(|(&flow, slot)| (flow, slot.scanner.buffered_bytes()))
+            .collect();
+        flows.sort_unstable();
+        push_out(
+            &mut self.out,
+            Out::Died(Box::new(DeathReport { message, flows })),
+        );
+    }
+
     fn handle(&mut self, job: PipeJob) {
-        let now = Instant::now();
+        let started = Instant::now();
+        // The eviction clock: equal to `started` in production, offset
+        // under an injected mock-clock advance. Only `last_seen`/idle
+        // eviction observe it — latency and utilization stay real-time.
+        let now = self.plan.clock(started);
         match job {
             PipeJob::Packet { packet, enqueued } => {
+                self.plan.maybe_panic(self.index, self.lifetime_packets);
                 self.sweep_idle(now);
                 self.scan_packet(packet, now);
                 // Latency is measured dispatch→scanned: ring wait + scan.
@@ -631,10 +1114,10 @@ impl PipelineWorker {
             }
             PipeJob::Flush { token } => {
                 self.sweep_idle(now);
-                self.flush(token, now);
+                self.flush(token, started);
             }
         }
-        self.busy_nanos += now.elapsed().as_nanos() as u64;
+        self.busy_nanos += started.elapsed().as_nanos() as u64;
     }
 
     /// Evicts flows idle past the timeout, scanning only the (push-ordered)
@@ -683,7 +1166,7 @@ impl PipelineWorker {
                 self.flows.insert(
                     flow,
                     FlowSlot {
-                        scanner: FlowScanner::mint(&self.mode, packet.tuple),
+                        scanner: FlowScanner::mint(&self.mode, packet.tuple, self.max_flow_buffer),
                         seq,
                         last_seen: now,
                         epoch: self.epoch,
@@ -693,21 +1176,32 @@ impl PipelineWorker {
             self.recency.insert(seq, flow);
             self.flows.get_mut(&flow).expect("present or just inserted")
         } else {
+            let (mode, max_flow_buffer, epoch) = (&self.mode, self.max_flow_buffer, self.epoch);
             self.flows.entry(flow).or_insert_with(|| FlowSlot {
-                scanner: FlowScanner::mint(&self.mode, packet.tuple),
+                scanner: FlowScanner::mint(mode, packet.tuple, max_flow_buffer),
                 seq,
                 last_seen: now,
-                epoch: self.epoch,
+                epoch,
             })
         };
         self.events.clear();
         self.rule_events.clear();
+        // Delta accounting for the truncation counter, gated on the cap so
+        // the uncapped hot path pays nothing.
+        let truncated_before = if self.max_flow_buffer.is_some() {
+            slot.scanner.truncated_bytes()
+        } else {
+            0
+        };
         match &mut slot.scanner {
             FlowScanner::Plain(scanner) => scanner.push(&packet.payload, &mut self.events),
             FlowScanner::Rules(scanner) => {
                 scanner.push(&packet.payload, &mut self.events, &mut self.rule_events)
             }
             FlowScanner::Grouped(scanner) => scanner.push(&packet.payload, &mut self.rule_events),
+        }
+        if self.max_flow_buffer.is_some() {
+            self.truncated += slot.scanner.truncated_bytes() - truncated_before;
         }
         self.stats.bytes_scanned += packet.payload.len() as u64;
         // Same accounting as the barrier scanner: grouped mode counts
@@ -734,6 +1228,16 @@ impl PipelineWorker {
     }
 
     fn flush(&mut self, token: u64, now: Instant) {
+        let mut buffered_bytes = 0u64;
+        let mut degraded_flows = 0u64;
+        let mut old_epoch_flows = 0usize;
+        for slot in self.flows.values() {
+            buffered_bytes += slot.scanner.buffered_bytes();
+            degraded_flows += u64::from(slot.scanner.degraded());
+            if slot.epoch != self.epoch {
+                old_epoch_flows += 1;
+            }
+        }
         let report = FlushReport {
             worker: self.index,
             token,
@@ -745,14 +1249,26 @@ impl PipelineWorker {
             bytes: std::mem::take(&mut self.bytes),
             evicted: std::mem::take(&mut self.evicted),
             resident_flows: self.flows.len(),
-            old_epoch_flows: self
-                .flows
-                .values()
-                .filter(|slot| slot.epoch != self.epoch)
-                .count(),
+            old_epoch_flows,
+            buffered_bytes,
+            degraded_flows,
+            truncated_bytes: std::mem::take(&mut self.truncated),
         };
         self.interval_start = now;
         push_out(&mut self.out, Out::Flushed(Box::new(report)));
+    }
+}
+
+/// Extracts a human-readable message from a panic payload (`&str` and
+/// `String` payloads cover `panic!`/`assert!`/`expect`; anything else gets
+/// a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
     }
 }
 

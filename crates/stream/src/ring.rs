@@ -157,6 +157,30 @@ impl<T> Producer<T> {
     pub fn is_closed(&self) -> bool {
         self.shared.closed.load(Ordering::Relaxed)
     }
+
+    /// Reclaims every item still buffered in the ring, in FIFO order, and
+    /// resets the ring to empty. Used by worker supervision to recover the
+    /// jobs a dead worker never popped.
+    ///
+    /// Contract (why this is `pub(crate)` and not public API): only sound
+    /// once the consumer's thread has terminated **and been joined** — the
+    /// join's happens-before edge makes the consumer's final head store and
+    /// every published slot visible here, and guarantees no concurrent
+    /// `pop` races the reads below.
+    pub(crate) fn reclaim(&mut self) -> Vec<T> {
+        let shared = &*self.shared;
+        let head = shared.head.0.load(Ordering::Acquire);
+        let tail = shared.tail.0.load(Ordering::Relaxed);
+        let mut items = Vec::with_capacity(tail.wrapping_sub(head));
+        for i in head..tail {
+            // SAFETY: slots in [head, tail) hold initialized items, and the
+            // consumer is gone (see the contract above), so this side is the
+            // only accessor.
+            items.push(unsafe { (*shared.buffer[i & shared.mask].get()).assume_init_read() });
+        }
+        shared.head.0.store(tail, Ordering::Release);
+        items
+    }
 }
 
 impl<T> Consumer<T> {
@@ -211,11 +235,11 @@ impl<T> Drop for Producer<T> {
 
 impl<T> Drop for Consumer<T> {
     fn drop(&mut self) {
+        // Buffered items are deliberately left in place: after a worker
+        // dies, the control side recovers them via [`Producer::reclaim`].
+        // If the producer goes away too, `Shared::drop` sweeps [head, tail)
+        // so nothing leaks either way.
         self.shared.closed.store(true, Ordering::Release);
-        // Drain what the producer already published so no item leaks; the
-        // producer may still complete one in-flight push after the closed
-        // store, which `Shared::drop` sweeps up once both handles are gone.
-        while self.pop().is_some() {}
     }
 }
 

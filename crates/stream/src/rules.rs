@@ -21,6 +21,23 @@
 //! of where chunk seams fall — and satisfiability is monotone in the
 //! prefix, so re-checking a pending rule on each push confirms it on
 //! exactly the push whose chunk completes that minimal prefix.
+//!
+//! # Memory contract: bounded buffers and graceful degradation
+//!
+//! The whole-payload buffer makes an unbounded flow a memory-exhaustion
+//! vector: one adversarial elephant flow grows its buffer without limit.
+//! [`RuleStreamScanner::with_max_buffer`] caps the buffer at `cap` bytes.
+//! While the stream fits the cap, behaviour is byte-identical to the
+//! unbounded scanner. On the push that would exceed the cap the flow
+//! **degrades**: rules satisfiable within the first `cap` bytes are
+//! confirmed one final time (confirmation over a capped flow is exactly
+//! `scan_rules` on the first `cap` bytes of the stream, independent of
+//! chunk seams), then the buffer is released, confirmation is disabled for
+//! the rest of the flow, and the scanner keeps reporting **anchor hits
+//! only** over the engine's sliding carry window.
+//! [`RuleStreamScanner::degraded`] flags the transition and
+//! [`RuleStreamScanner::truncated_bytes`] counts every payload byte that
+//! was never eligible for confirmation.
 
 use crate::stream::{SharedMatcher, StreamScanner};
 use mpm_patterns::rule::{RuleId, RuleMatch, RuleSet};
@@ -87,6 +104,15 @@ pub struct RuleStreamScanner {
     state: Vec<RuleState>,
     /// Rules in [`RuleState::Pending`], re-checked each push.
     pending: Vec<u32>,
+    /// Buffer cap in bytes; `None` means unbounded (the historical
+    /// behaviour). See the module-level memory contract.
+    max_buffer: Option<usize>,
+    /// True once the flow exceeded `max_buffer` and fell back to
+    /// anchor-only reporting.
+    degraded: bool,
+    /// Payload bytes that were never eligible for confirmation (everything
+    /// past the first `max_buffer` bytes of the stream).
+    truncated: u64,
 }
 
 impl std::fmt::Debug for RuleStreamScanner {
@@ -96,6 +122,7 @@ impl std::fmt::Debug for RuleStreamScanner {
             .field("rules", &self.state.len())
             .field("pending", &self.pending.len())
             .field("buffered_bytes", &self.payload.len())
+            .field("degraded", &self.degraded)
             .finish_non_exhaustive()
     }
 }
@@ -111,12 +138,20 @@ impl RuleStreamScanner {
     /// pattern.
     pub fn new(engine: SharedMatcher, set: &RuleSet) -> Self {
         let inner = StreamScanner::new(engine, set.anchors());
+        // Invariant: `RuleSet::anchors()` builds its `PatternSet` with one
+        // binding per anchor, so `rule_bindings()` is always `Some` here.
         let rule_of: Arc<[u32]> = set
             .anchors()
             .rule_bindings()
             .expect("RuleSet::anchors is always rule-bound")
             .into();
-        Self::with_parts(inner, Arc::new(RuleConfirmer::build(set)), rule_of, None)
+        Self::with_parts(
+            inner,
+            Arc::new(RuleConfirmer::build(set)),
+            rule_of,
+            None,
+            None,
+        )
     }
 
     /// Internal constructor used by `ShardedScanner` and the grouped path
@@ -128,6 +163,7 @@ impl RuleStreamScanner {
         confirmer: Arc<RuleConfirmer>,
         rule_of: Arc<[u32]>,
         confirm_ids: Option<Arc<[u32]>>,
+        max_buffer: Option<usize>,
     ) -> Self {
         let rules = match &confirm_ids {
             Some(ids) => ids.len(),
@@ -141,7 +177,19 @@ impl RuleStreamScanner {
             payload: Vec::new(),
             state: vec![RuleState::Unseen; rules],
             pending: Vec::new(),
+            max_buffer,
+            degraded: false,
+            truncated: 0,
         }
+    }
+
+    /// Caps the confirmation buffer at `bytes`; over the cap the flow
+    /// degrades to anchor-only reporting (see the module-level memory
+    /// contract). A cap of zero degrades on the first non-empty push.
+    #[must_use]
+    pub fn with_max_buffer(mut self, bytes: usize) -> Self {
+        self.max_buffer = Some(bytes);
+        self
     }
 
     /// Absolute offset of the next byte to be pushed.
@@ -150,9 +198,27 @@ impl RuleStreamScanner {
     }
 
     /// Bytes of flow payload currently buffered for confirmation (the whole
-    /// stream so far — see the module docs for the memory contract).
+    /// stream so far, or zero once the flow degraded — see the module docs
+    /// for the memory contract).
     pub fn buffered_bytes(&self) -> usize {
         self.payload.len()
+    }
+
+    /// The configured buffer cap, if any.
+    pub fn max_buffer(&self) -> Option<usize> {
+        self.max_buffer
+    }
+
+    /// True once the flow exceeded the buffer cap and fell back to
+    /// anchor-only reporting (confirmation disabled, buffer released).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Payload bytes past the first `max_buffer` bytes of the stream —
+    /// scanned for anchors but never eligible for rule confirmation.
+    pub fn truncated_bytes(&self) -> u64 {
+        self.truncated
     }
 
     /// Accumulated whole-stream statistics of the anchor engine.
@@ -172,6 +238,8 @@ impl RuleStreamScanner {
         self.payload.clear();
         self.state.fill(RuleState::Unseen);
         self.pending.clear();
+        self.degraded = false;
+        self.truncated = 0;
     }
 
     /// Scans the next chunk: anchor-pattern hits are appended to
@@ -188,7 +256,27 @@ impl RuleStreamScanner {
         if chunk.is_empty() {
             return;
         }
-        self.payload.extend_from_slice(chunk);
+        if self.degraded {
+            // Anchor-only fallback: the engine's carry window keeps anchor
+            // reporting exact; confirmation state is frozen.
+            self.truncated += chunk.len() as u64;
+            self.inner.push(chunk, anchors_out);
+            return;
+        }
+        // Does this push take the stream past the buffer cap? If so, only
+        // the prefix that still fits is eligible for confirmation; the rest
+        // of the chunk is anchor-scanned but truncated.
+        let crossing = self
+            .max_buffer
+            .is_some_and(|cap| self.payload.len() + chunk.len() > cap);
+        let take = if crossing {
+            self.max_buffer
+                .unwrap_or(0)
+                .saturating_sub(self.payload.len())
+        } else {
+            chunk.len()
+        };
+        self.payload.extend_from_slice(&chunk[..take]);
         let first_new = anchors_out.len();
         self.inner.push(chunk, anchors_out);
         for event in &anchors_out[first_new..] {
@@ -198,6 +286,12 @@ impl RuleStreamScanner {
                 self.pending.push(rule as u32);
             }
         }
+        // On the crossing push this final re-check runs against exactly the
+        // first `cap` bytes of the stream, so a capped flow confirms the
+        // same rules as `scan_rules` on that prefix regardless of where the
+        // chunk seams fall. (Anchors past the cap may have marked rules
+        // pending above; their contents are absent from the capped payload,
+        // so they cannot confirm, and pending state is cleared below.)
         let (confirmer, payload, state) = (&self.confirmer, &self.payload, &mut self.state);
         let confirm_ids = self.confirm_ids.as_deref();
         self.pending.retain(|&rule| {
@@ -214,6 +308,14 @@ impl RuleStreamScanner {
                 None => true,
             }
         });
+        if crossing {
+            self.truncated += (chunk.len() - take) as u64;
+            self.pending.clear();
+            self.degraded = true;
+            // Release (not just clear) the buffer: the cap exists to bound
+            // memory, and this flow will never confirm again.
+            self.payload = Vec::new();
+        }
     }
 
     /// Convenience wrapper: scans `chunk` and returns the new anchor events
@@ -283,6 +385,70 @@ mod tests {
             rules.sort_unstable();
             assert_eq!(rules, expected, "diverged at cut {cut}");
         }
+    }
+
+    #[test]
+    fn capped_flow_confirms_exactly_the_cap_prefix_for_every_cut() {
+        // Rule 0 is satisfiable within the first 16 bytes, rule 1 only
+        // beyond them; a 16-byte cap must confirm exactly rule 0 no matter
+        // how the stream is chunked.
+        let set = ruleset(vec![
+            vec![
+                RuleContent::new(*b"abcd"),
+                RuleContent::new(*b"wxyz").with_distance(0),
+            ],
+            vec![RuleContent::new(*b"wxyz").with_offset(20)],
+        ]);
+        let payload = b"..abcd..wxyz....more..wxyz..tail";
+        let cap = 16;
+        let expected = naive_rule_find_all(&set, &payload[..cap]);
+        assert_eq!(expected.len(), 1, "exactly rule 0 within the cap");
+        for cut in 0..=payload.len() {
+            let mut s = scanner(&set).with_max_buffer(cap);
+            let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+            s.push(&payload[..cut], &mut anchors, &mut rules);
+            s.push(&payload[cut..], &mut anchors, &mut rules);
+            rules.sort_unstable();
+            assert_eq!(rules, expected, "diverged at cut {cut}");
+            assert!(s.degraded());
+            assert_eq!(s.buffered_bytes(), 0, "buffer released on degrade");
+            assert_eq!(s.truncated_bytes(), (payload.len() - cap) as u64);
+            // Anchor reporting survives degradation: rule 1's "wxyz"
+            // anchor at 22 lies past the cap and is still reported.
+            let starts: Vec<usize> = anchors.iter().map(|e| e.start).collect();
+            assert!(starts.contains(&22), "post-cap anchor missing: {starts:?}");
+        }
+    }
+
+    #[test]
+    fn degraded_flow_stops_confirming_but_keeps_reporting_anchors() {
+        let set = ruleset(vec![vec![
+            RuleContent::new(*b"user"),
+            RuleContent::new(*b"pass").with_distance(0),
+        ]]);
+        let mut s = scanner(&set).with_max_buffer(4);
+        let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+        s.push(b"......", &mut anchors, &mut rules); // crosses the 4-byte cap
+        assert!(s.degraded());
+        s.push(b"user pass", &mut anchors, &mut rules);
+        assert!(rules.is_empty(), "no confirmation after degradation");
+        assert_eq!(anchors.len(), 1, "anchor still reported");
+        assert_eq!(s.truncated_bytes(), 2 + 9);
+        assert_eq!(s.buffered_bytes(), 0);
+    }
+
+    #[test]
+    fn reset_clears_degradation() {
+        let set = ruleset(vec![vec![RuleContent::new(*b"abcd")]]);
+        let mut s = scanner(&set).with_max_buffer(4);
+        let (mut anchors, mut rules) = (Vec::new(), Vec::new());
+        s.push(b"......", &mut anchors, &mut rules);
+        assert!(s.degraded());
+        s.reset();
+        assert!(!s.degraded());
+        assert_eq!(s.truncated_bytes(), 0);
+        s.push(b"abcd", &mut anchors, &mut rules);
+        assert_eq!(rules.len(), 1, "fresh stream confirms within the cap");
     }
 
     #[test]

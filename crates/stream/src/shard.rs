@@ -121,6 +121,11 @@ pub struct BatchResult {
     /// time. With a [`crate::ScannerBuilder::max_flows`] cap this never
     /// exceeds the cap (rounded up to a whole number of flows per worker).
     pub resident_flows: usize,
+    /// Total bytes of rule-confirmation payload buffered across all
+    /// resident flows at flush time — the gauge the
+    /// [`crate::ScannerBuilder::max_flow_buffer`] cap bounds. Zero in
+    /// pattern-only mode.
+    pub buffered_bytes: u64,
 }
 
 enum Job {
@@ -137,6 +142,7 @@ struct WorkerReport {
     rule_matches: Vec<FlowRuleMatch>,
     stats: MatcherStats,
     resident_flows: usize,
+    buffered_bytes: u64,
 }
 
 struct Worker {
@@ -162,7 +168,8 @@ struct Worker {
 /// let mut scanner: ShardedScanner = ScannerBuilder::new()
 ///     .engine(engine, &rules)
 ///     .workers(4)
-///     .build_barrier();
+///     .build_barrier()
+///     .expect("valid configuration");
 ///
 /// let batch = vec![
 ///     Packet::new(7, b"...att".to_vec()),  // flow 7, cut inside the pattern
@@ -179,7 +186,13 @@ pub struct ShardedScanner {
 }
 
 impl ShardedScanner {
-    pub(crate) fn spawn(mode: WorkerMode, workers: usize, max_flows: Option<usize>) -> Self {
+    pub(crate) fn spawn(
+        mode: WorkerMode,
+        workers: usize,
+        max_flows: Option<usize>,
+        max_flow_buffer: Option<usize>,
+    ) -> Self {
+        // Invariant: `ScannerBuilder` validated the count (BuildError::ZeroWorkers).
         assert!(workers > 0, "need at least one worker");
         // The cap is split evenly; div_ceil so the total never rounds below
         // the requested bound for small caps.
@@ -188,8 +201,9 @@ impl ShardedScanner {
             .map(|_| {
                 let (sender, receiver) = mpsc::channel();
                 let mode = mode.clone();
-                let handle =
-                    std::thread::spawn(move || worker_loop(receiver, mode, per_worker_cap));
+                let handle = std::thread::spawn(move || {
+                    worker_loop(receiver, mode, per_worker_cap, max_flow_buffer)
+                });
                 Worker {
                     sender,
                     handle: Some(handle),
@@ -220,6 +234,10 @@ impl ShardedScanner {
     pub fn scan_batch(&mut self, packets: impl IntoIterator<Item = Packet>) -> BatchResult {
         for packet in packets {
             let worker = self.worker_of(packet.flow);
+            // Invariant: barrier workers only exit when their sender is
+            // dropped in `Drop`, so a send can only fail after `self` is
+            // gone. (Supervision/recovery is a pipeline-only feature; the
+            // barrier stays the simple differential oracle.)
             self.workers[worker]
                 .sender
                 .send(Job::Packet(packet))
@@ -235,6 +253,7 @@ impl ShardedScanner {
     pub fn flush(&mut self) -> BatchResult {
         let (report_sender, report_receiver) = mpsc::channel();
         for worker in &self.workers {
+            // Invariant: workers outlive every send (see `scan_batch`).
             worker
                 .sender
                 .send(Job::Flush(report_sender.clone()))
@@ -247,6 +266,7 @@ impl ShardedScanner {
             result.rule_matches.extend(report.rule_matches);
             result.stats.merge(&report.stats);
             result.resident_flows += report.resident_flows;
+            result.buffered_bytes += report.buffered_bytes;
         }
         result.matches.sort_unstable();
         result.rule_matches.sort_unstable();
@@ -257,6 +277,7 @@ impl ShardedScanner {
     /// [`ShardedScanner::flush`] to collect results.
     pub fn dispatch(&mut self, packet: Packet) {
         let worker = self.worker_of(packet.flow);
+        // Invariant: workers outlive every send (see `scan_batch`).
         self.workers[worker]
             .sender
             .send(Job::Packet(packet))
@@ -275,6 +296,7 @@ impl ShardedScanner {
     /// Closing an unknown flow is a no-op.
     pub fn close_flow(&mut self, flow: u64) {
         let worker = self.worker_of(flow);
+        // Invariant: workers outlive every send (see `scan_batch`).
         self.workers[worker]
             .sender
             .send(Job::CloseFlow(flow))
@@ -302,7 +324,12 @@ struct FlowSlot {
     seq: u64,
 }
 
-fn worker_loop(receiver: Receiver<Job>, mode: WorkerMode, max_flows: Option<usize>) {
+fn worker_loop(
+    receiver: Receiver<Job>,
+    mode: WorkerMode,
+    max_flows: Option<usize>,
+    max_flow_buffer: Option<usize>,
+) {
     // Per-flow stream state; the engines' thread-cached Scratch is implicit
     // (find_into uses this worker thread's cached scratch). With a cap,
     // `recency` keys flows by their last-push sequence number so the
@@ -341,7 +368,7 @@ fn worker_loop(receiver: Receiver<Job>, mode: WorkerMode, max_flows: Option<usiz
                         flows.insert(
                             flow,
                             FlowSlot {
-                                scanner: FlowScanner::mint(&mode, packet.tuple),
+                                scanner: FlowScanner::mint(&mode, packet.tuple, max_flow_buffer),
                                 seq,
                             },
                         );
@@ -351,7 +378,7 @@ fn worker_loop(receiver: Receiver<Job>, mode: WorkerMode, max_flows: Option<usiz
                 } else {
                     // Uncapped: no recency bookkeeping, one hash lookup.
                     flows.entry(flow).or_insert_with(|| FlowSlot {
-                        scanner: FlowScanner::mint(&mode, packet.tuple),
+                        scanner: FlowScanner::mint(&mode, packet.tuple, max_flow_buffer),
                         seq,
                     })
                 };
@@ -391,6 +418,7 @@ fn worker_loop(receiver: Receiver<Job>, mode: WorkerMode, max_flows: Option<usiz
                     rule_matches: std::mem::take(&mut rule_matches),
                     stats: std::mem::take(&mut stats),
                     resident_flows: flows.len(),
+                    buffered_bytes: flows.values().map(|s| s.scanner.buffered_bytes()).sum(),
                 });
             }
         }
@@ -416,6 +444,7 @@ mod tests {
             .engine(engine(set), set)
             .workers(workers)
             .build_barrier()
+            .expect("valid build")
     }
 
     fn rules_barrier(set: &RuleSet, workers: usize) -> ScannerBuilder {
@@ -510,7 +539,8 @@ mod tests {
             .engine(engine(&set), &set)
             .workers(workers)
             .max_flows(cap)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         // A million distinct flows, each carrying one complete occurrence:
         // every match must be found (the pattern never straddles packets of
         // different flows) and the resident state must stay at the cap, not
@@ -543,7 +573,8 @@ mod tests {
             .engine(engine(&set), &set)
             .workers(1)
             .max_flows(2)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         // Flow 1 and 2 each buffer a half-pattern; pushing flow 1 again
         // makes flow 2 the least-recently-pushed.
         scanner.scan_batch(vec![
@@ -580,7 +611,7 @@ mod tests {
     #[test]
     fn rule_mode_confirms_across_packets_within_a_flow() {
         let set = rules_for_shard();
-        let mut scanner = rules_barrier(&set, 3).build_barrier();
+        let mut scanner = rules_barrier(&set, 3).build_barrier().expect("valid build");
         let result = scanner.scan_batch(vec![
             Packet::new(1, b"..atta".to_vec()),
             Packet::new(2, b"ck body".to_vec()), // other flow: no anchor
@@ -603,7 +634,7 @@ mod tests {
     #[test]
     fn rule_mode_confirms_across_batches_and_reports_once() {
         let set = rules_for_shard();
-        let mut scanner = rules_barrier(&set, 2).build_barrier();
+        let mut scanner = rules_barrier(&set, 2).build_barrier().expect("valid build");
         let first = scanner.scan_batch(vec![Packet::new(7, b"attack..".to_vec())]);
         assert!(
             first.rule_matches.is_empty(),
@@ -632,7 +663,9 @@ mod tests {
             .map(|f| Packet::new(f, format!("attack {f} body").into_bytes()))
             .collect();
         let run = |workers: usize| {
-            let mut scanner = rules_barrier(&set, workers).build_barrier();
+            let mut scanner = rules_barrier(&set, workers)
+                .build_barrier()
+                .expect("valid build");
             scanner.scan_batch(packets.clone())
         };
         let one = run(1);
@@ -646,7 +679,10 @@ mod tests {
     fn rule_mode_eviction_retires_buffered_payload() {
         let set = rules_for_shard();
         // One worker, one resident flow: flow 2's arrival evicts flow 1.
-        let mut scanner = rules_barrier(&set, 1).max_flows(1).build_barrier();
+        let mut scanner = rules_barrier(&set, 1)
+            .max_flows(1)
+            .build_barrier()
+            .expect("valid build");
         scanner.scan_batch(vec![Packet::new(1, b"attack..".to_vec())]);
         let result = scanner.scan_batch(vec![
             Packet::new(2, b"zz".to_vec()),
@@ -675,7 +711,8 @@ alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
         let mut scanner = ScannerBuilder::new()
             .groups(grouped_engines())
             .workers(3)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         let web = FlowTuple::new(Proto::Tcp, 40000, 80);
         let dns = FlowTuple::new(Proto::Udp, 1000, 53);
         let result = scanner.scan_batch(vec![
@@ -732,7 +769,8 @@ alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
             let mut scanner = ScannerBuilder::new()
                 .groups(grouped_engines())
                 .workers(workers)
-                .build_barrier();
+                .build_barrier()
+                .expect("valid build");
             scanner.scan_batch(packets.clone())
         };
         let one = run(1);
@@ -750,7 +788,8 @@ alert ip any any -> any any (msg:"any"; content:"evil-bytes"; sid:3;)
             .groups(grouped_engines())
             .workers(1)
             .max_flows(1)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         scanner.scan_batch(vec![Packet::new_with_tuple(1, b"GET /ad".to_vec(), web)]);
         let result = scanner.scan_batch(vec![
             Packet::new_with_tuple(2, b"zz".to_vec(), web), // evicts flow 1

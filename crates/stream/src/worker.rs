@@ -97,8 +97,14 @@ pub(crate) enum FlowScanner {
 impl FlowScanner {
     /// Mints a flow's scanner from the worker's shared mode. `tuple` is the
     /// flow's first packet's tuple; only grouped mode consults it (this is
-    /// where per-flow group selection happens).
-    pub(crate) fn mint(mode: &WorkerMode, tuple: Option<FlowTuple>) -> Self {
+    /// where per-flow group selection happens). `max_buffer` caps each
+    /// rule-confirmation buffer (per group in grouped mode); plain mode has
+    /// no flow buffer and ignores it.
+    pub(crate) fn mint(
+        mode: &WorkerMode,
+        tuple: Option<FlowTuple>,
+        max_buffer: Option<usize>,
+    ) -> Self {
         match mode {
             WorkerMode::Plain {
                 engine,
@@ -112,13 +118,43 @@ impl FlowScanner {
                         parts.confirmer.clone(),
                         parts.rule_of.clone(),
                         None,
+                        max_buffer,
                     )),
                     None => FlowScanner::Plain(inner),
                 }
             }
-            WorkerMode::Grouped(engines) => {
-                FlowScanner::Grouped(GroupedFlowScanner::new(engines.clone(), tuple))
-            }
+            WorkerMode::Grouped(engines) => FlowScanner::Grouped(
+                GroupedFlowScanner::with_max_buffer(engines.clone(), tuple, max_buffer),
+            ),
+        }
+    }
+
+    /// Bytes buffered for rule confirmation (zero for pattern-only flows
+    /// and for degraded flows, whose buffers are released).
+    pub(crate) fn buffered_bytes(&self) -> u64 {
+        match self {
+            FlowScanner::Plain(_) => 0,
+            FlowScanner::Rules(s) => s.buffered_bytes() as u64,
+            FlowScanner::Grouped(s) => s.buffered_bytes(),
+        }
+    }
+
+    /// True once any of the flow's rule buffers exceeded the cap and the
+    /// flow fell back to anchor-only reporting.
+    pub(crate) fn degraded(&self) -> bool {
+        match self {
+            FlowScanner::Plain(_) => false,
+            FlowScanner::Rules(s) => s.degraded(),
+            FlowScanner::Grouped(s) => s.degraded(),
+        }
+    }
+
+    /// Payload bytes never eligible for rule confirmation (past the cap).
+    pub(crate) fn truncated_bytes(&self) -> u64 {
+        match self {
+            FlowScanner::Plain(_) => 0,
+            FlowScanner::Rules(s) => s.truncated_bytes(),
+            FlowScanner::Grouped(s) => s.truncated_bytes(),
         }
     }
 }

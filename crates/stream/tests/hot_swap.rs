@@ -46,7 +46,8 @@ fn build(workers: usize) -> (PipelineScanner, SharedMatcher, RuleSet) {
     let pipeline = ScannerBuilder::new()
         .rules(engine_a, &set_a)
         .workers(workers)
-        .build();
+        .build()
+        .expect("valid build");
     (pipeline, engine_b, set_b)
 }
 
@@ -72,7 +73,7 @@ fn run_spliced(workers: usize, old_flows: u64, new_flows: u64) -> (Vec<FlowRuleM
         pipeline.dispatch(Packet::new(f, PACKET_A.to_vec()));
         pipeline.dispatch(Packet::new(f, PACKET_B.to_vec()));
     }
-    let stats = pipeline.drain();
+    let stats = pipeline.drain().expect("workers alive");
     assert_eq!(stats.epoch, 1);
     let old_epoch_flows = stats.old_epoch_flows;
 
@@ -81,7 +82,7 @@ fn run_spliced(workers: usize, old_flows: u64, new_flows: u64) -> (Vec<FlowRuleM
     for f in 0..old_flows {
         pipeline.close_flow(f);
     }
-    let after_close = pipeline.drain();
+    let after_close = pipeline.drain().expect("workers alive");
     assert_eq!(after_close.old_epoch_flows, 0, "old epoch fully drained");
     assert_eq!(after_close.resident_flows, new_flows as usize);
 
@@ -143,7 +144,8 @@ fn swapped_in_ruleset_governs_flows_that_outlive_several_epochs() {
     let mut pipeline = ScannerBuilder::new()
         .rules(engine_a.clone(), &set_a)
         .workers(2)
-        .build();
+        .build()
+        .expect("valid build");
     let feed = |p: &mut PipelineScanner, flow: u64| {
         p.dispatch(Packet::new(flow, PACKET_A.to_vec()));
         p.dispatch(Packet::new(flow, PACKET_B.to_vec()));
@@ -153,7 +155,7 @@ fn swapped_in_ruleset_governs_flows_that_outlive_several_epochs() {
     feed(&mut pipeline, 1);
     assert_eq!(pipeline.swap_rules(engine_a, &set_a), 2);
     feed(&mut pipeline, 2);
-    let mut matches = pipeline.drain().rule_matches;
+    let mut matches = pipeline.drain().expect("workers alive").rule_matches;
     matches.sort_by_key(|m| m.flow);
     let ends: Vec<(u64, usize)> = matches.iter().map(|m| (m.flow, m.end)).collect();
     assert_eq!(ends, vec![(0, END_ALPHA), (1, END_BRAVO), (2, END_ALPHA)]);

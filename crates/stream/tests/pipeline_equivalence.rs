@@ -58,13 +58,15 @@ fn plain_mode_pipeline_equals_barrier_at_every_worker_count() {
         let mut barrier = ScannerBuilder::new()
             .engine(engine.clone(), &rules)
             .workers(workers)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         let expected = barrier.scan_batch(packets.clone());
         let mut pipeline = ScannerBuilder::new()
             .engine(engine.clone(), &rules)
             .workers(workers)
-            .build();
-        let got = pipeline.scan_batch(packets.clone());
+            .build()
+            .expect("valid build");
+        let got = pipeline.scan_batch(packets.clone()).expect("workers alive");
         assert_eq!(got.matches, expected.matches, "{workers} workers");
         assert_eq!(got.stats.bytes_scanned, expected.stats.bytes_scanned);
         assert_eq!(got.stats.matches, expected.stats.matches);
@@ -117,13 +119,15 @@ fn rule_mode_pipeline_equals_barrier() {
         let mut barrier = ScannerBuilder::new()
             .rules(engine.clone(), &set)
             .workers(workers)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         let expected = barrier.scan_batch(packets.clone());
         let mut pipeline = ScannerBuilder::new()
             .rules(engine.clone(), &set)
             .workers(workers)
-            .build();
-        let got = pipeline.scan_batch(packets.clone());
+            .build()
+            .expect("valid build");
+        let got = pipeline.scan_batch(packets.clone()).expect("workers alive");
         assert_eq!(got.matches, expected.matches, "{workers} workers");
         assert_eq!(got.rule_matches, expected.rule_matches);
         assert!(!got.rule_matches.is_empty());
@@ -162,13 +166,15 @@ fn grouped_mode_pipeline_equals_barrier() {
         let mut barrier = ScannerBuilder::new()
             .groups(engines.clone())
             .workers(workers)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         let expected = barrier.scan_batch(packets.clone());
         let mut pipeline = ScannerBuilder::new()
             .groups(engines.clone())
             .workers(workers)
-            .build();
-        let got = pipeline.scan_batch(packets.clone());
+            .build()
+            .expect("valid build");
+        let got = pipeline.scan_batch(packets.clone()).expect("workers alive");
         assert!(got.matches.is_empty(), "grouped mode reports rules only");
         assert_eq!(got.rule_matches, expected.rule_matches, "{workers} workers");
         assert_eq!(got.stats.matches, expected.stats.matches);
@@ -188,14 +194,16 @@ fn backpressure_on_tiny_rings_loses_nothing() {
     let mut barrier = ScannerBuilder::new()
         .engine(engine.clone(), &rules)
         .workers(2)
-        .build_barrier();
+        .build_barrier()
+        .expect("valid build");
     let expected = barrier.scan_batch(packets.clone());
     let mut pipeline = ScannerBuilder::new()
         .engine(engine.clone(), &rules)
         .workers(2)
         .ring_capacity(2)
-        .build();
-    let got = pipeline.scan_batch(packets.clone());
+        .build()
+        .expect("valid build");
+    let got = pipeline.scan_batch(packets.clone()).expect("workers alive");
     assert_eq!(got.matches, expected.matches);
     assert_eq!(got.stats.bytes_scanned, expected.stats.bytes_scanned);
     assert!(
@@ -231,10 +239,10 @@ fn max_flows_lru_eviction_matches_barrier_semantics() {
             Packet::new(2, b"lit".to_vec()),
         ]
     };
-    let mut pipeline = build().build();
-    pipeline.scan_batch(batch1());
-    let got = pipeline.scan_batch(batch2());
-    let mut barrier = build().build_barrier();
+    let mut pipeline = build().build().expect("valid build");
+    pipeline.scan_batch(batch1()).expect("workers alive");
+    let got = pipeline.scan_batch(batch2()).expect("workers alive");
+    let mut barrier = build().build_barrier().expect("valid build");
     barrier.scan_batch(batch1());
     let expected = barrier.scan_batch(batch2());
     assert_eq!(got.matches, expected.matches);
@@ -254,16 +262,17 @@ fn idle_flows_are_swept_and_fresh_flows_are_kept() {
         .engine(engine.clone(), &rules)
         .workers(2)
         .eviction(EvictionPolicy::idle_after(Duration::from_millis(1)))
-        .build();
+        .build()
+        .expect("valid build");
     for f in 0..10u64 {
         fast.dispatch(Packet::new(f, b"..needle..".to_vec()));
     }
-    assert_eq!(fast.drain().resident_flows, 10);
+    assert_eq!(fast.drain().expect("workers alive").resident_flows, 10);
     std::thread::sleep(Duration::from_millis(60));
     // A packet on one flow triggers the sweep on its worker; drain flushes
     // (and sweeps) the rest.
     fast.dispatch(Packet::new(0, b"x".to_vec()));
-    let after = fast.drain();
+    let after = fast.drain().expect("workers alive");
     assert_eq!(
         after.resident_flows, 1,
         "only the just-touched flow survives the idle sweep"
@@ -274,11 +283,12 @@ fn idle_flows_are_swept_and_fresh_flows_are_kept() {
         .engine(engine.clone(), &rules)
         .workers(2)
         .eviction(EvictionPolicy::max_flows(100).and_idle_after(Duration::from_secs(600)))
-        .build();
+        .build()
+        .expect("valid build");
     for f in 0..10u64 {
         slow.dispatch(Packet::new(f, b"..needle..".to_vec()));
     }
-    let kept = slow.drain();
+    let kept = slow.drain().expect("workers alive");
     assert_eq!(kept.resident_flows, 10);
     assert_eq!(kept.evicted_flows, 0);
 }
@@ -290,24 +300,126 @@ fn poll_streams_results_without_a_barrier_and_drain_does_not_repeat_them() {
     let mut pipeline = ScannerBuilder::new()
         .engine(engine.clone(), &rules)
         .workers(2)
-        .build();
+        .build()
+        .expect("valid build");
     for f in 0..50u64 {
         pipeline.dispatch(Packet::new(f, b"..needle..".to_vec()));
     }
     // Poll until every match has streamed out — no drain involved.
     let mut streamed = Vec::new();
     while streamed.len() < 50 {
-        let (matches, _) = pipeline.poll();
+        let (matches, _) = pipeline.poll().expect("workers alive");
         streamed.extend(matches);
         std::thread::yield_now();
     }
     assert_eq!(streamed.len(), 50);
     // Results handed out by poll() are not repeated by drain(), but the
     // interval's stats still cover all 50 packets.
-    let stats = pipeline.drain();
+    let stats = pipeline.drain().expect("workers alive");
     assert!(stats.matches.is_empty());
     assert_eq!(stats.stats.matches, 50);
     assert_eq!(stats.latency.count, 50);
+}
+
+#[test]
+fn zero_idle_timeout_makes_every_packet_a_fresh_stream() {
+    // idle_after == ZERO is the degenerate edge of the sweep's `>=`
+    // comparison: every resident flow is stale at every sweep, so stream
+    // state never survives from one packet to the next.
+    let rules = PatternSet::from_literals(&["split"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    let mut pipeline = ScannerBuilder::new()
+        .engine(engine, &rules)
+        .workers(1)
+        .eviction(EvictionPolicy::idle_after(Duration::ZERO))
+        .build()
+        .expect("valid build");
+    pipeline.dispatch(Packet::new(1, b"..spl".to_vec()));
+    pipeline.dispatch(Packet::new(1, b"it...".to_vec()));
+    pipeline.dispatch(Packet::new(1, b"split".to_vec()));
+    let stats = pipeline.drain().expect("workers alive");
+    assert_eq!(
+        stats.matches.len(),
+        1,
+        "the straddle is severed; only the single-packet occurrence matches"
+    );
+    assert_eq!(stats.matches[0].event.start, 0, "fresh stream offsets");
+    assert_eq!(stats.resident_flows, 0, "the drain's sweep evicts the rest");
+    assert!(stats.evicted_flows >= 2);
+}
+
+#[test]
+fn lru_eviction_under_backpressure_still_matches_the_barrier() {
+    // Eviction churning *while* 2-slot rings push back: the flow cap and
+    // the backpressure loop interleave on the hot path, and the result
+    // must still be byte-identical to the barrier scanner under the same
+    // cap (same per-worker division, same LRU order).
+    let rules = PatternSet::from_literals(&["needle"]);
+    let engine: SharedMatcher = Arc::from(build_auto(&rules));
+    let packets: Vec<Packet> = (0..2000u64)
+        .map(|i| {
+            let half: &[u8] = if i % 2 == 0 { b"..nee" } else { b"dle.." };
+            Packet::new(i % 17, half.to_vec())
+        })
+        .collect();
+    let mut barrier = ScannerBuilder::new()
+        .engine(engine.clone(), &rules)
+        .workers(2)
+        .max_flows(4)
+        .build_barrier()
+        .expect("valid build");
+    let expected = barrier.scan_batch(packets.clone());
+    let mut pipeline = ScannerBuilder::new()
+        .engine(engine.clone(), &rules)
+        .workers(2)
+        .ring_capacity(2)
+        .max_flows(4)
+        .build()
+        .expect("valid build");
+    let got = pipeline.scan_batch(packets.clone()).expect("workers alive");
+    assert_eq!(got.matches, expected.matches);
+    assert_eq!(got.stats.bytes_scanned, expected.stats.bytes_scanned);
+    assert!(got.backpressure_waits > 0, "2-slot rings must push back");
+    assert!(
+        got.evicted_flows > 0,
+        "17 flows against a cap of 4 must churn"
+    );
+}
+
+#[test]
+fn evicting_a_degraded_flow_releases_its_state() {
+    use mpm_patterns::rule::{Rule, RuleContent, RuleSet};
+    use mpm_patterns::ProtocolGroup;
+    let set = RuleSet::new(vec![Rule::new(
+        ProtocolGroup::Any,
+        vec![RuleContent::new(*b"pass")],
+    )]);
+    let engine: SharedMatcher = Arc::new(NaiveMatcher::new(set.anchors()));
+    let mut pipeline = ScannerBuilder::new()
+        .rules(engine, &set)
+        .workers(1)
+        .max_flows(1)
+        .max_flow_buffer(8)
+        .build()
+        .expect("valid build");
+    // Flow 1 blows through the 8-byte cap and degrades (8 kept, 8
+    // truncated, buffer released).
+    pipeline.dispatch(Packet::new(1, vec![b'.'; 16]));
+    // Flow 2 arrives: the 1-flow cap evicts degraded flow 1.
+    pipeline.dispatch(Packet::new(2, b"zz".to_vec()));
+    // Flow 1 returns: a *fresh* stream under the cap, which confirms.
+    pipeline.dispatch(Packet::new(1, b"..pass..".to_vec()));
+    let stats = pipeline.drain().expect("workers alive");
+    assert_eq!(stats.evicted_flows, 2, "flow 1 then flow 2 at the cap");
+    assert_eq!(stats.resident_flows, 1);
+    assert_eq!(stats.truncated_bytes, 8, "only the original over-cap push");
+    assert_eq!(
+        stats.degraded_flows, 0,
+        "the degraded incarnation is gone; the fresh one is healthy"
+    );
+    assert_eq!(stats.buffered_bytes, 8, "flow 1's fresh 8-byte buffer");
+    assert_eq!(stats.rule_matches.len(), 1, "the fresh stream confirms");
+    assert_eq!(stats.rule_matches[0].flow, 1);
 }
 
 #[test]
@@ -317,11 +429,12 @@ fn close_flow_retires_stream_state_in_flight() {
     let mut pipeline = ScannerBuilder::new()
         .engine(engine, &rules)
         .workers(3)
-        .build();
+        .build()
+        .expect("valid build");
     pipeline.dispatch(Packet::new(9, b"..spl".to_vec()));
     pipeline.close_flow(9);
     pipeline.dispatch(Packet::new(9, b"it.split".to_vec()));
-    let stats = pipeline.drain();
+    let stats = pipeline.drain().expect("workers alive");
     assert_eq!(
         stats.matches.len(),
         1,

@@ -162,7 +162,8 @@ fn sharded_rule_confirmation_survives_every_packet_seam() {
             let mut scanner = ScannerBuilder::new()
                 .rules(engine.clone(), &set)
                 .workers(workers)
-                .build_barrier();
+                .build_barrier()
+                .expect("valid build");
             let mut confirmed = Vec::new();
             let first = scanner.scan_batch(vec![Packet::new(5, payload[..cut].to_vec())]);
             confirmed.extend(first.rule_matches);

@@ -72,7 +72,8 @@ fn one_worker_and_n_workers_agree() {
         let mut scanner = ScannerBuilder::new()
             .engine(engine.clone(), &rules)
             .workers(workers)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         let result = scanner.scan_batch(packets.clone());
         assert_eq!(
             result.stats.bytes_scanned, total_bytes,
@@ -89,8 +90,9 @@ fn one_worker_and_n_workers_agree() {
         let mut pipeline = ScannerBuilder::new()
             .engine(engine.clone(), &rules)
             .workers(workers)
-            .build();
-        let piped = pipeline.scan_batch(packets.clone());
+            .build()
+            .expect("valid build");
+        let piped = pipeline.scan_batch(packets.clone()).expect("workers alive");
         assert_eq!(
             piped.matches, result.matches,
             "{workers} workers: pipeline diverged from the barrier scanner"
@@ -135,7 +137,8 @@ fn repeated_batches_are_deterministic_and_stateful() {
         let mut scanner = ScannerBuilder::new()
             .engine(engine.clone(), &rules)
             .workers(workers)
-            .build_barrier();
+            .build_barrier()
+            .expect("valid build");
         let a = scanner.scan_batch(first.clone());
         assert_eq!(a.matches.len(), 1, "{workers} workers");
         assert_eq!(a.matches[0].flow, 4);

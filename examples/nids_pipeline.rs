@@ -90,12 +90,13 @@ fn main() {
         .engine(engine, &rules)
         .workers(WORKERS)
         .max_flows(64 * 1024)
-        .build();
+        .build()
+        .expect("valid configuration");
     let start = std::time::Instant::now();
     for packet in packets {
         scanner.dispatch(packet);
     }
-    let result = scanner.drain();
+    let result = scanner.drain().expect("workers alive");
     let elapsed = start.elapsed();
 
     let gbps = (result.stats.bytes_scanned as f64 * 8.0) / elapsed.as_secs_f64() / 1e9;
@@ -163,20 +164,26 @@ alert tcp any any -> any 80 (msg:"upload probe"; content:"POST"; offset:0; depth
     );
 
     let engine: SharedMatcher = Arc::from(build_auto(set.anchors()));
-    let mut scanner = ScannerBuilder::new().rules(engine, &set).workers(2).build();
+    let mut scanner = ScannerBuilder::new()
+        .rules(engine, &set)
+        .workers(2)
+        .build()
+        .expect("valid configuration");
     // Flow 1 carries a traversal whose second content arrives two packets
     // after the anchor; flow 2 carries an upload probe with a case-varied
     // secondary; flow 3 has the anchor but violates the window.
-    let result = scanner.scan_batch(vec![
-        Packet::new(1, b"GET /cgi".to_vec()),
-        Packet::new(2, b"POST /form UP".to_vec()),
-        Packet::new(1, b"-bin/../".to_vec()),
-        Packet::new(3, b"GET /x ".to_vec()),
-        Packet::new(1, b"/etc/passwd HTTP/1.1".to_vec()),
-        Packet::new(2, b"LOAD=1".to_vec()),
-        Packet::new(3, "y".repeat(60).into_bytes()),
-        Packet::new(3, b"/etc/passwd".to_vec()),
-    ]);
+    let result = scanner
+        .scan_batch(vec![
+            Packet::new(1, b"GET /cgi".to_vec()),
+            Packet::new(2, b"POST /form UP".to_vec()),
+            Packet::new(1, b"-bin/../".to_vec()),
+            Packet::new(3, b"GET /x ".to_vec()),
+            Packet::new(1, b"/etc/passwd HTTP/1.1".to_vec()),
+            Packet::new(2, b"LOAD=1".to_vec()),
+            Packet::new(3, "y".repeat(60).into_bytes()),
+            Packet::new(3, b"/etc/passwd".to_vec()),
+        ])
+        .expect("workers alive");
     for m in &result.rule_matches {
         let rule = set.get(m.rule);
         println!(

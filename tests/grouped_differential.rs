@@ -238,7 +238,7 @@ proptest! {
         let mut scanner = ScannerBuilder::new()
             .groups(engines.clone())
             .workers(3)
-            .build_barrier();
+            .build_barrier().expect("valid build");
         // Flow 11 carries a tuple and is cut at a random seam; flow 22 has
         // no tuple (scanned against every group, unfiltered).
         let cut = cut % (payload.len() + 1);

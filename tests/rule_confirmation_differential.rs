@@ -214,7 +214,7 @@ proptest! {
         let mut scanner = ScannerBuilder::new()
             .rules(engine, &set)
             .workers(3)
-            .build_barrier();
+            .build_barrier().expect("valid build");
         // Two flows carrying the same payload, each cut once at a random
         // seam; both must report the same confirmed rules.
         let cut = cut % (payload.len() + 1);
